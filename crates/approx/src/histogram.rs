@@ -1,0 +1,264 @@
+//! Histogram synopses — the classical approximate-answering baseline
+//! the paper cites as \[9\] (Ioannidis & Poosala) and positions user
+//! models against: "User models can provide approximations in a similar
+//! way to the data synopses discussed before, but with higher accuracy."
+
+use crate::error::{ApproxError, Result};
+
+/// One histogram bucket.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Bucket {
+    /// Inclusive lower bound.
+    pub lo: f64,
+    /// Exclusive upper bound (inclusive for the last bucket).
+    pub hi: f64,
+    /// Rows in the bucket.
+    pub count: u64,
+    /// Sum of values in the bucket (for SUM/AVG answers).
+    pub sum: f64,
+}
+
+/// A one-dimensional histogram synopsis.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    buckets: Vec<Bucket>,
+    total_count: u64,
+}
+
+impl Histogram {
+    /// Equi-width histogram over the finite values.
+    pub fn equi_width(values: &[f64], buckets: usize) -> Result<Histogram> {
+        let finite: Vec<f64> = values.iter().copied().filter(|v| v.is_finite()).collect();
+        Self::build_equi_width(&finite, buckets)
+    }
+
+    fn build_equi_width(finite: &[f64], nbuckets: usize) -> Result<Histogram> {
+        if nbuckets == 0 {
+            return Err(ApproxError::BadInput { detail: "zero buckets".to_string() });
+        }
+        if finite.is_empty() {
+            return Err(ApproxError::BadInput { detail: "no finite values".to_string() });
+        }
+        let lo = finite.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = finite.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let width = ((hi - lo) / nbuckets as f64).max(f64::MIN_POSITIVE);
+        let mut buckets: Vec<Bucket> = (0..nbuckets)
+            .map(|i| Bucket {
+                lo: lo + i as f64 * width,
+                hi: if i + 1 == nbuckets { hi } else { lo + (i + 1) as f64 * width },
+                count: 0,
+                sum: 0.0,
+            })
+            .collect();
+        for &v in finite {
+            let i = (((v - lo) / width) as usize).min(nbuckets - 1);
+            buckets[i].count += 1;
+            buckets[i].sum += v;
+        }
+        Ok(Histogram { buckets, total_count: finite.len() as u64 })
+    }
+
+    /// Equi-depth histogram: bucket boundaries at quantiles so every
+    /// bucket holds roughly the same number of rows — much better for
+    /// skewed data.
+    pub fn equi_depth(values: &[f64], nbuckets: usize) -> Result<Histogram> {
+        if nbuckets == 0 {
+            return Err(ApproxError::BadInput { detail: "zero buckets".to_string() });
+        }
+        let mut finite: Vec<f64> = values.iter().copied().filter(|v| v.is_finite()).collect();
+        if finite.is_empty() {
+            return Err(ApproxError::BadInput { detail: "no finite values".to_string() });
+        }
+        finite.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        let n = finite.len();
+        let per = n.div_ceil(nbuckets);
+        let mut buckets = Vec::with_capacity(nbuckets);
+        let mut start = 0usize;
+        while start < n {
+            let end = (start + per).min(n);
+            let slice = &finite[start..end];
+            buckets.push(Bucket {
+                lo: slice[0],
+                hi: *slice.last().expect("non-empty"),
+                count: slice.len() as u64,
+                sum: slice.iter().sum(),
+            });
+            start = end;
+        }
+        Ok(Histogram { buckets, total_count: n as u64 })
+    }
+
+    /// The buckets.
+    pub fn buckets(&self) -> &[Bucket] {
+        &self.buckets
+    }
+
+    /// Total rows summarized.
+    pub fn total_count(&self) -> u64 {
+        self.total_count
+    }
+
+    /// Synopsis size in bytes: 4 numbers per bucket.
+    pub fn byte_size(&self) -> usize {
+        self.buckets.len() * 32
+    }
+
+    /// Estimated COUNT of rows with value in `[lo, hi]`, assuming
+    /// uniformity within buckets.
+    pub fn estimate_count(&self, lo: f64, hi: f64) -> f64 {
+        self.buckets.iter().map(|b| b.count as f64 * overlap_fraction(b, lo, hi)).sum()
+    }
+
+    /// Estimated SUM over rows with value in `[lo, hi]`.
+    pub fn estimate_sum(&self, lo: f64, hi: f64) -> f64 {
+        self.buckets
+            .iter()
+            .map(|b| {
+                let f = overlap_fraction(b, lo, hi);
+                if f == 0.0 {
+                    0.0
+                } else if f == 1.0 {
+                    b.sum
+                } else {
+                    // Partial bucket: uniform assumption → mean of the
+                    // covered sub-range times the covered count.
+                    let c_lo = b.lo.max(lo);
+                    let c_hi = b.hi.min(hi);
+                    b.count as f64 * f * (c_lo + c_hi) / 2.0
+                }
+            })
+            .sum()
+    }
+
+    /// Estimated AVG over rows with value in `[lo, hi]`.
+    pub fn estimate_avg(&self, lo: f64, hi: f64) -> f64 {
+        let c = self.estimate_count(lo, hi);
+        if c == 0.0 {
+            f64::NAN
+        } else {
+            self.estimate_sum(lo, hi) / c
+        }
+    }
+
+    /// Reconstruct a point value: the mean of the bucket containing `x`
+    /// (what a synopsis can offer in place of a model prediction).
+    pub fn reconstruct(&self, x: f64) -> f64 {
+        for b in &self.buckets {
+            if x >= b.lo && (x < b.hi || (x <= b.hi && b.hi == self.buckets.last().expect("non-empty").hi))
+            {
+                return if b.count > 0 { b.sum / b.count as f64 } else { (b.lo + b.hi) / 2.0 };
+            }
+        }
+        // Outside the histogram domain: clamp to nearest edge bucket.
+        let first = self.buckets.first().expect("non-empty");
+        let last = self.buckets.last().expect("non-empty");
+        if x < first.lo {
+            if first.count > 0 {
+                first.sum / first.count as f64
+            } else {
+                (first.lo + first.hi) / 2.0
+            }
+        } else if last.count > 0 {
+            last.sum / last.count as f64
+        } else {
+            (last.lo + last.hi) / 2.0
+        }
+    }
+}
+
+fn overlap_fraction(b: &Bucket, lo: f64, hi: f64) -> f64 {
+    let width = b.hi - b.lo;
+    if width <= 0.0 {
+        // Point bucket.
+        return if b.lo >= lo && b.lo <= hi { 1.0 } else { 0.0 };
+    }
+    let c_lo = b.lo.max(lo);
+    let c_hi = b.hi.min(hi);
+    ((c_hi - c_lo) / width).clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn uniform(n: usize) -> Vec<f64> {
+        (0..n).map(|i| i as f64 / (n - 1) as f64 * 100.0).collect()
+    }
+
+    #[test]
+    fn full_range_estimates_are_exact() {
+        let v = uniform(1000);
+        let h = Histogram::equi_width(&v, 32).unwrap();
+        assert!((h.estimate_count(0.0, 100.0) - 1000.0).abs() < 1e-9);
+        let exact_sum: f64 = v.iter().sum();
+        assert!((h.estimate_sum(0.0, 100.0) - exact_sum).abs() / exact_sum < 1e-9);
+        assert_eq!(h.total_count(), 1000);
+    }
+
+    #[test]
+    fn partial_range_estimate_close_on_uniform_data() {
+        let v = uniform(10_000);
+        let h = Histogram::equi_width(&v, 64).unwrap();
+        let est = h.estimate_count(25.0, 75.0);
+        assert!((est - 5000.0).abs() < 200.0, "{est}");
+        let avg = h.estimate_avg(25.0, 75.0);
+        assert!((avg - 50.0).abs() < 1.0, "{avg}");
+    }
+
+    #[test]
+    fn equi_depth_handles_skew_better() {
+        // Heavy skew: 99% of mass near 0, tail to 1000.
+        let mut v: Vec<f64> = (0..9900).map(|i| i as f64 / 9900.0).collect();
+        v.extend((0..100).map(|i| 10.0 + i as f64 * 10.0));
+        let query = (0.2, 0.4);
+        let exact = v.iter().filter(|&&x| x >= query.0 && x <= query.1).count() as f64;
+        let ew = Histogram::equi_width(&v, 16).unwrap().estimate_count(query.0, query.1);
+        let ed = Histogram::equi_depth(&v, 16).unwrap().estimate_count(query.0, query.1);
+        assert!(
+            (ed - exact).abs() < (ew - exact).abs(),
+            "equi-depth {ed} should beat equi-width {ew} (exact {exact})"
+        );
+    }
+
+    #[test]
+    fn reconstruct_returns_bucket_means() {
+        let v = vec![1.0, 1.0, 9.0, 9.0];
+        let h = Histogram::equi_width(&v, 2).unwrap();
+        assert_eq!(h.reconstruct(2.0), 1.0);
+        assert_eq!(h.reconstruct(8.0), 9.0);
+        // Clamping outside the domain.
+        assert_eq!(h.reconstruct(-5.0), 1.0);
+        assert_eq!(h.reconstruct(50.0), 9.0);
+    }
+
+    #[test]
+    fn nans_are_ignored() {
+        let v = vec![1.0, f64::NAN, 3.0];
+        let h = Histogram::equi_width(&v, 2).unwrap();
+        assert_eq!(h.total_count(), 2);
+    }
+
+    #[test]
+    fn degenerate_inputs_rejected() {
+        assert!(Histogram::equi_width(&[], 4).is_err());
+        assert!(Histogram::equi_width(&[1.0], 0).is_err());
+        assert!(Histogram::equi_depth(&[f64::NAN], 4).is_err());
+    }
+
+    #[test]
+    fn constant_column_single_point_buckets() {
+        let v = vec![5.0; 100];
+        let h = Histogram::equi_width(&v, 4).unwrap();
+        assert!((h.estimate_count(5.0, 5.0) - 100.0).abs() < 1e-9);
+        assert_eq!(h.reconstruct(5.0), 5.0);
+    }
+
+    #[test]
+    fn byte_size_scales_with_buckets() {
+        let v = uniform(100);
+        let h32 = Histogram::equi_width(&v, 32).unwrap();
+        let h64 = Histogram::equi_width(&v, 64).unwrap();
+        assert_eq!(h32.byte_size(), 32 * 32);
+        assert!(h64.byte_size() > h32.byte_size());
+    }
+}

@@ -1,0 +1,251 @@
+//! Inverse prediction on captured models.
+//!
+//! Section 5 discusses Zimmer et al.'s work on continuous models: "They
+//! focus particularly on inverse prediction. Given a model and desired
+//! output, they search for the input values that are likely to create
+//! this output." Two of their strategies map naturally onto captured
+//! models:
+//!
+//! * [`invert_enumerated`] — search the enumerated parameter space
+//!   (groups × captured variable domains) for inputs whose prediction
+//!   lands within a tolerance of the target; the discrete analogue of
+//!   their *Restraint Optimization* (the input space is restricted to
+//!   its legal values).
+//! * [`invert_continuous`] — for a single-variable model, bisect the
+//!   input interval for an exact preimage of the target, valid when the
+//!   model is monotone over the interval (power laws, exponentials and
+//!   linear laws all are).
+
+use crate::error::{ApproxError, Result};
+use lawsdb_models::{CapturedModel, ModelParams};
+
+/// One input point whose prediction matches the target.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InverseMatch {
+    /// Group key (`None` for global models).
+    pub group: Option<i64>,
+    /// Input coordinates, in `coverage.variables` order.
+    pub inputs: Vec<f64>,
+    /// The model's prediction at this point.
+    pub value: f64,
+}
+
+/// Search the enumerated parameter space for inputs predicting within
+/// `tol` of `target`. Results are sorted by |value − target|.
+pub fn invert_enumerated(
+    model: &CapturedModel,
+    target: f64,
+    tol: f64,
+) -> Result<Vec<InverseMatch>> {
+    if !(tol >= 0.0) {
+        return Err(ApproxError::BadInput { detail: format!("invalid tolerance {tol}") });
+    }
+    let vars = &model.coverage.variables;
+    let domains: Vec<&[f64]> = vars
+        .iter()
+        .map(|v| {
+            model.coverage.domain_of(v).ok_or_else(|| ApproxError::NotAnswerable {
+                reason: format!("variable {v:?} has no enumerable domain"),
+            })
+        })
+        .collect::<Result<_>>()?;
+    let groups: Vec<Option<i64>> = match &model.params {
+        ModelParams::Global { .. } => vec![None],
+        ModelParams::Grouped { .. } => model.group_keys().into_iter().map(Some).collect(),
+    };
+
+    let mut matches = Vec::new();
+    let mut index = vec![0usize; vars.len()];
+    let mut point: Vec<(&str, f64)> = vars.iter().map(|v| (v.as_str(), 0.0)).collect();
+    for &group in &groups {
+        index.iter_mut().for_each(|i| *i = 0);
+        loop {
+            for (d, slot) in point.iter_mut().enumerate() {
+                slot.1 = domains[d][index[d]];
+            }
+            let value = model.predict_scalar(group, &point)?;
+            if (value - target).abs() <= tol {
+                matches.push(InverseMatch {
+                    group,
+                    inputs: point.iter().map(|(_, v)| *v).collect(),
+                    value,
+                });
+            }
+            // Mixed-radix advance.
+            let mut d = 0;
+            loop {
+                if d == vars.len() {
+                    break;
+                }
+                index[d] += 1;
+                if index[d] < domains[d].len() {
+                    break;
+                }
+                index[d] = 0;
+                d += 1;
+            }
+            if d == vars.len() || vars.is_empty() {
+                break;
+            }
+        }
+    }
+    matches.sort_by(|a, b| {
+        (a.value - target)
+            .abs()
+            .partial_cmp(&(b.value - target).abs())
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    Ok(matches)
+}
+
+/// Bisect `[lo, hi]` for an input of the model's single variable whose
+/// prediction equals `target` (to 1e-12 relative). Returns `None` when
+/// the target is not bracketed by the endpoint predictions — either out
+/// of range or the model is not monotone there.
+pub fn invert_continuous(
+    model: &CapturedModel,
+    group: Option<i64>,
+    lo: f64,
+    hi: f64,
+    target: f64,
+) -> Result<Option<f64>> {
+    if model.coverage.variables.len() != 1 {
+        return Err(ApproxError::NotAnswerable {
+            reason: "continuous inversion needs a single-variable model".to_string(),
+        });
+    }
+    if !(lo < hi) || !lo.is_finite() || !hi.is_finite() {
+        return Err(ApproxError::BadInput { detail: format!("bad interval [{lo}, {hi}]") });
+    }
+    let var = model.coverage.variables[0].clone();
+    let eval = |x: f64| model.predict_scalar(group, &[(var.as_str(), x)]);
+    let f_lo = eval(lo)?;
+    let f_hi = eval(hi)?;
+    if !f_lo.is_finite() || !f_hi.is_finite() {
+        return Err(ApproxError::NotAnswerable {
+            reason: "model is non-finite at the interval endpoints".to_string(),
+        });
+    }
+    // Must bracket the target.
+    if (f_lo - target) * (f_hi - target) > 0.0 {
+        return Ok(None);
+    }
+    let increasing = f_hi >= f_lo;
+    let (mut a, mut b) = (lo, hi);
+    for _ in 0..200 {
+        let mid = 0.5 * (a + b);
+        let fm = eval(mid)?;
+        let go_right = if increasing { fm < target } else { fm > target };
+        if go_right {
+            a = mid;
+        } else {
+            b = mid;
+        }
+        if (b - a) <= 1e-12 * (1.0 + b.abs()) {
+            break;
+        }
+    }
+    Ok(Some(0.5 * (a + b)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lawsdb_fit::FitOptions;
+    use lawsdb_models::bridge::fit_table_grouped;
+    use lawsdb_storage::TableBuilder;
+
+    fn model() -> CapturedModel {
+        let freqs: [f64; 4] = [0.12, 0.15, 0.16, 0.18];
+        let laws: [(f64, f64); 3] = [(2.0, -0.7), (0.5, -1.2), (1.0, 0.3)];
+        let mut src = Vec::new();
+        let mut nu = Vec::new();
+        let mut intensity = Vec::new();
+        for (s, &(p, a)) in laws.iter().enumerate() {
+            for i in 0..40 {
+                src.push(s as i64);
+                nu.push(freqs[i % 4]);
+                intensity.push(p * freqs[i % 4].powf(a));
+            }
+        }
+        let mut b = TableBuilder::new("m");
+        b.add_i64("source", src);
+        b.add_f64("nu", nu);
+        b.add_f64("intensity", intensity);
+        fit_table_grouped(
+            &b.build().unwrap(),
+            "intensity ~ p * nu ^ alpha",
+            "source",
+            &FitOptions::default().with_initial("alpha", -0.7),
+            1,
+        )
+        .unwrap()
+        .0
+    }
+
+    #[test]
+    fn enumerated_inversion_finds_the_producing_inputs() {
+        let m = model();
+        // Which (source, band) combinations emit ≈ 2·0.15^−0.7?
+        let target = 2.0 * 0.15_f64.powf(-0.7);
+        let hits = invert_enumerated(&m, target, 1e-6).unwrap();
+        assert_eq!(hits.len(), 1, "{hits:?}");
+        assert_eq!(hits[0].group, Some(0));
+        assert_eq!(hits[0].inputs, vec![0.15]);
+    }
+
+    #[test]
+    fn enumerated_inversion_with_wide_tolerance_ranks_by_closeness() {
+        let m = model();
+        let target = 2.0 * 0.15_f64.powf(-0.7);
+        let hits = invert_enumerated(&m, target, 2.0).unwrap();
+        assert!(hits.len() > 1);
+        for w in hits.windows(2) {
+            assert!(
+                (w[0].value - target).abs() <= (w[1].value - target).abs(),
+                "sorted by closeness"
+            );
+        }
+    }
+
+    #[test]
+    fn continuous_inversion_recovers_the_frequency() {
+        let m = model();
+        // Source 0: I = 2·ν^−0.7, decreasing in ν. Given I, find ν.
+        let nu_true = 0.1437_f64;
+        let target = 2.0 * nu_true.powf(-0.7);
+        let found = invert_continuous(&m, Some(0), 0.05, 0.30, target)
+            .unwrap()
+            .expect("bracketed");
+        assert!((found - nu_true).abs() < 1e-6, "{found}");
+    }
+
+    #[test]
+    fn continuous_inversion_rejects_unbracketed_targets() {
+        let m = model();
+        // Far above anything source 0 emits in-band.
+        let out = invert_continuous(&m, Some(0), 0.12, 0.18, 1e9).unwrap();
+        assert_eq!(out, None);
+    }
+
+    #[test]
+    fn continuous_inversion_works_on_increasing_laws_too() {
+        let m = model();
+        // Source 2 has α = +0.3: increasing in ν.
+        let nu_true = 0.165_f64;
+        let target = 1.0 * nu_true.powf(0.3);
+        let found = invert_continuous(&m, Some(2), 0.10, 0.20, target)
+            .unwrap()
+            .expect("bracketed");
+        assert!((found - nu_true).abs() < 1e-6, "{found}");
+    }
+
+    #[test]
+    fn bad_inputs_rejected() {
+        let m = model();
+        assert!(invert_enumerated(&m, 1.0, -1.0).is_err());
+        assert!(invert_enumerated(&m, 1.0, f64::NAN).is_err());
+        assert!(invert_continuous(&m, Some(0), 0.2, 0.1, 1.0).is_err());
+        assert!(invert_continuous(&m, Some(0), f64::NEG_INFINITY, 0.1, 1.0).is_err());
+    }
+}

@@ -1,0 +1,208 @@
+//! Legal parameter combinations via a Bloom filter.
+//!
+//! Parameter-space enumeration can produce `(source, ν)` combinations
+//! that never occurred in the base data — "we would violate relational
+//! semantics due to additional results that were not in the original
+//! data set" (Section 4.2). The paper proposes two remedies: a
+//! user-supplied filter function (implemented as
+//! `CapturedModel::legal_filter`) and "a compressed lookup structure
+//! (e.g. Bloom filters) to encode all legal parameter combinations" —
+//! implemented here from scratch.
+
+/// A classic Bloom filter over 64-bit element hashes, using
+/// double hashing (Kirsch–Mitzenmacher) to derive k probe positions.
+#[derive(Debug, Clone)]
+pub struct BloomFilter {
+    bits: Vec<u64>,
+    nbits: u64,
+    k: u32,
+    items: usize,
+}
+
+impl BloomFilter {
+    /// Size a filter for `expected_items` at the given false-positive
+    /// rate (clamped to [1e-9, 0.5]).
+    pub fn with_rate(expected_items: usize, fp_rate: f64) -> BloomFilter {
+        let n = expected_items.max(1) as f64;
+        let p = fp_rate.clamp(1e-9, 0.5);
+        let ln2 = std::f64::consts::LN_2;
+        let nbits = (-(n * p.ln()) / (ln2 * ln2)).ceil().max(64.0) as u64;
+        let k = ((nbits as f64 / n) * ln2).round().clamp(1.0, 30.0) as u32;
+        BloomFilter { bits: vec![0; nbits.div_ceil(64) as usize], nbits, k, items: 0 }
+    }
+
+    /// Filter with an explicit bits-per-key budget (the E9 sweep).
+    pub fn with_bits_per_key(expected_items: usize, bits_per_key: usize) -> BloomFilter {
+        let nbits = (expected_items.max(1) * bits_per_key.max(1)).max(64) as u64;
+        let k = ((bits_per_key as f64) * std::f64::consts::LN_2)
+            .round()
+            .clamp(1.0, 30.0) as u32;
+        BloomFilter { bits: vec![0; nbits.div_ceil(64) as usize], nbits, k, items: 0 }
+    }
+
+    /// Insert an element hash.
+    pub fn insert(&mut self, hash: u64) {
+        let (h1, h2) = split_hash(hash);
+        for i in 0..self.k {
+            let pos = probe(h1, h2, i, self.nbits);
+            self.bits[(pos / 64) as usize] |= 1 << (pos % 64);
+        }
+        self.items += 1;
+    }
+
+    /// Membership test: false means *definitely absent*; true means
+    /// probably present.
+    pub fn contains(&self, hash: u64) -> bool {
+        let (h1, h2) = split_hash(hash);
+        (0..self.k).all(|i| {
+            let pos = probe(h1, h2, i, self.nbits);
+            self.bits[(pos / 64) as usize] & (1 << (pos % 64)) != 0
+        })
+    }
+
+    /// Elements inserted.
+    pub fn len(&self) -> usize {
+        self.items
+    }
+
+    /// True when nothing was inserted.
+    pub fn is_empty(&self) -> bool {
+        self.items == 0
+    }
+
+    /// Size of the bit array in bytes.
+    pub fn byte_size(&self) -> usize {
+        self.bits.len() * 8
+    }
+
+    /// Empirically measure the false-positive rate against a probe set
+    /// known to be absent.
+    pub fn measure_fp_rate(&self, absent_hashes: &[u64]) -> f64 {
+        if absent_hashes.is_empty() {
+            return 0.0;
+        }
+        let fp = absent_hashes.iter().filter(|&&h| self.contains(h)).count();
+        fp as f64 / absent_hashes.len() as f64
+    }
+}
+
+fn split_hash(hash: u64) -> (u64, u64) {
+    // Finalize with splitmix64 so weak input hashes still spread.
+    let mut z = hash.wrapping_add(0x9E3779B97F4A7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^= z >> 31;
+    (z, z.rotate_left(32) | 1)
+}
+
+fn probe(h1: u64, h2: u64, i: u32, nbits: u64) -> u64 {
+    h1.wrapping_add(h2.wrapping_mul(i as u64)) % nbits
+}
+
+/// Hash a legal parameter combination: group key + input values. Floats
+/// hash by bit pattern, matching the equality semantics of enumeration
+/// (domains are enumerated from the exact stored values).
+pub fn combo_hash(group: i64, inputs: &[f64]) -> u64 {
+    let mut h = 0xcbf29ce484222325u64; // FNV-1a
+    for byte in group.to_le_bytes() {
+        h = (h ^ byte as u64).wrapping_mul(0x100000001b3);
+    }
+    for v in inputs {
+        for byte in v.to_bits().to_le_bytes() {
+            h = (h ^ byte as u64).wrapping_mul(0x100000001b3);
+        }
+    }
+    h
+}
+
+/// Build the legal-combination filter for a table: one entry per
+/// observed (group, variables…) row.
+pub fn build_legal_filter(
+    groups: &[i64],
+    input_columns: &[&[f64]],
+    bits_per_key: usize,
+) -> BloomFilter {
+    let n = groups.len();
+    let mut bf = BloomFilter::with_bits_per_key(n, bits_per_key);
+    let mut point = vec![0.0; input_columns.len()];
+    for row in 0..n {
+        for (d, c) in input_columns.iter().enumerate() {
+            point[d] = c[row];
+        }
+        bf.insert(combo_hash(groups[row], &point));
+    }
+    bf
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_false_negatives() {
+        let mut bf = BloomFilter::with_rate(1000, 0.01);
+        for i in 0..1000u64 {
+            bf.insert(combo_hash(i as i64, &[i as f64 * 0.5]));
+        }
+        for i in 0..1000u64 {
+            assert!(bf.contains(combo_hash(i as i64, &[i as f64 * 0.5])), "item {i}");
+        }
+        assert_eq!(bf.len(), 1000);
+    }
+
+    #[test]
+    fn fp_rate_near_target() {
+        let mut bf = BloomFilter::with_rate(10_000, 0.01);
+        for i in 0..10_000u64 {
+            bf.insert(combo_hash(i as i64, &[]));
+        }
+        let absent: Vec<u64> =
+            (0..20_000u64).map(|i| combo_hash((i + 1_000_000) as i64, &[])).collect();
+        let fp = bf.measure_fp_rate(&absent);
+        assert!(fp < 0.03, "fp rate {fp} should be near 1%");
+    }
+
+    #[test]
+    fn more_bits_per_key_means_fewer_false_positives() {
+        let absent: Vec<u64> =
+            (0..20_000u64).map(|i| combo_hash((i + 9_000_000) as i64, &[])).collect();
+        let mut rates = Vec::new();
+        for bpk in [4usize, 8, 12, 16] {
+            let mut bf = BloomFilter::with_bits_per_key(5000, bpk);
+            for i in 0..5000u64 {
+                bf.insert(combo_hash(i as i64, &[]));
+            }
+            rates.push(bf.measure_fp_rate(&absent));
+        }
+        // Monotone (with slack for noise at the tiny end).
+        assert!(rates[0] > rates[2], "{rates:?}");
+        assert!(rates[3] < 0.01, "{rates:?}");
+    }
+
+    #[test]
+    fn combo_hash_distinguishes_structure() {
+        // (1, [2.0]) vs (2, [1.0]) must differ; order matters.
+        assert_ne!(combo_hash(1, &[2.0]), combo_hash(2, &[1.0]));
+        assert_ne!(combo_hash(1, &[1.0, 2.0]), combo_hash(1, &[2.0, 1.0]));
+        assert_eq!(combo_hash(5, &[0.12]), combo_hash(5, &[0.12]));
+    }
+
+    #[test]
+    fn build_from_columns() {
+        let groups = [1i64, 1, 2];
+        let nu = [0.12, 0.15, 0.12];
+        let bf = build_legal_filter(&groups, &[&nu], 10);
+        assert!(bf.contains(combo_hash(1, &[0.12])));
+        assert!(bf.contains(combo_hash(2, &[0.12])));
+        // (2, 0.15) never occurred; overwhelmingly likely to be absent
+        // at 10 bits/key with 3 items.
+        assert!(!bf.contains(combo_hash(2, &[0.15])));
+    }
+
+    #[test]
+    fn empty_filter_contains_nothing() {
+        let bf = BloomFilter::with_rate(10, 0.01);
+        assert!(bf.is_empty());
+        assert!(!bf.contains(combo_hash(1, &[1.0])));
+    }
+}

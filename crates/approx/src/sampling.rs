@@ -1,0 +1,445 @@
+//! Sampling-based approximate answering — the BlinkDB-style baseline
+//! (cited as \[2\]): "In sampling, only a subset of data is used to answer
+//! a time-critical query. Doing so will introduce errors in the result,
+//! but predicting the extent of these errors is well understood."
+//!
+//! We implement uniform row sampling with CLT-based confidence
+//! intervals, exactly the well-understood error prediction the paper
+//! refers to.
+
+use crate::error::{ApproxError, Result};
+use lawsdb_linalg::dist::normal_quantile;
+use lawsdb_storage::Table;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// An aggregate estimate with a symmetric confidence interval.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Estimate {
+    /// Point estimate.
+    pub value: f64,
+    /// Half-width of the confidence interval at the requested level.
+    pub ci_half_width: f64,
+    /// Sample rows that matched the predicate.
+    pub sample_matches: usize,
+}
+
+/// A pre-built uniform sample of a table (the offline part of a
+/// sampling AQP system).
+#[derive(Debug, Clone)]
+pub struct TableSample {
+    /// The sampled rows, as a table.
+    pub sample: Table,
+    /// Sampling fraction actually achieved.
+    pub fraction: f64,
+    /// Base-table row count.
+    pub base_rows: usize,
+}
+
+impl TableSample {
+    /// Draw a uniform sample without replacement.
+    pub fn uniform(table: &Table, fraction: f64, seed: u64) -> Result<TableSample> {
+        if !(0.0..=1.0).contains(&fraction) || fraction == 0.0 {
+            return Err(ApproxError::BadInput {
+                detail: format!("sampling fraction {fraction} not in (0, 1]"),
+            });
+        }
+        let n = table.row_count();
+        let k = ((n as f64 * fraction).round() as usize).clamp(1, n);
+        let mut idx: Vec<usize> = (0..n).collect();
+        let mut rng = StdRng::seed_from_u64(seed);
+        idx.shuffle(&mut rng);
+        idx.truncate(k);
+        idx.sort_unstable(); // preserve scan order
+        let sample = table.take(&idx)?;
+        Ok(TableSample { sample, fraction: k as f64 / n as f64, base_rows: n })
+    }
+
+    /// Scale factor from sample counts to base-table counts.
+    pub fn scale(&self) -> f64 {
+        1.0 / self.fraction
+    }
+
+    /// Estimate `AVG(column)` over the sample rows at `keep_rows`
+    /// (indices into the sample that satisfied the query predicate),
+    /// with a CLT confidence interval at `confidence` (e.g. 0.95).
+    pub fn estimate_avg(
+        &self,
+        column: &str,
+        keep_rows: &[usize],
+        confidence: f64,
+    ) -> Result<Estimate> {
+        let vals = self.matched_values(column, keep_rows)?;
+        let m = vals.len();
+        if m == 0 {
+            return Ok(Estimate { value: f64::NAN, ci_half_width: f64::NAN, sample_matches: 0 });
+        }
+        let mean = lawsdb_linalg::ops::mean(&vals);
+        let sd = lawsdb_linalg::ops::std_dev(&vals);
+        let z = normal_quantile(0.5 + confidence / 2.0);
+        let half = if m > 1 { z * sd / (m as f64).sqrt() } else { f64::INFINITY };
+        Ok(Estimate { value: mean, ci_half_width: half, sample_matches: m })
+    }
+
+    /// Estimate `SUM(column)`: the scaled sample sum, CI scaled alike.
+    pub fn estimate_sum(
+        &self,
+        column: &str,
+        keep_rows: &[usize],
+        confidence: f64,
+    ) -> Result<Estimate> {
+        let vals = self.matched_values(column, keep_rows)?;
+        let m = vals.len();
+        if m == 0 {
+            return Ok(Estimate { value: 0.0, ci_half_width: f64::NAN, sample_matches: 0 });
+        }
+        let sum: f64 = vals.iter().sum();
+        let sd = lawsdb_linalg::ops::std_dev(&vals);
+        let z = normal_quantile(0.5 + confidence / 2.0);
+        // Var of the scaled sum ≈ scale²·m·sd² (ignoring the finite
+        // population correction, conservative).
+        let half = if m > 1 {
+            self.scale() * z * sd * (m as f64).sqrt()
+        } else {
+            f64::INFINITY
+        };
+        Ok(Estimate { value: sum * self.scale(), ci_half_width: half, sample_matches: m })
+    }
+
+    /// Estimate `COUNT(*)` of base rows matching a predicate that
+    /// matched `matches` of the sample rows.
+    pub fn estimate_count(&self, matches: usize, confidence: f64) -> Estimate {
+        let k = self.sample.row_count() as f64;
+        let p_hat = matches as f64 / k;
+        let z = normal_quantile(0.5 + confidence / 2.0);
+        let se = (p_hat * (1.0 - p_hat) / k).sqrt();
+        Estimate {
+            value: p_hat * self.base_rows as f64,
+            ci_half_width: z * se * self.base_rows as f64,
+            sample_matches: matches,
+        }
+    }
+
+    fn matched_values(&self, column: &str, keep_rows: &[usize]) -> Result<Vec<f64>> {
+        let col = self.sample.column(column)?;
+        let all = col.to_f64_lossy()?;
+        Ok(keep_rows
+            .iter()
+            .filter_map(|&r| {
+                let v = *all.get(r)?;
+                v.is_finite().then_some(v)
+            })
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lawsdb_storage::TableBuilder;
+
+    fn base_table(n: usize) -> Table {
+        let mut b = TableBuilder::new("t");
+        b.add_i64("id", (0..n as i64).collect());
+        // Values 0..100 uniformly.
+        b.add_f64("v", (0..n).map(|i| (i % 101) as f64).collect());
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn sample_size_matches_fraction() {
+        let t = base_table(10_000);
+        let s = TableSample::uniform(&t, 0.05, 7).unwrap();
+        assert_eq!(s.sample.row_count(), 500);
+        assert!((s.fraction - 0.05).abs() < 1e-9);
+        assert!((s.scale() - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn avg_estimate_within_ci_of_truth() {
+        let t = base_table(20_000);
+        let truth = 50.0; // mean of 0..=100
+        let s = TableSample::uniform(&t, 0.05, 42).unwrap();
+        let keep: Vec<usize> = (0..s.sample.row_count()).collect();
+        let e = s.estimate_avg("v", &keep, 0.99).unwrap();
+        assert!(
+            (e.value - truth).abs() <= e.ci_half_width * 1.5,
+            "estimate {} ± {} vs truth {truth}",
+            e.value,
+            e.ci_half_width
+        );
+        assert!(e.ci_half_width < 5.0);
+    }
+
+    #[test]
+    fn count_estimate_scales_matches() {
+        let t = base_table(10_000);
+        let s = TableSample::uniform(&t, 0.10, 3).unwrap();
+        // Predicate matching ~half the sample.
+        let matches = s
+            .sample
+            .column("v")
+            .unwrap()
+            .f64_data()
+            .unwrap()
+            .iter()
+            .filter(|&&v| v < 50.0)
+            .count();
+        let e = s.estimate_count(matches, 0.95);
+        // Truth ≈ 10000 · 50/101.
+        let truth = 10_000.0 * 50.0 / 101.0;
+        assert!((e.value - truth).abs() < e.ci_half_width * 2.0 + 100.0);
+    }
+
+    #[test]
+    fn sum_estimate_scales() {
+        let t = base_table(10_000);
+        let truth: f64 = t.column("v").unwrap().f64_data().unwrap().iter().sum();
+        let s = TableSample::uniform(&t, 0.2, 11).unwrap();
+        let keep: Vec<usize> = (0..s.sample.row_count()).collect();
+        let e = s.estimate_sum("v", &keep, 0.99).unwrap();
+        assert!((e.value - truth).abs() / truth < 0.05, "{} vs {truth}", e.value);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let t = base_table(1000);
+        let a = TableSample::uniform(&t, 0.1, 5).unwrap();
+        let b = TableSample::uniform(&t, 0.1, 5).unwrap();
+        assert_eq!(a.sample, b.sample);
+        let c = TableSample::uniform(&t, 0.1, 6).unwrap();
+        assert_ne!(a.sample, c.sample);
+    }
+
+    #[test]
+    fn bigger_samples_give_tighter_intervals() {
+        let t = base_table(50_000);
+        let small = TableSample::uniform(&t, 0.01, 1).unwrap();
+        let large = TableSample::uniform(&t, 0.2, 1).unwrap();
+        let ks: Vec<usize> = (0..small.sample.row_count()).collect();
+        let kl: Vec<usize> = (0..large.sample.row_count()).collect();
+        let es = small.estimate_avg("v", &ks, 0.95).unwrap();
+        let el = large.estimate_avg("v", &kl, 0.95).unwrap();
+        assert!(el.ci_half_width < es.ci_half_width);
+    }
+
+    #[test]
+    fn invalid_fraction_rejected() {
+        let t = base_table(100);
+        assert!(TableSample::uniform(&t, 0.0, 1).is_err());
+        assert!(TableSample::uniform(&t, 1.5, 1).is_err());
+    }
+
+    #[test]
+    fn empty_match_set_yields_nan_avg_zero_sum() {
+        let t = base_table(100);
+        let s = TableSample::uniform(&t, 0.5, 1).unwrap();
+        let e = s.estimate_avg("v", &[], 0.95).unwrap();
+        assert!(e.value.is_nan());
+        let e = s.estimate_sum("v", &[], 0.95).unwrap();
+        assert_eq!(e.value, 0.0);
+    }
+}
+
+/// A stratified sample: a per-group cap guarantees every group is
+/// represented — BlinkDB's central idea, and the fix for uniform
+/// sampling's failure mode on per-group queries (rare groups simply
+/// vanish from a uniform sample).
+#[derive(Debug, Clone)]
+pub struct StratifiedSample {
+    /// The sampled rows.
+    pub sample: Table,
+    /// Rows kept per group (the stratification cap).
+    pub per_group: usize,
+    /// Base-table row count.
+    pub base_rows: usize,
+    /// Per-group base counts, for per-group scale factors.
+    group_counts: std::collections::HashMap<i64, usize>,
+}
+
+impl StratifiedSample {
+    /// Stratify on an integer key column, keeping at most `per_group`
+    /// uniformly chosen rows of each group.
+    pub fn build(
+        table: &Table,
+        group_column: &str,
+        per_group: usize,
+        seed: u64,
+    ) -> Result<StratifiedSample> {
+        if per_group == 0 {
+            return Err(ApproxError::BadInput {
+                detail: "per_group must be at least 1".to_string(),
+            });
+        }
+        let keys = table
+            .column(group_column)
+            .map_err(ApproxError::Storage)?
+            .i64_data()
+            .map_err(ApproxError::Storage)?;
+        let mut by_group: std::collections::HashMap<i64, Vec<usize>> =
+            std::collections::HashMap::new();
+        for (row, &k) in keys.iter().enumerate() {
+            by_group.entry(k).or_default().push(row);
+        }
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut keep = Vec::new();
+        let mut group_counts = std::collections::HashMap::new();
+        // Sorted key order keeps the rng stream (and thus the sample)
+        // deterministic under a fixed seed.
+        let mut groups: Vec<(i64, Vec<usize>)> = by_group.into_iter().collect();
+        groups.sort_by_key(|(k, _)| *k);
+        for (k, mut rows) in groups {
+            group_counts.insert(k, rows.len());
+            if rows.len() > per_group {
+                rows.shuffle(&mut rng);
+                rows.truncate(per_group);
+            }
+            keep.extend(rows);
+        }
+        keep.sort_unstable();
+        let sample = table.take(&keep).map_err(ApproxError::Storage)?;
+        Ok(StratifiedSample {
+            sample,
+            per_group,
+            base_rows: table.row_count(),
+            group_counts,
+        })
+    }
+
+    /// Per-group scale factor: base rows of the group / sampled rows.
+    pub fn group_scale(&self, key: i64) -> f64 {
+        let base = self.group_counts.get(&key).copied().unwrap_or(0);
+        let kept = base.min(self.per_group);
+        if kept == 0 {
+            f64::NAN
+        } else {
+            base as f64 / kept as f64
+        }
+    }
+
+    /// Estimate `AVG(column)` within one group, with a CLT interval.
+    /// Unlike the uniform sample, every group present in the base table
+    /// is guaranteed to have rows here.
+    pub fn estimate_group_avg(
+        &self,
+        column: &str,
+        group_column: &str,
+        key: i64,
+        confidence: f64,
+    ) -> Result<Estimate> {
+        let keys = self
+            .sample
+            .column(group_column)
+            .map_err(ApproxError::Storage)?
+            .i64_data()
+            .map_err(ApproxError::Storage)?;
+        let rows: Vec<usize> =
+            (0..self.sample.row_count()).filter(|&i| keys[i] == key).collect();
+        let vals = {
+            let col = self.sample.column(column).map_err(ApproxError::Storage)?;
+            let all = col.to_f64_lossy().map_err(ApproxError::Storage)?;
+            rows.iter()
+                .filter_map(|&r| {
+                    let v = all[r];
+                    v.is_finite().then_some(v)
+                })
+                .collect::<Vec<f64>>()
+        };
+        let m = vals.len();
+        if m == 0 {
+            return Ok(Estimate {
+                value: f64::NAN,
+                ci_half_width: f64::NAN,
+                sample_matches: 0,
+            });
+        }
+        let mean = lawsdb_linalg::ops::mean(&vals);
+        let sd = lawsdb_linalg::ops::std_dev(&vals);
+        let z = normal_quantile(0.5 + confidence / 2.0);
+        let half = if m > 1 { z * sd / (m as f64).sqrt() } else { f64::INFINITY };
+        Ok(Estimate { value: mean, ci_half_width: half, sample_matches: m })
+    }
+
+    /// Total sampled rows.
+    pub fn sampled_rows(&self) -> usize {
+        self.sample.row_count()
+    }
+}
+
+#[cfg(test)]
+mod stratified_tests {
+    use super::*;
+    use lawsdb_storage::TableBuilder;
+
+    /// 50 groups with very different sizes: 0..9 have 200 rows, the
+    /// rest have 5.
+    fn skewed_table() -> Table {
+        let mut g = Vec::new();
+        let mut v = Vec::new();
+        for key in 0..50i64 {
+            let n = if key < 10 { 200 } else { 5 };
+            for i in 0..n {
+                g.push(key);
+                v.push(key as f64 * 10.0 + (i % 7) as f64);
+            }
+        }
+        let mut b = TableBuilder::new("t");
+        b.add_i64("g", g);
+        b.add_f64("v", v);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn every_group_is_represented() {
+        let t = skewed_table();
+        let s = StratifiedSample::build(&t, "g", 8, 1).unwrap();
+        let keys = s.sample.column("g").unwrap().i64_data().unwrap();
+        let distinct: std::collections::HashSet<i64> = keys.iter().copied().collect();
+        assert_eq!(distinct.len(), 50, "all groups survive stratification");
+        // Large groups capped at 8, small groups kept whole.
+        for key in 0..50i64 {
+            let cnt = keys.iter().filter(|&&k| k == key).count();
+            if key < 10 {
+                assert_eq!(cnt, 8);
+            } else {
+                assert_eq!(cnt, 5);
+            }
+        }
+    }
+
+    #[test]
+    fn group_scales_reflect_base_sizes() {
+        let t = skewed_table();
+        let s = StratifiedSample::build(&t, "g", 8, 1).unwrap();
+        assert!((s.group_scale(0) - 25.0).abs() < 1e-12); // 200/8
+        assert!((s.group_scale(40) - 1.0).abs() < 1e-12); // 5/5
+        assert!(s.group_scale(999).is_nan());
+    }
+
+    #[test]
+    fn per_group_avg_always_answerable() {
+        let t = skewed_table();
+        let s = StratifiedSample::build(&t, "g", 8, 3).unwrap();
+        for key in [0i64, 25, 49] {
+            let e = s.estimate_group_avg("v", "g", key, 0.95).unwrap();
+            assert!(e.sample_matches > 0, "group {key} must be present");
+            // True mean is key*10 + mean((i%7) over group) ≈ key*10 + 2.x
+            assert!((e.value - key as f64 * 10.0).abs() < 4.0, "group {key}: {}", e.value);
+        }
+    }
+
+    #[test]
+    fn zero_per_group_rejected() {
+        let t = skewed_table();
+        assert!(StratifiedSample::build(&t, "g", 0, 1).is_err());
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let t = skewed_table();
+        let a = StratifiedSample::build(&t, "g", 3, 9).unwrap();
+        let b = StratifiedSample::build(&t, "g", 3, 9).unwrap();
+        assert_eq!(a.sample, b.sample);
+    }
+}

@@ -1,0 +1,108 @@
+//! Criterion benches for model capture (E1/Table 1, E2/Figure 1):
+//! grouped LOFAR fitting, the linear analytic path, and the optimizer /
+//! Jacobian ablations from DESIGN.md §5.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lawsdb_data::lofar::{LofarConfig, LofarDataset};
+use lawsdb_data::timeseries::{TimeSeriesConfig, TimeSeriesDataset};
+use lawsdb_expr::parse_formula;
+use lawsdb_fit::{
+    fit_grouped, fit_nonlinear, Algorithm, DataSet, FitOptions, JacobianMode, LinearSolver,
+};
+
+fn lofar_columns(sources: usize) -> (Vec<i64>, Vec<f64>, Vec<f64>) {
+    let cfg = LofarConfig { anomaly_fraction: 0.0, ..LofarConfig::with_sources(sources) };
+    let d = LofarDataset::generate(&cfg);
+    (
+        d.table.column("source").unwrap().i64_data().unwrap().to_vec(),
+        d.table.column("nu").unwrap().f64_data().unwrap().to_vec(),
+        d.table.column("intensity").unwrap().f64_data().unwrap().to_vec(),
+    )
+}
+
+/// E1: grouped power-law capture across source counts and thread counts.
+fn bench_table1_lofar_capture(c: &mut Criterion) {
+    let formula = parse_formula("intensity ~ p * nu ^ alpha").unwrap();
+    let mut g = c.benchmark_group("table1_lofar_capture");
+    g.sample_size(10);
+    for sources in [100usize, 400] {
+        let (keys, nu, intensity) = lofar_columns(sources);
+        let data =
+            DataSet::new(vec![("nu", &nu[..]), ("intensity", &intensity[..])]).unwrap();
+        for threads in [1usize, 4] {
+            g.bench_with_input(
+                BenchmarkId::new(format!("sources_{sources}"), format!("threads_{threads}")),
+                &threads,
+                |b, &threads| {
+                    b.iter(|| {
+                        fit_grouped(&formula, &keys, &data, &FitOptions::default().with_initial("alpha", -0.7), threads)
+                            .unwrap()
+                            .success_count()
+                    })
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+/// E2 ablations: Gauss-Newton vs Levenberg-Marquardt, symbolic vs
+/// finite-difference Jacobians, on the Figure 1 single-source fit.
+fn bench_figure1_ablations(c: &mut Criterion) {
+    let freqs: [f64; 4] = [0.12, 0.15, 0.16, 0.18];
+    let n = 200;
+    let nu: Vec<f64> = (0..n).map(|i| freqs[i % 4]).collect();
+    let intensity: Vec<f64> = nu
+        .iter()
+        .enumerate()
+        .map(|(i, f)| {
+            2.35 * (f / 0.15).powf(-0.69) * (1.0 + ((i * 37) % 100) as f64 / 1000.0 - 0.05)
+        })
+        .collect();
+    let formula = parse_formula("intensity ~ p * nu ^ alpha").unwrap();
+    let data = DataSet::new(vec![("nu", &nu[..]), ("intensity", &intensity[..])]).unwrap();
+
+    let mut g = c.benchmark_group("figure1_fit_ablation");
+    for (label, algorithm, jacobian) in [
+        ("lm_symbolic", Algorithm::LevenbergMarquardt, JacobianMode::Symbolic),
+        ("lm_finite_diff", Algorithm::LevenbergMarquardt, JacobianMode::FiniteDifference),
+        ("gn_symbolic", Algorithm::GaussNewton, JacobianMode::Symbolic),
+    ] {
+        let opts = FitOptions { algorithm, jacobian, ..Default::default() };
+        g.bench_function(label, |b| {
+            b.iter(|| fit_nonlinear(&formula, &data, &opts).unwrap().iterations)
+        });
+    }
+    g.finish();
+}
+
+/// E7 ablation: QR vs normal equations on grouped linear fits.
+fn bench_linear_solver_ablation(c: &mut Criterion) {
+    let cfg = TimeSeriesConfig { sensors: 50, ticks: 200, ..Default::default() };
+    let d = TimeSeriesDataset::generate(&cfg);
+    let keys = d.table.column("sensor").unwrap().i64_data().unwrap().to_vec();
+    let ts: Vec<f64> =
+        d.table.column("ts").unwrap().i64_data().unwrap().iter().map(|&t| t as f64).collect();
+    let value = d.table.column("value").unwrap().f64_data().unwrap().to_vec();
+    let formula = parse_formula("value ~ a + b * ts").unwrap();
+    let data = DataSet::new(vec![("ts", &ts[..]), ("value", &value[..])]).unwrap();
+
+    let mut g = c.benchmark_group("linear_solver_ablation");
+    for (label, solver) in
+        [("qr", LinearSolver::Qr), ("normal_equations", LinearSolver::NormalEquations)]
+    {
+        let opts = FitOptions { linear_solver: solver, ..Default::default() };
+        g.bench_function(label, |b| {
+            b.iter(|| fit_grouped(&formula, &keys, &data, &opts, 1).unwrap().success_count())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_table1_lofar_capture,
+    bench_figure1_ablations,
+    bench_linear_solver_ablation
+);
+criterion_main!(benches);

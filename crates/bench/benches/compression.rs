@@ -1,0 +1,87 @@
+//! Criterion benches for the compression codecs (E4) and the
+//! model-change recompression path (E10).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use lawsdb_core::storage_mgr::{compress_column, decompress_column, CompressionMode};
+use lawsdb_core::LawsDb;
+use lawsdb_data::lofar::{LofarConfig, LofarDataset};
+use lawsdb_fit::FitOptions;
+use lawsdb_storage::compress::{float, generic_compress, generic_decompress, residual};
+
+fn setup() -> (LawsDb, std::sync::Arc<lawsdb_models::CapturedModel>) {
+    let cfg = LofarConfig {
+        anomaly_fraction: 0.0,
+        noise_rel: 0.01,
+        ..LofarConfig::with_sources(300)
+    };
+    let data = LofarDataset::generate(&cfg);
+    let mut db = LawsDb::new();
+    db.quality.min_r2 = 0.0;
+    db.register_table(data.table).unwrap();
+    let model = db
+        .capture_model(
+            "measurements",
+            "intensity ~ p * nu ^ alpha",
+            Some("source"),
+            // The paper: choosing starting parameters that converge is
+            // the model author's job; a radio astronomer starts the
+            // spectral index near the thermal value.
+            &FitOptions::default().with_initial("alpha", -0.7),
+        )
+        .unwrap();
+    (db, model)
+}
+
+/// E4: codec encode/decode throughput on the LOFAR intensity column.
+fn bench_e4_codecs(c: &mut Criterion) {
+    let (db, model) = setup();
+    let table = db.table("measurements").unwrap();
+    let values = table.column("intensity").unwrap().f64_data().unwrap().to_vec();
+    let raw_le: Vec<u8> = values.iter().flat_map(|v| v.to_le_bytes()).collect();
+    let predicted = lawsdb_models::bridge::predict_table(&model, &table).unwrap();
+
+    let mut g = c.benchmark_group("e4_semantic_compression");
+    g.throughput(Throughput::Bytes(raw_le.len() as u64));
+    g.sample_size(10);
+    g.bench_function("lzss_huffman_encode", |b| b.iter(|| generic_compress(&raw_le).len()));
+    let lz = generic_compress(&raw_le);
+    g.bench_function("lzss_huffman_decode", |b| {
+        b.iter(|| generic_decompress(&lz).unwrap().len())
+    });
+    g.bench_function("float_xor_encode", |b| b.iter(|| float::encode(&values).len()));
+    g.bench_function("residual_lossless_encode", |b| {
+        b.iter(|| residual::encode_lossless(&values, &predicted).unwrap().len())
+    });
+    g.bench_function("residual_quantized_encode", |b| {
+        b.iter(|| residual::encode_quantized(&values, &predicted, 1e-4).unwrap().len())
+    });
+    let enc = residual::encode_lossless(&values, &predicted).unwrap();
+    g.bench_function("residual_lossless_decode", |b| {
+        b.iter(|| residual::decode_lossless(&enc, &predicted).unwrap().len())
+    });
+    g.finish();
+}
+
+/// E10: the whole semantic (re)compression of a column through the
+/// storage manager (predict + encode).
+fn bench_e10_recompression(c: &mut Criterion) {
+    let (db, model) = setup();
+    let table = db.table("measurements").unwrap();
+    let mut g = c.benchmark_group("e10_model_change");
+    g.sample_size(10);
+    g.bench_function("compress_column_lossless", |b| {
+        b.iter(|| {
+            compress_column(&model, &table, CompressionMode::Lossless)
+                .unwrap()
+                .compressed_bytes()
+        })
+    });
+    let compressed = compress_column(&model, &table, CompressionMode::Lossless).unwrap();
+    g.bench_function("decompress_column_lossless", |b| {
+        b.iter(|| decompress_column(&compressed, &model, &table).unwrap().len())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_e4_codecs, bench_e10_recompression);
+criterion_main!(benches);

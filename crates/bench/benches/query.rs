@@ -1,0 +1,116 @@
+//! Criterion benches for query answering (E3, E5, E6, E7, E9): the
+//! exact scan path vs the model-backed zero-IO paths.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lawsdb_core::LawsDb;
+use lawsdb_data::lofar::{LofarConfig, LofarDataset};
+use lawsdb_data::timeseries::{TimeSeriesConfig, TimeSeriesDataset};
+use lawsdb_fit::FitOptions;
+
+fn lofar_db(sources: usize) -> LawsDb {
+    let cfg = LofarConfig {
+        anomaly_fraction: 0.0,
+        noise_rel: 0.05,
+        ..LofarConfig::with_sources(sources)
+    };
+    let data = LofarDataset::generate(&cfg);
+    let mut db = LawsDb::new();
+    db.quality.min_r2 = 0.0;
+    db.register_table(data.table).unwrap();
+    db.capture_model(
+        "measurements",
+        "intensity ~ p * nu ^ alpha",
+        Some("source"),
+        &FitOptions::default().with_initial("alpha", -0.7),
+    )
+    .unwrap();
+    db
+}
+
+/// E5: point lookup and band aggregate — exact vs model.
+fn bench_e5_zero_io(c: &mut Criterion) {
+    let db = lofar_db(500);
+    let point = "SELECT intensity FROM measurements WHERE source = 42 AND nu = 0.15";
+    let agg = "SELECT AVG(intensity) AS v FROM measurements WHERE nu = 0.15";
+
+    let mut g = c.benchmark_group("e5_zero_io");
+    g.bench_function("point_exact_scan", |b| b.iter(|| db.query(point).unwrap().rows_scanned));
+    g.bench_function("point_model_lookup", |b| {
+        b.iter(|| db.query_approx(point).unwrap().rows_scanned)
+    });
+    g.bench_function("agg_exact_scan", |b| b.iter(|| db.query(agg).unwrap().rows_scanned));
+    g.bench_function("agg_model_enumeration", |b| {
+        b.iter(|| db.query_approx(agg).unwrap().tuples_reconstructed)
+    });
+    g.finish();
+}
+
+/// E9: the paper's query 2 — full parameter-space enumeration.
+fn bench_e9_enumeration(c: &mut Criterion) {
+    let db = lofar_db(1000);
+    let sql = "SELECT source, intensity FROM measurements \
+               WHERE nu = 0.15 AND intensity > 0.5";
+    let mut g = c.benchmark_group("e9_enumeration");
+    g.bench_function("exact_scan", |b| b.iter(|| db.query(sql).unwrap().table.row_count()));
+    g.bench_function("model_enumeration", |b| {
+        b.iter(|| db.query_approx(sql).unwrap().tuples_reconstructed)
+    });
+    g.finish();
+}
+
+/// E7: analytic aggregate vs exact scan on the time-series workload.
+fn bench_e7_analytic(c: &mut Criterion) {
+    let cfg = TimeSeriesConfig { sensors: 50, ticks: 500, ..Default::default() };
+    let data = TimeSeriesDataset::generate(&cfg);
+    let mut db = LawsDb::new();
+    db.quality.min_r2 = 0.0;
+    db.register_table(data.table).unwrap();
+    db.capture_model("readings", "value ~ a + b * ts", Some("sensor"), &FitOptions::default())
+        .unwrap();
+    let sql = "SELECT MAX(value) AS v FROM readings";
+    let mut g = c.benchmark_group("e7_analytic_agg");
+    g.bench_function("exact_scan", |b| b.iter(|| db.query(sql).unwrap().rows_scanned));
+    g.bench_function("analytic_closed_form", |b| {
+        b.iter(|| db.query_approx(sql).unwrap().tuples_reconstructed)
+    });
+    g.finish();
+}
+
+/// E3: the intercepted fit itself (the in-database side of Figure 2).
+fn bench_figure2_interception(c: &mut Criterion) {
+    let cfg = LofarConfig {
+        anomaly_fraction: 0.0,
+        noise_rel: 0.05,
+        ..LofarConfig::with_sources(200)
+    };
+    let data = LofarDataset::generate(&cfg);
+    let mut g = c.benchmark_group("figure2_interception");
+    g.sample_size(10);
+    g.bench_function("session_fit_grouped", |b| {
+        b.iter(|| {
+            let mut db = LawsDb::new();
+            db.quality.min_r2 = 0.0;
+            db.register_table(data.table.clone()).unwrap();
+            let mut session = db.session();
+            let frame = session.frame("measurements").unwrap();
+            session
+                .fit(
+                    &frame,
+                    "intensity ~ p * nu ^ alpha",
+                    lawsdb_core::FitOptions::grouped_by("source"),
+                )
+                .unwrap()
+                .parameter_vectors
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_e5_zero_io,
+    bench_e9_enumeration,
+    bench_e7_analytic,
+    bench_figure2_interception
+);
+criterion_main!(benches);

@@ -1,0 +1,148 @@
+//! **E11** — one model class is not enough (Sections 5–6).
+//!
+//! "We also suspect that focusing on a single class of models as
+//! previous work has [MauveDB, FunctionDB, Zimmer et al.] is unlikely to
+//! cover enough ground."
+//!
+//! We take one LOFAR source's power-law data and reconstruct it with
+//! (a) the captured user model (2 parameters), (b) FunctionDB-style
+//! piecewise polynomials at several segment counts, (c) a MauveDB-style
+//! grid view at several resolutions — reporting RMSE against the clean
+//! law and bytes stored. The user model should dominate the
+//! accuracy-per-byte frontier because it *is* the data's law.
+
+use lawsdb_expr::parse_formula;
+use lawsdb_fit::{fit_nonlinear, DataSet, FitOptions};
+use lawsdb_models::grid::GridView;
+use lawsdb_models::piecewise::PiecewisePoly;
+
+/// One model-class point.
+#[derive(Debug, Clone)]
+pub struct ClassPoint {
+    /// Label.
+    pub name: String,
+    /// Stored bytes.
+    pub bytes: usize,
+    /// RMSE of reconstruction against the clean law on a dense grid.
+    pub rmse: f64,
+}
+
+/// Experiment report.
+#[derive(Debug, Clone)]
+pub struct E11Report {
+    /// Observations fitted.
+    pub observations: usize,
+    /// All class points, user model first.
+    pub classes: Vec<ClassPoint>,
+}
+
+/// Run the model-class comparison.
+pub fn run() -> E11Report {
+    // One bright source observed densely across an extended band
+    // (continuous ν here — the harder case for gridding).
+    let (p, alpha) = (2.0, -0.7);
+    let n = 2000usize;
+    let nu: Vec<f64> = (0..n).map(|i| 0.05 + 0.30 * i as f64 / (n - 1) as f64).collect();
+    let noisy: Vec<f64> = nu
+        .iter()
+        .enumerate()
+        .map(|(i, f)| {
+            let clean = p * f.powf(alpha);
+            let e = (((i as u64).wrapping_mul(0x9E3779B97F4A7C15) >> 40) as f64
+                / (1u64 << 24) as f64
+                - 0.5)
+                * 0.05;
+            clean * (1.0 + e)
+        })
+        .collect();
+
+    // Dense evaluation grid against the clean law.
+    let eval_nu: Vec<f64> = (0..500).map(|i| 0.05 + 0.30 * i as f64 / 499.0).collect();
+    let clean: Vec<f64> = eval_nu.iter().map(|f| p * f.powf(alpha)).collect();
+    let rmse = |pred: &[f64]| -> f64 {
+        (pred.iter().zip(&clean).map(|(a, b)| (a - b) * (a - b)).sum::<f64>()
+            / clean.len() as f64)
+            .sqrt()
+    };
+
+    let mut classes = Vec::new();
+
+    // (a) the captured user model.
+    {
+        let formula = parse_formula("intensity ~ p * nu ^ alpha").expect("formula");
+        let data =
+            DataSet::new(vec![("nu", &nu[..]), ("intensity", &noisy[..])]).expect("columns");
+        let fit = fit_nonlinear(&formula, &data, &FitOptions::default()).expect("fit");
+        let fp = fit.param("p").expect("p");
+        let fa = fit.param("alpha").expect("alpha");
+        let pred: Vec<f64> = eval_nu.iter().map(|f| fp * f.powf(fa)).collect();
+        classes.push(ClassPoint {
+            name: "user model (power law)".to_string(),
+            bytes: 2 * 8,
+            rmse: rmse(&pred),
+        });
+    }
+    // (b) FunctionDB: piecewise polynomials.
+    for (segments, degree) in [(4usize, 1usize), (8, 1), (16, 2), (32, 2)] {
+        let pw = PiecewisePoly::fit(&nu, &noisy, segments, degree).expect("piecewise fit");
+        let pred = pw.eval_batch(&eval_nu);
+        classes.push(ClassPoint {
+            name: format!("piecewise poly s={segments} d={degree}"),
+            bytes: pw.byte_size(),
+            rmse: rmse(&pred),
+        });
+    }
+    // (c) MauveDB: grid views.
+    for cells in [16usize, 64, 256] {
+        let g = GridView::fit_1d(&nu, &noisy, cells).expect("grid fit");
+        let pred: Vec<f64> =
+            eval_nu.iter().map(|&f| g.query(&[f]).expect("1-d query")).collect();
+        classes.push(ClassPoint {
+            name: format!("grid view {cells} cells"),
+            bytes: g.byte_size(),
+            rmse: rmse(&pred),
+        });
+    }
+
+    E11Report { observations: n, classes }
+}
+
+/// Print the frontier.
+pub fn print(r: &E11Report) {
+    println!("=== E11: user model vs fixed model classes ===");
+    println!("{} noisy power-law observations; RMSE vs the clean law", r.observations);
+    println!();
+    println!("model class                  bytes       RMSE");
+    for c in &r.classes {
+        println!("{:<26}  {:>8}  {:>9.5}", c.name, crate::fmt_bytes(c.bytes), c.rmse);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn user_model_dominates_accuracy_per_byte() {
+        let r = run();
+        let user = &r.classes[0];
+        assert_eq!(user.bytes, 16);
+        for other in &r.classes[1..] {
+            // Everything else stores more…
+            assert!(other.bytes > user.bytes, "{}", other.name);
+            // …and none reconstructs meaningfully better.
+            assert!(
+                user.rmse < other.rmse * 1.5,
+                "user {} vs {} {}",
+                user.rmse,
+                other.name,
+                other.rmse
+            );
+        }
+        // Within a class, spending more bytes helps — the paper's point
+        // is that it takes *many* more to approach the true law.
+        let pw_small = r.classes.iter().find(|c| c.name.contains("s=4 ")).unwrap();
+        let pw_big = r.classes.iter().find(|c| c.name.contains("s=32")).unwrap();
+        assert!(pw_big.rmse < pw_small.rmse);
+    }
+}

@@ -1,0 +1,123 @@
+//! **E8** — data anomalies via goodness-of-fit (Section 4.2).
+//!
+//! The generator injects flat-spectrum and turn-over sources (the
+//! pulsars and GRB afterglows the Transients project hunts); the
+//! detector ranks sources by misfit. We score precision@k / recall@k /
+//! average precision for the two scoring rules (raw residual SE vs
+//! 1 − R²), the ablation DESIGN.md calls out.
+
+use crate::Scale;
+use lawsdb_approx::anomaly::{
+    average_precision, precision_at_k, rank_anomalies, recall_at_k, MisfitScore,
+};
+use lawsdb_core::LawsDb;
+use lawsdb_data::lofar::{LofarConfig, LofarDataset};
+use lawsdb_fit::FitOptions;
+
+/// One scoring rule's results.
+#[derive(Debug, Clone)]
+pub struct ScoreResult {
+    /// Scoring rule label.
+    pub score: &'static str,
+    /// Precision at k = |truth|.
+    pub precision_at_truth: f64,
+    /// Recall at k = |truth|.
+    pub recall_at_truth: f64,
+    /// Recall at 2·|truth|.
+    pub recall_at_2truth: f64,
+    /// Average precision over the full ranking.
+    pub average_precision: f64,
+}
+
+/// Experiment report.
+#[derive(Debug, Clone)]
+pub struct E8Report {
+    /// Sources in the data set.
+    pub sources: usize,
+    /// Injected anomalies.
+    pub true_anomalies: usize,
+    /// Per-rule results.
+    pub rules: Vec<ScoreResult>,
+}
+
+/// Run anomaly detection and score it.
+pub fn run(scale: Scale) -> E8Report {
+    let cfg = LofarConfig {
+        anomaly_fraction: 0.03,
+        noise_rel: 0.10,
+        ..LofarConfig::with_sources(scale.lofar_sources())
+    };
+    let data = LofarDataset::generate(&cfg);
+    let truth = data.anomalies.clone();
+    let mut db = LawsDb::new();
+    db.quality.min_r2 = 0.0;
+    db.register_table(data.table).expect("fresh catalog");
+    let model = db
+        .capture_model(
+            "measurements",
+            "intensity ~ p * nu ^ alpha",
+            Some("source"),
+            // The paper: choosing starting parameters that converge is
+            // the model author's job; a radio astronomer starts the
+            // spectral index near the thermal value.
+            &FitOptions::default().with_initial("alpha", -0.7),
+        )
+        .expect("capture fits");
+
+    let k = truth.len();
+    let rules = [MisfitScore::ResidualSe, MisfitScore::OneMinusR2]
+        .into_iter()
+        .map(|rule| {
+            let ranked = rank_anomalies(&model, rule);
+            ScoreResult {
+                score: match rule {
+                    MisfitScore::ResidualSe => "residual SE",
+                    MisfitScore::OneMinusR2 => "1 - R²",
+                },
+                precision_at_truth: precision_at_k(&ranked, &truth, k),
+                recall_at_truth: recall_at_k(&ranked, &truth, k),
+                recall_at_2truth: recall_at_k(&ranked, &truth, 2 * k),
+                average_precision: average_precision(&ranked, &truth),
+            }
+        })
+        .collect();
+
+    E8Report { sources: cfg.sources, true_anomalies: k, rules }
+}
+
+/// Print the scores.
+pub fn print(r: &E8Report) {
+    println!("=== E8: anomaly detection from goodness-of-fit ===");
+    println!(
+        "{} sources, {} injected anomalies (flat spectra + turn-overs)",
+        r.sources, r.true_anomalies
+    );
+    println!();
+    println!("score         prec@k    recall@k   recall@2k   avg precision");
+    for s in &r.rules {
+        println!(
+            "{:<12}  {:>7.3}  {:>9.3}  {:>10.3}  {:>13.3}",
+            s.score,
+            s.precision_at_truth,
+            s.recall_at_truth,
+            s.recall_at_2truth,
+            s.average_precision
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn misfit_ranking_finds_planted_anomalies() {
+        let r = run(Scale::Small);
+        assert!(r.true_anomalies > 0);
+        // The scale-free rule should do well; demand solid performance.
+        let r2_rule = r.rules.iter().find(|s| s.score == "1 - R²").unwrap();
+        assert!(r2_rule.precision_at_truth > 0.5, "{:?}", r2_rule);
+        assert!(r2_rule.recall_at_2truth > 0.7, "{:?}", r2_rule);
+        assert!(r2_rule.average_precision > 0.5, "{:?}", r2_rule);
+    }
+}

@@ -1,0 +1,489 @@
+//! The assembled LawsDB engine.
+
+use crate::error::{CoreError, Result};
+use crate::session::Session;
+use lawsdb_approx::legal::build_legal_filter;
+use lawsdb_approx::{ApproxAnswer, ApproxEngine};
+use lawsdb_fit::FitOptions as RawFitOptions;
+use lawsdb_models::bridge::{
+    fit_table, fit_table_grouped, fit_table_grouped_where, fit_table_where,
+};
+use lawsdb_models::model::ModelId;
+use lawsdb_models::{CapturedModel, ModelCatalog, ModelState};
+use lawsdb_query::QueryResult;
+use lawsdb_storage::{Catalog, Column, Table};
+use parking_lot::RwLock;
+use std::sync::Arc;
+
+/// The quality gate applied to every captured model before it becomes
+/// usable (Section 3, step 2: "Judge the quality of the model").
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QualityPolicy {
+    /// Minimum pooled R².
+    pub min_r2: f64,
+    /// Significance level for the F-test on global fits.
+    pub alpha: f64,
+    /// Whether rejected models are kept as `Retired` (true — the paper
+    /// argues poor models may become relevant later) or dropped.
+    pub keep_rejected: bool,
+}
+
+impl Default for QualityPolicy {
+    fn default() -> Self {
+        QualityPolicy { min_r2: 0.8, alpha: 0.05, keep_rejected: true }
+    }
+}
+
+/// An answer that may be exact or approximate.
+#[derive(Debug, Clone)]
+pub enum Answer {
+    /// Exact answer from base-table execution.
+    Exact(QueryResult),
+    /// Model-based approximate answer.
+    Approx(ApproxAnswer),
+}
+
+impl Answer {
+    /// The result rows, whichever path produced them.
+    pub fn table(&self) -> &Table {
+        match self {
+            Answer::Exact(r) => &r.table,
+            Answer::Approx(a) => &a.table,
+        }
+    }
+
+    /// Base-table rows scanned (0 on the model path).
+    pub fn rows_scanned(&self) -> usize {
+        match self {
+            Answer::Exact(r) => r.rows_scanned,
+            Answer::Approx(a) => a.rows_scanned,
+        }
+    }
+
+    /// True when the model path answered.
+    pub fn is_approximate(&self) -> bool {
+        matches!(self, Answer::Approx(_))
+    }
+}
+
+/// The database engine: table catalog, model catalog, exact and
+/// approximate query paths, capture and maintenance.
+pub struct LawsDb {
+    tables: Catalog,
+    models: Arc<ModelCatalog>,
+    approx: RwLock<ApproxEngine>,
+    /// Quality gate for captured models.
+    pub quality: QualityPolicy,
+    /// Bits per key for auto-built legal-combination Bloom filters;
+    /// `None` disables auto-building.
+    pub legal_filter_bits_per_key: Option<usize>,
+}
+
+impl Default for LawsDb {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LawsDb {
+    /// Fresh empty engine.
+    pub fn new() -> LawsDb {
+        let models = Arc::new(ModelCatalog::new());
+        LawsDb {
+            tables: Catalog::new(),
+            approx: RwLock::new(ApproxEngine::new(Arc::clone(&models))),
+            models,
+            quality: QualityPolicy::default(),
+            legal_filter_bits_per_key: Some(10),
+        }
+    }
+
+    /// Register a base table.
+    pub fn register_table(&self, table: Table) -> Result<Arc<Table>> {
+        Ok(self.tables.register(table)?)
+    }
+
+    /// Snapshot of a base table.
+    pub fn table(&self, name: &str) -> Result<Arc<Table>> {
+        Ok(self.tables.get(name)?)
+    }
+
+    /// The table catalog.
+    pub fn tables(&self) -> &Catalog {
+        &self.tables
+    }
+
+    /// The model catalog.
+    pub fn models(&self) -> &Arc<ModelCatalog> {
+        &self.models
+    }
+
+    /// Open an interception session (Figure 2).
+    pub fn session(&self) -> Session<'_> {
+        Session::new(self)
+    }
+
+    /// Execute a query exactly against base tables.
+    pub fn query(&self, sql: &str) -> Result<QueryResult> {
+        Ok(lawsdb_query::execute(&self.tables, sql)?)
+    }
+
+    /// EXPLAIN: the optimized logical plan for a query, one node per
+    /// line, without executing it.
+    pub fn explain(&self, sql: &str) -> Result<String> {
+        let stmt = lawsdb_query::parse_select(sql).map_err(CoreError::Query)?;
+        let plan = lawsdb_query::LogicalPlan::from_statement(&stmt).map_err(CoreError::Query)?;
+        Ok(lawsdb_query::optimize::optimize(&plan).explain())
+    }
+
+    /// Answer a query approximately from captured models (zero-IO).
+    pub fn query_approx(&self, sql: &str) -> Result<ApproxAnswer> {
+        Ok(self.approx.read().answer(sql)?)
+    }
+
+    /// Answer approximately when a model can, exactly otherwise — the
+    /// transparent behavior the paper's user sees.
+    pub fn query_transparent(&self, sql: &str) -> Result<Answer> {
+        match self.query_approx(sql) {
+            Ok(a) => Ok(Answer::Approx(a)),
+            Err(CoreError::Approx(lawsdb_approx::ApproxError::NotAnswerable { .. }))
+            | Err(CoreError::Approx(lawsdb_approx::ApproxError::EnumerationTooLarge {
+                ..
+            })) => Ok(Answer::Exact(self.query(sql)?)),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Capture a model: fit `formula` against `table` (grouped by
+    /// `group_column` if given), judge it, store it, build its legal
+    /// filter, and return the stored snapshot.
+    ///
+    /// Models failing the quality gate are stored `Retired` (or dropped
+    /// per policy) and reported as [`CoreError::QualityRejected`].
+    pub fn capture_model(
+        &self,
+        table_name: &str,
+        formula: &str,
+        group_column: Option<&str>,
+        options: &RawFitOptions,
+    ) -> Result<Arc<CapturedModel>> {
+        self.capture(table_name, formula, group_column, None, options)
+    }
+
+    /// Capture a *partial* model, fitted only on the rows satisfying
+    /// `predicate` (Section 4.1's partial-models challenge). The
+    /// predicate is recorded in the model's coverage; approximate
+    /// answers are clipped to it, and point queries outside it refuse
+    /// rather than extrapolate.
+    pub fn capture_model_where(
+        &self,
+        table_name: &str,
+        formula: &str,
+        group_column: Option<&str>,
+        predicate: &str,
+        options: &RawFitOptions,
+    ) -> Result<Arc<CapturedModel>> {
+        self.capture(table_name, formula, group_column, Some(predicate), options)
+    }
+
+    fn capture(
+        &self,
+        table_name: &str,
+        formula: &str,
+        group_column: Option<&str>,
+        predicate: Option<&str>,
+        options: &RawFitOptions,
+    ) -> Result<Arc<CapturedModel>> {
+        let table = self.table(table_name)?;
+        let model = match (group_column, predicate) {
+            (Some(g), None) => {
+                fit_table_grouped(&table, formula, g, options, default_threads())?.0
+            }
+            (Some(g), Some(p)) => {
+                fit_table_grouped_where(&table, formula, g, p, options, default_threads())?.0
+            }
+            (None, None) => fit_table(&table, formula, options)?,
+            (None, Some(p)) => fit_table_where(&table, formula, p, options)?,
+        };
+        let r2 = model.overall_r2;
+        let passed = r2.is_finite() && r2 >= self.quality.min_r2;
+        let mut model = model;
+        if !passed {
+            if !self.quality.keep_rejected {
+                return Err(CoreError::QualityRejected { r2, min_r2: self.quality.min_r2 });
+            }
+            model.state = ModelState::Retired;
+        }
+        let stored = self.models.store(model);
+        if !passed {
+            return Err(CoreError::QualityRejected { r2, min_r2: self.quality.min_r2 });
+        }
+        // Build the legal-combination Bloom filter from the observed
+        // rows (Section 4.2's compressed lookup structure).
+        if let Some(bpk) = self.legal_filter_bits_per_key {
+            if let Some(g) = group_column {
+                if let (Ok(groups), Ok(var_views)) = (
+                    table.column(g).and_then(|c| c.i64_data().map(<[i64]>::to_vec)),
+                    stored
+                        .coverage
+                        .variables
+                        .iter()
+                        .map(|v| table.column(v).and_then(|c| c.f64_data().map(<[f64]>::to_vec)))
+                        .collect::<lawsdb_storage::Result<Vec<_>>>(),
+                ) {
+                    let slices: Vec<&[f64]> = var_views.iter().map(Vec::as_slice).collect();
+                    let bf = build_legal_filter(&groups, &slices, bpk);
+                    self.approx.write().register_legal_filter(stored.id, bf);
+                }
+            }
+        }
+        Ok(stored)
+    }
+
+    /// Append rows to a base table, invalidating dependent models
+    /// (Section 4.1's data-change challenge). Returns the ids marked
+    /// stale.
+    pub fn append_rows(&self, table_name: &str, batch: &[Column]) -> Result<Vec<ModelId>> {
+        let current = self.table(table_name)?;
+        let mut updated = (*current).clone();
+        updated.append_rows(batch)?;
+        self.tables.replace(updated);
+        Ok(self.models.invalidate_table(table_name))
+    }
+
+    /// Re-fit a stale model against the current data: stores a fresh
+    /// version, retires the others, returns the new snapshot.
+    pub fn refit(&self, id: ModelId, options: &RawFitOptions) -> Result<Arc<CapturedModel>> {
+        let old = self.models.get(id)?;
+        let group_column = match &old.params {
+            lawsdb_models::ModelParams::Grouped { group_column, .. } => {
+                Some(group_column.clone())
+            }
+            lawsdb_models::ModelParams::Global { .. } => None,
+        };
+        let fresh = self.capture(
+            &old.coverage.table,
+            &old.formula_source,
+            group_column.as_deref(),
+            old.coverage.predicate.as_deref(),
+            options,
+        )?;
+        self.models.retire_others(fresh.id)?;
+        Ok(fresh)
+    }
+
+    /// Total bytes of active model parameters (the "640 KB" side of the
+    /// Table 1 accounting).
+    pub fn model_parameter_bytes(&self) -> usize {
+        self.models.active_parameter_bytes()
+    }
+}
+
+fn default_threads() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lawsdb_storage::TableBuilder;
+
+    fn lofar_db() -> LawsDb {
+        let freqs: [f64; 4] = [0.12, 0.15, 0.16, 0.18];
+        let laws: [(f64, f64); 4] = [(2.0, -0.7), (0.5, -1.2), (1.0, 0.3), (3.0, -0.5)];
+        let mut src = Vec::new();
+        let mut nu = Vec::new();
+        let mut intensity = Vec::new();
+        for (s, &(p, a)) in laws.iter().enumerate() {
+            for i in 0..40 {
+                src.push(s as i64);
+                nu.push(freqs[i % 4]);
+                intensity.push(p * freqs[i % 4].powf(a));
+            }
+        }
+        let mut b = TableBuilder::new("measurements");
+        b.add_i64("source", src);
+        b.add_f64("nu", nu);
+        b.add_f64("intensity", intensity);
+        let db = LawsDb::new();
+        db.register_table(b.build().unwrap()).unwrap();
+        db
+    }
+
+    #[test]
+    fn capture_then_zero_io_answers() {
+        let db = lofar_db();
+        let m = db
+            .capture_model(
+                "measurements",
+                "intensity ~ p * nu ^ alpha",
+                Some("source"),
+                &RawFitOptions::default(),
+            )
+            .unwrap();
+        assert!(m.overall_r2 > 0.99);
+        let a = db
+            .query_approx("SELECT intensity FROM measurements WHERE source = 0 AND nu = 0.15")
+            .unwrap();
+        assert_eq!(a.rows_scanned, 0);
+        let got = a.table.column("intensity").unwrap().f64_data().unwrap()[0];
+        assert!((got - 2.0 * 0.15_f64.powf(-0.7)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn transparent_query_falls_back_without_model() {
+        let db = lofar_db();
+        let ans = db
+            .query_transparent("SELECT intensity FROM measurements WHERE source = 0 AND nu = 0.15")
+            .unwrap();
+        assert!(!ans.is_approximate());
+        assert!(ans.rows_scanned() > 0);
+        // After capture, the same query goes zero-IO.
+        db.capture_model(
+            "measurements",
+            "intensity ~ p * nu ^ alpha",
+            Some("source"),
+            &RawFitOptions::default(),
+        )
+        .unwrap();
+        let ans = db
+            .query_transparent("SELECT intensity FROM measurements WHERE source = 0 AND nu = 0.15")
+            .unwrap();
+        assert!(ans.is_approximate());
+        assert_eq!(ans.rows_scanned(), 0);
+    }
+
+    #[test]
+    fn quality_gate_rejects_lawless_data() {
+        let db = LawsDb::new();
+        // Pure pseudo-noise: no power law to find.
+        let mut b = TableBuilder::new("noise");
+        let n = 200;
+        b.add_i64("g", (0..n).map(|i| i % 4).collect());
+        b.add_f64("x", (0..n).map(|i| 0.1 + (i % 10) as f64 * 0.05).collect());
+        b.add_f64(
+            "y",
+            (0..n)
+                .map(|i| ((i as u64).wrapping_mul(0x9E3779B97F4A7C15) >> 40) as f64)
+                .collect(),
+        );
+        db.register_table(b.build().unwrap()).unwrap();
+        let err = db
+            .capture_model("noise", "y ~ a + b * x", Some("g"), &RawFitOptions::default())
+            .unwrap_err();
+        assert!(matches!(err, CoreError::QualityRejected { .. }), "{err}");
+        // The rejected model is kept as Retired, and is not used.
+        assert_eq!(db.models().len(), 1);
+        assert!(db.query_approx("SELECT y FROM noise WHERE g = 0 AND x = 0.1").is_err());
+    }
+
+    #[test]
+    fn append_invalidates_and_refit_restores() {
+        let db = lofar_db();
+        let m = db
+            .capture_model(
+                "measurements",
+                "intensity ~ p * nu ^ alpha",
+                Some("source"),
+                &RawFitOptions::default(),
+            )
+            .unwrap();
+        let stale = db
+            .append_rows(
+                "measurements",
+                &[
+                    Column::from_i64(vec![0]),
+                    Column::from_f64(vec![0.15]),
+                    Column::from_f64(vec![2.0 * 0.15_f64.powf(-0.7)]),
+                ],
+            )
+            .unwrap();
+        assert_eq!(stale, vec![m.id]);
+        // Stale models no longer answer by default.
+        assert!(db
+            .query_approx("SELECT intensity FROM measurements WHERE source = 0 AND nu = 0.15")
+            .is_err());
+        let fresh = db.refit(m.id, &RawFitOptions::default()).unwrap();
+        assert_ne!(fresh.id, m.id);
+        assert_eq!(fresh.version, 2);
+        assert!(db
+            .query_approx("SELECT intensity FROM measurements WHERE source = 0 AND nu = 0.15")
+            .is_ok());
+        // Old model retired, not deleted.
+        assert_eq!(db.models().get(m.id).unwrap().state, ModelState::Retired);
+    }
+
+    #[test]
+    fn parameter_bytes_accounting() {
+        let db = lofar_db();
+        assert_eq!(db.model_parameter_bytes(), 0);
+        db.capture_model(
+            "measurements",
+            "intensity ~ p * nu ^ alpha",
+            Some("source"),
+            &RawFitOptions::default(),
+        )
+        .unwrap();
+        // 4 sources × (key + 2 params + rse) × 8.
+        assert_eq!(db.model_parameter_bytes(), 4 * 4 * 8);
+    }
+
+    #[test]
+    fn explain_prints_the_optimized_plan() {
+        let db = lofar_db();
+        let text = db
+            .explain(
+                "SELECT source, AVG(intensity) FROM measurements \
+                 WHERE nu = 0.15 GROUP BY source ORDER BY source LIMIT 3",
+            )
+            .unwrap();
+        let lines: Vec<&str> = text.lines().map(str::trim_start).collect();
+        assert!(lines[0].starts_with("Limit"));
+        assert!(lines[1].starts_with("Sort"));
+        assert!(lines[2].starts_with("Aggregate"));
+        assert!(lines[3].starts_with("Filter"));
+        // Projection pruning visible in the scan node.
+        assert!(lines[4].contains("Scan measurements [intensity, nu, source]"), "{text}");
+    }
+
+    #[test]
+    fn partial_model_is_clipped_to_its_coverage() {
+        let db = lofar_db();
+        // Fit only on the upper two bands.
+        let m = db
+            .capture_model_where(
+                "measurements",
+                "intensity ~ p * nu ^ alpha",
+                Some("source"),
+                "nu >= 0.16",
+                &RawFitOptions::default().with_initial("alpha", -0.7),
+            )
+            .unwrap();
+        assert_eq!(m.coverage.predicate.as_deref(), Some("nu >= 0.16"));
+        // Covered point: answered.
+        let a = db
+            .query_approx("SELECT intensity FROM measurements WHERE source = 0 AND nu = 0.18")
+            .unwrap();
+        assert_eq!(a.table.row_count(), 1);
+        // Uncovered point: refused, not extrapolated.
+        assert!(db
+            .query_approx("SELECT intensity FROM measurements WHERE source = 0 AND nu = 0.12")
+            .is_err());
+        // Enumeration only reconstructs the covered bands (domains were
+        // captured from the filtered subset).
+        let e = db.query_approx("SELECT source, nu, intensity FROM measurements").unwrap();
+        let nus = e.table.column("nu").unwrap().f64_data().unwrap();
+        assert!(nus.iter().all(|&v| v >= 0.16), "{nus:?}");
+        assert_eq!(e.table.row_count(), 4 * 2); // 4 sources × {0.16, 0.18}
+    }
+
+    #[test]
+    fn unknown_table_errors() {
+        let db = LawsDb::new();
+        assert!(db.table("zz").is_err());
+        assert!(db
+            .capture_model("zz", "y ~ a + b * x", None, &RawFitOptions::default())
+            .is_err());
+        assert!(db.append_rows("zz", &[]).is_err());
+    }
+}

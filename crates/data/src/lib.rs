@@ -1,0 +1,34 @@
+//! # lawsdb-data
+//!
+//! Synthetic workload generators with planted ground truth.
+//!
+//! The paper's evaluation rests on a private LOFAR sample and proposes
+//! TPC-DS-style generated data for future evaluation (Section 6). This
+//! crate provides faithful synthetic stand-ins (see DESIGN.md §2 for the
+//! substitution argument):
+//!
+//! * [`lofar`] — the running example: per-source power laws
+//!   `I = p·ν^α` at the paper's four frequency bands, with
+//!   heteroscedastic interference noise, matching row/source counts
+//!   (1,452,824 measurements over 35,692 sources at full scale), and
+//!   *injected anomalous sources* (flat spectra, spectral turn-overs)
+//!   whose identities are recorded as ground truth for E8.
+//! * [`timeseries`] — sensor series over enumerable integer timestamps
+//!   with per-sensor linear laws: the workload for analytic aggregates
+//!   (E7) and the MauveDB grid comparison (E11).
+//! * [`retail`] — a TPC-DS-inspired `store_sales` fact table with
+//!   planted regularity (seasonality, linear growth, categorical price
+//!   levels), the Section 6 proposal: "the generated datasets for
+//!   popular database benchmarks … provide a playing field for
+//!   model-based storage optimizations".
+//!
+//! All generators are deterministic under a caller-supplied seed.
+
+pub mod lofar;
+pub mod retail;
+pub mod rng;
+pub mod timeseries;
+
+pub use lofar::{LofarConfig, LofarDataset};
+pub use retail::{RetailConfig, RetailDataset};
+pub use timeseries::{TimeSeriesConfig, TimeSeriesDataset};

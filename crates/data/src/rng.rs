@@ -1,0 +1,65 @@
+//! Distribution sampling helpers on top of `rand`'s uniform source.
+//!
+//! The offline `rand` crate ships without `rand_distr`; the little we
+//! need (Gaussian and log-normal draws) is implemented here via the
+//! Box-Muller transform.
+
+use rand::Rng;
+
+/// One standard-normal draw (Box-Muller, using both uniforms but
+/// returning one variate for simplicity — generator throughput is not a
+/// bottleneck anywhere in the workloads).
+pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    loop {
+        let u1: f64 = rng.gen::<f64>();
+        let u2: f64 = rng.gen::<f64>();
+        if u1 > f64::MIN_POSITIVE {
+            return (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        }
+    }
+}
+
+/// Normal draw with the given mean and standard deviation.
+pub fn normal<R: Rng + ?Sized>(rng: &mut R, mean: f64, sd: f64) -> f64 {
+    mean + sd * standard_normal(rng)
+}
+
+/// Log-normal draw: `exp(N(mu, sigma))`.
+pub fn log_normal<R: Rng + ?Sized>(rng: &mut R, mu: f64, sigma: f64) -> f64 {
+    normal(rng, mu, sigma).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn standard_normal_moments() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = 100_000;
+        let draws: Vec<f64> = (0..n).map(|_| standard_normal(&mut rng)).collect();
+        let mean = draws.iter().sum::<f64>() / n as f64;
+        let var = draws.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.03, "var {var}");
+    }
+
+    #[test]
+    fn normal_scales_and_shifts() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let n = 50_000;
+        let draws: Vec<f64> = (0..n).map(|_| normal(&mut rng, 10.0, 2.0)).collect();
+        let mean = draws.iter().sum::<f64>() / n as f64;
+        assert!((mean - 10.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn log_normal_is_positive() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..10_000 {
+            assert!(log_normal(&mut rng, 0.0, 1.0) > 0.0);
+        }
+    }
+}

@@ -1,0 +1,136 @@
+//! Sensor time-series workload with enumerable integer timestamps.
+//!
+//! Section 4.2 names "continuous integer timestamps, as they appear for
+//! example in tables containing time series" as the canonical enumerable
+//! column. Each sensor follows a linear law `value = base + drift·t`
+//! (plus noise), so this workload exercises:
+//!
+//! * the analytic-aggregate path (E7) — per-sensor linear models over a
+//!   stepped timestamp domain;
+//! * the MauveDB grid-view baseline (E11) — a 1-D grid over time.
+
+use crate::rng;
+use lawsdb_storage::{Table, TableBuilder};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Generator configuration.
+#[derive(Debug, Clone)]
+pub struct TimeSeriesConfig {
+    /// Number of sensors.
+    pub sensors: usize,
+    /// Ticks per sensor.
+    pub ticks: usize,
+    /// Timestamp step (the stepped-range detector must recover this).
+    pub step: i64,
+    /// Base-level spread across sensors.
+    pub base_sd: f64,
+    /// Drift spread across sensors.
+    pub drift_sd: f64,
+    /// Additive noise SD.
+    pub noise_sd: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for TimeSeriesConfig {
+    fn default() -> Self {
+        TimeSeriesConfig {
+            sensors: 50,
+            ticks: 500,
+            step: 10,
+            base_sd: 5.0,
+            drift_sd: 0.02,
+            noise_sd: 0.1,
+            seed: 0x7135,
+        }
+    }
+}
+
+/// Ground truth for one sensor.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SensorTruth {
+    /// Sensor id.
+    pub sensor: i64,
+    /// True intercept.
+    pub base: f64,
+    /// True drift per tick unit.
+    pub drift: f64,
+}
+
+/// A generated time-series data set.
+#[derive(Debug, Clone)]
+pub struct TimeSeriesDataset {
+    /// The `readings(sensor, ts, value)` table.
+    pub table: Table,
+    /// Per-sensor truth.
+    pub truth: Vec<SensorTruth>,
+}
+
+impl TimeSeriesDataset {
+    /// Generate a data set.
+    pub fn generate(config: &TimeSeriesConfig) -> TimeSeriesDataset {
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let mut sensor_col = Vec::with_capacity(config.sensors * config.ticks);
+        let mut ts_col = Vec::with_capacity(config.sensors * config.ticks);
+        let mut value_col = Vec::with_capacity(config.sensors * config.ticks);
+        let mut truth = Vec::with_capacity(config.sensors);
+        for s in 0..config.sensors as i64 {
+            let base = 20.0 + rng::normal(&mut rng, 0.0, config.base_sd);
+            let drift = rng::normal(&mut rng, 0.01, config.drift_sd);
+            truth.push(SensorTruth { sensor: s, base, drift });
+            for t in 0..config.ticks as i64 {
+                let ts = t * config.step;
+                sensor_col.push(s);
+                ts_col.push(ts);
+                value_col.push(
+                    base + drift * ts as f64 + rng::normal(&mut rng, 0.0, config.noise_sd),
+                );
+            }
+        }
+        let mut b = TableBuilder::new("readings");
+        b.add_i64("sensor", sensor_col);
+        b.add_i64("ts", ts_col);
+        b.add_f64("value", value_col);
+        TimeSeriesDataset { table: b.build().expect("consistent columns"), truth }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lawsdb_storage::stats::{ColumnStats, Enumerability};
+
+    #[test]
+    fn timestamps_form_a_stepped_range() {
+        let d = TimeSeriesDataset::generate(&TimeSeriesConfig::default());
+        let stats = ColumnStats::analyze(d.table.column("ts").unwrap(), 1024);
+        assert_eq!(
+            stats.enumerability,
+            Enumerability::SteppedRange { lo: 0, hi: 4990, step: 10 }
+        );
+    }
+
+    #[test]
+    fn values_follow_linear_law_without_noise() {
+        let cfg = TimeSeriesConfig { noise_sd: 0.0, sensors: 5, ticks: 20, ..Default::default() };
+        let d = TimeSeriesDataset::generate(&cfg);
+        let sensors = d.table.column("sensor").unwrap().i64_data().unwrap();
+        let ts = d.table.column("ts").unwrap().i64_data().unwrap();
+        let values = d.table.column("value").unwrap().f64_data().unwrap();
+        for row in 0..d.table.row_count() {
+            let t = &d.truth[sensors[row] as usize];
+            let expect = t.base + t.drift * ts[row] as f64;
+            assert!((values[row] - expect).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn row_count_and_determinism() {
+        let cfg = TimeSeriesConfig { sensors: 3, ticks: 7, ..Default::default() };
+        let a = TimeSeriesDataset::generate(&cfg);
+        assert_eq!(a.table.row_count(), 21);
+        let b = TimeSeriesDataset::generate(&cfg);
+        assert_eq!(a.table, b.table);
+    }
+}

@@ -1,0 +1,113 @@
+//! Errors for parsing, evaluating and differentiating model formulas.
+
+use std::fmt;
+
+/// Result alias for this crate.
+pub type Result<T> = std::result::Result<T, ExprError>;
+
+/// Errors produced by the formula language.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExprError {
+    /// The lexer met a character it does not understand.
+    UnexpectedChar {
+        /// The offending character.
+        ch: char,
+        /// Byte offset in the source string.
+        pos: usize,
+    },
+    /// A numeric literal failed to parse.
+    BadNumber {
+        /// The literal text.
+        text: String,
+        /// Byte offset in the source string.
+        pos: usize,
+    },
+    /// The parser met an unexpected token.
+    UnexpectedToken {
+        /// Description of what was found.
+        found: String,
+        /// Description of what was expected.
+        expected: &'static str,
+        /// Byte offset in the source string.
+        pos: usize,
+    },
+    /// Input ended mid-expression.
+    UnexpectedEnd {
+        /// Description of what was expected.
+        expected: &'static str,
+    },
+    /// A function was called with the wrong number of arguments.
+    WrongArity {
+        /// Function name.
+        func: &'static str,
+        /// Arity the function requires.
+        expected: usize,
+        /// Arity supplied.
+        got: usize,
+    },
+    /// An unknown function name was called.
+    UnknownFunction {
+        /// The name as written.
+        name: String,
+    },
+    /// Evaluation met a symbol with no binding.
+    UnboundSymbol {
+        /// The symbol name.
+        name: String,
+    },
+    /// A formula (`response ~ body`) was expected but no `~` was found,
+    /// or the response side is not a bare identifier.
+    MalformedFormula {
+        /// Explanation.
+        reason: &'static str,
+    },
+    /// The expression cannot be differentiated (e.g. comparisons or
+    /// boolean connectives in the model body).
+    NotDifferentiable {
+        /// The construct that blocked differentiation.
+        construct: &'static str,
+    },
+    /// Batched evaluation received columns of unequal length.
+    LengthMismatch {
+        /// First column length seen.
+        expected: usize,
+        /// Conflicting column length.
+        got: usize,
+        /// Symbol whose column conflicted.
+        symbol: String,
+    },
+}
+
+impl fmt::Display for ExprError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExprError::UnexpectedChar { ch, pos } => {
+                write!(f, "unexpected character {ch:?} at byte {pos}")
+            }
+            ExprError::BadNumber { text, pos } => {
+                write!(f, "malformed number {text:?} at byte {pos}")
+            }
+            ExprError::UnexpectedToken { found, expected, pos } => {
+                write!(f, "expected {expected}, found {found} at byte {pos}")
+            }
+            ExprError::UnexpectedEnd { expected } => {
+                write!(f, "unexpected end of input, expected {expected}")
+            }
+            ExprError::WrongArity { func, expected, got } => {
+                write!(f, "function {func} takes {expected} argument(s), got {got}")
+            }
+            ExprError::UnknownFunction { name } => write!(f, "unknown function {name:?}"),
+            ExprError::UnboundSymbol { name } => write!(f, "symbol {name:?} has no binding"),
+            ExprError::MalformedFormula { reason } => write!(f, "malformed formula: {reason}"),
+            ExprError::NotDifferentiable { construct } => {
+                write!(f, "cannot differentiate through {construct}")
+            }
+            ExprError::LengthMismatch { expected, got, symbol } => write!(
+                f,
+                "column {symbol:?} has length {got}, expected {expected} in batched evaluation"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ExprError {}

@@ -1,0 +1,116 @@
+//! Borrowed column views for fitting.
+//!
+//! The fit crate is independent of the storage engine; callers hand it
+//! named `&[f64]` columns. `lawsdb-models` bridges `Table` → `DataSet`.
+
+use crate::error::{FitError, Result};
+
+/// A named collection of equal-length borrowed f64 columns.
+#[derive(Debug, Clone)]
+pub struct DataSet<'a> {
+    names: Vec<String>,
+    cols: Vec<&'a [f64]>,
+    rows: usize,
+}
+
+impl<'a> DataSet<'a> {
+    /// Build from `(name, column)` pairs; all columns must share one
+    /// length and names must be unique.
+    pub fn new(pairs: Vec<(&str, &'a [f64])>) -> Result<DataSet<'a>> {
+        let rows = pairs.first().map_or(0, |(_, c)| c.len());
+        let mut names = Vec::with_capacity(pairs.len());
+        let mut cols = Vec::with_capacity(pairs.len());
+        for (name, col) in pairs {
+            if names.iter().any(|n| n == name) {
+                return Err(FitError::BadData { detail: format!("duplicate column {name:?}") });
+            }
+            if col.len() != rows {
+                return Err(FitError::BadData {
+                    detail: format!(
+                        "column {name:?} has {} rows, expected {rows}",
+                        col.len()
+                    ),
+                });
+            }
+            names.push(name.to_string());
+            cols.push(col);
+        }
+        Ok(DataSet { names, cols, rows })
+    }
+
+    /// Column names as borrowed strs.
+    pub fn names(&self) -> Vec<&str> {
+        self.names.iter().map(String::as_str).collect()
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Look a column up by name.
+    pub fn column(&self, name: &str) -> Result<&'a [f64]> {
+        self.names
+            .iter()
+            .position(|n| n == name)
+            .map(|i| self.cols[i])
+            .ok_or_else(|| FitError::MissingColumn { name: name.to_string() })
+    }
+
+    /// Indices of rows where *all* the given columns are finite — the
+    /// usable observations (NULLs arrive as NaN from the storage layer).
+    pub fn finite_rows(&self, columns: &[&str]) -> Result<Vec<usize>> {
+        let cols: Vec<&[f64]> = columns
+            .iter()
+            .map(|c| self.column(c))
+            .collect::<Result<_>>()?;
+        Ok((0..self.rows)
+            .filter(|&r| cols.iter().all(|c| c[r].is_finite()))
+            .collect())
+    }
+
+    /// Gather one column at the given row indices into a fresh vector.
+    pub fn gather(&self, name: &str, rows: &[usize]) -> Result<Vec<f64>> {
+        let col = self.column(name)?;
+        Ok(rows.iter().map(|&r| col[r]).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_lookup() {
+        let a = [1.0, 2.0];
+        let b = [3.0, 4.0];
+        let d = DataSet::new(vec![("a", &a[..]), ("b", &b[..])]).unwrap();
+        assert_eq!(d.rows(), 2);
+        assert_eq!(d.column("b").unwrap(), &[3.0, 4.0]);
+        assert!(matches!(d.column("c"), Err(FitError::MissingColumn { .. })));
+    }
+
+    #[test]
+    fn ragged_and_duplicate_rejected() {
+        let a = [1.0, 2.0];
+        let b = [3.0];
+        assert!(DataSet::new(vec![("a", &a[..]), ("b", &b[..])]).is_err());
+        assert!(DataSet::new(vec![("a", &a[..]), ("a", &a[..])]).is_err());
+    }
+
+    #[test]
+    fn finite_rows_drops_nan_in_any_column() {
+        let a = [1.0, f64::NAN, 3.0, 4.0];
+        let b = [1.0, 2.0, f64::INFINITY, 4.0];
+        let d = DataSet::new(vec![("a", &a[..]), ("b", &b[..])]).unwrap();
+        assert_eq!(d.finite_rows(&["a", "b"]).unwrap(), vec![0, 3]);
+        assert_eq!(d.finite_rows(&["a"]).unwrap(), vec![0, 2, 3]);
+    }
+
+    #[test]
+    fn gather_selects_rows() {
+        let a = [10.0, 20.0, 30.0];
+        let d = DataSet::new(vec![("a", &a[..])]).unwrap();
+        assert_eq!(d.gather("a", &[2, 0]).unwrap(), vec![30.0, 10.0]);
+    }
+}

@@ -1,0 +1,99 @@
+//! Errors for the fitting layer.
+
+use std::fmt;
+
+/// Result alias for this crate.
+pub type Result<T> = std::result::Result<T, FitError>;
+
+/// Errors produced by model fitting.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FitError {
+    /// The formula references a data column the data set lacks.
+    MissingColumn {
+        /// The missing name.
+        name: String,
+    },
+    /// The formula has no free parameters to fit.
+    NoParameters {
+        /// The formula source.
+        formula: String,
+    },
+    /// Fewer usable observations than parameters ("we need more observed
+    /// input/output pairs than model parameters", Section 3).
+    TooFewObservations {
+        /// Usable (finite) observations.
+        observations: usize,
+        /// Parameter count.
+        parameters: usize,
+    },
+    /// The optimizer failed to converge within the iteration budget.
+    DidNotConverge {
+        /// Iterations performed.
+        iterations: usize,
+        /// Final residual sum of squares.
+        rss: f64,
+    },
+    /// The model produced non-finite predictions at the current
+    /// parameters and no recovery step helped.
+    NumericalBreakdown {
+        /// Explanation.
+        detail: String,
+    },
+    /// Underlying linear-algebra failure (singular normal matrix, …).
+    Linalg(lawsdb_linalg::LinalgError),
+    /// Underlying expression failure (unbound symbol, …).
+    Expr(lawsdb_expr::ExprError),
+    /// Data-set construction problem (ragged columns, duplicate names).
+    BadData {
+        /// Explanation.
+        detail: String,
+    },
+}
+
+impl fmt::Display for FitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FitError::MissingColumn { name } => {
+                write!(f, "data set has no column named {name:?}")
+            }
+            FitError::NoParameters { formula } => {
+                write!(f, "formula {formula:?} has no free parameters")
+            }
+            FitError::TooFewObservations { observations, parameters } => write!(
+                f,
+                "{observations} usable observations cannot determine {parameters} parameters"
+            ),
+            FitError::DidNotConverge { iterations, rss } => {
+                write!(f, "fit did not converge after {iterations} iterations (rss={rss:.6e})")
+            }
+            FitError::NumericalBreakdown { detail } => {
+                write!(f, "numerical breakdown during fitting: {detail}")
+            }
+            FitError::Linalg(e) => write!(f, "linear algebra error: {e}"),
+            FitError::Expr(e) => write!(f, "expression error: {e}"),
+            FitError::BadData { detail } => write!(f, "bad data set: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for FitError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FitError::Linalg(e) => Some(e),
+            FitError::Expr(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<lawsdb_linalg::LinalgError> for FitError {
+    fn from(e: lawsdb_linalg::LinalgError) -> Self {
+        FitError::Linalg(e)
+    }
+}
+
+impl From<lawsdb_expr::ExprError> for FitError {
+    fn from(e: lawsdb_expr::ExprError) -> Self {
+        FitError::Expr(e)
+    }
+}

@@ -1,0 +1,343 @@
+//! Grouped fitting: one model fit per group key.
+//!
+//! The LOFAR example fits `I = p·ν^α` *per source* — 35,692 independent
+//! two-parameter fits — and the paper's Table 1 is exactly the resulting
+//! parameter table (source, α, p, residual SE). This module groups rows
+//! by an integer key column, fits every group (in parallel across OS
+//! threads), and assembles that table.
+
+use crate::data::DataSet;
+use crate::error::{FitError, Result};
+use crate::options::FitOptions;
+use crate::{fit_auto, FitResult};
+use lawsdb_expr::Formula;
+use std::collections::HashMap;
+
+/// Outcome for one group.
+#[derive(Debug, Clone)]
+pub struct GroupFit {
+    /// Group key value.
+    pub key: i64,
+    /// Rows in this group.
+    pub rows: usize,
+    /// The fit, or why it failed (groups with too few observations are
+    /// the common case — the paper keeps them in the raw store).
+    pub outcome: std::result::Result<FitResult, FitError>,
+}
+
+/// All per-group fits plus corpus-level summaries.
+#[derive(Debug, Clone)]
+pub struct GroupedFitResult {
+    /// Parameter names in output order (sorted).
+    pub param_names: Vec<String>,
+    /// Per-group outcomes, ordered by key.
+    pub fits: Vec<GroupFit>,
+    /// Total observations fitted (successful groups only).
+    pub observations_fitted: usize,
+}
+
+impl GroupedFitResult {
+    /// Number of groups whose fit succeeded.
+    pub fn success_count(&self) -> usize {
+        self.fits.iter().filter(|g| g.outcome.is_ok()).count()
+    }
+
+    /// Number of groups whose fit failed.
+    pub fn failure_count(&self) -> usize {
+        self.fits.len() - self.success_count()
+    }
+
+    /// Pooled R² over all successful groups: `1 − ΣRSS/ΣTSS`.
+    pub fn overall_r2(&self) -> f64 {
+        let (mut rss, mut tss) = (0.0, 0.0);
+        for g in &self.fits {
+            if let Ok(r) = &g.outcome {
+                rss += r.diagnostics.rss;
+                tss += r.diagnostics.tss;
+            }
+        }
+        if tss > 0.0 {
+            1.0 - rss / tss
+        } else {
+            f64::NAN
+        }
+    }
+
+    /// The paper's Table 1: one row per successfully fitted group —
+    /// `(key, parameter values in param_names order, residual SE)`.
+    pub fn parameter_table(&self) -> Vec<(i64, Vec<f64>, f64)> {
+        self.fits
+            .iter()
+            .filter_map(|g| {
+                g.outcome.as_ref().ok().map(|r| {
+                    let values =
+                        self.param_names.iter().map(|n| r.param(n).unwrap_or(f64::NAN)).collect();
+                    (g.key, values, r.diagnostics.residual_se)
+                })
+            })
+            .collect()
+    }
+
+    /// Storage footprint of the parameter table in bytes: key + each
+    /// parameter + residual SE, 8 bytes each (how Table 1's "640 KB"
+    /// is counted).
+    pub fn parameter_table_bytes(&self) -> usize {
+        self.success_count() * 8 * (2 + self.param_names.len())
+    }
+
+    /// Groups ranked worst-fit-first by residual SE — the paper's data
+    /// anomalies: "observations that do not fit the model … will stand
+    /// out in the fitting process by showing large residual errors."
+    pub fn ranked_by_misfit(&self) -> Vec<(i64, f64)> {
+        let mut v: Vec<(i64, f64)> = self
+            .fits
+            .iter()
+            .filter_map(|g| {
+                g.outcome
+                    .as_ref()
+                    .ok()
+                    .map(|r| (g.key, r.diagnostics.residual_se))
+            })
+            .collect();
+        v.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+        v
+    }
+
+    /// Fit for a specific group key.
+    pub fn group(&self, key: i64) -> Option<&GroupFit> {
+        self.fits.iter().find(|g| g.key == key)
+    }
+}
+
+/// Fit `formula` independently within each group of `group_keys`.
+///
+/// `group_keys` must have one entry per data row. `threads` caps the
+/// worker count (1 = sequential; grouped fitting is embarrassingly
+/// parallel, so the default of available parallelism is usually right).
+pub fn fit_grouped(
+    formula: &Formula,
+    group_keys: &[i64],
+    data: &DataSet<'_>,
+    options: &FitOptions,
+    threads: usize,
+) -> Result<GroupedFitResult> {
+    if group_keys.len() != data.rows() {
+        return Err(FitError::BadData {
+            detail: format!(
+                "group key column has {} rows, data has {}",
+                group_keys.len(),
+                data.rows()
+            ),
+        });
+    }
+    let split = formula.split_symbols(&data.names());
+    if split.parameters.is_empty() {
+        return Err(FitError::NoParameters { formula: formula.source.clone() });
+    }
+
+    // Group row indices by key.
+    let mut groups: HashMap<i64, Vec<usize>> = HashMap::new();
+    for (row, &k) in group_keys.iter().enumerate() {
+        groups.entry(k).or_default().push(row);
+    }
+    let mut keys: Vec<i64> = groups.keys().copied().collect();
+    keys.sort_unstable();
+
+    // Gather the columns each fit needs (response + variables + weights)
+    // once, then slice per group.
+    let mut col_names: Vec<String> = vec![formula.response.clone()];
+    col_names.extend(split.variables.iter().cloned());
+    if let Some(w) = &options.weights_column {
+        col_names.push(w.clone());
+    }
+    let full_cols: Vec<&[f64]> = col_names
+        .iter()
+        .map(|c| data.column(c))
+        .collect::<Result<_>>()?;
+
+    let threads = threads.max(1).min(keys.len().max(1));
+    let fit_one = |key: i64| -> GroupFit {
+        let rows = &groups[&key];
+        let gathered: Vec<Vec<f64>> = full_cols
+            .iter()
+            .map(|c| rows.iter().map(|&r| c[r]).collect())
+            .collect();
+        let pairs: Vec<(&str, &[f64])> = col_names
+            .iter()
+            .map(String::as_str)
+            .zip(gathered.iter().map(Vec::as_slice))
+            .collect();
+        let outcome = DataSet::new(pairs).and_then(|ds| fit_auto(formula, &ds, options));
+        GroupFit { key, rows: rows.len(), outcome }
+    };
+
+    let fits: Vec<GroupFit> = if threads == 1 {
+        keys.iter().map(|&k| fit_one(k)).collect()
+    } else {
+        // Static chunking over sorted keys; groups are similar in size
+        // in the workloads we target, so work stays balanced.
+        let chunk = keys.len().div_ceil(threads);
+        let mut out: Vec<Vec<GroupFit>> = Vec::new();
+        std::thread::scope(|s| {
+            let handles: Vec<_> = keys
+                .chunks(chunk)
+                .map(|ks| s.spawn(|| ks.iter().map(|&k| fit_one(k)).collect::<Vec<_>>()))
+                .collect();
+            for h in handles {
+                out.push(h.join().expect("fit worker panicked"));
+            }
+        });
+        out.into_iter().flatten().collect()
+    };
+
+    let observations_fitted = fits
+        .iter()
+        .filter(|g| g.outcome.is_ok())
+        .map(|g| g.rows)
+        .sum();
+    Ok(GroupedFitResult { param_names: split.parameters, fits, observations_fitted })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lawsdb_expr::parse_formula;
+
+    /// Three sources with distinct power laws + one tiny group.
+    fn dataset() -> (Vec<i64>, Vec<f64>, Vec<f64>) {
+        let laws = [(2.0, -0.7), (0.5, -1.2), (1.0, 0.3)];
+        let freqs: [f64; 4] = [0.12, 0.15, 0.16, 0.18];
+        let mut keys = Vec::new();
+        let mut nu = Vec::new();
+        let mut y = Vec::new();
+        for (src, &(p, a)) in laws.iter().enumerate() {
+            for i in 0..40 {
+                let f = freqs[i % 4];
+                keys.push(src as i64);
+                nu.push(f);
+                y.push(p * f.powf(a));
+            }
+        }
+        // Group 99 has one observation — cannot fit two parameters.
+        keys.push(99);
+        nu.push(0.15);
+        y.push(1.0);
+        (keys, nu, y)
+    }
+
+    #[test]
+    fn fits_each_group_independently() {
+        let (keys, nu, y) = dataset();
+        let f = parse_formula("y ~ p * nu ^ alpha").unwrap();
+        let data = DataSet::new(vec![("nu", &nu[..]), ("y", &y[..])]).unwrap();
+        let r = fit_grouped(&f, &keys, &data, &FitOptions::default(), 1).unwrap();
+        assert_eq!(r.fits.len(), 4);
+        assert_eq!(r.success_count(), 3);
+        assert_eq!(r.failure_count(), 1);
+        let g0 = r.group(0).unwrap().outcome.as_ref().unwrap();
+        assert!((g0.param("alpha").unwrap() + 0.7).abs() < 1e-6);
+        let g1 = r.group(1).unwrap().outcome.as_ref().unwrap();
+        assert!((g1.param("alpha").unwrap() + 1.2).abs() < 1e-6);
+        let g2 = r.group(2).unwrap().outcome.as_ref().unwrap();
+        assert!((g2.param("alpha").unwrap() - 0.3).abs() < 1e-6);
+        assert!(matches!(
+            r.group(99).unwrap().outcome,
+            Err(FitError::TooFewObservations { .. })
+        ));
+        assert!(r.overall_r2() > 0.999999);
+        assert_eq!(r.observations_fitted, 120);
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let (keys, nu, y) = dataset();
+        let f = parse_formula("y ~ p * nu ^ alpha").unwrap();
+        let data = DataSet::new(vec![("nu", &nu[..]), ("y", &y[..])]).unwrap();
+        let seq = fit_grouped(&f, &keys, &data, &FitOptions::default(), 1).unwrap();
+        let par = fit_grouped(&f, &keys, &data, &FitOptions::default(), 4).unwrap();
+        assert_eq!(seq.fits.len(), par.fits.len());
+        for (a, b) in seq.fits.iter().zip(&par.fits) {
+            assert_eq!(a.key, b.key);
+            match (&a.outcome, &b.outcome) {
+                (Ok(x), Ok(y)) => {
+                    for ((_, xv), (_, yv)) in x.params.iter().zip(&y.params) {
+                        assert!((xv - yv).abs() < 1e-12);
+                    }
+                }
+                (Err(_), Err(_)) => {}
+                other => panic!("outcome mismatch: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn parameter_table_shape_matches_paper() {
+        let (keys, nu, y) = dataset();
+        let f = parse_formula("y ~ p * nu ^ alpha").unwrap();
+        let data = DataSet::new(vec![("nu", &nu[..]), ("y", &y[..])]).unwrap();
+        let r = fit_grouped(&f, &keys, &data, &FitOptions::default(), 1).unwrap();
+        let table = r.parameter_table();
+        // (source, [alpha, p], residual SE) per fitted source.
+        assert_eq!(table.len(), 3);
+        assert_eq!(r.param_names, vec!["alpha", "p"]);
+        assert_eq!(table[0].1.len(), 2);
+        // 3 groups × (key + 2 params + rse) × 8 bytes.
+        assert_eq!(r.parameter_table_bytes(), 3 * 4 * 8);
+    }
+
+    #[test]
+    fn misfit_ranking_surfaces_anomalous_group() {
+        // Two clean power-law groups, one group that is pure noise.
+        let freqs: [f64; 4] = [0.12, 0.15, 0.16, 0.18];
+        let mut keys = Vec::new();
+        let mut nu = Vec::new();
+        let mut y = Vec::new();
+        for src in 0..2i64 {
+            for i in 0..40 {
+                keys.push(src);
+                nu.push(freqs[i % 4]);
+                y.push(2.0 * freqs[i % 4].powf(-0.7));
+            }
+        }
+        for i in 0..40 {
+            keys.push(7);
+            nu.push(freqs[i % 4]);
+            // Signal unrelated to frequency.
+            y.push(((i * 2654435761usize % 1000) as f64 / 100.0) - 5.0);
+        }
+        let f = parse_formula("y ~ p * nu ^ alpha").unwrap();
+        let data = DataSet::new(vec![("nu", &nu[..]), ("y", &y[..])]).unwrap();
+        let r = fit_grouped(&f, &keys, &data, &FitOptions::default(), 2).unwrap();
+        let ranked = r.ranked_by_misfit();
+        assert_eq!(ranked[0].0, 7, "noise group must rank first: {ranked:?}");
+        assert!(ranked[0].1 > 10.0 * ranked[1].1.max(1e-12));
+    }
+
+    #[test]
+    fn key_length_mismatch_rejected() {
+        let f = parse_formula("y ~ a + b * x").unwrap();
+        let xs = [1.0, 2.0];
+        let ys = [1.0, 2.0];
+        let data = DataSet::new(vec![("x", &xs[..]), ("y", &ys[..])]).unwrap();
+        assert!(matches!(
+            fit_grouped(&f, &[1], &data, &FitOptions::default(), 1),
+            Err(FitError::BadData { .. })
+        ));
+    }
+
+    #[test]
+    fn grouped_linear_model_uses_analytic_path() {
+        let keys = vec![0, 0, 0, 1, 1, 1];
+        let xs = [1.0, 2.0, 3.0, 1.0, 2.0, 3.0];
+        let ys = [2.0, 4.0, 6.0, 5.0, 8.0, 11.0];
+        let f = parse_formula("y ~ a + b * x").unwrap();
+        let data = DataSet::new(vec![("x", &xs[..]), ("y", &ys[..])]).unwrap();
+        let r = fit_grouped(&f, &keys, &data, &FitOptions::default(), 1).unwrap();
+        let g0 = r.group(0).unwrap().outcome.as_ref().unwrap();
+        assert!(g0.used_linear_path);
+        assert!((g0.param("b").unwrap() - 2.0).abs() < 1e-10);
+        let g1 = r.group(1).unwrap().outcome.as_ref().unwrap();
+        assert!((g1.param("b").unwrap() - 3.0).abs() < 1e-10);
+        assert!((g1.param("a").unwrap() - 2.0).abs() < 1e-10);
+    }
+}

@@ -1,0 +1,344 @@
+//! The analytic path: linearity detection and (weighted/ridge) ordinary
+//! least squares.
+
+use crate::data::DataSet;
+use crate::diagnostics::FitDiagnostics;
+use crate::error::{FitError, Result};
+use crate::options::{FitOptions, LinearSolver};
+use crate::FitResult;
+use lawsdb_expr::deriv::differentiate;
+use lawsdb_expr::parser::SymbolSplit;
+use lawsdb_expr::simplify::simplify;
+use lawsdb_expr::{CompiledExpr, Expr, Formula};
+use lawsdb_linalg::{Cholesky, Matrix, Qr};
+
+/// A model rewritten as `y = offset(x) + Σ βⱼ·basisⱼ(x)`.
+///
+/// Detection is symbolic: a formula is linear in its parameters exactly
+/// when every ∂f/∂βⱼ is free of parameters; then that derivative *is*
+/// the j-th design column and `f` at β = 0 is the offset.
+#[derive(Debug, Clone)]
+pub struct LinearForm {
+    /// Response column name.
+    pub response: String,
+    /// Parameter names, sorted.
+    pub params: Vec<String>,
+    /// Data variables used.
+    pub variables: Vec<String>,
+    /// Design-column expressions, one per parameter.
+    pub basis: Vec<Expr>,
+    /// Parameter-free offset term.
+    pub offset: Expr,
+    /// The original formula source (for the model catalog).
+    pub source: String,
+}
+
+/// Detect linearity of `formula` in its parameters. Returns `None` for
+/// genuinely non-linear models (e.g. the power law `p * nu ^ alpha`).
+pub fn detect_linear(formula: &Formula, split: &SymbolSplit) -> Option<LinearForm> {
+    let mut basis = Vec::with_capacity(split.parameters.len());
+    for p in &split.parameters {
+        let d = differentiate(&formula.rhs, p).ok()?;
+        // Linear ⟺ the derivative mentions no parameter at all.
+        if split.parameters.iter().any(|q| d.contains_symbol(q)) {
+            return None;
+        }
+        basis.push(d);
+    }
+    // Offset = f with every parameter set to zero.
+    let mut offset = formula.rhs.clone();
+    for p in &split.parameters {
+        offset = offset.substitute(p, &Expr::Num(0.0));
+    }
+    let offset = simplify(&offset);
+    Some(LinearForm {
+        response: formula.response.clone(),
+        params: split.parameters.clone(),
+        variables: split.variables.clone(),
+        basis,
+        offset,
+        source: formula.source.clone(),
+    })
+}
+
+/// Fit a linear form by (weighted, optionally ridge-penalized) least
+/// squares.
+pub fn fit_linear(form: &LinearForm, data: &DataSet<'_>, options: &FitOptions) -> Result<FitResult> {
+    let p = form.params.len();
+    // Usable rows: response, every variable, and the weight column (if
+    // any) must be finite.
+    let mut needed: Vec<&str> = vec![form.response.as_str()];
+    needed.extend(form.variables.iter().map(String::as_str));
+    if let Some(w) = &options.weights_column {
+        needed.push(w);
+    }
+    let rows = data.finite_rows(&needed)?;
+    let n = rows.len();
+    if n < p {
+        return Err(FitError::TooFewObservations { observations: n, parameters: p });
+    }
+
+    let y = data.gather(&form.response, &rows)?;
+    let var_names: Vec<&str> = form.variables.iter().map(String::as_str).collect();
+    let var_cols: Vec<Vec<f64>> = form
+        .variables
+        .iter()
+        .map(|v| data.gather(v, &rows))
+        .collect::<Result<_>>()?;
+    let var_slices: Vec<&[f64]> = var_cols.iter().map(Vec::as_slice).collect();
+
+    // Evaluate an expression over the gathered variable columns,
+    // passing only the columns the compiled program references and
+    // broadcasting constant results to n rows.
+    let eval_over = |e: &Expr| -> Result<Vec<f64>> {
+        let ce = CompiledExpr::compile(e, &var_names)?;
+        let cols: Vec<&[f64]> = ce
+            .columns()
+            .iter()
+            .map(|c| {
+                let idx = form
+                    .variables
+                    .iter()
+                    .position(|v| v == c)
+                    .expect("compiled columns come from form.variables");
+                var_slices[idx]
+            })
+            .collect();
+        let v = ce.eval_batch(&cols, &[])?;
+        Ok(if v.len() == 1 && n != 1 { vec![v[0]; n] } else { v })
+    };
+
+    // Evaluate basis columns and offset, vectorized.
+    let mut design_cols: Vec<Vec<f64>> = Vec::with_capacity(p);
+    for b in &form.basis {
+        design_cols.push(eval_over(b)?);
+    }
+    let offset = eval_over(&form.offset)?;
+
+    // Adjusted response: y − offset.
+    let mut y_adj: Vec<f64> = y.iter().zip(&offset).map(|(a, b)| a - b).collect();
+
+    // Optional WLS: scale rows by √w.
+    if let Some(wname) = &options.weights_column {
+        let w = data.gather(wname, &rows)?;
+        if w.iter().any(|&x| x <= 0.0) {
+            return Err(FitError::BadData {
+                detail: format!("weights column {wname:?} has non-positive entries"),
+            });
+        }
+        for (i, &wi) in w.iter().enumerate() {
+            let s = wi.sqrt();
+            y_adj[i] *= s;
+            for c in design_cols.iter_mut() {
+                c[i] *= s;
+            }
+        }
+    }
+
+    let col_slices: Vec<&[f64]> = design_cols.iter().map(Vec::as_slice).collect();
+    let x = Matrix::from_columns(&col_slices)?;
+    if !x.all_finite() || y_adj.iter().any(|v| !v.is_finite()) {
+        return Err(FitError::NumericalBreakdown {
+            detail: "design matrix or response contains non-finite values".to_string(),
+        });
+    }
+
+    // Ridge forces the normal-equation path (penalty lives on XᵀX).
+    let use_normal =
+        options.ridge_lambda > 0.0 || options.linear_solver == LinearSolver::NormalEquations;
+    let (beta, xtx_inv) = if use_normal {
+        let mut gram = x.gram();
+        gram.add_diagonal(options.ridge_lambda);
+        let rhs = x.tr_matvec(&y_adj)?;
+        let ch = Cholesky::new(&gram)?;
+        (ch.solve(&rhs)?, ch.inverse().ok())
+    } else {
+        let qr = Qr::new(&x)?;
+        let beta = qr.solve_least_squares(&y_adj)?;
+        let inv = qr.xtx_inverse().ok();
+        (beta, inv)
+    };
+
+    // Residuals against the *unweighted* original response for R².
+    let fitted_adj = x.matvec(&beta)?;
+    let rss: f64 = y_adj
+        .iter()
+        .zip(&fitted_adj)
+        .map(|(a, b)| (a - b) * (a - b))
+        .sum();
+    let tss = lawsdb_linalg::ops::total_sum_of_squares(&y);
+
+    let diagnostics =
+        FitDiagnostics::compute(n, &form.params, &beta, rss, tss, xtx_inv.as_ref());
+    Ok(FitResult {
+        params: form.params.iter().cloned().zip(beta).collect(),
+        diagnostics,
+        iterations: 0,
+        converged: true,
+        used_linear_path: true,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lawsdb_expr::parse_formula;
+
+    fn split(f: &Formula, cols: &[&str]) -> SymbolSplit {
+        f.split_symbols(cols)
+    }
+
+    #[test]
+    fn detects_simple_line_as_linear() {
+        let f = parse_formula("y ~ a + b * x").unwrap();
+        let s = split(&f, &["x", "y"]);
+        let form = detect_linear(&f, &s).unwrap();
+        assert_eq!(form.params, vec!["a", "b"]);
+        // Basis for a is 1, for b is x.
+        assert_eq!(form.basis[0], Expr::Num(1.0));
+        assert_eq!(form.basis[1], Expr::Sym("x".to_string()));
+        assert_eq!(form.offset, Expr::Num(0.0));
+    }
+
+    #[test]
+    fn detects_polynomial_and_transformed_bases() {
+        let f = parse_formula("y ~ b0 + b1 * x + b2 * x ^ 2 + b3 * ln(x)").unwrap();
+        let s = split(&f, &["x", "y"]);
+        let form = detect_linear(&f, &s).unwrap();
+        assert_eq!(form.params.len(), 4);
+    }
+
+    #[test]
+    fn power_law_is_not_linear() {
+        let f = parse_formula("y ~ p * x ^ alpha").unwrap();
+        let s = split(&f, &["x", "y"]);
+        assert!(detect_linear(&f, &s).is_none());
+    }
+
+    #[test]
+    fn product_of_parameters_is_not_linear() {
+        let f = parse_formula("y ~ a * b * x").unwrap();
+        let s = split(&f, &["x", "y"]);
+        assert!(detect_linear(&f, &s).is_none());
+    }
+
+    #[test]
+    fn offset_term_is_separated() {
+        // y = sin(x) + a*x: the sin(x) has no parameter → offset.
+        let f = parse_formula("y ~ sin(x) + a * x").unwrap();
+        let s = split(&f, &["x", "y"]);
+        let form = detect_linear(&f, &s).unwrap();
+        assert_eq!(form.offset.to_string(), "sin(x)");
+        // Fit: y = sin(x) + 2x exactly.
+        let xs: Vec<f64> = (1..40).map(|i| i as f64 * 0.1).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| x.sin() + 2.0 * x).collect();
+        let data = DataSet::new(vec![("x", &xs[..]), ("y", &ys[..])]).unwrap();
+        let r = fit_linear(&form, &data, &FitOptions::default()).unwrap();
+        assert!((r.param("a").unwrap() - 2.0).abs() < 1e-10);
+        assert!(r.diagnostics.r2 > 0.999999);
+    }
+
+    #[test]
+    fn recovers_noisy_line_with_good_diagnostics() {
+        let f = parse_formula("y ~ a + b * x").unwrap();
+        let s = split(&f, &["x", "y"]);
+        let form = detect_linear(&f, &s).unwrap();
+        let xs: Vec<f64> = (0..200).map(|i| i as f64 * 0.05).collect();
+        // Deterministic noise in [-0.05, 0.05].
+        let ys: Vec<f64> = xs
+            .iter()
+            .enumerate()
+            .map(|(i, x)| 1.0 - 0.5 * x + ((i * 37 % 100) as f64 / 1000.0 - 0.05))
+            .collect();
+        let data = DataSet::new(vec![("x", &xs[..]), ("y", &ys[..])]).unwrap();
+        let r = fit_linear(&form, &data, &FitOptions::default()).unwrap();
+        assert!((r.param("a").unwrap() - 1.0).abs() < 0.02);
+        assert!((r.param("b").unwrap() + 0.5).abs() < 0.01);
+        assert!(r.diagnostics.r2 > 0.99);
+        assert!(r.diagnostics.param_stats[1].p_value < 1e-10);
+    }
+
+    #[test]
+    fn nan_rows_are_dropped() {
+        let f = parse_formula("y ~ a + b * x").unwrap();
+        let s = split(&f, &["x", "y"]);
+        let form = detect_linear(&f, &s).unwrap();
+        let xs = [0.0, 1.0, f64::NAN, 2.0, 3.0];
+        let ys = [1.0, 3.0, 100.0, f64::NAN, 7.0];
+        let data = DataSet::new(vec![("x", &xs[..]), ("y", &ys[..])]).unwrap();
+        let r = fit_linear(&form, &data, &FitOptions::default()).unwrap();
+        assert_eq!(r.diagnostics.n, 3);
+        assert!((r.param("b").unwrap() - 2.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn qr_and_normal_equations_agree() {
+        let f = parse_formula("y ~ a + b * x").unwrap();
+        let s = split(&f, &["x", "y"]);
+        let form = detect_linear(&f, &s).unwrap();
+        let xs: Vec<f64> = (0..30).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 5.0 + 0.25 * x + (x * 0.7).sin()).collect();
+        let data = DataSet::new(vec![("x", &xs[..]), ("y", &ys[..])]).unwrap();
+        let rq = fit_linear(&form, &data, &FitOptions::default()).unwrap();
+        let opts = FitOptions { linear_solver: LinearSolver::NormalEquations, ..Default::default() };
+        let rn = fit_linear(&form, &data, &opts).unwrap();
+        assert!((rq.param("a").unwrap() - rn.param("a").unwrap()).abs() < 1e-8);
+        assert!((rq.param("b").unwrap() - rn.param("b").unwrap()).abs() < 1e-8);
+    }
+
+    #[test]
+    fn ridge_shrinks_coefficients() {
+        let f = parse_formula("y ~ a + b * x").unwrap();
+        let s = split(&f, &["x", "y"]);
+        let form = detect_linear(&f, &s).unwrap();
+        let xs: Vec<f64> = (0..20).map(|i| i as f64 * 0.1).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 10.0 * x).collect();
+        let data = DataSet::new(vec![("x", &xs[..]), ("y", &ys[..])]).unwrap();
+        let plain = fit_linear(&form, &data, &FitOptions::default()).unwrap();
+        let opts = FitOptions { ridge_lambda: 100.0, ..Default::default() };
+        let ridged = fit_linear(&form, &data, &opts).unwrap();
+        assert!(ridged.param("b").unwrap().abs() < plain.param("b").unwrap().abs());
+    }
+
+    #[test]
+    fn weighted_fit_prioritizes_heavy_rows() {
+        let f = parse_formula("y ~ c").unwrap();
+        // Model: y = c (constant). Two clusters; weights pick cluster 2.
+        let ys = [1.0, 1.0, 5.0, 5.0];
+        let w = [0.001, 0.001, 1000.0, 1000.0];
+        let dummy = [0.0, 0.0, 0.0, 0.0];
+        let data =
+            DataSet::new(vec![("y", &ys[..]), ("w", &w[..]), ("x", &dummy[..])]).unwrap();
+        let s = f.split_symbols(&["y", "w", "x"]);
+        let form = detect_linear(&f, &s).unwrap();
+        let opts = FitOptions { weights_column: Some("w".to_string()), ..Default::default() };
+        let r = fit_linear(&form, &data, &opts).unwrap();
+        assert!((r.param("c").unwrap() - 5.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn non_positive_weights_rejected() {
+        let f = parse_formula("y ~ c").unwrap();
+        let ys = [1.0, 2.0];
+        let w = [1.0, 0.0];
+        let data = DataSet::new(vec![("y", &ys[..]), ("w", &w[..])]).unwrap();
+        let s = f.split_symbols(&["y", "w"]);
+        let form = detect_linear(&f, &s).unwrap();
+        let opts = FitOptions { weights_column: Some("w".to_string()), ..Default::default() };
+        assert!(matches!(fit_linear(&form, &data, &opts), Err(FitError::BadData { .. })));
+    }
+
+    #[test]
+    fn too_few_observations_rejected() {
+        let f = parse_formula("y ~ a + b * x").unwrap();
+        let s = split(&f, &["x", "y"]);
+        let form = detect_linear(&f, &s).unwrap();
+        let xs = [1.0];
+        let ys = [1.0];
+        let data = DataSet::new(vec![("x", &xs[..]), ("y", &ys[..])]).unwrap();
+        assert!(matches!(
+            fit_linear(&form, &data, &FitOptions::default()),
+            Err(FitError::TooFewObservations { .. })
+        ));
+    }
+}

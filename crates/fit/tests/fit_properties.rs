@@ -1,0 +1,114 @@
+//! Property tests for the fitting stack: planted parameters must be
+//! recovered across random model families, and the diagnostics must
+//! satisfy their defining identities.
+
+use lawsdb_expr::parse_formula;
+use lawsdb_fit::{fit_auto, fit_nonlinear, DataSet, FitOptions};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    /// OLS recovers planted coefficients of a random cubic exactly on
+    /// noise-free data, with R² = 1.
+    #[test]
+    fn linear_path_recovers_random_cubic(
+        c0 in -5.0f64..5.0,
+        c1 in -5.0f64..5.0,
+        c2 in -5.0f64..5.0,
+        c3 in -5.0f64..5.0,
+    ) {
+        let xs: Vec<f64> = (0..60).map(|i| -1.0 + i as f64 / 30.0).collect();
+        let ys: Vec<f64> =
+            xs.iter().map(|&x| c0 + c1 * x + c2 * x * x + c3 * x * x * x).collect();
+        let f = parse_formula("y ~ b0 + b1 * x + b2 * x ^ 2 + b3 * x ^ 3").unwrap();
+        let data = DataSet::new(vec![("x", &xs[..]), ("y", &ys[..])]).unwrap();
+        let r = fit_auto(&f, &data, &FitOptions::default()).unwrap();
+        prop_assert!(r.used_linear_path);
+        for (name, want) in [("b0", c0), ("b1", c1), ("b2", c2), ("b3", c3)] {
+            let got = r.param(name).unwrap();
+            prop_assert!((got - want).abs() < 1e-6 * (1.0 + want.abs()),
+                "{name}: {got} vs {want}");
+        }
+        prop_assert!(r.diagnostics.r2 > 1.0 - 1e-9 || r.diagnostics.tss < 1e-9);
+    }
+
+    /// Levenberg-Marquardt recovers planted exponential-decay parameters
+    /// from a start in the basin.
+    #[test]
+    fn nlls_recovers_random_exponential(
+        a in 0.5f64..5.0,
+        k in -1.5f64..-0.1,
+    ) {
+        let xs: Vec<f64> = (0..50).map(|i| i as f64 * 0.1).collect();
+        let ys: Vec<f64> = xs.iter().map(|&x| a * (k * x).exp()).collect();
+        let f = parse_formula("y ~ a * exp(k * x)").unwrap();
+        let data = DataSet::new(vec![("x", &xs[..]), ("y", &ys[..])]).unwrap();
+        let opts = FitOptions::default().with_initial("k", -0.5).with_initial("a", 1.0);
+        let r = fit_nonlinear(&f, &data, &opts).unwrap();
+        prop_assert!((r.param("a").unwrap() - a).abs() < 1e-5 * (1.0 + a));
+        prop_assert!((r.param("k").unwrap() - k).abs() < 1e-5);
+    }
+
+    /// R² is scale- and shift-equivariant where it should be: rescaling
+    /// the response leaves R² unchanged.
+    #[test]
+    fn r2_is_invariant_under_response_scaling(
+        scale in 0.1f64..50.0,
+        noise_seed in 0u64..1000,
+    ) {
+        let xs: Vec<f64> = (0..40).map(|i| i as f64 * 0.25).collect();
+        let ys: Vec<f64> = xs
+            .iter()
+            .enumerate()
+            .map(|(i, &x)| {
+                let pseudo =
+                    ((i as u64 ^ noise_seed).wrapping_mul(0x9E3779B9) % 1000) as f64 / 1000.0;
+                2.0 + 0.5 * x + (pseudo - 0.5)
+            })
+            .collect();
+        let scaled: Vec<f64> = ys.iter().map(|v| v * scale).collect();
+        let f = parse_formula("y ~ b0 + b1 * x").unwrap();
+        let d1 = DataSet::new(vec![("x", &xs[..]), ("y", &ys[..])]).unwrap();
+        let d2 = DataSet::new(vec![("x", &xs[..]), ("y", &scaled[..])]).unwrap();
+        let r1 = fit_auto(&f, &d1, &FitOptions::default()).unwrap();
+        let r2 = fit_auto(&f, &d2, &FitOptions::default()).unwrap();
+        prop_assert!((r1.diagnostics.r2 - r2.diagnostics.r2).abs() < 1e-9);
+        // Slope scales with the response.
+        prop_assert!(
+            (r2.param("b1").unwrap() - scale * r1.param("b1").unwrap()).abs()
+                < 1e-6 * scale
+        );
+    }
+
+    /// The fundamental ANOVA identity on the linear path:
+    /// TSS = RSS + ESS (explained sum of squares), via R².
+    #[test]
+    fn anova_identity_holds(seed in 0u64..500) {
+        let xs: Vec<f64> = (0..30).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs
+            .iter()
+            .enumerate()
+            .map(|(i, &x)| {
+                let pseudo =
+                    ((i as u64 ^ seed).wrapping_mul(0x2545F4914F6CDD1D) % 997) as f64 / 997.0;
+                1.0 + 0.3 * x + 3.0 * (pseudo - 0.5)
+            })
+            .collect();
+        let f = parse_formula("y ~ b0 + b1 * x").unwrap();
+        let data = DataSet::new(vec![("x", &xs[..]), ("y", &ys[..])]).unwrap();
+        let r = fit_auto(&f, &data, &FitOptions::default()).unwrap();
+        let d = &r.diagnostics;
+        // With an intercept, RSS ≤ TSS and R² = 1 − RSS/TSS ∈ [0, 1].
+        prop_assert!(d.rss <= d.tss + 1e-9, "rss {} tss {}", d.rss, d.tss);
+        prop_assert!((0.0..=1.0 + 1e-12).contains(&d.r2), "r2 {}", d.r2);
+        // F statistic consistent with R²: F = (R²/(1−R²))·(n−2).
+        if d.r2 < 1.0 - 1e-12 {
+            let f_from_r2 = d.r2 / (1.0 - d.r2) * (d.n as f64 - 2.0);
+            prop_assert!(
+                (f_from_r2 - d.f_stat).abs() <= 1e-6 * (1.0 + d.f_stat),
+                "{f_from_r2} vs {}", d.f_stat
+            );
+        }
+    }
+}

@@ -1,0 +1,112 @@
+//! Error type for the linear-algebra substrate.
+
+use std::fmt;
+
+/// Result alias for this crate.
+pub type Result<T> = std::result::Result<T, LinalgError>;
+
+/// Errors produced by matrix construction and factorization.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LinalgError {
+    /// The requested shape does not match the supplied data length.
+    ShapeMismatch {
+        /// Rows × cols that the caller asked for.
+        expected: (usize, usize),
+        /// Number of elements actually supplied.
+        got: usize,
+    },
+    /// Two operands have incompatible dimensions for the operation.
+    DimensionMismatch {
+        /// Human-readable description of the operation.
+        op: &'static str,
+        /// Left operand shape.
+        lhs: (usize, usize),
+        /// Right operand shape.
+        rhs: (usize, usize),
+    },
+    /// A factorization encountered a numerically singular matrix.
+    Singular {
+        /// Which factorization failed.
+        what: &'static str,
+        /// Pivot index at which the failure was detected.
+        pivot: usize,
+    },
+    /// Cholesky requires a symmetric positive-definite input.
+    NotPositiveDefinite {
+        /// Diagonal index at which positive-definiteness failed.
+        index: usize,
+    },
+    /// The operation requires a square matrix.
+    NotSquare {
+        /// Actual shape.
+        shape: (usize, usize),
+    },
+    /// The least-squares system is under-determined (fewer rows than
+    /// columns); the paper's fitting process requires more observations
+    /// than model parameters (Section 3).
+    UnderDetermined {
+        /// Number of observations (rows).
+        rows: usize,
+        /// Number of parameters (columns).
+        cols: usize,
+    },
+    /// A non-finite value (NaN or ±∞) was encountered where a finite
+    /// number is required.
+    NonFinite {
+        /// Context description.
+        what: &'static str,
+    },
+}
+
+impl fmt::Display for LinalgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinalgError::ShapeMismatch { expected, got } => write!(
+                f,
+                "shape mismatch: {}x{} requires {} elements, got {}",
+                expected.0,
+                expected.1,
+                expected.0 * expected.1,
+                got
+            ),
+            LinalgError::DimensionMismatch { op, lhs, rhs } => write!(
+                f,
+                "dimension mismatch in {op}: lhs is {}x{}, rhs is {}x{}",
+                lhs.0, lhs.1, rhs.0, rhs.1
+            ),
+            LinalgError::Singular { what, pivot } => {
+                write!(f, "{what}: singular matrix (zero pivot at {pivot})")
+            }
+            LinalgError::NotPositiveDefinite { index } => {
+                write!(f, "cholesky: matrix not positive definite at diagonal {index}")
+            }
+            LinalgError::NotSquare { shape } => {
+                write!(f, "operation requires a square matrix, got {}x{}", shape.0, shape.1)
+            }
+            LinalgError::UnderDetermined { rows, cols } => write!(
+                f,
+                "least squares is under-determined: {rows} observations for {cols} parameters"
+            ),
+            LinalgError::NonFinite { what } => {
+                write!(f, "non-finite value encountered in {what}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LinalgError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = LinalgError::ShapeMismatch { expected: (2, 3), got: 5 };
+        assert!(e.to_string().contains("requires 6 elements, got 5"));
+        let e = LinalgError::Singular { what: "lu", pivot: 4 };
+        assert!(e.to_string().contains("zero pivot at 4"));
+        let e = LinalgError::UnderDetermined { rows: 2, cols: 5 };
+        assert!(e.to_string().contains("2 observations for 5 parameters"));
+    }
+}

@@ -1,0 +1,198 @@
+//! Vector and summary-statistics helpers shared by the fitting and
+//! approximate-query layers.
+
+/// Arithmetic mean; `NaN` for an empty slice.
+pub fn mean(v: &[f64]) -> f64 {
+    if v.is_empty() {
+        return f64::NAN;
+    }
+    v.iter().sum::<f64>() / v.len() as f64
+}
+
+/// Unbiased sample variance (divides by n−1); `NaN` for slices shorter
+/// than 2.
+pub fn variance(v: &[f64]) -> f64 {
+    if v.len() < 2 {
+        return f64::NAN;
+    }
+    let m = mean(v);
+    // Two-pass algorithm: numerically stable and the second pass is
+    // branch-free.
+    let ss: f64 = v.iter().map(|x| (x - m) * (x - m)).sum();
+    ss / (v.len() - 1) as f64
+}
+
+/// Sample standard deviation.
+pub fn std_dev(v: &[f64]) -> f64 {
+    variance(v).sqrt()
+}
+
+/// Total sum of squares around the mean, `Σ(yᵢ − ȳ)²` — the denominator
+/// of the coefficient of determination.
+pub fn total_sum_of_squares(v: &[f64]) -> f64 {
+    if v.is_empty() {
+        return 0.0;
+    }
+    let m = mean(v);
+    v.iter().map(|x| (x - m) * (x - m)).sum()
+}
+
+/// Pearson correlation coefficient of two equal-length slices.
+pub fn pearson(a: &[f64], b: &[f64]) -> f64 {
+    if a.len() != b.len() || a.len() < 2 {
+        return f64::NAN;
+    }
+    let ma = mean(a);
+    let mb = mean(b);
+    let (mut sab, mut saa, mut sbb) = (0.0, 0.0, 0.0);
+    for (x, y) in a.iter().zip(b) {
+        let dx = x - ma;
+        let dy = y - mb;
+        sab += dx * dy;
+        saa += dx * dx;
+        sbb += dy * dy;
+    }
+    if saa == 0.0 || sbb == 0.0 {
+        return f64::NAN;
+    }
+    sab / (saa * sbb).sqrt()
+}
+
+/// In-place AXPY: `y ← y + alpha·x`.
+pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+    debug_assert_eq!(x.len(), y.len());
+    for (yi, &xi) in y.iter_mut().zip(x) {
+        *yi += alpha * xi;
+    }
+}
+
+/// Elementwise subtraction `a − b` into a fresh vector.
+pub fn sub(a: &[f64], b: &[f64]) -> Vec<f64> {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| x - y).collect()
+}
+
+/// Minimum and maximum of a slice in one pass; `None` when empty or when
+/// all values are NaN (NaN entries are skipped).
+pub fn min_max(v: &[f64]) -> Option<(f64, f64)> {
+    let mut it = v.iter().copied().filter(|x| !x.is_nan());
+    let first = it.next()?;
+    let mut lo = first;
+    let mut hi = first;
+    for x in it {
+        if x < lo {
+            lo = x;
+        }
+        if x > hi {
+            hi = x;
+        }
+    }
+    Some((lo, hi))
+}
+
+/// p-th quantile (0 ≤ p ≤ 1) using linear interpolation between order
+/// statistics (R type-7, the default in most statistical environments).
+/// Sorts a copy; `NaN` for an empty slice.
+pub fn quantile(v: &[f64], p: f64) -> f64 {
+    if v.is_empty() {
+        return f64::NAN;
+    }
+    let mut s: Vec<f64> = v.iter().copied().filter(|x| !x.is_nan()).collect();
+    if s.is_empty() {
+        return f64::NAN;
+    }
+    s.sort_by(|a, b| a.partial_cmp(b).expect("NaNs filtered above"));
+    let p = p.clamp(0.0, 1.0);
+    let h = (s.len() - 1) as f64 * p;
+    let lo = h.floor() as usize;
+    let hi = h.ceil() as usize;
+    if lo == hi {
+        s[lo]
+    } else {
+        s[lo] + (h - lo as f64) * (s[hi] - s[lo])
+    }
+}
+
+/// Median absolute deviation scaled to be consistent with the standard
+/// deviation under normality (×1.4826). Robust dispersion estimate used
+/// by the anomaly-ranking layer.
+pub fn mad(v: &[f64]) -> f64 {
+    if v.is_empty() {
+        return f64::NAN;
+    }
+    let med = quantile(v, 0.5);
+    let devs: Vec<f64> = v.iter().map(|x| (x - med).abs()).collect();
+    1.4826 * quantile(&devs, 0.5)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_variance_known() {
+        let v = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!((mean(&v) - 5.0).abs() < 1e-12);
+        // Population variance is 4 → sample variance = 32/7.
+        assert!((variance(&v) - 32.0 / 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_and_short_slices() {
+        assert!(mean(&[]).is_nan());
+        assert!(variance(&[1.0]).is_nan());
+        assert_eq!(total_sum_of_squares(&[]), 0.0);
+        assert!(min_max(&[]).is_none());
+        assert!(quantile(&[], 0.5).is_nan());
+    }
+
+    #[test]
+    fn pearson_perfectly_correlated() {
+        let a = [1.0, 2.0, 3.0];
+        let b = [2.0, 4.0, 6.0];
+        assert!((pearson(&a, &b) - 1.0).abs() < 1e-12);
+        let c = [-1.0, -2.0, -3.0];
+        assert!((pearson(&a, &c) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pearson_constant_input_is_nan() {
+        assert!(pearson(&[1.0, 1.0, 1.0], &[1.0, 2.0, 3.0]).is_nan());
+    }
+
+    #[test]
+    fn quantile_interpolates() {
+        let v = [1.0, 2.0, 3.0, 4.0];
+        assert!((quantile(&v, 0.0) - 1.0).abs() < 1e-12);
+        assert!((quantile(&v, 1.0) - 4.0).abs() < 1e-12);
+        assert!((quantile(&v, 0.5) - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantile_ignores_nans() {
+        let v = [f64::NAN, 1.0, 3.0];
+        assert!((quantile(&v, 0.5) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn min_max_skips_nan() {
+        let v = [3.0, f64::NAN, -1.0, 2.0];
+        assert_eq!(min_max(&v), Some((-1.0, 3.0)));
+    }
+
+    #[test]
+    fn mad_of_symmetric_data() {
+        let v = [1.0, 2.0, 3.0, 4.0, 5.0];
+        // median 3, abs devs [2,1,0,1,2] → median 1 → MAD = 1.4826.
+        assert!((mad(&v) - 1.4826).abs() < 1e-12);
+    }
+
+    #[test]
+    fn axpy_and_sub() {
+        let x = [1.0, 2.0];
+        let mut y = [10.0, 20.0];
+        axpy(2.0, &x, &mut y);
+        assert_eq!(y, [12.0, 24.0]);
+        assert_eq!(sub(&y, &x), vec![11.0, 22.0]);
+    }
+}

@@ -1,0 +1,350 @@
+//! Gridded model-based views — the MauveDB baseline.
+//!
+//! Deshpande & Madden's MauveDB (cited as \[7\]) sidesteps the
+//! parameter-space-enumeration problem "by projecting the raw data onto
+//! a grid with fixed boundaries. This way, the number of data points
+//! generated from the model is fixed, which fits well with the
+//! relational model." This module implements that design for one or two
+//! input dimensions: a regular grid whose cell values are the local
+//! average of the observations (with inverse-distance interpolation
+//! filling empty cells), queried by bilinear interpolation.
+//!
+//! E11 compares it against captured user models on accuracy-per-byte.
+
+use crate::error::{ModelError, Result};
+
+/// A 1-D or 2-D regular grid view of a measured function.
+#[derive(Debug, Clone)]
+pub struct GridView {
+    /// Axis descriptors: (lo, hi, cells).
+    axes: Vec<(f64, f64, usize)>,
+    /// Cell values, row-major over the axes.
+    values: Vec<f64>,
+}
+
+impl GridView {
+    /// Build a 1-D grid view from samples.
+    pub fn fit_1d(x: &[f64], y: &[f64], cells: usize) -> Result<GridView> {
+        GridView::fit(&[x], y, &[cells])
+    }
+
+    /// Build a 2-D grid view from samples.
+    pub fn fit_2d(
+        x0: &[f64],
+        x1: &[f64],
+        y: &[f64],
+        cells0: usize,
+        cells1: usize,
+    ) -> Result<GridView> {
+        GridView::fit(&[x0, x1], y, &[cells0, cells1])
+    }
+
+    fn fit(inputs: &[&[f64]], y: &[f64], cells: &[usize]) -> Result<GridView> {
+        if inputs.is_empty() || inputs.len() > 2 {
+            return Err(ModelError::BadConstruction {
+                detail: "grid views support 1 or 2 input dimensions".to_string(),
+            });
+        }
+        if cells.contains(&0) {
+            return Err(ModelError::BadConstruction {
+                detail: "grid needs at least one cell per axis".to_string(),
+            });
+        }
+        let n = y.len();
+        for (d, col) in inputs.iter().enumerate() {
+            if col.len() != n {
+                return Err(ModelError::BadConstruction {
+                    detail: format!("input {d} has {} rows, y has {n}", col.len()),
+                });
+            }
+        }
+        // Domain per axis from finite samples.
+        let mut axes = Vec::with_capacity(inputs.len());
+        for col in inputs {
+            let mut lo = f64::INFINITY;
+            let mut hi = f64::NEG_INFINITY;
+            for &v in col.iter().filter(|v| v.is_finite()) {
+                lo = lo.min(v);
+                hi = hi.max(v);
+            }
+            if !lo.is_finite() || !hi.is_finite() {
+                return Err(ModelError::BadConstruction {
+                    detail: "no finite input samples".to_string(),
+                });
+            }
+            axes.push((lo, hi, 0usize));
+        }
+        for (a, &c) in axes.iter_mut().zip(cells) {
+            a.2 = c;
+        }
+        let total: usize = cells.iter().product();
+        let mut sums = vec![0.0; total];
+        let mut counts = vec![0u32; total];
+        for row in 0..n {
+            if !y[row].is_finite() || inputs.iter().any(|c| !c[row].is_finite()) {
+                continue;
+            }
+            let idx = flat_index(&axes, inputs, row);
+            sums[idx] += y[row];
+            counts[idx] += 1;
+        }
+        let mut values: Vec<f64> = sums
+            .iter()
+            .zip(&counts)
+            .map(|(s, &c)| if c > 0 { s / c as f64 } else { f64::NAN })
+            .collect();
+        fill_empty_cells(&axes, &mut values);
+        Ok(GridView { axes, values })
+    }
+
+    /// Dimensionality.
+    pub fn dims(&self) -> usize {
+        self.axes.len()
+    }
+
+    /// Query the view with linear (1-D) or bilinear (2-D) interpolation
+    /// between cell centers; out-of-domain points clamp to the edge.
+    pub fn query(&self, point: &[f64]) -> Result<f64> {
+        if point.len() != self.axes.len() {
+            return Err(ModelError::MissingInput {
+                variable: format!("grid expects {} coordinates", self.axes.len()),
+            });
+        }
+        match self.axes.len() {
+            1 => Ok(self.interp_1d(point[0])),
+            2 => Ok(self.interp_2d(point[0], point[1])),
+            _ => unreachable!("dims validated at construction"),
+        }
+    }
+
+    /// Storage footprint: cell values + axis descriptors.
+    pub fn byte_size(&self) -> usize {
+        8 * (self.values.len() + 3 * self.axes.len())
+    }
+
+    /// Materialize the grid as relational tuples `(center coords…, value)`
+    /// — MauveDB's "fixed number of data points generated from the
+    /// model".
+    pub fn materialize(&self) -> Vec<(Vec<f64>, f64)> {
+        let mut out = Vec::with_capacity(self.values.len());
+        match self.axes.len() {
+            1 => {
+                let (lo, hi, c) = self.axes[0];
+                for i in 0..c {
+                    out.push((vec![center(lo, hi, c, i)], self.values[i]));
+                }
+            }
+            2 => {
+                let (lo0, hi0, c0) = self.axes[0];
+                let (lo1, hi1, c1) = self.axes[1];
+                for i in 0..c0 {
+                    for j in 0..c1 {
+                        out.push((
+                            vec![center(lo0, hi0, c0, i), center(lo1, hi1, c1, j)],
+                            self.values[i * c1 + j],
+                        ));
+                    }
+                }
+            }
+            _ => unreachable!(),
+        }
+        out
+    }
+
+    fn interp_1d(&self, x: f64) -> f64 {
+        let (lo, hi, c) = self.axes[0];
+        let (i0, i1, t) = bracket(lo, hi, c, x);
+        self.values[i0] * (1.0 - t) + self.values[i1] * t
+    }
+
+    fn interp_2d(&self, x: f64, ycoord: f64) -> f64 {
+        let (lo0, hi0, c0) = self.axes[0];
+        let (lo1, hi1, c1) = self.axes[1];
+        let (a0, a1, ta) = bracket(lo0, hi0, c0, x);
+        let (b0, b1, tb) = bracket(lo1, hi1, c1, ycoord);
+        let v = |i: usize, j: usize| self.values[i * c1 + j];
+        let top = v(a0, b0) * (1.0 - tb) + v(a0, b1) * tb;
+        let bot = v(a1, b0) * (1.0 - tb) + v(a1, b1) * tb;
+        top * (1.0 - ta) + bot * ta
+    }
+}
+
+fn center(lo: f64, hi: f64, cells: usize, i: usize) -> f64 {
+    let w = (hi - lo) / cells as f64;
+    lo + (i as f64 + 0.5) * w
+}
+
+/// Find the two cell centers bracketing `x` and the interpolation
+/// weight of the upper one.
+fn bracket(lo: f64, hi: f64, cells: usize, x: f64) -> (usize, usize, f64) {
+    if cells == 1 {
+        return (0, 0, 0.0);
+    }
+    let w = (hi - lo) / cells as f64;
+    let pos = (x - lo) / w - 0.5; // in units of cells, relative to center 0
+    if pos <= 0.0 {
+        return (0, 0, 0.0);
+    }
+    if pos >= (cells - 1) as f64 {
+        return (cells - 1, cells - 1, 0.0);
+    }
+    let i = pos.floor() as usize;
+    (i, i + 1, pos - i as f64)
+}
+
+fn flat_index(axes: &[(f64, f64, usize)], inputs: &[&[f64]], row: usize) -> usize {
+    let mut idx = 0;
+    for (d, &(lo, hi, c)) in axes.iter().enumerate() {
+        let w = ((hi - lo) / c as f64).max(f64::MIN_POSITIVE);
+        let i = (((inputs[d][row] - lo) / w) as usize).min(c - 1);
+        idx = idx * c + i;
+    }
+    idx
+}
+
+/// Replace NaN cells by the average of their non-NaN neighbors,
+/// iterating until stable (flood-fill from measured regions).
+fn fill_empty_cells(axes: &[(f64, f64, usize)], values: &mut [f64]) {
+    let dims: Vec<usize> = axes.iter().map(|a| a.2).collect();
+    for _ in 0..values.len() {
+        let mut changed = false;
+        for i in 0..values.len() {
+            if !values[i].is_nan() {
+                continue;
+            }
+            let mut sum = 0.0;
+            let mut cnt = 0;
+            for nb in neighbors(&dims, i) {
+                if !values[nb].is_nan() {
+                    sum += values[nb];
+                    cnt += 1;
+                }
+            }
+            if cnt > 0 {
+                values[i] = sum / cnt as f64;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    // A fully empty grid stays NaN — callers see NaN answers.
+}
+
+fn neighbors(dims: &[usize], idx: usize) -> Vec<usize> {
+    match dims.len() {
+        1 => {
+            let mut v = Vec::new();
+            if idx > 0 {
+                v.push(idx - 1);
+            }
+            if idx + 1 < dims[0] {
+                v.push(idx + 1);
+            }
+            v
+        }
+        2 => {
+            let c1 = dims[1];
+            let (i, j) = (idx / c1, idx % c1);
+            let mut v = Vec::new();
+            if i > 0 {
+                v.push((i - 1) * c1 + j);
+            }
+            if i + 1 < dims[0] {
+                v.push((i + 1) * c1 + j);
+            }
+            if j > 0 {
+                v.push(i * c1 + j - 1);
+            }
+            if j + 1 < c1 {
+                v.push(i * c1 + j + 1);
+            }
+            v
+        }
+        _ => unreachable!(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_d_grid_recovers_linear_signal() {
+        let xs: Vec<f64> = (0..1000).map(|i| i as f64 / 999.0).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 3.0 * x + 1.0).collect();
+        let g = GridView::fit_1d(&xs, &ys, 20).unwrap();
+        for &q in &[0.1, 0.33, 0.5, 0.77, 0.9] {
+            let got = g.query(&[q]).unwrap();
+            assert!((got - (3.0 * q + 1.0)).abs() < 0.01, "{q}: {got}");
+        }
+    }
+
+    #[test]
+    fn clamps_outside_domain() {
+        let xs: Vec<f64> = (0..100).map(|i| i as f64 / 99.0).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| x * 2.0).collect();
+        let g = GridView::fit_1d(&xs, &ys, 10).unwrap();
+        let low = g.query(&[-5.0]).unwrap();
+        let high = g.query(&[5.0]).unwrap();
+        // Clamped to edge cell averages.
+        assert!((low - 0.1).abs() < 0.05);
+        assert!((high - 1.9).abs() < 0.05);
+    }
+
+    #[test]
+    fn two_d_grid_bilinear_interpolation() {
+        // f(a, b) = a + 2b sampled densely.
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..50 {
+            for j in 0..50 {
+                let av = i as f64 / 49.0;
+                let bv = j as f64 / 49.0;
+                a.push(av);
+                b.push(bv);
+                y.push(av + 2.0 * bv);
+            }
+        }
+        let g = GridView::fit_2d(&a, &b, &y, 10, 10).unwrap();
+        let got = g.query(&[0.5, 0.5]).unwrap();
+        assert!((got - 1.5).abs() < 0.05, "{got}");
+        assert_eq!(g.dims(), 2);
+    }
+
+    #[test]
+    fn empty_cells_are_filled_from_neighbors() {
+        // Samples only at the ends of the domain.
+        let xs = [0.0, 0.01, 0.99, 1.0];
+        let ys = [1.0, 1.0, 3.0, 3.0];
+        let g = GridView::fit_1d(&xs, &ys, 10).unwrap();
+        let mid = g.query(&[0.5]).unwrap();
+        assert!(mid.is_finite());
+        assert!((1.0..=3.0).contains(&mid));
+    }
+
+    #[test]
+    fn materialize_yields_fixed_tuple_count() {
+        let xs: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let ys = xs.clone();
+        let g = GridView::fit_1d(&xs, &ys, 16).unwrap();
+        let tuples = g.materialize();
+        assert_eq!(tuples.len(), 16);
+        assert_eq!(g.byte_size(), 8 * (16 + 3));
+        // Tuples are (center, value) with value ≈ center for y = x.
+        for (coords, v) in &tuples {
+            assert!((coords[0] - v).abs() < 4.0);
+        }
+    }
+
+    #[test]
+    fn rejects_bad_construction() {
+        assert!(GridView::fit_1d(&[1.0], &[1.0, 2.0], 4).is_err());
+        assert!(GridView::fit_1d(&[1.0], &[1.0], 0).is_err());
+        assert!(GridView::fit_1d(&[f64::NAN], &[1.0], 2).is_err());
+        let g = GridView::fit_1d(&[0.0, 1.0], &[0.0, 1.0], 2).unwrap();
+        assert!(g.query(&[0.5, 0.5]).is_err()); // wrong arity
+    }
+}

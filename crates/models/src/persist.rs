@@ -1,0 +1,415 @@
+//! Model-catalog persistence.
+//!
+//! "We can store the models in their source code form inside the
+//! database" (Section 3) — and across restarts. The format leans on
+//! that insight: the model *body* is persisted as its formula source
+//! text and re-parsed on load (the parser is the schema), while the
+//! fitted numbers travel as little-endian scalars with varint framing.
+//!
+//! Layout (all integers varint unless noted):
+//!
+//! ```text
+//! magic "LAWM" | format version | next_id | model count
+//! per model:
+//!   id | version | state u8 | overall_r2 f64 |
+//!   formula source | optional legal-filter source |
+//!   coverage { table | response | variables | rows_at_fit |
+//!              optional predicate | domains } |
+//!   params: tag u8 (0 global, 1 grouped) { … }
+//! ```
+
+use crate::catalog::ModelCatalog;
+use crate::error::{ModelError, Result};
+use crate::model::{CapturedModel, Coverage, GroupParams, ModelId, ModelParams, ModelState};
+use lawsdb_storage::compress::varint;
+use std::collections::HashMap;
+
+const MAGIC: &[u8; 4] = b"LAWM";
+const FORMAT_VERSION: u64 = 1;
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    varint::put_u64(out, s.len() as u64);
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn get_str(buf: &[u8], pos: &mut usize) -> Result<String> {
+    let len = varint::get_u64(buf, pos).map_err(ModelError::Storage)? as usize;
+    let end = pos.checked_add(len).filter(|&e| e <= buf.len()).ok_or_else(|| {
+        ModelError::BadConstruction { detail: "truncated string".to_string() }
+    })?;
+    let s = std::str::from_utf8(&buf[*pos..end])
+        .map_err(|_| ModelError::BadConstruction { detail: "invalid UTF-8".to_string() })?
+        .to_string();
+    *pos = end;
+    Ok(s)
+}
+
+fn put_f64(out: &mut Vec<u8>, v: f64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn get_f64(buf: &[u8], pos: &mut usize) -> Result<f64> {
+    let end = pos.checked_add(8).filter(|&e| e <= buf.len()).ok_or_else(|| {
+        ModelError::BadConstruction { detail: "truncated f64".to_string() }
+    })?;
+    let v = f64::from_le_bytes(buf[*pos..end].try_into().expect("8 bytes"));
+    *pos = end;
+    Ok(v)
+}
+
+fn put_opt_str(out: &mut Vec<u8>, s: Option<&str>) {
+    match s {
+        None => out.push(0),
+        Some(s) => {
+            out.push(1);
+            put_str(out, s);
+        }
+    }
+}
+
+fn get_opt_str(buf: &[u8], pos: &mut usize) -> Result<Option<String>> {
+    let tag = *buf.get(*pos).ok_or_else(|| ModelError::BadConstruction {
+        detail: "truncated option tag".to_string(),
+    })?;
+    *pos += 1;
+    match tag {
+        0 => Ok(None),
+        1 => Ok(Some(get_str(buf, pos)?)),
+        other => Err(ModelError::BadConstruction {
+            detail: format!("bad option tag {other}"),
+        }),
+    }
+}
+
+fn encode_model(out: &mut Vec<u8>, m: &CapturedModel) {
+    varint::put_u64(out, m.id.0);
+    varint::put_u64(out, m.version as u64);
+    out.push(match m.state {
+        ModelState::Active => 0,
+        ModelState::Stale => 1,
+        ModelState::Retired => 2,
+    });
+    put_f64(out, m.overall_r2);
+    put_str(out, &m.formula_source);
+    put_opt_str(out, m.legal_filter.as_ref().map(|e| e.to_string()).as_deref());
+    // Coverage.
+    put_str(out, &m.coverage.table);
+    put_str(out, &m.coverage.response);
+    varint::put_u64(out, m.coverage.variables.len() as u64);
+    for v in &m.coverage.variables {
+        put_str(out, v);
+    }
+    varint::put_u64(out, m.coverage.rows_at_fit as u64);
+    put_opt_str(out, m.coverage.predicate.as_deref());
+    varint::put_u64(out, m.coverage.domains.len() as u64);
+    for (name, vals) in &m.coverage.domains {
+        put_str(out, name);
+        varint::put_u64(out, vals.len() as u64);
+        for &v in vals {
+            put_f64(out, v);
+        }
+    }
+    // Params.
+    match &m.params {
+        ModelParams::Global { names, values, residual_se, r2, n } => {
+            out.push(0);
+            varint::put_u64(out, names.len() as u64);
+            for (name, &v) in names.iter().zip(values) {
+                put_str(out, name);
+                put_f64(out, v);
+            }
+            put_f64(out, *residual_se);
+            put_f64(out, *r2);
+            varint::put_u64(out, *n as u64);
+        }
+        ModelParams::Grouped { group_column, names, groups } => {
+            out.push(1);
+            put_str(out, group_column);
+            varint::put_u64(out, names.len() as u64);
+            for name in names {
+                put_str(out, name);
+            }
+            varint::put_u64(out, groups.len() as u64);
+            let mut keys: Vec<i64> = groups.keys().copied().collect();
+            keys.sort_unstable();
+            for k in keys {
+                let g = &groups[&k];
+                varint::put_i64(out, k);
+                for &v in &g.values {
+                    put_f64(out, v);
+                }
+                put_f64(out, g.residual_se);
+                put_f64(out, g.r2);
+                varint::put_u64(out, g.n as u64);
+            }
+        }
+    }
+}
+
+fn decode_model(buf: &[u8], pos: &mut usize) -> Result<CapturedModel> {
+    let bad = |d: &str| ModelError::BadConstruction { detail: d.to_string() };
+    let id = ModelId(varint::get_u64(buf, pos).map_err(ModelError::Storage)?);
+    let version = varint::get_u64(buf, pos).map_err(ModelError::Storage)? as u32;
+    let state = match buf.get(*pos) {
+        Some(0) => ModelState::Active,
+        Some(1) => ModelState::Stale,
+        Some(2) => ModelState::Retired,
+        _ => return Err(bad("bad state tag")),
+    };
+    *pos += 1;
+    let overall_r2 = get_f64(buf, pos)?;
+    let formula_source = get_str(buf, pos)?;
+    let legal_src = get_opt_str(buf, pos)?;
+    let formula = lawsdb_expr::parse_formula(&formula_source)?;
+    let legal_filter = match legal_src {
+        None => None,
+        Some(src) => Some(lawsdb_expr::parse_expr(&src)?),
+    };
+    // Coverage.
+    let table = get_str(buf, pos)?;
+    let response = get_str(buf, pos)?;
+    let nvars = varint::get_u64(buf, pos).map_err(ModelError::Storage)? as usize;
+    if nvars > buf.len() {
+        return Err(bad("implausible variable count"));
+    }
+    let mut variables = Vec::with_capacity(nvars);
+    for _ in 0..nvars {
+        variables.push(get_str(buf, pos)?);
+    }
+    let rows_at_fit = varint::get_u64(buf, pos).map_err(ModelError::Storage)? as usize;
+    let predicate = get_opt_str(buf, pos)?;
+    let ndomains = varint::get_u64(buf, pos).map_err(ModelError::Storage)? as usize;
+    if ndomains > buf.len() {
+        return Err(bad("implausible domain count"));
+    }
+    let mut domains = Vec::with_capacity(ndomains);
+    for _ in 0..ndomains {
+        let name = get_str(buf, pos)?;
+        let nvals = varint::get_u64(buf, pos).map_err(ModelError::Storage)? as usize;
+        if nvals > buf.len() {
+            return Err(bad("implausible domain size"));
+        }
+        let mut vals = Vec::with_capacity(nvals);
+        for _ in 0..nvals {
+            vals.push(get_f64(buf, pos)?);
+        }
+        domains.push((name, vals));
+    }
+    // Params.
+    let tag = *buf.get(*pos).ok_or_else(|| bad("truncated params tag"))?;
+    *pos += 1;
+    let params = match tag {
+        0 => {
+            let np = varint::get_u64(buf, pos).map_err(ModelError::Storage)? as usize;
+            if np > buf.len() {
+                return Err(bad("implausible param count"));
+            }
+            let mut names = Vec::with_capacity(np);
+            let mut values = Vec::with_capacity(np);
+            for _ in 0..np {
+                names.push(get_str(buf, pos)?);
+                values.push(get_f64(buf, pos)?);
+            }
+            let residual_se = get_f64(buf, pos)?;
+            let r2 = get_f64(buf, pos)?;
+            let n = varint::get_u64(buf, pos).map_err(ModelError::Storage)? as usize;
+            ModelParams::Global { names, values, residual_se, r2, n }
+        }
+        1 => {
+            let group_column = get_str(buf, pos)?;
+            let np = varint::get_u64(buf, pos).map_err(ModelError::Storage)? as usize;
+            if np > buf.len() {
+                return Err(bad("implausible param count"));
+            }
+            let mut names = Vec::with_capacity(np);
+            for _ in 0..np {
+                names.push(get_str(buf, pos)?);
+            }
+            let ngroups = varint::get_u64(buf, pos).map_err(ModelError::Storage)? as usize;
+            if ngroups > buf.len() {
+                return Err(bad("implausible group count"));
+            }
+            let mut groups = HashMap::with_capacity(ngroups);
+            for _ in 0..ngroups {
+                let key = varint::get_i64(buf, pos).map_err(ModelError::Storage)?;
+                let mut values = Vec::with_capacity(np);
+                for _ in 0..np {
+                    values.push(get_f64(buf, pos)?);
+                }
+                let residual_se = get_f64(buf, pos)?;
+                let r2 = get_f64(buf, pos)?;
+                let n = varint::get_u64(buf, pos).map_err(ModelError::Storage)? as usize;
+                groups.insert(key, GroupParams { values, residual_se, r2, n });
+            }
+            ModelParams::Grouped { group_column, names, groups }
+        }
+        other => return Err(bad(&format!("bad params tag {other}"))),
+    };
+    Ok(CapturedModel {
+        id,
+        version,
+        formula_source,
+        rhs: formula.rhs,
+        params,
+        coverage: Coverage { table, response, variables, rows_at_fit, predicate, domains },
+        overall_r2,
+        state,
+        legal_filter,
+    })
+}
+
+impl ModelCatalog {
+    /// Serialize the whole catalog (all versions, all states).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let (next_id, models) = self.snapshot();
+        let mut out = Vec::new();
+        out.extend_from_slice(MAGIC);
+        varint::put_u64(&mut out, FORMAT_VERSION);
+        varint::put_u64(&mut out, next_id);
+        varint::put_u64(&mut out, models.len() as u64);
+        for m in &models {
+            encode_model(&mut out, m);
+        }
+        out
+    }
+
+    /// Rebuild a catalog from [`ModelCatalog::to_bytes`] output.
+    pub fn from_bytes(buf: &[u8]) -> Result<ModelCatalog> {
+        let bad = |d: &str| ModelError::BadConstruction { detail: d.to_string() };
+        if buf.len() < 4 || &buf[..4] != MAGIC {
+            return Err(bad("missing LAWM magic"));
+        }
+        let mut pos = 4;
+        let version = varint::get_u64(buf, &mut pos).map_err(ModelError::Storage)?;
+        if version != FORMAT_VERSION {
+            return Err(bad(&format!("unsupported format version {version}")));
+        }
+        let next_id = varint::get_u64(buf, &mut pos).map_err(ModelError::Storage)?;
+        let count = varint::get_u64(buf, &mut pos).map_err(ModelError::Storage)? as usize;
+        if count > buf.len() {
+            return Err(bad("implausible model count"));
+        }
+        let mut models = Vec::with_capacity(count);
+        for _ in 0..count {
+            models.push(decode_model(buf, &mut pos)?);
+        }
+        Ok(ModelCatalog::restore(next_id, models))
+    }
+
+    /// Write the catalog to a file.
+    pub fn save_to(&self, path: &std::path::Path) -> std::io::Result<()> {
+        std::fs::write(path, self.to_bytes())
+    }
+
+    /// Load a catalog from a file written by [`ModelCatalog::save_to`].
+    pub fn load_from(path: &std::path::Path) -> Result<ModelCatalog> {
+        let bytes = std::fs::read(path).map_err(|e| ModelError::BadConstruction {
+            detail: format!("cannot read {}: {e}", path.display()),
+        })?;
+        ModelCatalog::from_bytes(&bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lawsdb_fit::FitOptions;
+    use lawsdb_models_test_helpers::lofar_model;
+
+    /// Local helper namespace (kept in-file to avoid a test-support crate).
+    mod lawsdb_models_test_helpers {
+        use crate::bridge::fit_table_grouped;
+        use crate::CapturedModel;
+        use lawsdb_fit::FitOptions;
+        use lawsdb_storage::TableBuilder;
+
+        pub fn lofar_model(options: &FitOptions) -> CapturedModel {
+            let freqs: [f64; 4] = [0.12, 0.15, 0.16, 0.18];
+            let mut src = Vec::new();
+            let mut nu = Vec::new();
+            let mut intensity = Vec::new();
+            for s in 0..5i64 {
+                let (p, a) = (1.0 + s as f64 * 0.4, -0.6 - s as f64 * 0.1);
+                for i in 0..40 {
+                    src.push(s);
+                    nu.push(freqs[i % 4]);
+                    intensity.push(p * freqs[i % 4].powf(a));
+                }
+            }
+            let mut b = TableBuilder::new("measurements");
+            b.add_i64("source", src);
+            b.add_f64("nu", nu);
+            b.add_f64("intensity", intensity);
+            fit_table_grouped(
+                &b.build().unwrap(),
+                "intensity ~ p * nu ^ alpha",
+                "source",
+                options,
+                1,
+            )
+            .unwrap()
+            .0
+        }
+    }
+
+    #[test]
+    fn catalog_roundtrips_through_bytes() {
+        let catalog = ModelCatalog::new();
+        let opts = FitOptions::default().with_initial("alpha", -0.7);
+        let m1 = catalog.store(lofar_model(&opts));
+        let m2 = catalog.store(
+            lofar_model(&opts)
+                .with_legal_filter("nu >= 0.12 && nu <= 0.18")
+                .unwrap(),
+        );
+        catalog.set_state(m1.id, ModelState::Retired).unwrap();
+
+        let bytes = catalog.to_bytes();
+        let restored = ModelCatalog::from_bytes(&bytes).unwrap();
+        assert_eq!(restored.len(), 2);
+
+        let r1 = restored.get(m1.id).unwrap();
+        assert_eq!(r1.state, ModelState::Retired);
+        assert_eq!(r1.formula_source, m1.formula_source);
+        assert_eq!(r1.params, m1.params);
+        assert_eq!(r1.coverage, m1.coverage);
+
+        let r2m = restored.get(m2.id).unwrap();
+        assert!(r2m.legal_filter.is_some());
+        // The restored model predicts identically.
+        let a = m2.predict_scalar(Some(3), &[("nu", 0.14)]).unwrap();
+        let b = r2m.predict_scalar(Some(3), &[("nu", 0.14)]).unwrap();
+        assert_eq!(a.to_bits(), b.to_bits());
+        // Id allocation continues where it left off.
+        let m3 = restored.store(lofar_model(&opts));
+        assert!(m3.id.0 > m2.id.0);
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let catalog = ModelCatalog::new();
+        let opts = FitOptions::default().with_initial("alpha", -0.7);
+        catalog.store(lofar_model(&opts));
+        let dir = std::env::temp_dir().join("lawsdb_persist_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("catalog.lawm");
+        catalog.save_to(&path).unwrap();
+        let restored = ModelCatalog::load_from(&path).unwrap();
+        assert_eq!(restored.len(), 1);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn corrupt_bytes_are_rejected_not_panicking() {
+        assert!(ModelCatalog::from_bytes(b"").is_err());
+        assert!(ModelCatalog::from_bytes(b"XXXX").is_err());
+        let catalog = ModelCatalog::new();
+        let opts = FitOptions::default().with_initial("alpha", -0.7);
+        catalog.store(lofar_model(&opts));
+        let bytes = catalog.to_bytes();
+        // Truncations at every prefix must error, never panic.
+        for cut in [5, 10, 20, bytes.len() / 2, bytes.len() - 1] {
+            assert!(ModelCatalog::from_bytes(&bytes[..cut]).is_err(), "cut {cut}");
+        }
+    }
+}

@@ -1,0 +1,249 @@
+//! Piecewise polynomial models — the FunctionDB baseline.
+//!
+//! Thiagarajan & Madden's FunctionDB (cited as \[19\] in the paper) fits
+//! *piecewise polynomial functions* to data and queries them
+//! algebraically. The paper argues such fixed model classes are
+//! insufficient ("focusing on a single class of models … is unlikely to
+//! cover enough ground"); experiment E11 quantifies that by fitting
+//! piecewise polynomials to workloads whose true law is a power law or
+//! a seasonal pattern and comparing accuracy and storage against
+//! captured user models.
+//!
+//! Implementation: the x-domain is split into `segments` equal-width
+//! intervals; each interval gets an independent least-squares polynomial
+//! of degree `degree`. Evaluation dispatches on the interval (clamping
+//! out-of-range inputs to the edge segments).
+
+use crate::error::{ModelError, Result};
+use lawsdb_linalg::{Matrix, Qr};
+
+/// A fitted piecewise polynomial over one input variable.
+#[derive(Debug, Clone)]
+pub struct PiecewisePoly {
+    /// Domain minimum.
+    lo: f64,
+    /// Domain maximum.
+    hi: f64,
+    /// Per-segment coefficient vectors, constant term first.
+    coeffs: Vec<Vec<f64>>,
+    /// Residual standard error of the overall fit.
+    residual_se: f64,
+    /// R² of the overall fit.
+    r2: f64,
+}
+
+impl PiecewisePoly {
+    /// Fit a piecewise polynomial.
+    ///
+    /// Requires at least `degree + 1` points per segment. Empty or thin
+    /// segments fall back to the nearest fitted neighbor's coefficients.
+    pub fn fit(x: &[f64], y: &[f64], segments: usize, degree: usize) -> Result<PiecewisePoly> {
+        if x.len() != y.len() {
+            return Err(ModelError::BadConstruction {
+                detail: format!("x has {} points, y has {}", x.len(), y.len()),
+            });
+        }
+        if segments == 0 {
+            return Err(ModelError::BadConstruction {
+                detail: "need at least one segment".to_string(),
+            });
+        }
+        let finite: Vec<(f64, f64)> = x
+            .iter()
+            .zip(y)
+            .filter(|(a, b)| a.is_finite() && b.is_finite())
+            .map(|(a, b)| (*a, *b))
+            .collect();
+        if finite.len() < degree + 1 {
+            return Err(ModelError::BadConstruction {
+                detail: format!(
+                    "{} finite points cannot fit degree {} polynomials",
+                    finite.len(),
+                    degree
+                ),
+            });
+        }
+        let lo = finite.iter().map(|(a, _)| *a).fold(f64::INFINITY, f64::min);
+        let hi = finite.iter().map(|(a, _)| *a).fold(f64::NEG_INFINITY, f64::max);
+        let width = ((hi - lo) / segments as f64).max(f64::MIN_POSITIVE);
+
+        // Bucket points into segments.
+        let mut buckets: Vec<Vec<(f64, f64)>> = vec![Vec::new(); segments];
+        for &(a, b) in &finite {
+            let s = (((a - lo) / width) as usize).min(segments - 1);
+            buckets[s].push((a, b));
+        }
+
+        // Fit each populated segment.
+        let mut coeffs: Vec<Option<Vec<f64>>> = vec![None; segments];
+        for (s, pts) in buckets.iter().enumerate() {
+            if pts.len() < degree + 1 {
+                continue;
+            }
+            // Center x within the segment for conditioning.
+            let cx = lo + (s as f64 + 0.5) * width;
+            let design = Matrix::from_fn(pts.len(), degree + 1, |r, c| {
+                (pts[r].0 - cx).powi(c as i32)
+            });
+            let ys: Vec<f64> = pts.iter().map(|(_, b)| *b).collect();
+            if let Ok(qr) = Qr::new(&design) {
+                if let Ok(beta) = qr.solve_least_squares(&ys) {
+                    coeffs[s] = Some(beta);
+                }
+            }
+        }
+        // Fill gaps from the nearest fitted neighbor.
+        let fitted: Vec<usize> = (0..segments).filter(|&s| coeffs[s].is_some()).collect();
+        if fitted.is_empty() {
+            return Err(ModelError::BadConstruction {
+                detail: "no segment had enough points to fit".to_string(),
+            });
+        }
+        for s in 0..segments {
+            if coeffs[s].is_none() {
+                let nearest = *fitted
+                    .iter()
+                    .min_by_key(|&&f| (f as i64 - s as i64).unsigned_abs())
+                    .expect("fitted is non-empty");
+                coeffs[s] = coeffs[nearest].clone();
+            }
+        }
+        let coeffs: Vec<Vec<f64>> = coeffs.into_iter().map(|c| c.expect("filled")).collect();
+
+        let mut pw = PiecewisePoly { lo, hi, coeffs, residual_se: 0.0, r2: 0.0 };
+        // Overall quality.
+        let preds: Vec<f64> = finite.iter().map(|(a, _)| pw.eval(*a)).collect();
+        let rss: f64 = finite
+            .iter()
+            .zip(&preds)
+            .map(|((_, b), p)| (b - p) * (b - p))
+            .sum();
+        let ys: Vec<f64> = finite.iter().map(|(_, b)| *b).collect();
+        let tss = lawsdb_linalg::ops::total_sum_of_squares(&ys);
+        let params = segments * (degree + 1);
+        let dof = finite.len().saturating_sub(params);
+        pw.residual_se = if dof > 0 { (rss / dof as f64).sqrt() } else { f64::NAN };
+        pw.r2 = if tss > 0.0 { 1.0 - rss / tss } else { f64::NAN };
+        Ok(pw)
+    }
+
+    /// Evaluate at one point (clamped to the fitted domain).
+    pub fn eval(&self, x: f64) -> f64 {
+        let segments = self.coeffs.len();
+        let width = ((self.hi - self.lo) / segments as f64).max(f64::MIN_POSITIVE);
+        let s = if x <= self.lo {
+            0
+        } else {
+            (((x - self.lo) / width) as usize).min(segments - 1)
+        };
+        let cx = self.lo + (s as f64 + 0.5) * width;
+        let dx = x - cx;
+        // Horner evaluation.
+        let c = &self.coeffs[s];
+        let mut acc = 0.0;
+        for &coef in c.iter().rev() {
+            acc = acc * dx + coef;
+        }
+        acc
+    }
+
+    /// Evaluate a batch.
+    pub fn eval_batch(&self, xs: &[f64]) -> Vec<f64> {
+        xs.iter().map(|&x| self.eval(x)).collect()
+    }
+
+    /// R² of the fit.
+    pub fn r2(&self) -> f64 {
+        self.r2
+    }
+
+    /// Residual standard error of the fit.
+    pub fn residual_se(&self) -> f64 {
+        self.residual_se
+    }
+
+    /// Storage footprint: coefficients + domain bounds, 8 bytes each.
+    pub fn byte_size(&self) -> usize {
+        8 * (2 + self.coeffs.iter().map(Vec::len).sum::<usize>())
+    }
+
+    /// Number of segments.
+    pub fn segments(&self) -> usize {
+        self.coeffs.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid(n: usize, lo: f64, hi: f64) -> Vec<f64> {
+        (0..n).map(|i| lo + (hi - lo) * i as f64 / (n - 1) as f64).collect()
+    }
+
+    #[test]
+    fn exact_quadratic_is_reproduced_by_one_segment() {
+        let xs = grid(50, -1.0, 1.0);
+        let ys: Vec<f64> = xs.iter().map(|x| 1.0 + 2.0 * x - 3.0 * x * x).collect();
+        let pw = PiecewisePoly::fit(&xs, &ys, 1, 2).unwrap();
+        for &x in &xs {
+            assert!((pw.eval(x) - (1.0 + 2.0 * x - 3.0 * x * x)).abs() < 1e-9);
+        }
+        assert!(pw.r2() > 0.999999);
+    }
+
+    #[test]
+    fn more_segments_fit_a_power_law_better() {
+        let xs = grid(400, 0.1, 2.0);
+        let ys: Vec<f64> = xs.iter().map(|x| 2.0 * x.powf(-0.7)).collect();
+        let coarse = PiecewisePoly::fit(&xs, &ys, 1, 1).unwrap();
+        let fine = PiecewisePoly::fit(&xs, &ys, 16, 1).unwrap();
+        assert!(fine.r2() > coarse.r2());
+        assert!(fine.residual_se() < coarse.residual_se());
+        // But the fine model stores far more numbers than {p, α}.
+        assert!(fine.byte_size() > 16 * 8);
+    }
+
+    #[test]
+    fn clamps_out_of_domain_queries() {
+        let xs = grid(30, 0.0, 1.0);
+        let ys: Vec<f64> = xs.iter().map(|x| 2.0 * x).collect();
+        let pw = PiecewisePoly::fit(&xs, &ys, 3, 1).unwrap();
+        // Extrapolation uses the edge segments' polynomials.
+        let below = pw.eval(-0.5);
+        let above = pw.eval(1.5);
+        assert!((below - (-1.0)).abs() < 1e-6);
+        assert!((above - 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn sparse_segments_borrow_neighbors() {
+        // All points in the left half; right half has none.
+        let xs: Vec<f64> = grid(40, 0.0, 0.5);
+        let ys: Vec<f64> = xs.iter().map(|x| 1.0 + x).collect();
+        let mut x2 = xs.clone();
+        let mut y2 = ys.clone();
+        x2.push(1.0); // single point far right to widen the domain
+        y2.push(2.0);
+        let pw = PiecewisePoly::fit(&x2, &y2, 8, 1).unwrap();
+        // Right-edge query answered from a borrowed polynomial, no NaN.
+        assert!(pw.eval(0.95).is_finite());
+    }
+
+    #[test]
+    fn rejects_degenerate_inputs() {
+        assert!(PiecewisePoly::fit(&[1.0], &[1.0, 2.0], 2, 1).is_err());
+        assert!(PiecewisePoly::fit(&[1.0, 2.0], &[1.0, 2.0], 0, 1).is_err());
+        assert!(PiecewisePoly::fit(&[1.0], &[1.0], 1, 3).is_err());
+        let nans = [f64::NAN, f64::NAN];
+        assert!(PiecewisePoly::fit(&nans, &nans, 1, 0).is_err());
+    }
+
+    #[test]
+    fn nan_points_are_skipped() {
+        let xs = [0.0, 0.5, f64::NAN, 1.0, 1.5];
+        let ys = [0.0, 1.0, 7.0, 2.0, 3.0];
+        let pw = PiecewisePoly::fit(&xs, &ys, 1, 1).unwrap();
+        assert!((pw.eval(1.0) - 2.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,81 @@
+//! Errors for SQL parsing, planning and execution.
+
+use lawsdb_storage::StorageError;
+use std::fmt;
+
+/// Result alias for this crate.
+pub type Result<T> = std::result::Result<T, QueryError>;
+
+/// Errors produced by the query layer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueryError {
+    /// Lexical error in the SQL text.
+    Lex {
+        /// Details.
+        detail: String,
+        /// Byte offset.
+        pos: usize,
+    },
+    /// Syntax error.
+    Parse {
+        /// What was expected.
+        expected: String,
+        /// What was found.
+        found: String,
+    },
+    /// A referenced column does not exist in the input schema.
+    UnknownColumn {
+        /// The missing name.
+        name: String,
+    },
+    /// Aggregates mixed with non-grouped columns, or similar shape
+    /// violations.
+    InvalidAggregate {
+        /// Explanation.
+        reason: String,
+    },
+    /// A type error during evaluation (e.g. arithmetic on strings).
+    Type {
+        /// Explanation.
+        reason: String,
+    },
+    /// Unsupported SQL construct (kept explicit so callers can tell
+    /// "bad query" from "valid SQL we don't do").
+    Unsupported {
+        /// The construct.
+        what: String,
+    },
+    /// Underlying storage failure.
+    Storage(StorageError),
+}
+
+impl fmt::Display for QueryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueryError::Lex { detail, pos } => write!(f, "lex error at byte {pos}: {detail}"),
+            QueryError::Parse { expected, found } => {
+                write!(f, "parse error: expected {expected}, found {found}")
+            }
+            QueryError::UnknownColumn { name } => write!(f, "unknown column {name:?}"),
+            QueryError::InvalidAggregate { reason } => write!(f, "invalid aggregate: {reason}"),
+            QueryError::Type { reason } => write!(f, "type error: {reason}"),
+            QueryError::Unsupported { what } => write!(f, "unsupported SQL: {what}"),
+            QueryError::Storage(e) => write!(f, "storage error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            QueryError::Storage(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<StorageError> for QueryError {
+    fn from(e: StorageError) -> Self {
+        QueryError::Storage(e)
+    }
+}

@@ -1,0 +1,828 @@
+//! Vectorized plan execution.
+
+use crate::error::{QueryError, Result};
+use crate::optimize::optimize;
+use crate::plan::{AggSpec, LogicalPlan};
+use crate::sexpr::ScalarExpr;
+use crate::sql::{parse_select, AggFunc, OrderBy};
+use lawsdb_storage::schema::{DataType, Field, Schema};
+use lawsdb_storage::{Catalog, Column, Table, Value};
+use std::collections::HashMap;
+
+/// Result of executing a query: the output table plus the exact number
+/// of base-table rows the executor materialized.
+///
+/// `rows_scanned` is the paper's currency — the approximate engine's
+/// whole point is answering with `rows_scanned == 0`.
+#[derive(Debug, Clone)]
+pub struct QueryResult {
+    /// Output rows.
+    pub table: Table,
+    /// Base-table rows materialized by scans.
+    pub rows_scanned: usize,
+}
+
+/// Parse, plan, optimize and execute a SELECT statement.
+pub fn execute(catalog: &Catalog, sql: &str) -> Result<QueryResult> {
+    let stmt = parse_select(sql)?;
+    let plan = LogicalPlan::from_statement(&stmt)?;
+    let plan = optimize(&plan);
+    execute_plan(catalog, &plan)
+}
+
+/// Execute an already-built logical plan.
+pub fn execute_plan(catalog: &Catalog, plan: &LogicalPlan) -> Result<QueryResult> {
+    let mut scanned = 0usize;
+    let table = exec(catalog, plan, &mut scanned)?;
+    Ok(QueryResult { table, rows_scanned: scanned })
+}
+
+fn exec(catalog: &Catalog, plan: &LogicalPlan, scanned: &mut usize) -> Result<Table> {
+    match plan {
+        LogicalPlan::Scan { table, projection } => {
+            let t = catalog.get(table)?;
+            *scanned += t.row_count();
+            match projection {
+                None => Ok((*t).clone()),
+                Some(cols) => {
+                    // The optimizer prunes without schema knowledge, so a
+                    // join plan lists both tables' columns at each scan;
+                    // keep only the ones this table actually has. Truly
+                    // unknown names surface later as UnknownColumn when
+                    // an expression references them.
+                    let names: Vec<&str> = cols
+                        .iter()
+                        .map(String::as_str)
+                        .filter(|n| t.schema().index_of(n).is_some())
+                        .collect();
+                    if names.is_empty() {
+                        Ok((*t).clone())
+                    } else {
+                        Ok(t.project(&names)?)
+                    }
+                }
+            }
+        }
+        LogicalPlan::Join { left, right, left_col, right_col } => {
+            let lt = exec(catalog, left, scanned)?;
+            let rt = exec(catalog, right, scanned)?;
+            hash_join(&lt, &rt, left_col, right_col)
+        }
+        LogicalPlan::Filter { input, predicate } => {
+            let t = exec(catalog, input, scanned)?;
+            let predicate = normalize_expr(predicate, t.schema())?;
+            let truth = predicate.eval_predicate(&t)?;
+            let keep: Vec<usize> = truth
+                .iter()
+                .enumerate()
+                .filter_map(|(i, t)| (*t == Some(true)).then_some(i))
+                .collect();
+            Ok(t.take(&keep)?)
+        }
+        LogicalPlan::Aggregate { input, group_by, aggs } => {
+            let t = exec(catalog, input, scanned)?;
+            aggregate(&t, group_by, aggs)
+        }
+        LogicalPlan::Project { input, exprs, star } => {
+            let t = exec(catalog, input, scanned)?;
+            let mut fields = Vec::new();
+            let mut cols = Vec::new();
+            if *star {
+                for (f, c) in t.schema().fields().iter().zip(t.columns()) {
+                    fields.push(f.clone());
+                    cols.push(c.clone());
+                }
+            }
+            for (e, name) in exprs {
+                let e = normalize_expr(e, t.schema())?;
+                let col = e.eval_batch(&t)?;
+                fields.push(Field::nullable(name.clone(), col.data_type()));
+                cols.push(col);
+            }
+            Ok(Table::new("result", Schema::new(fields), cols)?)
+        }
+        LogicalPlan::Sort { input, keys } => {
+            let t = exec(catalog, input, scanned)?;
+            sort(&t, keys)
+        }
+        LogicalPlan::Distinct { input } => {
+            let t = exec(catalog, input, scanned)?;
+            let mut seen: std::collections::HashSet<Vec<KeyPart>> =
+                std::collections::HashSet::new();
+            let mut keep = Vec::new();
+            for row in 0..t.row_count() {
+                let key: Vec<KeyPart> = t
+                    .row(row)?
+                    .iter()
+                    .map(KeyPart::from_value)
+                    .collect();
+                if seen.insert(key) {
+                    keep.push(row);
+                }
+            }
+            Ok(t.take(&keep)?)
+        }
+        LogicalPlan::Limit { input, n } => {
+            let t = exec(catalog, input, scanned)?;
+            let keep: Vec<usize> = (0..t.row_count().min(*n)).collect();
+            Ok(t.take(&keep)?)
+        }
+    }
+}
+
+/// Resolve possibly-qualified column names against a schema: exact
+/// match first, then `qualifier.name` → `name`, then `name` → any
+/// single `x.name`.
+fn normalize_name(schema: &Schema, name: &str) -> Result<String> {
+    if schema.index_of(name).is_some() {
+        return Ok(name.to_string());
+    }
+    if let Some((_, plain)) = name.split_once('.') {
+        if schema.index_of(plain).is_some() {
+            return Ok(plain.to_string());
+        }
+    }
+    let suffix = format!(".{name}");
+    let matches: Vec<&str> = schema
+        .names()
+        .into_iter()
+        .filter(|n| n.ends_with(&suffix))
+        .collect();
+    match matches.as_slice() {
+        [one] => Ok(one.to_string()),
+        _ => Err(QueryError::UnknownColumn { name: name.to_string() }),
+    }
+}
+
+fn normalize_expr(expr: &ScalarExpr, schema: &Schema) -> Result<ScalarExpr> {
+    Ok(match expr {
+        ScalarExpr::Column(c) => ScalarExpr::Column(normalize_name(schema, c)?),
+        ScalarExpr::Number(_) | ScalarExpr::Str(_) => expr.clone(),
+        ScalarExpr::Neg(a) => ScalarExpr::Neg(Box::new(normalize_expr(a, schema)?)),
+        ScalarExpr::Not(a) => ScalarExpr::Not(Box::new(normalize_expr(a, schema)?)),
+        ScalarExpr::Arith(op, a, b) => ScalarExpr::Arith(
+            *op,
+            Box::new(normalize_expr(a, schema)?),
+            Box::new(normalize_expr(b, schema)?),
+        ),
+        ScalarExpr::Cmp(op, a, b) => ScalarExpr::Cmp(
+            *op,
+            Box::new(normalize_expr(a, schema)?),
+            Box::new(normalize_expr(b, schema)?),
+        ),
+        ScalarExpr::And(a, b) => ScalarExpr::And(
+            Box::new(normalize_expr(a, schema)?),
+            Box::new(normalize_expr(b, schema)?),
+        ),
+        ScalarExpr::Or(a, b) => ScalarExpr::Or(
+            Box::new(normalize_expr(a, schema)?),
+            Box::new(normalize_expr(b, schema)?),
+        ),
+    })
+}
+
+// ------------------------------------------------------------- hashing
+
+/// Hashable, comparable rendering of a group/join key value.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum KeyPart {
+    Null,
+    Int(i64),
+    /// Floats keyed by bit pattern (NaN groups with NaN; −0.0 ≠ 0.0 is
+    /// acceptable for grouping).
+    Float(u64),
+    Str(String),
+    Bool(bool),
+}
+
+impl KeyPart {
+    fn from_value(v: &Value) -> KeyPart {
+        match v {
+            Value::Null => KeyPart::Null,
+            Value::Int(i) => KeyPart::Int(*i),
+            // Integral floats join/group with equal ints.
+            Value::Float(f) if f.fract() == 0.0 && f.is_finite() && f.abs() < 9.0e18 => {
+                KeyPart::Int(*f as i64)
+            }
+            Value::Float(f) => KeyPart::Float(f.to_bits()),
+            Value::Str(s) => KeyPart::Str(s.clone()),
+            Value::Bool(b) => KeyPart::Bool(*b),
+        }
+    }
+}
+
+fn hash_join(left: &Table, right: &Table, left_col: &str, right_col: &str) -> Result<Table> {
+    let lkey = normalize_name(left.schema(), left_col)
+        .or_else(|_| normalize_name(right.schema(), left_col))?;
+    let rkey = normalize_name(right.schema(), right_col)
+        .or_else(|_| normalize_name(left.schema(), right_col))?;
+    // Allow the user to write the join condition in either order.
+    let (lkey, rkey) = if left.schema().index_of(&lkey).is_some() {
+        (lkey, rkey)
+    } else {
+        (rkey, lkey)
+    };
+    let lcol = left.column(&lkey)?;
+    let rcol = right.column(&rkey)?;
+
+    // Build on the right side.
+    let mut build: HashMap<KeyPart, Vec<usize>> = HashMap::new();
+    for i in 0..right.row_count() {
+        let v = rcol.value(i)?;
+        if v.is_null() {
+            continue; // NULL never joins
+        }
+        build.entry(KeyPart::from_value(&v)).or_default().push(i);
+    }
+    let mut lidx = Vec::new();
+    let mut ridx = Vec::new();
+    for i in 0..left.row_count() {
+        let v = lcol.value(i)?;
+        if v.is_null() {
+            continue;
+        }
+        if let Some(rows) = build.get(&KeyPart::from_value(&v)) {
+            for &r in rows {
+                lidx.push(i);
+                ridx.push(r);
+            }
+        }
+    }
+
+    let lt = left.take(&lidx)?;
+    let rt = right.take(&ridx)?;
+    let mut fields = Vec::new();
+    let mut cols = Vec::new();
+    for (f, c) in lt.schema().fields().iter().zip(lt.columns()) {
+        fields.push(f.clone());
+        cols.push(c.clone());
+    }
+    for (f, c) in rt.schema().fields().iter().zip(rt.columns()) {
+        let clash = lt.schema().index_of(&f.name).is_some();
+        let name = if clash {
+            format!("{}.{}", right.name(), f.name)
+        } else {
+            f.name.clone()
+        };
+        fields.push(Field { name, data_type: f.data_type, nullable: f.nullable });
+        cols.push(c.clone());
+    }
+    Ok(Table::new("result", Schema::new(fields), cols)?)
+}
+
+// ----------------------------------------------------------- aggregate
+
+#[derive(Debug, Clone)]
+struct Accumulator {
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+    min_str: Option<String>,
+    max_str: Option<String>,
+}
+
+impl Accumulator {
+    fn new() -> Accumulator {
+        Accumulator {
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            min_str: None,
+            max_str: None,
+        }
+    }
+
+    fn add_num(&mut self, v: f64) {
+        self.count += 1;
+        self.sum += v;
+        if v < self.min {
+            self.min = v;
+        }
+        if v > self.max {
+            self.max = v;
+        }
+    }
+
+    fn add_str(&mut self, s: &str) {
+        self.count += 1;
+        if self.min_str.as_deref().is_none_or(|m| s < m) {
+            self.min_str = Some(s.to_string());
+        }
+        if self.max_str.as_deref().is_none_or(|m| s > m) {
+            self.max_str = Some(s.to_string());
+        }
+    }
+
+    fn finish(&self, func: AggFunc) -> Value {
+        match func {
+            AggFunc::Count => Value::Int(self.count as i64),
+            AggFunc::Sum => {
+                if self.count == 0 {
+                    Value::Null
+                } else {
+                    Value::Float(self.sum)
+                }
+            }
+            AggFunc::Avg => {
+                if self.count == 0 {
+                    Value::Null
+                } else {
+                    Value::Float(self.sum / self.count as f64)
+                }
+            }
+            AggFunc::Min => match &self.min_str {
+                Some(s) => Value::Str(s.clone()),
+                None if self.count > 0 => Value::Float(self.min),
+                None => Value::Null,
+            },
+            AggFunc::Max => match &self.max_str {
+                Some(s) => Value::Str(s.clone()),
+                None if self.count > 0 => Value::Float(self.max),
+                None => Value::Null,
+            },
+        }
+    }
+}
+
+fn aggregate(t: &Table, group_by: &[String], aggs: &[AggSpec]) -> Result<Table> {
+    let group_by: Vec<String> = group_by
+        .iter()
+        .map(|g| normalize_name(t.schema(), g))
+        .collect::<Result<_>>()?;
+    // Pre-evaluate aggregate argument expressions once, vectorized.
+    // Strings go through the Value path (for MIN/MAX on strings).
+    enum ArgData {
+        Star,
+        Numeric(Vec<Option<f64>>),
+        Strings(Vec<Option<String>>),
+    }
+    let mut arg_data = Vec::with_capacity(aggs.len());
+    for a in aggs {
+        match &a.arg {
+            None => arg_data.push(ArgData::Star),
+            Some(e) => {
+                let e = normalize_expr(e, t.schema())?;
+                // String column? Only a bare column can be stringy here.
+                let stringy = matches!(
+                    &e,
+                    ScalarExpr::Column(c)
+                        if t.column(c).map(|col| col.data_type() == DataType::Str).unwrap_or(false)
+                );
+                if stringy {
+                    if !matches!(a.func, AggFunc::Min | AggFunc::Max | AggFunc::Count) {
+                        return Err(QueryError::InvalidAggregate {
+                            reason: format!("{} over a string column", a.func.name()),
+                        });
+                    }
+                    let ScalarExpr::Column(c) = &e else { unreachable!() };
+                    let col = t.column(c)?;
+                    let mut vals = Vec::with_capacity(t.row_count());
+                    for i in 0..t.row_count() {
+                        vals.push(match col.value(i)? {
+                            Value::Str(s) => Some(s),
+                            _ => None,
+                        });
+                    }
+                    arg_data.push(ArgData::Strings(vals));
+                } else {
+                    arg_data.push(ArgData::Numeric(e.eval_numeric(t)?));
+                }
+            }
+        }
+    }
+
+    // Group rows.
+    let key_cols: Vec<&Column> = group_by
+        .iter()
+        .map(|g| t.column(g))
+        .collect::<lawsdb_storage::Result<_>>()?;
+    let mut groups: HashMap<Vec<KeyPart>, usize> = HashMap::new();
+    let mut group_rows: Vec<usize> = Vec::new(); // first row of each group
+    let mut accs: Vec<Vec<Accumulator>> = Vec::new();
+    for row in 0..t.row_count() {
+        let key: Vec<KeyPart> = key_cols
+            .iter()
+            .map(|c| c.value(row).map(|v| KeyPart::from_value(&v)))
+            .collect::<lawsdb_storage::Result<_>>()?;
+        let gid = *groups.entry(key).or_insert_with(|| {
+            group_rows.push(row);
+            accs.push(vec![Accumulator::new(); aggs.len()]);
+            accs.len() - 1
+        });
+        for (ai, data) in arg_data.iter().enumerate() {
+            match data {
+                ArgData::Star => accs[gid][ai].count += 1,
+                ArgData::Numeric(vals) => {
+                    if let Some(v) = vals[row] {
+                        accs[gid][ai].add_num(v);
+                    }
+                }
+                ArgData::Strings(vals) => {
+                    if let Some(s) = &vals[row] {
+                        accs[gid][ai].add_str(s);
+                    }
+                }
+            }
+        }
+    }
+
+    // Global aggregate over an empty input still yields one row.
+    if group_by.is_empty() && accs.is_empty() {
+        group_rows.push(usize::MAX);
+        accs.push(vec![Accumulator::new(); aggs.len()]);
+    }
+
+    // Assemble output: group columns in declared order, then aggregates.
+    let mut fields = Vec::new();
+    let mut cols = Vec::new();
+    for g in &group_by {
+        let src = t.column(g)?;
+        let rows: Vec<usize> = group_rows.clone();
+        fields.push(Field {
+            name: g.clone(),
+            data_type: src.data_type(),
+            nullable: true,
+        });
+        cols.push(src.take(&rows)?);
+    }
+    for (ai, a) in aggs.iter().enumerate() {
+        let values: Vec<Value> = accs.iter().map(|g| g[ai].finish(a.func)).collect();
+        let col = column_from_values(&values);
+        fields.push(Field::nullable(a.name.clone(), col.data_type()));
+        cols.push(col);
+    }
+    Ok(Table::new("result", Schema::new(fields), cols)?)
+}
+
+/// Build a column from dynamic values, inferring the narrowest type.
+pub fn column_from_values(values: &[Value]) -> Column {
+    let mut saw_float = false;
+    let mut saw_int = false;
+    let mut saw_str = false;
+    let mut saw_bool = false;
+    for v in values {
+        match v {
+            Value::Float(_) => saw_float = true,
+            Value::Int(_) => saw_int = true,
+            Value::Str(_) => saw_str = true,
+            Value::Bool(_) => saw_bool = true,
+            Value::Null => {}
+        }
+    }
+    if saw_str {
+        let data: Vec<String> = values
+            .iter()
+            .map(|v| v.as_str().unwrap_or("").to_string())
+            .collect();
+        let mut col = Column::from_str(data);
+        mark_nulls(&mut col, values);
+        col
+    } else if saw_float || (saw_int && saw_float) {
+        let mut col =
+            Column::from_f64_opt(values.iter().map(|v| v.as_f64()).collect());
+        mark_nulls(&mut col, values);
+        col
+    } else if saw_int {
+        Column::from_i64_opt(values.iter().map(|v| v.as_i64()).collect())
+    } else if saw_bool {
+        let data: Vec<bool> = values
+            .iter()
+            .map(|v| matches!(v, Value::Bool(true)))
+            .collect();
+        let mut col = Column::from_bool(&data);
+        mark_nulls(&mut col, values);
+        col
+    } else {
+        // All NULL.
+        Column::from_f64_opt(vec![None; values.len()])
+    }
+}
+
+fn mark_nulls(col: &mut Column, values: &[Value]) {
+    let validity = match col {
+        Column::Int64 { validity, .. }
+        | Column::Float64 { validity, .. }
+        | Column::Str { validity, .. }
+        | Column::Bool { validity, .. } => validity,
+    };
+    for (i, v) in values.iter().enumerate() {
+        if v.is_null() {
+            validity.set(i, false);
+        }
+    }
+}
+
+// ---------------------------------------------------------------- sort
+
+fn sort(t: &Table, keys: &[OrderBy]) -> Result<Table> {
+    let mut resolved = Vec::with_capacity(keys.len());
+    for k in keys {
+        resolved.push((normalize_name(t.schema(), &k.column)?, k.desc));
+    }
+    let mut idx: Vec<usize> = (0..t.row_count()).collect();
+    // Pre-fetch key values per row to avoid re-reading during comparison.
+    let mut key_vals: Vec<Vec<Value>> = Vec::with_capacity(resolved.len());
+    for (name, _) in &resolved {
+        let col = t.column(name)?;
+        let mut vals = Vec::with_capacity(t.row_count());
+        for i in 0..t.row_count() {
+            vals.push(col.value(i)?);
+        }
+        key_vals.push(vals);
+    }
+    idx.sort_by(|&a, &b| {
+        for (ki, (_, desc)) in resolved.iter().enumerate() {
+            let va = &key_vals[ki][a];
+            let vb = &key_vals[ki][b];
+            let ord = match (va.is_null(), vb.is_null()) {
+                (true, true) => std::cmp::Ordering::Equal,
+                // NULLs sort last regardless of direction.
+                (true, false) => return std::cmp::Ordering::Greater,
+                (false, true) => return std::cmp::Ordering::Less,
+                (false, false) => {
+                    va.sql_cmp(vb).unwrap_or(std::cmp::Ordering::Equal)
+                }
+            };
+            let ord = if *desc { ord.reverse() } else { ord };
+            if ord != std::cmp::Ordering::Equal {
+                return ord;
+            }
+        }
+        std::cmp::Ordering::Equal
+    });
+    Ok(t.take(&idx)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lawsdb_storage::TableBuilder;
+
+    fn catalog() -> Catalog {
+        let c = Catalog::new();
+        let mut b = TableBuilder::new("m");
+        b.add_i64("source", vec![1, 1, 2, 2, 3]);
+        b.add_f64("nu", vec![0.12, 0.15, 0.12, 0.15, 0.12]);
+        b.add_f64_opt(
+            "intensity",
+            vec![Some(1.0), Some(2.0), Some(10.0), Some(20.0), None],
+        );
+        c.register(b.build().unwrap()).unwrap();
+
+        let mut s = TableBuilder::new("sources");
+        s.add_i64("id", vec![1, 2, 3]);
+        s.add_str("kind", vec!["pulsar".into(), "quasar".into(), "star".into()]);
+        c.register(s.build().unwrap()).unwrap();
+        c
+    }
+
+    #[test]
+    fn select_star() {
+        let r = execute(&catalog(), "SELECT * FROM m").unwrap();
+        assert_eq!(r.table.row_count(), 5);
+        assert_eq!(r.table.schema().len(), 3);
+        assert_eq!(r.rows_scanned, 5);
+    }
+
+    #[test]
+    fn filter_with_nulls_drops_unknown() {
+        let r = execute(&catalog(), "SELECT source FROM m WHERE intensity > 0").unwrap();
+        // Row with NULL intensity is UNKNOWN → dropped.
+        assert_eq!(r.table.row_count(), 4);
+    }
+
+    #[test]
+    fn group_by_with_aggregates() {
+        let r = execute(
+            &catalog(),
+            "SELECT source, COUNT(*) AS n, AVG(intensity) AS mean, SUM(intensity) AS tot, \
+             MIN(intensity) AS lo, MAX(intensity) AS hi \
+             FROM m GROUP BY source ORDER BY source",
+        )
+        .unwrap();
+        assert_eq!(r.table.row_count(), 3);
+        // Source 1: n=2, mean=1.5; source 3: count(*)=1 but all-NULL agg.
+        assert_eq!(r.table.row(0).unwrap()[1], Value::Int(2));
+        assert_eq!(r.table.row(0).unwrap()[2], Value::Float(1.5));
+        assert_eq!(r.table.row(2).unwrap()[1], Value::Int(1));
+        assert_eq!(r.table.row(2).unwrap()[2], Value::Null);
+        assert_eq!(r.table.row(1).unwrap()[4], Value::Float(10.0));
+        assert_eq!(r.table.row(1).unwrap()[5], Value::Float(20.0));
+    }
+
+    #[test]
+    fn global_aggregate_on_empty_filter() {
+        let r = execute(&catalog(), "SELECT COUNT(*) AS n, AVG(intensity) AS a FROM m WHERE source = 99")
+            .unwrap();
+        assert_eq!(r.table.row_count(), 1);
+        assert_eq!(r.table.row(0).unwrap()[0], Value::Int(0));
+        assert_eq!(r.table.row(0).unwrap()[1], Value::Null);
+    }
+
+    #[test]
+    fn count_ignores_nulls_count_star_does_not() {
+        let r = execute(
+            &catalog(),
+            "SELECT COUNT(*) AS all_rows, COUNT(intensity) AS with_i FROM m",
+        )
+        .unwrap();
+        assert_eq!(r.table.row(0).unwrap()[0], Value::Int(5));
+        assert_eq!(r.table.row(0).unwrap()[1], Value::Int(4));
+    }
+
+    #[test]
+    fn order_by_desc_with_nulls_last() {
+        let r = execute(&catalog(), "SELECT intensity FROM m ORDER BY intensity DESC").unwrap();
+        let rows: Vec<Value> = (0..5).map(|i| r.table.row(i).unwrap()[0].clone()).collect();
+        assert_eq!(
+            rows,
+            vec![
+                Value::Float(20.0),
+                Value::Float(10.0),
+                Value::Float(2.0),
+                Value::Float(1.0),
+                Value::Null
+            ]
+        );
+    }
+
+    #[test]
+    fn limit_caps_rows() {
+        let r = execute(&catalog(), "SELECT * FROM m LIMIT 2").unwrap();
+        assert_eq!(r.table.row_count(), 2);
+        let r = execute(&catalog(), "SELECT * FROM m LIMIT 0").unwrap();
+        assert_eq!(r.table.row_count(), 0);
+    }
+
+    #[test]
+    fn projection_expressions_and_aliases() {
+        let r = execute(&catalog(), "SELECT intensity * 2 AS dbl FROM m WHERE source = 1").unwrap();
+        assert_eq!(r.table.schema().names(), vec!["dbl"]);
+        assert_eq!(r.table.row(0).unwrap()[0], Value::Float(2.0));
+    }
+
+    #[test]
+    fn join_matches_and_renames() {
+        let r = execute(
+            &catalog(),
+            "SELECT source, kind, intensity FROM m JOIN sources ON source = id \
+             WHERE intensity > 5 ORDER BY intensity",
+        )
+        .unwrap();
+        assert_eq!(r.table.row_count(), 2);
+        assert_eq!(r.table.row(0).unwrap()[1], Value::Str("quasar".to_string()));
+    }
+
+    #[test]
+    fn join_with_qualified_columns() {
+        let r = execute(
+            &catalog(),
+            "SELECT m.source, sources.kind FROM m JOIN sources ON m.source = sources.id LIMIT 1",
+        )
+        .unwrap();
+        assert_eq!(r.table.row_count(), 1);
+    }
+
+    #[test]
+    fn string_aggregates_min_max() {
+        let r = execute(&catalog(), "SELECT MIN(kind) AS lo, MAX(kind) AS hi FROM sources").unwrap();
+        assert_eq!(r.table.row(0).unwrap()[0], Value::Str("pulsar".to_string()));
+        assert_eq!(r.table.row(0).unwrap()[1], Value::Str("star".to_string()));
+    }
+
+    #[test]
+    fn sum_over_string_rejected() {
+        assert!(matches!(
+            execute(&catalog(), "SELECT SUM(kind) FROM sources"),
+            Err(QueryError::InvalidAggregate { .. })
+        ));
+    }
+
+    #[test]
+    fn unknown_column_reported() {
+        assert!(matches!(
+            execute(&catalog(), "SELECT zz FROM m"),
+            Err(QueryError::UnknownColumn { .. })
+        ));
+        assert!(matches!(
+            execute(&catalog(), "SELECT source FROM m WHERE zz = 1"),
+            Err(QueryError::UnknownColumn { .. })
+        ));
+    }
+
+    #[test]
+    fn unknown_table_reported() {
+        assert!(execute(&catalog(), "SELECT a FROM nope").is_err());
+    }
+
+    #[test]
+    fn rows_scanned_counts_join_inputs() {
+        let r = execute(&catalog(), "SELECT source FROM m JOIN sources ON source = id").unwrap();
+        assert_eq!(r.rows_scanned, 5 + 3);
+    }
+
+    #[test]
+    fn column_from_values_inference() {
+        let c = column_from_values(&[Value::Int(1), Value::Null, Value::Int(3)]);
+        assert_eq!(c.data_type(), DataType::Int64);
+        assert_eq!(c.null_count(), 1);
+        let c = column_from_values(&[Value::Int(1), Value::Float(2.5)]);
+        assert_eq!(c.data_type(), DataType::Float64);
+        let c = column_from_values(&[Value::Null, Value::Null]);
+        assert_eq!(c.null_count(), 2);
+    }
+
+    #[test]
+    fn group_by_float_column_groups_by_value() {
+        let r = execute(
+            &catalog(),
+            "SELECT nu, COUNT(*) AS n FROM m GROUP BY nu ORDER BY nu",
+        )
+        .unwrap();
+        assert_eq!(r.table.row_count(), 2);
+        assert_eq!(r.table.row(0).unwrap()[1], Value::Int(3));
+        assert_eq!(r.table.row(1).unwrap()[1], Value::Int(2));
+    }
+}
+
+#[cfg(test)]
+mod name_resolution_tests {
+    use super::*;
+    use lawsdb_storage::schema::{Field, Schema};
+
+    #[test]
+    fn ambiguous_suffix_is_rejected() {
+        // Two qualified columns share the suffix `.k`: a bare `k` must
+        // not silently pick one.
+        let schema = Schema::new(vec![
+            Field::new("t.k", DataType::Int64),
+            Field::new("u.k", DataType::Int64),
+        ]);
+        assert!(matches!(
+            normalize_name(&schema, "k"),
+            Err(QueryError::UnknownColumn { .. })
+        ));
+        // Qualified references resolve exactly.
+        assert_eq!(normalize_name(&schema, "t.k").unwrap(), "t.k");
+    }
+
+    #[test]
+    fn qualifier_strips_to_plain_when_unique() {
+        let schema = Schema::new(vec![Field::new("k", DataType::Int64)]);
+        assert_eq!(normalize_name(&schema, "t.k").unwrap(), "k");
+    }
+}
+
+#[cfg(test)]
+mod distinct_tests {
+    use super::*;
+    use lawsdb_storage::TableBuilder;
+
+    fn catalog() -> Catalog {
+        let c = Catalog::new();
+        let mut b = TableBuilder::new("t");
+        b.add_i64("a", vec![1, 1, 2, 2, 2, 3]);
+        b.add_str(
+            "s",
+            vec!["x".into(), "x".into(), "y".into(), "y".into(), "z".into(), "z".into()],
+        );
+        c.register(b.build().unwrap()).unwrap();
+        c
+    }
+
+    #[test]
+    fn distinct_single_column() {
+        let r = execute(&catalog(), "SELECT DISTINCT a FROM t ORDER BY a").unwrap();
+        assert_eq!(r.table.row_count(), 3);
+        assert_eq!(r.table.column("a").unwrap().i64_data().unwrap(), &[1, 2, 3]);
+    }
+
+    #[test]
+    fn distinct_multi_column_keeps_distinct_pairs() {
+        let r = execute(&catalog(), "SELECT DISTINCT a, s FROM t ORDER BY a, s").unwrap();
+        // Pairs: (1,x), (2,y), (2,z), (3,z).
+        assert_eq!(r.table.row_count(), 4);
+        assert_eq!(r.table.row(2).unwrap()[0], Value::Int(2));
+        assert_eq!(r.table.row(2).unwrap()[1], Value::Str("z".to_string()));
+    }
+
+    #[test]
+    fn distinct_star_dedups_full_rows() {
+        let r = execute(&catalog(), "SELECT DISTINCT * FROM t").unwrap();
+        assert_eq!(r.table.row_count(), 4);
+    }
+
+    #[test]
+    fn distinct_respects_limit_after_dedup() {
+        let r = execute(&catalog(), "SELECT DISTINCT a FROM t ORDER BY a DESC LIMIT 2").unwrap();
+        assert_eq!(r.table.column("a").unwrap().i64_data().unwrap(), &[3, 2]);
+    }
+
+    #[test]
+    fn non_distinct_unaffected() {
+        let r = execute(&catalog(), "SELECT a FROM t").unwrap();
+        assert_eq!(r.table.row_count(), 6);
+    }
+}

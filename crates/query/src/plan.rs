@@ -1,0 +1,333 @@
+//! Logical query plans.
+
+use crate::error::{QueryError, Result};
+use crate::sexpr::ScalarExpr;
+use crate::sql::{AggFunc, OrderBy, SelectItem, SelectStatement};
+
+/// One aggregate output: function, argument (None = `COUNT(*)`), output
+/// column name.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AggSpec {
+    /// Aggregate function.
+    pub func: AggFunc,
+    /// Argument expression (`None` means `*`).
+    pub arg: Option<ScalarExpr>,
+    /// Output column name.
+    pub name: String,
+}
+
+/// A logical plan node. The tree shape is the textbook pipeline:
+/// `Scan → [Join] → [Filter] → [Aggregate | Project] → [Sort] → [Limit]`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LogicalPlan {
+    /// Base-table scan. `projection = None` reads every column;
+    /// the optimizer narrows it to the referenced set.
+    Scan {
+        /// Table name.
+        table: String,
+        /// Columns to materialize, or `None` for all.
+        projection: Option<Vec<String>>,
+    },
+    /// Inner hash equi-join.
+    Join {
+        /// Left (FROM) input.
+        left: Box<LogicalPlan>,
+        /// Right (JOIN) input.
+        right: Box<LogicalPlan>,
+        /// Key column on the left input.
+        left_col: String,
+        /// Key column on the right input.
+        right_col: String,
+    },
+    /// Row filter.
+    Filter {
+        /// Input plan.
+        input: Box<LogicalPlan>,
+        /// Predicate (SQL three-valued: keep only TRUE rows).
+        predicate: ScalarExpr,
+    },
+    /// Hash aggregation; with `group_by` empty, one output row.
+    Aggregate {
+        /// Input plan.
+        input: Box<LogicalPlan>,
+        /// Grouping columns.
+        group_by: Vec<String>,
+        /// Aggregates to compute.
+        aggs: Vec<AggSpec>,
+    },
+    /// Projection of scalar expressions. `star` keeps all input
+    /// columns (then appends the explicit expressions, if any).
+    Project {
+        /// Input plan.
+        input: Box<LogicalPlan>,
+        /// `(expression, output name)` pairs.
+        exprs: Vec<(ScalarExpr, String)>,
+        /// `SELECT *`?
+        star: bool,
+    },
+    /// Duplicate elimination over the input's full row.
+    Distinct {
+        /// Input plan.
+        input: Box<LogicalPlan>,
+    },
+    /// Sort by one or more keys.
+    Sort {
+        /// Input plan.
+        input: Box<LogicalPlan>,
+        /// Sort keys in priority order.
+        keys: Vec<OrderBy>,
+    },
+    /// Keep only the first `n` rows.
+    Limit {
+        /// Input plan.
+        input: Box<LogicalPlan>,
+        /// Row cap.
+        n: usize,
+    },
+}
+
+impl LogicalPlan {
+    /// Build a plan from a parsed statement.
+    pub fn from_statement(stmt: &SelectStatement) -> Result<LogicalPlan> {
+        let mut plan = LogicalPlan::Scan { table: stmt.table.clone(), projection: None };
+        if let Some(join) = &stmt.join {
+            plan = LogicalPlan::Join {
+                left: Box::new(plan),
+                right: Box::new(LogicalPlan::Scan {
+                    table: join.table.clone(),
+                    projection: None,
+                }),
+                left_col: join.left_col.clone(),
+                right_col: join.right_col.clone(),
+            };
+        }
+        if let Some(pred) = &stmt.predicate {
+            plan = LogicalPlan::Filter { input: Box::new(plan), predicate: pred.clone() };
+        }
+
+        let has_agg = stmt.items.iter().any(|i| matches!(i, SelectItem::Agg { .. }));
+        if has_agg || !stmt.group_by.is_empty() {
+            let mut aggs = Vec::new();
+            for item in &stmt.items {
+                match item {
+                    SelectItem::Agg { func, arg, .. } => aggs.push(AggSpec {
+                        func: *func,
+                        arg: arg.clone(),
+                        name: item.output_name(),
+                    }),
+                    SelectItem::Expr { expr, .. } => {
+                        // Bare expressions must be grouping columns.
+                        match expr {
+                            ScalarExpr::Column(c) if stmt.group_by.contains(c) => {}
+                            other => {
+                                return Err(QueryError::InvalidAggregate {
+                                    reason: format!(
+                                        "{other} is neither aggregated nor in GROUP BY"
+                                    ),
+                                })
+                            }
+                        }
+                    }
+                    SelectItem::Star => {
+                        return Err(QueryError::InvalidAggregate {
+                            reason: "SELECT * cannot be combined with aggregates".to_string(),
+                        })
+                    }
+                }
+            }
+            plan = LogicalPlan::Aggregate {
+                input: Box::new(plan),
+                group_by: stmt.group_by.clone(),
+                aggs,
+            };
+        } else {
+            let star = stmt.items.iter().any(|i| matches!(i, SelectItem::Star));
+            let mut exprs = Vec::new();
+            for item in &stmt.items {
+                if let SelectItem::Expr { expr, .. } = item {
+                    exprs.push((expr.clone(), item.output_name()));
+                }
+            }
+            if !(star && exprs.is_empty()) {
+                plan = LogicalPlan::Project { input: Box::new(plan), exprs, star };
+            }
+        }
+
+        if stmt.distinct {
+            plan = LogicalPlan::Distinct { input: Box::new(plan) };
+        }
+        if !stmt.order_by.is_empty() {
+            plan = LogicalPlan::Sort { input: Box::new(plan), keys: stmt.order_by.clone() };
+        }
+        if let Some(n) = stmt.limit {
+            plan = LogicalPlan::Limit { input: Box::new(plan), n };
+        }
+        Ok(plan)
+    }
+
+    /// All column names this plan references above its scans (used by
+    /// projection pruning).
+    pub fn referenced_columns(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        self.collect_columns(&mut out);
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    fn collect_columns(&self, out: &mut Vec<String>) {
+        match self {
+            LogicalPlan::Scan { .. } => {}
+            LogicalPlan::Join { left, right, left_col, right_col } => {
+                out.push(left_col.clone());
+                out.push(right_col.clone());
+                left.collect_columns(out);
+                right.collect_columns(out);
+            }
+            LogicalPlan::Filter { input, predicate } => {
+                out.extend(predicate.columns());
+                input.collect_columns(out);
+            }
+            LogicalPlan::Aggregate { input, group_by, aggs } => {
+                out.extend(group_by.iter().cloned());
+                for a in aggs {
+                    if let Some(e) = &a.arg {
+                        out.extend(e.columns());
+                    }
+                }
+                input.collect_columns(out);
+            }
+            LogicalPlan::Project { input, exprs, .. } => {
+                for (e, _) in exprs {
+                    out.extend(e.columns());
+                }
+                input.collect_columns(out);
+            }
+            LogicalPlan::Sort { input, keys } => {
+                out.extend(keys.iter().map(|k| k.column.clone()));
+                input.collect_columns(out);
+            }
+            LogicalPlan::Distinct { input } => input.collect_columns(out),
+            LogicalPlan::Limit { input, .. } => input.collect_columns(out),
+        }
+    }
+
+    /// Pretty-print the plan tree (EXPLAIN-style, one node per line).
+    pub fn explain(&self) -> String {
+        let mut s = String::new();
+        self.explain_into(&mut s, 0);
+        s
+    }
+
+    fn explain_into(&self, out: &mut String, depth: usize) {
+        let pad = "  ".repeat(depth);
+        match self {
+            LogicalPlan::Scan { table, projection } => {
+                match projection {
+                    None => out.push_str(&format!("{pad}Scan {table} [*]\n")),
+                    Some(cols) => {
+                        out.push_str(&format!("{pad}Scan {table} [{}]\n", cols.join(", ")))
+                    }
+                }
+            }
+            LogicalPlan::Join { left, right, left_col, right_col } => {
+                out.push_str(&format!("{pad}Join on {left_col} = {right_col}\n"));
+                left.explain_into(out, depth + 1);
+                right.explain_into(out, depth + 1);
+            }
+            LogicalPlan::Filter { input, predicate } => {
+                out.push_str(&format!("{pad}Filter {predicate}\n"));
+                input.explain_into(out, depth + 1);
+            }
+            LogicalPlan::Aggregate { input, group_by, aggs } => {
+                let aggs: Vec<String> = aggs.iter().map(|a| a.name.clone()).collect();
+                out.push_str(&format!(
+                    "{pad}Aggregate group_by=[{}] aggs=[{}]\n",
+                    group_by.join(", "),
+                    aggs.join(", ")
+                ));
+                input.explain_into(out, depth + 1);
+            }
+            LogicalPlan::Project { input, exprs, star } => {
+                let mut items: Vec<String> = Vec::new();
+                if *star {
+                    items.push("*".to_string());
+                }
+                items.extend(exprs.iter().map(|(e, n)| format!("{e} AS {n}")));
+                out.push_str(&format!("{pad}Project [{}]\n", items.join(", ")));
+                input.explain_into(out, depth + 1);
+            }
+            LogicalPlan::Sort { input, keys } => {
+                let keys: Vec<String> = keys
+                    .iter()
+                    .map(|k| format!("{}{}", k.column, if k.desc { " DESC" } else { "" }))
+                    .collect();
+                out.push_str(&format!("{pad}Sort [{}]\n", keys.join(", ")));
+                input.explain_into(out, depth + 1);
+            }
+            LogicalPlan::Distinct { input } => {
+                out.push_str(&format!("{pad}Distinct\n"));
+                input.explain_into(out, depth + 1);
+            }
+            LogicalPlan::Limit { input, n } => {
+                out.push_str(&format!("{pad}Limit {n}\n"));
+                input.explain_into(out, depth + 1);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sql::parse_select;
+
+    #[test]
+    fn plan_shape_for_full_query() {
+        let stmt = parse_select(
+            "SELECT source, AVG(intensity) FROM m WHERE nu = 0.14 \
+             GROUP BY source ORDER BY source LIMIT 5",
+        )
+        .unwrap();
+        let plan = LogicalPlan::from_statement(&stmt).unwrap();
+        let text = plan.explain();
+        let lines: Vec<&str> = text.lines().map(|l| l.trim_start()).collect();
+        assert!(lines[0].starts_with("Limit"));
+        assert!(lines[1].starts_with("Sort"));
+        assert!(lines[2].starts_with("Aggregate"));
+        assert!(lines[3].starts_with("Filter"));
+        assert!(lines[4].starts_with("Scan"));
+    }
+
+    #[test]
+    fn bare_column_outside_group_by_rejected() {
+        let stmt = parse_select("SELECT intensity, COUNT(*) FROM m GROUP BY source").unwrap();
+        assert!(matches!(
+            LogicalPlan::from_statement(&stmt),
+            Err(QueryError::InvalidAggregate { .. })
+        ));
+    }
+
+    #[test]
+    fn star_with_aggregate_rejected() {
+        let stmt = parse_select("SELECT *, COUNT(*) FROM m").unwrap();
+        assert!(LogicalPlan::from_statement(&stmt).is_err());
+    }
+
+    #[test]
+    fn referenced_columns_cover_all_clauses() {
+        let stmt = parse_select(
+            "SELECT a + b AS s FROM t WHERE c > 1 ORDER BY d",
+        )
+        .unwrap();
+        let plan = LogicalPlan::from_statement(&stmt).unwrap();
+        assert_eq!(plan.referenced_columns(), vec!["a", "b", "c", "d"]);
+    }
+
+    #[test]
+    fn select_star_is_a_bare_scan_pipeline() {
+        let stmt = parse_select("SELECT * FROM t").unwrap();
+        let plan = LogicalPlan::from_statement(&stmt).unwrap();
+        assert!(matches!(plan, LogicalPlan::Scan { .. }));
+    }
+}

@@ -1,0 +1,554 @@
+//! Scalar expressions over table columns.
+//!
+//! This is the SQL-side expression AST: unlike the model-formula AST in
+//! `lawsdb-expr` it carries string literals and NULL semantics, because
+//! predicates run over relational data. A lossless conversion *to* the
+//! model AST exists for numeric-only expressions ([`ScalarExpr::to_model_expr`]);
+//! the approximate-query engine uses it to evaluate predicates against
+//! model-reconstructed values.
+
+use crate::error::{QueryError, Result};
+use lawsdb_expr::ast::CmpOp;
+use lawsdb_storage::{Column, Table, Value};
+use std::fmt;
+
+/// Binary arithmetic operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArithOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+}
+
+impl ArithOp {
+    fn apply(self, a: f64, b: f64) -> f64 {
+        match self {
+            ArithOp::Add => a + b,
+            ArithOp::Sub => a - b,
+            ArithOp::Mul => a * b,
+            ArithOp::Div => a / b,
+        }
+    }
+
+    fn symbol(self) -> &'static str {
+        match self {
+            ArithOp::Add => "+",
+            ArithOp::Sub => "-",
+            ArithOp::Mul => "*",
+            ArithOp::Div => "/",
+        }
+    }
+}
+
+/// A scalar SQL expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ScalarExpr {
+    /// Column reference.
+    Column(String),
+    /// Numeric literal.
+    Number(f64),
+    /// String literal.
+    Str(String),
+    /// Arithmetic.
+    Arith(ArithOp, Box<ScalarExpr>, Box<ScalarExpr>),
+    /// Comparison (SQL three-valued logic: NULL operands → NULL).
+    Cmp(CmpOp, Box<ScalarExpr>, Box<ScalarExpr>),
+    /// Conjunction.
+    And(Box<ScalarExpr>, Box<ScalarExpr>),
+    /// Disjunction.
+    Or(Box<ScalarExpr>, Box<ScalarExpr>),
+    /// Negation.
+    Not(Box<ScalarExpr>),
+    /// Unary minus.
+    Neg(Box<ScalarExpr>),
+}
+
+impl ScalarExpr {
+    /// All column names referenced, deduplicated, in first-use order.
+    pub fn columns(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        self.collect_columns(&mut out);
+        out
+    }
+
+    fn collect_columns(&self, out: &mut Vec<String>) {
+        match self {
+            ScalarExpr::Column(c) => {
+                if !out.contains(c) {
+                    out.push(c.clone());
+                }
+            }
+            ScalarExpr::Number(_) | ScalarExpr::Str(_) => {}
+            ScalarExpr::Neg(a) | ScalarExpr::Not(a) => a.collect_columns(out),
+            ScalarExpr::Arith(_, a, b)
+            | ScalarExpr::Cmp(_, a, b)
+            | ScalarExpr::And(a, b)
+            | ScalarExpr::Or(a, b) => {
+                a.collect_columns(out);
+                b.collect_columns(out);
+            }
+        }
+    }
+
+    /// Evaluate on one row of a table (used by tests and point paths;
+    /// the executor uses the vectorized [`ScalarExpr::eval_batch`]).
+    pub fn eval_row(&self, table: &Table, row: usize) -> Result<Value> {
+        Ok(match self {
+            ScalarExpr::Column(name) => table.column(name)?.value(row)?,
+            ScalarExpr::Number(v) => Value::Float(*v),
+            ScalarExpr::Str(s) => Value::Str(s.clone()),
+            ScalarExpr::Neg(a) => match a.eval_row(table, row)?.as_f64() {
+                Some(v) => Value::Float(-v),
+                None => Value::Null,
+            },
+            ScalarExpr::Arith(op, a, b) => {
+                let av = a.eval_row(table, row)?;
+                let bv = b.eval_row(table, row)?;
+                match (av.as_f64(), bv.as_f64()) {
+                    (Some(x), Some(y)) => Value::Float(op.apply(x, y)),
+                    _ => Value::Null,
+                }
+            }
+            ScalarExpr::Cmp(op, a, b) => {
+                let av = a.eval_row(table, row)?;
+                let bv = b.eval_row(table, row)?;
+                match av.sql_cmp(&bv) {
+                    None => Value::Null,
+                    Some(ord) => Value::Bool(cmp_matches(*op, ord)),
+                }
+            }
+            ScalarExpr::And(a, b) => three_valued_and(
+                a.eval_row(table, row)?.truth(),
+                b.eval_row(table, row)?.truth(),
+            ),
+            ScalarExpr::Or(a, b) => three_valued_or(
+                a.eval_row(table, row)?.truth(),
+                b.eval_row(table, row)?.truth(),
+            ),
+            ScalarExpr::Not(a) => match a.eval_row(table, row)?.truth() {
+                Some(t) => Value::Bool(!t),
+                None => Value::Null,
+            },
+        })
+    }
+
+    /// Vectorized evaluation over all rows of a table.
+    ///
+    /// Returns a `Column` of the expression's natural type. Boolean
+    /// results use NULL (validity=0) for SQL UNKNOWN.
+    pub fn eval_batch(&self, table: &Table) -> Result<Column> {
+        let n = table.row_count();
+        match self {
+            ScalarExpr::Column(name) => Ok(table.column(name)?.clone()),
+            ScalarExpr::Number(v) => Ok(Column::from_f64(vec![*v; n])),
+            ScalarExpr::Str(s) => Ok(Column::from_str(vec![s.clone(); n])),
+            ScalarExpr::Neg(a) => {
+                let inner = a.eval_numeric(table)?;
+                Ok(Column::from_f64_opt(
+                    inner.into_iter().map(|v| v.map(|x| -x)).collect(),
+                ))
+            }
+            ScalarExpr::Arith(op, a, b) => {
+                let av = a.eval_numeric(table)?;
+                let bv = b.eval_numeric(table)?;
+                Ok(Column::from_f64_opt(
+                    av.into_iter()
+                        .zip(bv)
+                        .map(|(x, y)| match (x, y) {
+                            (Some(x), Some(y)) => Some(op.apply(x, y)),
+                            _ => None,
+                        })
+                        .collect(),
+                ))
+            }
+            ScalarExpr::Cmp(..) | ScalarExpr::And(..) | ScalarExpr::Or(..) | ScalarExpr::Not(..) => {
+                let truth = self.eval_predicate(table)?;
+                let mut vals = Vec::with_capacity(n);
+                for t in truth {
+                    vals.push(t);
+                }
+                // Encode Some(bool) → Bool, None → NULL.
+                let bools: Vec<bool> = vals.iter().map(|t| t.unwrap_or(false)).collect();
+                let mut col = Column::from_bool(&bools);
+                if let Column::Bool { validity, .. } = &mut col {
+                    for (i, t) in vals.iter().enumerate() {
+                        if t.is_none() {
+                            validity.set(i, false);
+                        }
+                    }
+                }
+                Ok(col)
+            }
+        }
+    }
+
+    /// Vectorized numeric evaluation: per-row `Option<f64>` (None = NULL).
+    pub fn eval_numeric(&self, table: &Table) -> Result<Vec<Option<f64>>> {
+        let n = table.row_count();
+        match self {
+            ScalarExpr::Column(name) => {
+                let col = table.column(name)?;
+                let vals = col.to_f64_lossy().map_err(|_| QueryError::Type {
+                    reason: format!("column {name:?} is not numeric"),
+                })?;
+                Ok(vals.into_iter().map(|v| if v.is_nan() { None } else { Some(v) }).collect())
+            }
+            ScalarExpr::Number(v) => Ok(vec![Some(*v); n]),
+            ScalarExpr::Str(_) => Err(QueryError::Type {
+                reason: "string literal in numeric context".to_string(),
+            }),
+            ScalarExpr::Neg(a) => {
+                Ok(a.eval_numeric(table)?.into_iter().map(|v| v.map(|x| -x)).collect())
+            }
+            ScalarExpr::Arith(op, a, b) => {
+                let av = a.eval_numeric(table)?;
+                let bv = b.eval_numeric(table)?;
+                Ok(av
+                    .into_iter()
+                    .zip(bv)
+                    .map(|(x, y)| match (x, y) {
+                        (Some(x), Some(y)) => Some(op.apply(x, y)),
+                        _ => None,
+                    })
+                    .collect())
+            }
+            other => {
+                // Booleans coerce to 0/1 (NULL stays NULL).
+                let truth = other.eval_predicate(table)?;
+                Ok(truth
+                    .into_iter()
+                    .map(|t| t.map(|b| if b { 1.0 } else { 0.0 }))
+                    .collect())
+            }
+        }
+    }
+
+    /// Vectorized predicate evaluation with SQL three-valued logic:
+    /// per-row `Option<bool>` where `None` is UNKNOWN.
+    pub fn eval_predicate(&self, table: &Table) -> Result<Vec<Option<bool>>> {
+        let n = table.row_count();
+        match self {
+            ScalarExpr::Cmp(op, a, b) => {
+                // String comparisons take the row-wise path; numeric
+                // comparisons vectorize.
+                if a.is_stringy(table) || b.is_stringy(table) {
+                    let mut out = Vec::with_capacity(n);
+                    for row in 0..n {
+                        let av = a.eval_row(table, row)?;
+                        let bv = b.eval_row(table, row)?;
+                        out.push(av.sql_cmp(&bv).map(|ord| cmp_matches(*op, ord)));
+                    }
+                    return Ok(out);
+                }
+                let av = a.eval_numeric(table)?;
+                let bv = b.eval_numeric(table)?;
+                Ok(av
+                    .into_iter()
+                    .zip(bv)
+                    .map(|(x, y)| match (x, y) {
+                        (Some(x), Some(y)) => {
+                            x.partial_cmp(&y).map(|ord| cmp_matches(*op, ord))
+                        }
+                        _ => None,
+                    })
+                    .collect())
+            }
+            ScalarExpr::And(a, b) => {
+                let av = a.eval_predicate(table)?;
+                let bv = b.eval_predicate(table)?;
+                Ok(av
+                    .into_iter()
+                    .zip(bv)
+                    .map(|(x, y)| three_valued_and(x, y).truth())
+                    .collect())
+            }
+            ScalarExpr::Or(a, b) => {
+                let av = a.eval_predicate(table)?;
+                let bv = b.eval_predicate(table)?;
+                Ok(av
+                    .into_iter()
+                    .zip(bv)
+                    .map(|(x, y)| three_valued_or(x, y).truth())
+                    .collect())
+            }
+            ScalarExpr::Not(a) => Ok(a
+                .eval_predicate(table)?
+                .into_iter()
+                .map(|t| t.map(|b| !b))
+                .collect()),
+            other => {
+                // Numeric used as predicate: non-zero is true.
+                Ok(other
+                    .eval_numeric(table)?
+                    .into_iter()
+                    .map(|v| v.map(|x| x != 0.0))
+                    .collect())
+            }
+        }
+    }
+
+    fn is_stringy(&self, table: &Table) -> bool {
+        match self {
+            ScalarExpr::Str(_) => true,
+            ScalarExpr::Column(name) => table
+                .column(name)
+                .map(|c| c.data_type() == lawsdb_storage::DataType::Str)
+                .unwrap_or(false),
+            _ => false,
+        }
+    }
+
+    /// Convert to the model-formula AST (numeric constructs only).
+    ///
+    /// The approximate engine compiles the result against reconstructed
+    /// model outputs. String literals and references to string columns
+    /// have no model-side meaning and fail with
+    /// [`QueryError::Unsupported`].
+    pub fn to_model_expr(&self) -> Result<lawsdb_expr::Expr> {
+        use lawsdb_expr::Expr;
+        Ok(match self {
+            ScalarExpr::Column(c) => Expr::Sym(c.clone()),
+            ScalarExpr::Number(v) => Expr::Num(*v),
+            ScalarExpr::Str(_) => {
+                return Err(QueryError::Unsupported {
+                    what: "string literal in model-expression context".to_string(),
+                })
+            }
+            ScalarExpr::Neg(a) => Expr::Neg(Box::new(a.to_model_expr()?)),
+            ScalarExpr::Not(a) => Expr::Not(Box::new(a.to_model_expr()?)),
+            ScalarExpr::Arith(op, a, b) => {
+                let a = Box::new(a.to_model_expr()?);
+                let b = Box::new(b.to_model_expr()?);
+                match op {
+                    ArithOp::Add => Expr::Add(a, b),
+                    ArithOp::Sub => Expr::Sub(a, b),
+                    ArithOp::Mul => Expr::Mul(a, b),
+                    ArithOp::Div => Expr::Div(a, b),
+                }
+            }
+            ScalarExpr::Cmp(op, a, b) => {
+                Expr::Cmp(*op, Box::new(a.to_model_expr()?), Box::new(b.to_model_expr()?))
+            }
+            ScalarExpr::And(a, b) => {
+                Expr::And(Box::new(a.to_model_expr()?), Box::new(b.to_model_expr()?))
+            }
+            ScalarExpr::Or(a, b) => {
+                Expr::Or(Box::new(a.to_model_expr()?), Box::new(b.to_model_expr()?))
+            }
+        })
+    }
+
+    /// Fold constant subtrees (the optimizer's constant-folding rule).
+    pub fn fold_constants(&self) -> ScalarExpr {
+        match self {
+            ScalarExpr::Arith(op, a, b) => {
+                let a = a.fold_constants();
+                let b = b.fold_constants();
+                if let (ScalarExpr::Number(x), ScalarExpr::Number(y)) = (&a, &b) {
+                    ScalarExpr::Number(op.apply(*x, *y))
+                } else {
+                    ScalarExpr::Arith(*op, Box::new(a), Box::new(b))
+                }
+            }
+            ScalarExpr::Neg(a) => {
+                let a = a.fold_constants();
+                if let ScalarExpr::Number(x) = &a {
+                    ScalarExpr::Number(-x)
+                } else {
+                    ScalarExpr::Neg(Box::new(a))
+                }
+            }
+            ScalarExpr::Cmp(op, a, b) => ScalarExpr::Cmp(
+                *op,
+                Box::new(a.fold_constants()),
+                Box::new(b.fold_constants()),
+            ),
+            ScalarExpr::And(a, b) => {
+                ScalarExpr::And(Box::new(a.fold_constants()), Box::new(b.fold_constants()))
+            }
+            ScalarExpr::Or(a, b) => {
+                ScalarExpr::Or(Box::new(a.fold_constants()), Box::new(b.fold_constants()))
+            }
+            ScalarExpr::Not(a) => ScalarExpr::Not(Box::new(a.fold_constants())),
+            other => other.clone(),
+        }
+    }
+}
+
+impl fmt::Display for ScalarExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScalarExpr::Column(c) => write!(f, "{c}"),
+            ScalarExpr::Number(v) => write!(f, "{v}"),
+            ScalarExpr::Str(s) => write!(f, "'{s}'"),
+            ScalarExpr::Arith(op, a, b) => write!(f, "({a} {} {b})", op.symbol()),
+            ScalarExpr::Cmp(op, a, b) => write!(f, "({a} {} {b})", op.symbol()),
+            ScalarExpr::And(a, b) => write!(f, "({a} AND {b})"),
+            ScalarExpr::Or(a, b) => write!(f, "({a} OR {b})"),
+            ScalarExpr::Not(a) => write!(f, "(NOT {a})"),
+            ScalarExpr::Neg(a) => write!(f, "(-{a})"),
+        }
+    }
+}
+
+/// Extension: read a Value as SQL truth.
+trait Truth {
+    fn truth(&self) -> Option<bool>;
+}
+
+impl Truth for Value {
+    fn truth(&self) -> Option<bool> {
+        match self {
+            Value::Null => None,
+            Value::Bool(b) => Some(*b),
+            other => other.as_f64().map(|v| v != 0.0),
+        }
+    }
+}
+
+fn cmp_matches(op: CmpOp, ord: std::cmp::Ordering) -> bool {
+    use std::cmp::Ordering::*;
+    match op {
+        CmpOp::Lt => ord == Less,
+        CmpOp::Le => ord != Greater,
+        CmpOp::Gt => ord == Greater,
+        CmpOp::Ge => ord != Less,
+        CmpOp::Eq => ord == Equal,
+        CmpOp::Ne => ord != Equal,
+    }
+}
+
+fn three_valued_and(a: Option<bool>, b: Option<bool>) -> Value {
+    match (a, b) {
+        (Some(false), _) | (_, Some(false)) => Value::Bool(false),
+        (Some(true), Some(true)) => Value::Bool(true),
+        _ => Value::Null,
+    }
+}
+
+fn three_valued_or(a: Option<bool>, b: Option<bool>) -> Value {
+    match (a, b) {
+        (Some(true), _) | (_, Some(true)) => Value::Bool(true),
+        (Some(false), Some(false)) => Value::Bool(false),
+        _ => Value::Null,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lawsdb_storage::TableBuilder;
+
+    fn table() -> Table {
+        let mut b = TableBuilder::new("t");
+        b.add_i64("a", vec![1, 2, 3]);
+        b.add_f64_opt("x", vec![Some(1.5), None, Some(3.5)]);
+        b.add_str("s", vec!["red".into(), "green".into(), "red".into()]);
+        b.build().unwrap()
+    }
+
+    fn col(n: &str) -> ScalarExpr {
+        ScalarExpr::Column(n.to_string())
+    }
+    fn num(v: f64) -> ScalarExpr {
+        ScalarExpr::Number(v)
+    }
+
+    #[test]
+    fn arithmetic_with_null_propagation() {
+        let t = table();
+        let e = ScalarExpr::Arith(ArithOp::Add, Box::new(col("a")), Box::new(col("x")));
+        let v = e.eval_numeric(&t).unwrap();
+        assert_eq!(v, vec![Some(2.5), None, Some(6.5)]);
+    }
+
+    #[test]
+    fn three_valued_comparison() {
+        let t = table();
+        let e = ScalarExpr::Cmp(CmpOp::Gt, Box::new(col("x")), Box::new(num(2.0)));
+        let p = e.eval_predicate(&t).unwrap();
+        assert_eq!(p, vec![Some(false), None, Some(true)]);
+    }
+
+    #[test]
+    fn null_and_false_is_false() {
+        let t = table();
+        // (x > 2) AND (a < 0): row 1 is NULL AND false = false.
+        let e = ScalarExpr::And(
+            Box::new(ScalarExpr::Cmp(CmpOp::Gt, Box::new(col("x")), Box::new(num(2.0)))),
+            Box::new(ScalarExpr::Cmp(CmpOp::Lt, Box::new(col("a")), Box::new(num(0.0)))),
+        );
+        let p = e.eval_predicate(&t).unwrap();
+        assert_eq!(p, vec![Some(false), Some(false), Some(false)]);
+    }
+
+    #[test]
+    fn null_or_true_is_true() {
+        let t = table();
+        let e = ScalarExpr::Or(
+            Box::new(ScalarExpr::Cmp(CmpOp::Gt, Box::new(col("x")), Box::new(num(2.0)))),
+            Box::new(ScalarExpr::Cmp(CmpOp::Gt, Box::new(col("a")), Box::new(num(0.0)))),
+        );
+        let p = e.eval_predicate(&t).unwrap();
+        assert_eq!(p, vec![Some(true), Some(true), Some(true)]);
+    }
+
+    #[test]
+    fn string_equality() {
+        let t = table();
+        let e = ScalarExpr::Cmp(
+            CmpOp::Eq,
+            Box::new(col("s")),
+            Box::new(ScalarExpr::Str("red".to_string())),
+        );
+        let p = e.eval_predicate(&t).unwrap();
+        assert_eq!(p, vec![Some(true), Some(false), Some(true)]);
+    }
+
+    #[test]
+    fn numeric_context_rejects_strings() {
+        let t = table();
+        let e = ScalarExpr::Arith(ArithOp::Add, Box::new(col("s")), Box::new(num(1.0)));
+        assert!(e.eval_numeric(&t).is_err());
+    }
+
+    #[test]
+    fn to_model_expr_numeric_only() {
+        let e = ScalarExpr::Cmp(
+            CmpOp::Gt,
+            Box::new(ScalarExpr::Arith(ArithOp::Mul, Box::new(col("a")), Box::new(num(2.0)))),
+            Box::new(num(3.0)),
+        );
+        let m = e.to_model_expr().unwrap();
+        assert_eq!(m.to_string(), "((a * 2) > 3)");
+        let s = ScalarExpr::Str("x".to_string());
+        assert!(s.to_model_expr().is_err());
+    }
+
+    #[test]
+    fn constant_folding() {
+        let e = ScalarExpr::Arith(
+            ArithOp::Add,
+            Box::new(num(1.0)),
+            Box::new(ScalarExpr::Arith(ArithOp::Mul, Box::new(num(2.0)), Box::new(num(3.0)))),
+        );
+        assert_eq!(e.fold_constants(), num(7.0));
+        // Non-constant parts survive.
+        let e2 = ScalarExpr::Arith(ArithOp::Add, Box::new(col("a")), Box::new(num(0.0)));
+        assert!(matches!(e2.fold_constants(), ScalarExpr::Arith(..)));
+    }
+
+    #[test]
+    fn columns_are_collected_in_order() {
+        let e = ScalarExpr::And(
+            Box::new(ScalarExpr::Cmp(CmpOp::Eq, Box::new(col("x")), Box::new(col("a")))),
+            Box::new(ScalarExpr::Cmp(CmpOp::Eq, Box::new(col("a")), Box::new(num(1.0)))),
+        );
+        assert_eq!(e.columns(), vec!["x", "a"]);
+    }
+}

@@ -1,0 +1,202 @@
+//! Validity bitmap: one bit per row, set = valid (non-null).
+
+/// A growable bitmap, LSB-first within each word.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Bitmap {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl Bitmap {
+    /// Empty bitmap.
+    pub fn new() -> Self {
+        Bitmap::default()
+    }
+
+    /// Bitmap of `len` bits, all set to `value`.
+    pub fn filled(len: usize, value: bool) -> Self {
+        let nwords = len.div_ceil(64);
+        let word = if value { u64::MAX } else { 0 };
+        let mut b = Bitmap { words: vec![word; nwords], len };
+        b.mask_tail();
+        b
+    }
+
+    /// Number of bits.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the bitmap holds zero bits.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Append one bit.
+    pub fn push(&mut self, value: bool) {
+        let word = self.len / 64;
+        let bit = self.len % 64;
+        if word == self.words.len() {
+            self.words.push(0);
+        }
+        if value {
+            self.words[word] |= 1 << bit;
+        }
+        self.len += 1;
+    }
+
+    /// Read bit `i`; panics when out of range.
+    #[inline]
+    pub fn get(&self, i: usize) -> bool {
+        assert!(i < self.len, "bit {i} out of range ({} bits)", self.len);
+        (self.words[i / 64] >> (i % 64)) & 1 == 1
+    }
+
+    /// Set bit `i` to `value`; panics when out of range.
+    pub fn set(&mut self, i: usize, value: bool) {
+        assert!(i < self.len, "bit {i} out of range ({} bits)", self.len);
+        if value {
+            self.words[i / 64] |= 1 << (i % 64);
+        } else {
+            self.words[i / 64] &= !(1 << (i % 64));
+        }
+    }
+
+    /// Number of set bits.
+    pub fn count_set(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// True when every bit is set (an all-valid column can skip null
+    /// checks on the scan fast path).
+    pub fn all_set(&self) -> bool {
+        self.count_set() == self.len
+    }
+
+    /// Bitwise AND of two equal-length bitmaps.
+    pub fn and(&self, other: &Bitmap) -> Bitmap {
+        assert_eq!(self.len, other.len, "bitmap length mismatch");
+        let words = self.words.iter().zip(&other.words).map(|(a, b)| a & b).collect();
+        Bitmap { words, len: self.len }
+    }
+
+    /// Iterator over the indices of set bits.
+    pub fn iter_set(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(move |(wi, &w)| {
+            let len = self.len;
+            let mut w = w;
+            std::iter::from_fn(move || {
+                while w != 0 {
+                    let bit = w.trailing_zeros() as usize;
+                    w &= w - 1;
+                    let idx = wi * 64 + bit;
+                    if idx < len {
+                        return Some(idx);
+                    }
+                }
+                None
+            })
+        })
+    }
+
+    /// Clear bits beyond `len` so whole-word operations stay exact.
+    fn mask_tail(&mut self) {
+        let tail_bits = self.len % 64;
+        if tail_bits != 0 {
+            if let Some(last) = self.words.last_mut() {
+                *last &= (1u64 << tail_bits) - 1;
+            }
+        }
+    }
+
+    /// Serialize to `(len, words)`, used by the page layer.
+    pub fn to_parts(&self) -> (usize, &[u64]) {
+        (self.len, &self.words)
+    }
+
+    /// Rebuild from serialized parts.
+    pub fn from_parts(len: usize, words: Vec<u64>) -> Self {
+        let mut b = Bitmap { words, len };
+        b.mask_tail();
+        b
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_get_set_roundtrip() {
+        let mut b = Bitmap::new();
+        for i in 0..130 {
+            b.push(i % 3 == 0);
+        }
+        assert_eq!(b.len(), 130);
+        for i in 0..130 {
+            assert_eq!(b.get(i), i % 3 == 0, "bit {i}");
+        }
+        b.set(1, true);
+        assert!(b.get(1));
+        b.set(0, false);
+        assert!(!b.get(0));
+    }
+
+    #[test]
+    fn filled_and_counts() {
+        let t = Bitmap::filled(100, true);
+        assert_eq!(t.count_set(), 100);
+        assert!(t.all_set());
+        let f = Bitmap::filled(100, false);
+        assert_eq!(f.count_set(), 0);
+        assert!(!f.all_set());
+        assert!(Bitmap::filled(0, true).all_set()); // vacuously
+    }
+
+    #[test]
+    fn filled_true_masks_tail_bits() {
+        // 65 bits: second word must only have 1 bit set.
+        let t = Bitmap::filled(65, true);
+        assert_eq!(t.count_set(), 65);
+    }
+
+    #[test]
+    fn and_intersects() {
+        let mut a = Bitmap::new();
+        let mut b = Bitmap::new();
+        for i in 0..10 {
+            a.push(i % 2 == 0);
+            b.push(i % 3 == 0);
+        }
+        let c = a.and(&b);
+        let set: Vec<usize> = c.iter_set().collect();
+        assert_eq!(set, vec![0, 6]);
+    }
+
+    #[test]
+    fn iter_set_crosses_word_boundaries() {
+        let mut b = Bitmap::filled(200, false);
+        for &i in &[0, 63, 64, 127, 128, 199] {
+            b.set(i, true);
+        }
+        let got: Vec<usize> = b.iter_set().collect();
+        assert_eq!(got, vec![0, 63, 64, 127, 128, 199]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn get_out_of_range_panics() {
+        Bitmap::filled(3, true).get(3);
+    }
+
+    #[test]
+    fn parts_roundtrip() {
+        let mut b = Bitmap::new();
+        for i in 0..77 {
+            b.push(i % 5 == 1);
+        }
+        let (len, words) = b.to_parts();
+        let b2 = Bitmap::from_parts(len, words.to_vec());
+        assert_eq!(b, b2);
+    }
+}

@@ -1,0 +1,445 @@
+//! Typed column buffers with validity bitmaps.
+
+use crate::bitmap::Bitmap;
+use crate::error::{Result, StorageError};
+use crate::value::{DataType, Value};
+
+/// A typed column of values plus a validity bitmap.
+///
+/// Data lives in a dense typed buffer (`Vec<i64>`, `Vec<f64>`, …);
+/// validity is tracked separately so numeric kernels can run over the
+/// raw buffer and consult the bitmap only when nulls are present.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Column {
+    /// 64-bit integers.
+    Int64 {
+        /// Dense values (entries at invalid positions are unspecified).
+        data: Vec<i64>,
+        /// Validity bitmap, one bit per row.
+        validity: Bitmap,
+    },
+    /// 64-bit floats.
+    Float64 {
+        /// Dense values.
+        data: Vec<f64>,
+        /// Validity bitmap.
+        validity: Bitmap,
+    },
+    /// UTF-8 strings.
+    Str {
+        /// Dense values.
+        data: Vec<String>,
+        /// Validity bitmap.
+        validity: Bitmap,
+    },
+    /// Booleans (stored as a bitmap themselves).
+    Bool {
+        /// Truth bitmap.
+        data: Bitmap,
+        /// Validity bitmap.
+        validity: Bitmap,
+    },
+}
+
+impl Column {
+    /// All-valid integer column.
+    pub fn from_i64(data: Vec<i64>) -> Column {
+        let validity = Bitmap::filled(data.len(), true);
+        Column::Int64 { data, validity }
+    }
+
+    /// All-valid float column.
+    pub fn from_f64(data: Vec<f64>) -> Column {
+        let validity = Bitmap::filled(data.len(), true);
+        Column::Float64 { data, validity }
+    }
+
+    /// All-valid string column.
+    pub fn from_str(data: Vec<String>) -> Column {
+        let validity = Bitmap::filled(data.len(), true);
+        Column::Str { data, validity }
+    }
+
+    /// All-valid boolean column.
+    pub fn from_bool(values: &[bool]) -> Column {
+        let mut data = Bitmap::new();
+        for &v in values {
+            data.push(v);
+        }
+        let validity = Bitmap::filled(values.len(), true);
+        Column::Bool { data, validity }
+    }
+
+    /// Column from optional floats; `None` becomes NULL.
+    pub fn from_f64_opt(values: Vec<Option<f64>>) -> Column {
+        let mut data = Vec::with_capacity(values.len());
+        let mut validity = Bitmap::new();
+        for v in values {
+            match v {
+                Some(x) => {
+                    data.push(x);
+                    validity.push(true);
+                }
+                None => {
+                    data.push(0.0);
+                    validity.push(false);
+                }
+            }
+        }
+        Column::Float64 { data, validity }
+    }
+
+    /// Column from optional ints; `None` becomes NULL.
+    pub fn from_i64_opt(values: Vec<Option<i64>>) -> Column {
+        let mut data = Vec::with_capacity(values.len());
+        let mut validity = Bitmap::new();
+        for v in values {
+            match v {
+                Some(x) => {
+                    data.push(x);
+                    validity.push(true);
+                }
+                None => {
+                    data.push(0);
+                    validity.push(false);
+                }
+            }
+        }
+        Column::Int64 { data, validity }
+    }
+
+    /// Data type of this column.
+    pub fn data_type(&self) -> DataType {
+        match self {
+            Column::Int64 { .. } => DataType::Int64,
+            Column::Float64 { .. } => DataType::Float64,
+            Column::Str { .. } => DataType::Str,
+            Column::Bool { .. } => DataType::Bool,
+        }
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        match self {
+            Column::Int64 { data, .. } => data.len(),
+            Column::Float64 { data, .. } => data.len(),
+            Column::Str { data, .. } => data.len(),
+            Column::Bool { data, .. } => data.len(),
+        }
+    }
+
+    /// True when the column has zero rows.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Validity bitmap.
+    pub fn validity(&self) -> &Bitmap {
+        match self {
+            Column::Int64 { validity, .. }
+            | Column::Float64 { validity, .. }
+            | Column::Str { validity, .. }
+            | Column::Bool { validity, .. } => validity,
+        }
+    }
+
+    /// Number of NULL rows.
+    pub fn null_count(&self) -> usize {
+        self.len() - self.validity().count_set()
+    }
+
+    /// Read one row as a dynamic [`Value`].
+    pub fn value(&self, row: usize) -> Result<Value> {
+        if row >= self.len() {
+            return Err(StorageError::RowOutOfRange { row, len: self.len() });
+        }
+        if !self.validity().get(row) {
+            return Ok(Value::Null);
+        }
+        Ok(match self {
+            Column::Int64 { data, .. } => Value::Int(data[row]),
+            Column::Float64 { data, .. } => Value::Float(data[row]),
+            Column::Str { data, .. } => Value::Str(data[row].clone()),
+            Column::Bool { data, .. } => Value::Bool(data.get(row)),
+        })
+    }
+
+    /// Borrow the raw f64 buffer (floats only).
+    pub fn f64_data(&self) -> Result<&[f64]> {
+        match self {
+            Column::Float64 { data, .. } => Ok(data),
+            other => Err(StorageError::TypeMismatch {
+                op: "f64_data",
+                expected: "Float64",
+                got: other.data_type().name(),
+            }),
+        }
+    }
+
+    /// Borrow the raw i64 buffer (ints only).
+    pub fn i64_data(&self) -> Result<&[i64]> {
+        match self {
+            Column::Int64 { data, .. } => Ok(data),
+            other => Err(StorageError::TypeMismatch {
+                op: "i64_data",
+                expected: "Int64",
+                got: other.data_type().name(),
+            }),
+        }
+    }
+
+    /// Borrow the raw string buffer (strings only).
+    pub fn str_data(&self) -> Result<&[String]> {
+        match self {
+            Column::Str { data, .. } => Ok(data),
+            other => Err(StorageError::TypeMismatch {
+                op: "str_data",
+                expected: "Str",
+                got: other.data_type().name(),
+            }),
+        }
+    }
+
+    /// Numeric view of the column as f64s: ints widen, valid floats pass
+    /// through, NULLs become NaN. Used by the fitting layer, which treats
+    /// NaN rows as missing observations.
+    ///
+    /// Errors for non-numeric columns.
+    pub fn to_f64_lossy(&self) -> Result<Vec<f64>> {
+        match self {
+            Column::Float64 { data, validity } => {
+                if validity.all_set() {
+                    Ok(data.clone())
+                } else {
+                    Ok(data
+                        .iter()
+                        .enumerate()
+                        .map(|(i, &v)| if validity.get(i) { v } else { f64::NAN })
+                        .collect())
+                }
+            }
+            Column::Int64 { data, validity } => Ok(data
+                .iter()
+                .enumerate()
+                .map(|(i, &v)| if validity.get(i) { v as f64 } else { f64::NAN })
+                .collect()),
+            other => Err(StorageError::TypeMismatch {
+                op: "to_f64_lossy",
+                expected: "numeric",
+                got: other.data_type().name(),
+            }),
+        }
+    }
+
+    /// Gather the rows at `indices` into a new column (selection vector
+    /// materialization — the executor's filter output path).
+    pub fn take(&self, indices: &[usize]) -> Result<Column> {
+        for &i in indices {
+            if i >= self.len() {
+                return Err(StorageError::RowOutOfRange { row: i, len: self.len() });
+            }
+        }
+        Ok(match self {
+            Column::Int64 { data, validity } => {
+                let new_data: Vec<i64> = indices.iter().map(|&i| data[i]).collect();
+                let mut v = Bitmap::new();
+                for &i in indices {
+                    v.push(validity.get(i));
+                }
+                Column::Int64 { data: new_data, validity: v }
+            }
+            Column::Float64 { data, validity } => {
+                let new_data: Vec<f64> = indices.iter().map(|&i| data[i]).collect();
+                let mut v = Bitmap::new();
+                for &i in indices {
+                    v.push(validity.get(i));
+                }
+                Column::Float64 { data: new_data, validity: v }
+            }
+            Column::Str { data, validity } => {
+                let new_data: Vec<String> = indices.iter().map(|&i| data[i].clone()).collect();
+                let mut v = Bitmap::new();
+                for &i in indices {
+                    v.push(validity.get(i));
+                }
+                Column::Str { data: new_data, validity: v }
+            }
+            Column::Bool { data, validity } => {
+                let mut new_data = Bitmap::new();
+                let mut v = Bitmap::new();
+                for &i in indices {
+                    new_data.push(data.get(i));
+                    v.push(validity.get(i));
+                }
+                Column::Bool { data: new_data, validity: v }
+            }
+        })
+    }
+
+    /// Contiguous slice `rows[offset..offset+len]` as a new column.
+    pub fn slice(&self, offset: usize, len: usize) -> Result<Column> {
+        let end = offset.checked_add(len).filter(|&e| e <= self.len()).ok_or(
+            StorageError::RowOutOfRange { row: offset + len, len: self.len() },
+        )?;
+        let indices: Vec<usize> = (offset..end).collect();
+        self.take(&indices)
+    }
+
+    /// Append another column of the same type (ingest path for the
+    /// data-change experiments).
+    pub fn append(&mut self, other: &Column) -> Result<()> {
+        if self.data_type() != other.data_type() {
+            return Err(StorageError::TypeMismatch {
+                op: "append",
+                expected: self.data_type().name(),
+                got: other.data_type().name(),
+            });
+        }
+        let n = other.len();
+        match (self, other) {
+            (
+                Column::Int64 { data, validity },
+                Column::Int64 { data: od, validity: ov },
+            ) => {
+                data.extend_from_slice(od);
+                for i in 0..n {
+                    validity.push(ov.get(i));
+                }
+            }
+            (
+                Column::Float64 { data, validity },
+                Column::Float64 { data: od, validity: ov },
+            ) => {
+                data.extend_from_slice(od);
+                for i in 0..n {
+                    validity.push(ov.get(i));
+                }
+            }
+            (Column::Str { data, validity }, Column::Str { data: od, validity: ov }) => {
+                data.extend_from_slice(od);
+                for i in 0..n {
+                    validity.push(ov.get(i));
+                }
+            }
+            (
+                Column::Bool { data, validity },
+                Column::Bool { data: od, validity: ov },
+            ) => {
+                for i in 0..n {
+                    data.push(od.get(i));
+                    validity.push(ov.get(i));
+                }
+            }
+            _ => unreachable!("type equality checked above"),
+        }
+        Ok(())
+    }
+
+    /// In-memory footprint of the value buffers in bytes (what "11 MB of
+    /// observations" is measured with in the Table 1 experiment).
+    pub fn byte_size(&self) -> usize {
+        let validity_bytes = self.validity().len().div_ceil(8);
+        validity_bytes
+            + match self {
+                Column::Int64 { data, .. } => data.len() * 8,
+                Column::Float64 { data, .. } => data.len() * 8,
+                Column::Str { data, .. } => {
+                    data.iter().map(|s| s.len() + 8).sum::<usize>()
+                }
+                Column::Bool { data, .. } => data.len().div_ceil(8),
+            }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_and_basic_access() {
+        let c = Column::from_i64(vec![1, 2, 3]);
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.data_type(), DataType::Int64);
+        assert_eq!(c.null_count(), 0);
+        assert_eq!(c.value(1).unwrap(), Value::Int(2));
+        assert!(c.value(3).is_err());
+    }
+
+    #[test]
+    fn nullable_columns() {
+        let c = Column::from_f64_opt(vec![Some(1.5), None, Some(2.5)]);
+        assert_eq!(c.null_count(), 1);
+        assert_eq!(c.value(0).unwrap(), Value::Float(1.5));
+        assert_eq!(c.value(1).unwrap(), Value::Null);
+        let lossy = c.to_f64_lossy().unwrap();
+        assert!(lossy[1].is_nan());
+        assert_eq!(lossy[2], 2.5);
+    }
+
+    #[test]
+    fn int_column_widens_to_f64() {
+        let c = Column::from_i64_opt(vec![Some(3), None]);
+        let f = c.to_f64_lossy().unwrap();
+        assert_eq!(f[0], 3.0);
+        assert!(f[1].is_nan());
+    }
+
+    #[test]
+    fn strings_are_not_numeric() {
+        let c = Column::from_str(vec!["a".into()]);
+        assert!(c.to_f64_lossy().is_err());
+        assert!(c.f64_data().is_err());
+        assert_eq!(c.str_data().unwrap()[0], "a");
+    }
+
+    #[test]
+    fn take_gathers_with_validity() {
+        let c = Column::from_i64_opt(vec![Some(10), None, Some(30), Some(40)]);
+        let t = c.take(&[3, 1, 0]).unwrap();
+        assert_eq!(t.value(0).unwrap(), Value::Int(40));
+        assert_eq!(t.value(1).unwrap(), Value::Null);
+        assert_eq!(t.value(2).unwrap(), Value::Int(10));
+        assert!(c.take(&[4]).is_err());
+    }
+
+    #[test]
+    fn slice_is_contiguous_take() {
+        let c = Column::from_f64(vec![1.0, 2.0, 3.0, 4.0]);
+        let s = c.slice(1, 2).unwrap();
+        assert_eq!(s.f64_data().unwrap(), &[2.0, 3.0]);
+        assert!(c.slice(3, 2).is_err());
+    }
+
+    #[test]
+    fn append_same_type() {
+        let mut a = Column::from_i64(vec![1]);
+        let b = Column::from_i64_opt(vec![None, Some(2)]);
+        a.append(&b).unwrap();
+        assert_eq!(a.len(), 3);
+        assert_eq!(a.null_count(), 1);
+        assert_eq!(a.value(2).unwrap(), Value::Int(2));
+    }
+
+    #[test]
+    fn append_type_mismatch() {
+        let mut a = Column::from_i64(vec![1]);
+        let b = Column::from_f64(vec![1.0]);
+        assert!(matches!(a.append(&b), Err(StorageError::TypeMismatch { .. })));
+    }
+
+    #[test]
+    fn bool_column_roundtrip() {
+        let c = Column::from_bool(&[true, false, true]);
+        assert_eq!(c.value(0).unwrap(), Value::Bool(true));
+        assert_eq!(c.value(1).unwrap(), Value::Bool(false));
+        let t = c.take(&[1, 2]).unwrap();
+        assert_eq!(t.value(1).unwrap(), Value::Bool(true));
+    }
+
+    #[test]
+    fn byte_size_counts_buffers() {
+        let c = Column::from_f64(vec![0.0; 100]);
+        // 800 data bytes + 13 validity bytes.
+        assert_eq!(c.byte_size(), 800 + 13);
+    }
+}

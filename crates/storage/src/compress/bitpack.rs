@@ -1,0 +1,136 @@
+//! Fixed-width bit packing for unsigned integers.
+//!
+//! Values are packed LSB-first at the minimum width that fits the
+//! maximum value. Dictionary codes and frame-of-reference offsets use
+//! this as their final stage.
+
+use super::varint;
+use crate::error::{Result, StorageError};
+
+/// Minimum number of bits needed to represent `v` (0 needs 0 bits but we
+/// report 1 so every value occupies at least one slot).
+pub fn bits_needed(v: u64) -> u32 {
+    (64 - v.leading_zeros()).max(1)
+}
+
+/// Pack a slice at the minimal common width.
+/// Layout: varint count, u8 width, packed words.
+pub fn encode(values: &[u64]) -> Vec<u8> {
+    let width = values.iter().copied().map(bits_needed).max().unwrap_or(1);
+    let mut out = Vec::new();
+    varint::put_u64(&mut out, values.len() as u64);
+    out.push(width as u8);
+    // u128 accumulator: nbits stays < 8 between values, so even 64-bit
+    // wide values never overflow 8 + 64 ≤ 128 bits.
+    let mut acc: u128 = 0;
+    let mut nbits: u32 = 0;
+    for &v in values {
+        acc |= (v as u128) << nbits;
+        nbits += width;
+        while nbits >= 8 {
+            out.push((acc & 0xFF) as u8);
+            acc >>= 8;
+            nbits -= 8;
+        }
+    }
+    if nbits > 0 {
+        out.push((acc & 0xFF) as u8);
+    }
+    out
+}
+
+/// Decode a buffer produced by [`encode`].
+pub fn decode(buf: &[u8]) -> Result<Vec<u64>> {
+    let corrupt = |d: &str| StorageError::CorruptData { codec: "bitpack", detail: d.to_string() };
+    let mut pos = 0;
+    let n = varint::get_u64(buf, &mut pos)? as usize;
+    let width = *buf.get(pos).ok_or_else(|| corrupt("missing width"))? as u32;
+    pos += 1;
+    if width == 0 || width > 64 {
+        return Err(corrupt("invalid width"));
+    }
+    // Hostile lengths must error, not overflow or OOM: checked math,
+    // and the plausibility bound caps the later allocation.
+    let need_bits = (n as u64)
+        .checked_mul(width as u64)
+        .ok_or_else(|| corrupt("length overflow"))?;
+    let have_bits = ((buf.len() - pos) as u64) * 8;
+    if have_bits < need_bits {
+        return Err(corrupt("truncated body"));
+    }
+    let mut out = Vec::with_capacity(n);
+    let mut acc: u128 = 0;
+    let mut nbits: u32 = 0;
+    let mask: u128 = if width == 64 { u64::MAX as u128 } else { (1u128 << width) - 1 };
+    for &b in &buf[pos..] {
+        acc |= (b as u128) << nbits;
+        nbits += 8;
+        while nbits >= width && out.len() < n {
+            out.push((acc & mask) as u64);
+            acc >>= width;
+            nbits -= width;
+        }
+        if out.len() == n {
+            break;
+        }
+    }
+    if out.len() != n {
+        return Err(corrupt("short decode"));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bits_needed_values() {
+        assert_eq!(bits_needed(0), 1);
+        assert_eq!(bits_needed(1), 1);
+        assert_eq!(bits_needed(2), 2);
+        assert_eq!(bits_needed(255), 8);
+        assert_eq!(bits_needed(256), 9);
+        assert_eq!(bits_needed(u64::MAX), 64);
+    }
+
+    #[test]
+    fn roundtrip_small_codes() {
+        let values: Vec<u64> = (0..1000).map(|i| i % 7).collect();
+        let enc = encode(&values);
+        // width 3 → 3000 bits ≈ 375 bytes + header.
+        assert!(enc.len() < 400);
+        assert_eq!(decode(&enc).unwrap(), values);
+    }
+
+    #[test]
+    fn roundtrip_wide_values() {
+        let values = vec![u64::MAX, 0, u64::MAX / 2, 1];
+        assert_eq!(decode(&encode(&values)).unwrap(), values);
+    }
+
+    #[test]
+    fn roundtrip_57_to_63_bit_widths() {
+        for shift in 56..64 {
+            let values = vec![1u64 << shift, (1u64 << shift) - 1, 3, 1u64 << (shift - 1)];
+            assert_eq!(decode(&encode(&values)).unwrap(), values, "shift {shift}");
+        }
+    }
+
+    #[test]
+    fn empty_roundtrip() {
+        assert_eq!(decode(&encode(&[])).unwrap(), Vec::<u64>::new());
+    }
+
+    #[test]
+    fn corrupt_inputs_error() {
+        assert!(decode(&[]).is_err());
+        let enc = encode(&[1, 2, 3, 4, 5, 6, 7, 8, 9, 10]);
+        assert!(decode(&enc[..enc.len() - 1]).is_err());
+        let mut bad = enc.clone();
+        bad[1] = 0; // zero width
+        assert!(decode(&bad).is_err());
+        bad[1] = 65; // width > 64
+        assert!(decode(&bad).is_err());
+    }
+}

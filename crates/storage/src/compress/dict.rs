@@ -1,0 +1,113 @@
+//! Dictionary encoding for string columns: unique values stored once,
+//! rows become bit-packed codes.
+
+use super::{bitpack, varint};
+use crate::error::{Result, StorageError};
+use std::collections::HashMap;
+
+/// Encode a string slice as dictionary + codes.
+///
+/// Layout: varint dict size, per entry (varint len, bytes), bit-packed
+/// code array.
+pub fn encode(values: &[String]) -> Vec<u8> {
+    let mut dict: Vec<&str> = Vec::new();
+    let mut lookup: HashMap<&str, u64> = HashMap::new();
+    let mut codes: Vec<u64> = Vec::with_capacity(values.len());
+    for v in values {
+        let code = match lookup.get(v.as_str()) {
+            Some(&c) => c,
+            None => {
+                let c = dict.len() as u64;
+                dict.push(v);
+                lookup.insert(v, c);
+                c
+            }
+        };
+        codes.push(code);
+    }
+    let mut out = Vec::new();
+    varint::put_u64(&mut out, dict.len() as u64);
+    for entry in &dict {
+        varint::put_u64(&mut out, entry.len() as u64);
+        out.extend_from_slice(entry.as_bytes());
+    }
+    out.extend_from_slice(&bitpack::encode(&codes));
+    out
+}
+
+/// Decode a buffer produced by [`encode`].
+pub fn decode(buf: &[u8]) -> Result<Vec<String>> {
+    let corrupt = |d: &str| StorageError::CorruptData { codec: "dict", detail: d.to_string() };
+    let mut pos = 0;
+    let dict_len = varint::get_u64(buf, &mut pos)? as usize;
+    if dict_len > buf.len() {
+        return Err(corrupt("implausible dictionary size"));
+    }
+    let mut dict = Vec::with_capacity(dict_len);
+    for _ in 0..dict_len {
+        let slen = varint::get_u64(buf, &mut pos)? as usize;
+        let end = pos.checked_add(slen).filter(|&e| e <= buf.len()).ok_or_else(|| {
+            corrupt("truncated dictionary entry")
+        })?;
+        let s = std::str::from_utf8(&buf[pos..end])
+            .map_err(|_| corrupt("invalid UTF-8 in dictionary"))?;
+        dict.push(s.to_string());
+        pos = end;
+    }
+    let codes = bitpack::decode(&buf[pos..])?;
+    codes
+        .into_iter()
+        .map(|c| {
+            dict.get(c as usize)
+                .cloned()
+                .ok_or_else(|| corrupt(&format!("code {c} out of dictionary range")))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strs(v: &[&str]) -> Vec<String> {
+        v.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn roundtrip() {
+        for values in [
+            strs(&[]),
+            strs(&["a"]),
+            strs(&["red", "green", "red", "blue", "red"]),
+            strs(&["", "", "x"]),
+        ] {
+            assert_eq!(decode(&encode(&values)).unwrap(), values);
+        }
+    }
+
+    #[test]
+    fn low_cardinality_compresses() {
+        // A categorical retail column: 8 distinct values over 10k rows.
+        let cats = ["Mon", "Tue", "Wed", "Thu", "Fri", "Sat", "Sun", "Hol"];
+        let values: Vec<String> = (0..10_000).map(|i| cats[i % 8].to_string()).collect();
+        let raw: usize = values.iter().map(|s| s.len() + 8).sum();
+        let enc = encode(&values);
+        // 3-bit codes: 30k bits ≈ 3.75 KB vs ~110 KB raw.
+        assert!(enc.len() * 10 < raw, "{} vs {}", enc.len(), raw);
+        assert_eq!(decode(&enc).unwrap(), values);
+    }
+
+    #[test]
+    fn corrupt_code_rejected() {
+        let enc = encode(&strs(&["a", "b"]));
+        // Append garbage that decodes codes out of range: craft manually.
+        let mut buf = Vec::new();
+        varint::put_u64(&mut buf, 1); // dict size 1
+        varint::put_u64(&mut buf, 1);
+        buf.push(b'a');
+        buf.extend_from_slice(&bitpack::encode(&[5])); // code 5, dict has 1
+        assert!(decode(&buf).is_err());
+        // Truncation of a valid buffer.
+        assert!(decode(&enc[..2]).is_err());
+    }
+}

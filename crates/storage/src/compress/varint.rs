@@ -1,0 +1,125 @@
+//! LEB128 variable-length integers and zigzag signed mapping.
+
+use crate::error::{Result, StorageError};
+
+/// Append a u64 as LEB128.
+pub fn put_u64(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7F) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Read a LEB128 u64 from `buf[*pos..]`, advancing `pos`.
+pub fn get_u64(buf: &[u8], pos: &mut usize) -> Result<u64> {
+    let mut v: u64 = 0;
+    let mut shift = 0u32;
+    loop {
+        let byte = *buf.get(*pos).ok_or(StorageError::CorruptData {
+            codec: "varint",
+            detail: "truncated".to_string(),
+        })?;
+        *pos += 1;
+        if shift >= 64 || (shift == 63 && byte > 1) {
+            return Err(StorageError::CorruptData {
+                codec: "varint",
+                detail: "overflow".to_string(),
+            });
+        }
+        v |= ((byte & 0x7F) as u64) << shift;
+        if byte & 0x80 == 0 {
+            return Ok(v);
+        }
+        shift += 7;
+    }
+}
+
+/// ZigZag map: small-magnitude signed integers to small unsigned ones.
+#[inline]
+pub fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+/// Inverse of [`zigzag`].
+#[inline]
+pub fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+/// Append an i64 as zigzag LEB128.
+pub fn put_i64(out: &mut Vec<u8>, v: i64) {
+    put_u64(out, zigzag(v));
+}
+
+/// Read a zigzag LEB128 i64.
+pub fn get_i64(buf: &[u8], pos: &mut usize) -> Result<i64> {
+    Ok(unzigzag(get_u64(buf, pos)?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn u64_roundtrip_edge_values() {
+        for v in [0u64, 1, 127, 128, 300, u32::MAX as u64, u64::MAX] {
+            let mut out = Vec::new();
+            put_u64(&mut out, v);
+            let mut pos = 0;
+            assert_eq!(get_u64(&out, &mut pos).unwrap(), v);
+            assert_eq!(pos, out.len());
+        }
+    }
+
+    #[test]
+    fn small_values_take_one_byte() {
+        let mut out = Vec::new();
+        put_u64(&mut out, 100);
+        assert_eq!(out.len(), 1);
+        out.clear();
+        put_u64(&mut out, 128);
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn zigzag_mapping() {
+        assert_eq!(zigzag(0), 0);
+        assert_eq!(zigzag(-1), 1);
+        assert_eq!(zigzag(1), 2);
+        assert_eq!(zigzag(-2), 3);
+        for v in [0i64, 1, -1, 42, -42, i64::MAX, i64::MIN] {
+            assert_eq!(unzigzag(zigzag(v)), v);
+        }
+    }
+
+    #[test]
+    fn i64_roundtrip() {
+        for v in [0i64, -1, 1, i64::MIN, i64::MAX, -123456789] {
+            let mut out = Vec::new();
+            put_i64(&mut out, v);
+            let mut pos = 0;
+            assert_eq!(get_i64(&out, &mut pos).unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn truncated_input_errors() {
+        let mut out = Vec::new();
+        put_u64(&mut out, u64::MAX);
+        let mut pos = 0;
+        assert!(get_u64(&out[..out.len() - 1], &mut pos).is_err());
+    }
+
+    #[test]
+    fn overlong_encoding_errors() {
+        // 11 continuation bytes cannot be a valid u64.
+        let bad = vec![0x80u8; 10];
+        let mut pos = 0;
+        assert!(get_u64(&bad, &mut pos).is_err());
+    }
+}

@@ -1,0 +1,54 @@
+//! # lawsdb-storage
+//!
+//! Columnar storage engine for LawsDB.
+//!
+//! This crate is the physical-storage substrate the paper's Section 4.1
+//! ("Physical Storage") operates on:
+//!
+//! * **Typed columns** ([`column::Column`]) with validity bitmaps, in a
+//!   row-major-free, scan-friendly layout; tables ([`table::Table`]) and
+//!   a concurrent [`catalog::Catalog`].
+//! * A **paged layout** ([`page`], [`pager::Pager`]) over a *simulated IO
+//!   device* ([`io::SimulatedDevice`]) with configurable bandwidth and
+//!   latency and exact page-read accounting. The device model is what
+//!   lets the benchmark suite reproduce the paper's "zero-IO scan" claim
+//!   quantitatively: an approximate, model-backed answer touches zero
+//!   pages, while an exact scan pays `pages × (latency + size/bandwidth)`.
+//! * A family of **compression codecs** ([`compress`]): delta, zigzag +
+//!   varint, bit-packing, run-length, dictionary, frame-of-reference, an
+//!   LZSS + Huffman general-purpose baseline (standing in for gzip in the
+//!   SPARTAN-style comparison), and the **model-residual codec** — the
+//!   paper's "true semantic compression": store residuals between
+//!   observed and model-predicted values and recompute the original
+//!   data losslessly.
+//!
+//! The crate knows nothing about models or queries; the residual codec
+//! takes predictions as plain slices, keeping the dependency arrow
+//! pointing the right way (models → storage, never back).
+
+// `!(x > y)` guards route NaN into the error branch; codec kernels index
+// several co-indexed buffers; `Column::from_str` is a constructor in a
+// family (`from_i64`, `from_f64`, ...), not a `FromStr` impl.
+#![allow(clippy::neg_cmp_op_on_partial_ord)]
+#![allow(clippy::needless_range_loop)]
+#![allow(clippy::should_implement_trait)]
+
+pub mod bitmap;
+pub mod catalog;
+pub mod column;
+pub mod compress;
+pub mod error;
+pub mod io;
+pub mod page;
+pub mod pager;
+pub mod schema;
+pub mod stats;
+pub mod table;
+pub mod value;
+
+pub use catalog::Catalog;
+pub use column::Column;
+pub use error::{Result, StorageError};
+pub use schema::{DataType, Field, Schema};
+pub use table::{Table, TableBuilder};
+pub use value::Value;

@@ -1,0 +1,208 @@
+//! Column chunk ⇄ byte serialization for the paged store.
+//!
+//! A column is serialized into one contiguous byte stream — a small
+//! header (type tag, row count, validity length) followed by the
+//! validity words and the raw value data — and the pager splits that
+//! stream across fixed-size pages. Little-endian throughout.
+
+use crate::bitmap::Bitmap;
+use crate::column::Column;
+use crate::error::{Result, StorageError};
+use bytes::{Buf, BufMut, BytesMut};
+
+/// Type tags in the serialized header.
+const TAG_I64: u8 = 1;
+const TAG_F64: u8 = 2;
+const TAG_STR: u8 = 3;
+const TAG_BOOL: u8 = 4;
+
+/// Serialize a column into bytes.
+pub fn encode_column(col: &Column) -> Vec<u8> {
+    let mut buf = BytesMut::with_capacity(col.byte_size() + 64);
+    let (len, words) = col.validity().to_parts();
+    let tag = match col {
+        Column::Int64 { .. } => TAG_I64,
+        Column::Float64 { .. } => TAG_F64,
+        Column::Str { .. } => TAG_STR,
+        Column::Bool { .. } => TAG_BOOL,
+    };
+    buf.put_u8(tag);
+    buf.put_u64_le(len as u64);
+    buf.put_u64_le(words.len() as u64);
+    for &w in words {
+        buf.put_u64_le(w);
+    }
+    match col {
+        Column::Int64 { data, .. } => {
+            for &v in data {
+                buf.put_i64_le(v);
+            }
+        }
+        Column::Float64 { data, .. } => {
+            for &v in data {
+                buf.put_f64_le(v);
+            }
+        }
+        Column::Str { data, .. } => {
+            for s in data {
+                buf.put_u32_le(s.len() as u32);
+                buf.put_slice(s.as_bytes());
+            }
+        }
+        Column::Bool { data, .. } => {
+            let (blen, bwords) = data.to_parts();
+            buf.put_u64_le(blen as u64);
+            buf.put_u64_le(bwords.len() as u64);
+            for &w in bwords {
+                buf.put_u64_le(w);
+            }
+        }
+    }
+    buf.to_vec()
+}
+
+/// Deserialize a column from bytes produced by [`encode_column`].
+pub fn decode_column(bytes: &[u8]) -> Result<Column> {
+    let mut buf = bytes;
+    let corrupt = |detail: &str| StorageError::CorruptData {
+        codec: "page",
+        detail: detail.to_string(),
+    };
+    if buf.remaining() < 17 {
+        return Err(corrupt("truncated header"));
+    }
+    let tag = buf.get_u8();
+    let len = buf.get_u64_le() as usize;
+    let nwords = buf.get_u64_le() as usize;
+    if buf.remaining() < nwords * 8 {
+        return Err(corrupt("truncated validity words"));
+    }
+    let mut words = Vec::with_capacity(nwords);
+    for _ in 0..nwords {
+        words.push(buf.get_u64_le());
+    }
+    if nwords != len.div_ceil(64) {
+        return Err(corrupt("validity word count does not match row count"));
+    }
+    let validity = Bitmap::from_parts(len, words);
+    match tag {
+        TAG_I64 => {
+            if buf.remaining() < len * 8 {
+                return Err(corrupt("truncated i64 data"));
+            }
+            let mut data = Vec::with_capacity(len);
+            for _ in 0..len {
+                data.push(buf.get_i64_le());
+            }
+            Ok(Column::Int64 { data, validity })
+        }
+        TAG_F64 => {
+            if buf.remaining() < len * 8 {
+                return Err(corrupt("truncated f64 data"));
+            }
+            let mut data = Vec::with_capacity(len);
+            for _ in 0..len {
+                data.push(buf.get_f64_le());
+            }
+            Ok(Column::Float64 { data, validity })
+        }
+        TAG_STR => {
+            let mut data = Vec::with_capacity(len);
+            for _ in 0..len {
+                if buf.remaining() < 4 {
+                    return Err(corrupt("truncated string length"));
+                }
+                let slen = buf.get_u32_le() as usize;
+                if buf.remaining() < slen {
+                    return Err(corrupt("truncated string body"));
+                }
+                let s = std::str::from_utf8(&buf[..slen])
+                    .map_err(|_| corrupt("invalid UTF-8 in string column"))?
+                    .to_string();
+                buf.advance(slen);
+                data.push(s);
+            }
+            Ok(Column::Str { data, validity })
+        }
+        TAG_BOOL => {
+            if buf.remaining() < 16 {
+                return Err(corrupt("truncated bool header"));
+            }
+            let blen = buf.get_u64_le() as usize;
+            let bwordn = buf.get_u64_le() as usize;
+            if buf.remaining() < bwordn * 8 {
+                return Err(corrupt("truncated bool words"));
+            }
+            if blen != len || bwordn != blen.div_ceil(64) {
+                return Err(corrupt("bool bitmap length mismatch"));
+            }
+            let mut bwords = Vec::with_capacity(bwordn);
+            for _ in 0..bwordn {
+                bwords.push(buf.get_u64_le());
+            }
+            Ok(Column::Bool { data: Bitmap::from_parts(blen, bwords), validity })
+        }
+        other => Err(corrupt(&format!("unknown type tag {other}"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(c: &Column) {
+        let bytes = encode_column(c);
+        let back = decode_column(&bytes).unwrap();
+        assert_eq!(&back, c);
+    }
+
+    #[test]
+    fn roundtrips_all_types() {
+        roundtrip(&Column::from_i64(vec![1, -5, i64::MAX, i64::MIN]));
+        roundtrip(&Column::from_f64(vec![0.0, -1.5, f64::INFINITY, 1e-300]));
+        roundtrip(&Column::from_str(vec!["".into(), "héllo".into(), "x".repeat(1000)]));
+        roundtrip(&Column::from_bool(&[true, false, true, true]));
+    }
+
+    #[test]
+    fn roundtrips_nulls() {
+        roundtrip(&Column::from_f64_opt(vec![Some(1.0), None, Some(3.0)]));
+        roundtrip(&Column::from_i64_opt(vec![None, None]));
+    }
+
+    #[test]
+    fn roundtrips_nan_payload() {
+        let c = Column::from_f64(vec![f64::NAN]);
+        let bytes = encode_column(&c);
+        let back = decode_column(&bytes).unwrap();
+        assert!(back.f64_data().unwrap()[0].is_nan());
+    }
+
+    #[test]
+    fn empty_column_roundtrips() {
+        roundtrip(&Column::from_i64(vec![]));
+    }
+
+    #[test]
+    fn corrupt_inputs_are_rejected_not_panicking() {
+        assert!(decode_column(&[]).is_err());
+        assert!(decode_column(&[9, 0, 0]).is_err());
+        // Valid header, truncated body.
+        let good = encode_column(&Column::from_i64(vec![1, 2, 3]));
+        assert!(decode_column(&good[..good.len() - 4]).is_err());
+        // Unknown tag.
+        let mut bad = good.clone();
+        bad[0] = 99;
+        assert!(decode_column(&bad).is_err());
+    }
+
+    #[test]
+    fn invalid_utf8_is_rejected() {
+        let mut bytes = encode_column(&Column::from_str(vec!["ab".into()]));
+        // Corrupt the string payload (last two bytes).
+        let n = bytes.len();
+        bytes[n - 2] = 0xFF;
+        bytes[n - 1] = 0xFE;
+        assert!(decode_column(&bytes).is_err());
+    }
+}

@@ -1,0 +1,326 @@
+//! Pager: paged table storage over the simulated device, with an LRU
+//! page cache.
+//!
+//! The pager is what makes "zero-IO" measurable: every exact scan pulls
+//! its column pages through [`Pager::read_stream`], each cache miss
+//! increments the device counters, and the approximate path never calls
+//! the pager at all.
+
+use crate::column::Column;
+use crate::error::{Result, StorageError};
+use crate::io::{IoStats, SimulatedDevice};
+use crate::page::{decode_column, encode_column};
+use crate::schema::Schema;
+use crate::table::Table;
+use std::collections::HashMap;
+
+/// Location of one serialized column: the pages it spans and its exact
+/// byte length (the final page is partially used).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ColumnExtent {
+    /// Page ids in order.
+    pub pages: Vec<u64>,
+    /// Total serialized length in bytes.
+    pub byte_len: usize,
+}
+
+/// A table laid out on the device: schema plus one extent per column.
+#[derive(Debug, Clone)]
+pub struct PagedTable {
+    /// Table name.
+    pub name: String,
+    /// Schema (kept in memory; the catalog is metadata, not data).
+    pub schema: Schema,
+    /// Row count.
+    pub rows: usize,
+    /// One extent per column, in schema order.
+    pub extents: Vec<ColumnExtent>,
+}
+
+impl PagedTable {
+    /// Total pages across all columns.
+    pub fn page_count(&self) -> usize {
+        self.extents.iter().map(|e| e.pages.len()).sum()
+    }
+}
+
+/// Simple LRU cache of decoded pages.
+#[derive(Debug)]
+struct PageCache {
+    capacity: usize,
+    /// page id → (data, last-use tick)
+    entries: HashMap<u64, (Vec<u8>, u64)>,
+    tick: u64,
+    hits: u64,
+}
+
+impl PageCache {
+    fn new(capacity: usize) -> PageCache {
+        PageCache { capacity, entries: HashMap::new(), tick: 0, hits: 0 }
+    }
+
+    fn get(&mut self, id: u64) -> Option<&[u8]> {
+        self.tick += 1;
+        let tick = self.tick;
+        if let Some(entry) = self.entries.get_mut(&id) {
+            entry.1 = tick;
+            self.hits += 1;
+            Some(&self.entries[&id].0)
+        } else {
+            None
+        }
+    }
+
+    fn insert(&mut self, id: u64, data: Vec<u8>) {
+        if self.capacity == 0 {
+            return;
+        }
+        self.tick += 1;
+        if self.entries.len() >= self.capacity && !self.entries.contains_key(&id) {
+            // Evict the least recently used entry.
+            if let Some((&victim, _)) =
+                self.entries.iter().min_by_key(|(_, (_, t))| *t)
+            {
+                self.entries.remove(&victim);
+            }
+        }
+        self.entries.insert(id, (data, self.tick));
+    }
+
+    fn clear(&mut self) {
+        self.entries.clear();
+        self.hits = 0;
+    }
+}
+
+/// Paged storage manager.
+#[derive(Debug)]
+pub struct Pager {
+    device: SimulatedDevice,
+    cache: PageCache,
+    tables: HashMap<String, PagedTable>,
+}
+
+impl Pager {
+    /// New pager with the given page size (bytes) and cache capacity
+    /// (pages).
+    pub fn new(page_size: usize, cache_pages: usize) -> Pager {
+        Pager {
+            device: SimulatedDevice::new(page_size),
+            cache: PageCache::new(cache_pages),
+            tables: HashMap::new(),
+        }
+    }
+
+    /// Page size in bytes.
+    pub fn page_size(&self) -> usize {
+        self.device.page_size()
+    }
+
+    /// Write a table to the device, page by page.
+    pub fn store_table(&mut self, table: &Table) -> Result<()> {
+        if self.tables.contains_key(table.name()) {
+            return Err(StorageError::TableExists { name: table.name().to_string() });
+        }
+        let mut extents = Vec::with_capacity(table.columns().len());
+        for col in table.columns() {
+            let bytes = encode_column(col);
+            extents.push(self.write_stream(&bytes)?);
+        }
+        self.tables.insert(
+            table.name().to_string(),
+            PagedTable {
+                name: table.name().to_string(),
+                schema: table.schema().clone(),
+                rows: table.row_count(),
+                extents,
+            },
+        );
+        Ok(())
+    }
+
+    /// Replace a stored table (model-change recompression path). The old
+    /// pages are simply abandoned; a production system would free them,
+    /// but page reuse is irrelevant to the experiments.
+    pub fn replace_table(&mut self, table: &Table) -> Result<()> {
+        self.tables.remove(table.name());
+        self.store_table(table)
+    }
+
+    /// Metadata for a stored table.
+    pub fn paged_table(&self, name: &str) -> Result<&PagedTable> {
+        self.tables
+            .get(name)
+            .ok_or_else(|| StorageError::TableNotFound { name: name.to_string() })
+    }
+
+    /// Read one column of a stored table back through the cache.
+    pub fn read_column(&mut self, table: &str, column: &str) -> Result<Column> {
+        let pt = self.paged_table(table)?;
+        let idx = pt
+            .schema
+            .index_of(column)
+            .ok_or_else(|| StorageError::ColumnNotFound { name: column.to_string() })?;
+        let extent = pt.extents[idx].clone();
+        let bytes = self.read_stream(&extent)?;
+        decode_column(&bytes)
+    }
+
+    /// Read a whole table back.
+    pub fn read_table(&mut self, name: &str) -> Result<Table> {
+        let pt = self.paged_table(name)?.clone();
+        let mut cols = Vec::with_capacity(pt.extents.len());
+        for extent in &pt.extents {
+            let bytes = self.read_stream(extent)?;
+            cols.push(decode_column(&bytes)?);
+        }
+        Table::new(pt.name, pt.schema, cols)
+    }
+
+    /// Raw byte-stream write across fresh pages.
+    pub fn write_stream(&mut self, bytes: &[u8]) -> Result<ColumnExtent> {
+        let ps = self.device.page_size();
+        let mut pages = Vec::with_capacity(bytes.len().div_ceil(ps));
+        for chunk in bytes.chunks(ps).chain(bytes.is_empty().then_some(&[][..])) {
+            let id = self.device.allocate();
+            self.device.write_page(id, chunk)?;
+            pages.push(id);
+        }
+        Ok(ColumnExtent { pages, byte_len: bytes.len() })
+    }
+
+    /// Raw byte-stream read through the cache.
+    pub fn read_stream(&mut self, extent: &ColumnExtent) -> Result<Vec<u8>> {
+        let ps = self.device.page_size();
+        let mut out = Vec::with_capacity(extent.byte_len);
+        for (i, &page) in extent.pages.iter().enumerate() {
+            let want = if i + 1 == extent.pages.len() {
+                extent.byte_len - i * ps
+            } else {
+                ps
+            };
+            if let Some(cached) = self.cache.get(page) {
+                out.extend_from_slice(&cached[..want]);
+                continue;
+            }
+            let data = self.device.read_page(page)?.to_vec();
+            out.extend_from_slice(&data[..want]);
+            self.cache.insert(page, data);
+        }
+        Ok(out)
+    }
+
+    /// IO counters, with cache hits folded in.
+    pub fn stats(&self) -> IoStats {
+        let mut s = self.device.stats();
+        s.cache_hits = self.cache.hits;
+        s
+    }
+
+    /// Reset counters and drop the cache (cold-start measurement).
+    pub fn reset(&mut self) {
+        self.device.reset_stats();
+        self.cache.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table::TableBuilder;
+
+    fn demo_table(rows: usize) -> Table {
+        let mut b = TableBuilder::new("demo");
+        b.add_i64("id", (0..rows as i64).collect());
+        b.add_f64("v", (0..rows).map(|i| i as f64 * 0.5).collect());
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn store_and_read_table_roundtrip() {
+        let mut p = Pager::new(256, 8);
+        let t = demo_table(500);
+        p.store_table(&t).unwrap();
+        let back = p.read_table("demo").unwrap();
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn duplicate_store_fails_replace_succeeds() {
+        let mut p = Pager::new(256, 8);
+        p.store_table(&demo_table(10)).unwrap();
+        assert!(p.store_table(&demo_table(10)).is_err());
+        p.replace_table(&demo_table(20)).unwrap();
+        assert_eq!(p.read_table("demo").unwrap().row_count(), 20);
+    }
+
+    #[test]
+    fn page_reads_are_counted_exactly() {
+        let mut p = Pager::new(128, 0); // no cache
+        let t = demo_table(100);
+        p.store_table(&t).unwrap();
+        let total_pages = p.paged_table("demo").unwrap().page_count();
+        p.reset();
+        p.read_table("demo").unwrap();
+        assert_eq!(p.stats().pages_read as usize, total_pages);
+        // A second scan costs the same — no cache.
+        p.read_table("demo").unwrap();
+        assert_eq!(p.stats().pages_read as usize, 2 * total_pages);
+    }
+
+    #[test]
+    fn cache_absorbs_repeat_reads() {
+        let mut p = Pager::new(128, 1024);
+        let t = demo_table(100);
+        p.store_table(&t).unwrap();
+        p.reset();
+        p.read_table("demo").unwrap();
+        let cold = p.stats();
+        p.read_table("demo").unwrap();
+        let warm = p.stats();
+        assert_eq!(cold.pages_read, warm.pages_read, "second scan fully cached");
+        assert!(warm.cache_hits > 0);
+    }
+
+    #[test]
+    fn lru_evicts_under_pressure() {
+        let mut p = Pager::new(128, 2); // tiny cache
+        let t = demo_table(200);
+        p.store_table(&t).unwrap();
+        p.reset();
+        p.read_table("demo").unwrap();
+        let first = p.stats().pages_read;
+        p.read_table("demo").unwrap();
+        let second = p.stats().pages_read - first;
+        // With only 2 cache pages most reads miss again.
+        assert!(second as usize >= p.paged_table("demo").unwrap().page_count() - 2);
+    }
+
+    #[test]
+    fn read_single_column_touches_only_its_pages() {
+        let mut p = Pager::new(128, 0);
+        let t = demo_table(1000);
+        p.store_table(&t).unwrap();
+        let pt = p.paged_table("demo").unwrap();
+        let id_pages = pt.extents[0].pages.len();
+        p.reset();
+        let col = p.read_column("demo", "id").unwrap();
+        assert_eq!(col.len(), 1000);
+        assert_eq!(p.stats().pages_read as usize, id_pages);
+    }
+
+    #[test]
+    fn missing_names_error() {
+        let mut p = Pager::new(128, 0);
+        assert!(p.read_table("zz").is_err());
+        p.store_table(&demo_table(5)).unwrap();
+        assert!(p.read_column("demo", "zz").is_err());
+    }
+
+    #[test]
+    fn empty_stream_roundtrip() {
+        let mut p = Pager::new(128, 0);
+        let e = p.write_stream(&[]).unwrap();
+        assert_eq!(p.read_stream(&e).unwrap(), Vec::<u8>::new());
+    }
+}

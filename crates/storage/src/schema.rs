@@ -1,0 +1,112 @@
+//! Table schemas.
+
+pub use crate::value::DataType;
+
+/// One column's name and type.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Field {
+    /// Column name.
+    pub name: String,
+    /// Column type.
+    pub data_type: DataType,
+    /// Whether NULLs may appear.
+    pub nullable: bool,
+}
+
+impl Field {
+    /// Non-nullable field.
+    pub fn new(name: impl Into<String>, data_type: DataType) -> Field {
+        Field { name: name.into(), data_type, nullable: false }
+    }
+
+    /// Nullable field.
+    pub fn nullable(name: impl Into<String>, data_type: DataType) -> Field {
+        Field { name: name.into(), data_type, nullable: true }
+    }
+}
+
+/// Ordered collection of fields.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Schema {
+    fields: Vec<Field>,
+}
+
+impl Schema {
+    /// Schema from a field list.
+    pub fn new(fields: Vec<Field>) -> Schema {
+        Schema { fields }
+    }
+
+    /// The fields in order.
+    pub fn fields(&self) -> &[Field] {
+        &self.fields
+    }
+
+    /// Number of columns.
+    pub fn len(&self) -> usize {
+        self.fields.len()
+    }
+
+    /// True for a zero-column schema.
+    pub fn is_empty(&self) -> bool {
+        self.fields.is_empty()
+    }
+
+    /// Index of the column with this name.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.fields.iter().position(|f| f.name == name)
+    }
+
+    /// Field by name.
+    pub fn field(&self, name: &str) -> Option<&Field> {
+        self.fields.iter().find(|f| f.name == name)
+    }
+
+    /// Column names in order.
+    pub fn names(&self) -> Vec<&str> {
+        self.fields.iter().map(|f| f.name.as_str()).collect()
+    }
+
+    /// Projection of this schema onto a subset of columns (unknown names
+    /// are skipped; the query planner validates names beforehand).
+    pub fn project(&self, names: &[&str]) -> Schema {
+        let fields = names
+            .iter()
+            .filter_map(|n| self.field(n))
+            .cloned()
+            .collect();
+        Schema { fields }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            Field::new("source", DataType::Int64),
+            Field::new("nu", DataType::Float64),
+            Field::nullable("intensity", DataType::Float64),
+        ])
+    }
+
+    #[test]
+    fn lookup_by_name_and_index() {
+        let s = schema();
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.index_of("nu"), Some(1));
+        assert_eq!(s.index_of("missing"), None);
+        assert!(s.field("intensity").unwrap().nullable);
+        assert_eq!(s.names(), vec!["source", "nu", "intensity"]);
+    }
+
+    #[test]
+    fn project_keeps_order_of_request() {
+        let s = schema();
+        let p = s.project(&["intensity", "source"]);
+        assert_eq!(p.names(), vec!["intensity", "source"]);
+        let q = s.project(&["nope"]);
+        assert!(q.is_empty());
+    }
+}

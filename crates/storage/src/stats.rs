@@ -1,0 +1,350 @@
+//! Column statistics: min/max, distinct values, and *enumerability*
+//! detection.
+//!
+//! Section 4.2 of the paper hinges on enumerable columns: "if a parameter
+//! column is enumerable, we can use it without actually loading its
+//! values. Straightforward examples … could be continuous integer
+//! timestamps … Similarly, categorical variables can be replaced by a
+//! small set with all the values they assume." — the LOFAR ν column only
+//! assumes values in {0.12, 0.15, 0.16, 0.18}.
+//!
+//! [`ColumnStats::analyze`] detects both shapes:
+//! * **Stepped ranges**: integers forming `lo, lo+s, …, hi` exactly;
+//! * **Small categorical domains**: at most `max_distinct` distinct
+//!   values, captured exhaustively.
+
+use crate::column::Column;
+use std::collections::BTreeSet;
+
+/// How a column's value domain can be enumerated without scanning it.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Enumerability {
+    /// Integer values form an exact arithmetic progression
+    /// `lo, lo+step, …, hi` with every member present.
+    SteppedRange {
+        /// Smallest value.
+        lo: i64,
+        /// Largest value.
+        hi: i64,
+        /// Common difference (≥ 1).
+        step: i64,
+    },
+    /// Small categorical domain: the complete, sorted set of distinct
+    /// values (as f64 for numeric columns).
+    Categorical {
+        /// The distinct values, sorted ascending.
+        values: Vec<f64>,
+    },
+    /// The domain is too large or irregular to enumerate.
+    NotEnumerable,
+}
+
+impl Enumerability {
+    /// Materialize the enumerated domain, if any.
+    pub fn enumerate(&self) -> Option<Vec<f64>> {
+        match self {
+            Enumerability::SteppedRange { lo, hi, step } => {
+                let mut out = Vec::new();
+                let mut v = *lo;
+                while v <= *hi {
+                    out.push(v as f64);
+                    v += step;
+                }
+                Some(out)
+            }
+            Enumerability::Categorical { values } => Some(values.clone()),
+            Enumerability::NotEnumerable => None,
+        }
+    }
+
+    /// Number of values the enumeration would produce, if enumerable.
+    pub fn cardinality(&self) -> Option<usize> {
+        match self {
+            Enumerability::SteppedRange { lo, hi, step } => {
+                Some(((hi - lo) / step) as usize + 1)
+            }
+            Enumerability::Categorical { values } => Some(values.len()),
+            Enumerability::NotEnumerable => None,
+        }
+    }
+}
+
+/// Summary statistics for one column.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnStats {
+    /// Row count.
+    pub rows: usize,
+    /// NULL count.
+    pub nulls: usize,
+    /// Minimum (numeric columns, ignoring NULLs/NaNs).
+    pub min: Option<f64>,
+    /// Maximum.
+    pub max: Option<f64>,
+    /// Exact distinct count when ≤ the analysis cap, else `None`.
+    pub distinct: Option<usize>,
+    /// Detected enumerability of the value domain.
+    pub enumerability: Enumerability,
+}
+
+impl ColumnStats {
+    /// Analyze a column. `max_distinct` caps the categorical-domain
+    /// detection (and the exact distinct count); 1024 is a sensible
+    /// default for parameter-space enumeration.
+    pub fn analyze(column: &Column, max_distinct: usize) -> ColumnStats {
+        let rows = column.len();
+        let nulls = column.null_count();
+        match column {
+            Column::Int64 { data, validity } => {
+                // Stepped-range detection (timestamps) must survive far
+                // past the categorical cap: lo/hi/step summarize any
+                // cardinality. Track distincts up to a larger internal
+                // bound, but report the exact count and the categorical
+                // domain only within `max_distinct`.
+                let stepped_cap = max_distinct.max(1 << 20);
+                let mut set: BTreeSet<i64> = BTreeSet::new();
+                let mut min = None::<i64>;
+                let mut max = None::<i64>;
+                let mut overflow = false;
+                for (i, &v) in data.iter().enumerate() {
+                    if !validity.get(i) {
+                        continue;
+                    }
+                    min = Some(min.map_or(v, |m: i64| m.min(v)));
+                    max = Some(max.map_or(v, |m: i64| m.max(v)));
+                    if !overflow {
+                        set.insert(v);
+                        if set.len() > stepped_cap {
+                            overflow = true;
+                        }
+                    }
+                }
+                let distinct = (set.len() <= max_distinct && !overflow).then_some(set.len());
+                let enumerability = if overflow || set.is_empty() {
+                    Enumerability::NotEnumerable
+                } else if set.len() <= max_distinct {
+                    detect_stepped(&set).unwrap_or_else(|| Enumerability::Categorical {
+                        values: set.iter().map(|&v| v as f64).collect(),
+                    })
+                } else {
+                    detect_stepped(&set).unwrap_or(Enumerability::NotEnumerable)
+                };
+                ColumnStats {
+                    rows,
+                    nulls,
+                    min: min.map(|v| v as f64),
+                    max: max.map(|v| v as f64),
+                    distinct,
+                    enumerability,
+                }
+            }
+            Column::Float64 { data, validity } => {
+                // Distinct floats compare by bit pattern (NaNs excluded).
+                let mut set: BTreeSet<u64> = BTreeSet::new();
+                let mut min = f64::INFINITY;
+                let mut max = f64::NEG_INFINITY;
+                let mut any = false;
+                let mut overflow = false;
+                for (i, &v) in data.iter().enumerate() {
+                    if !validity.get(i) || v.is_nan() {
+                        continue;
+                    }
+                    any = true;
+                    min = min.min(v);
+                    max = max.max(v);
+                    if !overflow {
+                        set.insert(v.to_bits());
+                        if set.len() > max_distinct {
+                            overflow = true;
+                        }
+                    }
+                }
+                let distinct = (!overflow).then_some(set.len());
+                let enumerability = if overflow || !any {
+                    Enumerability::NotEnumerable
+                } else {
+                    let mut values: Vec<f64> =
+                        set.iter().map(|&b| f64::from_bits(b)).collect();
+                    values.sort_by(|a, b| a.partial_cmp(b).expect("NaNs excluded"));
+                    Enumerability::Categorical { values }
+                };
+                ColumnStats {
+                    rows,
+                    nulls,
+                    min: any.then_some(min),
+                    max: any.then_some(max),
+                    distinct,
+                    enumerability,
+                }
+            }
+            Column::Str { data, validity } => {
+                let mut set: BTreeSet<&str> = BTreeSet::new();
+                let mut overflow = false;
+                for (i, s) in data.iter().enumerate() {
+                    if !validity.get(i) {
+                        continue;
+                    }
+                    set.insert(s.as_str());
+                    if set.len() > max_distinct {
+                        overflow = true;
+                        break;
+                    }
+                }
+                ColumnStats {
+                    rows,
+                    nulls,
+                    min: None,
+                    max: None,
+                    distinct: (!overflow).then_some(set.len()),
+                    // String domains are enumerable for dictionary
+                    // purposes but not as numeric model inputs.
+                    enumerability: Enumerability::NotEnumerable,
+                }
+            }
+            Column::Bool { data, validity } => {
+                let mut seen_true = false;
+                let mut seen_false = false;
+                for i in 0..data.len() {
+                    if !validity.get(i) {
+                        continue;
+                    }
+                    if data.get(i) {
+                        seen_true = true;
+                    } else {
+                        seen_false = true;
+                    }
+                }
+                let mut values = Vec::new();
+                if seen_false {
+                    values.push(0.0);
+                }
+                if seen_true {
+                    values.push(1.0);
+                }
+                ColumnStats {
+                    rows,
+                    nulls,
+                    min: values.first().copied(),
+                    max: values.last().copied(),
+                    distinct: Some(values.len()),
+                    enumerability: if values.is_empty() {
+                        Enumerability::NotEnumerable
+                    } else {
+                        Enumerability::Categorical { values }
+                    },
+                }
+            }
+        }
+    }
+}
+
+/// Detect an exact arithmetic progression in a sorted distinct set.
+fn detect_stepped(set: &BTreeSet<i64>) -> Option<Enumerability> {
+    if set.len() < 3 {
+        return None;
+    }
+    let vals: Vec<i64> = set.iter().copied().collect();
+    let step = vals[1] - vals[0];
+    if step < 1 {
+        return None;
+    }
+    for w in vals.windows(2) {
+        if w[1] - w[0] != step {
+            return None;
+        }
+    }
+    Some(Enumerability::SteppedRange { lo: vals[0], hi: *vals.last().expect("len ≥ 3"), step })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lofar_frequency_column_is_categorical() {
+        // The paper's example: ν ∈ {0.12, 0.15, 0.16, 0.18}.
+        let freqs = [0.12, 0.15, 0.16, 0.18];
+        let data: Vec<f64> = (0..1000).map(|i| freqs[i % 4]).collect();
+        let c = Column::from_f64(data);
+        let s = ColumnStats::analyze(&c, 1024);
+        assert_eq!(s.distinct, Some(4));
+        assert_eq!(
+            s.enumerability,
+            Enumerability::Categorical { values: freqs.to_vec() }
+        );
+        assert_eq!(s.enumerability.cardinality(), Some(4));
+    }
+
+    #[test]
+    fn timestamp_column_is_stepped() {
+        // "continuous integer timestamps, as they appear in time series".
+        let data: Vec<i64> = (0..500).map(|i| 1000 + 10 * i).collect();
+        let c = Column::from_i64(data);
+        let s = ColumnStats::analyze(&c, 1024);
+        assert_eq!(
+            s.enumerability,
+            Enumerability::SteppedRange { lo: 1000, hi: 5990, step: 10 }
+        );
+        let e = s.enumerability.enumerate().unwrap();
+        assert_eq!(e.len(), 500);
+        assert_eq!(e[0], 1000.0);
+        assert_eq!(e[499], 5990.0);
+    }
+
+    #[test]
+    fn stepped_with_gap_falls_back_to_categorical() {
+        let c = Column::from_i64(vec![1, 2, 3, 5]);
+        let s = ColumnStats::analyze(&c, 1024);
+        assert_eq!(
+            s.enumerability,
+            Enumerability::Categorical { values: vec![1.0, 2.0, 3.0, 5.0] }
+        );
+    }
+
+    #[test]
+    fn wide_domain_is_not_enumerable() {
+        let data: Vec<f64> = (0..5000).map(|i| i as f64 * 0.001).collect();
+        let c = Column::from_f64(data);
+        let s = ColumnStats::analyze(&c, 1024);
+        assert_eq!(s.enumerability, Enumerability::NotEnumerable);
+        assert_eq!(s.distinct, None); // exact count abandoned past the cap
+        assert_eq!(s.min, Some(0.0));
+        assert!((s.max.unwrap() - 4.999).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nulls_and_nans_are_ignored() {
+        let c = Column::from_f64_opt(vec![Some(1.0), None, Some(f64::NAN), Some(3.0)]);
+        let s = ColumnStats::analyze(&c, 16);
+        assert_eq!(s.nulls, 1);
+        assert_eq!(s.min, Some(1.0));
+        assert_eq!(s.max, Some(3.0));
+        assert_eq!(s.distinct, Some(2));
+    }
+
+    #[test]
+    fn all_null_column() {
+        let c = Column::from_i64_opt(vec![None, None]);
+        let s = ColumnStats::analyze(&c, 16);
+        assert_eq!(s.min, None);
+        assert_eq!(s.distinct, Some(0));
+        assert_eq!(s.enumerability, Enumerability::NotEnumerable);
+    }
+
+    #[test]
+    fn bool_column_enumerates_to_indicator_values() {
+        let c = Column::from_bool(&[true, false, true]);
+        let s = ColumnStats::analyze(&c, 16);
+        assert_eq!(
+            s.enumerability,
+            Enumerability::Categorical { values: vec![0.0, 1.0] }
+        );
+    }
+
+    #[test]
+    fn string_column_counts_distinct_but_is_not_enumerable() {
+        let c = Column::from_str(vec!["a".into(), "b".into(), "a".into()]);
+        let s = ColumnStats::analyze(&c, 16);
+        assert_eq!(s.distinct, Some(2));
+        assert_eq!(s.enumerability, Enumerability::NotEnumerable);
+    }
+}

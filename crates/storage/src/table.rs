@@ -1,0 +1,319 @@
+//! Tables: a schema plus equal-length columns.
+
+use crate::column::Column;
+use crate::error::{Result, StorageError};
+use crate::schema::{DataType, Field, Schema};
+use crate::value::Value;
+
+/// An immutable-by-convention columnar table.
+///
+/// The ingestion path goes through [`TableBuilder`]; appends (for the
+/// data-change experiments) go through [`Table::append_rows`], which
+/// keeps column lengths in lock-step.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table {
+    name: String,
+    schema: Schema,
+    columns: Vec<Column>,
+    rows: usize,
+}
+
+impl Table {
+    /// Construct from parts; validates lengths and name uniqueness.
+    pub fn new(name: impl Into<String>, schema: Schema, columns: Vec<Column>) -> Result<Table> {
+        let name = name.into();
+        if schema.len() != columns.len() {
+            return Err(StorageError::InvalidTable {
+                reason: "schema and column counts differ",
+            });
+        }
+        if schema.is_empty() {
+            return Err(StorageError::InvalidTable { reason: "table needs at least one column" });
+        }
+        let mut seen: Vec<&str> = Vec::with_capacity(schema.len());
+        for f in schema.fields() {
+            if seen.contains(&f.name.as_str()) {
+                return Err(StorageError::DuplicateColumn { name: f.name.clone() });
+            }
+            seen.push(&f.name);
+        }
+        let rows = columns[0].len();
+        for (f, c) in schema.fields().iter().zip(&columns) {
+            if c.len() != rows {
+                return Err(StorageError::ColumnLengthMismatch {
+                    expected: rows,
+                    column: f.name.clone(),
+                    got: c.len(),
+                });
+            }
+            if c.data_type() != f.data_type {
+                return Err(StorageError::TypeMismatch {
+                    op: "table construction",
+                    expected: f.data_type.name(),
+                    got: c.data_type().name(),
+                });
+            }
+        }
+        Ok(Table { name, schema, columns, rows })
+    }
+
+    /// Table name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Number of rows.
+    pub fn row_count(&self) -> usize {
+        self.rows
+    }
+
+    /// All columns in schema order.
+    pub fn columns(&self) -> &[Column] {
+        &self.columns
+    }
+
+    /// Column by name.
+    pub fn column(&self, name: &str) -> Result<&Column> {
+        let idx = self
+            .schema
+            .index_of(name)
+            .ok_or_else(|| StorageError::ColumnNotFound { name: name.to_string() })?;
+        Ok(&self.columns[idx])
+    }
+
+    /// One row as dynamic values (API/debug path, not the scan path).
+    pub fn row(&self, row: usize) -> Result<Vec<Value>> {
+        if row >= self.rows {
+            return Err(StorageError::RowOutOfRange { row, len: self.rows });
+        }
+        self.columns.iter().map(|c| c.value(row)).collect()
+    }
+
+    /// Total byte footprint of all column buffers.
+    pub fn byte_size(&self) -> usize {
+        self.columns.iter().map(Column::byte_size).sum()
+    }
+
+    /// Append a batch of rows given as one column per field, in schema
+    /// order. Types and lengths must match.
+    pub fn append_rows(&mut self, batch: &[Column]) -> Result<()> {
+        if batch.len() != self.columns.len() {
+            return Err(StorageError::InvalidTable {
+                reason: "append batch has wrong column count",
+            });
+        }
+        let n = batch[0].len();
+        for (f, c) in self.schema.fields().iter().zip(batch) {
+            if c.len() != n {
+                return Err(StorageError::ColumnLengthMismatch {
+                    expected: n,
+                    column: f.name.clone(),
+                    got: c.len(),
+                });
+            }
+        }
+        // Validate all types before mutating anything, so a failed append
+        // leaves the table unchanged.
+        for (mine, theirs) in self.columns.iter().zip(batch) {
+            if mine.data_type() != theirs.data_type() {
+                return Err(StorageError::TypeMismatch {
+                    op: "append_rows",
+                    expected: mine.data_type().name(),
+                    got: theirs.data_type().name(),
+                });
+            }
+        }
+        for (mine, theirs) in self.columns.iter_mut().zip(batch) {
+            mine.append(theirs).expect("types validated above");
+        }
+        self.rows += n;
+        Ok(())
+    }
+
+    /// New table with only the named columns (projection).
+    pub fn project(&self, names: &[&str]) -> Result<Table> {
+        let mut fields = Vec::with_capacity(names.len());
+        let mut cols = Vec::with_capacity(names.len());
+        for n in names {
+            let idx = self
+                .schema
+                .index_of(n)
+                .ok_or_else(|| StorageError::ColumnNotFound { name: n.to_string() })?;
+            fields.push(self.schema.fields()[idx].clone());
+            cols.push(self.columns[idx].clone());
+        }
+        Table::new(self.name.clone(), Schema::new(fields), cols)
+    }
+
+    /// New table keeping only the rows at `indices`.
+    pub fn take(&self, indices: &[usize]) -> Result<Table> {
+        let cols: Result<Vec<Column>> = self.columns.iter().map(|c| c.take(indices)).collect();
+        Table::new(self.name.clone(), self.schema.clone(), cols?)
+    }
+}
+
+/// Builder assembling a table column by column.
+#[derive(Debug, Default)]
+pub struct TableBuilder {
+    name: String,
+    fields: Vec<Field>,
+    columns: Vec<Column>,
+}
+
+impl TableBuilder {
+    /// Start building a table with the given name.
+    pub fn new(name: impl Into<String>) -> TableBuilder {
+        TableBuilder { name: name.into(), fields: Vec::new(), columns: Vec::new() }
+    }
+
+    /// Add a non-nullable integer column.
+    pub fn add_i64(&mut self, name: impl Into<String>, data: Vec<i64>) -> &mut Self {
+        self.fields.push(Field::new(name, DataType::Int64));
+        self.columns.push(Column::from_i64(data));
+        self
+    }
+
+    /// Add a non-nullable float column.
+    pub fn add_f64(&mut self, name: impl Into<String>, data: Vec<f64>) -> &mut Self {
+        self.fields.push(Field::new(name, DataType::Float64));
+        self.columns.push(Column::from_f64(data));
+        self
+    }
+
+    /// Add a nullable float column.
+    pub fn add_f64_opt(&mut self, name: impl Into<String>, data: Vec<Option<f64>>) -> &mut Self {
+        self.fields.push(Field::nullable(name, DataType::Float64));
+        self.columns.push(Column::from_f64_opt(data));
+        self
+    }
+
+    /// Add a non-nullable string column.
+    pub fn add_str(&mut self, name: impl Into<String>, data: Vec<String>) -> &mut Self {
+        self.fields.push(Field::new(name, DataType::Str));
+        self.columns.push(Column::from_str(data));
+        self
+    }
+
+    /// Add a non-nullable boolean column.
+    pub fn add_bool(&mut self, name: impl Into<String>, data: &[bool]) -> &mut Self {
+        self.fields.push(Field::new(name, DataType::Bool));
+        self.columns.push(Column::from_bool(data));
+        self
+    }
+
+    /// Add an already-built column with an explicit field definition.
+    pub fn add_column(&mut self, field: Field, column: Column) -> &mut Self {
+        self.fields.push(field);
+        self.columns.push(column);
+        self
+    }
+
+    /// Finish, validating shape and types.
+    pub fn build(&mut self) -> Result<Table> {
+        Table::new(
+            std::mem::take(&mut self.name),
+            Schema::new(std::mem::take(&mut self.fields)),
+            std::mem::take(&mut self.columns),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lofar_like() -> Table {
+        let mut b = TableBuilder::new("measurements");
+        b.add_i64("source", vec![1, 1, 2, 2]);
+        b.add_f64("nu", vec![0.12, 0.15, 0.12, 0.15]);
+        b.add_f64("intensity", vec![0.23, 0.34, 1.59, 1.41]);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn builder_builds_consistent_table() {
+        let t = lofar_like();
+        assert_eq!(t.name(), "measurements");
+        assert_eq!(t.row_count(), 4);
+        assert_eq!(t.schema().names(), vec!["source", "nu", "intensity"]);
+        assert_eq!(t.column("nu").unwrap().f64_data().unwrap()[1], 0.15);
+        assert!(t.column("zz").is_err());
+    }
+
+    #[test]
+    fn ragged_columns_rejected() {
+        let mut b = TableBuilder::new("bad");
+        b.add_i64("a", vec![1, 2]);
+        b.add_f64("b", vec![1.0]);
+        assert!(matches!(b.build(), Err(StorageError::ColumnLengthMismatch { .. })));
+    }
+
+    #[test]
+    fn duplicate_column_rejected() {
+        let mut b = TableBuilder::new("bad");
+        b.add_i64("a", vec![1]);
+        b.add_f64("a", vec![1.0]);
+        assert!(matches!(b.build(), Err(StorageError::DuplicateColumn { .. })));
+    }
+
+    #[test]
+    fn empty_table_rejected() {
+        let mut b = TableBuilder::new("bad");
+        assert!(matches!(b.build(), Err(StorageError::InvalidTable { .. })));
+    }
+
+    #[test]
+    fn row_access() {
+        let t = lofar_like();
+        let r = t.row(2).unwrap();
+        assert_eq!(r, vec![Value::Int(2), Value::Float(0.12), Value::Float(1.59)]);
+        assert!(t.row(4).is_err());
+    }
+
+    #[test]
+    fn append_rows_grows_table() {
+        let mut t = lofar_like();
+        let batch = vec![
+            Column::from_i64(vec![3]),
+            Column::from_f64(vec![0.16]),
+            Column::from_f64(vec![2.0]),
+        ];
+        t.append_rows(&batch).unwrap();
+        assert_eq!(t.row_count(), 5);
+        assert_eq!(t.row(4).unwrap()[0], Value::Int(3));
+    }
+
+    #[test]
+    fn append_rejects_bad_types_without_mutating() {
+        let mut t = lofar_like();
+        let batch = vec![
+            Column::from_f64(vec![3.0]), // wrong: should be i64
+            Column::from_f64(vec![0.16]),
+            Column::from_f64(vec![2.0]),
+        ];
+        assert!(t.append_rows(&batch).is_err());
+        assert_eq!(t.row_count(), 4);
+    }
+
+    #[test]
+    fn projection_and_take() {
+        let t = lofar_like();
+        let p = t.project(&["intensity", "source"]).unwrap();
+        assert_eq!(p.schema().names(), vec!["intensity", "source"]);
+        let s = t.take(&[0, 3]).unwrap();
+        assert_eq!(s.row_count(), 2);
+        assert_eq!(s.row(1).unwrap()[2], Value::Float(1.41));
+    }
+
+    #[test]
+    fn byte_size_of_paper_shape() {
+        // Three 8-byte columns over 4 rows + 3 validity bytes.
+        let t = lofar_like();
+        assert_eq!(t.byte_size(), 3 * (4 * 8 + 1));
+    }
+}

@@ -1,0 +1,85 @@
+//! Property tests over every integer/float/byte codec: round-trips for
+//! arbitrary inputs, including adversarial edge values.
+
+use lawsdb_storage::compress::{bitpack, delta, dict, float, for_, huffman, lzss, rle, varint};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    #[test]
+    fn varint_u64_roundtrip(v in any::<u64>()) {
+        let mut buf = Vec::new();
+        varint::put_u64(&mut buf, v);
+        let mut pos = 0;
+        prop_assert_eq!(varint::get_u64(&buf, &mut pos).unwrap(), v);
+        prop_assert_eq!(pos, buf.len());
+    }
+
+    #[test]
+    fn varint_i64_roundtrip(v in any::<i64>()) {
+        let mut buf = Vec::new();
+        varint::put_i64(&mut buf, v);
+        let mut pos = 0;
+        prop_assert_eq!(varint::get_i64(&buf, &mut pos).unwrap(), v);
+    }
+
+    #[test]
+    fn delta_roundtrip(values in prop::collection::vec(any::<i64>(), 0..500)) {
+        prop_assert_eq!(delta::decode(&delta::encode(&values)).unwrap(), values);
+    }
+
+    #[test]
+    fn rle_roundtrip(values in prop::collection::vec(-50i64..50, 0..500)) {
+        prop_assert_eq!(rle::decode(&rle::encode(&values)).unwrap(), values);
+    }
+
+    #[test]
+    fn bitpack_roundtrip(values in prop::collection::vec(any::<u64>(), 0..300)) {
+        prop_assert_eq!(bitpack::decode(&bitpack::encode(&values)).unwrap(), values);
+    }
+
+    #[test]
+    fn for_roundtrip(values in prop::collection::vec(any::<i64>(), 0..3000)) {
+        prop_assert_eq!(for_::decode(&for_::encode(&values)).unwrap(), values);
+    }
+
+    #[test]
+    fn float_xor_roundtrip(values in prop::collection::vec(any::<f64>(), 0..300)) {
+        let back = float::decode(&float::encode(&values)).unwrap();
+        prop_assert_eq!(back.len(), values.len());
+        for (a, b) in back.iter().zip(&values) {
+            prop_assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn dict_roundtrip(values in prop::collection::vec("[a-z]{0,8}", 0..200)) {
+        let owned: Vec<String> = values;
+        prop_assert_eq!(dict::decode(&dict::encode(&owned)).unwrap(), owned);
+    }
+
+    #[test]
+    fn huffman_roundtrip(data in prop::collection::vec(any::<u8>(), 0..3000)) {
+        prop_assert_eq!(huffman::decode(&huffman::encode(&data)).unwrap(), data);
+    }
+
+    #[test]
+    fn lzss_roundtrip(data in prop::collection::vec(any::<u8>(), 0..3000)) {
+        prop_assert_eq!(lzss::decompress(&lzss::compress(&data)).unwrap(), data);
+    }
+
+    /// Decoders must never panic on arbitrary garbage — errors only.
+    #[test]
+    fn decoders_survive_garbage(data in prop::collection::vec(any::<u8>(), 0..200)) {
+        let _ = varint::get_u64(&data, &mut 0);
+        let _ = delta::decode(&data);
+        let _ = rle::decode(&data);
+        let _ = bitpack::decode(&data);
+        let _ = for_::decode(&data);
+        let _ = float::decode(&data);
+        let _ = dict::decode(&data);
+        let _ = huffman::decode(&data);
+        let _ = lzss::decompress(&data);
+    }
+}

@@ -1,0 +1,64 @@
+//! Hunting transients by goodness-of-fit (Section 4.2's data anomalies):
+//! the sources whose intensity defies the spectral law are exactly the
+//! interesting ones.
+//!
+//! ```text
+//! cargo run --release --example anomaly_hunt
+//! ```
+
+use lawsdb::approx::anomaly::{precision_at_k, rank_anomalies, recall_at_k, MisfitScore};
+use lawsdb::data::lofar::{AnomalyKind, LofarConfig, LofarDataset};
+use lawsdb::fit::FitOptions;
+use lawsdb::prelude::*;
+
+fn main() {
+    let cfg = LofarConfig {
+        sources: 3_000,
+        anomaly_fraction: 0.02,
+        ..LofarConfig::default()
+    };
+    let data = LofarDataset::generate(&cfg);
+    let truth = data.anomalies.clone();
+    println!(
+        "{} sources, {} hidden transients (flat spectra and turn-overs)",
+        cfg.sources,
+        truth.len()
+    );
+
+    let mut db = LawsDb::new();
+    db.quality.min_r2 = 0.0;
+    db.register_table(data.table).expect("fresh catalog");
+    let model = db
+        .capture_model(
+            "measurements",
+            "intensity ~ p * nu ^ alpha",
+            Some("source"),
+            &FitOptions::default().with_initial("alpha", -0.7),
+        )
+        .expect("spectral capture");
+
+    for score in [MisfitScore::ResidualSe, MisfitScore::OneMinusR2] {
+        let ranked = rank_anomalies(&model, score);
+        let k = truth.len();
+        println!(
+            "\nscoring by {:?}: precision@{k} = {:.2}, recall@{} = {:.2}",
+            score,
+            precision_at_k(&ranked, &truth, k),
+            2 * k,
+            recall_at_k(&ranked, &truth, 2 * k)
+        );
+        println!("top suspects:");
+        for a in ranked.iter().take(5) {
+            let kind = data
+                .truth
+                .get(a.key as usize)
+                .and_then(|t| t.anomaly)
+                .map(|k| match k {
+                    AnomalyKind::FlatNoise => "flat spectrum",
+                    AnomalyKind::TurnOver => "spectral turn-over",
+                })
+                .unwrap_or("conforming (false alarm)");
+            println!("  source {:>5}  score {:.4}  -> {kind}", a.key, a.score);
+        }
+    }
+}

@@ -1,0 +1,64 @@
+//! Quickstart: capture a model, answer a query with zero IO.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use lawsdb::prelude::*;
+
+fn main() {
+    // A tiny measurements table: ten "sources", each following its own
+    // power law I = p · ν^α, observed at ten frequencies.
+    let mut tb = TableBuilder::new("measurements");
+    let mut source = Vec::new();
+    let mut nu = Vec::new();
+    let mut intensity = Vec::new();
+    for s in 0..10i64 {
+        let p = 1.0 + s as f64 * 0.3;
+        let alpha = -0.5 - s as f64 * 0.05;
+        for i in 0..10 {
+            let f = 0.10 + 0.01 * i as f64;
+            source.push(s);
+            nu.push(f);
+            intensity.push(p * f.powf(alpha));
+        }
+    }
+    tb.add_i64("source", source);
+    tb.add_f64("nu", nu);
+    tb.add_f64("intensity", intensity);
+
+    let db = LawsDb::new();
+    db.register_table(tb.build().expect("consistent table")).expect("fresh catalog");
+
+    // The analyst fits through a strawman session — LawsDB intercepts
+    // the fit (Figure 2 of the paper) and stores the model.
+    let mut session = db.session();
+    let frame = session.frame("measurements").expect("table exists");
+    let report = session
+        .fit(&frame, "intensity ~ p * nu ^ alpha", FitOptions::grouped_by("source"))
+        .expect("power law fits");
+    println!(
+        "captured model {:?}: R² = {:.4}, {} parameter vectors ({} bytes)",
+        report.model, report.overall_r2, report.parameter_vectors, report.parameter_bytes
+    );
+
+    // Later queries are answered from the model alone: zero rows
+    // scanned, error bound attached.
+    let answer = session
+        .query_approx("SELECT intensity FROM measurements WHERE source = 4 AND nu = 0.14")
+        .expect("model answers");
+    let value = answer.table.column("intensity").expect("col").f64_data().expect("f64")[0];
+    println!(
+        "approximate answer: intensity = {:.4} ± {:.4} (rows scanned: {})",
+        value,
+        answer.error_bound.unwrap_or(f64::NAN),
+        answer.rows_scanned
+    );
+    assert_eq!(answer.rows_scanned, 0);
+
+    // The same query executed exactly, for comparison.
+    let exact = db
+        .query("SELECT intensity FROM measurements WHERE source = 4 AND nu = 0.14")
+        .expect("exact path");
+    println!("exact path scanned {} rows", exact.rows_scanned);
+}

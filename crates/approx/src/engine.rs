@@ -36,8 +36,9 @@ use lawsdb_expr::ast::CmpOp;
 use lawsdb_expr::{Bindings, Expr};
 use lawsdb_models::model::ModelId;
 use lawsdb_models::{CapturedModel, ModelCatalog, ModelParams};
+use lawsdb_query::morsel::parallel_morsels;
 use lawsdb_query::sql::{AggFunc, SelectItem, SelectStatement};
-use lawsdb_query::{parse_select, ScalarExpr};
+use lawsdb_query::{parse_select, ExecOptions, ScalarExpr};
 use lawsdb_storage::{Catalog, Table, TableBuilder};
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -121,6 +122,10 @@ pub struct ApproxEngine {
     pub enumeration_cap: usize,
     /// Whether stale models may answer (with their recorded quality).
     pub allow_stale: bool,
+    /// Parallel-execution knobs; reconstruction fans `predict_batch`
+    /// out over group keys and the residual SQL runs through the
+    /// morsel-parallel executor. Results are identical for any setting.
+    pub exec: ExecOptions,
 }
 
 impl ApproxEngine {
@@ -131,6 +136,7 @@ impl ApproxEngine {
             legal_filters: HashMap::new(),
             enumeration_cap: 10_000_000,
             allow_stale: false,
+            exec: ExecOptions::default(),
         }
     }
 
@@ -194,7 +200,7 @@ impl ApproxEngine {
         // Run the original SQL over the virtual relation.
         let catalog = Catalog::new();
         catalog.register(virtual_table).map_err(ApproxError::Storage)?;
-        let result = lawsdb_query::execute(&catalog, sql)?;
+        let result = lawsdb_query::execute_with(&catalog, sql, &self.exec)?;
 
         Ok(ApproxAnswer {
             table: result.table,
@@ -310,19 +316,31 @@ impl ApproxEngine {
         let grid_rows = grid_len(grid);
         let legal_bloom = self.legal_filters.get(&model.id.0);
 
-        let mut col_group: Vec<i64> = Vec::new();
-        let mut col_vars: Vec<Vec<f64>> = vec![Vec::new(); vars.len()];
-        let mut col_resp: Vec<f64> = Vec::new();
-        let mut combo = vec![0.0; vars.len()];
-
         // The model's own legal filter (user-supplied expression over
         // the inputs — Section 4.2's first remedy).
         let legal_expr: Option<&Expr> = model.legal_filter.as_ref();
 
-        for &key in keys {
-            // Evaluate the whole grid for this group in one batch.
+        /// Columns reconstructed for one group key.
+        struct KeyPartial {
+            group: Vec<i64>,
+            vars: Vec<Vec<f64>>,
+            resp: Vec<f64>,
+        }
+
+        // Evaluate one group key's whole grid in a batch, then filter
+        // rows through coverage/legality. Each key is independent, so
+        // the keys fan out across the morsel worker pool; partials are
+        // merged back in key order, which makes the reconstructed
+        // relation identical for any thread count.
+        let per_key = |key: Option<i64>| -> Result<KeyPartial> {
             let var_slices: Vec<&[f64]> = grid.iter().map(Vec::as_slice).collect();
             let pred = model.predict_batch(key, &var_slices)?;
+            let mut out = KeyPartial {
+                group: Vec::new(),
+                vars: vec![Vec::new(); vars.len()],
+                resp: Vec::new(),
+            };
+            let mut combo = vec![0.0; vars.len()];
             for row in 0..grid_rows {
                 for (d, g) in grid.iter().enumerate() {
                     combo[d] = g[row];
@@ -377,12 +395,32 @@ impl ApproxEngine {
                         }
                     }
                 }
-                col_group.push(key.unwrap_or(0));
-                for (d, c) in col_vars.iter_mut().enumerate() {
+                out.group.push(key.unwrap_or(0));
+                for (d, c) in out.vars.iter_mut().enumerate() {
                     c.push(combo[d]);
                 }
-                col_resp.push(pred[row]);
+                out.resp.push(pred[row]);
             }
+            Ok(out)
+        };
+
+        // One key per morsel; errors propagate in key order below so
+        // failures are deterministic too.
+        let key_opts = ExecOptions { morsel_rows: 1, ..self.exec.clone() };
+        let partials = parallel_morsels(keys.len(), &key_opts, |offset, _| {
+            Ok(per_key(keys[offset]))
+        })?;
+
+        let mut col_group: Vec<i64> = Vec::new();
+        let mut col_vars: Vec<Vec<f64>> = vec![Vec::new(); vars.len()];
+        let mut col_resp: Vec<f64> = Vec::new();
+        for partial in partials {
+            let mut p = partial?;
+            col_group.append(&mut p.group);
+            for (d, c) in col_vars.iter_mut().enumerate() {
+                c.append(&mut p.vars[d]);
+            }
+            col_resp.append(&mut p.resp);
         }
 
         let mut tb = TableBuilder::new(model.coverage.table.clone());
@@ -941,6 +979,25 @@ mod tests {
         assert!(empty.is_empty());
         let with_empty_dim = cartesian(&[vec![1.0], vec![]]);
         assert_eq!(grid_len(&with_empty_dim), 0);
+    }
+
+    #[test]
+    fn reconstruction_is_identical_serial_vs_parallel() {
+        let (models, _, _) = lofar_setup();
+        let mut serial = ApproxEngine::new(Arc::clone(&models));
+        serial.exec = ExecOptions::serial();
+        let mut parallel = ApproxEngine::new(models);
+        parallel.exec = ExecOptions { threads: 4, morsel_rows: 1 };
+        // No ORDER BY: row order must already match because per-key
+        // partials merge in key order.
+        let sql = "SELECT source, nu, intensity FROM measurements";
+        let a = serial.answer(sql).unwrap();
+        let b = parallel.answer(sql).unwrap();
+        assert_eq!(a.tuples_reconstructed, b.tuples_reconstructed);
+        assert_eq!(a.table.row_count(), b.table.row_count());
+        for i in 0..a.table.row_count() {
+            assert_eq!(a.table.row(i).unwrap(), b.table.row(i).unwrap());
+        }
     }
 
     #[test]

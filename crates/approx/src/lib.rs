@@ -36,6 +36,9 @@
 //!   given a desired output, find the inputs that produce it, by
 //!   enumerated search or by bisection on monotone 1-D models.
 
+// `!(x < y)` guards are NaN-aware in tolerance/interval validation.
+#![allow(clippy::neg_cmp_op_on_partial_ord)]
+
 pub mod analytic;
 pub mod anomaly;
 pub mod engine;

@@ -1,11 +1,14 @@
 //! Criterion benches for query answering (E3, E5, E6, E7, E9): the
 //! exact scan path vs the model-backed zero-IO paths.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use lawsdb_bench::experiments::morsel;
 use lawsdb_core::LawsDb;
 use lawsdb_data::lofar::{LofarConfig, LofarDataset};
 use lawsdb_data::timeseries::{TimeSeriesConfig, TimeSeriesDataset};
 use lawsdb_fit::FitOptions;
+use lawsdb_query::{execute_with, ExecOptions};
+use std::time::Duration;
 
 fn lofar_db(sources: usize) -> LawsDb {
     let cfg = LofarConfig {
@@ -106,8 +109,33 @@ fn bench_figure2_interception(c: &mut Criterion) {
     g.finish();
 }
 
+/// Morsel-driven executor throughput: each pipeline shape at
+/// 100k / 1M / 4M rows × 1 / 2 / N worker threads (N = the machine's
+/// available parallelism). `BENCH_query.json` records the same sweep
+/// via `report -- bench-query`.
+fn bench_morsel_throughput(c: &mut Criterion) {
+    let machine = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    for rows in [100_000usize, 1_000_000, 4_000_000] {
+        let catalog = morsel::dataset(rows);
+        let mut g = c.benchmark_group(format!("morsel_throughput_{rows}"));
+        g.throughput(Throughput::Elements(rows as u64));
+        g.sample_size(10);
+        g.measurement_time(Duration::from_millis(500));
+        for (label, sql) in morsel::QUERIES {
+            for threads in morsel::thread_counts(machine) {
+                let opts = ExecOptions { threads, ..ExecOptions::default() };
+                g.bench_function(format!("{label}/t{threads}"), |b| {
+                    b.iter(|| execute_with(&catalog, sql, &opts).unwrap().rows_scanned)
+                });
+            }
+        }
+        g.finish();
+    }
+}
+
 criterion_group!(
     benches,
+    bench_morsel_throughput,
     bench_e5_zero_io,
     bench_e9_enumeration,
     bench_e7_analytic,

@@ -48,6 +48,19 @@ fn main() {
         "e9" => exp::e9_enumeration::print(&exp::e9_enumeration::run(scale)),
         "e10" => exp::e10_model_change::print(&exp::e10_model_change::run(scale)),
         "e11" => exp::e11_model_classes::print(&exp::e11_model_classes::run()),
+        "bench-query" => {
+            let scales: &[usize] = match scale {
+                Scale::Small => &[100_000],
+                Scale::Medium => &[100_000, 1_000_000],
+                Scale::Paper => &[100_000, 1_000_000, 4_000_000],
+            };
+            let r = exp::morsel::run(scales);
+            exp::morsel::print(&r);
+            let json = exp::morsel::to_json(&r);
+            std::fs::write("BENCH_query.json", &json)
+                .unwrap_or_else(|e| die(&format!("writing BENCH_query.json: {e}")));
+            println!("\nwrote BENCH_query.json");
+        }
         other => die(&format!("unknown experiment {other:?}")),
     };
 
@@ -65,9 +78,10 @@ fn main() {
 
 fn usage() {
     println!(
-        "usage: report [all|table1|figure1|figure2|e4|e5|e6|e7|e8|e9|e10|e11] \
+        "usage: report [all|table1|figure1|figure2|e4|e5|e6|e7|e8|e9|e10|e11|bench-query] \
          [--scale small|medium|paper]"
     );
+    println!("  bench-query: morsel-executor throughput sweep; writes BENCH_query.json");
 }
 
 fn die(msg: &str) -> ! {

@@ -12,5 +12,6 @@ pub mod e7_analytic;
 pub mod e8_anomaly;
 pub mod e9_enumeration;
 pub mod figure1;
+pub mod morsel;
 pub mod figure2;
 pub mod table1;

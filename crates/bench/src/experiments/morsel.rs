@@ -1,0 +1,191 @@
+//! Morsel-driven executor throughput (the PR's tentpole measurement):
+//! scan→filter, global aggregate and group-by aggregate pipelines at
+//! several row scales × worker counts. Every thread count is verified
+//! to produce the identical result before its timing is recorded, and
+//! the numbers are exported machine-readably as `BENCH_query.json` by
+//! the `report` binary (`report -- bench-query`).
+
+use lawsdb_query::{execute_with, ExecOptions};
+use lawsdb_storage::{Catalog, TableBuilder};
+
+/// The benchmarked pipeline shapes, as `(label, SQL)`.
+pub const QUERIES: &[(&str, &str)] = &[
+    ("filter_scan", "SELECT v FROM points WHERE v > 1.5 AND w < 0.25"),
+    (
+        "global_agg",
+        "SELECT COUNT(*) AS n, SUM(v) AS s, AVG(w) AS a, MIN(v) AS lo, MAX(v) AS hi \
+         FROM points WHERE v > 0.2",
+    ),
+    ("group_agg", "SELECT g, COUNT(*) AS n, SUM(v) AS s FROM points GROUP BY g"),
+];
+
+/// One measured `(query, rows, threads)` cell.
+#[derive(Debug, Clone)]
+pub struct MorselPoint {
+    /// Query label (see [`QUERIES`]).
+    pub query: String,
+    /// Base-table rows.
+    pub rows: usize,
+    /// Worker threads.
+    pub threads: usize,
+    /// Best-of-3 wall time (µs).
+    pub best_us: f64,
+    /// Base rows scanned per second at that time.
+    pub rows_per_sec: f64,
+    /// Speedup over the 1-thread run of the same query/scale.
+    pub speedup: f64,
+}
+
+/// Experiment report.
+#[derive(Debug, Clone)]
+pub struct MorselReport {
+    /// `available_parallelism()` of the measuring machine.
+    pub machine_threads: usize,
+    /// Rows per morsel used throughout.
+    pub morsel_rows: usize,
+    /// All measured cells.
+    pub points: Vec<MorselPoint>,
+}
+
+/// Deterministic synthetic table: `g` (64 groups), `v`, `w`.
+pub fn dataset(rows: usize) -> Catalog {
+    let mut state = 0x9e3779b97f4a7c15u64;
+    let mut next = move || {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        (state >> 11) as f64 / (1u64 << 53) as f64
+    };
+    let mut g = Vec::with_capacity(rows);
+    let mut v = Vec::with_capacity(rows);
+    let mut w = Vec::with_capacity(rows);
+    for i in 0..rows {
+        g.push((i % 64) as i64);
+        v.push(next() * 2.0);
+        w.push(next());
+    }
+    let mut b = TableBuilder::new("points");
+    b.add_i64("g", g);
+    b.add_f64("v", v);
+    b.add_f64("w", w);
+    let c = Catalog::new();
+    c.register(b.build().expect("build")).expect("register");
+    c
+}
+
+/// Thread counts to sweep: 1, 2 and the machine's full parallelism,
+/// deduplicated (on a 1-core box this collapses to `[1, 2]` — 2 still
+/// exercises the scoped-pool path, just without physical speedup).
+pub fn thread_counts(machine: usize) -> Vec<usize> {
+    let mut t = vec![1, 2, machine];
+    t.sort_unstable();
+    t.dedup();
+    t
+}
+
+/// Run the sweep at the given row scales.
+pub fn run(row_scales: &[usize]) -> MorselReport {
+    let machine = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let morsel_rows = 64 * 1024;
+    let mut points = Vec::new();
+    for &rows in row_scales {
+        let catalog = dataset(rows);
+        for (label, sql) in QUERIES {
+            let mut base_us = f64::NAN;
+            let reference = execute_with(&catalog, sql, &ExecOptions::serial()).expect("ref");
+            for &threads in &thread_counts(machine) {
+                let opts = ExecOptions { threads, morsel_rows };
+                // Identical-result check before any timing counts.
+                let got = execute_with(&catalog, sql, &opts).expect("query");
+                assert_eq!(got.rows_scanned, reference.rows_scanned, "{label}");
+                assert_eq!(got.table.row_count(), reference.table.row_count(), "{label}");
+                let mut best = f64::INFINITY;
+                for _ in 0..3 {
+                    let (_, us) = crate::time_us(|| execute_with(&catalog, sql, &opts));
+                    best = best.min(us);
+                }
+                if threads == 1 {
+                    base_us = best;
+                }
+                points.push(MorselPoint {
+                    query: label.to_string(),
+                    rows,
+                    threads,
+                    best_us: best,
+                    rows_per_sec: rows as f64 / (best / 1e6),
+                    speedup: base_us / best,
+                });
+            }
+        }
+    }
+    MorselReport { machine_threads: machine, morsel_rows, points }
+}
+
+/// Print the report as a paper-style table.
+pub fn print(r: &MorselReport) {
+    println!("=== morsel-driven executor throughput ===");
+    println!(
+        "machine threads: {}   morsel size: {} rows",
+        r.machine_threads, r.morsel_rows
+    );
+    println!("query         rows      threads       time       rows/s   speedup");
+    for p in &r.points {
+        println!(
+            "{:<12} {:>9} {:>8}  {:>12} {:>12.3e} {:>8.2}x",
+            p.query,
+            p.rows,
+            p.threads,
+            crate::fmt_us(p.best_us),
+            p.rows_per_sec,
+            p.speedup
+        );
+    }
+}
+
+/// Render the report as JSON (hand-rolled: the workspace carries no
+/// serialization dependency).
+pub fn to_json(r: &MorselReport) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"bench\": \"query_morsel_throughput\",\n");
+    out.push_str(&format!("  \"machine_threads\": {},\n", r.machine_threads));
+    out.push_str(&format!("  \"morsel_rows\": {},\n", r.morsel_rows));
+    out.push_str("  \"results\": [\n");
+    for (i, p) in r.points.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"query\": \"{}\", \"rows\": {}, \"threads\": {}, \
+             \"best_us\": {:.1}, \"rows_per_sec\": {:.0}, \"speedup\": {:.3}}}{}\n",
+            p.query,
+            p.rows,
+            p.threads,
+            p.best_us,
+            p.rows_per_sec,
+            p.speedup,
+            if i + 1 == r.points.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_runs_and_reports_sane_numbers() {
+        let r = run(&[10_000]);
+        assert_eq!(r.points.len(), QUERIES.len() * thread_counts(r.machine_threads).len());
+        for p in &r.points {
+            assert!(p.best_us > 0.0 && p.rows_per_sec > 0.0, "{p:?}");
+            assert!(p.speedup.is_finite() && p.speedup > 0.0);
+        }
+        let json = to_json(&r);
+        assert!(json.contains("\"query_morsel_throughput\""));
+        assert!(json.contains("\"filter_scan\""));
+    }
+
+    #[test]
+    fn thread_counts_deduplicate() {
+        assert_eq!(thread_counts(1), vec![1, 2]);
+        assert_eq!(thread_counts(2), vec![1, 2]);
+        assert_eq!(thread_counts(8), vec![1, 2, 8]);
+    }
+}

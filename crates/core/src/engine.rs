@@ -10,7 +10,7 @@ use lawsdb_models::bridge::{
 };
 use lawsdb_models::model::ModelId;
 use lawsdb_models::{CapturedModel, ModelCatalog, ModelState};
-use lawsdb_query::QueryResult;
+use lawsdb_query::{ExecOptions, QueryResult};
 use lawsdb_storage::{Catalog, Column, Table};
 use parking_lot::RwLock;
 use std::sync::Arc;
@@ -77,6 +77,9 @@ pub struct LawsDb {
     /// Bits per key for auto-built legal-combination Bloom filters;
     /// `None` disables auto-building.
     pub legal_filter_bits_per_key: Option<usize>,
+    /// Knobs for the exact query path: worker thread count (0 = one per
+    /// core) and morsel size. Results are identical for any setting.
+    pub exec: ExecOptions,
 }
 
 impl Default for LawsDb {
@@ -95,7 +98,14 @@ impl LawsDb {
             models,
             quality: QualityPolicy::default(),
             legal_filter_bits_per_key: Some(10),
+            exec: ExecOptions::default(),
         }
+    }
+
+    /// Builder-style override of the execution options.
+    pub fn with_exec_options(mut self, exec: ExecOptions) -> LawsDb {
+        self.exec = exec;
+        self
     }
 
     /// Register a base table.
@@ -123,9 +133,10 @@ impl LawsDb {
         Session::new(self)
     }
 
-    /// Execute a query exactly against base tables.
+    /// Execute a query exactly against base tables, using the engine's
+    /// [`ExecOptions`] (morsel-parallel by default).
     pub fn query(&self, sql: &str) -> Result<QueryResult> {
-        Ok(lawsdb_query::execute(&self.tables, sql)?)
+        Ok(lawsdb_query::execute_with(&self.tables, sql, &self.exec)?)
     }
 
     /// EXPLAIN: the optimized logical plan for a query, one node per

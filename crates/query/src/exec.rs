@@ -1,6 +1,13 @@
-//! Vectorized plan execution.
+//! Vectorized, morsel-parallel plan execution.
+//!
+//! The executor recognizes `Scan → Filter → Aggregate` pipeline shapes
+//! and runs them morsel-at-a-time on a scoped worker pool (see
+//! [`crate::morsel`]); per-morsel partial states merge in morsel order,
+//! so results are bit-identical for any thread count. Every other plan
+//! node runs serially on its (possibly parallel-computed) input.
 
 use crate::error::{QueryError, Result};
+use crate::morsel::{morsel_ranges, parallel_morsels, ExecOptions};
 use crate::optimize::optimize;
 use crate::plan::{AggSpec, LogicalPlan};
 use crate::sexpr::ScalarExpr;
@@ -22,69 +29,106 @@ pub struct QueryResult {
     pub rows_scanned: usize,
 }
 
-/// Parse, plan, optimize and execute a SELECT statement.
+/// Parse, plan, optimize and execute a SELECT statement with default
+/// [`ExecOptions`] (one worker per available core).
 pub fn execute(catalog: &Catalog, sql: &str) -> Result<QueryResult> {
+    execute_with(catalog, sql, &ExecOptions::default())
+}
+
+/// Parse, plan, optimize and execute a SELECT statement with explicit
+/// execution options.
+pub fn execute_with(catalog: &Catalog, sql: &str, opts: &ExecOptions) -> Result<QueryResult> {
     let stmt = parse_select(sql)?;
     let plan = LogicalPlan::from_statement(&stmt)?;
     let plan = optimize(&plan);
-    execute_plan(catalog, &plan)
+    execute_plan_with(catalog, &plan, opts)
 }
 
-/// Execute an already-built logical plan.
+/// Execute an already-built logical plan with default options.
 pub fn execute_plan(catalog: &Catalog, plan: &LogicalPlan) -> Result<QueryResult> {
+    execute_plan_with(catalog, plan, &ExecOptions::default())
+}
+
+/// Execute an already-built logical plan with explicit options.
+pub fn execute_plan_with(
+    catalog: &Catalog,
+    plan: &LogicalPlan,
+    opts: &ExecOptions,
+) -> Result<QueryResult> {
     let mut scanned = 0usize;
-    let table = exec(catalog, plan, &mut scanned)?;
+    let table = exec(catalog, plan, &mut scanned, opts)?;
     Ok(QueryResult { table, rows_scanned: scanned })
 }
 
-fn exec(catalog: &Catalog, plan: &LogicalPlan, scanned: &mut usize) -> Result<Table> {
-    match plan {
-        LogicalPlan::Scan { table, projection } => {
-            let t = catalog.get(table)?;
-            *scanned += t.row_count();
-            match projection {
-                None => Ok((*t).clone()),
-                Some(cols) => {
-                    // The optimizer prunes without schema knowledge, so a
-                    // join plan lists both tables' columns at each scan;
-                    // keep only the ones this table actually has. Truly
-                    // unknown names surface later as UnknownColumn when
-                    // an expression references them.
-                    let names: Vec<&str> = cols
-                        .iter()
-                        .map(String::as_str)
-                        .filter(|n| t.schema().index_of(n).is_some())
-                        .collect();
-                    if names.is_empty() {
-                        Ok((*t).clone())
-                    } else {
-                        Ok(t.project(&names)?)
-                    }
-                }
+/// Materialize a base-table scan: zero-copy clone/projection plus the
+/// `rows_scanned` accounting. `scanned` is bumped by the full table row
+/// count *before* any filter runs, identically on the serial and
+/// parallel paths.
+fn scan_table(
+    catalog: &Catalog,
+    table: &str,
+    projection: &Option<Vec<String>>,
+    scanned: &mut usize,
+) -> Result<Table> {
+    let t = catalog.get(table)?;
+    *scanned += t.row_count();
+    match projection {
+        None => Ok((*t).clone()),
+        Some(cols) => {
+            // The optimizer prunes without schema knowledge, so a
+            // join plan lists both tables' columns at each scan;
+            // keep only the ones this table actually has. Truly
+            // unknown names surface later as UnknownColumn when
+            // an expression references them.
+            let names: Vec<&str> = cols
+                .iter()
+                .map(String::as_str)
+                .filter(|n| t.schema().index_of(n).is_some())
+                .collect();
+            if names.is_empty() {
+                Ok((*t).clone())
+            } else {
+                Ok(t.project(&names)?)
             }
         }
+    }
+}
+
+fn exec(
+    catalog: &Catalog,
+    plan: &LogicalPlan,
+    scanned: &mut usize,
+    opts: &ExecOptions,
+) -> Result<Table> {
+    match plan {
+        LogicalPlan::Scan { table, projection } => {
+            scan_table(catalog, table, projection, scanned)
+        }
         LogicalPlan::Join { left, right, left_col, right_col } => {
-            let lt = exec(catalog, left, scanned)?;
-            let rt = exec(catalog, right, scanned)?;
+            let lt = exec(catalog, left, scanned, opts)?;
+            let rt = exec(catalog, right, scanned, opts)?;
             hash_join(&lt, &rt, left_col, right_col)
         }
         LogicalPlan::Filter { input, predicate } => {
-            let t = exec(catalog, input, scanned)?;
+            let t = exec(catalog, input, scanned, opts)?;
             let predicate = normalize_expr(predicate, t.schema())?;
-            let truth = predicate.eval_predicate(&t)?;
-            let keep: Vec<usize> = truth
-                .iter()
-                .enumerate()
-                .filter_map(|(i, t)| (*t == Some(true)).then_some(i))
-                .collect();
-            Ok(t.take(&keep)?)
+            parallel_filter(&t, &predicate, opts)
         }
         LogicalPlan::Aggregate { input, group_by, aggs } => {
-            let t = exec(catalog, input, scanned)?;
+            // Pipeline shape Aggregate(Filter?(Scan)): fuse the filter
+            // into the per-morsel aggregation instead of materializing
+            // the filtered table.
+            if let Some((table, projection, predicate)) = scan_pipeline(input) {
+                let t = scan_table(catalog, table, projection, scanned)?;
+                let predicate =
+                    predicate.map(|p| normalize_expr(p, t.schema())).transpose()?;
+                return aggregate_pipeline(&t, predicate.as_ref(), group_by, aggs, opts);
+            }
+            let t = exec(catalog, input, scanned, opts)?;
             aggregate(&t, group_by, aggs)
         }
         LogicalPlan::Project { input, exprs, star } => {
-            let t = exec(catalog, input, scanned)?;
+            let t = exec(catalog, input, scanned, opts)?;
             let mut fields = Vec::new();
             let mut cols = Vec::new();
             if *star {
@@ -95,18 +139,18 @@ fn exec(catalog: &Catalog, plan: &LogicalPlan, scanned: &mut usize) -> Result<Ta
             }
             for (e, name) in exprs {
                 let e = normalize_expr(e, t.schema())?;
-                let col = e.eval_batch(&t)?;
+                let col = parallel_eval_batch(&e, &t, opts)?;
                 fields.push(Field::nullable(name.clone(), col.data_type()));
                 cols.push(col);
             }
             Ok(Table::new("result", Schema::new(fields), cols)?)
         }
         LogicalPlan::Sort { input, keys } => {
-            let t = exec(catalog, input, scanned)?;
+            let t = exec(catalog, input, scanned, opts)?;
             sort(&t, keys)
         }
         LogicalPlan::Distinct { input } => {
-            let t = exec(catalog, input, scanned)?;
+            let t = exec(catalog, input, scanned, opts)?;
             let mut seen: std::collections::HashSet<Vec<KeyPart>> =
                 std::collections::HashSet::new();
             let mut keep = Vec::new();
@@ -123,11 +167,63 @@ fn exec(catalog: &Catalog, plan: &LogicalPlan, scanned: &mut usize) -> Result<Ta
             Ok(t.take(&keep)?)
         }
         LogicalPlan::Limit { input, n } => {
-            let t = exec(catalog, input, scanned)?;
+            let t = exec(catalog, input, scanned, opts)?;
             let keep: Vec<usize> = (0..t.row_count().min(*n)).collect();
             Ok(t.take(&keep)?)
         }
     }
+}
+
+/// A recognized morselizable pipeline tail: `(table, projection,
+/// predicate)`.
+type ScanPipeline<'p> = (&'p str, &'p Option<Vec<String>>, Option<&'p ScalarExpr>);
+
+/// Recognize a morselizable pipeline tail: a bare `Scan`, or
+/// `Filter(Scan)`.
+fn scan_pipeline(plan: &LogicalPlan) -> Option<ScanPipeline<'_>> {
+    match plan {
+        LogicalPlan::Scan { table, projection } => Some((table, projection, None)),
+        LogicalPlan::Filter { input, predicate } => match &**input {
+            LogicalPlan::Scan { table, projection } => {
+                Some((table, projection, Some(predicate)))
+            }
+            _ => None,
+        },
+        _ => None,
+    }
+}
+
+/// Morsel-parallel filter: each worker evaluates the predicate mask on
+/// a zero-copy slice and reports offset-adjusted global row indices;
+/// concatenating them in morsel order reproduces the serial selection
+/// exactly, and a single `take` materializes the output.
+fn parallel_filter(t: &Table, predicate: &ScalarExpr, opts: &ExecOptions) -> Result<Table> {
+    let locals = parallel_morsels(t.row_count(), opts, |offset, len| {
+        let m = t.slice(offset, len)?;
+        let mask = predicate.eval_mask(&m)?;
+        Ok(mask.selected_indices().into_iter().map(|i| offset + i).collect::<Vec<usize>>())
+    })?;
+    let keep: Vec<usize> = locals.concat();
+    Ok(t.take(&keep)?)
+}
+
+/// Morsel-parallel projection: evaluate the expression per morsel and
+/// stitch the partial columns back together in morsel order. Falls back
+/// to a single whole-table evaluation when there is only one morsel.
+fn parallel_eval_batch(e: &ScalarExpr, t: &Table, opts: &ExecOptions) -> Result<Column> {
+    if morsel_ranges(t.row_count(), opts.morsel_rows).len() <= 1 {
+        return e.eval_batch(t);
+    }
+    let parts = parallel_morsels(t.row_count(), opts, |offset, len| {
+        let m = t.slice(offset, len)?;
+        e.eval_batch(&m)
+    })?;
+    let mut parts = parts.into_iter();
+    let mut out = parts.next().expect("at least one morsel");
+    for p in parts {
+        out.append(&p)?;
+    }
+    Ok(out)
 }
 
 /// Resolve possibly-qualified column names against a schema: exact
@@ -315,6 +411,30 @@ impl Accumulator {
         }
     }
 
+    /// Combine with the accumulator of a later, disjoint row range.
+    /// Merging per-morsel partials in morsel order reproduces the exact
+    /// floating-point sum the single-threaded morselized pass computes.
+    fn merge(&mut self, other: &Accumulator) {
+        self.count += other.count;
+        self.sum += other.sum;
+        if other.min < self.min {
+            self.min = other.min;
+        }
+        if other.max > self.max {
+            self.max = other.max;
+        }
+        if let Some(s) = &other.min_str {
+            if self.min_str.as_deref().is_none_or(|m| s.as_str() < m) {
+                self.min_str = Some(s.clone());
+            }
+        }
+        if let Some(s) = &other.max_str {
+            if self.max_str.as_deref().is_none_or(|m| s.as_str() > m) {
+                self.max_str = Some(s.clone());
+            }
+        }
+    }
+
     fn finish(&self, func: AggFunc) -> Value {
         match func {
             AggFunc::Count => Value::Int(self.count as i64),
@@ -346,22 +466,28 @@ impl Accumulator {
     }
 }
 
-fn aggregate(t: &Table, group_by: &[String], aggs: &[AggSpec]) -> Result<Table> {
-    let group_by: Vec<String> = group_by
-        .iter()
-        .map(|g| normalize_name(t.schema(), g))
-        .collect::<Result<_>>()?;
-    // Pre-evaluate aggregate argument expressions once, vectorized.
-    // Strings go through the Value path (for MIN/MAX on strings).
-    enum ArgData {
-        Star,
-        Numeric(Vec<Option<f64>>),
-        Strings(Vec<Option<String>>),
-    }
-    let mut arg_data = Vec::with_capacity(aggs.len());
+/// Aggregate argument plan: what to evaluate per morsel. Strings go
+/// through the Value path (for MIN/MAX on strings).
+enum AggArg {
+    Star,
+    Numeric(ScalarExpr),
+    Strings(String),
+}
+
+/// Per-morsel evaluated argument data.
+enum ArgData {
+    Star,
+    Numeric(Vec<Option<f64>>),
+    Strings(Vec<Option<String>>),
+}
+
+/// Resolve aggregate argument expressions against the input schema and
+/// reject invalid shapes (e.g. SUM over strings) before any morsel runs.
+fn prepare_agg_args(t: &Table, aggs: &[AggSpec]) -> Result<Vec<AggArg>> {
+    let mut args = Vec::with_capacity(aggs.len());
     for a in aggs {
         match &a.arg {
-            None => arg_data.push(ArgData::Star),
+            None => args.push(AggArg::Star),
             Some(e) => {
                 let e = normalize_expr(e, t.schema())?;
                 // String column? Only a bare column can be stringy here.
@@ -376,84 +502,196 @@ fn aggregate(t: &Table, group_by: &[String], aggs: &[AggSpec]) -> Result<Table> 
                             reason: format!("{} over a string column", a.func.name()),
                         });
                     }
-                    let ScalarExpr::Column(c) = &e else { unreachable!() };
-                    let col = t.column(c)?;
-                    let mut vals = Vec::with_capacity(t.row_count());
-                    for i in 0..t.row_count() {
-                        vals.push(match col.value(i)? {
-                            Value::Str(s) => Some(s),
-                            _ => None,
-                        });
-                    }
-                    arg_data.push(ArgData::Strings(vals));
+                    let ScalarExpr::Column(c) = e else { unreachable!() };
+                    args.push(AggArg::Strings(c));
                 } else {
-                    arg_data.push(ArgData::Numeric(e.eval_numeric(t)?));
+                    args.push(AggArg::Numeric(e));
                 }
             }
         }
     }
+    Ok(args)
+}
 
-    // Group rows.
+/// Partial aggregation state of one morsel: groups in first-encounter
+/// order, each with the global row index of its first row and one
+/// accumulator per aggregate.
+struct GroupPartial {
+    keys: Vec<Vec<KeyPart>>,
+    first_rows: Vec<usize>,
+    accs: Vec<Vec<Accumulator>>,
+}
+
+/// Group-and-accumulate one morsel (`m` is the zero-copy slice starting
+/// at global row `offset`). The optional predicate mask is fused in:
+/// only known-TRUE rows feed the accumulators.
+fn accumulate_morsel(
+    m: &Table,
+    offset: usize,
+    predicate: Option<&ScalarExpr>,
+    group_by: &[String],
+    args: &[AggArg],
+    n_aggs: usize,
+) -> Result<GroupPartial> {
+    let mask = predicate.map(|p| p.eval_mask(m)).transpose()?;
+    let mut arg_data = Vec::with_capacity(args.len());
+    for a in args {
+        arg_data.push(match a {
+            AggArg::Star => ArgData::Star,
+            AggArg::Numeric(e) => ArgData::Numeric(e.eval_numeric(m)?),
+            AggArg::Strings(c) => {
+                let col = m.column(c)?;
+                let mut vals = Vec::with_capacity(m.row_count());
+                for i in 0..m.row_count() {
+                    vals.push(match col.value(i)? {
+                        Value::Str(s) => Some(s),
+                        _ => None,
+                    });
+                }
+                ArgData::Strings(vals)
+            }
+        });
+    }
     let key_cols: Vec<&Column> = group_by
         .iter()
-        .map(|g| t.column(g))
+        .map(|g| m.column(g))
         .collect::<lawsdb_storage::Result<_>>()?;
     let mut groups: HashMap<Vec<KeyPart>, usize> = HashMap::new();
-    let mut group_rows: Vec<usize> = Vec::new(); // first row of each group
-    let mut accs: Vec<Vec<Accumulator>> = Vec::new();
-    for row in 0..t.row_count() {
+    let mut part = GroupPartial { keys: Vec::new(), first_rows: Vec::new(), accs: Vec::new() };
+    for row in 0..m.row_count() {
+        if let Some(mask) = &mask {
+            if !mask.truth().get(row) {
+                continue;
+            }
+        }
         let key: Vec<KeyPart> = key_cols
             .iter()
             .map(|c| c.value(row).map(|v| KeyPart::from_value(&v)))
             .collect::<lawsdb_storage::Result<_>>()?;
-        let gid = *groups.entry(key).or_insert_with(|| {
-            group_rows.push(row);
-            accs.push(vec![Accumulator::new(); aggs.len()]);
-            accs.len() - 1
-        });
+        let gid = match groups.get(&key) {
+            Some(&g) => g,
+            None => {
+                let g = part.keys.len();
+                groups.insert(key.clone(), g);
+                part.keys.push(key);
+                part.first_rows.push(offset + row);
+                part.accs.push(vec![Accumulator::new(); n_aggs]);
+                g
+            }
+        };
         for (ai, data) in arg_data.iter().enumerate() {
             match data {
-                ArgData::Star => accs[gid][ai].count += 1,
+                ArgData::Star => part.accs[gid][ai].count += 1,
                 ArgData::Numeric(vals) => {
                     if let Some(v) = vals[row] {
-                        accs[gid][ai].add_num(v);
+                        part.accs[gid][ai].add_num(v);
                     }
                 }
                 ArgData::Strings(vals) => {
                     if let Some(s) = &vals[row] {
-                        accs[gid][ai].add_str(s);
+                        part.accs[gid][ai].add_str(s);
                     }
                 }
             }
         }
     }
+    Ok(part)
+}
 
-    // Global aggregate over an empty input still yields one row.
-    if group_by.is_empty() && accs.is_empty() {
-        group_rows.push(usize::MAX);
-        accs.push(vec![Accumulator::new(); aggs.len()]);
+/// Fold per-morsel partials, in morsel order, into one global state.
+/// First-encounter group order is preserved: morsel 0's groups come
+/// first, exactly as a serial pass over the same rows would see them.
+fn merge_partials(parts: Vec<GroupPartial>) -> GroupPartial {
+    let mut groups: HashMap<Vec<KeyPart>, usize> = HashMap::new();
+    let mut out = GroupPartial { keys: Vec::new(), first_rows: Vec::new(), accs: Vec::new() };
+    for part in parts {
+        for ((key, first), accs) in
+            part.keys.into_iter().zip(part.first_rows).zip(part.accs)
+        {
+            match groups.get(&key) {
+                Some(&g) => {
+                    for (mine, theirs) in out.accs[g].iter_mut().zip(&accs) {
+                        mine.merge(theirs);
+                    }
+                }
+                None => {
+                    groups.insert(key.clone(), out.keys.len());
+                    out.keys.push(key);
+                    out.first_rows.push(first);
+                    out.accs.push(accs);
+                }
+            }
+        }
     }
+    out
+}
 
-    // Assemble output: group columns in declared order, then aggregates.
+/// Assemble the output table from merged group state: group key columns
+/// (gathered from each group's first row) in declared order, then one
+/// column per aggregate.
+fn assemble_aggregate(
+    t: &Table,
+    group_by: &[String],
+    aggs: &[AggSpec],
+    mut part: GroupPartial,
+) -> Result<Table> {
+    // Global aggregate over an empty input still yields one row.
+    if group_by.is_empty() && part.accs.is_empty() {
+        part.first_rows.push(usize::MAX);
+        part.accs.push(vec![Accumulator::new(); aggs.len()]);
+    }
     let mut fields = Vec::new();
     let mut cols = Vec::new();
-    for g in &group_by {
+    for g in group_by {
         let src = t.column(g)?;
-        let rows: Vec<usize> = group_rows.clone();
         fields.push(Field {
             name: g.clone(),
             data_type: src.data_type(),
             nullable: true,
         });
-        cols.push(src.take(&rows)?);
+        cols.push(src.take(&part.first_rows)?);
     }
     for (ai, a) in aggs.iter().enumerate() {
-        let values: Vec<Value> = accs.iter().map(|g| g[ai].finish(a.func)).collect();
+        let values: Vec<Value> = part.accs.iter().map(|g| g[ai].finish(a.func)).collect();
         let col = column_from_values(&values);
         fields.push(Field::nullable(a.name.clone(), col.data_type()));
         cols.push(col);
     }
     Ok(Table::new("result", Schema::new(fields), cols)?)
+}
+
+/// Morsel-parallel aggregation over a scanned table, with an optional
+/// fused filter predicate.
+fn aggregate_pipeline(
+    t: &Table,
+    predicate: Option<&ScalarExpr>,
+    group_by: &[String],
+    aggs: &[AggSpec],
+    opts: &ExecOptions,
+) -> Result<Table> {
+    let group_by: Vec<String> = group_by
+        .iter()
+        .map(|g| normalize_name(t.schema(), g))
+        .collect::<Result<_>>()?;
+    let args = prepare_agg_args(t, aggs)?;
+    let parts = parallel_morsels(t.row_count(), opts, |offset, len| {
+        let m = t.slice(offset, len)?;
+        accumulate_morsel(&m, offset, predicate, &group_by, &args, aggs.len())
+    })?;
+    assemble_aggregate(t, &group_by, aggs, merge_partials(parts))
+}
+
+/// Aggregate an already-materialized input table (non-pipeline shapes:
+/// joins, nested aggregates, ...). One morsel covering the whole table,
+/// so this is the plain serial pass.
+fn aggregate(t: &Table, group_by: &[String], aggs: &[AggSpec]) -> Result<Table> {
+    aggregate_pipeline(
+        t,
+        None,
+        group_by,
+        aggs,
+        &ExecOptions { threads: 1, morsel_rows: usize::MAX },
+    )
 }
 
 /// Build a column from dynamic values, inferring the narrowest type.
@@ -479,7 +717,7 @@ pub fn column_from_values(values: &[Value]) -> Column {
         let mut col = Column::from_str(data);
         mark_nulls(&mut col, values);
         col
-    } else if saw_float || (saw_int && saw_float) {
+    } else if saw_float {
         let mut col =
             Column::from_f64_opt(values.iter().map(|v| v.as_f64()).collect());
         mark_nulls(&mut col, values);
@@ -732,6 +970,54 @@ mod tests {
         assert_eq!(c.data_type(), DataType::Float64);
         let c = column_from_values(&[Value::Null, Value::Null]);
         assert_eq!(c.null_count(), 2);
+    }
+
+    #[test]
+    fn filter_keeps_only_known_true_rows() {
+        // A NULL comparison is UNKNOWN, and NOT(UNKNOWN) is still
+        // UNKNOWN: the NULL-intensity row satisfies neither the filter
+        // nor its negation.
+        let c = catalog();
+        let pos = execute(&c, "SELECT source FROM m WHERE intensity > 5").unwrap();
+        let neg = execute(&c, "SELECT source FROM m WHERE NOT (intensity > 5)").unwrap();
+        assert_eq!(pos.table.row_count(), 2);
+        assert_eq!(neg.table.row_count(), 2);
+        assert_eq!(pos.table.row_count() + neg.table.row_count(), 4, "NULL row in neither");
+    }
+
+    #[test]
+    fn rows_scanned_identical_serial_vs_parallel() {
+        let c = catalog();
+        let serial = ExecOptions { threads: 1, morsel_rows: 2 };
+        let parallel = ExecOptions { threads: 4, morsel_rows: 2 };
+        for sql in [
+            "SELECT * FROM m",
+            "SELECT source FROM m WHERE intensity > 5",
+            "SELECT source, COUNT(*) AS n, SUM(intensity) AS s FROM m GROUP BY source",
+            "SELECT AVG(intensity) AS a FROM m WHERE nu = 0.12",
+            "SELECT source, kind FROM m JOIN sources ON source = id",
+        ] {
+            let a = execute_with(&c, sql, &serial).unwrap();
+            let b = execute_with(&c, sql, &parallel).unwrap();
+            assert_eq!(a.rows_scanned, b.rows_scanned, "{sql}");
+            assert_eq!(a.table.row_count(), b.table.row_count(), "{sql}");
+            for i in 0..a.table.row_count() {
+                assert_eq!(a.table.row(i).unwrap(), b.table.row(i).unwrap(), "{sql} row {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn scan_shares_column_buffers_with_the_base_table() {
+        // The acceptance bar for the zero-copy data plane: scanning
+        // must hand out views of the stored buffers, never an O(N)
+        // value copy.
+        let c = catalog();
+        let base = c.get("m").unwrap();
+        let base_ptr = base.column("nu").unwrap().f64_data().unwrap().as_ptr();
+        let r = execute(&c, "SELECT * FROM m").unwrap();
+        let out_ptr = r.table.column("nu").unwrap().f64_data().unwrap().as_ptr();
+        assert_eq!(base_ptr, out_ptr, "scan must not deep-copy column values");
     }
 
     #[test]

@@ -33,15 +33,17 @@
 
 pub mod error;
 pub mod exec;
+pub mod morsel;
 pub mod optimize;
 pub mod plan;
 pub mod sexpr;
 pub mod sql;
 
 pub use error::{QueryError, Result};
-pub use exec::{execute, execute_plan, QueryResult};
+pub use exec::{execute, execute_plan, execute_plan_with, execute_with, QueryResult};
+pub use morsel::ExecOptions;
 pub use plan::LogicalPlan;
-pub use sexpr::ScalarExpr;
+pub use sexpr::{PredMask, ScalarExpr};
 pub use sql::parse_select;
 
 #[cfg(test)]

@@ -1,0 +1,168 @@
+//! Morsel-driven parallel execution primitives.
+//!
+//! A *morsel* is a contiguous row range of a table. The executor splits
+//! pipeline inputs into fixed-size morsels, a small pool of scoped
+//! worker threads pulls morsels off a shared atomic counter, and the
+//! per-morsel results are merged **in morsel order** — so the output
+//! (and any floating-point accumulation) is bit-identical no matter how
+//! many workers run or how the OS schedules them. Table slicing is
+//! zero-copy ([`lawsdb_storage::Table::slice`] shares value buffers),
+//! so fan-out costs O(morsels), not O(rows).
+
+use crate::error::Result;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+
+/// Default rows per morsel: large enough to amortize dispatch, small
+/// enough to load-balance skewed predicates.
+pub const DEFAULT_MORSEL_ROWS: usize = 64 * 1024;
+
+/// Knobs for the parallel executor.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExecOptions {
+    /// Worker threads; `0` means one per available core.
+    pub threads: usize,
+    /// Rows per morsel.
+    pub morsel_rows: usize,
+}
+
+impl Default for ExecOptions {
+    fn default() -> Self {
+        ExecOptions { threads: 0, morsel_rows: DEFAULT_MORSEL_ROWS }
+    }
+}
+
+impl ExecOptions {
+    /// Single-threaded execution (still morselized, so results match
+    /// the parallel path exactly).
+    pub fn serial() -> ExecOptions {
+        ExecOptions { threads: 1, ..ExecOptions::default() }
+    }
+
+    /// Default options with an explicit thread count.
+    pub fn with_threads(threads: usize) -> ExecOptions {
+        ExecOptions { threads, ..ExecOptions::default() }
+    }
+
+    /// The thread count actually used: `threads`, or the machine's
+    /// available parallelism when `threads == 0`.
+    pub fn effective_threads(&self) -> usize {
+        if self.threads > 0 {
+            self.threads
+        } else {
+            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+        }
+    }
+}
+
+/// Split `n_rows` into `(offset, len)` morsel ranges in row order.
+pub fn morsel_ranges(n_rows: usize, morsel_rows: usize) -> Vec<(usize, usize)> {
+    let step = morsel_rows.max(1);
+    (0..n_rows).step_by(step).map(|o| (o, step.min(n_rows - o))).collect()
+}
+
+/// Run `work(offset, len)` over every morsel of an `n_rows` input and
+/// return the results in morsel order, regardless of which worker
+/// produced them or when.
+///
+/// Workers claim morsels from an atomic counter (work-stealing-free
+/// dynamic scheduling); errors are surfaced in morsel order so failures
+/// are deterministic too. With one effective thread (or one morsel) the
+/// work runs inline on the caller's thread.
+pub fn parallel_morsels<R, F>(n_rows: usize, opts: &ExecOptions, work: F) -> Result<Vec<R>>
+where
+    R: Send,
+    F: Fn(usize, usize) -> Result<R> + Sync,
+{
+    let morsels = morsel_ranges(n_rows, opts.morsel_rows);
+    let threads = opts.effective_threads().min(morsels.len());
+    if threads <= 1 {
+        return morsels.into_iter().map(|(o, l)| work(o, l)).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let (tx, rx) = mpsc::channel::<(usize, Result<R>)>();
+    std::thread::scope(|s| {
+        for _ in 0..threads {
+            let tx = tx.clone();
+            let next = &next;
+            let morsels = &morsels;
+            let work = &work;
+            s.spawn(move || loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(&(offset, len)) = morsels.get(i) else { break };
+                if tx.send((i, work(offset, len))).is_err() {
+                    break;
+                }
+            });
+        }
+    });
+    drop(tx);
+    let mut out: Vec<Option<Result<R>>> = (0..morsels.len()).map(|_| None).collect();
+    for (i, r) in rx {
+        out[i] = Some(r);
+    }
+    out.into_iter().map(|r| r.expect("every morsel sends exactly one result")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error::QueryError;
+
+    #[test]
+    fn ranges_cover_rows_exactly_once() {
+        for (n, m) in [(0, 10), (1, 10), (10, 10), (25, 10), (100, 1), (7, 100)] {
+            let ranges = morsel_ranges(n, m);
+            let mut next = 0;
+            for (o, l) in ranges {
+                assert_eq!(o, next);
+                assert!(l >= 1 && l <= m);
+                next = o + l;
+            }
+            assert_eq!(next, n, "n={n} m={m}");
+        }
+    }
+
+    #[test]
+    fn zero_morsel_rows_does_not_loop_forever() {
+        assert_eq!(morsel_ranges(3, 0), vec![(0, 1), (1, 1), (2, 1)]);
+    }
+
+    #[test]
+    fn results_come_back_in_morsel_order() {
+        let opts = ExecOptions { threads: 4, morsel_rows: 3 };
+        let got = parallel_morsels(20, &opts, |offset, len| Ok((offset, len))).unwrap();
+        assert_eq!(got, morsel_ranges(20, 3));
+    }
+
+    #[test]
+    fn serial_and_parallel_agree() {
+        let work = |offset: usize, len: usize| Ok((offset..offset + len).sum::<usize>());
+        let serial =
+            parallel_morsels(1000, &ExecOptions { threads: 1, morsel_rows: 17 }, work).unwrap();
+        let parallel =
+            parallel_morsels(1000, &ExecOptions { threads: 8, morsel_rows: 17 }, work).unwrap();
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn first_error_in_morsel_order_wins() {
+        let opts = ExecOptions { threads: 4, morsel_rows: 1 };
+        let err = parallel_morsels(10, &opts, |offset, _| {
+            if offset >= 3 {
+                Err(QueryError::Unsupported { what: format!("morsel {offset}") })
+            } else {
+                Ok(offset)
+            }
+        })
+        .unwrap_err();
+        assert_eq!(err.to_string(), "unsupported SQL: morsel 3");
+    }
+
+    #[test]
+    fn empty_input_yields_no_morsels() {
+        let got: Vec<usize> =
+            parallel_morsels(0, &ExecOptions::default(), |_, _| Ok(1)).unwrap();
+        assert!(got.is_empty());
+    }
+}

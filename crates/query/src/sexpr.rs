@@ -9,8 +9,101 @@
 
 use crate::error::{QueryError, Result};
 use lawsdb_expr::ast::CmpOp;
+use lawsdb_storage::bitmap::Bitmap;
 use lawsdb_storage::{Column, Table, Value};
 use std::fmt;
+
+/// Vectorized predicate result as a bitmap pair: `truth` marks rows
+/// that compare TRUE, `known` marks rows whose result is not SQL
+/// UNKNOWN (NULL). Invariant: `truth ⊆ known`.
+///
+/// Filters keep exactly the `truth` rows (SQL discards both FALSE and
+/// UNKNOWN), and the boolean connectives run at word speed instead of
+/// per-row `Option<bool>` matching.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PredMask {
+    truth: Bitmap,
+    known: Bitmap,
+}
+
+impl PredMask {
+    fn from_parts(len: usize, truth: Vec<u64>, known: Vec<u64>) -> PredMask {
+        PredMask {
+            truth: Bitmap::from_parts(len, truth),
+            known: Bitmap::from_parts(len, known),
+        }
+    }
+
+    /// Build from per-row three-valued results.
+    pub fn from_options(vals: &[Option<bool>]) -> PredMask {
+        PredMask {
+            truth: Bitmap::from_fn(vals.len(), |i| vals[i] == Some(true)),
+            known: Bitmap::from_fn(vals.len(), |i| vals[i].is_some()),
+        }
+    }
+
+    /// Number of rows covered.
+    pub fn len(&self) -> usize {
+        self.truth.len()
+    }
+
+    /// True when the mask covers zero rows.
+    pub fn is_empty(&self) -> bool {
+        self.truth.is_empty()
+    }
+
+    /// Three-valued result for row `i`.
+    pub fn get(&self, i: usize) -> Option<bool> {
+        if self.known.get(i) {
+            Some(self.truth.get(i))
+        } else {
+            None
+        }
+    }
+
+    /// Rows a filter keeps: exactly the known-TRUE rows, in order.
+    pub fn selected_indices(&self) -> Vec<usize> {
+        self.truth.iter_set().collect()
+    }
+
+    /// Number of rows a filter would keep.
+    pub fn selected_count(&self) -> usize {
+        self.truth.count_set()
+    }
+
+    /// Bitmap of known-TRUE rows.
+    pub fn truth(&self) -> &Bitmap {
+        &self.truth
+    }
+
+    /// Per-row three-valued results (the legacy representation).
+    pub fn to_options(&self) -> Vec<Option<bool>> {
+        (0..self.len()).map(|i| self.get(i)).collect()
+    }
+
+    /// SQL three-valued AND at word speed: FALSE dominates UNKNOWN.
+    pub fn and(&self, other: &PredMask) -> PredMask {
+        let truth = self.truth.and(&other.truth);
+        let known = self
+            .known
+            .and(&other.known)
+            .or(&self.known.and_not(&self.truth))
+            .or(&other.known.and_not(&other.truth));
+        PredMask { truth, known }
+    }
+
+    /// SQL three-valued OR at word speed: TRUE dominates UNKNOWN.
+    pub fn or(&self, other: &PredMask) -> PredMask {
+        let truth = self.truth.or(&other.truth);
+        let known = self.known.and(&other.known).or(&truth);
+        PredMask { truth, known }
+    }
+
+    /// SQL three-valued NOT: UNKNOWN stays UNKNOWN.
+    pub fn not(&self) -> PredMask {
+        PredMask { truth: self.known.and_not(&self.truth), known: self.known.clone() }
+    }
+}
 
 /// Binary arithmetic operators.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -230,7 +323,21 @@ impl ScalarExpr {
 
     /// Vectorized predicate evaluation with SQL three-valued logic:
     /// per-row `Option<bool>` where `None` is UNKNOWN.
+    ///
+    /// Thin wrapper over [`ScalarExpr::eval_mask`]; the executor's filter
+    /// path uses the mask directly and never materializes the options.
     pub fn eval_predicate(&self, table: &Table) -> Result<Vec<Option<bool>>> {
+        Ok(self.eval_mask(table)?.to_options())
+    }
+
+    /// Vectorized predicate evaluation into a [`PredMask`].
+    ///
+    /// Comparisons between a `Float64`/`Int64` column and a numeric
+    /// literal (or another such column) run directly over the raw value
+    /// buffers; everything else falls back to [`ScalarExpr::eval_numeric`].
+    /// A data value of NaN is UNKNOWN, matching `eval_numeric`'s
+    /// missing-value semantics.
+    pub fn eval_mask(&self, table: &Table) -> Result<PredMask> {
         let n = table.row_count();
         match self {
             ScalarExpr::Cmp(op, a, b) => {
@@ -243,51 +350,44 @@ impl ScalarExpr {
                         let bv = b.eval_row(table, row)?;
                         out.push(av.sql_cmp(&bv).map(|ord| cmp_matches(*op, ord)));
                     }
-                    return Ok(out);
+                    return Ok(PredMask::from_options(&out));
+                }
+                if let Some(mask) = cmp_fast_path(*op, a, b, table) {
+                    return Ok(mask);
                 }
                 let av = a.eval_numeric(table)?;
                 let bv = b.eval_numeric(table)?;
-                Ok(av
-                    .into_iter()
-                    .zip(bv)
-                    .map(|(x, y)| match (x, y) {
-                        (Some(x), Some(y)) => {
-                            x.partial_cmp(&y).map(|ord| cmp_matches(*op, ord))
+                let mut truth = vec![0u64; n.div_ceil(64)];
+                let mut known = vec![0u64; n.div_ceil(64)];
+                for (i, (x, y)) in av.into_iter().zip(bv).enumerate() {
+                    if let (Some(x), Some(y)) = (x, y) {
+                        if let Some(ord) = x.partial_cmp(&y) {
+                            known[i / 64] |= 1 << (i % 64);
+                            if cmp_matches(*op, ord) {
+                                truth[i / 64] |= 1 << (i % 64);
+                            }
                         }
-                        _ => None,
-                    })
-                    .collect())
+                    }
+                }
+                Ok(PredMask::from_parts(n, truth, known))
             }
-            ScalarExpr::And(a, b) => {
-                let av = a.eval_predicate(table)?;
-                let bv = b.eval_predicate(table)?;
-                Ok(av
-                    .into_iter()
-                    .zip(bv)
-                    .map(|(x, y)| three_valued_and(x, y).truth())
-                    .collect())
-            }
-            ScalarExpr::Or(a, b) => {
-                let av = a.eval_predicate(table)?;
-                let bv = b.eval_predicate(table)?;
-                Ok(av
-                    .into_iter()
-                    .zip(bv)
-                    .map(|(x, y)| three_valued_or(x, y).truth())
-                    .collect())
-            }
-            ScalarExpr::Not(a) => Ok(a
-                .eval_predicate(table)?
-                .into_iter()
-                .map(|t| t.map(|b| !b))
-                .collect()),
+            ScalarExpr::And(a, b) => Ok(a.eval_mask(table)?.and(&b.eval_mask(table)?)),
+            ScalarExpr::Or(a, b) => Ok(a.eval_mask(table)?.or(&b.eval_mask(table)?)),
+            ScalarExpr::Not(a) => Ok(a.eval_mask(table)?.not()),
             other => {
                 // Numeric used as predicate: non-zero is true.
-                Ok(other
-                    .eval_numeric(table)?
-                    .into_iter()
-                    .map(|v| v.map(|x| x != 0.0))
-                    .collect())
+                let vals = other.eval_numeric(table)?;
+                let mut truth = vec![0u64; n.div_ceil(64)];
+                let mut known = vec![0u64; n.div_ceil(64)];
+                for (i, v) in vals.into_iter().enumerate() {
+                    if let Some(x) = v {
+                        known[i / 64] |= 1 << (i % 64);
+                        if x != 0.0 {
+                            truth[i / 64] |= 1 << (i % 64);
+                        }
+                    }
+                }
+                Ok(PredMask::from_parts(n, truth, known))
             }
         }
     }
@@ -423,6 +523,90 @@ fn cmp_matches(op: CmpOp, ord: std::cmp::Ordering) -> bool {
     }
 }
 
+/// A comparison operand the typed kernels can read without boxing:
+/// a raw numeric buffer plus validity, or a literal.
+enum NumOperand<'a> {
+    F(&'a [f64], &'a Bitmap),
+    I(&'a [i64], &'a Bitmap),
+    Lit(f64),
+}
+
+fn num_operand<'a>(e: &ScalarExpr, table: &'a Table) -> Option<NumOperand<'a>> {
+    match e {
+        ScalarExpr::Number(v) => Some(NumOperand::Lit(*v)),
+        ScalarExpr::Column(name) => match table.column(name).ok()? {
+            Column::Float64 { data, validity } => Some(NumOperand::F(data, validity)),
+            Column::Int64 { data, validity } => Some(NumOperand::I(data, validity)),
+            _ => None,
+        },
+        _ => None,
+    }
+}
+
+/// Validity probe that skips per-bit lookups on all-valid columns.
+fn valid_fn(v: &Bitmap) -> impl Fn(usize) -> bool + '_ {
+    let all = v.all_set();
+    move |i| all || v.get(i)
+}
+
+/// Comparison kernel, monomorphized per operand-type pair so each
+/// combination compiles to a tight loop over the raw buffers. NaN
+/// values compare UNKNOWN (`partial_cmp` returns `None`), matching
+/// `eval_numeric`'s missing-value semantics.
+fn cmp_lanes(
+    op: CmpOp,
+    n: usize,
+    get_a: impl Fn(usize) -> f64,
+    valid_a: impl Fn(usize) -> bool,
+    get_b: impl Fn(usize) -> f64,
+    valid_b: impl Fn(usize) -> bool,
+) -> PredMask {
+    let mut truth = vec![0u64; n.div_ceil(64)];
+    let mut known = vec![0u64; n.div_ceil(64)];
+    for i in 0..n {
+        if valid_a(i) && valid_b(i) {
+            if let Some(ord) = get_a(i).partial_cmp(&get_b(i)) {
+                known[i / 64] |= 1 << (i % 64);
+                if cmp_matches(op, ord) {
+                    truth[i / 64] |= 1 << (i % 64);
+                }
+            }
+        }
+    }
+    PredMask::from_parts(n, truth, known)
+}
+
+/// Typed fast path for `column <op> literal` / `column <op> column`
+/// over `Float64` and `Int64` buffers. Returns `None` when either side
+/// is not such an operand (the caller falls back to the generic path).
+fn cmp_fast_path(op: CmpOp, a: &ScalarExpr, b: &ScalarExpr, table: &Table) -> Option<PredMask> {
+    use NumOperand::*;
+    let lhs = num_operand(a, table)?;
+    let rhs = num_operand(b, table)?;
+    let n = table.row_count();
+    let always = |_: usize| true;
+    Some(match (lhs, rhs) {
+        // Constant-vs-constant is rare; let the generic path fold it.
+        (Lit(_), Lit(_)) => return None,
+        (F(d, v), Lit(c)) => cmp_lanes(op, n, |i| d[i], valid_fn(v), |_| c, always),
+        (Lit(c), F(d, v)) => cmp_lanes(op, n, |_| c, always, |i| d[i], valid_fn(v)),
+        (I(d, v), Lit(c)) => cmp_lanes(op, n, |i| d[i] as f64, valid_fn(v), |_| c, always),
+        (Lit(c), I(d, v)) => cmp_lanes(op, n, |_| c, always, |i| d[i] as f64, valid_fn(v)),
+        (F(da, va), F(db, vb)) => {
+            cmp_lanes(op, n, |i| da[i], valid_fn(va), |i| db[i], valid_fn(vb))
+        }
+        (I(da, va), I(db, vb)) => {
+            cmp_lanes(op, n, |i| da[i] as f64, valid_fn(va), |i| db[i] as f64, valid_fn(vb))
+        }
+        (F(da, va), I(db, vb)) => {
+            cmp_lanes(op, n, |i| da[i], valid_fn(va), |i| db[i] as f64, valid_fn(vb))
+        }
+        (I(da, va), F(db, vb)) => {
+            cmp_lanes(op, n, |i| da[i] as f64, valid_fn(va), |i| db[i], valid_fn(vb))
+        }
+    })
+}
+
 fn three_valued_and(a: Option<bool>, b: Option<bool>) -> Value {
     match (a, b) {
         (Some(false), _) | (_, Some(false)) => Value::Bool(false),
@@ -541,6 +725,95 @@ mod tests {
         // Non-constant parts survive.
         let e2 = ScalarExpr::Arith(ArithOp::Add, Box::new(col("a")), Box::new(num(0.0)));
         assert!(matches!(e2.fold_constants(), ScalarExpr::Arith(..)));
+    }
+
+    #[test]
+    fn mask_selected_rows_are_known_true_only() {
+        let t = table();
+        let e = ScalarExpr::Cmp(CmpOp::Gt, Box::new(col("x")), Box::new(num(2.0)));
+        let m = e.eval_mask(&t).unwrap();
+        // Row 1 is NULL → UNKNOWN: excluded from selection.
+        assert_eq!(m.to_options(), vec![Some(false), None, Some(true)]);
+        assert_eq!(m.selected_indices(), vec![2]);
+        assert_eq!(m.selected_count(), 1);
+    }
+
+    #[test]
+    fn predmask_connectives_match_three_valued_truth_tables() {
+        let vals = [Some(false), Some(true), None];
+        let mut a_opts = Vec::new();
+        let mut b_opts = Vec::new();
+        for &x in &vals {
+            for &y in &vals {
+                a_opts.push(x);
+                b_opts.push(y);
+            }
+        }
+        let a = PredMask::from_options(&a_opts);
+        let b = PredMask::from_options(&b_opts);
+        let want_and: Vec<Option<bool>> = a_opts
+            .iter()
+            .zip(&b_opts)
+            .map(|(&x, &y)| three_valued_and(x, y).truth())
+            .collect();
+        let want_or: Vec<Option<bool>> = a_opts
+            .iter()
+            .zip(&b_opts)
+            .map(|(&x, &y)| three_valued_or(x, y).truth())
+            .collect();
+        let want_not: Vec<Option<bool>> = a_opts.iter().map(|&x| x.map(|v| !v)).collect();
+        assert_eq!(a.and(&b).to_options(), want_and);
+        assert_eq!(a.or(&b).to_options(), want_or);
+        assert_eq!(a.not().to_options(), want_not);
+    }
+
+    #[test]
+    fn fast_path_treats_nan_as_unknown() {
+        let mut b = TableBuilder::new("t");
+        b.add_f64("x", vec![f64::NAN, 1.0, -2.0]);
+        let t = b.build().unwrap();
+        let e = ScalarExpr::Cmp(CmpOp::Gt, Box::new(col("x")), Box::new(num(0.5)));
+        assert_eq!(e.eval_predicate(&t).unwrap(), vec![None, Some(true), Some(false)]);
+        // NaN literal: every comparison is UNKNOWN.
+        let e = ScalarExpr::Cmp(CmpOp::Lt, Box::new(col("x")), Box::new(num(f64::NAN)));
+        assert_eq!(e.eval_predicate(&t).unwrap(), vec![None, None, None]);
+    }
+
+    #[test]
+    fn fast_path_handles_reversed_and_column_column_operands() {
+        let t = table();
+        // literal <op> column mirrors column <op> literal.
+        let e = ScalarExpr::Cmp(CmpOp::Lt, Box::new(num(2.0)), Box::new(col("x")));
+        assert_eq!(e.eval_predicate(&t).unwrap(), vec![Some(false), None, Some(true)]);
+        // Int column vs float column, NULL propagating.
+        let e = ScalarExpr::Cmp(CmpOp::Lt, Box::new(col("a")), Box::new(col("x")));
+        assert_eq!(e.eval_predicate(&t).unwrap(), vec![Some(true), None, Some(true)]);
+        // Int column vs literal.
+        let e = ScalarExpr::Cmp(CmpOp::Ge, Box::new(col("a")), Box::new(num(2.0)));
+        assert_eq!(e.eval_predicate(&t).unwrap(), vec![Some(false), Some(true), Some(true)]);
+    }
+
+    #[test]
+    fn fast_path_agrees_with_generic_path() {
+        let mut b = TableBuilder::new("t");
+        b.add_f64_opt("x", vec![Some(1.0), None, Some(f64::NAN), Some(-3.0), Some(2.0)]);
+        b.add_i64("a", vec![1, 2, 3, -3, 0]);
+        let t = b.build().unwrap();
+        for op in [CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge, CmpOp::Eq, CmpOp::Ne] {
+            // Wrap one operand in `+ 0` to defeat the fast path; results
+            // must match exactly.
+            let fast = ScalarExpr::Cmp(op, Box::new(col("x")), Box::new(col("a")));
+            let generic = ScalarExpr::Cmp(
+                op,
+                Box::new(ScalarExpr::Arith(ArithOp::Add, Box::new(col("x")), Box::new(num(0.0)))),
+                Box::new(col("a")),
+            );
+            assert_eq!(
+                fast.eval_predicate(&t).unwrap(),
+                generic.eval_predicate(&t).unwrap(),
+                "op {op:?}"
+            );
+        }
     }
 
     #[test]

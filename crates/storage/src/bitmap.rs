@@ -1,9 +1,15 @@
 //! Validity bitmap: one bit per row, set = valid (non-null).
 
+use std::sync::Arc;
+
 /// A growable bitmap, LSB-first within each word.
+///
+/// The word storage is `Arc`'d so cloning a bitmap (e.g. cloning a
+/// column's validity during a zero-copy `Scan`) is O(1); mutation is
+/// copy-on-write through `Arc::make_mut`.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct Bitmap {
-    words: Vec<u64>,
+    words: Arc<Vec<u64>>,
     len: usize,
 }
 
@@ -17,9 +23,22 @@ impl Bitmap {
     pub fn filled(len: usize, value: bool) -> Self {
         let nwords = len.div_ceil(64);
         let word = if value { u64::MAX } else { 0 };
-        let mut b = Bitmap { words: vec![word; nwords], len };
+        let mut b = Bitmap { words: Arc::new(vec![word; nwords]), len };
         b.mask_tail();
         b
+    }
+
+    /// Bitmap of `len` bits where bit `i` is `f(i)`. Builds whole words
+    /// locally, so it is the preferred constructor inside kernels (no
+    /// per-bit copy-on-write checks).
+    pub fn from_fn(len: usize, mut f: impl FnMut(usize) -> bool) -> Self {
+        let mut words = vec![0u64; len.div_ceil(64)];
+        for i in 0..len {
+            if f(i) {
+                words[i / 64] |= 1 << (i % 64);
+            }
+        }
+        Bitmap { words: Arc::new(words), len }
     }
 
     /// Number of bits.
@@ -36,11 +55,12 @@ impl Bitmap {
     pub fn push(&mut self, value: bool) {
         let word = self.len / 64;
         let bit = self.len % 64;
-        if word == self.words.len() {
-            self.words.push(0);
+        let words = Arc::make_mut(&mut self.words);
+        if word == words.len() {
+            words.push(0);
         }
         if value {
-            self.words[word] |= 1 << bit;
+            words[word] |= 1 << bit;
         }
         self.len += 1;
     }
@@ -55,10 +75,11 @@ impl Bitmap {
     /// Set bit `i` to `value`; panics when out of range.
     pub fn set(&mut self, i: usize, value: bool) {
         assert!(i < self.len, "bit {i} out of range ({} bits)", self.len);
+        let words = Arc::make_mut(&mut self.words);
         if value {
-            self.words[i / 64] |= 1 << (i % 64);
+            words[i / 64] |= 1 << (i % 64);
         } else {
-            self.words[i / 64] &= !(1 << (i % 64));
+            words[i / 64] &= !(1 << (i % 64));
         }
     }
 
@@ -76,8 +97,51 @@ impl Bitmap {
     /// Bitwise AND of two equal-length bitmaps.
     pub fn and(&self, other: &Bitmap) -> Bitmap {
         assert_eq!(self.len, other.len, "bitmap length mismatch");
-        let words = self.words.iter().zip(&other.words).map(|(a, b)| a & b).collect();
-        Bitmap { words, len: self.len }
+        let words =
+            self.words.iter().zip(other.words.iter()).map(|(a, b)| a & b).collect();
+        Bitmap { words: Arc::new(words), len: self.len }
+    }
+
+    /// Bitwise OR of two equal-length bitmaps.
+    pub fn or(&self, other: &Bitmap) -> Bitmap {
+        assert_eq!(self.len, other.len, "bitmap length mismatch");
+        let words =
+            self.words.iter().zip(other.words.iter()).map(|(a, b)| a | b).collect();
+        Bitmap { words: Arc::new(words), len: self.len }
+    }
+
+    /// Bits set in `self` but not in `other` (`self AND NOT other`).
+    pub fn and_not(&self, other: &Bitmap) -> Bitmap {
+        assert_eq!(self.len, other.len, "bitmap length mismatch");
+        let words =
+            self.words.iter().zip(other.words.iter()).map(|(a, b)| a & !b).collect();
+        Bitmap { words: Arc::new(words), len: self.len }
+    }
+
+    /// Bits `[offset, offset + len)` as a new bitmap. Word-level
+    /// shift-copy: O(len/64), used when splitting columns into morsels.
+    pub fn slice(&self, offset: usize, len: usize) -> Bitmap {
+        assert!(
+            offset.checked_add(len).is_some_and(|end| end <= self.len),
+            "bitmap slice [{offset}, {offset}+{len}) out of range ({} bits)",
+            self.len
+        );
+        let shift = offset % 64;
+        let first = offset / 64;
+        let nwords = len.div_ceil(64);
+        let mut words = Vec::with_capacity(nwords);
+        for i in 0..nwords {
+            let lo = self.words.get(first + i).copied().unwrap_or(0) >> shift;
+            let hi = if shift == 0 {
+                0
+            } else {
+                self.words.get(first + i + 1).copied().unwrap_or(0) << (64 - shift)
+            };
+            words.push(lo | hi);
+        }
+        let mut b = Bitmap { words: Arc::new(words), len };
+        b.mask_tail();
+        b
     }
 
     /// Iterator over the indices of set bits.
@@ -103,7 +167,7 @@ impl Bitmap {
     fn mask_tail(&mut self) {
         let tail_bits = self.len % 64;
         if tail_bits != 0 {
-            if let Some(last) = self.words.last_mut() {
+            if let Some(last) = Arc::make_mut(&mut self.words).last_mut() {
                 *last &= (1u64 << tail_bits) - 1;
             }
         }
@@ -116,7 +180,7 @@ impl Bitmap {
 
     /// Rebuild from serialized parts.
     pub fn from_parts(len: usize, words: Vec<u64>) -> Self {
-        let mut b = Bitmap { words, len };
+        let mut b = Bitmap { words: Arc::new(words), len };
         b.mask_tail();
         b
     }
@@ -181,6 +245,42 @@ mod tests {
         }
         let got: Vec<usize> = b.iter_set().collect();
         assert_eq!(got, vec![0, 63, 64, 127, 128, 199]);
+    }
+
+    #[test]
+    fn or_and_not() {
+        let mut a = Bitmap::new();
+        let mut b = Bitmap::new();
+        for i in 0..10 {
+            a.push(i % 2 == 0);
+            b.push(i % 3 == 0);
+        }
+        assert_eq!(a.or(&b).iter_set().collect::<Vec<_>>(), vec![0, 2, 3, 4, 6, 8, 9]);
+        assert_eq!(a.and_not(&b).iter_set().collect::<Vec<_>>(), vec![2, 4, 8]);
+    }
+
+    #[test]
+    fn slice_at_arbitrary_offsets() {
+        let mut b = Bitmap::new();
+        for i in 0..200 {
+            b.push(i % 7 == 0);
+        }
+        for &(offset, len) in &[(0, 200), (1, 64), (63, 65), (64, 64), (100, 0), (130, 70)] {
+            let s = b.slice(offset, len);
+            assert_eq!(s.len(), len);
+            for i in 0..len {
+                assert_eq!(s.get(i), b.get(offset + i), "offset {offset} bit {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn clone_is_shared_until_mutated() {
+        let mut a = Bitmap::filled(100, true);
+        let b = a.clone();
+        a.set(5, false);
+        assert!(!a.get(5));
+        assert!(b.get(5), "clone must not observe copy-on-write mutation");
     }
 
     #[test]

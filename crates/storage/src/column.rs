@@ -1,34 +1,90 @@
 //! Typed column buffers with validity bitmaps.
 
 use crate::bitmap::Bitmap;
+use crate::buffer::Buffer;
 use crate::error::{Result, StorageError};
 use crate::value::{DataType, Value};
 
+/// Partial numeric-aggregate state over one column, produced by
+/// [`Column::numeric_agg`].
+///
+/// States from disjoint row ranges combine with [`NumericAggState::merge`],
+/// which is how the morsel-parallel executor folds per-morsel partials
+/// into a full-column aggregate. NULL rows and NaN values are excluded
+/// (they are "missing observations", matching `to_f64_lossy`).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct NumericAggState {
+    /// Number of non-missing values seen.
+    pub count: u64,
+    /// Sum of non-missing values.
+    pub sum: f64,
+    /// Minimum, `None` until a value is seen.
+    pub min: Option<f64>,
+    /// Maximum, `None` until a value is seen.
+    pub max: Option<f64>,
+}
+
+impl NumericAggState {
+    /// Fold one value in.
+    #[inline]
+    pub fn update(&mut self, v: f64) {
+        self.count += 1;
+        self.sum += v;
+        self.min = Some(self.min.map_or(v, |m| m.min(v)));
+        self.max = Some(self.max.map_or(v, |m| m.max(v)));
+    }
+
+    /// Combine with the state of a disjoint row range.
+    pub fn merge(&mut self, other: &NumericAggState) {
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = match (self.min, other.min) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        };
+        self.max = match (self.max, other.max) {
+            (Some(a), Some(b)) => Some(a.max(b)),
+            (a, b) => a.or(b),
+        };
+    }
+
+    /// Mean of the values seen, `None` when empty.
+    pub fn mean(&self) -> Option<f64> {
+        if self.count == 0 {
+            None
+        } else {
+            Some(self.sum / self.count as f64)
+        }
+    }
+}
+
 /// A typed column of values plus a validity bitmap.
 ///
-/// Data lives in a dense typed buffer (`Vec<i64>`, `Vec<f64>`, …);
-/// validity is tracked separately so numeric kernels can run over the
-/// raw buffer and consult the bitmap only when nulls are present.
+/// Data lives in a dense typed [`Buffer`] (`Arc`'d storage with an
+/// `(offset, len)` window), so cloning a column or slicing a contiguous
+/// row range never copies values; validity is tracked separately so
+/// numeric kernels can run over the raw buffer and consult the bitmap
+/// only when nulls are present.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Column {
     /// 64-bit integers.
     Int64 {
         /// Dense values (entries at invalid positions are unspecified).
-        data: Vec<i64>,
+        data: Buffer<i64>,
         /// Validity bitmap, one bit per row.
         validity: Bitmap,
     },
     /// 64-bit floats.
     Float64 {
         /// Dense values.
-        data: Vec<f64>,
+        data: Buffer<f64>,
         /// Validity bitmap.
         validity: Bitmap,
     },
     /// UTF-8 strings.
     Str {
         /// Dense values.
-        data: Vec<String>,
+        data: Buffer<String>,
         /// Validity bitmap.
         validity: Bitmap,
     },
@@ -45,19 +101,19 @@ impl Column {
     /// All-valid integer column.
     pub fn from_i64(data: Vec<i64>) -> Column {
         let validity = Bitmap::filled(data.len(), true);
-        Column::Int64 { data, validity }
+        Column::Int64 { data: data.into(), validity }
     }
 
     /// All-valid float column.
     pub fn from_f64(data: Vec<f64>) -> Column {
         let validity = Bitmap::filled(data.len(), true);
-        Column::Float64 { data, validity }
+        Column::Float64 { data: data.into(), validity }
     }
 
     /// All-valid string column.
     pub fn from_str(data: Vec<String>) -> Column {
         let validity = Bitmap::filled(data.len(), true);
-        Column::Str { data, validity }
+        Column::Str { data: data.into(), validity }
     }
 
     /// All-valid boolean column.
@@ -86,7 +142,7 @@ impl Column {
                 }
             }
         }
-        Column::Float64 { data, validity }
+        Column::Float64 { data: data.into(), validity }
     }
 
     /// Column from optional ints; `None` becomes NULL.
@@ -105,7 +161,7 @@ impl Column {
                 }
             }
         }
-        Column::Int64 { data, validity }
+        Column::Int64 { data: data.into(), validity }
     }
 
     /// Data type of this column.
@@ -209,7 +265,7 @@ impl Column {
         match self {
             Column::Float64 { data, validity } => {
                 if validity.all_set() {
-                    Ok(data.clone())
+                    Ok(data.to_vec())
                 } else {
                     Ok(data
                         .iter()
@@ -246,7 +302,7 @@ impl Column {
                 for &i in indices {
                     v.push(validity.get(i));
                 }
-                Column::Int64 { data: new_data, validity: v }
+                Column::Int64 { data: new_data.into(), validity: v }
             }
             Column::Float64 { data, validity } => {
                 let new_data: Vec<f64> = indices.iter().map(|&i| data[i]).collect();
@@ -254,7 +310,7 @@ impl Column {
                 for &i in indices {
                     v.push(validity.get(i));
                 }
-                Column::Float64 { data: new_data, validity: v }
+                Column::Float64 { data: new_data.into(), validity: v }
             }
             Column::Str { data, validity } => {
                 let new_data: Vec<String> = indices.iter().map(|&i| data[i].clone()).collect();
@@ -262,7 +318,7 @@ impl Column {
                 for &i in indices {
                     v.push(validity.get(i));
                 }
-                Column::Str { data: new_data, validity: v }
+                Column::Str { data: new_data.into(), validity: v }
             }
             Column::Bool { data, validity } => {
                 let mut new_data = Bitmap::new();
@@ -277,12 +333,35 @@ impl Column {
     }
 
     /// Contiguous slice `rows[offset..offset+len]` as a new column.
+    ///
+    /// Value buffers are shared, not copied (O(1) for the values; the
+    /// validity bitmap is a word-level shift-copy, O(len/64)). This is
+    /// the morsel-splitting path of the parallel executor.
     pub fn slice(&self, offset: usize, len: usize) -> Result<Column> {
-        let end = offset.checked_add(len).filter(|&e| e <= self.len()).ok_or(
-            StorageError::RowOutOfRange { row: offset + len, len: self.len() },
-        )?;
-        let indices: Vec<usize> = (offset..end).collect();
-        self.take(&indices)
+        if offset.checked_add(len).is_none_or(|end| end > self.len()) {
+            return Err(StorageError::RowOutOfRange {
+                row: offset.saturating_add(len),
+                len: self.len(),
+            });
+        }
+        Ok(match self {
+            Column::Int64 { data, validity } => Column::Int64 {
+                data: data.slice(offset, len),
+                validity: validity.slice(offset, len),
+            },
+            Column::Float64 { data, validity } => Column::Float64 {
+                data: data.slice(offset, len),
+                validity: validity.slice(offset, len),
+            },
+            Column::Str { data, validity } => Column::Str {
+                data: data.slice(offset, len),
+                validity: validity.slice(offset, len),
+            },
+            Column::Bool { data, validity } => Column::Bool {
+                data: data.slice(offset, len),
+                validity: validity.slice(offset, len),
+            },
+        })
     }
 
     /// Append another column of the same type (ingest path for the
@@ -301,7 +380,7 @@ impl Column {
                 Column::Int64 { data, validity },
                 Column::Int64 { data: od, validity: ov },
             ) => {
-                data.extend_from_slice(od);
+                data.with_mut(|v| v.extend_from_slice(od));
                 for i in 0..n {
                     validity.push(ov.get(i));
                 }
@@ -310,13 +389,13 @@ impl Column {
                 Column::Float64 { data, validity },
                 Column::Float64 { data: od, validity: ov },
             ) => {
-                data.extend_from_slice(od);
+                data.with_mut(|v| v.extend_from_slice(od));
                 for i in 0..n {
                     validity.push(ov.get(i));
                 }
             }
             (Column::Str { data, validity }, Column::Str { data: od, validity: ov }) => {
-                data.extend_from_slice(od);
+                data.with_mut(|v| v.extend_from_slice(od));
                 for i in 0..n {
                     validity.push(ov.get(i));
                 }
@@ -333,6 +412,61 @@ impl Column {
             _ => unreachable!("type equality checked above"),
         }
         Ok(())
+    }
+
+    /// Compute count/sum/min/max in one pass over the raw value buffer
+    /// (numeric columns only), optionally restricted to the rows set in
+    /// `sel` (a filter's selection bitmap).
+    ///
+    /// NULL rows and NaN values are skipped, matching the missing-value
+    /// semantics of [`Column::to_f64_lossy`]. This is the executor's
+    /// aggregate kernel: no per-row `Value` or `Option<f64>` is ever
+    /// materialized.
+    pub fn numeric_agg(&self, sel: Option<&Bitmap>) -> Result<NumericAggState> {
+        fn run(
+            n: usize,
+            sel: Option<&Bitmap>,
+            validity: &Bitmap,
+            get: impl Fn(usize) -> f64,
+        ) -> NumericAggState {
+            let mut state = NumericAggState::default();
+            let all_valid = validity.all_set();
+            let mut fold = |i: usize| {
+                if all_valid || validity.get(i) {
+                    let v = get(i);
+                    if !v.is_nan() {
+                        state.update(v);
+                    }
+                }
+            };
+            match sel {
+                Some(sel) => sel.iter_set().for_each(&mut fold),
+                None => (0..n).for_each(&mut fold),
+            }
+            state
+        }
+        if let Some(sel) = sel {
+            if sel.len() != self.len() {
+                return Err(StorageError::ColumnLengthMismatch {
+                    expected: self.len(),
+                    column: "selection bitmap".to_string(),
+                    got: sel.len(),
+                });
+            }
+        }
+        match self {
+            Column::Float64 { data, validity } => {
+                Ok(run(data.len(), sel, validity, |i| data[i]))
+            }
+            Column::Int64 { data, validity } => {
+                Ok(run(data.len(), sel, validity, |i| data[i] as f64))
+            }
+            other => Err(StorageError::TypeMismatch {
+                op: "numeric_agg",
+                expected: "numeric",
+                got: other.data_type().name(),
+            }),
+        }
     }
 
     /// In-memory footprint of the value buffers in bytes (what "11 MB of
@@ -411,6 +545,47 @@ mod tests {
     }
 
     #[test]
+    fn slice_preserves_validity() {
+        let c = Column::from_f64_opt(vec![Some(1.0), None, Some(3.0), None, Some(5.0)]);
+        let s = c.slice(1, 3).unwrap();
+        assert_eq!(s.value(0).unwrap(), Value::Null);
+        assert_eq!(s.value(1).unwrap(), Value::Float(3.0));
+        assert_eq!(s.value(2).unwrap(), Value::Null);
+    }
+
+    #[test]
+    fn clone_and_slice_share_value_buffers() {
+        // The zero-copy invariant: neither cloning a column nor slicing
+        // a row range may copy the value buffer.
+        let c = Column::from_f64((0..1000).map(|i| i as f64).collect());
+        let cloned = c.clone();
+        assert!(std::ptr::eq(
+            c.f64_data().unwrap().as_ptr(),
+            cloned.f64_data().unwrap().as_ptr()
+        ));
+        let s = c.slice(100, 50).unwrap();
+        assert!(std::ptr::eq(&c.f64_data().unwrap()[100], &s.f64_data().unwrap()[0]));
+
+        let ints = Column::from_i64((0..100).collect());
+        let s = ints.slice(10, 20).unwrap();
+        assert!(std::ptr::eq(&ints.i64_data().unwrap()[10], &s.i64_data().unwrap()[0]));
+
+        let strs = Column::from_str((0..50).map(|i| i.to_string()).collect());
+        let s = strs.slice(5, 10).unwrap();
+        assert!(std::ptr::eq(&strs.str_data().unwrap()[5], &s.str_data().unwrap()[0]));
+    }
+
+    #[test]
+    fn append_does_not_disturb_shared_clones() {
+        let mut a = Column::from_i64(vec![1, 2, 3]);
+        let snapshot = a.clone();
+        a.append(&Column::from_i64(vec![4])).unwrap();
+        assert_eq!(a.len(), 4);
+        assert_eq!(snapshot.len(), 3);
+        assert_eq!(snapshot.i64_data().unwrap(), &[1, 2, 3]);
+    }
+
+    #[test]
     fn append_same_type() {
         let mut a = Column::from_i64(vec![1]);
         let b = Column::from_i64_opt(vec![None, Some(2)]);
@@ -434,6 +609,58 @@ mod tests {
         assert_eq!(c.value(1).unwrap(), Value::Bool(false));
         let t = c.take(&[1, 2]).unwrap();
         assert_eq!(t.value(1).unwrap(), Value::Bool(true));
+    }
+
+    #[test]
+    fn numeric_agg_skips_nulls_and_nans() {
+        let c = Column::from_f64_opt(vec![
+            Some(1.0),
+            None,
+            Some(f64::NAN),
+            Some(-3.0),
+            Some(4.0),
+        ]);
+        let s = c.numeric_agg(None).unwrap();
+        assert_eq!(s.count, 3);
+        assert_eq!(s.sum, 2.0);
+        assert_eq!(s.min, Some(-3.0));
+        assert_eq!(s.max, Some(4.0));
+        assert_eq!(s.mean(), Some(2.0 / 3.0));
+    }
+
+    #[test]
+    fn numeric_agg_respects_selection() {
+        let c = Column::from_i64(vec![10, 20, 30, 40]);
+        let sel = Bitmap::from_fn(4, |i| i % 2 == 1); // rows 1, 3
+        let s = c.numeric_agg(Some(&sel)).unwrap();
+        assert_eq!(s.count, 2);
+        assert_eq!(s.sum, 60.0);
+        assert_eq!(s.min, Some(20.0));
+        assert_eq!(s.max, Some(40.0));
+        let wrong_len = Bitmap::filled(3, true);
+        assert!(c.numeric_agg(Some(&wrong_len)).is_err());
+        assert!(Column::from_str(vec!["a".into()]).numeric_agg(None).is_err());
+    }
+
+    #[test]
+    fn numeric_agg_merge_equals_whole_column_pass() {
+        let vals: Vec<Option<f64>> = (0..100)
+            .map(|i| if i % 7 == 0 { None } else { Some((i as f64) - 50.0) })
+            .collect();
+        let c = Column::from_f64_opt(vals);
+        let whole = c.numeric_agg(None).unwrap();
+        // Morsel-style: aggregate disjoint slices, merge in order.
+        let mut merged = NumericAggState::default();
+        for start in (0..100).step_by(33) {
+            let len = (100 - start).min(33);
+            let part = c.slice(start, len).unwrap().numeric_agg(None).unwrap();
+            merged.merge(&part);
+        }
+        assert_eq!(merged, whole);
+        // Merging an empty state is the identity.
+        let mut empty = NumericAggState::default();
+        empty.merge(&whole);
+        assert_eq!(empty, whole);
     }
 
     #[test]

@@ -59,7 +59,7 @@ mod tests {
 
     #[test]
     fn constant_series_is_tiny() {
-        let values = vec![3.141592653589793; 10_000];
+        let values = vec![std::f64::consts::PI; 10_000];
         let enc = encode(&values);
         // First value ~10 bytes, every subsequent xor is 0 → 1 byte.
         assert!(enc.len() < 10_050, "got {}", enc.len());

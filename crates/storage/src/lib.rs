@@ -34,6 +34,7 @@
 #![allow(clippy::should_implement_trait)]
 
 pub mod bitmap;
+pub mod buffer;
 pub mod catalog;
 pub mod column;
 pub mod compress;
@@ -46,6 +47,7 @@ pub mod stats;
 pub mod table;
 pub mod value;
 
+pub use buffer::Buffer;
 pub use catalog::Catalog;
 pub use column::Column;
 pub use error::{Result, StorageError};

@@ -94,7 +94,7 @@ pub fn decode_column(bytes: &[u8]) -> Result<Column> {
             for _ in 0..len {
                 data.push(buf.get_i64_le());
             }
-            Ok(Column::Int64 { data, validity })
+            Ok(Column::Int64 { data: data.into(), validity })
         }
         TAG_F64 => {
             if buf.remaining() < len * 8 {
@@ -104,7 +104,7 @@ pub fn decode_column(bytes: &[u8]) -> Result<Column> {
             for _ in 0..len {
                 data.push(buf.get_f64_le());
             }
-            Ok(Column::Float64 { data, validity })
+            Ok(Column::Float64 { data: data.into(), validity })
         }
         TAG_STR => {
             let mut data = Vec::with_capacity(len);
@@ -122,7 +122,7 @@ pub fn decode_column(bytes: &[u8]) -> Result<Column> {
                 buf.advance(slen);
                 data.push(s);
             }
-            Ok(Column::Str { data, validity })
+            Ok(Column::Str { data: data.into(), validity })
         }
         TAG_BOOL => {
             if buf.remaining() < 16 {

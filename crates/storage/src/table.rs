@@ -155,6 +155,16 @@ impl Table {
         let cols: Result<Vec<Column>> = self.columns.iter().map(|c| c.take(indices)).collect();
         Table::new(self.name.clone(), self.schema.clone(), cols?)
     }
+
+    /// Contiguous row range `[offset, offset + len)` as a new table.
+    ///
+    /// Value buffers are shared with `self` (zero-copy); this is how
+    /// the parallel executor splits a base table into morsels.
+    pub fn slice(&self, offset: usize, len: usize) -> Result<Table> {
+        let cols: Result<Vec<Column>> =
+            self.columns.iter().map(|c| c.slice(offset, len)).collect();
+        Table::new(self.name.clone(), self.schema.clone(), cols?)
+    }
 }
 
 /// Builder assembling a table column by column.
@@ -315,5 +325,31 @@ mod tests {
         // Three 8-byte columns over 4 rows + 3 validity bytes.
         let t = lofar_like();
         assert_eq!(t.byte_size(), 3 * (4 * 8 + 1));
+    }
+
+    #[test]
+    fn slice_rows_and_share_buffers() {
+        let t = lofar_like();
+        let s = t.slice(1, 2).unwrap();
+        assert_eq!(s.row_count(), 2);
+        assert_eq!(s.row(0).unwrap(), t.row(1).unwrap());
+        assert_eq!(s.row(1).unwrap(), t.row(2).unwrap());
+        assert!(t.slice(3, 2).is_err());
+        // Zero-copy: clone, project, and slice all alias the original
+        // value buffers instead of copying them.
+        let cloned = t.clone();
+        let projected = t.project(&["nu"]).unwrap();
+        assert!(std::ptr::eq(
+            t.column("nu").unwrap().f64_data().unwrap().as_ptr(),
+            cloned.column("nu").unwrap().f64_data().unwrap().as_ptr()
+        ));
+        assert!(std::ptr::eq(
+            t.column("nu").unwrap().f64_data().unwrap().as_ptr(),
+            projected.column("nu").unwrap().f64_data().unwrap().as_ptr()
+        ));
+        assert!(std::ptr::eq(
+            &t.column("nu").unwrap().f64_data().unwrap()[1],
+            &s.column("nu").unwrap().f64_data().unwrap()[0]
+        ));
     }
 }

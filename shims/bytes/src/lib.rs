@@ -1,0 +1,156 @@
+//! Minimal offline stand-in for the `bytes` crate.
+//!
+//! Provides `BytesMut` (a thin growable byte buffer), the `BufMut`
+//! little-endian writer surface, and the `Buf` little-endian reader
+//! surface for `&[u8]` cursors — exactly the API the paged store's
+//! serializer uses.
+
+use std::ops::{Deref, DerefMut};
+
+/// Growable byte buffer; a thin wrapper over `Vec<u8>`.
+#[derive(Default, Debug, Clone, PartialEq, Eq)]
+pub struct BytesMut {
+    inner: Vec<u8>,
+}
+
+impl BytesMut {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn with_capacity(cap: usize) -> Self {
+        Self { inner: Vec::with_capacity(cap) }
+    }
+
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+
+    pub fn freeze(self) -> Vec<u8> {
+        self.inner
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.inner
+    }
+}
+
+impl DerefMut for BytesMut {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        &mut self.inner
+    }
+}
+
+impl From<Vec<u8>> for BytesMut {
+    fn from(inner: Vec<u8>) -> Self {
+        Self { inner }
+    }
+}
+
+/// Little-endian write surface.
+pub trait BufMut {
+    fn put_slice(&mut self, src: &[u8]);
+
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+    fn put_u32_le(&mut self, v: u32) {
+        self.put_slice(&v.to_le_bytes());
+    }
+    fn put_u64_le(&mut self, v: u64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+    fn put_i64_le(&mut self, v: i64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+    fn put_f64_le(&mut self, v: f64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.inner.extend_from_slice(src);
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+/// Little-endian read surface over a consuming cursor.
+pub trait Buf {
+    fn remaining(&self) -> usize;
+    fn advance(&mut self, cnt: usize);
+    fn copy_to_array<const N: usize>(&mut self) -> [u8; N];
+
+    fn get_u8(&mut self) -> u8 {
+        self.copy_to_array::<1>()[0]
+    }
+    fn get_u32_le(&mut self) -> u32 {
+        u32::from_le_bytes(self.copy_to_array())
+    }
+    fn get_u64_le(&mut self) -> u64 {
+        u64::from_le_bytes(self.copy_to_array())
+    }
+    fn get_i64_le(&mut self) -> i64 {
+        i64::from_le_bytes(self.copy_to_array())
+    }
+    fn get_f64_le(&mut self) -> f64 {
+        f64::from_le_bytes(self.copy_to_array())
+    }
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn advance(&mut self, cnt: usize) {
+        assert!(cnt <= self.len(), "advance past end of buffer");
+        *self = &self[cnt..];
+    }
+
+    fn copy_to_array<const N: usize>(&mut self) -> [u8; N] {
+        assert!(N <= self.len(), "read past end of buffer");
+        let mut out = [0u8; N];
+        out.copy_from_slice(&self[..N]);
+        *self = &self[N..];
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_widths() {
+        let mut buf = BytesMut::with_capacity(64);
+        buf.put_u8(7);
+        buf.put_u32_le(0xDEAD_BEEF);
+        buf.put_u64_le(u64::MAX - 3);
+        buf.put_i64_le(-42);
+        buf.put_f64_le(std::f64::consts::PI);
+        buf.put_slice(b"abc");
+        let bytes = buf.to_vec();
+        let mut cur: &[u8] = &bytes;
+        assert_eq!(cur.get_u8(), 7);
+        assert_eq!(cur.get_u32_le(), 0xDEAD_BEEF);
+        assert_eq!(cur.get_u64_le(), u64::MAX - 3);
+        assert_eq!(cur.get_i64_le(), -42);
+        assert_eq!(cur.get_f64_le(), std::f64::consts::PI);
+        assert_eq!(&cur[..3], b"abc");
+        cur.advance(3);
+        assert_eq!(cur.remaining(), 0);
+    }
+}

@@ -61,6 +61,19 @@ fn main() {
                 .unwrap_or_else(|e| die(&format!("writing BENCH_query.json: {e}")));
             println!("\nwrote BENCH_query.json");
         }
+        "bench-durability" => {
+            let scales: &[usize] = match scale {
+                Scale::Small => &[20_000, 100_000],
+                Scale::Medium => &[20_000, 100_000, 500_000],
+                Scale::Paper => &[20_000, 100_000, 500_000, 2_000_000],
+            };
+            let r = exp::durability::run(scales);
+            exp::durability::print(&r);
+            let json = exp::durability::to_json(&r);
+            std::fs::write("BENCH_durability.json", &json)
+                .unwrap_or_else(|e| die(&format!("writing BENCH_durability.json: {e}")));
+            println!("\nwrote BENCH_durability.json");
+        }
         other => die(&format!("unknown experiment {other:?}")),
     };
 
@@ -78,10 +91,11 @@ fn main() {
 
 fn usage() {
     println!(
-        "usage: report [all|table1|figure1|figure2|e4|e5|e6|e7|e8|e9|e10|e11|bench-query] \
-         [--scale small|medium|paper]"
+        "usage: report [all|table1|figure1|figure2|e4|e5|e6|e7|e8|e9|e10|e11|bench-query|\
+         bench-durability] [--scale small|medium|paper]"
     );
     println!("  bench-query: morsel-executor throughput sweep; writes BENCH_query.json");
+    println!("  bench-durability: WAL overhead per device profile; writes BENCH_durability.json");
 }
 
 fn die(msg: &str) -> ! {

@@ -1,0 +1,239 @@
+//! Durability overhead: what does crash safety cost per device profile?
+//!
+//! The same logical workload — store a table, persist a catalog image,
+//! append 5% of the rows and replace the table — runs twice: once
+//! through the plain [`Pager`] (no durability: a crash mid-write loses
+//! arbitrary state) and once through the WAL-backed
+//! [`DurableStore`] (every step an atomic commit). Exact device
+//! counters then price both runs under each [`DeviceProfile`], giving
+//! the WAL's write amplification and simulated-time overhead. Exported
+//! machine-readably as `BENCH_durability.json` by the `report` binary
+//! (`report -- bench-durability`).
+
+use lawsdb_storage::io::{DeviceProfile, IoStats, SimulatedDevice};
+use lawsdb_storage::pager::Pager;
+use lawsdb_storage::wal::DurableStore;
+use lawsdb_storage::{Table, TableBuilder};
+
+const PAGE_SIZE: usize = 4096;
+const WAL_PAGES: usize = 8;
+
+/// The swept device profiles, as `(label, profile)`.
+pub fn profiles() -> Vec<(&'static str, DeviceProfile)> {
+    vec![
+        ("spinning_disk", DeviceProfile::spinning_disk()),
+        ("sata_ssd", DeviceProfile::sata_ssd()),
+        ("nvme_ssd", DeviceProfile::nvme_ssd()),
+    ]
+}
+
+/// Simulated cost of one run under one profile.
+#[derive(Debug, Clone)]
+pub struct ProfileCost {
+    /// Profile label.
+    pub profile: String,
+    /// Baseline (pager, no durability) simulated time, µs.
+    pub baseline_us: f64,
+    /// Durable (WAL + atomic commit) simulated time, µs.
+    pub durable_us: f64,
+    /// `durable_us / baseline_us`.
+    pub overhead: f64,
+}
+
+/// One measured row scale.
+#[derive(Debug, Clone)]
+pub struct DurabilityPoint {
+    /// Base-table rows.
+    pub rows: usize,
+    /// Commits the durable run performed.
+    pub commits: u64,
+    /// Device counters of the baseline run.
+    pub baseline: IoStats,
+    /// Device counters of the durable run.
+    pub durable: IoStats,
+    /// `durable.pages_written / baseline.pages_written`.
+    pub write_amplification: f64,
+    /// Per-profile simulated costs.
+    pub costs: Vec<ProfileCost>,
+}
+
+/// Experiment report.
+#[derive(Debug, Clone)]
+pub struct DurabilityReport {
+    /// Device page size used throughout.
+    pub page_size: usize,
+    /// WAL region size (pages).
+    pub wal_pages: usize,
+    /// All measured scales.
+    pub points: Vec<DurabilityPoint>,
+}
+
+/// Deterministic measurement table (`source`, `nu`, `intensity`).
+fn dataset(rows: usize) -> Table {
+    let freqs: [f64; 4] = [0.12, 0.15, 0.16, 0.18];
+    let mut src = Vec::with_capacity(rows);
+    let mut nu = Vec::with_capacity(rows);
+    let mut intensity = Vec::with_capacity(rows);
+    for i in 0..rows {
+        let s = (i / 40) as i64;
+        let f = freqs[i % 4];
+        src.push(s);
+        nu.push(f);
+        intensity.push((1.0 + s as f64 * 0.01) * f.powf(-0.7));
+    }
+    let mut b = TableBuilder::new("measurements");
+    b.add_i64("source", src);
+    b.add_f64("nu", nu);
+    b.add_f64("intensity", intensity);
+    b.build().expect("build")
+}
+
+fn appended(table: &Table) -> Table {
+    let extra = dataset(table.row_count() / 20); // +5% rows
+    let mut t = table.clone();
+    t.append_rows(extra.columns()).expect("append");
+    t
+}
+
+/// A stand-in catalog image (~2 KB of checksummed model source).
+fn catalog_image() -> Vec<u8> {
+    (0..2048u32).map(|i| (i.wrapping_mul(31) >> 3) as u8).collect()
+}
+
+fn run_baseline(t1: &Table, t2: &Table) -> IoStats {
+    let mut pager = Pager::new(PAGE_SIZE, 0);
+    pager.store_table(t1).expect("store");
+    pager.write_stream(&catalog_image()).expect("catalog blob");
+    pager.replace_table(t2).expect("replace");
+    pager.stats()
+}
+
+fn run_durable(t1: &Table, t2: &Table) -> (IoStats, u64) {
+    let mut store = DurableStore::new(SimulatedDevice::new(PAGE_SIZE), WAL_PAGES);
+    store.recover().expect("recover");
+    store.reset_stats(); // formatting is a one-time cost, not workload IO
+    store.store_table(t1).expect("store");
+    store.put_catalog(&catalog_image()).expect("catalog");
+    store.replace_table(t2).expect("replace");
+    (store.stats(), store.seq())
+}
+
+/// Run the sweep at the given row scales.
+pub fn run(row_scales: &[usize]) -> DurabilityReport {
+    let mut points = Vec::new();
+    for &rows in row_scales {
+        let t1 = dataset(rows);
+        let t2 = appended(&t1);
+        let baseline = run_baseline(&t1, &t2);
+        let (durable, commits) = run_durable(&t1, &t2);
+        let costs = profiles()
+            .into_iter()
+            .map(|(label, p)| {
+                let baseline_us = baseline.simulated_us(&p);
+                let durable_us = durable.simulated_us(&p);
+                ProfileCost {
+                    profile: label.to_string(),
+                    baseline_us,
+                    durable_us,
+                    overhead: durable_us / baseline_us,
+                }
+            })
+            .collect();
+        points.push(DurabilityPoint {
+            rows,
+            commits,
+            write_amplification: durable.pages_written as f64
+                / baseline.pages_written.max(1) as f64,
+            baseline,
+            durable,
+            costs,
+        });
+    }
+    DurabilityReport { page_size: PAGE_SIZE, wal_pages: WAL_PAGES, points }
+}
+
+/// Print the report as a paper-style table.
+pub fn print(r: &DurabilityReport) {
+    println!("=== durability overhead (WAL + atomic commit vs raw pager) ===");
+    println!("page size: {} B   WAL region: {} pages", r.page_size, r.wal_pages);
+    println!("rows      commits  pages(base)  pages(wal)  amplif.  profile        overhead");
+    for p in &r.points {
+        for (i, c) in p.costs.iter().enumerate() {
+            if i == 0 {
+                print!(
+                    "{:<9} {:>7} {:>12} {:>11} {:>8.3}",
+                    p.rows, p.commits, p.baseline.pages_written, p.durable.pages_written,
+                    p.write_amplification
+                );
+            } else {
+                print!("{:<9} {:>7} {:>12} {:>11} {:>8}", "", "", "", "", "");
+            }
+            println!("  {:<13} {:>7.3}x", c.profile, c.overhead);
+        }
+    }
+}
+
+/// Render the report as JSON (hand-rolled: the workspace carries no
+/// serialization dependency).
+pub fn to_json(r: &DurabilityReport) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"bench\": \"durability_wal_overhead\",\n");
+    out.push_str(&format!("  \"page_size\": {},\n", r.page_size));
+    out.push_str(&format!("  \"wal_pages\": {},\n", r.wal_pages));
+    out.push_str("  \"results\": [\n");
+    for (i, p) in r.points.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"rows\": {}, \"commits\": {}, \"baseline_pages_written\": {}, \
+             \"durable_pages_written\": {}, \"write_amplification\": {:.4}, \"profiles\": [",
+            p.rows, p.commits, p.baseline.pages_written, p.durable.pages_written,
+            p.write_amplification
+        ));
+        for (j, c) in p.costs.iter().enumerate() {
+            out.push_str(&format!(
+                "{{\"profile\": \"{}\", \"baseline_us\": {:.1}, \"durable_us\": {:.1}, \
+                 \"overhead\": {:.4}}}{}",
+                c.profile,
+                c.baseline_us,
+                c.durable_us,
+                c.overhead,
+                if j + 1 == p.costs.len() { "" } else { ", " }
+            ));
+        }
+        out.push_str(&format!("]}}{}\n", if i + 1 == r.points.len() { "" } else { "," }));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_reports_sane_overheads() {
+        let r = run(&[20_000, 100_000]);
+        assert_eq!(r.points.len(), 2);
+        for p in &r.points {
+            assert_eq!(p.commits, 3, "store + catalog + replace");
+            assert!(
+                p.write_amplification >= 1.0,
+                "durability can only add writes: {}",
+                p.write_amplification
+            );
+            for c in &p.costs {
+                assert!(c.overhead >= 1.0 && c.overhead.is_finite(), "{c:?}");
+            }
+        }
+        // Amplification shrinks as data grows: the WAL + superblock
+        // cost per commit is constant while the data volume is not.
+        assert!(
+            r.points[1].write_amplification <= r.points[0].write_amplification,
+            "{} then {}",
+            r.points[0].write_amplification,
+            r.points[1].write_amplification
+        );
+        let json = to_json(&r);
+        assert!(json.contains("\"durability_wal_overhead\""));
+        assert!(json.contains("\"spinning_disk\""));
+    }
+}

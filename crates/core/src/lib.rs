@@ -19,7 +19,9 @@
 //! * [`storage_mgr`] — model-based physical storage (Section 4.1):
 //!   semantic compression of response columns against captured models
 //!   (lossless XOR or bounded-error quantized), recompression after a
-//!   re-fit, and byte accounting for the compression experiments.
+//!   re-fit, and byte accounting for the compression experiments; plus
+//!   [`storage_mgr::DurableDb`], the crash-safe home for tables and the
+//!   model catalog (WAL-backed atomic commits, `recover()` on restart).
 
 pub mod engine;
 pub mod error;
@@ -29,4 +31,4 @@ pub mod storage_mgr;
 pub use engine::{Answer, LawsDb, QualityPolicy};
 pub use error::{CoreError, Result};
 pub use session::{FitOptions, FitReport, RemoteFrame, Session, TransferModel};
-pub use storage_mgr::{CompressedColumn, CompressionMode};
+pub use storage_mgr::{CompressedColumn, CompressionMode, DurableDb};

@@ -17,9 +17,10 @@
 
 use crate::error::{CoreError, Result};
 use lawsdb_models::bridge::predict_table;
-use lawsdb_models::CapturedModel;
+use lawsdb_models::{CapturedModel, ModelCatalog};
 use lawsdb_storage::compress::{residual, varint};
-use lawsdb_storage::Table;
+use lawsdb_storage::wal::DurableStore;
+use lawsdb_storage::{BlockDevice, IoStats, RecoveryReport, Table};
 
 /// Residual encoding mode.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -166,6 +167,87 @@ pub fn decompress_column(
         values[idx] = v;
     }
     Ok(values)
+}
+
+/// Crash-safe database state: paged tables plus the model catalog
+/// behind the storage crate's WAL + atomic-commit protocol.
+///
+/// This is the engine-facing face of the durability layer. Open with
+/// [`DurableDb::new`] + [`DurableDb::recover`]; every mutation is one
+/// atomic commit, so a crash at any device operation recovers to
+/// exactly the pre- or post-commit state (the crash-matrix suites in
+/// `lawsdb-storage` and this crate prove it op by op).
+#[derive(Debug)]
+pub struct DurableDb<D: BlockDevice> {
+    store: DurableStore<D>,
+}
+
+impl<D: BlockDevice> DurableDb<D> {
+    /// Wrap a device; performs no IO until [`DurableDb::recover`].
+    pub fn new(device: D) -> DurableDb<D> {
+        DurableDb { store: DurableStore::new(device, 8) }
+    }
+
+    /// Open the database: format an empty device, or replay / roll back
+    /// a crashed one. Must be called (successfully) before anything
+    /// else.
+    pub fn recover(&mut self) -> Result<RecoveryReport> {
+        self.store.recover().map_err(CoreError::Storage)
+    }
+
+    /// Commit sequence the database is at.
+    pub fn seq(&self) -> u64 {
+        self.store.seq()
+    }
+
+    /// Durably store a new table (one atomic commit).
+    pub fn store_table(&mut self, table: &Table) -> Result<()> {
+        self.store.store_table(table).map_err(CoreError::Storage)
+    }
+
+    /// Replace (or freshly store) a table in one atomic commit — the
+    /// data-change path after appends or recompression.
+    pub fn replace_table(&mut self, table: &Table) -> Result<()> {
+        self.store.replace_table(table).map_err(CoreError::Storage)
+    }
+
+    /// Drop a table in one atomic commit.
+    pub fn drop_table(&mut self, name: &str) -> Result<()> {
+        self.store.drop_table(name).map_err(CoreError::Storage)
+    }
+
+    /// Read a stored table back, checksum-verified.
+    pub fn read_table(&self, name: &str) -> Result<Table> {
+        self.store.read_table(name).map_err(CoreError::Storage)
+    }
+
+    /// Names of all stored tables, sorted.
+    pub fn table_names(&self) -> Vec<String> {
+        self.store.table_names()
+    }
+
+    /// Durably persist the model catalog (one atomic commit). Models
+    /// travel in source form — the paper's "store the models in their
+    /// source code form inside the database", made crash-safe.
+    pub fn save_models(&mut self, catalog: &ModelCatalog) -> Result<()> {
+        catalog.save_to_store(&mut self.store).map_err(CoreError::Model)
+    }
+
+    /// Load the model catalog the store recovered to (empty if none was
+    /// ever saved).
+    pub fn load_models(&self) -> Result<ModelCatalog> {
+        ModelCatalog::load_from_store(&self.store).map_err(CoreError::Model)
+    }
+
+    /// Device access counters.
+    pub fn stats(&self) -> IoStats {
+        self.store.stats()
+    }
+
+    /// Surrender the device (simulated-restart path).
+    pub fn into_device(self) -> D {
+        self.store.into_device()
+    }
 }
 
 #[cfg(test)]

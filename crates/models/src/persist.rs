@@ -9,7 +9,8 @@
 //! Layout (all integers varint unless noted):
 //!
 //! ```text
-//! magic "LAWM" | format version | next_id | model count
+//! magic "LAWM" | crc32 u32-le of everything after it |
+//! format version | next_id | model count
 //! per model:
 //!   id | version | state u8 | overall_r2 f64 |
 //!   formula source | optional legal-filter source |
@@ -17,6 +18,13 @@
 //!              optional predicate | domains } |
 //!   params: tag u8 (0 global, 1 grouped) { … }
 //! ```
+//!
+//! The whole-image checksum (format v2) means *any* truncation or byte
+//! flip of a stored image is a structured [`ModelError`], never a
+//! silently wrong model — the property the corruption proptests pin
+//! down. For crash safety the image rides the storage durability layer
+//! via [`ModelCatalog::save_to_store`] /
+//! [`ModelCatalog::load_from_store`].
 
 use crate::catalog::ModelCatalog;
 use crate::error::{ModelError, Result};
@@ -25,7 +33,9 @@ use lawsdb_storage::compress::varint;
 use std::collections::HashMap;
 
 const MAGIC: &[u8; 4] = b"LAWM";
-const FORMAT_VERSION: u64 = 1;
+const FORMAT_VERSION: u64 = 2;
+/// Byte offset where the checksummed region starts (magic + crc32).
+const BODY_START: usize = 8;
 
 fn put_str(out: &mut Vec<u8>, s: &str) {
     varint::put_u64(out, s.len() as u64);
@@ -264,22 +274,29 @@ impl ModelCatalog {
         let (next_id, models) = self.snapshot();
         let mut out = Vec::new();
         out.extend_from_slice(MAGIC);
+        out.extend_from_slice(&[0; 4]); // crc placeholder
         varint::put_u64(&mut out, FORMAT_VERSION);
         varint::put_u64(&mut out, next_id);
         varint::put_u64(&mut out, models.len() as u64);
         for m in &models {
             encode_model(&mut out, m);
         }
+        let crc = lawsdb_storage::crc32(&out[BODY_START..]).to_le_bytes();
+        out[4..BODY_START].copy_from_slice(&crc);
         out
     }
 
     /// Rebuild a catalog from [`ModelCatalog::to_bytes`] output.
     pub fn from_bytes(buf: &[u8]) -> Result<ModelCatalog> {
         let bad = |d: &str| ModelError::BadConstruction { detail: d.to_string() };
-        if buf.len() < 4 || &buf[..4] != MAGIC {
+        if buf.len() < BODY_START || &buf[..4] != MAGIC {
             return Err(bad("missing LAWM magic"));
         }
-        let mut pos = 4;
+        let stored = u32::from_le_bytes(buf[4..BODY_START].try_into().expect("4 bytes"));
+        if lawsdb_storage::crc32(&buf[BODY_START..]) != stored {
+            return Err(bad("catalog image checksum mismatch"));
+        }
+        let mut pos = BODY_START;
         let version = varint::get_u64(buf, &mut pos).map_err(ModelError::Storage)?;
         if version != FORMAT_VERSION {
             return Err(bad(&format!("unsupported format version {version}")));
@@ -307,6 +324,26 @@ impl ModelCatalog {
             detail: format!("cannot read {}: {e}", path.display()),
         })?;
         ModelCatalog::from_bytes(&bytes)
+    }
+
+    /// Persist the catalog image into a crash-safe store as one atomic
+    /// commit — the durable counterpart of [`ModelCatalog::save_to`].
+    pub fn save_to_store<D: lawsdb_storage::BlockDevice>(
+        &self,
+        store: &mut lawsdb_storage::DurableStore<D>,
+    ) -> Result<()> {
+        store.put_catalog(&self.to_bytes()).map_err(ModelError::Storage)
+    }
+
+    /// Load the catalog image a crash-safe store recovered to; an empty
+    /// catalog if none was ever committed.
+    pub fn load_from_store<D: lawsdb_storage::BlockDevice>(
+        store: &lawsdb_storage::DurableStore<D>,
+    ) -> Result<ModelCatalog> {
+        match store.catalog().map_err(ModelError::Storage)? {
+            Some(bytes) => ModelCatalog::from_bytes(&bytes),
+            None => Ok(ModelCatalog::new()),
+        }
     }
 }
 
@@ -411,5 +448,35 @@ mod tests {
         for cut in [5, 10, 20, bytes.len() / 2, bytes.len() - 1] {
             assert!(ModelCatalog::from_bytes(&bytes[..cut]).is_err(), "cut {cut}");
         }
+        // The whole-image checksum catches any single-byte flip.
+        for i in 0..bytes.len() {
+            let mut flipped = bytes.clone();
+            flipped[i] ^= 0x01;
+            assert!(ModelCatalog::from_bytes(&flipped).is_err(), "byte {i}");
+        }
+    }
+
+    #[test]
+    fn catalog_rides_the_durable_store() {
+        use lawsdb_storage::{DurableStore, SimulatedDevice};
+        let catalog = ModelCatalog::new();
+        let opts = FitOptions::default().with_initial("alpha", -0.7);
+        let m = catalog.store(lofar_model(&opts));
+        let mut store = DurableStore::new(SimulatedDevice::new(256), 8);
+        store.recover().unwrap();
+        catalog.save_to_store(&mut store).unwrap();
+        // Simulate a restart: re-open the device and recover.
+        let mut store = DurableStore::new(store.into_device(), 8);
+        store.recover().unwrap();
+        let restored = ModelCatalog::load_from_store(&store).unwrap();
+        assert_eq!(restored.len(), 1);
+        let r = restored.get(m.id).unwrap();
+        let a = m.predict_scalar(Some(2), &[("nu", 0.15)]).unwrap();
+        let b = r.predict_scalar(Some(2), &[("nu", 0.15)]).unwrap();
+        assert_eq!(a.to_bits(), b.to_bits());
+        // A store with no catalog loads as empty.
+        let mut empty = DurableStore::new(SimulatedDevice::new(256), 8);
+        empty.recover().unwrap();
+        assert_eq!(ModelCatalog::load_from_store(&empty).unwrap().len(), 0);
     }
 }

@@ -1,0 +1,165 @@
+//! Property tests for the catalog serialization format (`LAWM` v2).
+//!
+//! Three properties, over arbitrary catalogs:
+//!
+//! 1. serialize → load is the identity (field-for-field, including
+//!    formula re-parse and bitwise parameter equality);
+//! 2. every truncation prefix of a valid image is a structured error;
+//! 3. every single-byte flip of a valid image is a structured error.
+//!
+//! Nothing here may panic: a corrupt catalog image must always degrade
+//! to `Err`, because recovery reads these images off a crashed device.
+
+use lawsdb_models::{
+    CapturedModel, Coverage, GroupParams, ModelCatalog, ModelId, ModelParams, ModelState,
+};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+/// Parseable formula templates with their parameter and variable names.
+/// The formula source *is* the schema (the parser re-derives the body on
+/// load), so arbitrary catalogs draw from real grammar.
+const TEMPLATES: [(&str, &[&str], &[&str]); 3] = [
+    ("y ~ a + b * x", &["a", "b"], &["x"]),
+    ("y ~ p * x ^ alpha", &["p", "alpha"], &["x"]),
+    ("y ~ a * x + b * z", &["a", "b"], &["x", "z"]),
+];
+
+const FILTERS: [&str; 3] = ["x >= 0.1", "x > 0.0 && x < 100.0", "x <= 1000.0"];
+
+fn clamp_unit(v: f64) -> f64 {
+    (v.abs() / 1e6).clamp(0.0, 1.0)
+}
+
+#[allow(clippy::type_complexity)]
+fn arb_model() -> impl Strategy<Value = CapturedModel> {
+    (
+        (0usize..3, 0usize..3, any::<bool>(), 0usize..4),
+        prop::collection::vec(-1.0e6f64..1.0e6, 12),
+        prop::collection::vec(-50i64..50, 1..5),
+        ("[a-z]{1,8}", "[a-z]{1,8}", 0u64..100_000),
+        prop::collection::vec(("[a-z]{1,6}", prop::collection::vec(-100.0f64..100.0, 1..4)), 0..3),
+    )
+        .prop_map(|((ti, state_i, grouped, filt_i), vals, keys, ids, domains)| {
+            let (formula, param_names, var_names) = TEMPLATES[ti];
+            let (table, response, rows) = ids;
+            let names: Vec<String> = param_names.iter().map(|s| s.to_string()).collect();
+            let np = names.len();
+            let params = if grouped {
+                let mut groups = HashMap::new();
+                for (gi, &k) in keys.iter().enumerate() {
+                    groups.insert(
+                        k,
+                        GroupParams {
+                            values: (0..np).map(|j| vals[(gi + j) % vals.len()]).collect(),
+                            residual_se: vals[(gi + 5) % vals.len()].abs(),
+                            r2: clamp_unit(vals[(gi + 7) % vals.len()]),
+                            n: rows as usize % 5000,
+                        },
+                    );
+                }
+                ModelParams::Grouped { group_column: "grp".to_string(), names, groups }
+            } else {
+                ModelParams::Global {
+                    names,
+                    values: vals[..np].to_vec(),
+                    residual_se: vals[8].abs(),
+                    r2: clamp_unit(vals[9]),
+                    n: rows as usize % 5000,
+                }
+            };
+            let legal_filter = if filt_i == 0 {
+                None
+            } else {
+                Some(lawsdb_expr::parse_expr(FILTERS[filt_i - 1]).expect("filter parses"))
+            };
+            let predicate =
+                if filt_i % 2 == 1 { Some(format!("{table} > 0.5")) } else { None };
+            CapturedModel {
+                id: ModelId(0),   // assigned by the catalog
+                version: 0,       // likewise
+                formula_source: formula.to_string(),
+                rhs: lawsdb_expr::parse_formula(formula).expect("template parses").rhs,
+                params,
+                coverage: Coverage {
+                    table,
+                    response,
+                    variables: var_names.iter().map(|s| s.to_string()).collect(),
+                    rows_at_fit: rows as usize,
+                    predicate,
+                    domains,
+                },
+                overall_r2: clamp_unit(vals[10]),
+                state: [ModelState::Active, ModelState::Stale, ModelState::Retired][state_i],
+                legal_filter,
+            }
+        })
+}
+
+fn build_catalog(models: Vec<CapturedModel>) -> ModelCatalog {
+    let catalog = ModelCatalog::new();
+    for m in models {
+        catalog.store(m);
+    }
+    catalog
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    #[test]
+    fn serialize_load_is_identity(models in prop::collection::vec(arb_model(), 0..4)) {
+        let catalog = build_catalog(models);
+        let bytes = catalog.to_bytes();
+        let restored = ModelCatalog::from_bytes(&bytes);
+        prop_assert!(restored.is_ok(), "valid image must load: {:?}", restored.err());
+        let restored = restored.unwrap();
+        prop_assert_eq!(restored.len(), catalog.len());
+        for original in catalog.all() {
+            let r = restored.get(original.id);
+            prop_assert!(r.is_ok(), "model {:?} lost in roundtrip", original.id);
+            let r = r.unwrap();
+            prop_assert_eq!(&r.formula_source, &original.formula_source);
+            prop_assert_eq!(r.rhs.to_string(), original.rhs.to_string());
+            prop_assert_eq!(&r.params, &original.params);
+            prop_assert_eq!(&r.coverage, &original.coverage);
+            prop_assert_eq!(r.overall_r2.to_bits(), original.overall_r2.to_bits());
+            prop_assert_eq!(r.state, original.state);
+            prop_assert_eq!(r.version, original.version);
+            prop_assert_eq!(
+                r.legal_filter.as_ref().map(|e| e.to_string()),
+                original.legal_filter.as_ref().map(|e| e.to_string())
+            );
+        }
+        // Id allocation resumes where it left off: a new model never
+        // collides with a restored one.
+        let ids: Vec<u64> = restored.all().iter().map(|m| m.id.0).collect();
+        if let Some(probe) = catalog.all().first() {
+            let fresh = restored.store(CapturedModel::clone(probe));
+            prop_assert!(!ids.contains(&fresh.id.0), "fresh id {} collides", fresh.id.0);
+        }
+    }
+
+    #[test]
+    fn every_truncation_prefix_errors(models in prop::collection::vec(arb_model(), 1..3)) {
+        let bytes = build_catalog(models).to_bytes();
+        for cut in 0..bytes.len() {
+            let out = ModelCatalog::from_bytes(&bytes[..cut]);
+            prop_assert!(out.is_err(), "truncation at {cut}/{} decoded", bytes.len());
+        }
+    }
+
+    #[test]
+    fn every_single_byte_flip_errors(
+        models in prop::collection::vec(arb_model(), 1..3),
+        bit in 0usize..8,
+    ) {
+        let bytes = build_catalog(models).to_bytes();
+        for i in 0..bytes.len() {
+            let mut corrupt = bytes.clone();
+            corrupt[i] ^= 1 << bit;
+            let out = ModelCatalog::from_bytes(&corrupt);
+            prop_assert!(out.is_err(), "flip of byte {i} bit {bit} decoded");
+        }
+    }
+}

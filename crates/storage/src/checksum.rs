@@ -1,0 +1,68 @@
+//! CRC-32 (IEEE 802.3, reflected, polynomial 0xEDB88320).
+//!
+//! The durability layer checksums every WAL frame, superblock and data
+//! blob so recovery can tell a torn or bit-flipped write from a good
+//! one. Implemented from scratch (offline build, no `crc` crate) with a
+//! compile-time lookup table; CRC-32 detects all single-bit errors and
+//! every burst error up to 32 bits, which covers the fault models the
+//! crash-matrix harness injects.
+
+/// Byte-at-a-time lookup table, built at compile time.
+const CRC_TABLE: [u32; 256] = make_table();
+
+const fn make_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+/// CRC-32 of `bytes` (init `0xFFFFFFFF`, final xor `0xFFFFFFFF`).
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        c = CRC_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    !c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // The standard check value for CRC-32/IEEE.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"a"), 0xE8B7_BE43);
+    }
+
+    #[test]
+    fn detects_single_bit_flips() {
+        let base = b"the laws of data nature".to_vec();
+        let reference = crc32(&base);
+        for i in 0..base.len() {
+            for bit in 0..8 {
+                let mut flipped = base.clone();
+                flipped[i] ^= 1 << bit;
+                assert_ne!(crc32(&flipped), reference, "byte {i} bit {bit}");
+            }
+        }
+    }
+
+    #[test]
+    fn zero_runs_are_distinguished_from_empty() {
+        assert_ne!(crc32(&[0u8; 16]), crc32(&[0u8; 17]));
+        assert_ne!(crc32(&[0u8; 16]), 0);
+    }
+}

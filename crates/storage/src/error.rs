@@ -78,6 +78,16 @@ pub enum StorageError {
         /// Explanation.
         reason: &'static str,
     },
+    /// A device-level IO failure: an oversized write, an injected
+    /// fault, or any operation attempted after a simulated crash.
+    Io {
+        /// The operation that failed (`"read"`, `"write"`, …).
+        op: &'static str,
+        /// The page involved.
+        page: u64,
+        /// Details.
+        detail: String,
+    },
 }
 
 impl fmt::Display for StorageError {
@@ -107,6 +117,9 @@ impl fmt::Display for StorageError {
                 write!(f, "duplicate column name {name:?}")
             }
             StorageError::InvalidTable { reason } => write!(f, "invalid table: {reason}"),
+            StorageError::Io { op, page, detail } => {
+                write!(f, "io error during {op} of page {page}: {detail}")
+            }
         }
     }
 }

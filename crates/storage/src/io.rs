@@ -66,6 +66,39 @@ impl IoStats {
     }
 }
 
+/// The block-device abstraction the pager and the durability layer
+/// write through.
+///
+/// [`SimulatedDevice`] is the plain implementation;
+/// [`crate::fault::FaultyDevice`] wraps one and injects scheduled
+/// faults, which is how the crash-matrix harness exercises every
+/// recovery path without a real disk.
+pub trait BlockDevice {
+    /// Page size in bytes.
+    fn page_size(&self) -> usize;
+
+    /// Number of pages ever allocated.
+    fn page_count(&self) -> usize;
+
+    /// Allocate a fresh zeroed page, returning its id. Allocation is
+    /// metadata (no media access) and is not a fault point.
+    fn allocate(&mut self) -> u64;
+
+    /// Write a full page; `data` longer than the page size is an
+    /// error, shorter data is zero-padded.
+    fn write_page(&mut self, id: u64, data: &[u8]) -> crate::Result<()>;
+
+    /// Read a full page into an owned buffer (counted as one device
+    /// operation).
+    fn read_page_owned(&self, id: u64) -> crate::Result<Vec<u8>>;
+
+    /// Current access counters.
+    fn stats(&self) -> IoStats;
+
+    /// Reset all counters (between benchmark phases).
+    fn reset_stats(&self);
+}
+
 /// An in-memory "device" of fixed-size pages with atomic counters.
 ///
 /// Thread-safe for counting; page content operations take `&mut self`
@@ -118,8 +151,9 @@ impl SimulatedDevice {
             .get_mut(id as usize)
             .ok_or(crate::StorageError::PageNotFound { page: id })?;
         if data.len() > page.len() {
-            return Err(crate::StorageError::CodecInput {
-                codec: "device",
+            return Err(crate::StorageError::Io {
+                op: "write",
+                page: id,
                 detail: format!("write of {} bytes exceeds page size {}", data.len(), page.len()),
             });
         }
@@ -141,6 +175,13 @@ impl SimulatedDevice {
         Ok(page)
     }
 
+    /// Uncounted raw view of a page's current content, if allocated.
+    /// Support for fault injection (torn writes must mix old and new
+    /// bytes) and post-mortem inspection — never a data path.
+    pub fn peek_page(&self, id: u64) -> Option<&[u8]> {
+        self.pages.get(id as usize).map(Vec::as_slice)
+    }
+
     /// Current counters (cache hits are tracked by the pager, not here).
     pub fn stats(&self) -> IoStats {
         IoStats {
@@ -158,6 +199,36 @@ impl SimulatedDevice {
         self.pages_written.store(0, Ordering::Relaxed);
         self.bytes_read.store(0, Ordering::Relaxed);
         self.bytes_written.store(0, Ordering::Relaxed);
+    }
+}
+
+impl BlockDevice for SimulatedDevice {
+    fn page_size(&self) -> usize {
+        SimulatedDevice::page_size(self)
+    }
+
+    fn page_count(&self) -> usize {
+        SimulatedDevice::page_count(self)
+    }
+
+    fn allocate(&mut self) -> u64 {
+        SimulatedDevice::allocate(self)
+    }
+
+    fn write_page(&mut self, id: u64, data: &[u8]) -> crate::Result<()> {
+        SimulatedDevice::write_page(self, id, data)
+    }
+
+    fn read_page_owned(&self, id: u64) -> crate::Result<Vec<u8>> {
+        SimulatedDevice::read_page(self, id).map(<[u8]>::to_vec)
+    }
+
+    fn stats(&self) -> IoStats {
+        SimulatedDevice::stats(self)
+    }
+
+    fn reset_stats(&self) {
+        SimulatedDevice::reset_stats(self)
     }
 }
 
@@ -197,7 +268,17 @@ mod tests {
     fn oversized_write_rejected() {
         let mut d = SimulatedDevice::new(64);
         let p = d.allocate();
-        assert!(d.write_page(p, &[0; 65]).is_err());
+        // Must be a structured IO error, and the page must be untouched.
+        let err = d.write_page(p, &[7; 65]).unwrap_err();
+        assert!(
+            matches!(err, crate::StorageError::Io { op: "write", page, .. } if page == p),
+            "{err}"
+        );
+        assert!(d.peek_page(p).unwrap().iter().all(|&b| b == 0));
+        // The failed attempt is not billed as a completed write.
+        assert_eq!(d.stats().pages_written, 0);
+        // An exactly page-sized write is fine.
+        assert!(d.write_page(p, &[7; 64]).is_ok());
     }
 
     #[test]

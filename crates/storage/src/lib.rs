@@ -21,6 +21,12 @@
 //!   paper's "true semantic compression": store residuals between
 //!   observed and model-predicted values and recompute the original
 //!   data losslessly.
+//! * A **durability layer** ([`wal::DurableStore`]): write-ahead log +
+//!   shadow paging + dual CRC-guarded superblocks, so every table and
+//!   catalog commit is atomic and `recover()` lands on exactly the pre-
+//!   or post-commit state after a crash. A deterministic fault-injecting
+//!   device ([`fault::FaultyDevice`]) crash-tests the protocol at every
+//!   device operation.
 //!
 //! The crate knows nothing about models or queries; the residual codec
 //! takes predictions as plain slices, keeping the dependency arrow
@@ -36,9 +42,11 @@
 pub mod bitmap;
 pub mod buffer;
 pub mod catalog;
+pub mod checksum;
 pub mod column;
 pub mod compress;
 pub mod error;
+pub mod fault;
 pub mod io;
 pub mod page;
 pub mod pager;
@@ -46,11 +54,16 @@ pub mod schema;
 pub mod stats;
 pub mod table;
 pub mod value;
+pub mod wal;
 
 pub use buffer::Buffer;
 pub use catalog::Catalog;
+pub use checksum::crc32;
 pub use column::Column;
 pub use error::{Result, StorageError};
+pub use fault::{FaultMode, FaultSchedule, FaultyDevice};
+pub use io::{BlockDevice, DeviceProfile, IoStats, SimulatedDevice};
 pub use schema::{DataType, Field, Schema};
 pub use table::{Table, TableBuilder};
 pub use value::Value;
+pub use wal::{DurableStore, RecoveryReport, StoredTable};

@@ -310,6 +310,69 @@ mod tests {
     }
 
     #[test]
+    fn lru_evicts_in_recency_order() {
+        // Three single-page streams against a 2-page cache let us pin
+        // down the exact eviction order.
+        let mut p = Pager::new(128, 2);
+        let a = p.write_stream(&[1u8; 100]).unwrap();
+        let b = p.write_stream(&[2u8; 100]).unwrap();
+        let c = p.write_stream(&[3u8; 100]).unwrap();
+        p.reset();
+        p.read_stream(&a).unwrap(); // miss → cache {a}
+        p.read_stream(&b).unwrap(); // miss → cache {a, b}
+        p.read_stream(&a).unwrap(); // hit → b is now least recent
+        p.read_stream(&c).unwrap(); // miss → evicts b → cache {a, c}
+        let s = p.stats();
+        assert_eq!((s.pages_read, s.cache_hits), (3, 1));
+        p.read_stream(&a).unwrap(); // still cached
+        p.read_stream(&c).unwrap(); // still cached
+        let s = p.stats();
+        assert_eq!((s.pages_read, s.cache_hits), (3, 3));
+        p.read_stream(&b).unwrap(); // the victim: must miss
+        assert_eq!(p.stats().pages_read, 4);
+    }
+
+    #[test]
+    fn cache_hits_never_touch_the_device() {
+        let mut p = Pager::new(128, 1024);
+        let t = demo_table(100);
+        p.store_table(&t).unwrap();
+        p.reset();
+        p.read_table("demo").unwrap();
+        let cold = p.stats();
+        assert_eq!(cold.cache_hits, 0, "cold scan misses everywhere");
+        for _ in 0..3 {
+            p.read_table("demo").unwrap();
+        }
+        let warm = p.stats();
+        // Repeat scans are pure cache traffic: hits climb, every device
+        // counter stays frozen.
+        assert_eq!(warm.pages_read, cold.pages_read);
+        assert_eq!(warm.bytes_read, cold.bytes_read);
+        assert_eq!(warm.pages_written, cold.pages_written);
+        assert_eq!(warm.cache_hits, 3 * cold.pages_read);
+    }
+
+    #[test]
+    fn read_stream_trims_partial_final_page() {
+        let mut p = Pager::new(128, 4);
+        // 300 bytes over 128-byte pages: 2 full pages + 44 bytes used
+        // of the third.
+        let payload: Vec<u8> = (0..300u32).map(|i| (i % 251) as u8).collect();
+        let e = p.write_stream(&payload).unwrap();
+        assert_eq!(e.pages.len(), 3);
+        assert_eq!(e.byte_len, 300);
+        assert_eq!(p.read_stream(&e).unwrap(), payload, "cold read");
+        assert_eq!(p.read_stream(&e).unwrap(), payload, "cached read");
+        // A column whose serialization is an exact page multiple must
+        // not gain or lose trailing bytes either.
+        let exact = vec![0xEEu8; 256];
+        let e2 = p.write_stream(&exact).unwrap();
+        assert_eq!(e2.pages.len(), 2);
+        assert_eq!(p.read_stream(&e2).unwrap(), exact);
+    }
+
+    #[test]
     fn missing_names_error() {
         let mut p = Pager::new(128, 0);
         assert!(p.read_table("zz").is_err());

@@ -1,0 +1,208 @@
+//! The crash matrix: every device operation of a durable workload is a
+//! crash point, and recovery from each one must land on exactly the
+//! pre- or post-commit state — never a hybrid, never a panic.
+//!
+//! The harness runs the workload once fault-free to count device
+//! operations (the *golden run*), then re-runs it once per operation
+//! index with a fault injected there, cycling through all
+//! [`FaultMode`]s. After each crash the surviving disk image is
+//! re-opened with a clean device and the recovered state is compared
+//! against the in-memory expectation for its commit sequence.
+//!
+//! The base seed is fixed for reproducibility; set `LAWSDB_FAULT_SEED`
+//! to explore a different deterministic schedule (CI runs one random
+//! seed per build and logs it).
+
+use lawsdb_storage::fault::{FaultMode, FaultSchedule, FaultyDevice};
+use lawsdb_storage::io::SimulatedDevice;
+use lawsdb_storage::wal::DurableStore;
+use lawsdb_storage::{Table, TableBuilder};
+
+const PAGE_SIZE: usize = 256;
+const WAL_PAGES: usize = 8;
+
+type Step = Box<dyn Fn(&mut DurableStore<FaultyDevice>) -> lawsdb_storage::Result<()>>;
+const DEFAULT_SEED: u64 = 0xC1D2_2015;
+
+fn base_seed() -> u64 {
+    match std::env::var("LAWSDB_FAULT_SEED") {
+        Ok(s) => s.trim().parse().expect("LAWSDB_FAULT_SEED must be a u64"),
+        Err(_) => DEFAULT_SEED,
+    }
+}
+
+fn law_table(version: u32) -> Table {
+    // A LOFAR-ish measurement table; `version` changes both shape and
+    // content so pre/post states are unmistakable.
+    let rows = 30 + version as usize * 10;
+    let mut b = TableBuilder::new("measurements");
+    b.add_i64("source", (0..rows as i64).map(|i| i / 3).collect());
+    b.add_f64("intensity", (0..rows).map(|i| (i as f64 + version as f64).ln_1p()).collect());
+    b.build().unwrap()
+}
+
+fn aux_table() -> Table {
+    let mut b = TableBuilder::new("aux");
+    b.add_str("name", vec!["cygnus".into(), "cassiopeia".into()]);
+    b.add_f64_opt("flux", vec![Some(8.1), None]);
+    b.build().unwrap()
+}
+
+fn catalog_image(version: u32) -> Vec<u8> {
+    (0..120u32).map(|i| (i.wrapping_mul(7) ^ version) as u8).collect()
+}
+
+/// One workload step = one atomic commit attempt.
+fn steps() -> Vec<Step> {
+    vec![
+        Box::new(|s| s.store_table(&law_table(1))),
+        Box::new(|s| s.put_catalog(&catalog_image(1))),
+        Box::new(|s| s.replace_table(&law_table(2))),
+        Box::new(|s| s.store_table(&aux_table())),
+        Box::new(|s| s.drop_table("aux")),
+    ]
+}
+
+/// The exact state the store must hold at commit sequence `seq`.
+fn expected_state(seq: u64) -> (Vec<Table>, Option<Vec<u8>>) {
+    match seq {
+        0 => (vec![], None),
+        1 => (vec![law_table(1)], None),
+        2 => (vec![law_table(1)], Some(catalog_image(1))),
+        3 => (vec![law_table(2)], Some(catalog_image(1))),
+        4 => (vec![aux_table(), law_table(2)], Some(catalog_image(1))),
+        5 => (vec![law_table(2)], Some(catalog_image(1))),
+        other => panic!("workload never reaches seq {other}"),
+    }
+}
+
+/// Run the workload under `schedule`; returns (commits that completed,
+/// surviving disk image).
+fn run_workload(schedule: FaultSchedule) -> (u64, SimulatedDevice, u64) {
+    let device = FaultyDevice::new(SimulatedDevice::new(PAGE_SIZE), schedule);
+    let mut store = DurableStore::new(device, WAL_PAGES);
+    let mut commits_ok = 0u64;
+    if store.recover().is_ok() {
+        for step in steps() {
+            match step(&mut store) {
+                Ok(()) => commits_ok += 1,
+                Err(_) => break, // crashed: every later op fails too
+            }
+        }
+    }
+    let faulty = store.into_device();
+    let ops = faulty.op_count();
+    (commits_ok, faulty.into_inner(), ops)
+}
+
+/// Re-open a surviving image on a clean device and check it against the
+/// in-memory expectation for whatever sequence it recovered to.
+fn assert_recovers_cleanly(image: SimulatedDevice, commits_ok: u64, context: &str) {
+    let mut store = DurableStore::new(image, WAL_PAGES);
+    let report = store
+        .recover()
+        .unwrap_or_else(|e| panic!("{context}: recovery failed on a clean device: {e}"));
+    let seq = report.seq;
+    // The crashed step either never reached its commit point (state =
+    // all completed commits) or crashed after it (state includes the
+    // in-flight commit). Nothing else is acceptable.
+    assert!(
+        seq == commits_ok || seq == commits_ok + 1,
+        "{context}: recovered to seq {seq}, but {commits_ok} commits completed"
+    );
+    let (tables, catalog) = expected_state(seq);
+    let names: Vec<String> = tables.iter().map(|t| t.name().to_string()).collect();
+    assert_eq!(store.table_names(), names, "{context}: table set at seq {seq}");
+    for want in &tables {
+        let got = store
+            .read_table(want.name())
+            .unwrap_or_else(|e| panic!("{context}: reading {:?}: {e}", want.name()));
+        assert_eq!(&got, want, "{context}: content of {:?} at seq {seq}", want.name());
+    }
+    let got_catalog = store.catalog().unwrap_or_else(|e| panic!("{context}: catalog: {e}"));
+    assert_eq!(got_catalog, catalog, "{context}: catalog image at seq {seq}");
+}
+
+#[test]
+fn golden_run_commits_everything() {
+    let (commits_ok, image, ops) = run_workload(FaultSchedule::none());
+    assert_eq!(commits_ok, 5, "fault-free run completes all steps");
+    assert!(ops > 20, "workload is non-trivial ({ops} ops)");
+    assert_recovers_cleanly(image, commits_ok, "golden");
+}
+
+#[test]
+fn every_crash_point_recovers_to_pre_or_post_state() {
+    let seed = base_seed();
+    let (_, _, total_ops) = run_workload(FaultSchedule::none());
+    println!("crash matrix: {total_ops} crash points, seed {seed:#x}");
+    for crash_op in 0..total_ops {
+        let mode = FaultMode::ALL[crash_op as usize % FaultMode::ALL.len()];
+        let schedule = FaultSchedule::crash_at(crash_op, mode, seed);
+        let (commits_ok, image, _) = run_workload(schedule);
+        assert!(commits_ok < 5, "crash at {crash_op} must bite before the workload finishes");
+        let context = format!("crash at op {crash_op} ({mode:?}, seed {seed:#x})");
+        assert_recovers_cleanly(image, commits_ok, &context);
+    }
+}
+
+#[test]
+fn every_fault_mode_covers_every_crash_point() {
+    // The cycling test above gives each op one mode; this denser pass
+    // gives every op *every* mode, on a shorter stride to stay fast.
+    let seed = base_seed() ^ 0x5EED;
+    let (_, _, total_ops) = run_workload(FaultSchedule::none());
+    for crash_op in (0..total_ops).step_by(3) {
+        for mode in FaultMode::ALL {
+            let schedule = FaultSchedule::crash_at(crash_op, mode, seed);
+            let (commits_ok, image, _) = run_workload(schedule);
+            let context = format!("dense crash at op {crash_op} ({mode:?})");
+            assert_recovers_cleanly(image, commits_ok, &context);
+        }
+    }
+}
+
+#[test]
+fn double_crash_still_recovers() {
+    // Crash once, recover, then crash again at every op of the *next*
+    // transaction: recovery must also be crash-safe against a second
+    // failure on the already-recovered image.
+    let seed = base_seed().rotate_left(17);
+    let (_, _, total_ops) = run_workload(FaultSchedule::none());
+    let first_crash = total_ops / 2;
+    for second_crash in 0..40 {
+        let mode = FaultMode::ALL[second_crash as usize % FaultMode::ALL.len()];
+        // First crash mid-workload.
+        let (_, image, _) =
+            run_workload(FaultSchedule::crash_at(first_crash, FaultMode::TornPage, seed));
+        // Settle the image once (fault-free) to fix the baseline seq.
+        let mut settle = DurableStore::new(image, WAL_PAGES);
+        let baseline = settle.recover().expect("first recovery is fault-free").seq;
+        // Now run one more commit with a second fault schedule active.
+        let device =
+            FaultyDevice::new(settle.into_device(), FaultSchedule::crash_at(second_crash, mode, seed));
+        let mut store = DurableStore::new(device, WAL_PAGES);
+        let mut commits_ok = baseline;
+        if store.recover().is_ok() && store.put_catalog(&catalog_image(9)).is_ok() {
+            commits_ok += 1;
+        }
+        let image = store.into_device().into_inner();
+        // After the dust settles the image must open cleanly to exactly
+        // the pre- or post-commit sequence with intact contents.
+        let mut clean = DurableStore::new(image, WAL_PAGES);
+        let report = clean
+            .recover()
+            .unwrap_or_else(|e| panic!("double crash at {second_crash}: {e}"));
+        for name in clean.table_names() {
+            clean
+                .read_table(&name)
+                .unwrap_or_else(|e| panic!("double crash at {second_crash}: {name}: {e}"));
+        }
+        clean.catalog().unwrap_or_else(|e| panic!("double crash at {second_crash}: {e}"));
+        assert!(
+            report.seq == commits_ok || report.seq == commits_ok + 1,
+            "double crash at {second_crash}: seq {} vs {commits_ok} commits",
+            report.seq
+        );
+    }
+}

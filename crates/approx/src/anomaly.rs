@@ -140,6 +140,7 @@ mod tests {
                 domains: Vec::new(),
             },
             overall_r2: 0.9,
+            max_abs_residual: None,
             state: ModelState::Active,
             legal_filter: None,
         }

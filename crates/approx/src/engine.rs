@@ -38,7 +38,8 @@ use lawsdb_models::model::ModelId;
 use lawsdb_models::{CapturedModel, ModelCatalog, ModelParams};
 use lawsdb_query::morsel::parallel_morsels;
 use lawsdb_query::sql::{AggFunc, SelectItem, SelectStatement};
-use lawsdb_query::{parse_select, ExecOptions, ScalarExpr};
+use lawsdb_query::{parse_select, ExecOptions, PruningPredicate, ScalarExpr};
+use lawsdb_storage::zonemap::{PredOp, ZoneEntry};
 use lawsdb_storage::{Catalog, Table, TableBuilder};
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -190,8 +191,32 @@ impl ApproxEngine {
                 }
             })?),
         };
-        let virtual_table =
-            self.reconstruct(&model, &keys, &grid, pure_point, coverage_pred.as_ref())?;
+        // The scan pruner, reused on the model path: sargable conjuncts
+        // on the response column refute whole group keys from each
+        // key's predicted range *before* any tuple materializes (the
+        // reconstructed response IS the prediction, so the residual
+        // bound is zero here).
+        let response_conjuncts: Vec<(PredOp, f64)> = stmt
+            .predicate
+            .as_ref()
+            .and_then(PruningPredicate::extract)
+            .map(|p| {
+                p.conjuncts
+                    .into_iter()
+                    .filter(|c| c.column == model.coverage.response)
+                    .map(|c| (c.op, c.rhs))
+                    .collect()
+            })
+            .unwrap_or_default();
+
+        let virtual_table = self.reconstruct(
+            &model,
+            &keys,
+            &grid,
+            pure_point,
+            coverage_pred.as_ref(),
+            &response_conjuncts,
+        )?;
         let reconstructed = virtual_table.row_count();
 
         // Error bound: 2·max residual SE over involved groups.
@@ -311,6 +336,7 @@ impl ApproxEngine {
         grid: &[Vec<f64>],
         pure_point: bool,
         coverage_pred: Option<&Expr>,
+        response_conjuncts: &[(PredOp, f64)],
     ) -> Result<Table> {
         let vars = &model.coverage.variables;
         let grid_rows = grid_len(grid);
@@ -340,6 +366,30 @@ impl ApproxEngine {
                 vars: vec![Vec::new(); vars.len()],
                 resp: Vec::new(),
             };
+            // Zone-map pruning over the virtual relation: if the key's
+            // whole predicted range refutes a response conjunct, none of
+            // its rows can survive the SQL filter — skip reconstruction.
+            // A non-finite prediction makes the range unbounded (never
+            // prunable), mirroring model-synopsis zone construction.
+            if !pure_point && !response_conjuncts.is_empty() && grid_rows > 0 {
+                let mut lo = f64::INFINITY;
+                let mut hi = f64::NEG_INFINITY;
+                let mut unbounded = false;
+                for &p in &pred {
+                    if !p.is_finite() {
+                        unbounded = true;
+                        break;
+                    }
+                    lo = lo.min(p);
+                    hi = hi.max(p);
+                }
+                if !unbounded && lo <= hi {
+                    let entry = ZoneEntry::bounded(grid_rows as u32, lo, hi);
+                    if response_conjuncts.iter().any(|&(op, rhs)| !entry.may_match(op, rhs)) {
+                        return Ok(out);
+                    }
+                }
+            }
             let mut combo = vec![0.0; vars.len()];
             for row in 0..grid_rows {
                 for (d, g) in grid.iter().enumerate() {
@@ -756,6 +806,34 @@ mod tests {
     }
 
     #[test]
+    fn response_conjuncts_prune_refuted_keys_before_reconstruction() {
+        let (models, _, _) = lofar_setup();
+        let engine = ApproxEngine::new(models);
+        let a = engine
+            .answer(
+                "SELECT source, intensity FROM measurements \
+                 WHERE nu = 0.15 AND intensity > 1.5 ORDER BY source",
+            )
+            .unwrap();
+        // Source 2's predicted intensity at nu = 0.15 (≈0.57) refutes
+        // the conjunct, so its tuple is never reconstructed: only the
+        // four surviving keys materialize.
+        assert_eq!(a.tuples_reconstructed, 4);
+        assert_eq!(a.table.row_count(), 4);
+    }
+
+    #[test]
+    fn unsatisfiable_response_predicate_reconstructs_nothing() {
+        let (models, _, _) = lofar_setup();
+        let engine = ApproxEngine::new(models);
+        let a = engine
+            .answer("SELECT source, intensity FROM measurements WHERE intensity > 1000.0")
+            .unwrap();
+        assert_eq!(a.tuples_reconstructed, 0);
+        assert_eq!(a.table.row_count(), 0);
+    }
+
+    #[test]
     fn unbound_source_enumerates_all_groups_once_per_nu() {
         let (models, _, _) = lofar_setup();
         let engine = ApproxEngine::new(models);
@@ -987,7 +1065,7 @@ mod tests {
         let mut serial = ApproxEngine::new(Arc::clone(&models));
         serial.exec = ExecOptions::serial();
         let mut parallel = ApproxEngine::new(models);
-        parallel.exec = ExecOptions { threads: 4, morsel_rows: 1 };
+        parallel.exec = ExecOptions { threads: 4, morsel_rows: 1, ..ExecOptions::default() };
         // No ORDER BY: row order must already match because per-key
         // partials merge in key order.
         let sql = "SELECT source, nu, intensity FROM measurements";

@@ -61,6 +61,24 @@ fn main() {
                 .unwrap_or_else(|e| die(&format!("writing BENCH_query.json: {e}")));
             println!("\nwrote BENCH_query.json");
         }
+        "bench-scan-pruning" => {
+            let (rows, sources) = match scale {
+                Scale::Small => (50_000, 300),
+                Scale::Medium => (1_000_000, 2_000),
+                Scale::Paper => (4_000_000, 5_000),
+            };
+            let r = exp::scan_pruning::run(rows, sources);
+            exp::scan_pruning::print(&r);
+            let json = exp::scan_pruning::to_json(&r);
+            std::fs::write("BENCH_scan_pruning.json", &json)
+                .unwrap_or_else(|e| die(&format!("writing BENCH_scan_pruning.json: {e}")));
+            println!("\nwrote BENCH_scan_pruning.json");
+            // The zero-IO liveness gate: CI's bench-smoke job runs this
+            // arm, so a dead model-pruning tier fails the build.
+            if !exp::scan_pruning::model_tier_pruned(&r) {
+                die("model tier pruned no pages (pages_pruned_model == 0)");
+            }
+        }
         "bench-durability" => {
             let scales: &[usize] = match scale {
                 Scale::Small => &[20_000, 100_000],
@@ -92,9 +110,13 @@ fn main() {
 fn usage() {
     println!(
         "usage: report [all|table1|figure1|figure2|e4|e5|e6|e7|e8|e9|e10|e11|bench-query|\
-         bench-durability] [--scale small|medium|paper]"
+         bench-scan-pruning|bench-durability] [--scale small|medium|paper]"
     );
     println!("  bench-query: morsel-executor throughput sweep; writes BENCH_query.json");
+    println!(
+        "  bench-scan-pruning: zone-map/model pruning sweep; writes BENCH_scan_pruning.json \
+         (fails if the model tier prunes nothing)"
+    );
     println!("  bench-durability: WAL overhead per device profile; writes BENCH_durability.json");
 }
 

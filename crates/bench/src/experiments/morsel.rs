@@ -92,7 +92,7 @@ pub fn run(row_scales: &[usize]) -> MorselReport {
             let mut base_us = f64::NAN;
             let reference = execute_with(&catalog, sql, &ExecOptions::serial()).expect("ref");
             for &threads in &thread_counts(machine) {
-                let opts = ExecOptions { threads, morsel_rows };
+                let opts = ExecOptions { threads, morsel_rows, ..ExecOptions::default() };
                 // Identical-result check before any timing counts.
                 let got = execute_with(&catalog, sql, &opts).expect("query");
                 assert_eq!(got.rows_scanned, reference.rows_scanned, "{label}");

@@ -229,6 +229,34 @@ impl LawsDb {
         if !passed {
             return Err(CoreError::QualityRejected { r2, min_r2: self.quality.min_r2 });
         }
+        // Attach model-synopsis zones to the response column (the
+        // paper's Tier-2 pruning: `prediction ± max residual` refutes
+        // predicates without reading the column). Whole-table models
+        // only — a partial model's bound says nothing about rows
+        // outside its predicate — and only while the fitted snapshot is
+        // still current. Best-effort: a failed attach keeps the model.
+        if stored.coverage.predicate.is_none() {
+            if let (Some(bound), Ok(current)) =
+                (stored.max_abs_residual, self.table(table_name))
+            {
+                if current.row_count() == stored.coverage.rows_at_fit {
+                    if let Ok(preds) = lawsdb_models::bridge::predict_table(&stored, &current) {
+                        let response = &stored.coverage.response;
+                        let zone_rows = current
+                            .synopsis()
+                            .and_then(|s| s.column(response))
+                            .map(|z| z.zone_rows)
+                            .unwrap_or(lawsdb_storage::DEFAULT_ZONE_ROWS);
+                        let zones = lawsdb_storage::ColumnZones::from_model_bounds(
+                            &preds, bound, zone_rows,
+                        );
+                        if let Ok(zoned) = current.with_model_zones(response, zones) {
+                            self.tables.replace(zoned);
+                        }
+                    }
+                }
+            }
+        }
         // Build the legal-combination Bloom filter from the observed
         // rows (Section 4.2's compressed lookup structure).
         if let Some(bpk) = self.legal_filter_bits_per_key {
@@ -453,8 +481,55 @@ mod tests {
         assert!(lines[1].starts_with("Sort"));
         assert!(lines[2].starts_with("Aggregate"));
         assert!(lines[3].starts_with("Filter"));
-        // Projection pruning visible in the scan node.
-        assert!(lines[4].contains("Scan measurements [intensity, nu, source]"), "{text}");
+        // Scan pruning surfaced below the filter, projection pruning in
+        // the scan node.
+        assert!(lines[4].starts_with("Pruning [nu = 0.15] (exact)"), "{text}");
+        assert!(lines[5].contains("Scan measurements [intensity, nu, source]"), "{text}");
+    }
+
+    #[test]
+    fn capture_attaches_model_zones_that_prune_exact_scans() {
+        let db = lofar_db();
+        db.capture_model(
+            "measurements",
+            "intensity ~ p * nu ^ alpha",
+            Some("source"),
+            &RawFitOptions::default(),
+        )
+        .unwrap();
+        // The response column's zones now carry model provenance.
+        let t = db.table("measurements").unwrap();
+        let z = t.synopsis().unwrap().column("intensity").unwrap();
+        assert_eq!(z.source, lawsdb_storage::ZoneSource::Model);
+        // An exact scan refuted by `prediction ± residual` does no
+        // per-row work, attributed to the model tier.
+        let r = db.query("SELECT intensity FROM measurements WHERE intensity > 1000").unwrap();
+        assert_eq!(r.table.row_count(), 0);
+        assert!(r.scan_stats.pages_pruned_model > 0, "{:?}", r.scan_stats);
+        // A satisfiable scan still answers exactly.
+        let r = db.query("SELECT intensity FROM measurements WHERE intensity > 1").unwrap();
+        let exact =
+            db.query("SELECT COUNT(*) AS n FROM measurements WHERE intensity > 1").unwrap();
+        assert_eq!(
+            lawsdb_storage::Value::Int(r.table.row_count() as i64),
+            exact.table.row(0).unwrap()[0]
+        );
+    }
+
+    #[test]
+    fn partial_capture_leaves_data_zones_untouched() {
+        let db = lofar_db();
+        db.capture_model_where(
+            "measurements",
+            "intensity ~ p * nu ^ alpha",
+            Some("source"),
+            "nu >= 0.16",
+            &RawFitOptions::default().with_initial("alpha", -0.7),
+        )
+        .unwrap();
+        let t = db.table("measurements").unwrap();
+        let z = t.synopsis().unwrap().column("intensity").unwrap();
+        assert_eq!(z.source, lawsdb_storage::ZoneSource::Data);
     }
 
     #[test]

@@ -40,6 +40,27 @@ fn capture_domains(table: &Table, variables: &[String]) -> Vec<(String, Vec<f64>
         .collect()
 }
 
+/// Largest |actual − predicted| over rows of `table` where both are
+/// finite — the model-synopsis pruning bound. `None` when no row has
+/// both finite (then the model bounds nothing). Rows the model cannot
+/// predict (NaN prediction: unfitted group, missing input) are simply
+/// excluded here; zone construction marks their zones unbounded, so the
+/// bound stays sound.
+pub fn max_abs_residual(model: &CapturedModel, table: &Table) -> Result<Option<f64>> {
+    let preds = predict_table(model, table)?;
+    let actual = table.column(&model.coverage.response)?.to_f64_lossy()?;
+    let mut worst: Option<f64> = None;
+    for (&a, &p) in actual.iter().zip(&preds) {
+        if a.is_finite() && p.is_finite() {
+            let r = (a - p).abs();
+            if worst.map(|w| r > w).unwrap_or(true) {
+                worst = Some(r);
+            }
+        }
+    }
+    Ok(worst)
+}
+
 /// Fit `formula_src` globally against `table` and wrap the result as a
 /// captured model (id/version 0 — the catalog assigns real ones).
 pub fn fit_table(
@@ -63,7 +84,7 @@ pub fn fit_table(
     let domains = capture_domains(table, &split.variables);
     let names: Vec<String> = fit.params.iter().map(|(n, _)| n.clone()).collect();
     let values: Vec<f64> = fit.params.iter().map(|(_, v)| *v).collect();
-    Ok(CapturedModel {
+    let mut model = CapturedModel {
         id: ModelId(0),
         version: 0,
         formula_source: formula.source.clone(),
@@ -84,9 +105,12 @@ pub fn fit_table(
             domains,
         },
         overall_r2: fit.diagnostics.r2,
+        max_abs_residual: None,
         state: ModelState::Active,
         legal_filter: None,
-    })
+    };
+    model.max_abs_residual = max_abs_residual(&model, table)?;
+    Ok(model)
 }
 
 /// Fit `formula_src` per group of `group_column` and wrap the per-group
@@ -143,7 +167,7 @@ pub fn fit_table_grouped(
     }
     let domains = capture_domains(table, &split.variables);
     let overall_r2 = grouped.overall_r2();
-    let model = CapturedModel {
+    let mut model = CapturedModel {
         id: ModelId(0),
         version: 0,
         formula_source: formula.source.clone(),
@@ -162,9 +186,11 @@ pub fn fit_table_grouped(
             domains,
         },
         overall_r2,
+        max_abs_residual: None,
         state: ModelState::Active,
         legal_filter: None,
     };
+    model.max_abs_residual = max_abs_residual(&model, table)?;
     Ok((model, grouped))
 }
 

@@ -232,6 +232,7 @@ mod tests {
                 domains: Vec::new(),
             },
             overall_r2: r2,
+            max_abs_residual: None,
             state: ModelState::Active,
             legal_filter: None,
         }

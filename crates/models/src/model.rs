@@ -149,6 +149,12 @@ pub struct CapturedModel {
     pub coverage: Coverage,
     /// Pooled R² over the coverage (grouped: 1 − ΣRSS/ΣTSS).
     pub overall_r2: f64,
+    /// Largest |actual − predicted| observed over the fitted rows, if
+    /// any row had both values finite. This is the model-synopsis
+    /// pruning bound: every stored response value lies within
+    /// `prediction ± max_abs_residual`, so a scan can refute a
+    /// predicate against the model without reading the column.
+    pub max_abs_residual: Option<f64>,
     /// Lifecycle state.
     pub state: ModelState,
     /// Optional legal-domain filter for parameter-space enumeration
@@ -335,6 +341,7 @@ mod tests {
                 domains: Vec::new(),
             },
             overall_r2: 0.97,
+            max_abs_residual: None,
             state: ModelState::Active,
             legal_filter: None,
         }
@@ -429,6 +436,7 @@ mod tests {
                 domains: Vec::new(),
             },
             overall_r2: 0.99,
+            max_abs_residual: None,
             state: ModelState::Active,
             legal_filter: None,
         };

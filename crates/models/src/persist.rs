@@ -13,6 +13,7 @@
 //! format version | next_id | model count
 //! per model:
 //!   id | version | state u8 | overall_r2 f64 |
+//!   max_abs_residual (tag u8, f64 when present) |
 //!   formula source | optional legal-filter source |
 //!   coverage { table | response | variables | rows_at_fit |
 //!              optional predicate | domains } |
@@ -33,7 +34,7 @@ use lawsdb_storage::compress::varint;
 use std::collections::HashMap;
 
 const MAGIC: &[u8; 4] = b"LAWM";
-const FORMAT_VERSION: u64 = 2;
+const FORMAT_VERSION: u64 = 3;
 /// Byte offset where the checksummed region starts (magic + crc32).
 const BODY_START: usize = 8;
 
@@ -100,6 +101,13 @@ fn encode_model(out: &mut Vec<u8>, m: &CapturedModel) {
         ModelState::Retired => 2,
     });
     put_f64(out, m.overall_r2);
+    match m.max_abs_residual {
+        None => out.push(0),
+        Some(b) => {
+            out.push(1);
+            put_f64(out, b);
+        }
+    }
     put_str(out, &m.formula_source);
     put_opt_str(out, m.legal_filter.as_ref().map(|e| e.to_string()).as_deref());
     // Coverage.
@@ -168,6 +176,17 @@ fn decode_model(buf: &[u8], pos: &mut usize) -> Result<CapturedModel> {
     };
     *pos += 1;
     let overall_r2 = get_f64(buf, pos)?;
+    let max_abs_residual = match buf.get(*pos) {
+        Some(0) => {
+            *pos += 1;
+            None
+        }
+        Some(1) => {
+            *pos += 1;
+            Some(get_f64(buf, pos)?)
+        }
+        _ => return Err(bad("bad residual-bound tag")),
+    };
     let formula_source = get_str(buf, pos)?;
     let legal_src = get_opt_str(buf, pos)?;
     let formula = lawsdb_expr::parse_formula(&formula_source)?;
@@ -263,6 +282,7 @@ fn decode_model(buf: &[u8], pos: &mut usize) -> Result<CapturedModel> {
         params,
         coverage: Coverage { table, response, variables, rows_at_fit, predicate, domains },
         overall_r2,
+        max_abs_residual,
         state,
         legal_filter,
     })

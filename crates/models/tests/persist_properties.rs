@@ -90,6 +90,7 @@ fn arb_model() -> impl Strategy<Value = CapturedModel> {
                     domains,
                 },
                 overall_r2: clamp_unit(vals[10]),
+                max_abs_residual: None,
                 state: [ModelState::Active, ModelState::Stale, ModelState::Retired][state_i],
                 legal_filter,
             }

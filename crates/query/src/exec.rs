@@ -10,23 +10,29 @@ use crate::error::{QueryError, Result};
 use crate::morsel::{morsel_ranges, parallel_morsels, ExecOptions};
 use crate::optimize::optimize;
 use crate::plan::{AggSpec, LogicalPlan};
+use crate::pruning::{PruningPredicate, ScanStats, ScanStatsCollector, ZoneDecision};
 use crate::sexpr::ScalarExpr;
 use crate::sql::{parse_select, AggFunc, OrderBy};
 use lawsdb_storage::schema::{DataType, Field, Schema};
 use lawsdb_storage::{Catalog, Column, Table, Value};
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Result of executing a query: the output table plus the exact number
 /// of base-table rows the executor materialized.
 ///
 /// `rows_scanned` is the paper's currency — the approximate engine's
-/// whole point is answering with `rows_scanned == 0`.
+/// whole point is answering with `rows_scanned == 0`. It deliberately
+/// keeps its pre-pruning meaning (rows the scans covered); the zones
+/// that pruning actually skipped are reported in `scan_stats`.
 #[derive(Debug, Clone)]
 pub struct QueryResult {
     /// Output rows.
     pub table: Table,
     /// Base-table rows materialized by scans.
     pub rows_scanned: usize,
+    /// Zone-level pruning counters for this query.
+    pub scan_stats: ScanStats,
 }
 
 /// Parse, plan, optimize and execute a SELECT statement with default
@@ -55,9 +61,15 @@ pub fn execute_plan_with(
     plan: &LogicalPlan,
     opts: &ExecOptions,
 ) -> Result<QueryResult> {
+    // Always collect pruning stats; a caller-supplied collector keeps
+    // accumulating across queries, so report this query as a delta.
+    let collector: Arc<ScanStatsCollector> = opts.stats.clone().unwrap_or_default();
+    let before = collector.snapshot();
+    let opts = ExecOptions { stats: Some(collector.clone()), ..opts.clone() };
     let mut scanned = 0usize;
-    let table = exec(catalog, plan, &mut scanned, opts)?;
-    Ok(QueryResult { table, rows_scanned: scanned })
+    let table = exec(catalog, plan, &mut scanned, &opts)?;
+    let scan_stats = collector.snapshot().since(&before);
+    Ok(QueryResult { table, rows_scanned: scanned, scan_stats })
 }
 
 /// Materialize a base-table scan: zero-copy clone/projection plus the
@@ -197,12 +209,53 @@ fn scan_pipeline(plan: &LogicalPlan) -> Option<ScanPipeline<'_>> {
 /// a zero-copy slice and reports offset-adjusted global row indices;
 /// concatenating them in morsel order reproduces the serial selection
 /// exactly, and a single `take` materializes the output.
+///
+/// When the input table carries a synopsis and the predicate has
+/// sargable conjuncts, each worker first splits its morsel into
+/// zone-aligned chunks: refuted zones are skipped without touching a
+/// value, constant zones that satisfy the whole predicate accept every
+/// row without evaluation, and only inconclusive chunks fall through to
+/// per-row `eval_mask`. Pruning never changes the kept row set (skipped
+/// zones provably hold no TRUE rows), so output is bit-identical to the
+/// unpruned path.
 fn parallel_filter(t: &Table, predicate: &ScalarExpr, opts: &ExecOptions) -> Result<Table> {
-    let locals = parallel_morsels(t.row_count(), opts, |offset, len| {
-        let m = t.slice(offset, len)?;
-        let mask = predicate.eval_mask(&m)?;
-        Ok(mask.selected_indices().into_iter().map(|i| offset + i).collect::<Vec<usize>>())
-    })?;
+    let pruner = if opts.pruning { PruningPredicate::extract(predicate) } else { None };
+    let locals = match (&pruner, t.synopsis()) {
+        (Some(pruner), Some(synopsis)) => {
+            parallel_morsels(t.row_count(), opts, |offset, len| {
+                let mut stats = ScanStats::default();
+                let chunks =
+                    pruner.plan_range(synopsis, pruner.grid(synopsis), offset, len, &mut stats);
+                let mut keep = Vec::new();
+                for (o, l, d) in chunks {
+                    match d {
+                        ZoneDecision::Skip(_) => {}
+                        ZoneDecision::AcceptAll => keep.extend(o..o + l),
+                        ZoneDecision::Eval => {
+                            let m = t.slice(o, l)?;
+                            let mask = predicate.eval_mask(&m)?;
+                            keep.extend(
+                                mask.selected_indices().into_iter().map(|i| o + i),
+                            );
+                        }
+                    }
+                }
+                if let Some(c) = &opts.stats {
+                    c.add(&stats);
+                }
+                Ok(keep)
+            })?
+        }
+        _ => parallel_morsels(t.row_count(), opts, |offset, len| {
+            let m = t.slice(offset, len)?;
+            let mask = predicate.eval_mask(&m)?;
+            Ok(mask
+                .selected_indices()
+                .into_iter()
+                .map(|i| offset + i)
+                .collect::<Vec<usize>>())
+        })?,
+    };
     let keep: Vec<usize> = locals.concat();
     Ok(t.take(&keep)?)
 }
@@ -522,6 +575,35 @@ struct GroupPartial {
     accs: Vec<Vec<Accumulator>>,
 }
 
+/// Running group-and-accumulate state for one morsel. Zone pruning
+/// feeds a morsel to [`Self::accumulate`] in several row-range chunks;
+/// sharing the accumulators across chunks keeps every floating-point
+/// add in the exact order a single unchunked pass would perform it, so
+/// pruned aggregates stay bit-identical to the exhaustive scan.
+struct MorselAccumulator<'a> {
+    group_by: &'a [String],
+    args: &'a [AggArg],
+    n_aggs: usize,
+    groups: HashMap<Vec<KeyPart>, usize>,
+    part: GroupPartial,
+}
+
+impl<'a> MorselAccumulator<'a> {
+    fn new(group_by: &'a [String], args: &'a [AggArg], n_aggs: usize) -> Self {
+        MorselAccumulator {
+            group_by,
+            args,
+            n_aggs,
+            groups: HashMap::new(),
+            part: GroupPartial { keys: Vec::new(), first_rows: Vec::new(), accs: Vec::new() },
+        }
+    }
+
+    fn finish(self) -> GroupPartial {
+        self.part
+    }
+}
+
 /// Group-and-accumulate one morsel (`m` is the zero-copy slice starting
 /// at global row `offset`). The optional predicate mask is fused in:
 /// only known-TRUE rows feed the accumulators.
@@ -533,7 +615,20 @@ fn accumulate_morsel(
     args: &[AggArg],
     n_aggs: usize,
 ) -> Result<GroupPartial> {
-    let mask = predicate.map(|p| p.eval_mask(m)).transpose()?;
+    let mut acc = MorselAccumulator::new(group_by, args, n_aggs);
+    acc.accumulate(m, offset, predicate)?;
+    Ok(acc.finish())
+}
+
+impl MorselAccumulator<'_> {
+    fn accumulate(
+        &mut self,
+        m: &Table,
+        offset: usize,
+        predicate: Option<&ScalarExpr>,
+    ) -> Result<()> {
+        let (group_by, args, n_aggs) = (self.group_by, self.args, self.n_aggs);
+        let mask = predicate.map(|p| p.eval_mask(m)).transpose()?;
     let mut arg_data = Vec::with_capacity(args.len());
     for a in args {
         arg_data.push(match a {
@@ -556,8 +651,7 @@ fn accumulate_morsel(
         .iter()
         .map(|g| m.column(g))
         .collect::<lawsdb_storage::Result<_>>()?;
-    let mut groups: HashMap<Vec<KeyPart>, usize> = HashMap::new();
-    let mut part = GroupPartial { keys: Vec::new(), first_rows: Vec::new(), accs: Vec::new() };
+    let (groups, part) = (&mut self.groups, &mut self.part);
     for row in 0..m.row_count() {
         if let Some(mask) = &mask {
             if !mask.truth().get(row) {
@@ -595,7 +689,8 @@ fn accumulate_morsel(
             }
         }
     }
-    Ok(part)
+    Ok(())
+    }
 }
 
 /// Fold per-morsel partials, in morsel order, into one global state.
@@ -662,6 +757,12 @@ fn assemble_aggregate(
 
 /// Morsel-parallel aggregation over a scanned table, with an optional
 /// fused filter predicate.
+///
+/// The fused predicate gets the same zone pruning as
+/// [`parallel_filter`]: skipped zones hold no predicate-TRUE rows and
+/// so contribute nothing to any accumulator; accept-all zones
+/// accumulate without evaluating the mask. Partial merge order is
+/// unchanged, so sums stay bit-identical to the unpruned plan.
 fn aggregate_pipeline(
     t: &Table,
     predicate: Option<&ScalarExpr>,
@@ -674,10 +775,39 @@ fn aggregate_pipeline(
         .map(|g| normalize_name(t.schema(), g))
         .collect::<Result<_>>()?;
     let args = prepare_agg_args(t, aggs)?;
-    let parts = parallel_morsels(t.row_count(), opts, |offset, len| {
-        let m = t.slice(offset, len)?;
-        accumulate_morsel(&m, offset, predicate, &group_by, &args, aggs.len())
-    })?;
+    let pruner = match (opts.pruning, predicate) {
+        (true, Some(p)) => PruningPredicate::extract(p),
+        _ => None,
+    };
+    let parts = match (&pruner, t.synopsis()) {
+        (Some(pruner), Some(synopsis)) => {
+            parallel_morsels(t.row_count(), opts, |offset, len| {
+                let mut stats = ScanStats::default();
+                let chunks =
+                    pruner.plan_range(synopsis, pruner.grid(synopsis), offset, len, &mut stats);
+                // One shared accumulator for every surviving chunk, so
+                // the add order matches an unchunked pass over this
+                // morsel exactly (see [`MorselAccumulator`]).
+                let mut acc = MorselAccumulator::new(&group_by, &args, aggs.len());
+                for (o, l, d) in chunks {
+                    let pred = match d {
+                        ZoneDecision::Skip(_) => continue,
+                        ZoneDecision::AcceptAll => None,
+                        ZoneDecision::Eval => predicate,
+                    };
+                    acc.accumulate(&t.slice(o, l)?, o, pred)?;
+                }
+                if let Some(c) = &opts.stats {
+                    c.add(&stats);
+                }
+                Ok(acc.finish())
+            })?
+        }
+        _ => parallel_morsels(t.row_count(), opts, |offset, len| {
+            let m = t.slice(offset, len)?;
+            accumulate_morsel(&m, offset, predicate, &group_by, &args, aggs.len())
+        })?,
+    };
     assemble_aggregate(t, &group_by, aggs, merge_partials(parts))
 }
 
@@ -690,7 +820,7 @@ fn aggregate(t: &Table, group_by: &[String], aggs: &[AggSpec]) -> Result<Table> 
         None,
         group_by,
         aggs,
-        &ExecOptions { threads: 1, morsel_rows: usize::MAX },
+        &ExecOptions { threads: 1, morsel_rows: usize::MAX, ..ExecOptions::default() },
     )
 }
 
@@ -988,8 +1118,8 @@ mod tests {
     #[test]
     fn rows_scanned_identical_serial_vs_parallel() {
         let c = catalog();
-        let serial = ExecOptions { threads: 1, morsel_rows: 2 };
-        let parallel = ExecOptions { threads: 4, morsel_rows: 2 };
+        let serial = ExecOptions { threads: 1, morsel_rows: 2, ..ExecOptions::default() };
+        let parallel = ExecOptions { threads: 4, morsel_rows: 2, ..ExecOptions::default() };
         for sql in [
             "SELECT * FROM m",
             "SELECT source FROM m WHERE intensity > 5",
@@ -1110,5 +1240,162 @@ mod distinct_tests {
     fn non_distinct_unaffected() {
         let r = execute(&catalog(), "SELECT a FROM t").unwrap();
         assert_eq!(r.table.row_count(), 6);
+    }
+}
+
+#[cfg(test)]
+mod pruning_exec_tests {
+    use super::*;
+    use crate::morsel::ExecOptions;
+    use lawsdb_storage::zonemap::ColumnZones;
+    use lawsdb_storage::TableBuilder;
+
+    /// 512 rows in 8 zones of 64: `k` strictly increasing (disjoint
+    /// zone ranges), `g` constant per zone, `v` with NULLs and a NaN.
+    fn zoned_catalog() -> Catalog {
+        let n = 512usize;
+        let mut b = TableBuilder::new("z");
+        b.add_i64("k", (0..n as i64).collect());
+        b.add_i64("g", (0..n as i64).map(|i| i / 64).collect());
+        b.add_f64_opt(
+            "v",
+            (0..n)
+                .map(|i| match i % 7 {
+                    0 => None,
+                    1 => Some(f64::NAN),
+                    _ => Some(i as f64 / 3.0),
+                })
+                .collect(),
+        );
+        let mut t = b.build().unwrap();
+        t.rebuild_synopsis_with(64);
+        let c = Catalog::new();
+        c.register(t).unwrap();
+        c
+    }
+
+    /// Rows rendered through Debug so NaN compares equal to NaN (the
+    /// bit-identity the equivalence tests assert includes NaN cells).
+    fn rows(sql: &str, opts: &ExecOptions, c: &Catalog) -> (QueryResult, Vec<String>) {
+        let r = execute_with(c, sql, opts).unwrap();
+        let rows = (0..r.table.row_count())
+            .map(|i| format!("{:?}", r.table.row(i).unwrap()))
+            .collect();
+        (r, rows)
+    }
+
+    #[test]
+    fn zonemap_pruning_skips_refuted_zones_and_matches_baseline() {
+        let c = zoned_catalog();
+        let sql = "SELECT k, v FROM z WHERE k < 64";
+        let (pruned, got) = rows(sql, &ExecOptions::default(), &c);
+        let (baseline, want) = rows(sql, &ExecOptions::unpruned(), &c);
+        assert_eq!(got, want);
+        assert_eq!(pruned.rows_scanned, baseline.rows_scanned);
+        // k < 64 refutes zones 1..8 outright; zone 0 needs evaluation.
+        assert_eq!(pruned.scan_stats.pages_total, 8);
+        assert_eq!(pruned.scan_stats.pages_pruned_zonemap, 7);
+        assert_eq!(baseline.scan_stats, ScanStats::default());
+    }
+
+    #[test]
+    fn constant_zone_with_exact_predicate_accepts_wholesale() {
+        let c = zoned_catalog();
+        let sql = "SELECT k FROM z WHERE g = 3";
+        let (pruned, got) = rows(sql, &ExecOptions::default(), &c);
+        let (_, want) = rows(sql, &ExecOptions::unpruned(), &c);
+        assert_eq!(got, want);
+        assert_eq!(pruned.table.row_count(), 64);
+        // Zone 3 is constant g=3 with no NULLs: accepted without
+        // per-row evaluation; the other 7 zones are refuted.
+        assert_eq!(pruned.scan_stats.pages_pruned_zonemap, 7);
+        assert_eq!(pruned.scan_stats.pages_compressed_eval, 1);
+    }
+
+    #[test]
+    fn model_zones_prune_and_are_attributed_to_the_model_tier() {
+        let n = 256usize;
+        let mut b = TableBuilder::new("mt");
+        b.add_f64("x", (0..n).map(|i| i as f64).collect());
+        b.add_f64("y", (0..n).map(|i| 2.0 * i as f64).collect());
+        let mut t = b.build().unwrap();
+        t.rebuild_synopsis_with(64);
+        // Model y ≈ 2x with max |residual| 0.5 replaces y's data zones.
+        let preds: Vec<f64> = (0..n).map(|i| 2.0 * i as f64).collect();
+        let t = t.with_model_zones("y", ColumnZones::from_model_bounds(&preds, 0.5, 64)).unwrap();
+        let c = Catalog::new();
+        c.register(t).unwrap();
+
+        let sql = "SELECT x FROM mt WHERE y > 1000";
+        let (pruned, got) = rows(sql, &ExecOptions::default(), &c);
+        let (_, want) = rows(sql, &ExecOptions::unpruned(), &c);
+        assert_eq!(got, want);
+        // max(y) = 510, so y > 1000 is refuted everywhere — by the
+        // model bounds, since they replaced the data zones.
+        assert!(got.is_empty());
+        assert_eq!(pruned.scan_stats.pages_pruned_model, 4);
+        assert_eq!(pruned.scan_stats.pages_pruned_zonemap, 0);
+    }
+
+    #[test]
+    fn aggregates_prune_and_match_baseline_bit_for_bit() {
+        let c = zoned_catalog();
+        let sql = "SELECT COUNT(*) AS n, SUM(v) AS s, AVG(v) AS a, MIN(v) AS lo, \
+                   MAX(v) AS hi FROM z WHERE k >= 128 AND k < 256";
+        let (pruned, got) = rows(sql, &ExecOptions::default(), &c);
+        let (_, want) = rows(sql, &ExecOptions::unpruned(), &c);
+        assert_eq!(got, want);
+        assert!(pruned.scan_stats.pages_pruned_zonemap >= 6);
+    }
+
+    #[test]
+    fn null_and_nan_rows_survive_pruning_identically() {
+        let c = zoned_catalog();
+        // v has NULLs (dropped as UNKNOWN) and NaNs (never > rhs);
+        // zone bounds exclude both, so pruning must not change which
+        // rows the predicate keeps.
+        for sql in [
+            "SELECT k FROM z WHERE v > 100",
+            "SELECT k FROM z WHERE v <= 10 AND k < 200",
+            "SELECT COUNT(*) AS n FROM z WHERE v >= 0",
+        ] {
+            let (_, got) = rows(sql, &ExecOptions::default(), &c);
+            let (_, want) = rows(sql, &ExecOptions::unpruned(), &c);
+            assert_eq!(got, want, "{sql}");
+        }
+    }
+
+    #[test]
+    fn shared_collector_accumulates_across_queries() {
+        let c = zoned_catalog();
+        let sink = Arc::new(ScanStatsCollector::default());
+        let opts = ExecOptions { stats: Some(sink.clone()), ..ExecOptions::default() };
+        let first = execute_with(&c, "SELECT k FROM z WHERE k < 64", &opts).unwrap();
+        let second = execute_with(&c, "SELECT k FROM z WHERE k >= 448", &opts).unwrap();
+        let total = sink.snapshot();
+        assert_eq!(
+            total.pages_total,
+            first.scan_stats.pages_total + second.scan_stats.pages_total
+        );
+        assert_eq!(
+            total.pages_pruned_zonemap,
+            first.scan_stats.pages_pruned_zonemap + second.scan_stats.pages_pruned_zonemap
+        );
+    }
+
+    #[test]
+    fn tables_without_synopsis_run_unpruned() {
+        let c = Catalog::new();
+        let mut b = TableBuilder::new("plain");
+        b.add_i64("a", (0..100).collect());
+        let mut t = b.build().unwrap();
+        // slice() drops the synopsis; re-registering the slice gives a
+        // synopsis-free table the executor must still handle.
+        t = t.slice(0, 100).unwrap();
+        assert!(t.synopsis().is_none());
+        c.register(t).unwrap();
+        let r = execute(&c, "SELECT a FROM plain WHERE a < 10").unwrap();
+        assert_eq!(r.table.row_count(), 10);
+        assert_eq!(r.scan_stats, ScanStats::default());
     }
 }

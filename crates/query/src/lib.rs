@@ -36,6 +36,7 @@ pub mod exec;
 pub mod morsel;
 pub mod optimize;
 pub mod plan;
+pub mod pruning;
 pub mod sexpr;
 pub mod sql;
 
@@ -43,6 +44,7 @@ pub use error::{QueryError, Result};
 pub use exec::{execute, execute_plan, execute_plan_with, execute_with, QueryResult};
 pub use morsel::ExecOptions;
 pub use plan::LogicalPlan;
+pub use pruning::{PruningPredicate, ScanStats, ScanStatsCollector, ZoneDecision};
 pub use sexpr::{PredMask, ScalarExpr};
 pub use sql::parse_select;
 

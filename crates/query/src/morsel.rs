@@ -10,25 +10,56 @@
 //! so fan-out costs O(morsels), not O(rows).
 
 use crate::error::Result;
+use crate::pruning::ScanStatsCollector;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
+use std::sync::Arc;
 
 /// Default rows per morsel: large enough to amortize dispatch, small
 /// enough to load-balance skewed predicates.
 pub const DEFAULT_MORSEL_ROWS: usize = 64 * 1024;
 
 /// Knobs for the parallel executor.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone)]
 pub struct ExecOptions {
-    /// Worker threads; `0` means one per available core.
+    /// Worker threads; `0` means one per available core. Explicit
+    /// counts are clamped to the machine's available parallelism:
+    /// oversubscribing cores only adds scheduling overhead (the
+    /// 2-thread-on-1-core configuration regressed `filter_scan` to
+    /// 0.90× in BENCH_query.json).
     pub threads: usize,
     /// Rows per morsel.
     pub morsel_rows: usize,
+    /// Consult table synopses (zone maps, model bounds) to skip row
+    /// ranges before evaluating predicates. On by default; benchmarks
+    /// and equivalence tests turn it off to get the unpruned baseline.
+    pub pruning: bool,
+    /// Optional shared sink for scan-pruning counters. The executor
+    /// always reports per-query [`crate::pruning::ScanStats`] through
+    /// [`crate::exec::QueryResult`]; a caller-provided collector
+    /// additionally accumulates across queries.
+    pub stats: Option<Arc<ScanStatsCollector>>,
 }
+
+impl PartialEq for ExecOptions {
+    fn eq(&self, other: &Self) -> bool {
+        // The stats sink is an observer, not a behavioral knob.
+        self.threads == other.threads
+            && self.morsel_rows == other.morsel_rows
+            && self.pruning == other.pruning
+    }
+}
+
+impl Eq for ExecOptions {}
 
 impl Default for ExecOptions {
     fn default() -> Self {
-        ExecOptions { threads: 0, morsel_rows: DEFAULT_MORSEL_ROWS }
+        ExecOptions {
+            threads: 0,
+            morsel_rows: DEFAULT_MORSEL_ROWS,
+            pruning: true,
+            stats: None,
+        }
     }
 }
 
@@ -44,13 +75,23 @@ impl ExecOptions {
         ExecOptions { threads, ..ExecOptions::default() }
     }
 
-    /// The thread count actually used: `threads`, or the machine's
-    /// available parallelism when `threads == 0`.
+    /// Default options with pruning disabled (the exhaustive-scan
+    /// baseline every pruned result must match bit-for-bit).
+    pub fn unpruned() -> ExecOptions {
+        ExecOptions { pruning: false, ..ExecOptions::default() }
+    }
+
+    /// The thread count actually used: `threads` clamped to the
+    /// machine's available parallelism, or that parallelism itself when
+    /// `threads == 0`. Morsel scheduling makes results identical for
+    /// any worker count, so clamping never changes output — only the
+    /// oversubscription overhead.
     pub fn effective_threads(&self) -> usize {
+        let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
         if self.threads > 0 {
-            self.threads
+            self.threads.min(cores)
         } else {
-            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+            cores
         }
     }
 }
@@ -130,7 +171,7 @@ mod tests {
 
     #[test]
     fn results_come_back_in_morsel_order() {
-        let opts = ExecOptions { threads: 4, morsel_rows: 3 };
+        let opts = ExecOptions { threads: 4, morsel_rows: 3, ..ExecOptions::default() };
         let got = parallel_morsels(20, &opts, |offset, len| Ok((offset, len))).unwrap();
         assert_eq!(got, morsel_ranges(20, 3));
     }
@@ -139,15 +180,15 @@ mod tests {
     fn serial_and_parallel_agree() {
         let work = |offset: usize, len: usize| Ok((offset..offset + len).sum::<usize>());
         let serial =
-            parallel_morsels(1000, &ExecOptions { threads: 1, morsel_rows: 17 }, work).unwrap();
+            parallel_morsels(1000, &ExecOptions { threads: 1, morsel_rows: 17, ..ExecOptions::default() }, work).unwrap();
         let parallel =
-            parallel_morsels(1000, &ExecOptions { threads: 8, morsel_rows: 17 }, work).unwrap();
+            parallel_morsels(1000, &ExecOptions { threads: 8, morsel_rows: 17, ..ExecOptions::default() }, work).unwrap();
         assert_eq!(serial, parallel);
     }
 
     #[test]
     fn first_error_in_morsel_order_wins() {
-        let opts = ExecOptions { threads: 4, morsel_rows: 1 };
+        let opts = ExecOptions { threads: 4, morsel_rows: 1, ..ExecOptions::default() };
         let err = parallel_morsels(10, &opts, |offset, _| {
             if offset >= 3 {
                 Err(QueryError::Unsupported { what: format!("morsel {offset}") })
@@ -157,6 +198,14 @@ mod tests {
         })
         .unwrap_err();
         assert_eq!(err.to_string(), "unsupported SQL: morsel 3");
+    }
+
+    #[test]
+    fn explicit_thread_counts_clamp_to_available_parallelism() {
+        let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        assert_eq!(ExecOptions::with_threads(1024).effective_threads(), cores);
+        assert_eq!(ExecOptions::with_threads(1).effective_threads(), 1);
+        assert_eq!(ExecOptions::default().effective_threads(), cores);
     }
 
     #[test]

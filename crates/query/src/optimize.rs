@@ -206,6 +206,54 @@ mod tests {
     }
 
     #[test]
+    fn nested_arithmetic_constants_fold_to_one_literal() {
+        let p = plan("SELECT a FROM m WHERE a > (1 + 2) * 3 - 4");
+        fn find_filter(p: &LogicalPlan) -> Option<&crate::sexpr::ScalarExpr> {
+            match p {
+                LogicalPlan::Filter { predicate, .. } => Some(predicate),
+                LogicalPlan::Project { input, .. }
+                | LogicalPlan::Sort { input, .. }
+                | LogicalPlan::Limit { input, .. }
+                | LogicalPlan::Aggregate { input, .. } => find_filter(input),
+                _ => None,
+            }
+        }
+        assert_eq!(find_filter(&p).unwrap().to_string(), "(a > 5)");
+    }
+
+    #[test]
+    fn filter_column_dropped_by_projection_still_scanned() {
+        // `b` appears only in the WHERE clause; the scan must still
+        // materialize it for the filter even though the projection
+        // discards it.
+        let p = plan("SELECT a FROM t WHERE b > 1");
+        match find_scan(&p) {
+            LogicalPlan::Scan { projection: Some(cols), .. } => {
+                assert_eq!(cols.clone(), vec!["a", "b"]);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn explain_surfaces_pruning_predicate_after_optimization() {
+        // Folding happens first, so the pruning line shows the folded
+        // literal — the same rhs the executor checks against zone maps.
+        let p = plan("SELECT a FROM t WHERE b > 1 + 2 AND a < 10 OR a > 99");
+        let text = p.explain();
+        assert!(
+            !text.contains("Pruning"),
+            "top-level OR is not sargable, got:\n{text}"
+        );
+        let p = plan("SELECT a FROM t WHERE b > 1 + 2 AND a < 10");
+        let text = p.explain();
+        assert!(
+            text.contains("Pruning [b > 3 AND a < 10] (exact)"),
+            "expected folded pruning line, got:\n{text}"
+        );
+    }
+
+    #[test]
     fn nested_limits_fold_to_tighter() {
         let inner = LogicalPlan::Limit {
             input: Box::new(LogicalPlan::Limit {

@@ -237,6 +237,18 @@ impl LogicalPlan {
             }
             LogicalPlan::Filter { input, predicate } => {
                 out.push_str(&format!("{pad}Filter {predicate}\n"));
+                // Surface what the executor will be able to prune: the
+                // sargable conjuncts a scan below this filter checks
+                // against zone maps before any IO.
+                if matches!(&**input, LogicalPlan::Scan { .. }) {
+                    if let Some(p) = crate::pruning::PruningPredicate::extract(predicate) {
+                        out.push_str(&format!(
+                            "{pad}  Pruning [{}]{}\n",
+                            p.describe(),
+                            if p.exact { " (exact)" } else { "" }
+                        ));
+                    }
+                }
                 input.explain_into(out, depth + 1);
             }
             LogicalPlan::Aggregate { input, group_by, aggs } => {
@@ -296,7 +308,8 @@ mod tests {
         assert!(lines[1].starts_with("Sort"));
         assert!(lines[2].starts_with("Aggregate"));
         assert!(lines[3].starts_with("Filter"));
-        assert!(lines[4].starts_with("Scan"));
+        assert!(lines[4].starts_with("Pruning [nu = 0.14] (exact)"));
+        assert!(lines[5].starts_with("Scan"));
     }
 
     #[test]

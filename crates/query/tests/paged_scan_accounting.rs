@@ -27,7 +27,7 @@ fn stored_pager() -> Pager {
 /// Scan column `v` morsel by morsel through a shared pager, returning
 /// the per-morsel sums in morsel order.
 fn parallel_scan(pager: &Mutex<Pager>, threads: usize) -> Vec<f64> {
-    let opts = ExecOptions { threads, morsel_rows: 64 };
+    let opts = ExecOptions { threads, morsel_rows: 64, ..ExecOptions::default() };
     parallel_morsels(ROWS, &opts, |offset, len| {
         // Each morsel pulls the column through the pager (and its page
         // cache) exactly like the exact-scan execution path.

@@ -49,8 +49,8 @@ proptest! {
         let catalog = build_catalog(&rows);
         // Same morsel decomposition, different worker counts: merging
         // in morsel order must make the output bit-identical.
-        let serial = ExecOptions { threads: 1, morsel_rows };
-        let parallel = ExecOptions { threads: 4, morsel_rows };
+        let serial = ExecOptions { threads: 1, morsel_rows, ..ExecOptions::default() };
+        let parallel = ExecOptions { threads: 4, morsel_rows, ..ExecOptions::default() };
         for sql in queries(thr, key) {
             let a = execute_with(&catalog, &sql, &serial).unwrap();
             let b = execute_with(&catalog, &sql, &parallel).unwrap();

@@ -5,7 +5,9 @@
 //! this as their final stage.
 
 use super::varint;
+use crate::bitmap::Bitmap;
 use crate::error::{Result, StorageError};
+use crate::zonemap::PredOp;
 
 /// Minimum number of bits needed to represent `v` (0 needs 0 bits but we
 /// report 1 so every value occupies at least one slot).
@@ -80,6 +82,86 @@ pub fn decode(buf: &[u8]) -> Result<Vec<u64>> {
     Ok(out)
 }
 
+/// Validated header + packed body of an encoded buffer.
+struct Packed<'a> {
+    n: usize,
+    width: u32,
+    body: &'a [u8],
+}
+
+fn parse(buf: &[u8]) -> Result<Packed<'_>> {
+    let corrupt = |d: &str| StorageError::CorruptData { codec: "bitpack", detail: d.to_string() };
+    let mut pos = 0;
+    let n = varint::get_u64(buf, &mut pos)? as usize;
+    let width = *buf.get(pos).ok_or_else(|| corrupt("missing width"))? as u32;
+    pos += 1;
+    if width == 0 || width > 64 {
+        return Err(corrupt("invalid width"));
+    }
+    let need_bits =
+        (n as u64).checked_mul(width as u64).ok_or_else(|| corrupt("length overflow"))?;
+    if ((buf.len() - pos) as u64) * 8 < need_bits {
+        return Err(corrupt("truncated body"));
+    }
+    Ok(Packed { n, width, body: &buf[pos..] })
+}
+
+/// Stream the packed values through `test`, building the truth bitmap
+/// without materializing a decoded vector.
+fn scan(p: &Packed<'_>, mut test: impl FnMut(u64) -> Result<bool>) -> Result<Bitmap> {
+    let mut words = vec![0u64; p.n.div_ceil(64)];
+    let mask: u128 = if p.width == 64 { u64::MAX as u128 } else { (1u128 << p.width) - 1 };
+    let mut acc: u128 = 0;
+    let mut nbits: u32 = 0;
+    let mut i = 0usize;
+    for &b in p.body {
+        acc |= (b as u128) << nbits;
+        nbits += 8;
+        while nbits >= p.width && i < p.n {
+            if test((acc & mask) as u64)? {
+                words[i / 64] |= 1 << (i % 64);
+            }
+            acc >>= p.width;
+            nbits -= p.width;
+            i += 1;
+        }
+        if i == p.n {
+            break;
+        }
+    }
+    Ok(Bitmap::from_parts(p.n, words))
+}
+
+/// Evaluate `value <op> rhs` directly on the packed representation,
+/// emitting a truth bitmap without decoding to a `Vec<u64>`.
+///
+/// When `rhs` exceeds the packed width's value range the whole buffer is
+/// decided by the width alone — no body scan at all.
+pub fn eval_cmp(buf: &[u8], op: PredOp, rhs: u64) -> Result<Bitmap> {
+    let p = parse(buf)?;
+    let max_repr = if p.width == 64 { u64::MAX } else { (1u64 << p.width) - 1 };
+    if rhs > max_repr {
+        // Every packed value is < rhs.
+        let all = matches!(op, PredOp::Lt | PredOp::Le | PredOp::Ne);
+        return Ok(Bitmap::filled(p.n, all));
+    }
+    scan(&p, |v| Ok(op.eval_u64(v, rhs)))
+}
+
+/// Set-membership over packed codes: row `i` is set iff
+/// `accept[code[i]]`. Codes outside the table are corruption (a code
+/// the dictionary does not define). This is the dictionary kernel's
+/// inner loop.
+pub fn eval_in_table(buf: &[u8], accept: &[bool]) -> Result<Bitmap> {
+    let p = parse(buf)?;
+    scan(&p, |v| {
+        accept.get(v as usize).copied().ok_or_else(|| StorageError::CorruptData {
+            codec: "bitpack",
+            detail: format!("code {v} outside acceptance table of {}", accept.len()),
+        })
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -132,5 +214,56 @@ mod tests {
         assert!(decode(&bad).is_err());
         bad[1] = 65; // width > 64
         assert!(decode(&bad).is_err());
+    }
+
+    #[test]
+    fn eval_cmp_matches_decode_then_compare() {
+        let inputs: Vec<Vec<u64>> = vec![
+            vec![],
+            vec![0],
+            (0..200).map(|i| i % 13).collect(),
+            vec![u64::MAX, 0, u64::MAX / 2, 7, 7, 7],
+            (0..130).map(|i| i * 3).collect(),
+        ];
+        let ops = [PredOp::Lt, PredOp::Le, PredOp::Gt, PredOp::Ge, PredOp::Eq, PredOp::Ne];
+        for values in &inputs {
+            let enc = encode(values);
+            let dec = decode(&enc).unwrap();
+            for &op in &ops {
+                for &rhs in &[0u64, 1, 6, 7, 12, 200, u64::MAX / 2, u64::MAX] {
+                    let fast = eval_cmp(&enc, op, rhs).unwrap();
+                    let slow = Bitmap::from_fn(dec.len(), |i| op.eval_u64(dec[i], rhs));
+                    assert_eq!(fast, slow, "{op:?} rhs={rhs} n={}", values.len());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn eval_cmp_width_shortcut_skips_body_scan() {
+        // Values fit 3 bits; rhs above the width's range decides all rows.
+        let enc = encode(&(0..100).map(|i| i % 8).collect::<Vec<u64>>());
+        let lt = eval_cmp(&enc, PredOp::Lt, 1000).unwrap();
+        assert_eq!(lt.count_set(), 100);
+        let gt = eval_cmp(&enc, PredOp::Gt, 1000).unwrap();
+        assert_eq!(gt.count_set(), 0);
+    }
+
+    #[test]
+    fn eval_in_table_membership_and_corruption() {
+        let codes: Vec<u64> = (0..50).map(|i| i % 4).collect();
+        let enc = encode(&codes);
+        let truth = eval_in_table(&enc, &[true, false, true, false]).unwrap();
+        let want = Bitmap::from_fn(50, |i| codes[i].is_multiple_of(2));
+        assert_eq!(truth, want);
+        // A code outside the table is a corrupt dictionary reference.
+        assert!(eval_in_table(&enc, &[true, true]).is_err());
+    }
+
+    #[test]
+    fn eval_cmp_rejects_truncation() {
+        let enc = encode(&(0..100).collect::<Vec<u64>>());
+        assert!(eval_cmp(&enc[..enc.len() - 1], PredOp::Lt, 5).is_err());
+        assert!(eval_cmp(&[], PredOp::Lt, 5).is_err());
     }
 }

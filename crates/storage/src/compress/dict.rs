@@ -2,7 +2,9 @@
 //! rows become bit-packed codes.
 
 use super::{bitpack, varint};
+use crate::bitmap::Bitmap;
 use crate::error::{Result, StorageError};
+use crate::zonemap::PredOp;
 use std::collections::HashMap;
 
 /// Encode a string slice as dictionary + codes.
@@ -65,6 +67,30 @@ pub fn decode(buf: &[u8]) -> Result<Vec<String>> {
         .collect()
 }
 
+/// Evaluate `value <op> rhs` without reconstructing the strings: the
+/// comparison runs once per *distinct* value to build an acceptance
+/// table, then the packed codes are scanned for set membership.
+pub fn eval_cmp(buf: &[u8], op: PredOp, rhs: &str) -> Result<Bitmap> {
+    let corrupt = |d: &str| StorageError::CorruptData { codec: "dict", detail: d.to_string() };
+    let mut pos = 0;
+    let dict_len = varint::get_u64(buf, &mut pos)? as usize;
+    if dict_len > buf.len() {
+        return Err(corrupt("implausible dictionary size"));
+    }
+    let mut accept = Vec::with_capacity(dict_len);
+    for _ in 0..dict_len {
+        let slen = varint::get_u64(buf, &mut pos)? as usize;
+        let end = pos.checked_add(slen).filter(|&e| e <= buf.len()).ok_or_else(|| {
+            corrupt("truncated dictionary entry")
+        })?;
+        let s = std::str::from_utf8(&buf[pos..end])
+            .map_err(|_| corrupt("invalid UTF-8 in dictionary"))?;
+        accept.push(op.eval_ord(s.cmp(rhs)));
+        pos = end;
+    }
+    bitpack::eval_in_table(&buf[pos..], &accept)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -95,6 +121,44 @@ mod tests {
         // 3-bit codes: 30k bits ≈ 3.75 KB vs ~110 KB raw.
         assert!(enc.len() * 10 < raw, "{} vs {}", enc.len(), raw);
         assert_eq!(decode(&enc).unwrap(), values);
+    }
+
+    #[test]
+    fn eval_cmp_matches_decode_then_compare() {
+        use crate::bitmap::Bitmap;
+        let inputs: Vec<Vec<String>> = vec![
+            strs(&[]),
+            strs(&["a"]),
+            strs(&["red", "green", "red", "blue", "red", "blue"]),
+            strs(&["", "", "x", "zz"]),
+            (0..300).map(|i| format!("cat{}", i % 9)).collect(),
+        ];
+        let ops = [PredOp::Lt, PredOp::Le, PredOp::Gt, PredOp::Ge, PredOp::Eq, PredOp::Ne];
+        for values in &inputs {
+            let enc = encode(values);
+            for &op in &ops {
+                for rhs in ["", "a", "blue", "cat4", "red", "zzz"] {
+                    let fast = eval_cmp(&enc, op, rhs).unwrap();
+                    let slow = Bitmap::from_fn(values.len(), |i| {
+                        op.eval_ord(values[i].as_str().cmp(rhs))
+                    });
+                    assert_eq!(fast, slow, "{op:?} rhs={rhs:?} n={}", values.len());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn eval_cmp_rejects_corruption() {
+        // Code 5 against a 1-entry dictionary.
+        let mut buf = Vec::new();
+        varint::put_u64(&mut buf, 1);
+        varint::put_u64(&mut buf, 1);
+        buf.push(b'a');
+        buf.extend_from_slice(&bitpack::encode(&[5]));
+        assert!(eval_cmp(&buf, PredOp::Eq, "a").is_err());
+        let enc = encode(&strs(&["a", "b"]));
+        assert!(eval_cmp(&enc[..2], PredOp::Eq, "a").is_err());
     }
 
     #[test]

@@ -4,7 +4,9 @@
 //! zero.
 
 use super::{bitpack, varint};
+use crate::bitmap::Bitmap;
 use crate::error::{Result, StorageError};
+use crate::zonemap::PredOp;
 
 /// Block size: one reference per block bounds the damage of outliers.
 const BLOCK: usize = 1024;
@@ -52,6 +54,67 @@ pub fn decode(buf: &[u8]) -> Result<Vec<i64>> {
     Ok(out)
 }
 
+/// Evaluate `value <op> rhs` on the packed domain: per block the
+/// threshold is translated to offset space (`rhs - min`, exact in
+/// i128 because offsets live in `[0, 2^64)`), and the bit-packed
+/// offsets are compared directly — the i64 values are never rebuilt.
+pub fn eval_cmp(buf: &[u8], op: PredOp, rhs: i64) -> Result<Bitmap> {
+    let corrupt = |d: &str| StorageError::CorruptData { codec: "for", detail: d.to_string() };
+    let mut pos = 0;
+    let n = varint::get_u64(buf, &mut pos)? as usize;
+    if n > buf.len().saturating_mul(BLOCK) {
+        return Err(corrupt("implausible length"));
+    }
+    let mut words: Vec<u64> = Vec::with_capacity(n.div_ceil(64));
+    let mut len = 0usize;
+    while len < n {
+        let min = varint::get_i64(buf, &mut pos)?;
+        let packed_len = varint::get_u64(buf, &mut pos)? as usize;
+        let end = pos.checked_add(packed_len).filter(|&e| e <= buf.len()).ok_or_else(
+            || corrupt("truncated block"),
+        )?;
+        // Offsets are exact in [0, 2^64): every value v satisfies
+        // v >= min, so v - min never wraps as an i128. Translate the
+        // threshold into that space; out-of-range thresholds decide the
+        // whole block (expressed as an always-true/false offset compare
+        // so the block body still gets validated).
+        let shifted = rhs as i128 - min as i128;
+        let block = if shifted < 0 {
+            // Every offset (>= 0) exceeds the threshold: v > rhs.
+            let all = matches!(op, PredOp::Gt | PredOp::Ge | PredOp::Ne);
+            bitpack::eval_cmp(&buf[pos..end], if all { PredOp::Ge } else { PredOp::Lt }, 0)?
+        } else if shifted > u64::MAX as i128 {
+            // Every offset falls short of the threshold: v < rhs.
+            let all = matches!(op, PredOp::Lt | PredOp::Le | PredOp::Ne);
+            bitpack::eval_cmp(&buf[pos..end], if all { PredOp::Ge } else { PredOp::Lt }, 0)?
+        } else {
+            bitpack::eval_cmp(&buf[pos..end], op, shifted as u64)?
+        };
+        pos = end;
+        if len + block.len() > n {
+            return Err(corrupt("block overflows declared length"));
+        }
+        let (blen, bwords) = block.to_parts();
+        if len.is_multiple_of(64) {
+            // Encoder blocks are 1024 rows (a multiple of 64), so block
+            // results append word-aligned except after a short block.
+            words.extend_from_slice(bwords);
+            words.truncate((len + blen).div_ceil(64));
+            len += blen;
+        } else {
+            let mut bm = Bitmap::from_parts(len, std::mem::take(&mut words));
+            // Slow path for decoder-legal but encoder-atypical layouts.
+            for i in 0..blen {
+                bm.push(block.get(i));
+            }
+            len += blen;
+            let (_, w) = bm.to_parts();
+            words = w.to_vec();
+        }
+    }
+    Ok(Bitmap::from_parts(n, words))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -86,6 +149,50 @@ mod tests {
         // Blocks 1..3 still pack tightly: total stays far below raw.
         assert!(enc.len() < values.len() * 8 / 2, "got {}", enc.len());
         assert_eq!(decode(&enc).unwrap(), values);
+    }
+
+    #[test]
+    fn eval_cmp_matches_decode_then_compare() {
+        use crate::bitmap::Bitmap;
+        let inputs: Vec<Vec<i64>> = vec![
+            vec![],
+            vec![42],
+            vec![1_000_000, 1_000_001, 1_000_003],
+            (0..5000).map(|i| 20_000_000 + (i % 100)).collect(),
+            vec![i64::MIN, i64::MAX, 0, -1, 1],
+            (0..2048).map(|i| if i < 1024 { i } else { -i }).collect(),
+        ];
+        let ops = [PredOp::Lt, PredOp::Le, PredOp::Gt, PredOp::Ge, PredOp::Eq, PredOp::Ne];
+        for values in &inputs {
+            let enc = encode(values);
+            for &op in &ops {
+                for &rhs in
+                    &[i64::MIN, -1025, -1, 0, 42, 1_000_001, 20_000_050, i64::MAX - 1, i64::MAX]
+                {
+                    let fast = eval_cmp(&enc, op, rhs).unwrap();
+                    let slow = Bitmap::from_fn(values.len(), |i| op.eval_i64(values[i], rhs));
+                    assert_eq!(fast, slow, "{op:?} rhs={rhs} n={}", values.len());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn eval_cmp_translated_threshold_out_of_block_range() {
+        // Block min is 1<<40; thresholds far below/above exercise the
+        // decided-block paths while still validating the packed body.
+        let values: Vec<i64> = (0..100).map(|i| (1i64 << 40) + i).collect();
+        let enc = encode(&values);
+        assert_eq!(eval_cmp(&enc, PredOp::Gt, 0).unwrap().count_set(), 100);
+        assert_eq!(eval_cmp(&enc, PredOp::Lt, 0).unwrap().count_set(), 0);
+        assert_eq!(eval_cmp(&enc, PredOp::Lt, i64::MAX).unwrap().count_set(), 100);
+    }
+
+    #[test]
+    fn eval_cmp_rejects_corruption() {
+        let enc = encode(&(0..2000).collect::<Vec<i64>>());
+        assert!(eval_cmp(&enc[..enc.len() - 1], PredOp::Lt, 5).is_err());
+        assert!(eval_cmp(&[], PredOp::Lt, 5).is_err());
     }
 
     #[test]

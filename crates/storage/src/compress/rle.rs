@@ -2,7 +2,9 @@
 //! (group keys sorted by group, categorical codes).
 
 use super::varint;
+use crate::bitmap::Bitmap;
 use crate::error::{Result, StorageError};
+use crate::zonemap::PredOp;
 
 /// Encode as `(count, then per run: zigzag value, varint run length)`.
 pub fn encode(values: &[i64]) -> Vec<u8> {
@@ -47,6 +49,37 @@ pub fn decode(buf: &[u8]) -> Result<Vec<i64>> {
     Ok(out)
 }
 
+/// Evaluate `value <op> rhs` at run granularity: one comparison decides
+/// an entire run, and accepted runs set their whole bit range in a
+/// single word-speed pass. The values are never materialized.
+pub fn eval_cmp(buf: &[u8], op: PredOp, rhs: i64) -> Result<Bitmap> {
+    let mut pos = 0;
+    let n = varint::get_u64(buf, &mut pos)? as usize;
+    if n > buf.len().saturating_mul(u16::MAX as usize) {
+        return Err(StorageError::CorruptData {
+            codec: "rle",
+            detail: format!("implausible length {n}"),
+        });
+    }
+    let mut truth = Bitmap::filled(n, false);
+    let mut row = 0usize;
+    while row < n {
+        let v = varint::get_i64(buf, &mut pos)?;
+        let run = varint::get_u64(buf, &mut pos)? as usize;
+        if run == 0 || row + run > n {
+            return Err(StorageError::CorruptData {
+                codec: "rle",
+                detail: "run overflows declared length".to_string(),
+            });
+        }
+        if op.eval_i64(v, rhs) {
+            truth.set_range(row, row + run);
+        }
+        row += run;
+    }
+    Ok(truth)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -83,6 +116,40 @@ mod tests {
         varint::put_i64(&mut buf, 1);
         varint::put_u64(&mut buf, 10); // run of 10 > 3
         assert!(decode(&buf).is_err());
+    }
+
+    #[test]
+    fn eval_cmp_matches_decode_then_compare() {
+        let inputs: Vec<Vec<i64>> = vec![
+            vec![],
+            vec![7],
+            vec![1, 1, 1, 2, 2, 3],
+            vec![5; 1000],
+            (0..100).collect(),
+            vec![i64::MIN, i64::MIN, 0, i64::MAX],
+        ];
+        let ops = [PredOp::Lt, PredOp::Le, PredOp::Gt, PredOp::Ge, PredOp::Eq, PredOp::Ne];
+        for values in &inputs {
+            let enc = encode(values);
+            for &op in &ops {
+                for &rhs in &[i64::MIN, -1, 0, 2, 5, 99, i64::MAX] {
+                    let fast = eval_cmp(&enc, op, rhs).unwrap();
+                    let slow = Bitmap::from_fn(values.len(), |i| op.eval_i64(values[i], rhs));
+                    assert_eq!(fast, slow, "{op:?} rhs={rhs} n={}", values.len());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn eval_cmp_rejects_corruption() {
+        let mut buf = Vec::new();
+        varint::put_u64(&mut buf, 3);
+        varint::put_i64(&mut buf, 1);
+        varint::put_u64(&mut buf, 10); // run of 10 > 3
+        assert!(eval_cmp(&buf, PredOp::Eq, 1).is_err());
+        let enc = encode(&[1, 2, 3]);
+        assert!(eval_cmp(&enc[..enc.len() - 1], PredOp::Eq, 1).is_err());
     }
 
     #[test]

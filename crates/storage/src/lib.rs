@@ -55,6 +55,7 @@ pub mod stats;
 pub mod table;
 pub mod value;
 pub mod wal;
+pub mod zonemap;
 
 pub use buffer::Buffer;
 pub use catalog::Catalog;
@@ -67,3 +68,6 @@ pub use schema::{DataType, Field, Schema};
 pub use table::{Table, TableBuilder};
 pub use value::Value;
 pub use wal::{DurableStore, RecoveryReport, StoredTable};
+pub use zonemap::{
+    ColumnZones, PredOp, TableSynopsis, ZoneEntry, ZoneSource, DEFAULT_ZONE_ROWS,
+};

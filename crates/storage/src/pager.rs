@@ -9,9 +9,10 @@
 use crate::column::Column;
 use crate::error::{Result, StorageError};
 use crate::io::{IoStats, SimulatedDevice};
-use crate::page::{decode_column, encode_column};
-use crate::schema::Schema;
+use crate::page::{decode_column, decode_partial_column, encode_column, partial_read_plan};
+use crate::schema::{DataType, Schema};
 use crate::table::Table;
+use crate::zonemap::TableSynopsis;
 use std::collections::HashMap;
 
 /// Location of one serialized column: the pages it spans and its exact
@@ -35,6 +36,13 @@ pub struct PagedTable {
     pub rows: usize,
     /// One extent per column, in schema order.
     pub extents: Vec<ColumnExtent>,
+    /// Zone-map synopsis captured at store time (also persisted to its
+    /// own extent). Scans consult this to prove pages irrelevant before
+    /// any page IO.
+    pub synopsis: Option<TableSynopsis>,
+    /// Pages holding the serialized synopsis (not counted in
+    /// [`PagedTable::page_count`], which is data pages only).
+    pub synopsis_extent: Option<ColumnExtent>,
 }
 
 impl PagedTable {
@@ -127,6 +135,14 @@ impl Pager {
             let bytes = encode_column(col);
             extents.push(self.write_stream(&bytes)?);
         }
+        // Persist the zone-map synopsis alongside the data pages, and
+        // keep a decoded copy in the catalog metadata so pruning never
+        // costs IO.
+        let synopsis = table.synopsis().cloned();
+        let synopsis_extent = match &synopsis {
+            Some(s) => Some(self.write_stream(&s.to_bytes())?),
+            None => None,
+        };
         self.tables.insert(
             table.name().to_string(),
             PagedTable {
@@ -134,9 +150,23 @@ impl Pager {
                 schema: table.schema().clone(),
                 rows: table.row_count(),
                 extents,
+                synopsis,
+                synopsis_extent,
             },
         );
         Ok(())
+    }
+
+    /// Re-read a stored table's synopsis from its persisted pages
+    /// (recovery path; the in-memory copy on [`PagedTable`] is the fast
+    /// path).
+    pub fn read_synopsis(&mut self, name: &str) -> Result<Option<TableSynopsis>> {
+        let extent = match &self.paged_table(name)?.synopsis_extent {
+            Some(e) => e.clone(),
+            None => return Ok(None),
+        };
+        let bytes = self.read_stream(&extent)?;
+        Ok(Some(TableSynopsis::from_bytes(&bytes)?))
     }
 
     /// Replace a stored table (model-change recompression path). The old
@@ -175,6 +205,86 @@ impl Pager {
             cols.push(decode_column(&bytes)?);
         }
         Table::new(pt.name, pt.schema, cols)
+    }
+
+    /// Read rows `[row0, row1)` of one column, touching only the pages
+    /// that byte range covers.
+    ///
+    /// For fixed-width (Int64/Float64) columns this reads the header,
+    /// the covering validity words, and exactly the requested value
+    /// bytes — a zone-pruned scan therefore pays IO proportional to the
+    /// rows it could not prune, not the column size. Other column types
+    /// fall back to a full read plus slice.
+    pub fn read_column_rows(
+        &mut self,
+        table: &str,
+        column: &str,
+        row0: usize,
+        row1: usize,
+    ) -> Result<Column> {
+        let pt = self.paged_table(table)?;
+        let idx = pt
+            .schema
+            .index_of(column)
+            .ok_or_else(|| StorageError::ColumnNotFound { name: column.to_string() })?;
+        if row0 > row1 || row1 > pt.rows {
+            return Err(StorageError::RowOutOfRange { row: row1, len: pt.rows });
+        }
+        let fixed = matches!(
+            pt.schema.fields()[idx].data_type,
+            DataType::Int64 | DataType::Float64
+        );
+        let rows = pt.rows;
+        let extent = pt.extents[idx].clone();
+        if !fixed {
+            let bytes = self.read_stream(&extent)?;
+            return decode_column(&bytes)?.slice(row0, row1 - row0);
+        }
+        let [h, v, d] = partial_read_plan(rows, row0, row1);
+        let header = self.read_extent_bytes(&extent, h.0, h.1)?;
+        let validity = self.read_extent_bytes(&extent, v.0, v.1)?;
+        let data = self.read_extent_bytes(&extent, d.0, d.1)?;
+        decode_partial_column(&header, &validity, &data, rows, row0, row1)
+    }
+
+    /// Bytes `[start, end)` of an extent's stream, reading only the
+    /// pages that range covers (through the cache).
+    pub fn read_extent_bytes(
+        &mut self,
+        extent: &ColumnExtent,
+        start: usize,
+        end: usize,
+    ) -> Result<Vec<u8>> {
+        if start > end || end > extent.byte_len {
+            return Err(StorageError::CorruptData {
+                codec: "pager",
+                detail: format!(
+                    "byte range [{start}, {end}) outside extent of {} bytes",
+                    extent.byte_len
+                ),
+            });
+        }
+        let ps = self.device.page_size();
+        let mut out = Vec::with_capacity(end - start);
+        if start == end {
+            return Ok(out);
+        }
+        let first = start / ps;
+        let last = (end - 1) / ps;
+        for pi in first..=last {
+            let page = extent.pages[pi];
+            let page_bytes = (extent.byte_len - pi * ps).min(ps);
+            let lo = start.max(pi * ps) - pi * ps;
+            let hi = end.min(pi * ps + page_bytes) - pi * ps;
+            if let Some(cached) = self.cache.get(page) {
+                out.extend_from_slice(&cached[lo..hi]);
+                continue;
+            }
+            let data = self.device.read_page(page)?.to_vec();
+            out.extend_from_slice(&data[lo..hi]);
+            self.cache.insert(page, data);
+        }
+        Ok(out)
     }
 
     /// Raw byte-stream write across fresh pages.
@@ -370,6 +480,62 @@ mod tests {
         let e2 = p.write_stream(&exact).unwrap();
         assert_eq!(e2.pages.len(), 2);
         assert_eq!(p.read_stream(&e2).unwrap(), exact);
+    }
+
+    #[test]
+    fn partial_row_reads_touch_only_covering_pages() {
+        let mut p = Pager::new(128, 0); // no cache: every page read hits the device
+        let t = demo_table(1000);
+        p.store_table(&t).unwrap();
+        let id_pages = p.paged_table("demo").unwrap().extents[0].pages.len();
+        p.reset();
+        // 16 rows = 128 value bytes: 1-2 data pages + 1-2 header/validity
+        // pages, far below the full column.
+        let col = p.read_column_rows("demo", "id", 500, 516).unwrap();
+        assert_eq!(col.i64_data().unwrap(), &(500..516).collect::<Vec<i64>>()[..]);
+        let touched = p.stats().pages_read as usize;
+        assert!(touched <= 4, "partial read touched {touched} pages");
+        assert!(touched < id_pages, "partial read must not scan the column");
+    }
+
+    #[test]
+    fn partial_row_reads_match_full_reads() {
+        let mut p = Pager::new(256, 8);
+        let mut b = TableBuilder::new("t");
+        b.add_i64("a", (0..500).collect());
+        b.add_f64_opt("b", (0..500).map(|i| (i % 3 != 0).then_some(i as f64)).collect());
+        b.add_str("s", (0..500).map(|i| format!("s{i}")).collect());
+        let t = b.build().unwrap();
+        p.store_table(&t).unwrap();
+        for &(r0, r1) in &[(0, 500), (0, 1), (63, 65), (100, 200), (499, 500), (250, 250)] {
+            for col in ["a", "b", "s"] {
+                let got = p.read_column_rows("t", col, r0, r1).unwrap();
+                let want = t.column(col).unwrap().slice(r0, r1 - r0).unwrap();
+                assert_eq!(got, want, "{col} rows [{r0},{r1})");
+            }
+        }
+        assert!(p.read_column_rows("t", "a", 400, 501).is_err());
+        assert!(p.read_column_rows("t", "zz", 0, 1).is_err());
+    }
+
+    #[test]
+    fn synopsis_is_persisted_and_recoverable() {
+        let mut p = Pager::new(128, 4);
+        let t = demo_table(500);
+        assert!(t.synopsis().is_some());
+        p.store_table(&t).unwrap();
+        let pt = p.paged_table("demo").unwrap();
+        assert!(pt.synopsis.is_some());
+        assert!(pt.synopsis_extent.is_some());
+        // Data-page accounting is unchanged by the synopsis pages.
+        assert_eq!(
+            pt.page_count(),
+            pt.extents.iter().map(|e| e.pages.len()).sum::<usize>()
+        );
+        let from_disk = p.read_synopsis("demo").unwrap().unwrap();
+        let t2 = p.read_table("demo").unwrap();
+        assert_eq!(t2, t);
+        assert_eq!(&from_disk, t.synopsis().unwrap());
     }
 
     #[test]

@@ -48,7 +48,11 @@ impl Enumerability {
                 let mut v = *lo;
                 while v <= *hi {
                     out.push(v as f64);
-                    v += step;
+                    // `hi` near i64::MAX would wrap on the last advance.
+                    match v.checked_add(*step) {
+                        Some(next) => v = next,
+                        None => break,
+                    }
                 }
                 Some(out)
             }
@@ -61,7 +65,10 @@ impl Enumerability {
     pub fn cardinality(&self) -> Option<usize> {
         match self {
             Enumerability::SteppedRange { lo, hi, step } => {
-                Some(((hi - lo) / step) as usize + 1)
+                // Spans wider than i64 (e.g. lo = i64::MIN, hi > 0) are
+                // still well-defined: count in u128.
+                let span = (*hi as i128 - *lo as i128) as u128;
+                Some((span / *step as u128) as usize + 1)
             }
             Enumerability::Categorical { values } => Some(values.len()),
             Enumerability::NotEnumerable => None,
@@ -90,6 +97,22 @@ impl ColumnStats {
     /// Analyze a column. `max_distinct` caps the categorical-domain
     /// detection (and the exact distinct count); 1024 is a sensible
     /// default for parameter-space enumeration.
+    ///
+    /// Degenerate inputs are well-defined rather than quirky:
+    ///
+    /// * **NaN policy**: NaNs are treated like NULLs — excluded from
+    ///   `min`/`max`, the distinct count, and the enumerated domain.
+    ///   They still count toward `rows` (but not `nulls`). A column of
+    ///   only NULLs/NaNs reports `min == max == None`, `distinct ==
+    ///   Some(0)`, and is not enumerable.
+    /// * **Signed zero**: `-0.0` and `0.0` compare equal, so they are
+    ///   one distinct value (reported as `0.0`), not two bit patterns.
+    /// * **Infinities** are ordinary ordered values: they participate
+    ///   in `min`/`max` and categorical domains.
+    /// * **Empty columns** report `min == max == None`, `distinct ==
+    ///   Some(0)`, `NotEnumerable` — never a panic.
+    /// * **Single-value columns** report `min == max == Some(v)` and a
+    ///   one-element categorical domain.
     pub fn analyze(column: &Column, max_distinct: usize) -> ColumnStats {
         let rows = column.len();
         let nulls = column.null_count();
@@ -138,7 +161,8 @@ impl ColumnStats {
                 }
             }
             Column::Float64 { data, validity } => {
-                // Distinct floats compare by bit pattern (NaNs excluded).
+                // Distinct floats compare by bit pattern (NaNs excluded,
+                // -0.0 normalized to 0.0 so signed zeros are one value).
                 let mut set: BTreeSet<u64> = BTreeSet::new();
                 let mut min = f64::INFINITY;
                 let mut max = f64::NEG_INFINITY;
@@ -152,7 +176,7 @@ impl ColumnStats {
                     min = min.min(v);
                     max = max.max(v);
                     if !overflow {
-                        set.insert(v.to_bits());
+                        set.insert(if v == 0.0 { 0.0f64 } else { v }.to_bits());
                         if set.len() > max_distinct {
                             overflow = true;
                         }
@@ -243,12 +267,14 @@ fn detect_stepped(set: &BTreeSet<i64>) -> Option<Enumerability> {
         return None;
     }
     let vals: Vec<i64> = set.iter().copied().collect();
-    let step = vals[1] - vals[0];
+    // Differences of extreme values (e.g. i64::MIN .. i64::MAX) exceed
+    // i64; such domains are not usefully stepped anyway.
+    let step = vals[1].checked_sub(vals[0])?;
     if step < 1 {
         return None;
     }
     for w in vals.windows(2) {
-        if w[1] - w[0] != step {
+        if w[1].checked_sub(w[0]) != Some(step) {
             return None;
         }
     }
@@ -328,6 +354,87 @@ mod tests {
         assert_eq!(s.min, None);
         assert_eq!(s.distinct, Some(0));
         assert_eq!(s.enumerability, Enumerability::NotEnumerable);
+    }
+
+    #[test]
+    fn empty_float_column_is_fully_defined() {
+        let c = Column::from_f64(vec![]);
+        let s = ColumnStats::analyze(&c, 16);
+        assert_eq!(s.rows, 0);
+        assert_eq!(s.nulls, 0);
+        assert_eq!(s.min, None);
+        assert_eq!(s.max, None);
+        assert_eq!(s.distinct, Some(0));
+        assert_eq!(s.enumerability, Enumerability::NotEnumerable);
+    }
+
+    #[test]
+    fn all_nan_column_has_no_bounds_and_no_domain() {
+        let c = Column::from_f64(vec![f64::NAN, f64::NAN, f64::NAN]);
+        let s = ColumnStats::analyze(&c, 16);
+        assert_eq!(s.rows, 3);
+        assert_eq!(s.nulls, 0); // NaN is a value, not a NULL
+        assert_eq!(s.min, None);
+        assert_eq!(s.max, None);
+        assert_eq!(s.distinct, Some(0));
+        assert_eq!(s.enumerability, Enumerability::NotEnumerable);
+    }
+
+    #[test]
+    fn single_value_columns_collapse_to_one_point() {
+        let f = ColumnStats::analyze(&Column::from_f64(vec![2.5; 100]), 16);
+        assert_eq!(f.min, Some(2.5));
+        assert_eq!(f.max, Some(2.5));
+        assert_eq!(f.distinct, Some(1));
+        assert_eq!(f.enumerability, Enumerability::Categorical { values: vec![2.5] });
+
+        let i = ColumnStats::analyze(&Column::from_i64(vec![7; 100]), 16);
+        assert_eq!(i.min, Some(7.0));
+        assert_eq!(i.max, Some(7.0));
+        assert_eq!(i.distinct, Some(1));
+        assert_eq!(i.enumerability, Enumerability::Categorical { values: vec![7.0] });
+    }
+
+    #[test]
+    fn signed_zeros_are_one_distinct_value() {
+        let c = Column::from_f64(vec![-0.0, 0.0, -0.0, 1.0]);
+        let s = ColumnStats::analyze(&c, 16);
+        assert_eq!(s.distinct, Some(2));
+        assert_eq!(
+            s.enumerability,
+            Enumerability::Categorical { values: vec![0.0, 1.0] }
+        );
+    }
+
+    #[test]
+    fn infinities_are_ordinary_ordered_values() {
+        let c = Column::from_f64(vec![f64::NEG_INFINITY, 1.0, f64::INFINITY]);
+        let s = ColumnStats::analyze(&c, 16);
+        assert_eq!(s.min, Some(f64::NEG_INFINITY));
+        assert_eq!(s.max, Some(f64::INFINITY));
+        assert_eq!(s.distinct, Some(3));
+    }
+
+    #[test]
+    fn extreme_integer_domains_do_not_overflow() {
+        let c = Column::from_i64(vec![i64::MIN, 0, i64::MAX]);
+        let s = ColumnStats::analyze(&c, 16);
+        assert_eq!(s.min, Some(i64::MIN as f64));
+        assert_eq!(s.max, Some(i64::MAX as f64));
+        // The span exceeds i64 — must degrade to categorical, not panic.
+        assert_eq!(
+            s.enumerability,
+            Enumerability::Categorical {
+                values: vec![i64::MIN as f64, 0.0, i64::MAX as f64]
+            }
+        );
+    }
+
+    #[test]
+    fn stepped_cardinality_handles_wide_spans() {
+        let e = Enumerability::SteppedRange { lo: i64::MIN / 2, hi: i64::MAX / 2, step: i64::MAX / 2 };
+        // (hi - lo) alone would overflow i64; count must still be exact.
+        assert_eq!(e.cardinality(), Some(3));
     }
 
     #[test]

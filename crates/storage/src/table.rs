@@ -4,18 +4,38 @@ use crate::column::Column;
 use crate::error::{Result, StorageError};
 use crate::schema::{DataType, Field, Schema};
 use crate::value::Value;
+use crate::zonemap::{ColumnZones, TableSynopsis, ZoneSource, DEFAULT_ZONE_ROWS};
+use std::sync::Arc;
 
 /// An immutable-by-convention columnar table.
 ///
 /// The ingestion path goes through [`TableBuilder`]; appends (for the
 /// data-change experiments) go through [`Table::append_rows`], which
 /// keeps column lengths in lock-step.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// Tables built through the write paths carry a [`TableSynopsis`] —
+/// per-zone min/max/null-count/constant bounds used by the scan pruner.
+/// The synopsis is derived metadata: it never participates in equality,
+/// and row-level derivations (`take`, `slice`) drop it rather than pay
+/// to rebuild it per morsel.
+#[derive(Debug, Clone)]
 pub struct Table {
     name: String,
     schema: Schema,
     columns: Vec<Column>,
     rows: usize,
+    synopsis: Option<Arc<TableSynopsis>>,
+}
+
+impl PartialEq for Table {
+    fn eq(&self, other: &Table) -> bool {
+        // The synopsis is derived metadata, excluded on purpose: a table
+        // read back from pages compares equal to the one stored.
+        self.name == other.name
+            && self.schema == other.schema
+            && self.columns == other.columns
+            && self.rows == other.rows
+    }
 }
 
 impl Table {
@@ -54,7 +74,59 @@ impl Table {
                 });
             }
         }
-        Ok(Table { name, schema, columns, rows })
+        Ok(Table { name, schema, columns, rows, synopsis: None })
+    }
+
+    /// The table's zone-map synopsis, when one has been built.
+    pub fn synopsis(&self) -> Option<&TableSynopsis> {
+        self.synopsis.as_deref()
+    }
+
+    /// Build (or rebuild) zone maps for every non-string column at the
+    /// default granularity. Called by the write paths; scans only ever
+    /// read the result.
+    pub fn rebuild_synopsis(&mut self) {
+        self.rebuild_synopsis_with(DEFAULT_ZONE_ROWS);
+    }
+
+    /// Build (or rebuild) zone maps with an explicit zone granularity.
+    pub fn rebuild_synopsis_with(&mut self, zone_rows: usize) {
+        let mut s = TableSynopsis::new();
+        for (f, c) in self.schema.fields().iter().zip(&self.columns) {
+            if let Some(z) = ColumnZones::build(c, zone_rows) {
+                s.insert(f.name.clone(), z);
+            }
+        }
+        self.synopsis = Some(Arc::new(s));
+    }
+
+    /// New table whose `column` zones are replaced by model-provenance
+    /// bounds (`prediction ± residual_bound`). This is the semantic-
+    /// compression view: once a model covers the column, its synopsis
+    /// comes from the model, not from materialized pages, and pruning
+    /// against it is accounted as zero-IO model pruning.
+    ///
+    /// Errors when the column does not exist or the bounds do not cover
+    /// the table's rows.
+    pub fn with_model_zones(&self, column: &str, zones: ColumnZones) -> Result<Table> {
+        if self.schema.index_of(column).is_none() {
+            return Err(StorageError::ColumnNotFound { name: column.to_string() });
+        }
+        if zones.source != ZoneSource::Model {
+            return Err(StorageError::InvalidTable {
+                reason: "with_model_zones requires model-provenance zones",
+            });
+        }
+        if zones.row_count() != self.rows {
+            return Err(StorageError::InvalidTable {
+                reason: "model zone bounds do not cover the table's rows",
+            });
+        }
+        let mut s = self.synopsis.as_deref().cloned().unwrap_or_default();
+        s.insert(column.to_string(), zones);
+        let mut t = self.clone();
+        t.synopsis = Some(Arc::new(s));
+        Ok(t)
     }
 
     /// Table name.
@@ -132,6 +204,12 @@ impl Table {
             mine.append(theirs).expect("types validated above");
         }
         self.rows += n;
+        // Appending is a write: refresh the synopsis so zone bounds keep
+        // covering every row. Model-provenance zones are dropped (the
+        // engine invalidates covering models on append anyway).
+        if self.synopsis.is_some() {
+            self.rebuild_synopsis();
+        }
         Ok(())
     }
 
@@ -147,7 +225,21 @@ impl Table {
             fields.push(self.schema.fields()[idx].clone());
             cols.push(self.columns[idx].clone());
         }
-        Table::new(self.name.clone(), Schema::new(fields), cols)
+        let mut t = Table::new(self.name.clone(), Schema::new(fields), cols)?;
+        // Projection keeps rows intact, so the surviving columns' zones
+        // stay valid — carry them over instead of rebuilding.
+        if let Some(s) = &self.synopsis {
+            let mut kept = TableSynopsis::new();
+            for n in names {
+                if let Some(z) = s.column(n) {
+                    kept.insert(n.to_string(), z.clone());
+                }
+            }
+            if !kept.is_empty() {
+                t.synopsis = Some(Arc::new(kept));
+            }
+        }
+        Ok(t)
     }
 
     /// New table keeping only the rows at `indices`.
@@ -223,13 +315,17 @@ impl TableBuilder {
         self
     }
 
-    /// Finish, validating shape and types.
+    /// Finish, validating shape and types. The built table carries a
+    /// zone-map synopsis computed in one extra pass (write-time cost,
+    /// scan-time payoff).
     pub fn build(&mut self) -> Result<Table> {
-        Table::new(
+        let mut t = Table::new(
             std::mem::take(&mut self.name),
             Schema::new(std::mem::take(&mut self.fields)),
             std::mem::take(&mut self.columns),
-        )
+        )?;
+        t.rebuild_synopsis();
+        Ok(t)
     }
 }
 
@@ -325,6 +421,59 @@ mod tests {
         // Three 8-byte columns over 4 rows + 3 validity bytes.
         let t = lofar_like();
         assert_eq!(t.byte_size(), 3 * (4 * 8 + 1));
+    }
+
+    #[test]
+    fn builder_attaches_zone_synopsis() {
+        let t = lofar_like();
+        let s = t.synopsis().expect("write path builds a synopsis");
+        let z = s.column("intensity").unwrap();
+        assert_eq!((z.entries[0].min, z.entries[0].max), (0.23, 1.59));
+        assert!(s.column("nu").is_some());
+        // Derived row subsets drop the (now-invalid) synopsis.
+        assert!(t.take(&[0, 2]).unwrap().synopsis().is_none());
+        assert!(t.slice(1, 2).unwrap().synopsis().is_none());
+    }
+
+    #[test]
+    fn append_refreshes_zone_bounds() {
+        let mut t = lofar_like();
+        t.append_rows(&[
+            Column::from_i64(vec![3]),
+            Column::from_f64(vec![0.16]),
+            Column::from_f64(vec![99.0]),
+        ])
+        .unwrap();
+        let z = t.synopsis().unwrap().column("intensity").unwrap();
+        assert_eq!(z.entries[0].max, 99.0);
+        assert_eq!(z.row_count(), 5);
+    }
+
+    #[test]
+    fn projection_carries_surviving_zones() {
+        let t = lofar_like();
+        let p = t.project(&["nu"]).unwrap();
+        let s = p.synopsis().unwrap();
+        assert!(s.column("nu").is_some());
+        assert!(s.column("intensity").is_none());
+    }
+
+    #[test]
+    fn model_zones_replace_data_zones() {
+        use crate::zonemap::{ColumnZones, PredOp, ZoneSource};
+        let t = lofar_like();
+        let zones = ColumnZones::from_model_bounds(&[0.2, 0.3, 1.5, 1.5], 0.1, 4096);
+        let t2 = t.with_model_zones("intensity", zones).unwrap();
+        let z = t2.synopsis().unwrap().column("intensity").unwrap();
+        assert_eq!(z.source, ZoneSource::Model);
+        assert!(!z.range_may_match(0, 4, PredOp::Gt, 2.0));
+        // Equality ignores the synopsis.
+        assert_eq!(t, t2);
+        // Wrong coverage or missing column is an error.
+        let short = ColumnZones::from_model_bounds(&[0.2], 0.1, 4096);
+        assert!(t.with_model_zones("intensity", short).is_err());
+        let ok = ColumnZones::from_model_bounds(&[0.2, 0.3, 1.5, 1.5], 0.1, 4096);
+        assert!(t.with_model_zones("zz", ok).is_err());
     }
 
     #[test]

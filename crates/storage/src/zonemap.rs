@@ -1,0 +1,641 @@
+//! Zone maps: per-zone min/max/null-count/constant synopses.
+//!
+//! A *zone* is a fixed run of rows (default [`DEFAULT_ZONE_ROWS`]). For
+//! every numeric/bool column the write path records, per zone, the
+//! minimum and maximum valid value, the null count, and whether the
+//! zone is constant. A scan with a sargable comparison predicate can
+//! then prove a zone irrelevant — no row in it can satisfy the
+//! predicate — and skip it without touching the values (for paged
+//! tables: without any pager IO). This is the paper's "zero-IO scan"
+//! made mechanical: the synopsis answers the page-relevance question,
+//! the pages themselves are never read.
+//!
+//! Two provenances share the representation ([`ZoneSource`]):
+//!
+//! * **Data** zones are exact min/max computed from the stored values.
+//! * **Model** zones are `prediction ± max-absolute-residual` bounds
+//!   derived from a captured model covering the column. They bound
+//!   every stored value (the residual bound is computed against the
+//!   same snapshot), so pruning against them is exactly as sound, but
+//!   they exist *without* the column being materialized — a
+//!   semantically compressed column still supports pruning.
+//!
+//! NaN/NULL policy: NaN values and NULL rows are excluded from min/max.
+//! This is sound for pruning because a comparison predicate is never
+//! *true* for a NaN or NULL operand (three-valued logic evaluates it
+//! unknown, and filters only keep true rows). A zone containing only
+//! NULLs/NaNs has the empty interval `(+inf, -inf)` and prunes against
+//! every comparison.
+
+use crate::column::Column;
+use crate::error::{Result, StorageError};
+use bytes::{Buf, BufMut, BytesMut};
+use std::collections::BTreeMap;
+
+/// Default zone granularity, in rows.
+pub const DEFAULT_ZONE_ROWS: usize = 4096;
+
+/// Comparison operator vocabulary shared by zone pruning and the
+/// compressed-domain predicate kernels (`compress::*::eval_cmp`).
+///
+/// Storage cannot depend on the expression crate, so this mirrors the
+/// sargable subset of its comparison ops; the query layer maps onto it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PredOp {
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `=`
+    Eq,
+    /// `!=`
+    Ne,
+}
+
+impl PredOp {
+    /// Apply the operator to `(lhs, rhs)`. NaN operands compare false
+    /// under every operator (including `Ne`), matching the executor's
+    /// three-valued logic where unknown rows never pass a filter.
+    #[inline]
+    pub fn eval(self, lhs: f64, rhs: f64) -> bool {
+        match self {
+            PredOp::Lt => lhs < rhs,
+            PredOp::Le => lhs <= rhs,
+            PredOp::Gt => lhs > rhs,
+            PredOp::Ge => lhs >= rhs,
+            PredOp::Eq => lhs == rhs,
+            PredOp::Ne => !lhs.is_nan() && !rhs.is_nan() && lhs != rhs,
+        }
+    }
+
+    /// Apply to a total ordering of `lhs` relative to `rhs` (integer,
+    /// packed-code, and string kernels all reduce to this).
+    #[inline]
+    pub fn eval_ord(self, ord: std::cmp::Ordering) -> bool {
+        use std::cmp::Ordering::*;
+        match self {
+            PredOp::Lt => ord == Less,
+            PredOp::Le => ord != Greater,
+            PredOp::Gt => ord == Greater,
+            PredOp::Ge => ord != Less,
+            PredOp::Eq => ord == Equal,
+            PredOp::Ne => ord != Equal,
+        }
+    }
+
+    /// Apply to integer operands (compressed-domain kernels).
+    #[inline]
+    pub fn eval_i64(self, lhs: i64, rhs: i64) -> bool {
+        self.eval_ord(lhs.cmp(&rhs))
+    }
+
+    /// Apply to unsigned operands (packed-domain kernels).
+    #[inline]
+    pub fn eval_u64(self, lhs: u64, rhs: u64) -> bool {
+        self.eval_ord(lhs.cmp(&rhs))
+    }
+}
+
+/// Synopsis of one zone of one column.
+///
+/// `min > max` encodes "no bounded values" (all rows NULL/NaN, or an
+/// empty zone). `min`/`max` are never NaN.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ZoneEntry {
+    /// Rows in this zone (the final zone of a column may be short).
+    pub rows: u32,
+    /// NULL rows in this zone.
+    pub null_count: u32,
+    /// Minimum valid, non-NaN value (`+inf` when none).
+    pub min: f64,
+    /// Maximum valid, non-NaN value (`-inf` when none).
+    pub max: f64,
+    /// True when every row is valid and equal to `min` (== `max`).
+    /// Constant zones admit whole-zone predicate evaluation: one
+    /// comparison decides all rows.
+    pub constant: bool,
+}
+
+impl ZoneEntry {
+    /// A zone with no bounded values (prunes against any comparison).
+    pub fn empty(rows: u32, null_count: u32) -> ZoneEntry {
+        ZoneEntry {
+            rows,
+            null_count,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            constant: false,
+        }
+    }
+
+    /// A zone whose rows are only known to lie in `[lo, hi]` (model
+    /// bounds; unknown null structure, so never constant).
+    pub fn bounded(rows: u32, lo: f64, hi: f64) -> ZoneEntry {
+        ZoneEntry { rows, null_count: 0, min: lo, max: hi, constant: false }
+    }
+
+    /// True when the zone holds at least one bounded value.
+    #[inline]
+    pub fn has_values(&self) -> bool {
+        self.min <= self.max
+    }
+
+    /// Could *any* row in this zone satisfy `value <op> rhs`?
+    ///
+    /// `false` is a proof (the zone can be skipped); `true` is merely
+    /// "cannot rule it out". Sound only for predicates that no NULL or
+    /// NaN row can satisfy — true of every comparison operator here.
+    pub fn may_match(&self, op: PredOp, rhs: f64) -> bool {
+        if rhs.is_nan() || !self.has_values() {
+            return false;
+        }
+        match op {
+            PredOp::Lt => self.min < rhs,
+            PredOp::Le => self.min <= rhs,
+            PredOp::Gt => self.max > rhs,
+            PredOp::Ge => self.max >= rhs,
+            PredOp::Eq => self.min <= rhs && rhs <= self.max,
+            PredOp::Ne => !(self.min == self.max && self.min == rhs),
+        }
+    }
+
+    /// For a constant zone, the single comparison that decides every
+    /// row: `Some(true)` means all rows match, `Some(false)` none do.
+    /// `None` when the zone is not constant (per-row evaluation
+    /// required). Only meaningful for exact (`ZoneSource::Data`) zones.
+    pub fn decides_all(&self, op: PredOp, rhs: f64) -> Option<bool> {
+        if self.constant && self.null_count == 0 && self.rows > 0 {
+            Some(op.eval(self.min, rhs))
+        } else {
+            None
+        }
+    }
+}
+
+/// Where a column's zone bounds came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ZoneSource {
+    /// Exact min/max computed from stored values at write time.
+    Data,
+    /// `prediction ± max-abs-residual` bounds from a captured model.
+    Model,
+}
+
+/// The zone map of one column.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnZones {
+    /// Provenance of the bounds.
+    pub source: ZoneSource,
+    /// Zone granularity in rows.
+    pub zone_rows: usize,
+    /// One entry per zone, in row order.
+    pub entries: Vec<ZoneEntry>,
+}
+
+impl ColumnZones {
+    /// Build exact data zones for a column. Strings carry no usable
+    /// bounds for numeric comparison pruning and return `None`.
+    pub fn build(col: &Column, zone_rows: usize) -> Option<ColumnZones> {
+        assert!(zone_rows > 0, "zone_rows must be positive");
+        let n = col.len();
+        let validity = col.validity();
+        let all_valid = validity.all_set();
+        let value_at: Box<dyn Fn(usize) -> f64> = match col {
+            Column::Int64 { data, .. } => Box::new(move |i| data[i] as f64),
+            Column::Float64 { data, .. } => Box::new(move |i| data[i]),
+            Column::Bool { data, .. } => {
+                Box::new(move |i| if data.get(i) { 1.0 } else { 0.0 })
+            }
+            Column::Str { .. } => return None,
+        };
+        let mut entries = Vec::with_capacity(n.div_ceil(zone_rows).max(1));
+        let mut start = 0;
+        loop {
+            let end = (start + zone_rows).min(n);
+            let mut min = f64::INFINITY;
+            let mut max = f64::NEG_INFINITY;
+            let mut nulls = 0u32;
+            let mut saw_nan = false;
+            for i in start..end {
+                if !all_valid && !validity.get(i) {
+                    nulls += 1;
+                    continue;
+                }
+                let v = value_at(i);
+                if v.is_nan() {
+                    // NaN never satisfies a comparison; exclude it from
+                    // the bounds but poison the constant flag.
+                    saw_nan = true;
+                    continue;
+                }
+                if v < min {
+                    min = v;
+                }
+                if v > max {
+                    max = v;
+                }
+            }
+            // Constant ⇔ every row is valid, non-NaN, and equal.
+            let constant = end > start && nulls == 0 && !saw_nan && min == max;
+            entries.push(ZoneEntry {
+                rows: (end - start) as u32,
+                null_count: nulls,
+                min,
+                max,
+                constant,
+            });
+            start = end;
+            if start >= n {
+                break;
+            }
+        }
+        Some(ColumnZones { source: ZoneSource::Data, zone_rows, entries })
+    }
+
+    /// Build model-provenance zones from per-row predictions and a max
+    /// absolute residual: every stored value of row `i` lies in
+    /// `[pred[i] - bound, pred[i] + bound]`. Rows with non-finite
+    /// predictions make their zone unbounded (never prunable) — the
+    /// model says nothing about them.
+    pub fn from_model_bounds(preds: &[f64], bound: f64, zone_rows: usize) -> ColumnZones {
+        assert!(zone_rows > 0, "zone_rows must be positive");
+        let n = preds.len();
+        let mut entries = Vec::with_capacity(n.div_ceil(zone_rows).max(1));
+        let mut start = 0;
+        loop {
+            let end = (start + zone_rows).min(n);
+            let mut lo = f64::INFINITY;
+            let mut hi = f64::NEG_INFINITY;
+            let mut unbounded = false;
+            for &p in &preds[start..end] {
+                if !p.is_finite() {
+                    unbounded = true;
+                    break;
+                }
+                if p < lo {
+                    lo = p;
+                }
+                if p > hi {
+                    hi = p;
+                }
+            }
+            let entry = if unbounded || !bound.is_finite() {
+                ZoneEntry::bounded((end - start) as u32, f64::NEG_INFINITY, f64::INFINITY)
+            } else if lo > hi {
+                ZoneEntry::empty((end - start) as u32, 0)
+            } else {
+                ZoneEntry::bounded((end - start) as u32, lo - bound, hi + bound)
+            };
+            entries.push(entry);
+            start = end;
+            if start >= n {
+                break;
+            }
+        }
+        ColumnZones { source: ZoneSource::Model, zone_rows, entries }
+    }
+
+    /// Total rows covered.
+    pub fn row_count(&self) -> usize {
+        self.entries.iter().map(|e| e.rows as usize).sum()
+    }
+
+    /// Row range `[start, end)` of zone `zi`.
+    pub fn zone_range(&self, zi: usize) -> (usize, usize) {
+        let start = zi * self.zone_rows;
+        (start, start + self.entries[zi].rows as usize)
+    }
+
+    /// Indices of the zones overlapping rows `[offset, offset + len)`.
+    pub fn zones_for(&self, offset: usize, len: usize) -> std::ops::Range<usize> {
+        if len == 0 {
+            return 0..0;
+        }
+        let first = offset / self.zone_rows;
+        let last = (offset + len - 1) / self.zone_rows;
+        first.min(self.entries.len())..(last + 1).min(self.entries.len())
+    }
+
+    /// Could any row in `[offset, offset + len)` satisfy the predicate?
+    pub fn range_may_match(&self, offset: usize, len: usize, op: PredOp, rhs: f64) -> bool {
+        self.zones_for(offset, len).any(|zi| self.entries[zi].may_match(op, rhs))
+    }
+}
+
+/// Zone maps for a whole table, keyed by column name.
+///
+/// Built at write time ([`crate::table::TableBuilder::build`],
+/// [`crate::table::Table::append_rows`]) and persisted alongside the
+/// paged representation by [`crate::pager::Pager::store_table`].
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct TableSynopsis {
+    columns: BTreeMap<String, ColumnZones>,
+}
+
+impl TableSynopsis {
+    /// Empty synopsis.
+    pub fn new() -> TableSynopsis {
+        TableSynopsis::default()
+    }
+
+    /// Zones for `column`, if any.
+    pub fn column(&self, column: &str) -> Option<&ColumnZones> {
+        self.columns.get(column)
+    }
+
+    /// Insert (or replace) the zones of one column.
+    pub fn insert(&mut self, column: impl Into<String>, zones: ColumnZones) {
+        self.columns.insert(column.into(), zones);
+    }
+
+    /// Remove one column's zones (projection path).
+    pub fn remove(&mut self, column: &str) -> Option<ColumnZones> {
+        self.columns.remove(column)
+    }
+
+    /// True when no column carries zones.
+    pub fn is_empty(&self) -> bool {
+        self.columns.is_empty()
+    }
+
+    /// Iterate `(column, zones)` in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &ColumnZones)> {
+        self.columns.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Serialize for persistence alongside the paged table.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut buf = BytesMut::new();
+        buf.put_slice(b"ZMAP");
+        buf.put_u8(1); // version
+        buf.put_u32_le(self.columns.len() as u32);
+        for (name, zones) in &self.columns {
+            buf.put_u32_le(name.len() as u32);
+            buf.put_slice(name.as_bytes());
+            buf.put_u8(match zones.source {
+                ZoneSource::Data => 0,
+                ZoneSource::Model => 1,
+            });
+            buf.put_u64_le(zones.zone_rows as u64);
+            buf.put_u32_le(zones.entries.len() as u32);
+            for e in &zones.entries {
+                buf.put_u32_le(e.rows);
+                buf.put_u32_le(e.null_count);
+                buf.put_f64_le(e.min);
+                buf.put_f64_le(e.max);
+                buf.put_u8(e.constant as u8);
+            }
+        }
+        buf.to_vec()
+    }
+
+    /// Deserialize; corruption is an error, never a panic.
+    pub fn from_bytes(bytes: &[u8]) -> Result<TableSynopsis> {
+        let corrupt = |detail: &str| StorageError::CorruptData {
+            codec: "zonemap",
+            detail: detail.to_string(),
+        };
+        let mut buf = bytes;
+        if buf.remaining() < 9 {
+            return Err(corrupt("truncated header"));
+        }
+        if &buf[..4] != b"ZMAP" {
+            return Err(corrupt("bad magic"));
+        }
+        buf.advance(4);
+        if buf.get_u8() != 1 {
+            return Err(corrupt("unknown version"));
+        }
+        let ncols = buf.get_u32_le() as usize;
+        let mut columns = BTreeMap::new();
+        for _ in 0..ncols {
+            if buf.remaining() < 4 {
+                return Err(corrupt("truncated column name length"));
+            }
+            let nlen = buf.get_u32_le() as usize;
+            if buf.remaining() < nlen {
+                return Err(corrupt("truncated column name"));
+            }
+            let name = std::str::from_utf8(&buf[..nlen])
+                .map_err(|_| corrupt("column name is not UTF-8"))?
+                .to_string();
+            buf.advance(nlen);
+            if buf.remaining() < 13 {
+                return Err(corrupt("truncated column zone header"));
+            }
+            let source = match buf.get_u8() {
+                0 => ZoneSource::Data,
+                1 => ZoneSource::Model,
+                _ => return Err(corrupt("bad zone source tag")),
+            };
+            let zone_rows = buf.get_u64_le() as usize;
+            if zone_rows == 0 {
+                return Err(corrupt("zero zone_rows"));
+            }
+            let nentries = buf.get_u32_le() as usize;
+            if buf.remaining() < nentries * 25 {
+                return Err(corrupt("truncated zone entries"));
+            }
+            let mut entries = Vec::with_capacity(nentries);
+            for _ in 0..nentries {
+                let rows = buf.get_u32_le();
+                let null_count = buf.get_u32_le();
+                let min = buf.get_f64_le();
+                let max = buf.get_f64_le();
+                let constant = match buf.get_u8() {
+                    0 => false,
+                    1 => true,
+                    _ => return Err(corrupt("bad constant flag")),
+                };
+                if min.is_nan() || max.is_nan() {
+                    return Err(corrupt("NaN zone bound"));
+                }
+                if null_count > rows {
+                    return Err(corrupt("null_count exceeds rows"));
+                }
+                entries.push(ZoneEntry { rows, null_count, min, max, constant });
+            }
+            columns.insert(name, ColumnZones { source, zone_rows, entries });
+        }
+        Ok(TableSynopsis { columns })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn zones(col: &Column, zone_rows: usize) -> ColumnZones {
+        ColumnZones::build(col, zone_rows).unwrap()
+    }
+
+    #[test]
+    fn build_records_min_max_per_zone() {
+        let c = Column::from_i64((0..10).collect());
+        let z = zones(&c, 4);
+        assert_eq!(z.entries.len(), 3);
+        assert_eq!((z.entries[0].min, z.entries[0].max), (0.0, 3.0));
+        assert_eq!((z.entries[1].min, z.entries[1].max), (4.0, 7.0));
+        assert_eq!((z.entries[2].min, z.entries[2].max), (8.0, 9.0));
+        assert_eq!(z.entries[2].rows, 2);
+        assert_eq!(z.row_count(), 10);
+    }
+
+    #[test]
+    fn nulls_and_nans_are_excluded_from_bounds() {
+        let c = Column::from_f64_opt(vec![
+            Some(1.0),
+            None,
+            Some(f64::NAN),
+            Some(-2.0),
+        ]);
+        let z = zones(&c, 4);
+        let e = &z.entries[0];
+        assert_eq!((e.min, e.max), (-2.0, 1.0));
+        assert_eq!(e.null_count, 1);
+        assert!(!e.constant);
+    }
+
+    #[test]
+    fn all_null_zone_prunes_everything() {
+        let c = Column::from_f64_opt(vec![None, None, None]);
+        let z = zones(&c, 4);
+        let e = &z.entries[0];
+        assert!(!e.has_values());
+        for op in [PredOp::Lt, PredOp::Le, PredOp::Gt, PredOp::Ge, PredOp::Eq, PredOp::Ne] {
+            assert!(!e.may_match(op, 0.0), "{op:?}");
+        }
+    }
+
+    #[test]
+    fn constant_zone_detected_and_decides_all() {
+        let c = Column::from_i64(vec![7, 7, 7, 7, 7, 8]);
+        let z = zones(&c, 4);
+        assert!(z.entries[0].constant);
+        assert_eq!(z.entries[0].decides_all(PredOp::Eq, 7.0), Some(true));
+        assert_eq!(z.entries[0].decides_all(PredOp::Gt, 7.0), Some(false));
+        assert!(!z.entries[1].constant);
+        assert_eq!(z.entries[1].decides_all(PredOp::Eq, 7.0), None);
+    }
+
+    #[test]
+    fn constant_with_nulls_does_not_decide_all() {
+        let c = Column::from_i64_opt(vec![Some(5), None, Some(5)]);
+        let z = zones(&c, 4);
+        assert!(!z.entries[0].constant);
+        assert_eq!(z.entries[0].decides_all(PredOp::Eq, 5.0), None);
+    }
+
+    #[test]
+    fn may_match_interval_logic() {
+        let e = ZoneEntry { rows: 4, null_count: 0, min: 10.0, max: 20.0, constant: false };
+        assert!(!e.may_match(PredOp::Lt, 10.0));
+        assert!(e.may_match(PredOp::Le, 10.0));
+        assert!(e.may_match(PredOp::Lt, 10.5));
+        assert!(!e.may_match(PredOp::Gt, 20.0));
+        assert!(e.may_match(PredOp::Ge, 20.0));
+        assert!(e.may_match(PredOp::Eq, 15.0));
+        assert!(!e.may_match(PredOp::Eq, 21.0));
+        assert!(e.may_match(PredOp::Ne, 15.0));
+        // NaN literal: no row can satisfy any comparison against it.
+        assert!(!e.may_match(PredOp::Lt, f64::NAN));
+        // Constant zone and != its value: provably empty.
+        let k = ZoneEntry { rows: 4, null_count: 0, min: 3.0, max: 3.0, constant: true };
+        assert!(!k.may_match(PredOp::Ne, 3.0));
+        assert!(k.may_match(PredOp::Ne, 4.0));
+    }
+
+    #[test]
+    fn strings_have_no_zones() {
+        assert!(ColumnZones::build(&Column::from_str(vec!["a".into()]), 4).is_none());
+    }
+
+    #[test]
+    fn bool_zones_are_zero_one() {
+        let c = Column::from_bool(&[true, false, true]);
+        let z = zones(&c, 4);
+        assert_eq!((z.entries[0].min, z.entries[0].max), (0.0, 1.0));
+    }
+
+    #[test]
+    fn zones_for_maps_row_ranges() {
+        let c = Column::from_i64((0..100).collect());
+        let z = zones(&c, 10);
+        assert_eq!(z.zones_for(0, 10), 0..1);
+        assert_eq!(z.zones_for(5, 10), 0..2);
+        assert_eq!(z.zones_for(95, 5), 9..10);
+        assert_eq!(z.zones_for(0, 100), 0..10);
+        assert_eq!(z.zones_for(50, 0), 0..0);
+        assert_eq!(z.zone_range(3), (30, 40));
+    }
+
+    #[test]
+    fn range_may_match_consults_only_overlapping_zones() {
+        let c = Column::from_i64((0..100).collect());
+        let z = zones(&c, 10);
+        // Rows 0..10 hold 0..=9: v > 50 cannot match there…
+        assert!(!z.range_may_match(0, 10, PredOp::Gt, 50.0));
+        // …but the whole table can.
+        assert!(z.range_may_match(0, 100, PredOp::Gt, 50.0));
+    }
+
+    #[test]
+    fn model_bounds_widen_by_residual() {
+        let preds = vec![10.0, 12.0, 30.0, 31.0];
+        let z = ColumnZones::from_model_bounds(&preds, 0.5, 2);
+        assert_eq!(z.source, ZoneSource::Model);
+        assert_eq!((z.entries[0].min, z.entries[0].max), (9.5, 12.5));
+        assert_eq!((z.entries[1].min, z.entries[1].max), (29.5, 31.5));
+        // Model zones never claim constantness.
+        assert_eq!(z.entries[0].decides_all(PredOp::Eq, 10.0), None);
+    }
+
+    #[test]
+    fn non_finite_predictions_make_zone_unprunable() {
+        let preds = vec![1.0, f64::NAN];
+        let z = ColumnZones::from_model_bounds(&preds, 0.1, 2);
+        assert!(z.entries[0].may_match(PredOp::Gt, 1e300));
+        assert!(z.entries[0].may_match(PredOp::Lt, -1e300));
+    }
+
+    #[test]
+    fn synopsis_roundtrips_through_bytes() {
+        let mut s = TableSynopsis::new();
+        s.insert("a", zones(&Column::from_i64((0..10).collect()), 4));
+        s.insert(
+            "b",
+            ColumnZones::from_model_bounds(&[1.0, 2.0, f64::INFINITY], 0.25, 2),
+        );
+        let bytes = s.to_bytes();
+        let back = TableSynopsis::from_bytes(&bytes).unwrap();
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn corrupt_synopsis_is_rejected_not_panicking() {
+        let mut s = TableSynopsis::new();
+        s.insert("a", zones(&Column::from_i64((0..10).collect()), 4));
+        let bytes = s.to_bytes();
+        assert!(TableSynopsis::from_bytes(&[]).is_err());
+        assert!(TableSynopsis::from_bytes(b"XMAP").is_err());
+        for cut in 1..bytes.len() {
+            assert!(TableSynopsis::from_bytes(&bytes[..cut]).is_err(), "cut {cut}");
+        }
+        let mut bad = bytes.clone();
+        bad[4] = 9; // version
+        assert!(TableSynopsis::from_bytes(&bad).is_err());
+    }
+
+    #[test]
+    fn empty_column_gets_one_empty_zone() {
+        let c = Column::from_i64(vec![]);
+        let z = zones(&c, 4);
+        assert_eq!(z.entries.len(), 1);
+        assert!(!z.entries[0].has_values());
+        assert_eq!(z.row_count(), 0);
+    }
+}

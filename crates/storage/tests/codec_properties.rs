@@ -1,8 +1,14 @@
 //! Property tests over every integer/float/byte codec: round-trips for
-//! arbitrary inputs, including adversarial edge values.
+//! arbitrary inputs, including adversarial edge values, truncation
+//! rejection, and compressed-domain kernel equivalence.
 
+use lawsdb_storage::bitmap::Bitmap;
 use lawsdb_storage::compress::{bitpack, delta, dict, float, for_, huffman, lzss, rle, varint};
+use lawsdb_storage::zonemap::PredOp;
 use proptest::prelude::*;
+
+const OPS: [PredOp; 6] =
+    [PredOp::Lt, PredOp::Le, PredOp::Gt, PredOp::Ge, PredOp::Eq, PredOp::Ne];
 
 proptest! {
     #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
@@ -67,6 +73,105 @@ proptest! {
     #[test]
     fn lzss_roundtrip(data in prop::collection::vec(any::<u8>(), 0..3000)) {
         prop_assert_eq!(lzss::decompress(&lzss::compress(&data)).unwrap(), data);
+    }
+
+    /// Every strict prefix of a valid encoding must decode to an error,
+    /// never a panic and never a silently-shorter result: each format
+    /// declares its length up front, so truncation is always detectable.
+    #[test]
+    fn rle_truncation_is_error(
+        values in prop::collection::vec(-50i64..50, 1..200),
+        frac in 0.0f64..1.0,
+    ) {
+        let enc = rle::encode(&values);
+        let keep = (enc.len() as f64 * frac) as usize; // < enc.len()
+        prop_assert!(rle::decode(&enc[..keep]).is_err());
+        prop_assert!(rle::eval_cmp(&enc[..keep], PredOp::Eq, 0).is_err());
+    }
+
+    #[test]
+    fn dict_truncation_is_error(
+        values in prop::collection::vec("[a-c]{0,4}", 1..100),
+        frac in 0.0f64..1.0,
+    ) {
+        let enc = dict::encode(&values);
+        let keep = (enc.len() as f64 * frac) as usize;
+        prop_assert!(dict::decode(&enc[..keep]).is_err());
+        prop_assert!(dict::eval_cmp(&enc[..keep], PredOp::Eq, "a").is_err());
+    }
+
+    #[test]
+    fn for_truncation_is_error(
+        values in prop::collection::vec(any::<i64>(), 1..200),
+        frac in 0.0f64..1.0,
+    ) {
+        let enc = for_::encode(&values);
+        let keep = (enc.len() as f64 * frac) as usize;
+        prop_assert!(for_::decode(&enc[..keep]).is_err());
+        prop_assert!(for_::eval_cmp(&enc[..keep], PredOp::Eq, 0).is_err());
+    }
+
+    #[test]
+    fn bitpack_truncation_is_error(
+        values in prop::collection::vec(any::<u64>(), 1..200),
+        frac in 0.0f64..1.0,
+    ) {
+        let enc = bitpack::encode(&values);
+        let keep = (enc.len() as f64 * frac) as usize;
+        prop_assert!(bitpack::decode(&enc[..keep]).is_err());
+        prop_assert!(bitpack::eval_cmp(&enc[..keep], PredOp::Eq, 0).is_err());
+    }
+
+    /// Compressed-domain kernels must agree bit-for-bit with
+    /// decode-then-compare for arbitrary inputs, operators, and
+    /// thresholds — including thresholds outside the packed domain.
+    #[test]
+    fn rle_kernel_matches_decode_then_compare(
+        values in prop::collection::vec(-20i64..20, 0..300),
+        op_idx in 0usize..6,
+        rhs in -25i64..25,
+    ) {
+        let op = OPS[op_idx];
+        let fast = rle::eval_cmp(&rle::encode(&values), op, rhs).unwrap();
+        let slow = Bitmap::from_fn(values.len(), |i| op.eval_i64(values[i], rhs));
+        prop_assert_eq!(fast, slow);
+    }
+
+    #[test]
+    fn for_kernel_matches_decode_then_compare(
+        values in prop::collection::vec(any::<i64>(), 0..300),
+        op_idx in 0usize..6,
+        rhs in any::<i64>(),
+    ) {
+        let op = OPS[op_idx];
+        let fast = for_::eval_cmp(&for_::encode(&values), op, rhs).unwrap();
+        let slow = Bitmap::from_fn(values.len(), |i| op.eval_i64(values[i], rhs));
+        prop_assert_eq!(fast, slow);
+    }
+
+    #[test]
+    fn bitpack_kernel_matches_decode_then_compare(
+        values in prop::collection::vec(any::<u64>(), 0..300),
+        op_idx in 0usize..6,
+        rhs in any::<u64>(),
+    ) {
+        let op = OPS[op_idx];
+        let fast = bitpack::eval_cmp(&bitpack::encode(&values), op, rhs).unwrap();
+        let slow = Bitmap::from_fn(values.len(), |i| op.eval_u64(values[i], rhs));
+        prop_assert_eq!(fast, slow);
+    }
+
+    #[test]
+    fn dict_kernel_matches_decode_then_compare(
+        values in prop::collection::vec("[a-c]{0,3}", 0..200),
+        op_idx in 0usize..6,
+        rhs in "[a-c]{0,3}",
+    ) {
+        let op = OPS[op_idx];
+        let owned: Vec<String> = values;
+        let fast = dict::eval_cmp(&dict::encode(&owned), op, &rhs).unwrap();
+        let slow = Bitmap::from_fn(owned.len(), |i| op.eval_ord(owned[i].as_str().cmp(&rhs)));
+        prop_assert_eq!(fast, slow);
     }
 
     /// Decoders must never panic on arbitrary garbage — errors only.

@@ -15,5 +15,6 @@ pub mod e9_enumeration;
 pub mod figure1;
 pub mod morsel;
 pub mod figure2;
+pub mod resilience;
 pub mod scan_pruning;
 pub mod table1;

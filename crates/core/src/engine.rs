@@ -1,6 +1,9 @@
 //! The assembled LawsDB engine.
 
 use crate::error::{CoreError, Result};
+use crate::resilience::{
+    fault_seed, sample_rows, DegradeReason, HealthCounters, HealthSnapshot, ResilientAnswer,
+};
 use crate::session::Session;
 use lawsdb_approx::legal::build_legal_filter;
 use lawsdb_approx::{ApproxAnswer, ApproxEngine};
@@ -14,6 +17,11 @@ use lawsdb_query::{ExecOptions, QueryResult};
 use lawsdb_storage::{Catalog, Column, Table};
 use parking_lot::RwLock;
 use std::sync::Arc;
+
+/// Rows sampled by the residual drift check — enough to catch a
+/// replaced or rescaled column with near-certainty, cheap enough to run
+/// on every model-path answer.
+const DRIFT_SAMPLE_ROWS: usize = 16;
 
 /// The quality gate applied to every captured model before it becomes
 /// usable (Section 3, step 2: "Judge the quality of the model").
@@ -80,6 +88,8 @@ pub struct LawsDb {
     /// Knobs for the exact query path: worker thread count (0 = one per
     /// core) and morsel size. Results are identical for any setting.
     pub exec: ExecOptions,
+    /// Degradation health counters (see [`crate::resilience`]).
+    health: HealthCounters,
 }
 
 impl Default for LawsDb {
@@ -99,6 +109,7 @@ impl LawsDb {
             quality: QualityPolicy::default(),
             legal_filter_bits_per_key: Some(10),
             exec: ExecOptions::default(),
+            health: HealthCounters::default(),
         }
     }
 
@@ -153,16 +164,105 @@ impl LawsDb {
     }
 
     /// Answer approximately when a model can, exactly otherwise — the
-    /// transparent behavior the paper's user sees.
+    /// transparent behavior the paper's user sees. Degradation reasons
+    /// are recorded in [`LawsDb::health`] but not returned; use
+    /// [`LawsDb::query_resilient`] to see them per query.
     pub fn query_transparent(&self, sql: &str) -> Result<Answer> {
+        Ok(self.query_resilient(sql)?.answer)
+    }
+
+    /// The transparent path with every degradation decision surfaced:
+    /// answer from a model when one covers the query *and is still
+    /// current*, demote stale or drifted models, fall back to exact —
+    /// and say which rungs of the ladder were taken and why.
+    pub fn query_resilient(&self, sql: &str) -> Result<ResilientAnswer> {
         match self.query_approx(sql) {
-            Ok(a) => Ok(Answer::Approx(a)),
-            Err(CoreError::Approx(lawsdb_approx::ApproxError::NotAnswerable { .. }))
-            | Err(CoreError::Approx(lawsdb_approx::ApproxError::EnumerationTooLarge {
-                ..
-            })) => Ok(Answer::Exact(self.query(sql)?)),
+            Ok(a) => match self.freshness_guard(&a) {
+                None => {
+                    self.health.record_approx();
+                    Ok(ResilientAnswer { answer: Answer::Approx(a), degraded: Vec::new() })
+                }
+                Some(reason) => {
+                    // Demote so the next query doesn't retry the model,
+                    // then answer this one exactly.
+                    let _ = self.models.set_state(a.model, ModelState::Stale);
+                    self.health.record(&reason);
+                    Ok(ResilientAnswer {
+                        answer: Answer::Exact(self.query(sql)?),
+                        degraded: vec![reason],
+                    })
+                }
+            },
+            Err(CoreError::Approx(
+                e @ (lawsdb_approx::ApproxError::NotAnswerable { .. }
+                | lawsdb_approx::ApproxError::EnumerationTooLarge { .. }),
+            )) => {
+                let reason = DegradeReason::NoModel { detail: e.to_string() };
+                self.health.record(&reason);
+                Ok(ResilientAnswer {
+                    answer: Answer::Exact(self.query(sql)?),
+                    degraded: vec![reason],
+                })
+            }
             Err(e) => Err(e),
         }
+    }
+
+    /// Degradation health counters.
+    pub fn health(&self) -> HealthSnapshot {
+        self.health.snapshot()
+    }
+
+    /// Post-hoc staleness verification of the model that produced `a`
+    /// (the approximate engine is zero-IO by design, so the base-table
+    /// comparison has to happen here). Returns the reason to degrade,
+    /// or `None` when the model is still current.
+    fn freshness_guard(&self, a: &ApproxAnswer) -> Option<DegradeReason> {
+        let model = self.models.get(a.model).ok()?;
+        let table = self.table(&model.coverage.table).ok()?;
+        if table.row_count() != model.coverage.rows_at_fit {
+            return Some(DegradeReason::StaleRowCount {
+                model: a.model,
+                rows_at_fit: model.coverage.rows_at_fit,
+                rows_now: table.row_count(),
+            });
+        }
+        // Sampled-residual drift check. Partial models are skipped
+        // (sampled rows may legitimately lie outside their coverage),
+        // as are models without a fitted residual bound.
+        if model.coverage.predicate.is_some() {
+            return None;
+        }
+        let bound = model.max_abs_residual?;
+        let seed = fault_seed() ^ a.model.0;
+        let idx = sample_rows(seed, table.row_count(), DRIFT_SAMPLE_ROWS);
+        if idx.is_empty() {
+            return None;
+        }
+        let sampled = table.take(&idx).ok()?;
+        let preds = lawsdb_models::bridge::predict_table(&model, &sampled).ok()?;
+        let observed = sampled
+            .column(&model.coverage.response)
+            .ok()
+            .and_then(|c| c.to_f64_lossy().ok())?;
+        let drift = preds
+            .iter()
+            .zip(&observed)
+            .filter(|(p, o)| p.is_finite() && o.is_finite())
+            .map(|(p, o)| (p - o).abs())
+            .fold(0.0_f64, f64::max);
+        // Every row satisfied |residual| ≤ bound at fit time, so the
+        // factor-of-two margin only tolerates numeric wiggle — real
+        // drift (edits, replaced columns) blows far past it.
+        if drift > (bound * 2.0).max(1e-12) {
+            return Some(DegradeReason::ResidualDrift {
+                model: a.model,
+                observed: drift,
+                bound,
+                seed,
+            });
+        }
+        None
     }
 
     /// Capture a model: fit `formula` against `table` (grouped by
@@ -571,5 +671,127 @@ mod tests {
             .capture_model("zz", "y ~ a + b * x", None, &RawFitOptions::default())
             .is_err());
         assert!(db.append_rows("zz", &[]).is_err());
+    }
+
+    /// Swap the measurements table for one with `intensity` rescaled by
+    /// `scale`, keeping (or truncating to) `rows` rows — a data change
+    /// that bypasses the engine's invalidation hooks, exactly what the
+    /// freshness guard exists to catch.
+    fn replace_measurements(db: &LawsDb, scale: f64, rows: Option<usize>) {
+        let t = db.table("measurements").unwrap();
+        let n = rows.unwrap_or(t.row_count());
+        let src = t.column("source").unwrap().i64_data().unwrap()[..n].to_vec();
+        let nu = t.column("nu").unwrap().f64_data().unwrap()[..n].to_vec();
+        let intensity: Vec<f64> = t.column("intensity").unwrap().f64_data().unwrap()[..n]
+            .iter()
+            .map(|v| v * scale)
+            .collect();
+        let mut b = TableBuilder::new("measurements");
+        b.add_i64("source", src);
+        b.add_f64("nu", nu);
+        b.add_f64("intensity", intensity);
+        db.tables().replace(b.build().unwrap());
+    }
+
+    #[test]
+    fn resilient_query_prefers_the_model_when_fresh() {
+        let db = lofar_db();
+        db.capture_model(
+            "measurements",
+            "intensity ~ p * nu ^ alpha",
+            Some("source"),
+            &RawFitOptions::default(),
+        )
+        .unwrap();
+        let sql = "SELECT intensity FROM measurements WHERE source = 0 AND nu = 0.15";
+        let r = db.query_resilient(sql).unwrap();
+        assert!(r.answer.is_approximate());
+        assert!(r.degraded.is_empty());
+        let h = db.health();
+        assert_eq!(h.approx_answers, 1);
+        assert_eq!(h.exact_fallbacks, 0);
+    }
+
+    #[test]
+    fn residual_drift_demotes_the_model_and_answers_exactly() {
+        let db = lofar_db();
+        let m = db
+            .capture_model(
+                "measurements",
+                "intensity ~ p * nu ^ alpha",
+                Some("source"),
+                &RawFitOptions::default(),
+            )
+            .unwrap();
+        // Rescale the data under the model at constant row count.
+        replace_measurements(&db, 10.0, None);
+        let sql = "SELECT intensity FROM measurements WHERE source = 0 AND nu = 0.15";
+        let r = db.query_resilient(sql).unwrap();
+        assert!(!r.answer.is_approximate(), "drifted model must not answer");
+        match r.degraded.as_slice() {
+            [DegradeReason::ResidualDrift { model, observed, bound, .. }] => {
+                assert_eq!(*model, m.id);
+                assert!(observed > bound);
+            }
+            other => panic!("expected ResidualDrift, got {other:?}"),
+        }
+        // The exact answer reflects the new data.
+        let got = match &r.answer {
+            Answer::Exact(q) => q.table.column("intensity").unwrap().f64_data().unwrap()[0],
+            Answer::Approx(_) => unreachable!(),
+        };
+        assert!((got - 10.0 * 2.0 * 0.15_f64.powf(-0.7)).abs() < 1e-6);
+        // Demotion is durable: the model is Stale and the next query
+        // degrades with NoModel instead of re-running the drift check.
+        assert_eq!(db.models().get(m.id).unwrap().state, ModelState::Stale);
+        let again = db.query_resilient(sql).unwrap();
+        assert!(matches!(again.degraded.as_slice(), [DegradeReason::NoModel { .. }]));
+        let h = db.health();
+        assert_eq!(h.drift_demotions, 1);
+        assert_eq!(h.exact_fallbacks, 2);
+        assert_eq!(h.approx_answers, 0);
+    }
+
+    #[test]
+    fn row_count_mismatch_demotes_the_model() {
+        let db = lofar_db();
+        let m = db
+            .capture_model(
+                "measurements",
+                "intensity ~ p * nu ^ alpha",
+                Some("source"),
+                &RawFitOptions::default(),
+            )
+            .unwrap();
+        // Values untouched, but four rows vanish behind the engine's
+        // back — the residual check alone would not notice.
+        replace_measurements(&db, 1.0, Some(156));
+        let r = db
+            .query_resilient("SELECT intensity FROM measurements WHERE source = 0 AND nu = 0.15")
+            .unwrap();
+        assert!(!r.answer.is_approximate());
+        match r.degraded.as_slice() {
+            [DegradeReason::StaleRowCount { model, rows_at_fit, rows_now }] => {
+                assert_eq!(*model, m.id);
+                assert_eq!(*rows_at_fit, 160);
+                assert_eq!(*rows_now, 156);
+            }
+            other => panic!("expected StaleRowCount, got {other:?}"),
+        }
+        assert_eq!(db.models().get(m.id).unwrap().state, ModelState::Stale);
+        assert_eq!(db.health().stale_demotions, 1);
+    }
+
+    #[test]
+    fn no_model_fallback_is_counted_but_not_a_demotion() {
+        let db = lofar_db();
+        let r = db
+            .query_resilient("SELECT intensity FROM measurements WHERE source = 0 AND nu = 0.15")
+            .unwrap();
+        assert!(!r.answer.is_approximate());
+        assert!(matches!(r.degraded.as_slice(), [DegradeReason::NoModel { .. }]));
+        let h = db.health();
+        assert_eq!(h.exact_fallbacks, 1);
+        assert_eq!(h.stale_demotions + h.drift_demotions, 0);
     }
 }

@@ -25,10 +25,12 @@
 
 pub mod engine;
 pub mod error;
+pub mod resilience;
 pub mod session;
 pub mod storage_mgr;
 
 pub use engine::{Answer, LawsDb, QualityPolicy};
 pub use error::{CoreError, Result};
+pub use resilience::{DegradeReason, HealthSnapshot, ResilientAnswer};
 pub use session::{FitOptions, FitReport, RemoteFrame, Session, TransferModel};
 pub use storage_mgr::{CompressedColumn, CompressionMode, DurableDb};

@@ -16,11 +16,12 @@
 //! coverage (Section 4.1's "multiple, partial or grouped models").
 
 use crate::error::{CoreError, Result};
+use crate::resilience::DegradeReason;
 use lawsdb_models::bridge::predict_table;
 use lawsdb_models::{CapturedModel, ModelCatalog};
 use lawsdb_storage::compress::{residual, varint};
 use lawsdb_storage::wal::DurableStore;
-use lawsdb_storage::{BlockDevice, IoStats, RecoveryReport, Table};
+use lawsdb_storage::{BlockDevice, Column, IoStats, RecoveryReport, Table};
 
 /// Residual encoding mode.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -221,6 +222,113 @@ impl<D: BlockDevice> DurableDb<D> {
         self.store.read_table(name).map_err(CoreError::Storage)
     }
 
+    /// Read a stored table, degrading gracefully around checksum
+    /// failures instead of refusing the whole table.
+    ///
+    /// Columns live in separate extents, so a corrupt (quarantined)
+    /// page takes out exactly one column. For each unreadable column
+    /// the ladder is: re-derive it from the best active model in
+    /// `models` covering `(table, column)` — predictions are within the
+    /// model's fitted residual bound — else drop the column and carry a
+    /// [`DegradeReason::ColumnLost`] warning. A clean read returns the
+    /// exact table and no reasons. Only a table whose *every* column is
+    /// unreadable (or whose directory is gone) still errors.
+    pub fn read_table_resilient(
+        &self,
+        name: &str,
+        models: &ModelCatalog,
+    ) -> Result<(Table, Vec<DegradeReason>)> {
+        match self.store.read_table(name) {
+            Ok(t) => return Ok((t, Vec::new())),
+            Err(
+                lawsdb_storage::StorageError::ChecksumMismatch { .. }
+                | lawsdb_storage::StorageError::CorruptData { .. },
+            ) => {}
+            Err(e) => return Err(CoreError::Storage(e)),
+        }
+        // Salvage pass: read column by column.
+        let st = self.store.stored_table(name).map_err(CoreError::Storage)?;
+        let schema = st.schema.clone();
+        let mut good: Vec<Option<Column>> = Vec::with_capacity(schema.len());
+        let mut failed: Vec<(usize, String)> = Vec::new();
+        for (i, field) in schema.fields().iter().enumerate() {
+            match self.store.read_column(name, i) {
+                Ok(c) => good.push(Some(c)),
+                Err(e) => {
+                    good.push(None);
+                    failed.push((i, format!("{}: {e}", field.name)));
+                }
+            }
+        }
+        let mut degraded = Vec::new();
+        // Reconstruction needs the model's input columns, which must
+        // themselves have survived; a partial table holding only the
+        // readable columns is what the model predicts against.
+        let readable = Table::new(
+            name.to_string(),
+            lawsdb_storage::schema::Schema::new(
+                schema
+                    .fields()
+                    .iter()
+                    .zip(&good)
+                    .filter(|(_, c)| c.is_some())
+                    .map(|(f, _)| f.clone())
+                    .collect(),
+            ),
+            good.iter().flatten().cloned().collect(),
+        )
+        .map_err(CoreError::Storage)?;
+        for (i, detail) in failed {
+            let field = &schema.fields()[i];
+            let column = field.name.clone();
+            // Models predict floats; a lost non-float column can only
+            // be dropped. `best_for(…, false)` already restricts to
+            // Active models.
+            let rederived = (field.data_type == lawsdb_storage::DataType::Float64)
+                .then(|| models.best_for(name, &column, false).ok())
+                .flatten()
+                .filter(|m| {
+                    m.coverage.predicate.is_none() && m.coverage.rows_at_fit == st.rows
+                })
+                .and_then(|m| {
+                    let preds = predict_table(&m, &readable).ok()?;
+                    preds.iter().all(|p| p.is_finite()).then_some((m, preds))
+                });
+            match rederived {
+                Some((m, preds)) => {
+                    good[i] = Some(Column::from_f64(preds));
+                    degraded.push(DegradeReason::ColumnReconstructed {
+                        column,
+                        model: m.id,
+                        error_bound: m.max_abs_residual,
+                    });
+                }
+                None => {
+                    degraded.push(DegradeReason::ColumnLost { column, detail });
+                }
+            }
+        }
+        let fields: Vec<lawsdb_storage::schema::Field> = schema
+            .fields()
+            .iter()
+            .zip(&good)
+            .filter(|(_, c)| c.is_some())
+            .map(|(f, _)| f.clone())
+            .collect();
+        if fields.is_empty() {
+            return Err(CoreError::CompressionState {
+                detail: format!("table {name:?}: every column failed verification"),
+            });
+        }
+        let table = Table::new(
+            name.to_string(),
+            lawsdb_storage::schema::Schema::new(fields),
+            good.into_iter().flatten().collect(),
+        )
+        .map_err(CoreError::Storage)?;
+        Ok((table, degraded))
+    }
+
     /// Names of all stored tables, sorted.
     pub fn table_names(&self) -> Vec<String> {
         self.store.table_names()
@@ -237,6 +345,17 @@ impl<D: BlockDevice> DurableDb<D> {
     /// ever saved).
     pub fn load_models(&self) -> Result<ModelCatalog> {
         ModelCatalog::load_from_store(&self.store).map_err(CoreError::Model)
+    }
+
+    /// Page range `(start, byte_len)` of one stored column's extent —
+    /// the targeting hook fault-injection tests use to corrupt a
+    /// specific column.
+    pub fn column_pages(&self, name: &str, index: usize) -> Result<(u64, u64)> {
+        let st = self.store.stored_table(name).map_err(CoreError::Storage)?;
+        let ext = st.columns.get(index).ok_or(CoreError::CompressionState {
+            detail: format!("table {name:?} has no column {index}"),
+        })?;
+        Ok((ext.start, ext.byte_len))
     }
 
     /// Device access counters.
@@ -336,6 +455,85 @@ mod tests {
         let c = compress_column(&m, &t, CompressionMode::Quantized { eps: 1e-3 }).unwrap();
         let back = decompress_column(&c, &m, &t).unwrap();
         assert_eq!(*back.last().unwrap(), 123.456, "exception row must be exact");
+    }
+
+    /// Store `t`, flip a byte inside the extent of column `index`, and
+    /// reopen — the fault-injection preamble both salvage tests share.
+    fn corrupted_db(
+        t: &Table,
+        index: usize,
+    ) -> DurableDb<lawsdb_storage::SimulatedDevice> {
+        let mut db = DurableDb::new(lawsdb_storage::SimulatedDevice::new(256));
+        db.recover().unwrap();
+        db.store_table(t).unwrap();
+        let (start, _) = db.column_pages("measurements", index).unwrap();
+        let mut dev = db.into_device();
+        dev.poke_page(start).unwrap()[0] ^= 0xFF;
+        let mut db = DurableDb::new(dev);
+        db.recover().unwrap();
+        db
+    }
+
+    #[test]
+    fn quarantined_column_is_rederived_from_the_model() {
+        let t = noisy_lofar(6);
+        let models = ModelCatalog::new();
+        let stored = models.store(fitted(&t));
+        let db = corrupted_db(&t, 2); // intensity
+        assert!(db.read_table("measurements").is_err(), "corruption must be detected");
+        let (salvaged, reasons) = db.read_table_resilient("measurements", &models).unwrap();
+        assert!(
+            matches!(
+                reasons.as_slice(),
+                [DegradeReason::ColumnReconstructed { column, .. }] if column == "intensity"
+            ),
+            "{reasons:?}"
+        );
+        let bound = stored.max_abs_residual.unwrap();
+        let recon = salvaged.column("intensity").unwrap().f64_data().unwrap();
+        let orig = t.column("intensity").unwrap().f64_data().unwrap();
+        assert_eq!(recon.len(), orig.len());
+        for (r, o) in recon.iter().zip(orig) {
+            assert!(
+                (r - o).abs() <= bound + 1e-9,
+                "reconstruction must stay within the fitted bound: |{r} - {o}| > {bound}"
+            );
+        }
+        // The surviving columns come back exact.
+        assert_eq!(
+            salvaged.column("nu").unwrap().f64_data().unwrap(),
+            t.column("nu").unwrap().f64_data().unwrap()
+        );
+    }
+
+    #[test]
+    fn quarantined_column_without_model_is_dropped_with_warning() {
+        let t = noisy_lofar(4);
+        let db = corrupted_db(&t, 2);
+        let (salvaged, reasons) =
+            db.read_table_resilient("measurements", &ModelCatalog::new()).unwrap();
+        assert!(
+            matches!(
+                reasons.as_slice(),
+                [DegradeReason::ColumnLost { column, .. }] if column == "intensity"
+            ),
+            "{reasons:?}"
+        );
+        assert!(salvaged.column("intensity").is_err(), "lost column is dropped");
+        assert_eq!(salvaged.schema().len(), 2);
+        assert_eq!(salvaged.row_count(), t.row_count());
+    }
+
+    #[test]
+    fn clean_reads_carry_no_degradation() {
+        let t = noisy_lofar(3);
+        let mut db = DurableDb::new(lawsdb_storage::SimulatedDevice::new(256));
+        db.recover().unwrap();
+        db.store_table(&t).unwrap();
+        let (salvaged, reasons) =
+            db.read_table_resilient("measurements", &ModelCatalog::new()).unwrap();
+        assert!(reasons.is_empty());
+        assert_eq!(salvaged.row_count(), t.row_count());
     }
 
     #[test]

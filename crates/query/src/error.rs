@@ -22,6 +22,9 @@ pub enum QueryError {
         expected: String,
         /// What was found.
         found: String,
+        /// Byte offset of the offending token in the source text
+        /// (`None` for end-of-input).
+        pos: Option<usize>,
     },
     /// A referenced column does not exist in the input schema.
     UnknownColumn {
@@ -45,6 +48,40 @@ pub enum QueryError {
         /// The construct.
         what: String,
     },
+    /// The query ran past its wall-clock budget and was stopped at a
+    /// morsel boundary.
+    Timeout {
+        /// Time actually elapsed when the governor tripped.
+        elapsed_ms: u64,
+        /// The declared budget.
+        budget_ms: u64,
+    },
+    /// The query materialized more bytes than its memory budget allows.
+    MemoryExceeded {
+        /// Bytes charged when the governor tripped.
+        used: usize,
+        /// The declared budget.
+        budget: usize,
+    },
+    /// The query's [`CancelToken`](crate::governor::CancelToken) was
+    /// triggered; execution stopped at the next morsel boundary.
+    Cancelled,
+    /// Table scans admitted more rows than the declared `max_rows`.
+    RowLimitExceeded {
+        /// Rows admitted when the governor tripped.
+        scanned: usize,
+        /// The declared budget.
+        budget: usize,
+    },
+    /// A kernel panicked inside a morsel worker. The panic was caught
+    /// at the morsel boundary: this query fails with the payload below
+    /// while sibling queries and shared state stay healthy.
+    WorkerPanic {
+        /// The panic payload, stringified.
+        detail: String,
+        /// Row offset of the morsel that panicked.
+        offset: usize,
+    },
     /// Underlying storage failure.
     Storage(StorageError),
 }
@@ -53,13 +90,29 @@ impl fmt::Display for QueryError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             QueryError::Lex { detail, pos } => write!(f, "lex error at byte {pos}: {detail}"),
-            QueryError::Parse { expected, found } => {
+            QueryError::Parse { expected, found, pos: Some(pos) } => {
+                write!(f, "parse error at byte {pos}: expected {expected}, found {found}")
+            }
+            QueryError::Parse { expected, found, pos: None } => {
                 write!(f, "parse error: expected {expected}, found {found}")
             }
             QueryError::UnknownColumn { name } => write!(f, "unknown column {name:?}"),
             QueryError::InvalidAggregate { reason } => write!(f, "invalid aggregate: {reason}"),
             QueryError::Type { reason } => write!(f, "type error: {reason}"),
             QueryError::Unsupported { what } => write!(f, "unsupported SQL: {what}"),
+            QueryError::Timeout { elapsed_ms, budget_ms } => {
+                write!(f, "query timed out after {elapsed_ms} ms (budget {budget_ms} ms)")
+            }
+            QueryError::MemoryExceeded { used, budget } => {
+                write!(f, "memory budget exceeded: {used} bytes materialized (budget {budget})")
+            }
+            QueryError::Cancelled => write!(f, "query cancelled"),
+            QueryError::RowLimitExceeded { scanned, budget } => {
+                write!(f, "row budget exceeded: {scanned} rows scanned (budget {budget})")
+            }
+            QueryError::WorkerPanic { detail, offset } => {
+                write!(f, "worker panicked in morsel at row {offset}: {detail}")
+            }
             QueryError::Storage(e) => write!(f, "storage error: {e}"),
         }
     }

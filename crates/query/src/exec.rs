@@ -7,6 +7,7 @@
 //! node runs serially on its (possibly parallel-computed) input.
 
 use crate::error::{QueryError, Result};
+use crate::governor::Governor;
 use crate::morsel::{morsel_ranges, parallel_morsels, ExecOptions};
 use crate::optimize::optimize;
 use crate::plan::{AggSpec, LogicalPlan};
@@ -65,7 +66,18 @@ pub fn execute_plan_with(
     // accumulating across queries, so report this query as a delta.
     let collector: Arc<ScanStatsCollector> = opts.stats.clone().unwrap_or_default();
     let before = collector.snapshot();
-    let opts = ExecOptions { stats: Some(collector.clone()), ..opts.clone() };
+    // Arm the governor *here* so the deadline clock measures this
+    // query; `arm` returns None for unlimited budgets, keeping the
+    // common unbudgeted path free of governor checks entirely.
+    let opts = ExecOptions {
+        stats: Some(collector.clone()),
+        governor: Governor::arm(opts.budget, opts.cancel.clone()),
+        ..opts.clone()
+    };
+    // Admission check: plans that never reach a morsel boundary (a
+    // bare zero-copy scan) must still honour an already-cancelled
+    // token or an already-expired deadline.
+    opts.governor_check()?;
     let mut scanned = 0usize;
     let table = exec(catalog, plan, &mut scanned, &opts)?;
     let scan_stats = collector.snapshot().since(&before);
@@ -81,9 +93,13 @@ fn scan_table(
     table: &str,
     projection: &Option<Vec<String>>,
     scanned: &mut usize,
+    opts: &ExecOptions,
 ) -> Result<Table> {
     let t = catalog.get(table)?;
     *scanned += t.row_count();
+    // Rows are charged at scan admission, before any filter runs; the
+    // scan itself is zero-copy and charges no memory.
+    opts.charge_rows(t.row_count())?;
     match projection {
         None => Ok((*t).clone()),
         Some(cols) => {
@@ -114,12 +130,12 @@ fn exec(
 ) -> Result<Table> {
     match plan {
         LogicalPlan::Scan { table, projection } => {
-            scan_table(catalog, table, projection, scanned)
+            scan_table(catalog, table, projection, scanned, opts)
         }
         LogicalPlan::Join { left, right, left_col, right_col } => {
             let lt = exec(catalog, left, scanned, opts)?;
             let rt = exec(catalog, right, scanned, opts)?;
-            hash_join(&lt, &rt, left_col, right_col)
+            hash_join(&lt, &rt, left_col, right_col, opts)
         }
         LogicalPlan::Filter { input, predicate } => {
             let t = exec(catalog, input, scanned, opts)?;
@@ -131,7 +147,7 @@ fn exec(
             // into the per-morsel aggregation instead of materializing
             // the filtered table.
             if let Some((table, projection, predicate)) = scan_pipeline(input) {
-                let t = scan_table(catalog, table, projection, scanned)?;
+                let t = scan_table(catalog, table, projection, scanned, opts)?;
                 let predicate =
                     predicate.map(|p| normalize_expr(p, t.schema())).transpose()?;
                 return aggregate_pipeline(&t, predicate.as_ref(), group_by, aggs, opts);
@@ -159,6 +175,8 @@ fn exec(
         }
         LogicalPlan::Sort { input, keys } => {
             let t = exec(catalog, input, scanned, opts)?;
+            // Sorting gathers every input row into a fresh table.
+            charge_take(opts, &t, t.row_count())?;
             sort(&t, keys)
         }
         LogicalPlan::Distinct { input } => {
@@ -176,14 +194,43 @@ fn exec(
                     keep.push(row);
                 }
             }
+            charge_take(opts, &t, keep.len())?;
             Ok(t.take(&keep)?)
         }
         LogicalPlan::Limit { input, n } => {
             let t = exec(catalog, input, scanned, opts)?;
             let keep: Vec<usize> = (0..t.row_count().min(*n)).collect();
+            charge_take(opts, &t, keep.len())?;
             Ok(t.take(&keep)?)
         }
     }
+}
+
+/// Heap bytes a column holds (fixed-width types exactly; strings by
+/// content length plus the per-`String` header).
+fn column_bytes(c: &Column) -> usize {
+    match c {
+        Column::Int64 { data, .. } => data.len() * 8,
+        Column::Float64 { data, .. } => data.len() * 8,
+        Column::Bool { data, .. } => data.len().div_ceil(8),
+        Column::Str { data, .. } => data
+            .iter()
+            .map(|s| s.len() + std::mem::size_of::<String>())
+            .sum(),
+    }
+}
+
+/// Charge a pending `take(rows)` materialization of `t` against the
+/// memory budget *before* allocating it, using `t`'s average row width.
+/// Conservative by construction: the estimate is what the output will
+/// actually occupy for fixed-width columns, and the content average for
+/// strings.
+fn charge_take(opts: &ExecOptions, t: &Table, rows: usize) -> Result<()> {
+    if opts.governor.is_none() || rows == 0 || t.row_count() == 0 {
+        return Ok(());
+    }
+    let table_bytes: usize = t.columns().iter().map(column_bytes).sum();
+    opts.charge_memory(table_bytes / t.row_count() * rows)
 }
 
 /// A recognized morselizable pipeline tail: `(table, projection,
@@ -257,6 +304,7 @@ fn parallel_filter(t: &Table, predicate: &ScalarExpr, opts: &ExecOptions) -> Res
         })?,
     };
     let keep: Vec<usize> = locals.concat();
+    charge_take(opts, t, keep.len())?;
     Ok(t.take(&keep)?)
 }
 
@@ -265,14 +313,25 @@ fn parallel_filter(t: &Table, predicate: &ScalarExpr, opts: &ExecOptions) -> Res
 /// to a single whole-table evaluation when there is only one morsel.
 fn parallel_eval_batch(e: &ScalarExpr, t: &Table, opts: &ExecOptions) -> Result<Column> {
     if morsel_ranges(t.row_count(), opts.morsel_rows).len() <= 1 {
-        return e.eval_batch(t);
+        let col = e.eval_batch(t)?;
+        opts.charge_memory(column_bytes(&col))?;
+        return Ok(col);
     }
     let parts = parallel_morsels(t.row_count(), opts, |offset, len| {
         let m = t.slice(offset, len)?;
-        e.eval_batch(&m)
+        let col = e.eval_batch(&m)?;
+        // Projection output is materialized per morsel, so memory is
+        // charged incrementally — an over-budget projection stops
+        // mid-query instead of after the full column exists.
+        opts.charge_memory(column_bytes(&col))?;
+        Ok(col)
     })?;
     let mut parts = parts.into_iter();
-    let mut out = parts.next().expect("at least one morsel");
+    let Some(mut out) = parts.next() else {
+        // Unreachable given the single-morsel guard above, but a
+        // whole-table evaluation is the correct degenerate answer.
+        return e.eval_batch(t);
+    };
     for p in parts {
         out.append(&p)?;
     }
@@ -360,7 +419,13 @@ impl KeyPart {
     }
 }
 
-fn hash_join(left: &Table, right: &Table, left_col: &str, right_col: &str) -> Result<Table> {
+fn hash_join(
+    left: &Table,
+    right: &Table,
+    left_col: &str,
+    right_col: &str,
+    opts: &ExecOptions,
+) -> Result<Table> {
     let lkey = normalize_name(left.schema(), left_col)
         .or_else(|_| normalize_name(right.schema(), left_col))?;
     let rkey = normalize_name(right.schema(), right_col)
@@ -398,6 +463,10 @@ fn hash_join(left: &Table, right: &Table, left_col: &str, right_col: &str) -> Re
         }
     }
 
+    // Join output is fully materialized (both sides gathered), so the
+    // whole fan-out is charged before the gather allocates it.
+    charge_take(opts, left, lidx.len())?;
+    charge_take(opts, right, ridx.len())?;
     let lt = left.take(&lidx)?;
     let rt = right.take(&ridx)?;
     let mut fields = Vec::new();

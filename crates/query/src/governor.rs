@@ -1,0 +1,242 @@
+//! Query resource governance: budgets, deadlines and cooperative
+//! cancellation.
+//!
+//! A query declares a [`ResourceBudget`] (and optionally hands out a
+//! [`CancelToken`]) through [`ExecOptions`](crate::ExecOptions); the
+//! executor arms a per-query [`Governor`] at query start and consults
+//! it at **morsel granularity** — the natural preemption point of the
+//! morsel-driven executor. A tripped budget surfaces as a structured
+//! [`QueryError`] (`Timeout`, `MemoryExceeded`, `Cancelled`,
+//! `RowLimitExceeded`) in deterministic morsel order, never as an
+//! unbounded runaway or a process abort.
+//!
+//! Enforcement is cooperative and conservative: deadlines and
+//! cancellation are checked before each morsel starts (a running morsel
+//! finishes — bounded by morsel size, not query size), rows are charged
+//! when a scan admits them, and memory is charged when a kernel
+//! *materializes* output (scans are zero-copy and free).
+
+use crate::error::{QueryError, Result};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Declarative per-query resource limits. `None` everywhere (the
+/// default) means unbounded — the governor is not even armed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ResourceBudget {
+    /// Cap on bytes the query may materialize (filter outputs, join
+    /// results, …). Zero-copy scans are not charged.
+    pub memory_bytes: Option<usize>,
+    /// Wall-clock budget, measured from when the executor arms the
+    /// governor.
+    pub deadline: Option<Duration>,
+    /// Cap on rows admitted into the pipeline by table scans.
+    pub max_rows: Option<usize>,
+}
+
+impl ResourceBudget {
+    /// No limits.
+    pub fn unlimited() -> ResourceBudget {
+        ResourceBudget::default()
+    }
+
+    /// True when no limit is set (the governor can be skipped).
+    pub fn is_unlimited(&self) -> bool {
+        *self == ResourceBudget::default()
+    }
+
+    /// Builder: set the wall-clock budget.
+    pub fn with_deadline(mut self, d: Duration) -> ResourceBudget {
+        self.deadline = Some(d);
+        self
+    }
+
+    /// Builder: set the materialization cap in bytes.
+    pub fn with_memory_bytes(mut self, bytes: usize) -> ResourceBudget {
+        self.memory_bytes = Some(bytes);
+        self
+    }
+
+    /// Builder: set the scanned-row cap.
+    pub fn with_max_rows(mut self, rows: usize) -> ResourceBudget {
+        self.max_rows = Some(rows);
+        self
+    }
+}
+
+/// Cooperative cancellation handle. Clone it, hand a copy to the query
+/// via [`ExecOptions`](crate::ExecOptions), keep the other; calling
+/// [`cancel`](CancelToken::cancel) from any thread stops the query at
+/// the next morsel boundary with [`QueryError::Cancelled`].
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// A fresh, un-cancelled token.
+    pub fn new() -> CancelToken {
+        CancelToken::default()
+    }
+
+    /// Request cancellation. Idempotent; visible to every clone.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Relaxed);
+    }
+
+    /// Has cancellation been requested?
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Relaxed)
+    }
+}
+
+/// Per-query enforcement state: the armed form of a [`ResourceBudget`].
+///
+/// Created by the executor when a query starts (so the deadline clock
+/// measures *this* query) and shared by all of its morsel workers.
+#[derive(Debug)]
+pub struct Governor {
+    started: Instant,
+    deadline: Option<Duration>,
+    memory_limit: Option<usize>,
+    row_limit: Option<usize>,
+    cancel: Option<CancelToken>,
+    memory_used: AtomicUsize,
+    rows_admitted: AtomicUsize,
+}
+
+impl Governor {
+    /// Arm `budget` now. Returns `None` when there is nothing to
+    /// enforce, so the unbudgeted fast path carries no governor at all.
+    pub fn arm(budget: ResourceBudget, cancel: Option<CancelToken>) -> Option<Arc<Governor>> {
+        if budget.is_unlimited() && cancel.is_none() {
+            return None;
+        }
+        Some(Arc::new(Governor {
+            started: Instant::now(),
+            deadline: budget.deadline,
+            memory_limit: budget.memory_bytes,
+            row_limit: budget.max_rows,
+            cancel,
+            memory_used: AtomicUsize::new(0),
+            rows_admitted: AtomicUsize::new(0),
+        }))
+    }
+
+    /// The morsel-boundary check: cancellation first (most urgent),
+    /// then the deadline.
+    pub fn check(&self) -> Result<()> {
+        if let Some(token) = &self.cancel {
+            if token.is_cancelled() {
+                return Err(QueryError::Cancelled);
+            }
+        }
+        if let Some(deadline) = self.deadline {
+            let elapsed = self.started.elapsed();
+            if elapsed > deadline {
+                return Err(QueryError::Timeout {
+                    elapsed_ms: elapsed.as_millis() as u64,
+                    budget_ms: deadline.as_millis() as u64,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Charge `rows` scanned rows against the row budget.
+    pub fn charge_rows(&self, rows: usize) -> Result<()> {
+        let total = self.rows_admitted.fetch_add(rows, Ordering::Relaxed) + rows;
+        match self.row_limit {
+            Some(limit) if total > limit => {
+                Err(QueryError::RowLimitExceeded { scanned: total, budget: limit })
+            }
+            _ => Ok(()),
+        }
+    }
+
+    /// Charge `bytes` of materialized output against the memory budget.
+    pub fn charge_memory(&self, bytes: usize) -> Result<()> {
+        let total = self.memory_used.fetch_add(bytes, Ordering::Relaxed) + bytes;
+        match self.memory_limit {
+            Some(limit) if total > limit => {
+                Err(QueryError::MemoryExceeded { used: total, budget: limit })
+            }
+            _ => Ok(()),
+        }
+    }
+
+    /// Bytes charged so far.
+    pub fn memory_used(&self) -> usize {
+        self.memory_used.load(Ordering::Relaxed)
+    }
+
+    /// Rows charged so far.
+    pub fn rows_admitted(&self) -> usize {
+        self.rows_admitted.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_budget_arms_nothing() {
+        assert!(Governor::arm(ResourceBudget::unlimited(), None).is_none());
+        assert!(Governor::arm(ResourceBudget::default(), Some(CancelToken::new())).is_some());
+    }
+
+    #[test]
+    fn cancel_token_reaches_every_clone() {
+        let t = CancelToken::new();
+        let g = Governor::arm(ResourceBudget::unlimited(), Some(t.clone())).unwrap();
+        assert!(g.check().is_ok());
+        t.cancel();
+        assert!(matches!(g.check(), Err(QueryError::Cancelled)));
+        assert!(t.is_cancelled());
+    }
+
+    #[test]
+    fn expired_deadline_times_out() {
+        let g = Governor::arm(
+            ResourceBudget::unlimited().with_deadline(Duration::ZERO),
+            None,
+        )
+        .unwrap();
+        // Duration::ZERO expires as soon as any time has elapsed.
+        std::thread::sleep(Duration::from_millis(1));
+        assert!(matches!(g.check(), Err(QueryError::Timeout { .. })));
+    }
+
+    #[test]
+    fn generous_deadline_passes() {
+        let g = Governor::arm(
+            ResourceBudget::unlimited().with_deadline(Duration::from_secs(3600)),
+            None,
+        )
+        .unwrap();
+        assert!(g.check().is_ok());
+    }
+
+    #[test]
+    fn memory_budget_trips_on_the_crossing_charge() {
+        let g = Governor::arm(ResourceBudget::unlimited().with_memory_bytes(100), None).unwrap();
+        assert!(g.charge_memory(60).is_ok());
+        assert!(g.charge_memory(40).is_ok(), "exactly at the limit is allowed");
+        let err = g.charge_memory(1).unwrap_err();
+        assert!(matches!(err, QueryError::MemoryExceeded { used: 101, budget: 100 }), "{err}");
+        assert_eq!(g.memory_used(), 101);
+    }
+
+    #[test]
+    fn row_budget_trips_on_the_crossing_charge() {
+        let g = Governor::arm(ResourceBudget::unlimited().with_max_rows(1000), None).unwrap();
+        assert!(g.charge_rows(1000).is_ok());
+        assert!(matches!(
+            g.charge_rows(1),
+            Err(QueryError::RowLimitExceeded { scanned: 1001, budget: 1000 })
+        ));
+        assert_eq!(g.rows_admitted(), 1001);
+    }
+}

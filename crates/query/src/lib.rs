@@ -30,9 +30,13 @@
 
 // `!(x > y)` guards are NaN-aware in predicate evaluation.
 #![allow(clippy::neg_cmp_op_on_partial_ord)]
+// User-facing paths must return structured `QueryError`s, never panic;
+// tests are exempt (unwrap on known-good fixtures is idiomatic there).
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
 
 pub mod error;
 pub mod exec;
+pub mod governor;
 pub mod morsel;
 pub mod optimize;
 pub mod plan;
@@ -42,6 +46,7 @@ pub mod sql;
 
 pub use error::{QueryError, Result};
 pub use exec::{execute, execute_plan, execute_plan_with, execute_with, QueryResult};
+pub use governor::{CancelToken, Governor, ResourceBudget};
 pub use morsel::ExecOptions;
 pub use plan::LogicalPlan;
 pub use pruning::{PruningPredicate, ScanStats, ScanStatsCollector, ZoneDecision};

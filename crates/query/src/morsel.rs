@@ -9,7 +9,8 @@
 //! zero-copy ([`lawsdb_storage::Table::slice`] shares value buffers),
 //! so fan-out costs O(morsels), not O(rows).
 
-use crate::error::Result;
+use crate::error::{QueryError, Result};
+use crate::governor::{CancelToken, Governor, ResourceBudget};
 use crate::pruning::ScanStatsCollector;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
@@ -39,14 +40,25 @@ pub struct ExecOptions {
     /// [`crate::exec::QueryResult`]; a caller-provided collector
     /// additionally accumulates across queries.
     pub stats: Option<Arc<ScanStatsCollector>>,
+    /// Resource limits for each query run under these options. The
+    /// executor arms a fresh [`Governor`] per query, so the deadline
+    /// clock starts at query start, not options construction.
+    pub budget: ResourceBudget,
+    /// Cooperative cancellation handle, honored at morsel granularity.
+    pub cancel: Option<CancelToken>,
+    /// The armed per-query governor. Set by the executor when a query
+    /// starts (from `budget` + `cancel`); callers leave it `None`.
+    pub governor: Option<Arc<Governor>>,
 }
 
 impl PartialEq for ExecOptions {
     fn eq(&self, other: &Self) -> bool {
-        // The stats sink is an observer, not a behavioral knob.
+        // The stats sink, the cancel token and the armed governor are
+        // observers / runtime state, not behavioral knobs.
         self.threads == other.threads
             && self.morsel_rows == other.morsel_rows
             && self.pruning == other.pruning
+            && self.budget == other.budget
     }
 }
 
@@ -59,6 +71,9 @@ impl Default for ExecOptions {
             morsel_rows: DEFAULT_MORSEL_ROWS,
             pruning: true,
             stats: None,
+            budget: ResourceBudget::default(),
+            cancel: None,
+            governor: None,
         }
     }
 }
@@ -94,6 +109,63 @@ impl ExecOptions {
             cores
         }
     }
+
+    /// Default options with a resource budget.
+    pub fn with_budget(budget: ResourceBudget) -> ExecOptions {
+        ExecOptions { budget, ..ExecOptions::default() }
+    }
+
+    /// The morsel-boundary governor check; a no-op without a governor.
+    pub fn governor_check(&self) -> Result<()> {
+        match &self.governor {
+            Some(g) => g.check(),
+            None => Ok(()),
+        }
+    }
+
+    /// Charge scanned rows against the armed governor, if any.
+    pub fn charge_rows(&self, rows: usize) -> Result<()> {
+        match &self.governor {
+            Some(g) => g.charge_rows(rows),
+            None => Ok(()),
+        }
+    }
+
+    /// Charge materialized bytes against the armed governor, if any.
+    pub fn charge_memory(&self, bytes: usize) -> Result<()> {
+        match &self.governor {
+            Some(g) => g.charge_memory(bytes),
+            None => Ok(()),
+        }
+    }
+}
+
+/// Render a caught panic payload (the common `&str` / `String` cases,
+/// then a fallback).
+fn panic_detail(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Run one morsel under panic isolation: a panicking kernel becomes a
+/// structured [`QueryError::WorkerPanic`] for *this* query instead of
+/// unwinding through the executor and tearing down unrelated work.
+fn run_morsel<R>(
+    work: &(impl Fn(usize, usize) -> Result<R> + Sync),
+    offset: usize,
+    len: usize,
+) -> Result<R> {
+    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| work(offset, len))) {
+        Ok(r) => r,
+        Err(payload) => {
+            Err(QueryError::WorkerPanic { detail: panic_detail(payload), offset })
+        }
+    }
 }
 
 /// Split `n_rows` into `(offset, len)` morsel ranges in row order.
@@ -118,7 +190,13 @@ where
     let morsels = morsel_ranges(n_rows, opts.morsel_rows);
     let threads = opts.effective_threads().min(morsels.len());
     if threads <= 1 {
-        return morsels.into_iter().map(|(o, l)| work(o, l)).collect();
+        return morsels
+            .into_iter()
+            .map(|(o, l)| {
+                opts.governor_check()?;
+                run_morsel(&work, o, l)
+            })
+            .collect();
     }
     let next = AtomicUsize::new(0);
     let (tx, rx) = mpsc::channel::<(usize, Result<R>)>();
@@ -131,7 +209,15 @@ where
             s.spawn(move || loop {
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 let Some(&(offset, len)) = morsels.get(i) else { break };
-                if tx.send((i, work(offset, len))).is_err() {
+                // The budget/cancel check runs before each morsel
+                // starts: a cancelled or out-of-time query stops
+                // within one morsel, with the error surfacing in
+                // deterministic morsel order like any kernel error.
+                let r = match opts.governor_check() {
+                    Ok(()) => run_morsel(&work, offset, len),
+                    Err(e) => Err(e),
+                };
+                if tx.send((i, r)).is_err() {
                     break;
                 }
             });
@@ -142,7 +228,19 @@ where
     for (i, r) in rx {
         out[i] = Some(r);
     }
-    out.into_iter().map(|r| r.expect("every morsel sends exactly one result")).collect()
+    out.into_iter()
+        .map(|r| {
+            // catch_unwind means a worker cannot die mid-morsel, so a
+            // missing slot is a logic error — still surfaced as a
+            // structured error rather than a panic of our own.
+            r.unwrap_or_else(|| {
+                Err(QueryError::WorkerPanic {
+                    detail: "morsel produced no result".to_string(),
+                    offset: 0,
+                })
+            })
+        })
+        .collect()
 }
 
 #[cfg(test)]

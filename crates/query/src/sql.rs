@@ -151,12 +151,29 @@ enum Tok {
     Dot,
 }
 
-fn lex(src: &str) -> Result<Vec<Tok>> {
+/// Sink that stamps every pushed token with the byte offset of the
+/// source position it began at.
+struct PushAt<'a> {
+    out: &'a mut Vec<(Tok, usize)>,
+    at: usize,
+}
+
+impl PushAt<'_> {
+    fn push(&mut self, t: Tok) {
+        self.out.push((t, self.at));
+    }
+}
+
+/// Tokens paired with the byte offset where each begins, so parse
+/// errors can point at the offending spot in the source text.
+fn lex(src: &str) -> Result<Vec<(Tok, usize)>> {
     let b = src.as_bytes();
-    let mut out = Vec::new();
+    let mut out: Vec<(Tok, usize)> = Vec::new();
     let mut i = 0;
     while i < b.len() {
         let c = b[i] as char;
+        // Every arm pushes at most one token that starts at `i`.
+        let mut out = PushAt { out: &mut out, at: i };
         match c {
             ' ' | '\t' | '\n' | '\r' => i += 1,
             ',' => {
@@ -327,17 +344,23 @@ fn lex(src: &str) -> Result<Vec<Tok>> {
 // --------------------------------------------------------------- parser
 
 struct P {
-    toks: Vec<Tok>,
+    toks: Vec<(Tok, usize)>,
     pos: usize,
 }
 
 impl P {
     fn peek(&self) -> Option<&Tok> {
-        self.toks.get(self.pos)
+        self.toks.get(self.pos).map(|(t, _)| t)
+    }
+
+    /// Byte offset of the token the parser is looking at (`None` at
+    /// end of input).
+    fn peek_pos(&self) -> Option<usize> {
+        self.toks.get(self.pos).map(|(_, at)| *at)
     }
 
     fn bump(&mut self) -> Option<Tok> {
-        let t = self.toks.get(self.pos).cloned();
+        let t = self.toks.get(self.pos).map(|(t, _)| t.clone());
         if t.is_some() {
             self.pos += 1;
         }
@@ -351,6 +374,7 @@ impl P {
                 .peek()
                 .map(|t| format!("{t:?}"))
                 .unwrap_or_else(|| "end of input".to_string()),
+            pos: self.peek_pos(),
         })
     }
 
@@ -383,12 +407,15 @@ impl P {
     }
 
     fn ident(&mut self) -> Result<String> {
-        match self.bump() {
-            Some(Tok::Ident(s)) => Ok(s),
-            _ => {
-                self.pos = self.pos.saturating_sub(1);
-                self.err("identifier")
-            }
+        if let Some(Tok::Ident(s)) = self.peek() {
+            let s = s.clone();
+            self.pos += 1;
+            Ok(s)
+        } else {
+            // Not consumed, so the error points at the offending token
+            // (or reports end of input — `bump` would rewind onto the
+            // previous token here and misattribute the position).
+            self.err("identifier")
         }
     }
 
@@ -548,7 +575,7 @@ impl P {
         // Aggregate call?
         if let Some(Tok::Ident(name)) = self.peek().cloned() {
             if let Some(func) = AggFunc::by_name(&name) {
-                if self.toks.get(self.pos + 1) == Some(&Tok::LParen) {
+                if self.toks.get(self.pos + 1).map(|(t, _)| t) == Some(&Tok::LParen) {
                     self.pos += 2;
                     let arg = if self.peek() == Some(&Tok::Star) {
                         self.pos += 1;
@@ -745,6 +772,21 @@ mod tests {
         assert!(parse_select("SELECT a FROM t LIMIT -1").is_err());
         assert!(parse_select("SELECT a FROM t garbage").is_err());
         assert!(parse_select("SELECT a FROM t WHERE s = 'unterminated").is_err());
+    }
+
+    #[test]
+    fn parse_errors_carry_positions() {
+        // `>` begins at byte 22 of the source text.
+        let err = parse_select("SELECT a FROM t WHERE >").unwrap_err();
+        match &err {
+            QueryError::Parse { pos: Some(p), .. } => assert_eq!(*p, 22),
+            other => panic!("expected positioned parse error, got {other:?}"),
+        }
+        assert!(err.to_string().contains("at byte 22"), "{err}");
+        // Running off the end of the input has no position to point at.
+        let err = parse_select("SELECT a FROM").unwrap_err();
+        assert!(matches!(&err, QueryError::Parse { pos: None, .. }), "{err:?}");
+        assert!(err.to_string().contains("end of input"), "{err}");
     }
 
     #[test]

@@ -78,6 +78,18 @@ pub enum StorageError {
         /// Explanation.
         reason: &'static str,
     },
+    /// A page's content no longer matches the checksum recorded when it
+    /// was written. The page is quarantined: its bytes must not be
+    /// trusted, and the caller should fall back to model-based
+    /// reconstruction or degrade the result.
+    ChecksumMismatch {
+        /// The corrupt page.
+        page: u64,
+        /// CRC-32 recorded at write time.
+        expected: u32,
+        /// CRC-32 of the bytes actually read.
+        got: u32,
+    },
     /// A device-level IO failure: an oversized write, an injected
     /// fault, or any operation attempted after a simulated crash.
     Io {
@@ -117,6 +129,11 @@ impl fmt::Display for StorageError {
                 write!(f, "duplicate column name {name:?}")
             }
             StorageError::InvalidTable { reason } => write!(f, "invalid table: {reason}"),
+            StorageError::ChecksumMismatch { page, expected, got } => write!(
+                f,
+                "page {page} checksum mismatch (expected {expected:#010x}, got {got:#010x}); \
+                 page quarantined"
+            ),
             StorageError::Io { op, page, detail } => {
                 write!(f, "io error during {op} of page {page}: {detail}")
             }

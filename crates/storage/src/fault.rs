@@ -31,10 +31,18 @@ pub enum FaultMode {
     TornPage,
     /// The full write lands with one seeded bit flipped.
     BitFlip,
+    /// A seeded run of 1–3 consecutive operations fails cleanly and
+    /// then the device heals — the transient-IO model (a glitching
+    /// cable, not a dead disk). Unlike every other mode this does NOT
+    /// leave the device crashed, so a retrying caller recovers.
+    Transient,
 }
 
 impl FaultMode {
-    /// All modes, in the order the crash matrix cycles through them.
+    /// All *crashing* modes, in the order the crash matrix cycles
+    /// through them. `Transient` is deliberately excluded: the crash
+    /// matrix asserts the device stays dead after the fault, which a
+    /// self-healing fault would violate.
     pub const ALL: [FaultMode; 4] =
         [FaultMode::IoError, FaultMode::ShortWrite, FaultMode::TornPage, FaultMode::BitFlip];
 }
@@ -84,18 +92,46 @@ pub struct FaultyDevice {
     schedule: FaultSchedule,
     ops: AtomicU64,
     crashed: AtomicBool,
+    fired: AtomicBool,
+    transient_left: AtomicU64,
 }
 
 impl FaultyDevice {
     /// Wrap `inner` under `schedule`.
     pub fn new(inner: SimulatedDevice, schedule: FaultSchedule) -> FaultyDevice {
-        FaultyDevice { inner, schedule, ops: AtomicU64::new(0), crashed: AtomicBool::new(false) }
+        FaultyDevice {
+            inner,
+            schedule,
+            ops: AtomicU64::new(0),
+            crashed: AtomicBool::new(false),
+            fired: AtomicBool::new(false),
+            transient_left: AtomicU64::new(0),
+        }
     }
 
     /// Total device operations attempted so far (reads + writes,
     /// including the faulted one).
     pub fn op_count(&self) -> u64 {
         self.ops.load(Ordering::Relaxed)
+    }
+
+    /// True once the scheduled fault has fired. Distinct from
+    /// [`is_crashed`](FaultyDevice::is_crashed): a [`FaultMode::Transient`]
+    /// fault fires without leaving the device crashed.
+    pub fn fault_fired(&self) -> bool {
+        self.fired.load(Ordering::Relaxed)
+    }
+
+    /// `Some(op)` when the schedule named operation `op` but the
+    /// workload stopped after [`op_count`](FaultyDevice::op_count)
+    /// operations without ever reaching it. A harness that ignores this
+    /// is running a vacuous matrix cell — the fault was scheduled past
+    /// the end of the workload and silently never injected.
+    pub fn unfired_fault(&self) -> Option<u64> {
+        match self.schedule.crash_at {
+            Some(op) if !self.fault_fired() => Some(op),
+            _ => None,
+        }
     }
 
     /// True once the scheduled fault has fired.
@@ -113,8 +149,13 @@ impl FaultyDevice {
         StorageError::Io { op, page, detail: "device crashed (injected fault)".to_string() }
     }
 
+    fn transient_error(op: &'static str, page: u64) -> StorageError {
+        StorageError::Io { op, page, detail: "transient io error (injected fault)".to_string() }
+    }
+
     /// Claim the next operation slot; `Ok(None)` = run normally,
-    /// `Ok(Some(rng))` = this is the fault op, `Err` = already crashed.
+    /// `Ok(Some(rng))` = this is the fault op, `Err` = already crashed,
+    /// mid-transient-run, or a transient fault firing.
     fn next_op(&self, op: &'static str, page: u64) -> Result<Option<u64>> {
         if self.crashed.load(Ordering::Relaxed) {
             // Still bill the attempt: a dead device rejects, but the
@@ -123,9 +164,26 @@ impl FaultyDevice {
             return Err(Self::crash_error(op, page));
         }
         let n = self.ops.fetch_add(1, Ordering::Relaxed);
+        // Drain an in-flight transient run before consulting the
+        // schedule; once it hits zero the device has healed.
+        if self
+            .transient_left
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |left| left.checked_sub(1))
+            .is_ok()
+        {
+            return Err(Self::transient_error(op, page));
+        }
         if self.schedule.crash_at == Some(n) {
+            self.fired.store(true, Ordering::Relaxed);
+            let rng = splitmix(self.schedule.seed ^ n.wrapping_mul(0xA24B_AED4_963E_E407));
+            if self.schedule.mode == FaultMode::Transient {
+                // This op plus a seeded 0–2 more fail, then the device
+                // heals; `crashed` stays false throughout.
+                self.transient_left.store(rng % 3, Ordering::Relaxed);
+                return Err(Self::transient_error(op, page));
+            }
             self.crashed.store(true, Ordering::Relaxed);
-            return Ok(Some(splitmix(self.schedule.seed ^ n.wrapping_mul(0xA24B_AED4_963E_E407))));
+            return Ok(Some(rng));
         }
         Ok(None)
     }
@@ -156,7 +214,9 @@ impl BlockDevice for FaultyDevice {
             let mut new = vec![0u8; ps];
             new[..data.len()].copy_from_slice(data);
             let corrupted: Option<Vec<u8>> = match self.schedule.mode {
-                FaultMode::IoError => None,
+                // Transient faults error in `next_op` before reaching
+                // here; a crashing IoError leaves the media untouched.
+                FaultMode::IoError | FaultMode::Transient => None,
                 FaultMode::ShortWrite => {
                     // A prefix of the new bytes lands; the tail keeps
                     // its previous content.
@@ -282,6 +342,48 @@ mod tests {
         assert!(d.read_page_owned(1).is_err());
         assert!(d.write_page(0, b"x").is_err());
         assert_eq!(d.op_count(), 3);
+    }
+
+    #[test]
+    fn transient_fault_fails_then_heals() {
+        let d = device(128, FaultSchedule::crash_at(0, FaultMode::Transient, 11));
+        let mut failures = 0;
+        while d.read_page_owned(0).is_err() {
+            failures += 1;
+            assert!(failures <= 3, "a transient run is at most 3 ops");
+        }
+        assert!((1..=3).contains(&failures));
+        assert!(d.fault_fired());
+        assert!(!d.is_crashed(), "transient faults never crash the device");
+        assert!(d.read_page_owned(0).is_ok(), "healed device stays healthy");
+    }
+
+    #[test]
+    fn transient_run_length_is_deterministic() {
+        let run = |seed| {
+            let d = device(128, FaultSchedule::crash_at(0, FaultMode::Transient, seed));
+            (0..8).filter(|_| d.read_page_owned(0).is_err()).count()
+        };
+        assert_eq!(run(11), run(11));
+    }
+
+    #[test]
+    fn unfired_schedule_is_reported() {
+        let mut d = device(128, FaultSchedule::crash_at(100, FaultMode::IoError, 0));
+        d.write_page(0, b"abc").unwrap();
+        assert!(!d.fault_fired());
+        assert_eq!(d.unfired_fault(), Some(100), "workload never reached op 100");
+        assert_eq!(d.op_count(), 1);
+    }
+
+    #[test]
+    fn fired_schedule_is_not_reported_as_unfired() {
+        let mut d = device(128, FaultSchedule::crash_at(0, FaultMode::IoError, 0));
+        assert!(d.write_page(0, b"abc").is_err());
+        assert!(d.fault_fired());
+        assert_eq!(d.unfired_fault(), None);
+        let d = device(128, FaultSchedule::none());
+        assert_eq!(d.unfired_fault(), None, "golden runs schedule nothing");
     }
 
     #[test]

@@ -182,6 +182,14 @@ impl SimulatedDevice {
         self.pages.get(id as usize).map(Vec::as_slice)
     }
 
+    /// Uncounted mutable access to a page's raw content — the
+    /// fault-injection twin of [`peek_page`](SimulatedDevice::peek_page),
+    /// letting a harness corrupt stored bytes behind the pager's back.
+    /// Never a data path.
+    pub fn poke_page(&mut self, id: u64) -> Option<&mut [u8]> {
+        self.pages.get_mut(id as usize).map(Vec::as_mut_slice)
+    }
+
     /// Current counters (cache hits are tracked by the pager, not here).
     pub fn stats(&self) -> IoStats {
         IoStats {

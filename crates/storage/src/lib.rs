@@ -50,6 +50,7 @@ pub mod fault;
 pub mod io;
 pub mod page;
 pub mod pager;
+pub mod retry;
 pub mod schema;
 pub mod stats;
 pub mod table;
@@ -64,6 +65,7 @@ pub use column::Column;
 pub use error::{Result, StorageError};
 pub use fault::{FaultMode, FaultSchedule, FaultyDevice};
 pub use io::{BlockDevice, DeviceProfile, IoStats, SimulatedDevice};
+pub use retry::{RetryPolicy, RetryStats, RetryingDevice};
 pub use schema::{DataType, Field, Schema};
 pub use table::{Table, TableBuilder};
 pub use value::Value;

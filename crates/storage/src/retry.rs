@@ -1,0 +1,261 @@
+//! Deterministic bounded-backoff retry for device reads.
+//!
+//! Real devices fail two ways: permanently (dead disk — the crash
+//! matrix's territory) and transiently (a glitching link that heals on
+//! the next attempt). [`RetryingDevice`] wraps any [`BlockDevice`] and
+//! re-issues failed *reads* under a [`RetryPolicy`]: a fixed number of
+//! attempts with exponential backoff, every delay a pure function of
+//! the attempt index so a logged schedule replays exactly. Writes are
+//! never retried — write atomicity belongs to the WAL, and re-issuing a
+//! possibly-partial write could corrupt twice.
+//!
+//! Only [`StorageError::Io`] is considered retryable; structural
+//! errors (`PageNotFound`, …) are permanent and surface immediately.
+//! When the budget is exhausted the *last* IO error is returned, so a
+//! permanently dead device still yields a structured error after a
+//! bounded number of attempts rather than hanging.
+
+use crate::error::{Result, StorageError};
+use crate::io::{BlockDevice, IoStats};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// How many times to attempt a read and how long to wait in between.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts per read, including the first (1 = no retry).
+    pub max_attempts: u32,
+    /// Backoff before the first retry, in microseconds.
+    pub base_delay_us: u64,
+    /// Backoff ceiling, in microseconds.
+    pub max_delay_us: u64,
+}
+
+impl RetryPolicy {
+    /// No retries: every failure surfaces immediately.
+    pub fn none() -> RetryPolicy {
+        RetryPolicy { max_attempts: 1, base_delay_us: 0, max_delay_us: 0 }
+    }
+
+    /// The default read policy: 4 attempts, 50 µs doubling to 400 µs.
+    /// Enough to ride out a transient run (the injector's worst case is
+    /// 3 consecutive failures) while a dead device costs < 1 ms extra.
+    pub fn default_reads() -> RetryPolicy {
+        RetryPolicy { max_attempts: 4, base_delay_us: 50, max_delay_us: 400 }
+    }
+
+    /// Backoff before retry number `retry` (1-based: the wait between
+    /// attempt N and attempt N+1). Pure and deterministic: doubles from
+    /// `base_delay_us`, capped at `max_delay_us`.
+    pub fn delay_for(&self, retry: u32) -> Duration {
+        let exp = retry.saturating_sub(1).min(32);
+        let us = self
+            .base_delay_us
+            .saturating_mul(1u64 << exp)
+            .min(self.max_delay_us);
+        Duration::from_micros(us)
+    }
+}
+
+/// Snapshot of a [`RetryingDevice`]'s counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RetryStats {
+    /// Individual read attempts issued to the inner device.
+    pub read_attempts: u64,
+    /// Attempts beyond the first (i.e. actual retries).
+    pub retries: u64,
+    /// Reads that failed at least once and then succeeded.
+    pub recovered: u64,
+    /// Reads that failed every attempt and surfaced an error.
+    pub exhausted: u64,
+}
+
+/// A [`BlockDevice`] wrapper that retries failed reads under a
+/// [`RetryPolicy`]. Writes, allocation and stats pass straight through.
+#[derive(Debug)]
+pub struct RetryingDevice<D: BlockDevice> {
+    inner: D,
+    policy: RetryPolicy,
+    read_attempts: AtomicU64,
+    retries: AtomicU64,
+    recovered: AtomicU64,
+    exhausted: AtomicU64,
+}
+
+impl<D: BlockDevice> RetryingDevice<D> {
+    /// Wrap `inner` under `policy`.
+    pub fn new(inner: D, policy: RetryPolicy) -> RetryingDevice<D> {
+        RetryingDevice {
+            inner,
+            policy,
+            read_attempts: AtomicU64::new(0),
+            retries: AtomicU64::new(0),
+            recovered: AtomicU64::new(0),
+            exhausted: AtomicU64::new(0),
+        }
+    }
+
+    /// The active policy.
+    pub fn policy(&self) -> RetryPolicy {
+        self.policy
+    }
+
+    /// Retry counters so far.
+    pub fn retry_stats(&self) -> RetryStats {
+        RetryStats {
+            read_attempts: self.read_attempts.load(Ordering::Relaxed),
+            retries: self.retries.load(Ordering::Relaxed),
+            recovered: self.recovered.load(Ordering::Relaxed),
+            exhausted: self.exhausted.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Borrow the wrapped device.
+    pub fn inner(&self) -> &D {
+        &self.inner
+    }
+
+    /// Surrender the wrapped device.
+    pub fn into_inner(self) -> D {
+        self.inner
+    }
+
+    fn retryable(err: &StorageError) -> bool {
+        matches!(err, StorageError::Io { .. })
+    }
+}
+
+impl<D: BlockDevice> BlockDevice for RetryingDevice<D> {
+    fn page_size(&self) -> usize {
+        self.inner.page_size()
+    }
+
+    fn page_count(&self) -> usize {
+        self.inner.page_count()
+    }
+
+    fn allocate(&mut self) -> u64 {
+        self.inner.allocate()
+    }
+
+    fn write_page(&mut self, id: u64, data: &[u8]) -> Result<()> {
+        self.inner.write_page(id, data)
+    }
+
+    fn read_page_owned(&self, id: u64) -> Result<Vec<u8>> {
+        let mut attempt = 0u32;
+        loop {
+            attempt += 1;
+            self.read_attempts.fetch_add(1, Ordering::Relaxed);
+            if attempt > 1 {
+                self.retries.fetch_add(1, Ordering::Relaxed);
+            }
+            match self.inner.read_page_owned(id) {
+                Ok(page) => {
+                    if attempt > 1 {
+                        self.recovered.fetch_add(1, Ordering::Relaxed);
+                    }
+                    return Ok(page);
+                }
+                Err(err) if Self::retryable(&err) && attempt < self.policy.max_attempts => {
+                    std::thread::sleep(self.policy.delay_for(attempt));
+                }
+                Err(err) => {
+                    if Self::retryable(&err) {
+                        self.exhausted.fetch_add(1, Ordering::Relaxed);
+                    }
+                    return Err(err);
+                }
+            }
+        }
+    }
+
+    fn stats(&self) -> IoStats {
+        self.inner.stats()
+    }
+
+    fn reset_stats(&self) {
+        self.inner.reset_stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::{FaultMode, FaultSchedule, FaultyDevice};
+    use crate::io::SimulatedDevice;
+
+    fn faulty(schedule: FaultSchedule) -> FaultyDevice {
+        let mut inner = SimulatedDevice::new(128);
+        let p = inner.allocate();
+        inner.write_page(p, b"payload").unwrap();
+        inner.reset_stats();
+        FaultyDevice::new(inner, schedule)
+    }
+
+    #[test]
+    fn backoff_doubles_and_caps() {
+        let p = RetryPolicy { max_attempts: 8, base_delay_us: 50, max_delay_us: 400 };
+        let us = |r| p.delay_for(r).as_micros() as u64;
+        assert_eq!(us(1), 50);
+        assert_eq!(us(2), 100);
+        assert_eq!(us(3), 200);
+        assert_eq!(us(4), 400);
+        assert_eq!(us(5), 400, "capped");
+        assert_eq!(RetryPolicy::none().delay_for(1), Duration::ZERO);
+    }
+
+    #[test]
+    fn transient_fault_recovers_within_budget() {
+        // Fault fires on the very first read; the injector's worst run
+        // is 3 consecutive failures, within default_reads' 4 attempts.
+        let d = RetryingDevice::new(
+            faulty(FaultSchedule::crash_at(0, FaultMode::Transient, 1234)),
+            RetryPolicy::default_reads(),
+        );
+        let page = d.read_page_owned(0).expect("retry must ride out the transient run");
+        assert_eq!(&page[..7], b"payload");
+        let s = d.retry_stats();
+        assert!(s.retries >= 1);
+        assert_eq!(s.recovered, 1);
+        assert_eq!(s.exhausted, 0);
+        assert!(d.inner().fault_fired());
+        assert!(!d.inner().is_crashed());
+    }
+
+    #[test]
+    fn exhausted_retries_surface_the_last_error() {
+        // A crashed device fails every attempt; the error is structured,
+        // not a hang or a panic.
+        let d = RetryingDevice::new(
+            faulty(FaultSchedule::crash_at(0, FaultMode::IoError, 7)),
+            RetryPolicy::default_reads(),
+        );
+        let err = d.read_page_owned(0).unwrap_err();
+        assert!(matches!(err, StorageError::Io { op: "read", .. }), "{err}");
+        let s = d.retry_stats();
+        assert_eq!(s.read_attempts, 4);
+        assert_eq!(s.retries, 3);
+        assert_eq!(s.exhausted, 1);
+    }
+
+    #[test]
+    fn structural_errors_are_not_retried() {
+        let d = RetryingDevice::new(SimulatedDevice::new(128), RetryPolicy::default_reads());
+        let err = d.read_page_owned(99).unwrap_err();
+        assert!(matches!(err, StorageError::PageNotFound { page: 99 }));
+        let s = d.retry_stats();
+        assert_eq!(s.read_attempts, 1, "permanent errors surface immediately");
+        assert_eq!(s.exhausted, 0);
+    }
+
+    #[test]
+    fn golden_reads_pass_through_untouched() {
+        let d = RetryingDevice::new(faulty(FaultSchedule::none()), RetryPolicy::default_reads());
+        assert_eq!(&d.read_page_owned(0).unwrap()[..7], b"payload");
+        assert_eq!(
+            d.retry_stats(),
+            RetryStats { read_attempts: 1, retries: 0, recovered: 0, exhausted: 0 }
+        );
+    }
+}

@@ -42,6 +42,7 @@
 //! opens to exactly one committed state.
 
 use crate::checksum::crc32;
+use crate::column::Column;
 use crate::error::{Result, StorageError};
 use crate::io::{BlockDevice, IoStats};
 use crate::page::{decode_column, encode_column};
@@ -277,6 +278,19 @@ impl<D: BlockDevice> DurableStore<D> {
             cols.push(decode_column(&self.read_extent(ext)?)?);
         }
         Table::new(name.to_string(), st.schema.clone(), cols)
+    }
+
+    /// Read one column of a stored table, checksum-verified. Columns
+    /// live in separate extents, so corruption in one column leaves the
+    /// others readable — this is the hook `lawsdb-core`'s resilient
+    /// reader uses to salvage a table around a quarantined page.
+    pub fn read_column(&self, name: &str, index: usize) -> Result<Column> {
+        self.ensure_open()?;
+        let st = self.stored_table(name)?;
+        let ext = st.columns.get(index).ok_or_else(|| StorageError::ColumnNotFound {
+            name: format!("{name}[{index}]"),
+        })?;
+        decode_column(&self.read_extent(ext)?)
     }
 
     /// Durably store the (opaque) model-catalog image in one atomic

@@ -1,0 +1,93 @@
+//! Metrics exposition and `EXPLAIN ANALYZE` from the command line.
+//!
+//! ```text
+//! cargo run --release -p lawsdb-bench --bin lawsdb-stats -- prom
+//! cargo run --release -p lawsdb-bench --bin lawsdb-stats -- json
+//! cargo run --release -p lawsdb-bench --bin lawsdb-stats -- explain \
+//!     "SELECT y FROM t WHERE x >= 15000 AND y <= 32000"
+//! ```
+//!
+//! Each subcommand spins up a demo engine — `t(x, y = 2x)` with a
+//! captured linear law, so zone-map *and* model pruning both have
+//! something to do — runs a short mixed workload through the resilient
+//! path, and renders the asked-for view: the engine's metrics registry
+//! as Prometheus text (`prom`) or JSON (`json`), or the per-query
+//! profile tree for one statement (`explain`). The same views are
+//! available programmatically via `LawsDb::stats_prometheus`,
+//! `LawsDb::stats_json`, and `Session::explain_analyze`.
+
+use lawsdb_core::LawsDb;
+use lawsdb_fit::FitOptions;
+use lawsdb_query::{ExecOptions, ResourceBudget};
+use lawsdb_storage::TableBuilder;
+
+const ROWS: usize = 20_000;
+
+/// The demo engine every subcommand runs against.
+fn demo_engine() -> LawsDb {
+    let mut b = TableBuilder::new("t");
+    b.add_f64("x", (0..ROWS).map(|i| i as f64).collect());
+    b.add_f64("y", (0..ROWS).map(|i| 2.0 * i as f64).collect());
+    let db = LawsDb::new().with_exec_options(ExecOptions {
+        budget: ResourceBudget {
+            max_rows: Some(10 * ROWS),
+            ..ResourceBudget::default()
+        },
+        ..ExecOptions::default()
+    });
+    db.register_table(b.build().expect("demo table builds")).expect("registers");
+    db.capture_model("t", "y ~ a + b * x", None, &FitOptions::default())
+        .expect("perfect linear law passes the quality gate");
+    db
+}
+
+/// A short mixed workload so the exposition has non-zero counters:
+/// a model-pruned range scan and an aggregate.
+fn warm(db: &LawsDb) {
+    for sql in [
+        "SELECT y FROM t WHERE x >= 15000 AND y <= 32000",
+        "SELECT COUNT(*) AS n, MAX(y) AS hi FROM t WHERE y > 30000",
+    ] {
+        db.query_resilient(sql).expect("demo workload runs");
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("prom") => {
+            let db = demo_engine();
+            warm(&db);
+            print!("{}", db.stats_prometheus());
+        }
+        Some("json") => {
+            let db = demo_engine();
+            warm(&db);
+            println!("{}", db.stats_json());
+        }
+        Some("explain") => {
+            let sql = args
+                .get(1)
+                .map(String::as_str)
+                .unwrap_or("SELECT y FROM t WHERE x >= 15000 AND y <= 32000");
+            let db = demo_engine();
+            let r = db.query_resilient_profiled(sql).unwrap_or_else(|e| {
+                eprintln!("error: {e}");
+                std::process::exit(2)
+            });
+            match r.profile {
+                Some(p) => print!("{}", p.render()),
+                None => eprintln!("no profile attached"),
+            }
+        }
+        _ => {
+            eprintln!(
+                "usage: lawsdb-stats <prom|json|explain [SQL]>\n\
+                 \x20 prom     render the demo engine's metrics as Prometheus text\n\
+                 \x20 json     render the demo engine's metrics as JSON\n\
+                 \x20 explain  run one statement and print its EXPLAIN ANALYZE tree"
+            );
+            std::process::exit(2)
+        }
+    }
+}

@@ -101,6 +101,36 @@ fn main() {
                 );
             }
         }
+        "bench-obs" => {
+            let scales: &[usize] = match scale {
+                Scale::Small => &[100_000],
+                Scale::Medium => &[100_000, 1_000_000],
+                Scale::Paper => &[100_000, 1_000_000, 4_000_000],
+            };
+            let r = exp::obs::run(scales);
+            exp::obs::print(&r);
+            let json = exp::obs::to_json(&r);
+            std::fs::write("BENCH_obs.json", &json)
+                .unwrap_or_else(|e| die(&format!("writing BENCH_obs.json: {e}")));
+            println!("\nwrote BENCH_obs.json");
+            // Hard gate: the analytic bound is noise-free, so a failure
+            // means instrumentation genuinely got heavier.
+            if !r.within_no_subscriber_gate() {
+                die(&format!(
+                    "no-subscriber overhead bound {:.3}% exceeds the {}% gate",
+                    r.max_no_subscriber_pct(),
+                    exp::obs::NO_SUBSCRIBER_GATE_PCT
+                ));
+            }
+            if !r.within_instrumented_gate() {
+                // Advisory: a shared CI box can blow through this on noise.
+                println!(
+                    "WARNING: instrumented overhead {:.2}% exceeds the {}% target",
+                    r.max_instrumented_pct(),
+                    exp::obs::INSTRUMENTED_GATE_PCT
+                );
+            }
+        }
         "bench-durability" => {
             let scales: &[usize] = match scale {
                 Scale::Small => &[20_000, 100_000],
@@ -132,7 +162,8 @@ fn main() {
 fn usage() {
     println!(
         "usage: report [all|table1|figure1|figure2|e4|e5|e6|e7|e8|e9|e10|e11|bench-query|\
-         bench-scan-pruning|bench-resilience|bench-durability] [--scale small|medium|paper]"
+         bench-scan-pruning|bench-resilience|bench-durability|bench-obs] \
+         [--scale small|medium|paper]"
     );
     println!("  bench-query: morsel-executor throughput sweep; writes BENCH_query.json");
     println!(
@@ -144,6 +175,10 @@ fn usage() {
          (fails if the model tier prunes nothing)"
     );
     println!("  bench-durability: WAL overhead per device profile; writes BENCH_durability.json");
+    println!(
+        "  bench-obs: tracing/profiling overhead sweep; writes BENCH_obs.json \
+         (fails if the no-subscriber bound exceeds the gate)"
+    );
 }
 
 fn die(msg: &str) -> ! {

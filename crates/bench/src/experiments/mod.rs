@@ -14,6 +14,7 @@ pub mod e8_anomaly;
 pub mod e9_enumeration;
 pub mod figure1;
 pub mod morsel;
+pub mod obs;
 pub mod figure2;
 pub mod resilience;
 pub mod scan_pruning;

@@ -1,0 +1,233 @@
+//! Observability overhead: what the tracing/profiling layer costs on
+//! the morsel-executor workloads (`BENCH_query.json`'s query set).
+//!
+//! Two numbers per `(query, rows)` cell, exported as `BENCH_obs.json`:
+//!
+//! * **no-subscriber** — the cost of instrumentation when nothing is
+//!   listening. A disabled `event!` site is one relaxed atomic load
+//!   (the fields closure is never invoked), so the per-query cost is
+//!   bounded analytically: `disabled_emit_ns × sites / query_ns`,
+//!   where `sites` counts every record an instrumented run of the same
+//!   query produces (profile tree lines + ring events). Gate: ≤ 2 %.
+//! * **fully instrumented** — measured A/B: plain `execute_with` vs
+//!   `execute_profiled` under an installed ring subscriber, best of
+//!   interleaved trials. Gate: ≤ 8 % (advisory in the report; CI warns).
+//!
+//! The analytic bound is deliberately pessimistic — it charges every
+//! *enabled*-run record as if it were a disabled site, although the
+//! plain path skips profile points on a `None` check that is cheaper
+//! than the atomic load being priced.
+
+use lawsdb_obs::trace::tracer;
+use lawsdb_query::{execute_profiled, execute_with, ExecOptions};
+use std::hint::black_box;
+
+use super::morsel;
+
+/// No-subscriber overhead gate, percent (hard gate in CI).
+pub const NO_SUBSCRIBER_GATE_PCT: f64 = 2.0;
+/// Fully-instrumented overhead gate, percent (advisory).
+pub const INSTRUMENTED_GATE_PCT: f64 = 8.0;
+
+/// One measured `(query, rows)` cell.
+#[derive(Debug, Clone)]
+pub struct ObsPoint {
+    /// Query label (see [`morsel::QUERIES`]).
+    pub query: String,
+    /// Base-table rows.
+    pub rows: usize,
+    /// Best plain wall time (µs) — no subscriber, no profile.
+    pub plain_us: f64,
+    /// Best wall time (µs) with ring subscriber + profile collection.
+    pub instrumented_us: f64,
+    /// `(instrumented − plain) / plain`, percent.
+    pub instrumented_pct: f64,
+    /// Records an instrumented run produces (profile lines + events).
+    pub sites: usize,
+    /// Analytic no-subscriber bound: `disabled_emit_ns × sites`
+    /// relative to the plain query time, percent.
+    pub no_subscriber_pct: f64,
+}
+
+/// Experiment report.
+#[derive(Debug, Clone)]
+pub struct ObsReport {
+    /// Worker threads used throughout.
+    pub threads: usize,
+    /// Rows per morsel used throughout.
+    pub morsel_rows: usize,
+    /// Timed trials per side; the best is kept.
+    pub trials: usize,
+    /// Measured cost of one disabled `event!` site, nanoseconds.
+    pub disabled_emit_ns: f64,
+    /// All measured cells.
+    pub points: Vec<ObsPoint>,
+}
+
+impl ObsReport {
+    /// Largest analytic no-subscriber bound across cells.
+    pub fn max_no_subscriber_pct(&self) -> f64 {
+        self.points.iter().map(|p| p.no_subscriber_pct).fold(0.0, f64::max)
+    }
+
+    /// Largest measured fully-instrumented overhead across cells.
+    pub fn max_instrumented_pct(&self) -> f64 {
+        self.points.iter().map(|p| p.instrumented_pct).fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// Whether the hard gate held.
+    pub fn within_no_subscriber_gate(&self) -> bool {
+        self.max_no_subscriber_pct() <= NO_SUBSCRIBER_GATE_PCT
+    }
+
+    /// Whether the advisory gate held.
+    pub fn within_instrumented_gate(&self) -> bool {
+        self.max_instrumented_pct() <= INSTRUMENTED_GATE_PCT
+    }
+}
+
+/// Time `n` disabled `event!` emissions and return ns per site. The
+/// tracer must be uninstalled; each iteration is the production
+/// fast path — one relaxed load, fields never built.
+fn measure_disabled_emit_ns(n: usize) -> f64 {
+    assert!(!tracer().is_enabled(), "disabled-cost probe needs no subscriber");
+    let (_, us) = crate::time_us(|| {
+        for i in 0..n {
+            lawsdb_obs::event!("bench.obs.probe", i = black_box(i as u64));
+        }
+    });
+    us * 1000.0 / n as f64
+}
+
+/// Run the overhead sweep at the given row scales.
+pub fn run(row_scales: &[usize]) -> ObsReport {
+    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let morsel_rows = 64 * 1024;
+    let trials = 9;
+    let disabled_emit_ns = measure_disabled_emit_ns(4_000_000);
+    let mut points = Vec::new();
+    for &rows in row_scales {
+        let catalog = morsel::dataset(rows);
+        for (label, sql) in morsel::QUERIES {
+            let opts = ExecOptions { threads, morsel_rows, ..ExecOptions::default() };
+
+            // Count what a fully instrumented run records: every
+            // profile tree line plus every event the subscriber saw.
+            let sink = tracer().install_ring(4096);
+            let before = sink.cursor();
+            let probe = execute_profiled(&catalog, sql, &opts).expect("instrumented");
+            let events = (sink.cursor() - before) as usize;
+            let sites = probe
+                .profile
+                .as_ref()
+                .map(|p| p.render().lines().count())
+                .unwrap_or(0)
+                + events;
+            tracer().uninstall();
+
+            // Same answer on both sides before any timing counts.
+            let a = execute_with(&catalog, sql, &opts).expect("plain");
+            assert_eq!(a.table.row_count(), probe.table.row_count(), "{label}");
+            assert_eq!(a.rows_scanned, probe.rows_scanned, "{label}");
+
+            // Interleave the trials so drift (thermal, scheduler) hits
+            // both sides alike; keep the best of each.
+            let _ = tracer().install_ring(4096);
+            let (mut best_plain, mut best_instr) = (f64::INFINITY, f64::INFINITY);
+            for _ in 0..trials {
+                tracer().uninstall();
+                let (_, us) = crate::time_us(|| execute_with(&catalog, sql, &opts));
+                best_plain = best_plain.min(us);
+                let _ = tracer().install_ring(4096);
+                let (_, us) = crate::time_us(|| execute_profiled(&catalog, sql, &opts));
+                best_instr = best_instr.min(us);
+            }
+            tracer().uninstall();
+
+            points.push(ObsPoint {
+                query: label.to_string(),
+                rows,
+                plain_us: best_plain,
+                instrumented_us: best_instr,
+                instrumented_pct: (best_instr - best_plain) / best_plain * 100.0,
+                sites,
+                no_subscriber_pct: disabled_emit_ns * sites as f64
+                    / (best_plain * 1000.0)
+                    * 100.0,
+            });
+        }
+    }
+    ObsReport { threads, morsel_rows, trials, disabled_emit_ns, points }
+}
+
+/// Print the report as a paper-style table.
+pub fn print(r: &ObsReport) {
+    println!("=== observability overhead (tracing + per-query profiles) ===");
+    println!(
+        "threads: {}   morsel size: {} rows   best of {} trials   \
+         disabled event!: {:.2} ns/site",
+        r.threads, r.morsel_rows, r.trials, r.disabled_emit_ns
+    );
+    println!("query              rows        plain instrumented   overhead  sites  no-sub");
+    for p in &r.points {
+        println!(
+            "{:<12} {:>10} {:>12} {:>12} {:>9.2}% {:>6} {:>6.3}%",
+            p.query,
+            p.rows,
+            crate::fmt_us(p.plain_us),
+            crate::fmt_us(p.instrumented_us),
+            p.instrumented_pct,
+            p.sites,
+            p.no_subscriber_pct
+        );
+    }
+    println!(
+        "no-subscriber bound: {:.3}% (gate ≤{NO_SUBSCRIBER_GATE_PCT}%: {})   \
+         instrumented: {:.2}% (gate ≤{INSTRUMENTED_GATE_PCT}%: {})",
+        r.max_no_subscriber_pct(),
+        r.within_no_subscriber_gate(),
+        r.max_instrumented_pct(),
+        r.within_instrumented_gate()
+    );
+}
+
+/// Render the report as JSON (hand-rolled: the workspace carries no
+/// serialization dependency).
+pub fn to_json(r: &ObsReport) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"bench\": \"observability_overhead\",\n");
+    out.push_str(&format!("  \"threads\": {},\n", r.threads));
+    out.push_str(&format!("  \"morsel_rows\": {},\n", r.morsel_rows));
+    out.push_str(&format!("  \"trials\": {},\n", r.trials));
+    out.push_str(&format!("  \"disabled_emit_ns\": {:.3},\n", r.disabled_emit_ns));
+    out.push_str(&format!("  \"no_subscriber_gate_pct\": {NO_SUBSCRIBER_GATE_PCT},\n"));
+    out.push_str(&format!("  \"instrumented_gate_pct\": {INSTRUMENTED_GATE_PCT},\n"));
+    out.push_str(&format!("  \"max_no_subscriber_pct\": {:.4},\n", r.max_no_subscriber_pct()));
+    out.push_str(&format!("  \"max_instrumented_pct\": {:.3},\n", r.max_instrumented_pct()));
+    out.push_str(&format!(
+        "  \"within_no_subscriber_gate\": {},\n",
+        r.within_no_subscriber_gate()
+    ));
+    out.push_str(&format!(
+        "  \"within_instrumented_gate\": {},\n",
+        r.within_instrumented_gate()
+    ));
+    out.push_str("  \"results\": [\n");
+    for (i, p) in r.points.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"query\": \"{}\", \"rows\": {}, \"plain_us\": {:.1}, \
+             \"instrumented_us\": {:.1}, \"instrumented_pct\": {:.3}, \
+             \"sites\": {}, \"no_subscriber_pct\": {:.4}}}{}\n",
+            p.query,
+            p.rows,
+            p.plain_us,
+            p.instrumented_us,
+            p.instrumented_pct,
+            p.sites,
+            p.no_subscriber_pct,
+            if i + 1 == r.points.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}

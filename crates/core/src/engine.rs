@@ -13,7 +13,8 @@ use lawsdb_models::bridge::{
 };
 use lawsdb_models::model::ModelId;
 use lawsdb_models::{CapturedModel, ModelCatalog, ModelState};
-use lawsdb_query::{ExecOptions, QueryResult};
+use lawsdb_obs::{fields, MetricsRegistry, ProfileCollector, ProfileContext};
+use lawsdb_query::{ExecOptions, QueryResult, ScanStatsCollector};
 use lawsdb_storage::{Catalog, Column, Table};
 use parking_lot::RwLock;
 use std::sync::Arc;
@@ -88,7 +89,12 @@ pub struct LawsDb {
     /// Knobs for the exact query path: worker thread count (0 = one per
     /// core) and morsel size. Results are identical for any setting.
     pub exec: ExecOptions,
-    /// Degradation health counters (see [`crate::resilience`]).
+    /// Per-engine metrics registry: every subsystem counter this engine
+    /// owns (health, scan pruning) binds here, so one snapshot renders
+    /// the whole engine's state (Prometheus text or JSON).
+    metrics: Arc<MetricsRegistry>,
+    /// Degradation health counters (see [`crate::resilience`]) — views
+    /// over `lawsdb_core_*` counters in [`LawsDb::metrics`].
     health: HealthCounters,
 }
 
@@ -102,21 +108,50 @@ impl LawsDb {
     /// Fresh empty engine.
     pub fn new() -> LawsDb {
         let models = Arc::new(ModelCatalog::new());
+        let metrics = Arc::new(MetricsRegistry::new());
+        // The engine's default scan-stats sink binds to the registry,
+        // so `lawsdb_query_pages_*` accumulate engine-wide while every
+        // query still reports its own delta through `QueryResult`.
+        let exec = ExecOptions {
+            stats: Some(Arc::new(ScanStatsCollector::for_registry(&metrics))),
+            ..ExecOptions::default()
+        };
         LawsDb {
             tables: Catalog::new(),
             approx: RwLock::new(ApproxEngine::new(Arc::clone(&models))),
             models,
             quality: QualityPolicy::default(),
             legal_filter_bits_per_key: Some(10),
-            exec: ExecOptions::default(),
-            health: HealthCounters::default(),
+            exec,
+            health: HealthCounters::for_registry(&metrics),
+            metrics,
         }
     }
 
-    /// Builder-style override of the execution options.
+    /// Builder-style override of the execution options. A `None` stats
+    /// sink keeps the engine's registry-bound collector, so overriding
+    /// thread counts does not silently disconnect DB-wide pruning
+    /// metrics.
     pub fn with_exec_options(mut self, exec: ExecOptions) -> LawsDb {
-        self.exec = exec;
+        let stats = exec.stats.clone().or_else(|| self.exec.stats.clone());
+        self.exec = ExecOptions { stats, ..exec };
         self
+    }
+
+    /// The engine's metrics registry (counters named
+    /// `lawsdb_<crate>_<name>`; see DESIGN.md §12).
+    pub fn metrics(&self) -> &Arc<MetricsRegistry> {
+        &self.metrics
+    }
+
+    /// The engine's metrics in Prometheus text exposition format.
+    pub fn stats_prometheus(&self) -> String {
+        self.metrics.snapshot().render_prometheus()
+    }
+
+    /// The engine's metrics as a JSON object.
+    pub fn stats_json(&self) -> String {
+        self.metrics.snapshot().render_json()
     }
 
     /// Register a base table.
@@ -176,20 +211,85 @@ impl LawsDb {
     /// current*, demote stale or drifted models, fall back to exact —
     /// and say which rungs of the ladder were taken and why.
     pub fn query_resilient(&self, sql: &str) -> Result<ResilientAnswer> {
+        self.query_resilient_inner(sql, None)
+    }
+
+    /// [`LawsDb::query_resilient`], plus an attached
+    /// [`lawsdb_obs::QueryProfile`] unifying the ladder's decisions with
+    /// the exact plan's execution tree — the engine's `EXPLAIN ANALYZE`.
+    pub fn query_resilient_profiled(&self, sql: &str) -> Result<ResilientAnswer> {
+        self.query_resilient_collected(sql, &ProfileCollector::new())
+    }
+
+    /// [`LawsDb::query_resilient_profiled`] recording into a
+    /// caller-owned collector — tests pass one on a
+    /// [`lawsdb_obs::MockClock`] for byte-identical profile trees.
+    pub fn query_resilient_collected(
+        &self,
+        sql: &str,
+        collector: &Arc<ProfileCollector>,
+    ) -> Result<ResilientAnswer> {
+        let ctx = collector.context();
+        let mut r = self.query_resilient_inner(sql, Some(&ctx))?;
+        r.profile = Some(collector.build("query"));
+        Ok(r)
+    }
+
+    /// Record one ladder decision as a profile point, when profiling.
+    fn profile_degrade(ctx: Option<&ProfileContext>, reason: &DegradeReason) {
+        if let Some(ctx) = ctx {
+            ctx.point(
+                "resilient.degrade",
+                fields![reason = reason.name(), detail = reason.to_string()],
+            );
+        }
+    }
+
+    /// The exact rung, carrying the profile context (plan-node spans,
+    /// morsel timings, pruning and governor points attach under it).
+    fn query_exact_for(&self, sql: &str, ctx: Option<&ProfileContext>) -> Result<QueryResult> {
+        let opts = match ctx {
+            Some(c) => ExecOptions { profile: Some(c.clone()), ..self.exec.clone() },
+            None => self.exec.clone(),
+        };
+        Ok(lawsdb_query::execute_with(&self.tables, sql, &opts)?)
+    }
+
+    fn query_resilient_inner(
+        &self,
+        sql: &str,
+        ctx: Option<&ProfileContext>,
+    ) -> Result<ResilientAnswer> {
         match self.query_approx(sql) {
             Ok(a) => match self.freshness_guard(&a) {
                 None => {
                     self.health.record_approx();
-                    Ok(ResilientAnswer { answer: Answer::Approx(a), degraded: Vec::new() })
+                    if let Some(ctx) = ctx {
+                        ctx.point(
+                            "resilient.approx",
+                            fields![
+                                model = a.model.0,
+                                tuples = a.tuples_reconstructed,
+                                rows_scanned = a.rows_scanned,
+                            ],
+                        );
+                    }
+                    Ok(ResilientAnswer {
+                        answer: Answer::Approx(a),
+                        degraded: Vec::new(),
+                        profile: None,
+                    })
                 }
                 Some(reason) => {
                     // Demote so the next query doesn't retry the model,
                     // then answer this one exactly.
                     let _ = self.models.set_state(a.model, ModelState::Stale);
                     self.health.record(&reason);
+                    Self::profile_degrade(ctx, &reason);
                     Ok(ResilientAnswer {
-                        answer: Answer::Exact(self.query(sql)?),
+                        answer: Answer::Exact(self.query_exact_for(sql, ctx)?),
                         degraded: vec![reason],
+                        profile: None,
                     })
                 }
             },
@@ -199,9 +299,11 @@ impl LawsDb {
             )) => {
                 let reason = DegradeReason::NoModel { detail: e.to_string() };
                 self.health.record(&reason);
+                Self::profile_degrade(ctx, &reason);
                 Ok(ResilientAnswer {
-                    answer: Answer::Exact(self.query(sql)?),
+                    answer: Answer::Exact(self.query_exact_for(sql, ctx)?),
                     degraded: vec![reason],
+                    profile: None,
                 })
             }
             Err(e) => Err(e),

@@ -31,6 +31,6 @@ pub mod storage_mgr;
 
 pub use engine::{Answer, LawsDb, QualityPolicy};
 pub use error::{CoreError, Result};
-pub use resilience::{DegradeReason, HealthSnapshot, ResilientAnswer};
+pub use resilience::{DegradeReason, HealthCounters, HealthSnapshot, ResilientAnswer};
 pub use session::{FitOptions, FitReport, RemoteFrame, Session, TransferModel};
 pub use storage_mgr::{CompressedColumn, CompressionMode, DurableDb};

@@ -23,7 +23,8 @@
 
 use crate::engine::Answer;
 use lawsdb_models::model::ModelId;
-use std::sync::atomic::{AtomicU64, Ordering};
+use lawsdb_obs::{Counter, MetricsRegistry, QueryProfile};
+use std::sync::Arc;
 
 /// Why a query (or read) was answered by a lower rung of the ladder
 /// than the one that was tried first.
@@ -77,6 +78,19 @@ pub enum DegradeReason {
     },
 }
 
+impl DegradeReason {
+    /// Stable snake_case tag for metrics labels and profile fields.
+    pub fn name(&self) -> &'static str {
+        match self {
+            DegradeReason::NoModel { .. } => "no_model",
+            DegradeReason::StaleRowCount { .. } => "stale_row_count",
+            DegradeReason::ResidualDrift { .. } => "residual_drift",
+            DegradeReason::ColumnReconstructed { .. } => "column_reconstructed",
+            DegradeReason::ColumnLost { .. } => "column_lost",
+        }
+    }
+}
+
 impl std::fmt::Display for DegradeReason {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
@@ -119,18 +133,33 @@ pub struct ResilientAnswer {
     pub answer: Answer,
     /// Every rung of the ladder that was skipped, in decision order.
     pub degraded: Vec<DegradeReason>,
+    /// `EXPLAIN ANALYZE`-style profile of the whole ladder (degradation
+    /// points + the exact plan when one ran). Attached only by the
+    /// profiled entry points; `None` on the plain path.
+    pub profile: Option<QueryProfile>,
 }
 
-/// Engine-lifetime degradation counters, in the same spirit as the
-/// executor's `ScanStats`: cheap atomics, snapshot on read.
-#[derive(Debug, Default)]
+/// Engine-lifetime degradation counters — thin views over named
+/// [`MetricsRegistry`] counters (`lawsdb_core_*`), so the engine's
+/// health is on the same exposition path as every other metric while
+/// the `snapshot()` API callers already use keeps working.
+#[derive(Debug)]
 pub struct HealthCounters {
-    approx_answers: AtomicU64,
-    exact_fallbacks: AtomicU64,
-    stale_demotions: AtomicU64,
-    drift_demotions: AtomicU64,
-    columns_reconstructed: AtomicU64,
-    columns_lost: AtomicU64,
+    approx_answers: Arc<Counter>,
+    exact_fallbacks: Arc<Counter>,
+    stale_demotions: Arc<Counter>,
+    drift_demotions: Arc<Counter>,
+    columns_reconstructed: Arc<Counter>,
+    columns_lost: Arc<Counter>,
+}
+
+impl Default for HealthCounters {
+    /// Standalone counters over a private registry (tests, ad-hoc use);
+    /// the engine binds to its own registry via
+    /// [`HealthCounters::for_registry`].
+    fn default() -> Self {
+        HealthCounters::for_registry(&MetricsRegistry::new())
+    }
 }
 
 /// Point-in-time copy of [`HealthCounters`].
@@ -151,38 +180,46 @@ pub struct HealthSnapshot {
 }
 
 impl HealthCounters {
+    /// Bind to named counters in `registry` (`lawsdb_core_*`), so the
+    /// same increments feed both [`HealthCounters::snapshot`] and the
+    /// registry's Prometheus/JSON exposition.
+    pub fn for_registry(registry: &MetricsRegistry) -> HealthCounters {
+        HealthCounters {
+            approx_answers: registry.counter("lawsdb_core_approx_answers"),
+            exact_fallbacks: registry.counter("lawsdb_core_exact_fallbacks"),
+            stale_demotions: registry.counter("lawsdb_core_stale_demotions"),
+            drift_demotions: registry.counter("lawsdb_core_drift_demotions"),
+            columns_reconstructed: registry.counter("lawsdb_core_columns_reconstructed"),
+            columns_lost: registry.counter("lawsdb_core_columns_lost"),
+        }
+    }
+
     pub(crate) fn record(&self, reason: &DegradeReason) {
-        self.exact_fallbacks.fetch_add(1, Ordering::Relaxed);
+        self.exact_fallbacks.inc();
         match reason {
             DegradeReason::NoModel { .. } => {}
-            DegradeReason::StaleRowCount { .. } => {
-                self.stale_demotions.fetch_add(1, Ordering::Relaxed);
-            }
-            DegradeReason::ResidualDrift { .. } => {
-                self.drift_demotions.fetch_add(1, Ordering::Relaxed);
-            }
+            DegradeReason::StaleRowCount { .. } => self.stale_demotions.inc(),
+            DegradeReason::ResidualDrift { .. } => self.drift_demotions.inc(),
             DegradeReason::ColumnReconstructed { .. } => {
-                self.columns_reconstructed.fetch_add(1, Ordering::Relaxed);
+                self.columns_reconstructed.inc();
             }
-            DegradeReason::ColumnLost { .. } => {
-                self.columns_lost.fetch_add(1, Ordering::Relaxed);
-            }
+            DegradeReason::ColumnLost { .. } => self.columns_lost.inc(),
         }
     }
 
     pub(crate) fn record_approx(&self) {
-        self.approx_answers.fetch_add(1, Ordering::Relaxed);
+        self.approx_answers.inc();
     }
 
     /// Current counter values.
     pub fn snapshot(&self) -> HealthSnapshot {
         HealthSnapshot {
-            approx_answers: self.approx_answers.load(Ordering::Relaxed),
-            exact_fallbacks: self.exact_fallbacks.load(Ordering::Relaxed),
-            stale_demotions: self.stale_demotions.load(Ordering::Relaxed),
-            drift_demotions: self.drift_demotions.load(Ordering::Relaxed),
-            columns_reconstructed: self.columns_reconstructed.load(Ordering::Relaxed),
-            columns_lost: self.columns_lost.load(Ordering::Relaxed),
+            approx_answers: self.approx_answers.get(),
+            exact_fallbacks: self.exact_fallbacks.get(),
+            stale_demotions: self.stale_demotions.get(),
+            drift_demotions: self.drift_demotions.get(),
+            columns_reconstructed: self.columns_reconstructed.get(),
+            columns_lost: self.columns_lost.get(),
         }
     }
 }

@@ -220,6 +220,35 @@ impl<'db> Session<'db> {
         &self.log
     }
 
+    /// The engine's metrics in Prometheus text exposition format — the
+    /// session-level `stats` command (DESIGN.md §12).
+    pub fn stats_prometheus(&self) -> String {
+        self.db.stats_prometheus()
+    }
+
+    /// The engine's metrics as JSON.
+    pub fn stats_json(&self) -> String {
+        self.db.stats_json()
+    }
+
+    /// `EXPLAIN ANALYZE`: run the query through the resilient ladder
+    /// with full profiling and return the rendered execution tree —
+    /// ladder decisions, plan-node spans, per-morsel timings, pruning
+    /// and governor points, and any bridged storage events.
+    pub fn explain_analyze(&mut self, sql: &str) -> Result<String> {
+        let r = self.db.query_resilient_profiled(sql)?;
+        match &r.answer {
+            Answer::Approx(a) => self.log.push(InterceptEvent::AnsweredApproximately {
+                sql: sql.to_string(),
+                tuples: a.tuples_reconstructed,
+            }),
+            Answer::Exact(_) => {
+                self.log.push(InterceptEvent::FellBackToExact { sql: sql.to_string() })
+            }
+        }
+        Ok(r.profile.map(|p| p.render()).unwrap_or_default())
+    }
+
     /// Model exploration (Section 4.2): the `top_k` steepest points of
     /// a captured model's parameter space, by gradient magnitude —
     /// "find interesting subsets of the data by analyzing the first

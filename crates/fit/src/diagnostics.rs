@@ -115,6 +115,11 @@ impl FitDiagnostics {
                 ParamStats { name: name.clone(), estimate, std_error, t_stat, p_value }
             })
             .collect();
+        // One structured event per judged fit: with a subscriber
+        // installed, capture sweeps leave an audit trail of every
+        // quality judgment (paper Table 1's columns); without one this
+        // is a single relaxed atomic load.
+        lawsdb_obs::event!("fit.diagnostics", n, p, r2, residual_se, f_stat);
         FitDiagnostics {
             n,
             p,

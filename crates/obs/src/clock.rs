@@ -1,0 +1,113 @@
+//! Monotonic time sources.
+//!
+//! Every timestamp in the observability layer — span durations, event
+//! stamps, profile trees — comes from a [`Clock`] so tests can swap the
+//! wall clock for a [`MockClock`] and get byte-identical output across
+//! runs. Readings are microseconds since an arbitrary per-clock origin;
+//! only differences are meaningful.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// A monotonic microsecond clock.
+pub trait Clock: Send + Sync + std::fmt::Debug {
+    /// Microseconds since this clock's origin. Never decreases.
+    fn now_micros(&self) -> u64;
+}
+
+/// Wall clock: microseconds since the clock was constructed, backed by
+/// [`Instant`] (monotonic, immune to wall-time adjustments).
+#[derive(Debug)]
+pub struct MonotonicClock {
+    origin: Instant,
+}
+
+impl MonotonicClock {
+    /// A clock whose origin is "now".
+    pub fn new() -> MonotonicClock {
+        MonotonicClock { origin: Instant::now() }
+    }
+}
+
+impl Default for MonotonicClock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Clock for MonotonicClock {
+    fn now_micros(&self) -> u64 {
+        self.origin.elapsed().as_micros() as u64
+    }
+}
+
+/// Deterministic test clock: every reading returns the current value
+/// and advances it by a fixed step, so a serial run observes the exact
+/// same timestamp sequence every time — the basis of the byte-identical
+/// profile-tree determinism test.
+#[derive(Debug)]
+pub struct MockClock {
+    now: AtomicU64,
+    step: u64,
+}
+
+impl MockClock {
+    /// A clock starting at 0 that advances `step_us` per reading.
+    pub fn new(step_us: u64) -> MockClock {
+        MockClock::starting_at(0, step_us)
+    }
+
+    /// A clock starting at `start_us` that advances `step_us` per
+    /// reading.
+    pub fn starting_at(start_us: u64, step_us: u64) -> MockClock {
+        MockClock { now: AtomicU64::new(start_us), step: step_us }
+    }
+
+    /// Jump to an absolute reading.
+    pub fn set(&self, us: u64) {
+        self.now.store(us, Ordering::Relaxed);
+    }
+
+    /// Advance by `us` without producing a reading.
+    pub fn advance(&self, us: u64) {
+        self.now.fetch_add(us, Ordering::Relaxed);
+    }
+}
+
+impl Clock for MockClock {
+    fn now_micros(&self) -> u64 {
+        self.now.fetch_add(self.step, Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn monotonic_clock_never_decreases() {
+        let c = MonotonicClock::new();
+        let a = c.now_micros();
+        let b = c.now_micros();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn mock_clock_is_a_deterministic_sequence() {
+        let c = MockClock::new(10);
+        assert_eq!((c.now_micros(), c.now_micros(), c.now_micros()), (0, 10, 20));
+        c.set(100);
+        assert_eq!(c.now_micros(), 100);
+        c.advance(5);
+        assert_eq!(c.now_micros(), 115);
+    }
+
+    #[test]
+    fn two_mock_clocks_agree_reading_for_reading() {
+        let a = MockClock::starting_at(7, 3);
+        let b = MockClock::starting_at(7, 3);
+        for _ in 0..100 {
+            assert_eq!(a.now_micros(), b.now_micros());
+        }
+    }
+}

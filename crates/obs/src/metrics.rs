@@ -1,0 +1,502 @@
+//! Hand-rolled metrics registry: named counters, gauges and log-scale
+//! histograms with Prometheus-text and JSON exposition.
+//!
+//! Counters are striped across cache-line-aligned atomics so hot-path
+//! increments from many workers do not bounce one line; reads sum the
+//! stripes. Histograms use fixed power-of-two buckets (bucket *i* holds
+//! values whose bit length is *i*), which is exact enough for latency
+//! distributions and needs no configuration. Metric names follow
+//! `lawsdb_<crate>_<name>` (see DESIGN.md §12).
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock, PoisonError, RwLock};
+
+/// Stripes per counter; increments pick one by thread, reads sum all.
+pub const COUNTER_STRIPES: usize = 8;
+
+/// One cache line per stripe so concurrent incrementers don't false-share.
+#[repr(align(64))]
+#[derive(Default)]
+struct Stripe(AtomicU64);
+
+static NEXT_STRIPE: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    /// Round-robin stripe assignment, fixed per thread for its lifetime.
+    static STRIPE: usize = NEXT_STRIPE.fetch_add(1, Ordering::Relaxed) % COUNTER_STRIPES;
+}
+
+#[inline]
+fn stripe_index() -> usize {
+    STRIPE.with(|s| *s)
+}
+
+/// A monotonically increasing counter (sharded atomics).
+#[derive(Default)]
+pub struct Counter {
+    stripes: [Stripe; COUNTER_STRIPES],
+}
+
+impl Counter {
+    /// A zeroed counter.
+    pub fn new() -> Counter {
+        Counter::default()
+    }
+
+    /// Add 1.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Add `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.stripes[stripe_index()].0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current total (sums the stripes).
+    pub fn get(&self) -> u64 {
+        self.stripes.iter().map(|s| s.0.load(Ordering::Relaxed)).sum()
+    }
+}
+
+impl std::fmt::Debug for Counter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Counter({})", self.get())
+    }
+}
+
+/// A settable signed value.
+#[derive(Default)]
+pub struct Gauge {
+    value: AtomicI64,
+}
+
+impl Gauge {
+    /// A zeroed gauge.
+    pub fn new() -> Gauge {
+        Gauge::default()
+    }
+
+    /// Set the value.
+    pub fn set(&self, v: i64) {
+        self.value.store(v, Ordering::Relaxed);
+    }
+
+    /// Add (possibly negative) `delta`.
+    pub fn add(&self, delta: i64) {
+        self.value.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+impl std::fmt::Debug for Gauge {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Gauge({})", self.get())
+    }
+}
+
+/// Fixed log-scale histogram buckets: bucket `i` covers values with bit
+/// length `i` (`[2^(i-1), 2^i)`), bucket 0 holds exactly 0, the last
+/// bucket absorbs everything huge.
+pub const HISTOGRAM_BUCKETS: usize = 32;
+
+/// A log-scale histogram for latency-like u64 samples.
+#[derive(Default)]
+pub struct Histogram {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    sum: AtomicU64,
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Histogram {
+        Histogram::default()
+    }
+
+    /// Bucket index for a value: its bit length, clamped.
+    pub fn bucket_index(value: u64) -> usize {
+        (64 - value.leading_zeros() as usize).min(HISTOGRAM_BUCKETS - 1)
+    }
+
+    /// Inclusive upper bound of bucket `i` (`u64::MAX` for the last).
+    pub fn bucket_upper_bound(i: usize) -> u64 {
+        if i >= HISTOGRAM_BUCKETS - 1 {
+            u64::MAX
+        } else {
+            (1u64 << i) - 1
+        }
+    }
+
+    /// Record one sample.
+    #[inline]
+    pub fn observe(&self, value: u64) {
+        self.buckets[Self::bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+    }
+
+    /// Total samples (sums the buckets, so it never disagrees with them).
+    pub fn get(&self) -> u64 {
+        self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Point-in-time copy.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let buckets: Vec<u64> =
+            self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect();
+        let count = buckets.iter().sum();
+        HistogramSnapshot { buckets, count, sum: self.sum.load(Ordering::Relaxed) }
+    }
+}
+
+impl std::fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Histogram(count={})", self.get())
+    }
+}
+
+/// Point-in-time copy of a [`Histogram`].
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct HistogramSnapshot {
+    /// Per-bucket sample counts ([`HISTOGRAM_BUCKETS`] entries).
+    pub buckets: Vec<u64>,
+    /// Total samples.
+    pub count: u64,
+    /// Sum of all samples.
+    pub sum: u64,
+}
+
+impl HistogramSnapshot {
+    /// Mean sample value (NaN when empty).
+    pub fn mean(&self) -> f64 {
+        self.sum as f64 / self.count as f64
+    }
+
+    /// Upper bound of the bucket containing the `q`-quantile sample
+    /// (0 when empty). A coarse estimate — exact within a factor of 2.
+    pub fn quantile_bound(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = (q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64;
+        let mut seen = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen += b;
+            if seen >= target.max(1) {
+                return Histogram::bucket_upper_bound(i);
+            }
+        }
+        Histogram::bucket_upper_bound(HISTOGRAM_BUCKETS - 1)
+    }
+}
+
+/// A named registry of counters, gauges and histograms. Metric handles
+/// are `Arc`s: look up once, increment forever with no lock.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    counters: RwLock<BTreeMap<String, Arc<Counter>>>,
+    gauges: RwLock<BTreeMap<String, Arc<Gauge>>>,
+    histograms: RwLock<BTreeMap<String, Arc<Histogram>>>,
+}
+
+fn get_or_insert<T: Default>(
+    map: &RwLock<BTreeMap<String, Arc<T>>>,
+    name: &str,
+) -> Arc<T> {
+    if let Some(m) = map.read().unwrap_or_else(PoisonError::into_inner).get(name) {
+        return Arc::clone(m);
+    }
+    Arc::clone(
+        map.write()
+            .unwrap_or_else(PoisonError::into_inner)
+            .entry(name.to_string())
+            .or_default(),
+    )
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry::default()
+    }
+
+    /// The counter named `name`, registering it on first use.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        get_or_insert(&self.counters, name)
+    }
+
+    /// The gauge named `name`, registering it on first use.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        get_or_insert(&self.gauges, name)
+    }
+
+    /// The histogram named `name`, registering it on first use.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        get_or_insert(&self.histograms, name)
+    }
+
+    /// Point-in-time copy of every registered metric.
+    pub fn snapshot(&self) -> RegistrySnapshot {
+        RegistrySnapshot {
+            counters: self
+                .counters
+                .read()
+                .unwrap_or_else(PoisonError::into_inner)
+                .iter()
+                .map(|(k, v)| (k.clone(), v.get()))
+                .collect(),
+            gauges: self
+                .gauges
+                .read()
+                .unwrap_or_else(PoisonError::into_inner)
+                .iter()
+                .map(|(k, v)| (k.clone(), v.get()))
+                .collect(),
+            histograms: self
+                .histograms
+                .read()
+                .unwrap_or_else(PoisonError::into_inner)
+                .iter()
+                .map(|(k, v)| (k.clone(), v.snapshot()))
+                .collect(),
+        }
+    }
+}
+
+/// The process-wide registry the storage layer reports into (it has no
+/// engine handle); engines own their own [`MetricsRegistry`] as well.
+pub fn global() -> &'static MetricsRegistry {
+    static GLOBAL: OnceLock<MetricsRegistry> = OnceLock::new();
+    GLOBAL.get_or_init(MetricsRegistry::new)
+}
+
+/// Point-in-time copy of a [`MetricsRegistry`], already sorted by name.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct RegistrySnapshot {
+    /// Counter totals by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge values by name.
+    pub gauges: BTreeMap<String, i64>,
+    /// Histogram snapshots by name.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+impl RegistrySnapshot {
+    /// Counter total by name (0 when never registered).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Gauge value by name (0 when never registered).
+    pub fn gauge(&self, name: &str) -> i64 {
+        self.gauges.get(name).copied().unwrap_or(0)
+    }
+
+    /// Histogram snapshot by name.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms.get(name)
+    }
+
+    /// Prometheus text exposition format. Histogram buckets are
+    /// cumulative with power-of-two `le` bounds; empty high buckets are
+    /// elided before the `+Inf` line.
+    pub fn render_prometheus(&self) -> String {
+        let mut out = String::new();
+        for (name, v) in &self.counters {
+            out.push_str(&format!("# TYPE {name} counter\n{name} {v}\n"));
+        }
+        for (name, v) in &self.gauges {
+            out.push_str(&format!("# TYPE {name} gauge\n{name} {v}\n"));
+        }
+        for (name, h) in &self.histograms {
+            out.push_str(&format!("# TYPE {name} histogram\n"));
+            let last = h.buckets.iter().rposition(|&b| b > 0).unwrap_or(0);
+            let mut cum = 0u64;
+            for (i, b) in h.buckets.iter().enumerate().take(last + 1) {
+                cum += b;
+                let le = Histogram::bucket_upper_bound(i);
+                if le == u64::MAX {
+                    break;
+                }
+                out.push_str(&format!("{name}_bucket{{le=\"{le}\"}} {cum}\n"));
+            }
+            out.push_str(&format!("{name}_bucket{{le=\"+Inf\"}} {}\n", h.count));
+            out.push_str(&format!("{name}_sum {}\n{name}_count {}\n", h.sum, h.count));
+        }
+        out
+    }
+
+    /// JSON exposition: `{"counters":{...},"gauges":{...},"histograms":
+    /// {"name":{"count":..,"sum":..,"buckets":[[le,cumulative],..]}}}`.
+    pub fn render_json(&self) -> String {
+        let mut out = String::from("{\"counters\":{");
+        let mut first = true;
+        for (name, v) in &self.counters {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str(&format!("\"{}\":{v}", json_escape(name)));
+        }
+        out.push_str("},\"gauges\":{");
+        first = true;
+        for (name, v) in &self.gauges {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str(&format!("\"{}\":{v}", json_escape(name)));
+        }
+        out.push_str("},\"histograms\":{");
+        first = true;
+        for (name, h) in &self.histograms {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str(&format!(
+                "\"{}\":{{\"count\":{},\"sum\":{},\"buckets\":[",
+                json_escape(name),
+                h.count,
+                h.sum
+            ));
+            let last = h.buckets.iter().rposition(|&b| b > 0).unwrap_or(0);
+            let mut cum = 0u64;
+            let mut bfirst = true;
+            for (i, b) in h.buckets.iter().enumerate().take(last + 1) {
+                cum += b;
+                if !bfirst {
+                    out.push(',');
+                }
+                bfirst = false;
+                let le = Histogram::bucket_upper_bound(i);
+                out.push_str(&format!("[{le},{cum}]"));
+            }
+            out.push_str("]}");
+        }
+        out.push_str("}}");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_counts_across_threads() {
+        let c = Arc::new(Counter::new());
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let c = Arc::clone(&c);
+                s.spawn(move || {
+                    for _ in 0..10_000 {
+                        c.inc();
+                    }
+                });
+            }
+        });
+        assert_eq!(c.get(), 40_000);
+    }
+
+    #[test]
+    fn gauge_sets_and_deltas() {
+        let g = Gauge::new();
+        g.set(10);
+        g.add(-3);
+        assert_eq!(g.get(), 7);
+    }
+
+    #[test]
+    fn histogram_buckets_by_bit_length() {
+        assert_eq!(Histogram::bucket_index(0), 0);
+        assert_eq!(Histogram::bucket_index(1), 1);
+        assert_eq!(Histogram::bucket_index(2), 2);
+        assert_eq!(Histogram::bucket_index(3), 2);
+        assert_eq!(Histogram::bucket_index(4), 3);
+        assert_eq!(Histogram::bucket_index(u64::MAX), HISTOGRAM_BUCKETS - 1);
+        assert_eq!(Histogram::bucket_upper_bound(0), 0);
+        assert_eq!(Histogram::bucket_upper_bound(3), 7);
+        assert_eq!(Histogram::bucket_upper_bound(HISTOGRAM_BUCKETS - 1), u64::MAX);
+    }
+
+    #[test]
+    fn histogram_snapshot_is_consistent() {
+        let h = Histogram::new();
+        for v in [0, 1, 3, 100, 100_000] {
+            h.observe(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 5);
+        assert_eq!(s.sum, 100_104);
+        assert_eq!(s.buckets.iter().sum::<u64>(), s.count);
+        assert!((s.mean() - 20_020.8).abs() < 1e-9);
+        // Median bound: 3 of 5 samples are ≤ 3, so the 0.5-quantile
+        // bucket bound is 3.
+        assert_eq!(s.quantile_bound(0.5), 3);
+    }
+
+    #[test]
+    fn registry_returns_the_same_metric_for_the_same_name() {
+        let r = MetricsRegistry::new();
+        let a = r.counter("lawsdb_test_x");
+        let b = r.counter("lawsdb_test_x");
+        a.inc();
+        assert_eq!(b.get(), 1);
+        assert!(Arc::ptr_eq(&a, &b));
+    }
+
+    #[test]
+    fn prometheus_and_json_exposition() {
+        let r = MetricsRegistry::new();
+        r.counter("lawsdb_q_total").add(3);
+        r.gauge("lawsdb_q_depth").set(-2);
+        r.histogram("lawsdb_q_us").observe(5);
+        let s = r.snapshot();
+        let prom = s.render_prometheus();
+        assert!(prom.contains("# TYPE lawsdb_q_total counter\nlawsdb_q_total 3\n"), "{prom}");
+        assert!(prom.contains("# TYPE lawsdb_q_depth gauge\nlawsdb_q_depth -2\n"), "{prom}");
+        assert!(prom.contains("lawsdb_q_us_bucket{le=\"7\"} 1"), "{prom}");
+        assert!(prom.contains("lawsdb_q_us_bucket{le=\"+Inf\"} 1"), "{prom}");
+        assert!(prom.contains("lawsdb_q_us_sum 5\nlawsdb_q_us_count 1"), "{prom}");
+        let json = s.render_json();
+        assert!(json.contains("\"lawsdb_q_total\":3"), "{json}");
+        assert!(json.contains("\"lawsdb_q_depth\":-2"), "{json}");
+        assert!(json.contains("\"count\":1,\"sum\":5"), "{json}");
+        assert!(json.starts_with('{') && json.ends_with('}'));
+    }
+
+    #[test]
+    fn snapshot_reads_are_between_before_and_after() {
+        let r = MetricsRegistry::new();
+        let c = r.counter("c");
+        c.add(5);
+        let before = r.snapshot();
+        c.add(5);
+        let after = r.snapshot();
+        assert_eq!(before.counter("c"), 5);
+        assert_eq!(after.counter("c"), 10);
+    }
+}

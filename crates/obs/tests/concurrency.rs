@@ -1,0 +1,123 @@
+//! Satellite (c): concurrency proptest — N threads hammering the same
+//! counters/histograms lose no increments, and snapshots taken during
+//! the storm never tear (every observed total is a value the metric
+//! actually passed through, and totals are monotone across snapshots).
+
+use lawsdb_obs::{Histogram, MetricsRegistry};
+use proptest::prelude::*;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 8, ..ProptestConfig::default() })]
+
+    #[test]
+    fn counters_lose_no_increments(
+        threads in 2usize..5,
+        per_thread in 1usize..2_000,
+        delta in 1u64..10,
+    ) {
+        let reg = Arc::new(MetricsRegistry::new());
+        std::thread::scope(|s| {
+            for _ in 0..threads {
+                let reg = Arc::clone(&reg);
+                s.spawn(move || {
+                    let c = reg.counter("lawsdb_test_hits");
+                    for _ in 0..per_thread {
+                        c.add(delta);
+                    }
+                });
+            }
+        });
+        let total = reg.snapshot().counter("lawsdb_test_hits");
+        prop_assert_eq!(total, threads as u64 * per_thread as u64 * delta);
+    }
+
+    #[test]
+    fn histograms_lose_no_samples_and_sums_agree(
+        threads in 2usize..5,
+        samples in prop::collection::vec(0u64..1_000_000, 1..500),
+    ) {
+        let reg = Arc::new(MetricsRegistry::new());
+        std::thread::scope(|s| {
+            for _ in 0..threads {
+                let reg = Arc::clone(&reg);
+                let samples = samples.clone();
+                s.spawn(move || {
+                    let h = reg.histogram("lawsdb_test_lat_us");
+                    for &v in &samples {
+                        h.observe(v);
+                    }
+                });
+            }
+        });
+        let snap = reg.snapshot();
+        let h = snap.histogram("lawsdb_test_lat_us").expect("registered");
+        let n = threads as u64 * samples.len() as u64;
+        prop_assert_eq!(h.count, n);
+        prop_assert_eq!(h.buckets.iter().sum::<u64>(), n);
+        prop_assert_eq!(h.sum, samples.iter().sum::<u64>() * threads as u64);
+    }
+
+    #[test]
+    fn snapshots_during_update_never_tear(rounds in 1usize..40) {
+        // One writer bumps a counter in fixed quanta; a reader snapshots
+        // continuously. Counts must be multiples of the quantum (no torn
+        // read of a single add) and monotone non-decreasing.
+        const QUANTUM: u64 = 3;
+        let reg = Arc::new(MetricsRegistry::new());
+        let stop = Arc::new(AtomicBool::new(false));
+        let reader = {
+            let reg = Arc::clone(&reg);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut last = 0u64;
+                let mut seen = Vec::new();
+                while !stop.load(Ordering::Relaxed) {
+                    let v = reg.snapshot().counter("lawsdb_test_mono");
+                    seen.push((last, v));
+                    last = v;
+                }
+                seen
+            })
+        };
+        let c = reg.counter("lawsdb_test_mono");
+        for _ in 0..rounds * 100 {
+            c.add(QUANTUM);
+        }
+        stop.store(true, Ordering::Relaxed);
+        let seen = reader.join().expect("reader thread");
+        for (prev, cur) in seen {
+            prop_assert!(cur >= prev, "snapshot went backwards: {prev} -> {cur}");
+            prop_assert_eq!(cur % QUANTUM, 0);
+        }
+        prop_assert_eq!(
+            reg.snapshot().counter("lawsdb_test_mono"),
+            rounds as u64 * 100 * QUANTUM
+        );
+    }
+}
+
+#[test]
+fn histogram_snapshot_count_never_disagrees_with_buckets() {
+    // `count` is derived from the buckets in one pass, so even a
+    // snapshot racing `observe` can never show count != sum(buckets).
+    let h = Arc::new(Histogram::new());
+    let stop = Arc::new(AtomicBool::new(false));
+    let reader = {
+        let h = Arc::clone(&h);
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            while !stop.load(Ordering::Relaxed) {
+                let s = h.snapshot();
+                assert_eq!(s.buckets.iter().sum::<u64>(), s.count);
+            }
+        })
+    };
+    for v in 0..200_000u64 {
+        h.observe(v % 4096);
+    }
+    stop.store(true, Ordering::Relaxed);
+    reader.join().expect("reader thread");
+    assert_eq!(h.get(), 200_000);
+}

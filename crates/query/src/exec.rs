@@ -14,7 +14,9 @@ use crate::plan::{AggSpec, LogicalPlan};
 use crate::pruning::{PruningPredicate, ScanStats, ScanStatsCollector, ZoneDecision};
 use crate::sexpr::ScalarExpr;
 use crate::sql::{parse_select, AggFunc, OrderBy};
+use lawsdb_obs::{fields, ProfileCollector, ProfileContext, QueryProfile};
 use lawsdb_storage::schema::{DataType, Field, Schema};
+use lawsdb_storage::zonemap::ZoneSource;
 use lawsdb_storage::{Catalog, Column, Table, Value};
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -34,6 +36,11 @@ pub struct QueryResult {
     pub rows_scanned: usize,
     /// Zone-level pruning counters for this query.
     pub scan_stats: ScanStats,
+    /// `EXPLAIN ANALYZE`-style execution profile. Attached only by the
+    /// profiled entry points ([`execute_profiled`],
+    /// [`execute_plan_profiled`]); `None` on the plain paths, which pay
+    /// one untaken branch per instrumentation site.
+    pub profile: Option<QueryProfile>,
 }
 
 /// Parse, plan, optimize and execute a SELECT statement with default
@@ -81,7 +88,57 @@ pub fn execute_plan_with(
     let mut scanned = 0usize;
     let table = exec(catalog, plan, &mut scanned, &opts)?;
     let scan_stats = collector.snapshot().since(&before);
-    Ok(QueryResult { table, rows_scanned: scanned, scan_stats })
+    if let Some(ctx) = &opts.profile {
+        ctx.point(
+            "scan.stats",
+            fields![
+                pages_total = scan_stats.pages_total,
+                pruned_zonemap = scan_stats.pages_pruned_zonemap,
+                pruned_model = scan_stats.pages_pruned_model,
+                compressed_eval = scan_stats.pages_compressed_eval,
+            ],
+        );
+        if let Some(g) = &opts.governor {
+            ctx.point(
+                "governor.summary",
+                fields![
+                    rows_admitted = g.rows_admitted(),
+                    memory_used = g.memory_used(),
+                ],
+            );
+        }
+    }
+    Ok(QueryResult { table, rows_scanned: scanned, scan_stats, profile: None })
+}
+
+/// [`execute_with`], plus an attached [`QueryProfile`]: the SQL-string
+/// entry point behind the session's `EXPLAIN ANALYZE`.
+pub fn execute_profiled(
+    catalog: &Catalog,
+    sql: &str,
+    opts: &ExecOptions,
+) -> Result<QueryResult> {
+    let stmt = parse_select(sql)?;
+    let plan = LogicalPlan::from_statement(&stmt)?;
+    let plan = optimize(&plan);
+    execute_plan_profiled(catalog, &plan, opts)
+}
+
+/// Execute a plan with a fresh [`ProfileCollector`] and attach the
+/// assembled profile tree to the result. Callers that record their own
+/// points around the query (the resilient ladder) instead create a
+/// collector themselves, set [`ExecOptions::profile`] from it, and call
+/// [`execute_plan_with`] directly.
+pub fn execute_plan_profiled(
+    catalog: &Catalog,
+    plan: &LogicalPlan,
+    opts: &ExecOptions,
+) -> Result<QueryResult> {
+    let collector = ProfileCollector::new();
+    let opts = ExecOptions { profile: Some(collector.context()), ..opts.clone() };
+    let mut r = execute_plan_with(catalog, plan, &opts)?;
+    r.profile = Some(collector.build("query"));
+    Ok(r)
 }
 
 /// Materialize a base-table scan: zero-copy clone/projection plus the
@@ -122,7 +179,44 @@ fn scan_table(
     }
 }
 
+/// Dotted span name for a plan node (DESIGN.md §12 taxonomy).
+fn plan_node_name(plan: &LogicalPlan) -> &'static str {
+    match plan {
+        LogicalPlan::Scan { .. } => "plan.scan",
+        LogicalPlan::Join { .. } => "plan.join",
+        LogicalPlan::Filter { .. } => "plan.filter",
+        LogicalPlan::Aggregate { .. } => "plan.aggregate",
+        LogicalPlan::Project { .. } => "plan.project",
+        LogicalPlan::Sort { .. } => "plan.sort",
+        LogicalPlan::Distinct { .. } => "plan.distinct",
+        LogicalPlan::Limit { .. } => "plan.limit",
+    }
+}
+
+/// Execute one plan node, wrapped in a profile span when a sink is set.
+/// The span's child context becomes the options' profile for everything
+/// the node does — recursive input execution, morsel leaves, zone
+/// points — so the profile tree mirrors the plan tree.
 fn exec(
+    catalog: &Catalog,
+    plan: &LogicalPlan,
+    scanned: &mut usize,
+    opts: &ExecOptions,
+) -> Result<Table> {
+    let Some(ctx) = &opts.profile else {
+        return exec_node(catalog, plan, scanned, opts);
+    };
+    let mut span = ctx.span(plan_node_name(plan));
+    let child = ExecOptions { profile: Some(span.child()), ..opts.clone() };
+    let r = exec_node(catalog, plan, scanned, &child);
+    match &r {
+        Ok(t) => span.field("rows_out", t.row_count() as u64),
+        Err(e) => span.field("error", e.to_string()),
+    }
+    r
+}
+
+fn exec_node(
     catalog: &Catalog,
     plan: &LogicalPlan,
     scanned: &mut usize,
@@ -252,6 +346,24 @@ fn scan_pipeline(plan: &LogicalPlan) -> Option<ScanPipeline<'_>> {
     }
 }
 
+/// Record one pruning-decision leaf per zone-aligned chunk, attributed
+/// to the synopsis tier that decided it (`skip_zonemap` = write-time
+/// data zones, `skip_model` = model-derived bounds, `accept_all` =
+/// constant-zone compressed-domain acceptance). Leaves index by chunk
+/// offset, so sibling order is worker-schedule-independent.
+fn profile_zones(ctx: Option<&ProfileContext>, chunks: &[(usize, usize, ZoneDecision)]) {
+    let Some(ctx) = ctx else { return };
+    for &(o, l, d) in chunks {
+        let decision = match d {
+            ZoneDecision::Skip(ZoneSource::Data) => "skip_zonemap",
+            ZoneDecision::Skip(ZoneSource::Model) => "skip_model",
+            ZoneDecision::AcceptAll => "accept_all",
+            ZoneDecision::Eval => "eval",
+        };
+        ctx.leaf("zone", o as u64, fields![rows = l, decision]);
+    }
+}
+
 /// Morsel-parallel filter: each worker evaluates the predicate mask on
 /// a zero-copy slice and reports offset-adjusted global row indices;
 /// concatenating them in morsel order reproduces the serial selection
@@ -273,6 +385,7 @@ fn parallel_filter(t: &Table, predicate: &ScalarExpr, opts: &ExecOptions) -> Res
                 let mut stats = ScanStats::default();
                 let chunks =
                     pruner.plan_range(synopsis, pruner.grid(synopsis), offset, len, &mut stats);
+                profile_zones(opts.profile.as_ref(), &chunks);
                 let mut keep = Vec::new();
                 for (o, l, d) in chunks {
                     match d {
@@ -854,6 +967,7 @@ fn aggregate_pipeline(
                 let mut stats = ScanStats::default();
                 let chunks =
                     pruner.plan_range(synopsis, pruner.grid(synopsis), offset, len, &mut stats);
+                profile_zones(opts.profile.as_ref(), &chunks);
                 // One shared accumulator for every surviving chunk, so
                 // the add order matches an unchunked pass over this
                 // morsel exactly (see [`MorselAccumulator`]).
@@ -1449,6 +1563,63 @@ mod pruning_exec_tests {
         assert_eq!(
             total.pages_pruned_zonemap,
             first.scan_stats.pages_pruned_zonemap + second.scan_stats.pages_pruned_zonemap
+        );
+    }
+
+    #[test]
+    fn profiled_run_attaches_a_plan_shaped_tree() {
+        use lawsdb_obs::FieldValue;
+        let c = zoned_catalog();
+        let r = execute_profiled(
+            &c,
+            "SELECT k FROM z WHERE k < 64",
+            &ExecOptions { threads: 4, morsel_rows: 128, ..ExecOptions::default() },
+        )
+        .unwrap();
+        let p = r.profile.expect("profiled entry point attaches a tree");
+        assert_eq!(p.root.name, "query");
+        // Optimizer pushes the projection above Filter(Scan).
+        assert!(!p.find("plan.filter").is_empty());
+        assert!(!p.find("plan.scan").is_empty());
+        // Per-morsel timing leaves, ordered by offset under the filter.
+        let morsels = p.find("morsel");
+        assert_eq!(morsels.len(), 4, "512 rows / 128-row morsels");
+        let offsets: Vec<Option<u64>> = morsels.iter().map(|m| m.index).collect();
+        assert_eq!(offsets, vec![Some(0), Some(128), Some(256), Some(384)]);
+        // Zone decisions carry the pruning-tier attribution.
+        let zones = p.find("zone");
+        assert!(zones.iter().any(|z| {
+            z.field("decision").and_then(FieldValue::as_str) == Some("skip_zonemap")
+        }));
+        // Per-query pruning totals are a root-level point.
+        let stats = p.find("scan.stats");
+        assert_eq!(stats.len(), 1);
+        assert_eq!(
+            stats[0].field("pruned_zonemap").and_then(FieldValue::as_u64),
+            Some(7)
+        );
+    }
+
+    #[test]
+    fn profiled_run_records_governor_charges() {
+        use crate::governor::ResourceBudget;
+        use lawsdb_obs::FieldValue;
+        let c = zoned_catalog();
+        let opts = ExecOptions {
+            budget: ResourceBudget { max_rows: Some(10_000), ..ResourceBudget::default() },
+            ..ExecOptions::default()
+        };
+        let r = execute_profiled(&c, "SELECT k FROM z WHERE k < 64", &opts).unwrap();
+        let p = r.profile.unwrap();
+        let charges = p.find("governor.rows");
+        assert_eq!(charges.len(), 1, "one admission charge per scan");
+        assert_eq!(charges[0].field("rows").and_then(FieldValue::as_u64), Some(512));
+        assert_eq!(charges[0].field("ok"), Some(&FieldValue::Bool(true)));
+        let summary = p.find("governor.summary");
+        assert_eq!(summary.len(), 1);
+        assert_eq!(
+            summary[0].field("rows_admitted").and_then(FieldValue::as_u64),
+            Some(512)
         );
     }
 

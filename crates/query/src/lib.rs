@@ -45,7 +45,11 @@ pub mod sexpr;
 pub mod sql;
 
 pub use error::{QueryError, Result};
-pub use exec::{execute, execute_plan, execute_plan_with, execute_with, QueryResult};
+pub use exec::{
+    execute, execute_plan, execute_plan_profiled, execute_plan_with, execute_profiled,
+    execute_with, QueryResult,
+};
+pub use lawsdb_obs::{ProfileCollector, ProfileContext, QueryProfile};
 pub use governor::{CancelToken, Governor, ResourceBudget};
 pub use morsel::ExecOptions;
 pub use plan::LogicalPlan;

@@ -12,6 +12,7 @@
 use crate::error::{QueryError, Result};
 use crate::governor::{CancelToken, Governor, ResourceBudget};
 use crate::pruning::ScanStatsCollector;
+use lawsdb_obs::{fields, ProfileContext};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
 use std::sync::Arc;
@@ -49,12 +50,17 @@ pub struct ExecOptions {
     /// The armed per-query governor. Set by the executor when a query
     /// starts (from `budget` + `cancel`); callers leave it `None`.
     pub governor: Option<Arc<Governor>>,
+    /// Execution-profile sink. When set, the executor records plan-node
+    /// spans, per-morsel timing leaves, and pruning/governor points
+    /// into it; `None` (the default) costs one branch per site.
+    pub profile: Option<ProfileContext>,
 }
 
 impl PartialEq for ExecOptions {
     fn eq(&self, other: &Self) -> bool {
-        // The stats sink, the cancel token and the armed governor are
-        // observers / runtime state, not behavioral knobs.
+        // The stats sink, the cancel token, the armed governor and the
+        // profile sink are observers / runtime state, not behavioral
+        // knobs.
         self.threads == other.threads
             && self.morsel_rows == other.morsel_rows
             && self.pruning == other.pruning
@@ -74,6 +80,7 @@ impl Default for ExecOptions {
             budget: ResourceBudget::default(),
             cancel: None,
             governor: None,
+            profile: None,
         }
     }
 }
@@ -123,18 +130,33 @@ impl ExecOptions {
         }
     }
 
-    /// Charge scanned rows against the armed governor, if any.
+    /// Charge scanned rows against the armed governor, if any. With a
+    /// profile sink set, every charge becomes a `governor.rows` point
+    /// recording the amount and whether the budget admitted it.
     pub fn charge_rows(&self, rows: usize) -> Result<()> {
         match &self.governor {
-            Some(g) => g.charge_rows(rows),
+            Some(g) => {
+                let r = g.charge_rows(rows);
+                if let Some(ctx) = &self.profile {
+                    ctx.point("governor.rows", fields![rows, ok = r.is_ok()]);
+                }
+                r
+            }
             None => Ok(()),
         }
     }
 
     /// Charge materialized bytes against the armed governor, if any.
+    /// Profiled like [`ExecOptions::charge_rows`], as `governor.memory`.
     pub fn charge_memory(&self, bytes: usize) -> Result<()> {
         match &self.governor {
-            Some(g) => g.charge_memory(bytes),
+            Some(g) => {
+                let r = g.charge_memory(bytes);
+                if let Some(ctx) = &self.profile {
+                    ctx.point("governor.memory", fields![bytes, ok = r.is_ok()]);
+                }
+                r
+            }
             None => Ok(()),
         }
     }
@@ -168,6 +190,26 @@ fn run_morsel<R>(
     }
 }
 
+/// [`run_morsel`], plus a per-morsel timing leaf when a profile sink is
+/// set. Timing uses the *collector's* clock (not `Instant` directly) so
+/// a `MockClock` run produces the same tree byte for byte; the leaf's
+/// `offset` index makes sibling order worker-schedule-independent.
+fn run_morsel_profiled<R>(
+    work: &(impl Fn(usize, usize) -> Result<R> + Sync),
+    profile: Option<&ProfileContext>,
+    offset: usize,
+    len: usize,
+) -> Result<R> {
+    let Some(ctx) = profile else {
+        return run_morsel(work, offset, len);
+    };
+    let t0 = ctx.now_micros();
+    let r = run_morsel(work, offset, len);
+    let duration_us = ctx.now_micros().saturating_sub(t0);
+    ctx.leaf("morsel", offset as u64, fields![rows = len, duration_us, ok = r.is_ok()]);
+    r
+}
+
 /// Split `n_rows` into `(offset, len)` morsel ranges in row order.
 pub fn morsel_ranges(n_rows: usize, morsel_rows: usize) -> Vec<(usize, usize)> {
     let step = morsel_rows.max(1);
@@ -194,7 +236,7 @@ where
             .into_iter()
             .map(|(o, l)| {
                 opts.governor_check()?;
-                run_morsel(&work, o, l)
+                run_morsel_profiled(&work, opts.profile.as_ref(), o, l)
             })
             .collect();
     }
@@ -214,7 +256,9 @@ where
                 // within one morsel, with the error surfacing in
                 // deterministic morsel order like any kernel error.
                 let r = match opts.governor_check() {
-                    Ok(()) => run_morsel(&work, offset, len),
+                    Ok(()) => {
+                        run_morsel_profiled(&work, opts.profile.as_ref(), offset, len)
+                    }
                     Err(e) => Err(e),
                 };
                 if tx.send((i, r)).is_err() {

@@ -22,8 +22,9 @@
 
 use crate::sexpr::ScalarExpr;
 use lawsdb_expr::ast::CmpOp;
+use lawsdb_obs::{Counter, MetricsRegistry};
 use lawsdb_storage::zonemap::{PredOp, TableSynopsis, ZoneSource};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 
 /// Per-query scan-pruning counters, in zones (the pruning granule:
 /// [`lawsdb_storage::DEFAULT_ZONE_ROWS`] rows, one or more pager pages).
@@ -60,30 +61,56 @@ impl ScanStats {
 
 /// Thread-safe accumulator the morsel workers write into; shareable
 /// across queries via [`crate::morsel::ExecOptions::stats`].
-#[derive(Debug, Default)]
+///
+/// Since the observability refactor this is a thin view over
+/// [`lawsdb_obs`] registry counters (`lawsdb_query_pages_*`): bind one
+/// to an engine's registry with [`ScanStatsCollector::for_registry`]
+/// and the same numbers are readable both per-query (via
+/// [`ScanStats::since`] deltas) and DB-wide (via the registry's
+/// Prometheus/JSON exposition) — one source of truth. The
+/// `Default` collector registers into a private registry and behaves
+/// exactly like the old standalone atomics.
+#[derive(Debug)]
 pub struct ScanStatsCollector {
-    total: AtomicUsize,
-    zonemap: AtomicUsize,
-    model: AtomicUsize,
-    compressed: AtomicUsize,
+    total: Arc<Counter>,
+    zonemap: Arc<Counter>,
+    model: Arc<Counter>,
+    compressed: Arc<Counter>,
+}
+
+impl Default for ScanStatsCollector {
+    fn default() -> ScanStatsCollector {
+        ScanStatsCollector::for_registry(&MetricsRegistry::new())
+    }
 }
 
 impl ScanStatsCollector {
+    /// A collector whose counters live in `registry` under the
+    /// `lawsdb_query_pages_*` names.
+    pub fn for_registry(registry: &MetricsRegistry) -> ScanStatsCollector {
+        ScanStatsCollector {
+            total: registry.counter("lawsdb_query_pages_total"),
+            zonemap: registry.counter("lawsdb_query_pages_pruned_zonemap"),
+            model: registry.counter("lawsdb_query_pages_pruned_model"),
+            compressed: registry.counter("lawsdb_query_pages_compressed_eval"),
+        }
+    }
+
     /// Fold one worker's counters in.
     pub fn add(&self, s: &ScanStats) {
-        self.total.fetch_add(s.pages_total, Ordering::Relaxed);
-        self.zonemap.fetch_add(s.pages_pruned_zonemap, Ordering::Relaxed);
-        self.model.fetch_add(s.pages_pruned_model, Ordering::Relaxed);
-        self.compressed.fetch_add(s.pages_compressed_eval, Ordering::Relaxed);
+        self.total.add(s.pages_total as u64);
+        self.zonemap.add(s.pages_pruned_zonemap as u64);
+        self.model.add(s.pages_pruned_model as u64);
+        self.compressed.add(s.pages_compressed_eval as u64);
     }
 
     /// Current totals.
     pub fn snapshot(&self) -> ScanStats {
         ScanStats {
-            pages_total: self.total.load(Ordering::Relaxed),
-            pages_pruned_zonemap: self.zonemap.load(Ordering::Relaxed),
-            pages_pruned_model: self.model.load(Ordering::Relaxed),
-            pages_compressed_eval: self.compressed.load(Ordering::Relaxed),
+            pages_total: self.total.get() as usize,
+            pages_pruned_zonemap: self.zonemap.get() as usize,
+            pages_pruned_model: self.model.get() as usize,
+            pages_compressed_eval: self.compressed.get() as usize,
         }
     }
 }

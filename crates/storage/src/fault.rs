@@ -16,6 +16,7 @@
 
 use crate::error::{Result, StorageError};
 use crate::io::{BlockDevice, IoStats, SimulatedDevice};
+use lawsdb_obs::event;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
 /// What happens at the scheduled crash operation.
@@ -45,6 +46,17 @@ impl FaultMode {
     /// self-healing fault would violate.
     pub const ALL: [FaultMode; 4] =
         [FaultMode::IoError, FaultMode::ShortWrite, FaultMode::TornPage, FaultMode::BitFlip];
+
+    /// Stable lowercase name, used in structured events and logs.
+    pub fn name(&self) -> &'static str {
+        match self {
+            FaultMode::IoError => "io_error",
+            FaultMode::ShortWrite => "short_write",
+            FaultMode::TornPage => "torn_page",
+            FaultMode::BitFlip => "bit_flip",
+            FaultMode::Transient => "transient",
+        }
+    }
 }
 
 /// When and how to fail.
@@ -99,6 +111,14 @@ pub struct FaultyDevice {
 impl FaultyDevice {
     /// Wrap `inner` under `schedule`.
     pub fn new(inner: SimulatedDevice, schedule: FaultSchedule) -> FaultyDevice {
+        if let Some(op) = schedule.crash_at {
+            event!(
+                "storage.fault.armed",
+                op,
+                mode = schedule.mode.name(),
+                seed = schedule.seed
+            );
+        }
         FaultyDevice {
             inner,
             schedule,
@@ -175,6 +195,13 @@ impl FaultyDevice {
         }
         if self.schedule.crash_at == Some(n) {
             self.fired.store(true, Ordering::Relaxed);
+            event!(
+                "storage.fault.fired",
+                op = n,
+                mode = self.schedule.mode.name(),
+                page,
+                crashes = self.schedule.mode != FaultMode::Transient
+            );
             let rng = splitmix(self.schedule.seed ^ n.wrapping_mul(0xA24B_AED4_963E_E407));
             if self.schedule.mode == FaultMode::Transient {
                 // This op plus a seeded 0–2 more fail, then the device

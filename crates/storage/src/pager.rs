@@ -14,7 +14,9 @@ use crate::page::{decode_column, decode_partial_column, encode_column, partial_r
 use crate::schema::{DataType, Schema};
 use crate::table::Table;
 use crate::zonemap::TableSynopsis;
+use lawsdb_obs::{event, global_metrics, Counter};
 use std::collections::{BTreeSet, HashMap};
+use std::sync::Arc;
 
 /// Location of one serialized column: the pages it spans and its exact
 /// byte length (the final page is partially used).
@@ -124,18 +126,27 @@ pub struct Pager {
     page_crcs: HashMap<u64, u32>,
     /// Pages whose content failed verification.
     quarantine: BTreeSet<u64>,
+    // DB-wide mirrors in the global registry, resolved once at
+    // construction so the per-page path pays one atomic add each.
+    g_pages_read: Arc<Counter>,
+    g_cache_hits: Arc<Counter>,
+    g_quarantined: Arc<Counter>,
 }
 
 impl Pager {
     /// New pager with the given page size (bytes) and cache capacity
     /// (pages).
     pub fn new(page_size: usize, cache_pages: usize) -> Pager {
+        let reg = global_metrics();
         Pager {
             device: SimulatedDevice::new(page_size),
             cache: PageCache::new(cache_pages),
             tables: HashMap::new(),
             page_crcs: HashMap::new(),
             quarantine: BTreeSet::new(),
+            g_pages_read: reg.counter("lawsdb_storage_pages_read"),
+            g_cache_hits: reg.counter("lawsdb_storage_cache_hits"),
+            g_quarantined: reg.counter("lawsdb_storage_pages_quarantined"),
         }
     }
 
@@ -297,6 +308,7 @@ impl Pager {
             let hi = end.min(pi * ps + page_bytes) - pi * ps;
             if let Some(cached) = self.cache.get(page) {
                 out.extend_from_slice(&cached[lo..hi]);
+                self.g_cache_hits.inc();
                 continue;
             }
             let data = self.read_page_verified(page)?;
@@ -312,10 +324,13 @@ impl Pager {
     /// cache. (The device read is still billed: the IO did happen.)
     fn read_page_verified(&mut self, page: u64) -> Result<Vec<u8>> {
         let data = self.device.read_page(page)?.to_vec();
+        self.g_pages_read.inc();
         if let Some(&expected) = self.page_crcs.get(&page) {
             let got = crc32(&data);
             if got != expected {
                 self.quarantine.insert(page);
+                self.g_quarantined.inc();
+                event!("storage.page.quarantine", page, expected, got);
                 return Err(StorageError::ChecksumMismatch { page, expected, got });
             }
         }
@@ -378,6 +393,7 @@ impl Pager {
             };
             if let Some(cached) = self.cache.get(page) {
                 out.extend_from_slice(&cached[..want]);
+                self.g_cache_hits.inc();
                 continue;
             }
             let data = self.read_page_verified(page)?;

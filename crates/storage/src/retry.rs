@@ -17,6 +17,8 @@
 
 use crate::error::{Result, StorageError};
 use crate::io::{BlockDevice, IoStats};
+use lawsdb_obs::{event, global_metrics, Counter};
+use std::sync::Arc;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
@@ -80,11 +82,17 @@ pub struct RetryingDevice<D: BlockDevice> {
     retries: AtomicU64,
     recovered: AtomicU64,
     exhausted: AtomicU64,
+    // DB-wide mirrors in the global registry, resolved once here so the
+    // read path pays one atomic add, not a name lookup.
+    g_retries: Arc<Counter>,
+    g_recovered: Arc<Counter>,
+    g_exhausted: Arc<Counter>,
 }
 
 impl<D: BlockDevice> RetryingDevice<D> {
     /// Wrap `inner` under `policy`.
     pub fn new(inner: D, policy: RetryPolicy) -> RetryingDevice<D> {
+        let reg = global_metrics();
         RetryingDevice {
             inner,
             policy,
@@ -92,6 +100,9 @@ impl<D: BlockDevice> RetryingDevice<D> {
             retries: AtomicU64::new(0),
             recovered: AtomicU64::new(0),
             exhausted: AtomicU64::new(0),
+            g_retries: reg.counter("lawsdb_storage_retry_attempts"),
+            g_recovered: reg.counter("lawsdb_storage_retry_recovered"),
+            g_exhausted: reg.counter("lawsdb_storage_retry_exhausted"),
         }
     }
 
@@ -149,20 +160,32 @@ impl<D: BlockDevice> BlockDevice for RetryingDevice<D> {
             self.read_attempts.fetch_add(1, Ordering::Relaxed);
             if attempt > 1 {
                 self.retries.fetch_add(1, Ordering::Relaxed);
+                self.g_retries.inc();
             }
             match self.inner.read_page_owned(id) {
                 Ok(page) => {
                     if attempt > 1 {
                         self.recovered.fetch_add(1, Ordering::Relaxed);
+                        self.g_recovered.inc();
+                        event!("storage.retry.recovered", page = id, attempts = attempt);
                     }
                     return Ok(page);
                 }
                 Err(err) if Self::retryable(&err) && attempt < self.policy.max_attempts => {
-                    std::thread::sleep(self.policy.delay_for(attempt));
+                    let backoff = self.policy.delay_for(attempt);
+                    event!(
+                        "storage.retry.attempt",
+                        page = id,
+                        attempt,
+                        backoff_us = backoff.as_micros() as u64
+                    );
+                    std::thread::sleep(backoff);
                 }
                 Err(err) => {
                     if Self::retryable(&err) {
                         self.exhausted.fetch_add(1, Ordering::Relaxed);
+                        self.g_exhausted.inc();
+                        event!("storage.retry.exhausted", page = id, attempts = attempt);
                     }
                     return Err(err);
                 }

@@ -48,6 +48,7 @@ use crate::io::{BlockDevice, IoStats};
 use crate::page::{decode_column, encode_column};
 use crate::schema::{DataType, Field, Schema};
 use crate::table::Table;
+use lawsdb_obs::{event, global_metrics};
 use std::collections::BTreeMap;
 
 const SB_MAGIC: &[u8; 4] = b"LWSB";
@@ -219,6 +220,21 @@ impl<D: BlockDevice> DurableStore<D> {
         }
         self.opened = true;
         report.seq = self.seq;
+        event!(
+            "storage.wal.recovered",
+            seq = report.seq,
+            formatted = report.formatted,
+            replayed = report.replayed,
+            rolled_back = report.rolled_back
+        );
+        let reg = global_metrics();
+        reg.counter("lawsdb_storage_wal_recoveries").inc();
+        if report.replayed {
+            reg.counter("lawsdb_storage_wal_replays").inc();
+        }
+        if report.rolled_back {
+            reg.counter("lawsdb_storage_wal_rollbacks").inc();
+        }
         Ok(report)
     }
 
@@ -379,6 +395,12 @@ impl<D: BlockDevice> DurableStore<D> {
             out.extend_from_slice(&page[..want]);
         }
         if crc32(&out) != ext.crc {
+            event!(
+                "storage.page.quarantine",
+                page = ext.start,
+                expected = ext.crc,
+                got = crc32(&out)
+            );
             return Err(StorageError::CorruptData {
                 codec: "blob",
                 detail: format!(
@@ -402,6 +424,8 @@ impl<D: BlockDevice> DurableStore<D> {
         };
         self.write_wal(&root)?; // ← commit point
         self.seq = root.seq;
+        global_metrics().counter("lawsdb_storage_wal_commits").inc();
+        event!("storage.wal.commit", seq = self.seq);
         self.write_superblock(&root)
     }
 

@@ -1,0 +1,130 @@
+//! Satellite (b): `storage::fault` and `storage::retry` emit structured
+//! events, so resilience tests can assert on the event stream instead
+//! of side-channel counters. This file owns its process, so installing
+//! the global tracer races with nothing; the tests still serialize on a
+//! mutex because `cargo test` runs them on threads.
+
+use lawsdb_obs::trace::{tracer, FieldValue};
+use lawsdb_obs::MockClock;
+use lawsdb_storage::fault::{FaultMode, FaultSchedule, FaultyDevice};
+use lawsdb_storage::io::{BlockDevice, SimulatedDevice};
+use lawsdb_storage::retry::{RetryPolicy, RetryingDevice};
+use std::sync::{Arc, Mutex, PoisonError};
+
+static LOCK: Mutex<()> = Mutex::new(());
+
+fn faulty(schedule: FaultSchedule) -> FaultyDevice {
+    let mut inner = SimulatedDevice::new(128);
+    let p = inner.allocate();
+    inner.write_page(p, b"payload").unwrap();
+    FaultyDevice::new(inner, schedule)
+}
+
+#[test]
+fn fault_lifecycle_is_on_the_event_stream() {
+    let _g = LOCK.lock().unwrap_or_else(PoisonError::into_inner);
+    let sink = lawsdb_obs::RingBufferSink::new(64);
+    tracer().install(Arc::clone(&sink), Arc::new(MockClock::new(1)));
+
+    let d = faulty(FaultSchedule::crash_at(0, FaultMode::IoError, 99));
+    assert!(d.read_page_owned(0).is_err());
+    tracer().uninstall();
+
+    let events = sink.drain();
+    let armed: Vec<_> =
+        events.iter().filter(|e| e.name == "storage.fault.armed").collect();
+    assert_eq!(armed.len(), 1);
+    assert_eq!(armed[0].field("op").and_then(FieldValue::as_u64), Some(0));
+    assert_eq!(armed[0].field("mode").and_then(FieldValue::as_str), Some("io_error"));
+    assert_eq!(armed[0].field("seed").and_then(FieldValue::as_u64), Some(99));
+
+    let fired: Vec<_> =
+        events.iter().filter(|e| e.name == "storage.fault.fired").collect();
+    assert_eq!(fired.len(), 1);
+    assert_eq!(fired[0].field("mode").and_then(FieldValue::as_str), Some("io_error"));
+    assert_eq!(fired[0].field("crashes"), Some(&FieldValue::Bool(true)));
+    // Armed strictly precedes fired.
+    assert!(armed[0].seq < fired[0].seq);
+}
+
+#[test]
+fn retry_recovery_emits_attempt_then_recovered() {
+    let _g = LOCK.lock().unwrap_or_else(PoisonError::into_inner);
+    let sink = lawsdb_obs::RingBufferSink::new(64);
+    tracer().install(Arc::clone(&sink), Arc::new(MockClock::new(1)));
+
+    let d = RetryingDevice::new(
+        faulty(FaultSchedule::crash_at(0, FaultMode::Transient, 1234)),
+        RetryPolicy::default_reads(),
+    );
+    d.read_page_owned(0).expect("transient run is within the retry budget");
+    tracer().uninstall();
+
+    let events = sink.drain();
+    let attempts: Vec<_> =
+        events.iter().filter(|e| e.name == "storage.retry.attempt").collect();
+    assert!(!attempts.is_empty(), "at least one backoff was scheduled");
+    // Backoff doubles from the policy base and is attached per attempt.
+    assert_eq!(
+        attempts[0].field("backoff_us").and_then(FieldValue::as_u64),
+        Some(RetryPolicy::default_reads().base_delay_us)
+    );
+    let recovered: Vec<_> =
+        events.iter().filter(|e| e.name == "storage.retry.recovered").collect();
+    assert_eq!(recovered.len(), 1);
+    let total_attempts =
+        recovered[0].field("attempts").and_then(FieldValue::as_u64).unwrap();
+    assert_eq!(total_attempts, attempts.len() as u64 + 1);
+    // The fault fired exactly once, before any retry succeeded.
+    let fired_seq = events
+        .iter()
+        .find(|e| e.name == "storage.fault.fired")
+        .map(|e| e.seq)
+        .unwrap();
+    assert!(fired_seq < recovered[0].seq);
+}
+
+#[test]
+fn retry_exhaustion_is_a_terminal_event() {
+    let _g = LOCK.lock().unwrap_or_else(PoisonError::into_inner);
+    let sink = lawsdb_obs::RingBufferSink::new(64);
+    tracer().install(Arc::clone(&sink), Arc::new(MockClock::new(1)));
+
+    let d = RetryingDevice::new(
+        faulty(FaultSchedule::crash_at(0, FaultMode::IoError, 7)),
+        RetryPolicy::default_reads(),
+    );
+    assert!(d.read_page_owned(0).is_err());
+    tracer().uninstall();
+
+    let events = sink.drain();
+    let attempts =
+        events.iter().filter(|e| e.name == "storage.retry.attempt").count();
+    assert_eq!(attempts as u32, RetryPolicy::default_reads().max_attempts - 1);
+    let exhausted: Vec<_> =
+        events.iter().filter(|e| e.name == "storage.retry.exhausted").collect();
+    assert_eq!(exhausted.len(), 1);
+    assert_eq!(
+        exhausted[0].field("attempts").and_then(FieldValue::as_u64),
+        Some(u64::from(RetryPolicy::default_reads().max_attempts))
+    );
+    assert!(events.iter().all(|e| e.name != "storage.retry.recovered"));
+}
+
+#[test]
+fn no_subscriber_means_no_events_but_counters_still_count() {
+    let _g = LOCK.lock().unwrap_or_else(PoisonError::into_inner);
+    assert!(!tracer().is_enabled());
+    let before = lawsdb_obs::global_metrics()
+        .snapshot()
+        .counter("lawsdb_storage_retry_recovered");
+    let d = RetryingDevice::new(
+        faulty(FaultSchedule::crash_at(0, FaultMode::Transient, 1234)),
+        RetryPolicy::default_reads(),
+    );
+    d.read_page_owned(0).expect("recovers");
+    let after = lawsdb_obs::global_metrics()
+        .snapshot()
+        .counter("lawsdb_storage_retry_recovered");
+    assert_eq!(after - before, 1, "registry counters are always on");
+}

@@ -64,6 +64,7 @@ pub use lawsdb_expr as expr;
 pub use lawsdb_fit as fit;
 pub use lawsdb_linalg as linalg;
 pub use lawsdb_models as models;
+pub use lawsdb_obs as obs;
 pub use lawsdb_query as query;
 pub use lawsdb_storage as storage;
 
@@ -76,6 +77,7 @@ pub mod prelude {
     pub use lawsdb_fit::diagnostics::FitDiagnostics;
     pub use lawsdb_models::catalog::ModelCatalog;
     pub use lawsdb_models::CapturedModel;
+    pub use lawsdb_obs::QueryProfile;
     pub use lawsdb_query::QueryResult;
     pub use lawsdb_storage::table::{Table, TableBuilder};
     pub use lawsdb_storage::value::Value;

@@ -3,6 +3,8 @@
 //! ```text
 //! cargo run --release -p lawsdb-bench --bin lawsdb-stats -- prom
 //! cargo run --release -p lawsdb-bench --bin lawsdb-stats -- json
+//! cargo run --release -p lawsdb-bench --bin lawsdb-stats -- plan \
+//!     "SELECT y FROM t WHERE x >= 15000 AND y <= 32000"
 //! cargo run --release -p lawsdb-bench --bin lawsdb-stats -- explain \
 //!     "SELECT y FROM t WHERE x >= 15000 AND y <= 32000"
 //! ```
@@ -11,10 +13,12 @@
 //! captured linear law, so zone-map *and* model pruning both have
 //! something to do — runs a short mixed workload through the resilient
 //! path, and renders the asked-for view: the engine's metrics registry
-//! as Prometheus text (`prom`) or JSON (`json`), or the per-query
-//! profile tree for one statement (`explain`). The same views are
-//! available programmatically via `LawsDb::stats_prometheus`,
-//! `LawsDb::stats_json`, and `Session::explain_analyze`.
+//! as Prometheus text (`prom`) or JSON (`json`), the cost-based
+//! physical plan with estimated rows/cost per node (`plan`), or the
+//! per-query profile tree for one statement (`explain`). The same
+//! views are available programmatically via `LawsDb::stats_prometheus`,
+//! `LawsDb::stats_json`, `LawsDb::explain`, and
+//! `Session::explain_analyze`.
 
 use lawsdb_core::LawsDb;
 use lawsdb_fit::FitOptions;
@@ -65,6 +69,20 @@ fn main() {
             warm(&db);
             println!("{}", db.stats_json());
         }
+        Some("plan") => {
+            let sql = args
+                .get(1)
+                .map(String::as_str)
+                .unwrap_or("SELECT y FROM t WHERE x >= 15000 AND y <= 32000");
+            let db = demo_engine();
+            match db.explain(sql) {
+                Ok(text) => print!("{text}"),
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    std::process::exit(2)
+                }
+            }
+        }
         Some("explain") => {
             let sql = args
                 .get(1)
@@ -82,9 +100,10 @@ fn main() {
         }
         _ => {
             eprintln!(
-                "usage: lawsdb-stats <prom|json|explain [SQL]>\n\
+                "usage: lawsdb-stats <prom|json|plan [SQL]|explain [SQL]>\n\
                  \x20 prom     render the demo engine's metrics as Prometheus text\n\
                  \x20 json     render the demo engine's metrics as JSON\n\
+                 \x20 plan     print one statement's cost-based EXPLAIN (estimates, no run)\n\
                  \x20 explain  run one statement and print its EXPLAIN ANALYZE tree"
             );
             std::process::exit(2)

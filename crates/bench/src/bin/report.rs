@@ -131,6 +131,32 @@ fn main() {
                 );
             }
         }
+        "bench-optimizer" => {
+            let (kernel_rows, sources, rounds) = match scale {
+                Scale::Small => (200_000, 500, 200),
+                Scale::Medium => (1_000_000, 2_000, 400),
+                Scale::Paper => (4_000_000, 5_000, 800),
+            };
+            let r = exp::optimizer::run(kernel_rows, sources, rounds);
+            exp::optimizer::print(&r);
+            let json = exp::optimizer::to_json(&r);
+            std::fs::write("BENCH_optimizer.json", &json)
+                .unwrap_or_else(|e| die(&format!("writing BENCH_optimizer.json: {e}")));
+            println!("\nwrote BENCH_optimizer.json");
+            // The adaptive-choice smoke gate: losing more than
+            // GATE_PCT% (geomean) to the best static policy means the
+            // cost model is steering queries the wrong way.
+            if !r.within_gate() {
+                die(&format!(
+                    "adaptive geomean {:.1}us loses more than {}% to the best static \
+                     policy (exact {:.1}us, model {:.1}us)",
+                    r.geomean_adaptive_us(),
+                    exp::optimizer::GATE_PCT,
+                    r.geomean_exact_us(),
+                    r.geomean_model_us()
+                ));
+            }
+        }
         "bench-durability" => {
             let scales: &[usize] = match scale {
                 Scale::Small => &[20_000, 100_000],
@@ -162,7 +188,7 @@ fn main() {
 fn usage() {
     println!(
         "usage: report [all|table1|figure1|figure2|e4|e5|e6|e7|e8|e9|e10|e11|bench-query|\
-         bench-scan-pruning|bench-resilience|bench-durability|bench-obs] \
+         bench-scan-pruning|bench-resilience|bench-durability|bench-obs|bench-optimizer] \
          [--scale small|medium|paper]"
     );
     println!("  bench-query: morsel-executor throughput sweep; writes BENCH_query.json");
@@ -178,6 +204,11 @@ fn usage() {
     println!(
         "  bench-obs: tracing/profiling overhead sweep; writes BENCH_obs.json \
          (fails if the no-subscriber bound exceeds the gate)"
+    );
+    println!(
+        "  bench-optimizer: comparison-kernel microbench + adaptive plan-choice sweep vs \
+         static policies; writes BENCH_optimizer.json (fails if the optimizer loses >5% \
+         geomean to the best static policy)"
     );
 }
 

@@ -15,6 +15,7 @@ pub mod e9_enumeration;
 pub mod figure1;
 pub mod morsel;
 pub mod obs;
+pub mod optimizer;
 pub mod figure2;
 pub mod resilience;
 pub mod scan_pruning;

@@ -14,7 +14,9 @@ use lawsdb_models::bridge::{
 use lawsdb_models::model::ModelId;
 use lawsdb_models::{CapturedModel, ModelCatalog, ModelState};
 use lawsdb_obs::{fields, MetricsRegistry, ProfileCollector, ProfileContext};
-use lawsdb_query::{ExecOptions, QueryResult, ScanStatsCollector};
+use lawsdb_query::{
+    CostModel, ExecOptions, PhysicalPlan, PlanCache, QueryResult, ScanStatsCollector,
+};
 use lawsdb_storage::{Catalog, Column, Table};
 use parking_lot::RwLock;
 use std::sync::Arc;
@@ -96,6 +98,12 @@ pub struct LawsDb {
     /// Degradation health counters (see [`crate::resilience`]) — views
     /// over `lawsdb_core_*` counters in [`LawsDb::metrics`].
     health: HealthCounters,
+    /// Adaptive per-operator cost model: prices physical plans, and
+    /// (when feedback is armed) calibrates from profiled query runs.
+    cost: Arc<CostModel>,
+    /// Physical plan cache keyed on `(normalized query, stats epoch)`;
+    /// hit/miss counters live in [`LawsDb::metrics`].
+    plan_cache: PlanCache,
 }
 
 impl Default for LawsDb {
@@ -124,6 +132,8 @@ impl LawsDb {
             legal_filter_bits_per_key: Some(10),
             exec,
             health: HealthCounters::for_registry(&metrics),
+            cost: Arc::new(CostModel::new()),
+            plan_cache: PlanCache::for_registry(&metrics),
             metrics,
         }
     }
@@ -179,18 +189,67 @@ impl LawsDb {
         Session::new(self)
     }
 
-    /// Execute a query exactly against base tables, using the engine's
-    /// [`ExecOptions`] (morsel-parallel by default).
-    pub fn query(&self, sql: &str) -> Result<QueryResult> {
-        Ok(lawsdb_query::execute_with(&self.tables, sql, &self.exec)?)
+    /// Combined statistics epoch: table catalog in the high bits, model
+    /// catalog in the low. Any append, refit, demotion or drop moves
+    /// it, which is exactly the plan-cache invalidation signal — a plan
+    /// priced against stale row counts or a changed model set must be
+    /// re-planned, never reused.
+    pub fn stats_epoch(&self) -> u64 {
+        (self.tables.epoch() << 32) | (self.models.epoch() & 0xFFFF_FFFF)
     }
 
-    /// EXPLAIN: the optimized logical plan for a query, one node per
-    /// line, without executing it.
-    pub fn explain(&self, sql: &str) -> Result<String> {
+    /// The engine's adaptive cost model.
+    pub fn cost_model(&self) -> &Arc<CostModel> {
+        &self.cost
+    }
+
+    /// Arm or disarm cost-constant calibration from profiled queries
+    /// (off by default, so plans stay deterministic under tests).
+    pub fn set_cost_feedback(&self, enabled: bool) {
+        self.cost.set_feedback(enabled);
+    }
+
+    /// The physical plan cache (`lawsdb_query_plan_cache_{hit,miss}`
+    /// counters live in [`LawsDb::metrics`]).
+    pub fn plan_cache(&self) -> &PlanCache {
+        &self.plan_cache
+    }
+
+    /// Parse, optimize, and cost `sql` — or fetch the cached physical
+    /// plan when one was built against the current stats epoch.
+    pub fn physical_plan(&self, sql: &str) -> Result<Arc<PhysicalPlan>> {
         let stmt = lawsdb_query::parse_select(sql).map_err(CoreError::Query)?;
-        let plan = lawsdb_query::LogicalPlan::from_statement(&stmt).map_err(CoreError::Query)?;
-        Ok(lawsdb_query::optimize::optimize(&plan).explain())
+        let key = lawsdb_query::normalize_statement(&stmt);
+        let epoch = self.stats_epoch();
+        if let Some(plan) = self.plan_cache.get(&key, epoch) {
+            return Ok(plan);
+        }
+        let logical = lawsdb_query::LogicalPlan::from_statement(&stmt).map_err(CoreError::Query)?;
+        let optimized = lawsdb_query::optimize::optimize(&logical);
+        let plan = Arc::new(lawsdb_query::plan_physical(
+            &self.tables,
+            &optimized,
+            &self.cost.constants(),
+        ));
+        self.plan_cache.put(key, epoch, Arc::clone(&plan));
+        Ok(plan)
+    }
+
+    /// Execute a query exactly against base tables, using the engine's
+    /// [`ExecOptions`] (morsel-parallel by default) and the cached
+    /// cost-based physical plan.
+    pub fn query(&self, sql: &str) -> Result<QueryResult> {
+        let plan = self.physical_plan(sql)?;
+        Ok(lawsdb_query::execute_physical_with(&self.tables, &plan, &self.exec)?)
+    }
+
+    /// EXPLAIN: the cost-based physical plan for a query, one node per
+    /// line with estimated rows and cost appended, without executing
+    /// it. The line sequence matches the logical
+    /// [`lawsdb_query::LogicalPlan::explain`] exactly; estimates are
+    /// appended to each line, never inserted as new lines.
+    pub fn explain(&self, sql: &str) -> Result<String> {
+        Ok(self.physical_plan(sql)?.explain())
     }
 
     /// Answer a query approximately from captured models (zero-IO).
@@ -231,8 +290,32 @@ impl LawsDb {
     ) -> Result<ResilientAnswer> {
         let ctx = collector.context();
         let mut r = self.query_resilient_inner(sql, Some(&ctx))?;
-        r.profile = Some(collector.build("query"));
+        let profile = collector.build("query");
+        // Close the adaptive loop: observed span timings recalibrate
+        // the per-operator cost constants (no-op unless feedback is
+        // armed via `set_cost_feedback`).
+        self.cost.observe_profile(&profile);
+        r.profile = Some(profile);
         Ok(r)
+    }
+
+    /// Cost-driven plan choice between the exact scan path and the
+    /// model path: price the physical plan against the estimated cost
+    /// of reconstructing the answer from models, and take the cheaper
+    /// route (falling back to exact whenever the model path cannot
+    /// answer or fails its freshness guard).
+    pub fn query_adaptive(&self, sql: &str) -> Result<Answer> {
+        let plan = self.physical_plan(sql)?;
+        let est = plan.root_estimate();
+        let model_cost = self.cost.constants().model_answer_cost_us(est.rows);
+        if model_cost <= est.cost_us {
+            if let Ok(a) = self.query_approx(sql) {
+                if self.freshness_guard(&a).is_none() {
+                    return Ok(Answer::Approx(a));
+                }
+            }
+        }
+        Ok(Answer::Exact(self.query(sql)?))
     }
 
     /// Record one ladder decision as a profile point, when profiling.
@@ -252,7 +335,8 @@ impl LawsDb {
             Some(c) => ExecOptions { profile: Some(c.clone()), ..self.exec.clone() },
             None => self.exec.clone(),
         };
-        Ok(lawsdb_query::execute_with(&self.tables, sql, &opts)?)
+        let plan = self.physical_plan(sql)?;
+        Ok(lawsdb_query::execute_physical_with(&self.tables, &plan, &opts)?)
     }
 
     fn query_resilient_inner(
@@ -895,5 +979,129 @@ mod tests {
         let h = db.health();
         assert_eq!(h.exact_fallbacks, 1);
         assert_eq!(h.stale_demotions + h.drift_demotions, 0);
+    }
+
+    #[test]
+    fn plan_cache_reuses_plans_within_a_stats_epoch() {
+        let db = lofar_db();
+        let sql = "SELECT intensity FROM measurements WHERE source = 0 AND nu = 0.15";
+        db.query(sql).unwrap();
+        assert_eq!((db.plan_cache().hit_count(), db.plan_cache().miss_count()), (0, 1));
+        db.query(sql).unwrap();
+        assert_eq!((db.plan_cache().hit_count(), db.plan_cache().miss_count()), (1, 1));
+        // Spelling variants normalize to the same cache entry.
+        db.query("SELECT intensity FROM measurements WHERE source = 0 AND nu = 0.15").unwrap();
+        assert_eq!(db.plan_cache().hit_count(), 2);
+        // The counters surface in the engine's Prometheus export.
+        let prom = db.stats_prometheus();
+        assert!(prom.contains("lawsdb_query_plan_cache_hit 2"), "{prom}");
+        assert!(prom.contains("lawsdb_query_plan_cache_miss 1"), "{prom}");
+    }
+
+    #[test]
+    fn appending_rows_invalidates_cached_plans() {
+        let db = lofar_db();
+        let sql = "SELECT intensity FROM measurements WHERE source = 0 AND nu = 0.15";
+        db.query(sql).unwrap();
+        let epoch = db.stats_epoch();
+        db.append_rows(
+            "measurements",
+            &[
+                Column::from_i64(vec![0]),
+                Column::from_f64(vec![0.15]),
+                Column::from_f64(vec![2.0 * 0.15_f64.powf(-0.7)]),
+            ],
+        )
+        .unwrap();
+        assert!(db.stats_epoch() > epoch, "table change must move the stats epoch");
+        // The cached plan was priced against a 160-row table; the
+        // epoch mismatch forces a re-plan instead of a reuse.
+        db.query(sql).unwrap();
+        assert_eq!((db.plan_cache().hit_count(), db.plan_cache().miss_count()), (0, 2));
+    }
+
+    #[test]
+    fn model_catalog_changes_invalidate_cached_plans() {
+        let db = lofar_db();
+        let sql = "SELECT intensity FROM measurements WHERE source = 0 AND nu = 0.15";
+        db.query(sql).unwrap();
+        let epoch = db.stats_epoch();
+        // Capturing a model changes what the planner may assume
+        // (model-backed zones, approx coverage), so the epoch moves
+        // even though no base rows changed. Note capture also attaches
+        // model zones to the table, bumping the table epoch too.
+        let m = db
+            .capture_model(
+                "measurements",
+                "intensity ~ p * nu ^ alpha",
+                Some("source"),
+                &RawFitOptions::default(),
+            )
+            .unwrap();
+        assert!(db.stats_epoch() != epoch, "model capture must move the stats epoch");
+        db.query(sql).unwrap();
+        assert_eq!((db.plan_cache().hit_count(), db.plan_cache().miss_count()), (0, 2));
+        // Demoting the model (refit/degrade path) moves it again.
+        let epoch = db.stats_epoch();
+        db.models().set_state(m.id, ModelState::Stale).unwrap();
+        assert!(db.stats_epoch() != epoch, "model demotion must move the stats epoch");
+        db.query(sql).unwrap();
+        assert_eq!((db.plan_cache().hit_count(), db.plan_cache().miss_count()), (0, 3));
+    }
+
+    #[test]
+    fn adaptive_query_answers_exactly_without_models() {
+        let db = lofar_db();
+        let sql = "SELECT intensity FROM measurements WHERE source = 0 AND nu = 0.15";
+        let a = db.query_adaptive(sql).unwrap();
+        assert!(!a.is_approximate());
+        assert!(a.rows_scanned() > 0);
+    }
+
+    #[test]
+    fn adaptive_query_prefers_the_model_when_the_scan_is_expensive() {
+        // Sources interleaved round-robin, so every zone spans the full
+        // key range and zone maps cannot rescue the exact scan: the
+        // costed plan reads all 16k rows, while the model reconstructs
+        // an estimated handful of tuples.
+        let freqs: [f64; 4] = [0.12, 0.15, 0.16, 0.18];
+        let sources = 100usize;
+        let rounds = 160usize;
+        let mut src = Vec::new();
+        let mut nu = Vec::new();
+        let mut intensity = Vec::new();
+        for i in 0..sources * rounds {
+            let s = i % sources;
+            let f = freqs[(i / sources) % 4];
+            let p = 0.5 + s as f64 * 0.05;
+            src.push(s as i64);
+            nu.push(f);
+            intensity.push(p * f.powf(-0.7));
+        }
+        let mut b = TableBuilder::new("measurements");
+        b.add_i64("source", src);
+        b.add_f64("nu", nu);
+        b.add_f64("intensity", intensity);
+        let db = LawsDb::new();
+        db.register_table(b.build().unwrap()).unwrap();
+        db.capture_model(
+            "measurements",
+            "intensity ~ p * nu ^ alpha",
+            Some("source"),
+            &RawFitOptions::default(),
+        )
+        .unwrap();
+        let sql = "SELECT intensity FROM measurements WHERE source = 50 AND nu = 0.15";
+        let plan = db.physical_plan(sql).unwrap();
+        let est = plan.root_estimate();
+        let model_cost = db.cost_model().constants().model_answer_cost_us(est.rows);
+        assert!(
+            model_cost <= est.cost_us,
+            "model path ({model_cost:.1}us) should undercut the scan ({:.1}us)",
+            est.cost_us
+        );
+        let a = db.query_adaptive(sql).unwrap();
+        assert!(a.is_approximate());
+        assert_eq!(a.rows_scanned(), 0);
     }
 }

@@ -5,6 +5,7 @@ use crate::error::{ModelError, Result};
 use crate::model::{CapturedModel, ModelId, ModelState};
 use parking_lot::RwLock;
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Thread-safe registry of captured models.
@@ -12,9 +13,15 @@ use std::sync::Arc;
 /// Models are immutable `Arc` snapshots; state transitions (stale,
 /// retired) replace the stored Arc, so concurrent readers keep whatever
 /// version they resolved — the same discipline the table catalog uses.
+///
+/// Like the table catalog, every mutation (store, state transition,
+/// invalidation) bumps an *epoch*; plan caches combine it with the
+/// table epoch so a refit or demotion invalidates cached access-path
+/// choices that assumed a model was (or wasn't) available.
 #[derive(Debug, Default)]
 pub struct ModelCatalog {
     inner: RwLock<Inner>,
+    epoch: AtomicU64,
 }
 
 #[derive(Debug, Default)]
@@ -27,6 +34,16 @@ impl ModelCatalog {
     /// Empty catalog.
     pub fn new() -> ModelCatalog {
         ModelCatalog::default()
+    }
+
+    /// Current model-catalog epoch. Bumped on every `store`,
+    /// `set_state` and non-empty `invalidate_table`; never decreases.
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Acquire)
+    }
+
+    fn bump_epoch(&self) {
+        self.epoch.fetch_add(1, Ordering::AcqRel);
     }
 
     /// Store a captured model, assigning its id and version. Returns the
@@ -51,6 +68,8 @@ impl ModelCatalog {
         model.version = version;
         let arc = Arc::new(model);
         inner.models.insert(id, Arc::clone(&arc));
+        drop(inner);
+        self.bump_epoch();
         arc
     }
 
@@ -140,6 +159,10 @@ impl ModelCatalog {
                 affected.push(ModelId(id));
             }
         }
+        drop(inner);
+        if !affected.is_empty() {
+            self.bump_epoch();
+        }
         affected
     }
 
@@ -154,6 +177,8 @@ impl ModelCatalog {
         let mut updated = (**m).clone();
         updated.state = state;
         inner.models.insert(id.0, Arc::new(updated));
+        drop(inner);
+        self.bump_epoch();
         Ok(())
     }
 
@@ -313,6 +338,23 @@ mod tests {
         assert_eq!(c.active_parameter_bytes(), 2 * 24);
         c.set_state(a.id, ModelState::Retired).unwrap();
         assert_eq!(c.active_parameter_bytes(), 24);
+    }
+
+    #[test]
+    fn epoch_advances_on_store_and_state_changes() {
+        let c = ModelCatalog::new();
+        let e0 = c.epoch();
+        let m = c.store(model("t", "y", 0.9));
+        let e1 = c.epoch();
+        assert!(e1 > e0);
+        c.invalidate_table("t");
+        let e2 = c.epoch();
+        assert!(e2 > e1);
+        // Invalidating a table with no active models is not a change.
+        c.invalidate_table("t");
+        assert_eq!(c.epoch(), e2);
+        c.set_state(m.id, ModelState::Active).unwrap();
+        assert!(c.epoch() > e2);
     }
 
     #[test]

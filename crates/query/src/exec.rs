@@ -12,7 +12,7 @@ use crate::morsel::{morsel_ranges, parallel_morsels, ExecOptions};
 use crate::optimize::optimize;
 use crate::plan::{AggSpec, LogicalPlan};
 use crate::pruning::{PruningPredicate, ScanStats, ScanStatsCollector, ZoneDecision};
-use crate::sexpr::ScalarExpr;
+use crate::sexpr::{PredMask, ScalarExpr};
 use crate::sql::{parse_select, AggFunc, OrderBy};
 use lawsdb_obs::{fields, ProfileCollector, ProfileContext, QueryProfile};
 use lawsdb_storage::schema::{DataType, Field, Schema};
@@ -183,6 +183,7 @@ fn scan_table(
 fn plan_node_name(plan: &LogicalPlan) -> &'static str {
     match plan {
         LogicalPlan::Scan { .. } => "plan.scan",
+        LogicalPlan::EmptyScan { .. } => "plan.scan.empty",
         LogicalPlan::Join { .. } => "plan.join",
         LogicalPlan::Filter { .. } => "plan.filter",
         LogicalPlan::Aggregate { .. } => "plan.aggregate",
@@ -225,6 +226,23 @@ fn exec_node(
     match plan {
         LogicalPlan::Scan { table, projection } => {
             scan_table(catalog, table, projection, scanned, opts)
+        }
+        LogicalPlan::EmptyScan { table, projection } => {
+            // Statically empty (`LIMIT 0` elision): resolve the schema
+            // like a scan, but touch zero rows and charge nothing.
+            let t = catalog.get(table)?;
+            let t = match projection {
+                None => (*t).clone(),
+                Some(cols) => {
+                    let names: Vec<&str> = cols
+                        .iter()
+                        .map(String::as_str)
+                        .filter(|n| t.schema().index_of(n).is_some())
+                        .collect();
+                    if names.is_empty() { (*t).clone() } else { t.project(&names)? }
+                }
+            };
+            Ok(t.take(&[])?)
         }
         LogicalPlan::Join { left, right, left_col, right_col } => {
             let lt = exec(catalog, left, scanned, opts)?;
@@ -379,6 +397,7 @@ fn profile_zones(ctx: Option<&ProfileContext>, chunks: &[(usize, usize, ZoneDeci
 /// unpruned path.
 fn parallel_filter(t: &Table, predicate: &ScalarExpr, opts: &ExecOptions) -> Result<Table> {
     let pruner = if opts.pruning { PruningPredicate::extract(predicate) } else { None };
+    let conjuncts = predicate.conjuncts();
     let locals = match (&pruner, t.synopsis()) {
         (Some(pruner), Some(synopsis)) => {
             parallel_morsels(t.row_count(), opts, |offset, len| {
@@ -393,7 +412,7 @@ fn parallel_filter(t: &Table, predicate: &ScalarExpr, opts: &ExecOptions) -> Res
                         ZoneDecision::AcceptAll => keep.extend(o..o + l),
                         ZoneDecision::Eval => {
                             let m = t.slice(o, l)?;
-                            let mask = predicate.eval_mask(&m)?;
+                            let mask = eval_conjuncts_mask(&conjuncts, &m)?;
                             keep.extend(
                                 mask.selected_indices().into_iter().map(|i| o + i),
                             );
@@ -408,7 +427,7 @@ fn parallel_filter(t: &Table, predicate: &ScalarExpr, opts: &ExecOptions) -> Res
         }
         _ => parallel_morsels(t.row_count(), opts, |offset, len| {
             let m = t.slice(offset, len)?;
-            let mask = predicate.eval_mask(&m)?;
+            let mask = eval_conjuncts_mask(&conjuncts, &m)?;
             Ok(mask
                 .selected_indices()
                 .into_iter()
@@ -419,6 +438,25 @@ fn parallel_filter(t: &Table, predicate: &ScalarExpr, opts: &ExecOptions) -> Res
     let keep: Vec<usize> = locals.concat();
     charge_take(opts, t, keep.len())?;
     Ok(t.take(&keep)?)
+}
+
+/// Evaluate AND-connected conjuncts left to right, short-circuiting
+/// once no row can still pass. The fold reproduces
+/// `predicate.eval_mask` bit for bit: `PredMask::and` is Kleene AND,
+/// which is associative, and once the running truth mask is empty the
+/// final truth mask is empty no matter what the remaining conjuncts
+/// say — and only truth bits select rows. The planner orders the
+/// conjuncts most-selective-first so this early-out fires often.
+fn eval_conjuncts_mask(conjuncts: &[&ScalarExpr], m: &Table) -> Result<PredMask> {
+    let (first, rest) = conjuncts.split_first().expect("predicate has >= 1 conjunct");
+    let mut mask = first.eval_mask(m)?;
+    for c in rest {
+        if mask.selected_count() == 0 {
+            break;
+        }
+        mask = mask.and(&c.eval_mask(m)?);
+    }
+    Ok(mask)
 }
 
 /// Morsel-parallel projection: evaluate the expression per morsel and
@@ -810,7 +848,7 @@ impl MorselAccumulator<'_> {
         predicate: Option<&ScalarExpr>,
     ) -> Result<()> {
         let (group_by, args, n_aggs) = (self.group_by, self.args, self.n_aggs);
-        let mask = predicate.map(|p| p.eval_mask(m)).transpose()?;
+        let mask = predicate.map(|p| eval_conjuncts_mask(&p.conjuncts(), m)).transpose()?;
     let mut arg_data = Vec::with_capacity(args.len());
     for a in args {
         arg_data.push(match a {
@@ -834,25 +872,38 @@ impl MorselAccumulator<'_> {
         .map(|g| m.column(g))
         .collect::<lawsdb_storage::Result<_>>()?;
     let (groups, part) = (&mut self.groups, &mut self.part);
+    let global = group_by.is_empty();
     for row in 0..m.row_count() {
         if let Some(mask) = &mask {
             if !mask.truth().get(row) {
                 continue;
             }
         }
-        let key: Vec<KeyPart> = key_cols
-            .iter()
-            .map(|c| c.value(row).map(|v| KeyPart::from_value(&v)))
-            .collect::<lawsdb_storage::Result<_>>()?;
-        let gid = match groups.get(&key) {
-            Some(&g) => g,
-            None => {
-                let g = part.keys.len();
-                groups.insert(key.clone(), g);
-                part.keys.push(key);
+        // Global aggregates (no GROUP BY) have exactly one group; skip
+        // the per-row key materialization and hash probe — this is the
+        // hot path for `SELECT COUNT/SUM/AVG(..) FROM t WHERE ..`.
+        let gid = if global {
+            if part.accs.is_empty() {
+                part.keys.push(Vec::new());
                 part.first_rows.push(offset + row);
                 part.accs.push(vec![Accumulator::new(); n_aggs]);
-                g
+            }
+            0
+        } else {
+            let key: Vec<KeyPart> = key_cols
+                .iter()
+                .map(|c| c.value(row).map(|v| KeyPart::from_value(&v)))
+                .collect::<lawsdb_storage::Result<_>>()?;
+            match groups.get(&key) {
+                Some(&g) => g,
+                None => {
+                    let g = part.keys.len();
+                    groups.insert(key.clone(), g);
+                    part.keys.push(key);
+                    part.first_rows.push(offset + row);
+                    part.accs.push(vec![Accumulator::new(); n_aggs]);
+                    g
+                }
             }
         };
         for (ai, data) in arg_data.iter().enumerate() {
@@ -1205,6 +1256,35 @@ mod tests {
         assert_eq!(r.table.row_count(), 2);
         let r = execute(&catalog(), "SELECT * FROM m LIMIT 0").unwrap();
         assert_eq!(r.table.row_count(), 0);
+    }
+
+    #[test]
+    fn limit_zero_elision_agrees_with_unoptimized_execution_and_scans_nothing() {
+        let c = catalog();
+        for sql in [
+            "SELECT * FROM m LIMIT 0",
+            "SELECT intensity FROM m WHERE source = 1 LIMIT 0",
+            "SELECT COUNT(*) FROM m LIMIT 0",
+            "SELECT source, AVG(intensity) FROM m GROUP BY source ORDER BY source LIMIT 0",
+        ] {
+            let stmt = parse_select(sql).unwrap();
+            let raw = LogicalPlan::from_statement(&stmt).unwrap();
+            // Optimized path: EmptyScan, zero IO.
+            let opt = execute_with(&c, sql, &ExecOptions::default()).unwrap();
+            // Unoptimized path: full scan, limit drops everything.
+            let mut scanned = 0usize;
+            let base =
+                exec(&c, &raw, &mut scanned, &ExecOptions::default()).unwrap();
+            assert_eq!(opt.table.row_count(), 0, "{sql}");
+            assert_eq!(base.row_count(), 0, "{sql}");
+            assert_eq!(
+                opt.table.schema().names(),
+                base.schema().names(),
+                "schema must survive elision: {sql}"
+            );
+            assert_eq!(opt.rows_scanned, 0, "elided plan must do zero IO: {sql}");
+            assert_eq!(scanned, 5, "unoptimized plan scans the table: {sql}");
+        }
     }
 
     #[test]

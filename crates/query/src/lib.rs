@@ -34,16 +34,20 @@
 // tests are exempt (unwrap on known-good fixtures is idiomatic there).
 #![cfg_attr(not(test), warn(clippy::unwrap_used))]
 
+pub mod cost;
 pub mod error;
 pub mod exec;
 pub mod governor;
 pub mod morsel;
 pub mod optimize;
+pub mod physical;
 pub mod plan;
+pub mod plan_cache;
 pub mod pruning;
 pub mod sexpr;
 pub mod sql;
 
+pub use cost::{CostConstants, CostModel};
 pub use error::{QueryError, Result};
 pub use exec::{
     execute, execute_plan, execute_plan_profiled, execute_plan_with, execute_profiled,
@@ -52,7 +56,9 @@ pub use exec::{
 pub use lawsdb_obs::{ProfileCollector, ProfileContext, QueryProfile};
 pub use governor::{CancelToken, Governor, ResourceBudget};
 pub use morsel::ExecOptions;
+pub use physical::{execute_physical_with, plan_physical, AccessPlan, Estimate, PhysicalPlan};
 pub use plan::LogicalPlan;
+pub use plan_cache::{normalize_statement, PlanCache};
 pub use pruning::{PruningPredicate, ScanStats, ScanStatsCollector, ZoneDecision};
 pub use sexpr::{PredMask, ScalarExpr};
 pub use sql::parse_select;

@@ -7,9 +7,11 @@
 //! 2. **Projection pruning** — every scan is narrowed to the columns the
 //!    plan actually references, so the pager reads only those extents
 //!    (a real IO saving under the simulated device).
-//! 3. **Trivial-limit elision** — `LIMIT 0` collapses the input to an
-//!    empty scan of the same shape (kept simple: the limit stays but the
-//!    executor short-circuits; the rule here only folds nested limits).
+//! 3. **Trivial-limit elision** — nested limits fold to the tighter
+//!    bound, and `LIMIT 0` collapses every scan beneath it to an
+//!    [`LogicalPlan::EmptyScan`] of the same shape: the schema survives
+//!    (so the result's columns are unchanged) but the executor performs
+//!    zero IO and charges no scan budget.
 
 use crate::plan::{AggSpec, LogicalPlan};
 use crate::sql::SelectItem;
@@ -26,7 +28,7 @@ fn plan_has_star(plan: &LogicalPlan) -> bool {
     match plan {
         // A bare scan pipeline (SELECT *) or an explicit star projection
         // must materialize every column.
-        LogicalPlan::Scan { .. } => true,
+        LogicalPlan::Scan { .. } | LogicalPlan::EmptyScan { .. } => true,
         LogicalPlan::Project { star, .. } => *star,
         LogicalPlan::Join { .. } => true,
         LogicalPlan::Filter { input, .. }
@@ -39,7 +41,7 @@ fn plan_has_star(plan: &LogicalPlan) -> bool {
 
 fn fold_constants(plan: &LogicalPlan) -> LogicalPlan {
     match plan {
-        LogicalPlan::Scan { .. } => plan.clone(),
+        LogicalPlan::Scan { .. } | LogicalPlan::EmptyScan { .. } => plan.clone(),
         LogicalPlan::Join { left, right, left_col, right_col } => LogicalPlan::Join {
             left: Box::new(fold_constants(left)),
             right: Box::new(fold_constants(right)),
@@ -77,11 +79,59 @@ fn fold_constants(plan: &LogicalPlan) -> LogicalPlan {
         LogicalPlan::Limit { input, n } => {
             // Fold nested limits to the tighter bound.
             let inner = fold_constants(input);
-            if let LogicalPlan::Limit { input: inner2, n: n2 } = inner {
-                LogicalPlan::Limit { input: inner2, n: (*n).min(n2) }
+            let (inner, n) = if let LogicalPlan::Limit { input: inner2, n: n2 } = inner {
+                (*inner2, (*n).min(n2))
             } else {
-                LogicalPlan::Limit { input: Box::new(inner), n: *n }
-            }
+                (inner, *n)
+            };
+            // LIMIT 0 can produce no rows: keep the plan shape (an
+            // aggregate below would still emit its one global row for
+            // the limit to drop) but turn every scan into an EmptyScan
+            // so the executor does zero IO.
+            let inner = if n == 0 { empty_scans(&inner) } else { inner };
+            LogicalPlan::Limit { input: Box::new(inner), n }
+        }
+    }
+}
+
+/// Replace every `Scan` in the subtree with an `EmptyScan` of the same
+/// table and projection (the `LIMIT 0` rewrite).
+fn empty_scans(plan: &LogicalPlan) -> LogicalPlan {
+    match plan {
+        LogicalPlan::Scan { table, projection } => LogicalPlan::EmptyScan {
+            table: table.clone(),
+            projection: projection.clone(),
+        },
+        LogicalPlan::EmptyScan { .. } => plan.clone(),
+        LogicalPlan::Join { left, right, left_col, right_col } => LogicalPlan::Join {
+            left: Box::new(empty_scans(left)),
+            right: Box::new(empty_scans(right)),
+            left_col: left_col.clone(),
+            right_col: right_col.clone(),
+        },
+        LogicalPlan::Filter { input, predicate } => LogicalPlan::Filter {
+            input: Box::new(empty_scans(input)),
+            predicate: predicate.clone(),
+        },
+        LogicalPlan::Aggregate { input, group_by, aggs } => LogicalPlan::Aggregate {
+            input: Box::new(empty_scans(input)),
+            group_by: group_by.clone(),
+            aggs: aggs.clone(),
+        },
+        LogicalPlan::Project { input, exprs, star } => LogicalPlan::Project {
+            input: Box::new(empty_scans(input)),
+            exprs: exprs.clone(),
+            star: *star,
+        },
+        LogicalPlan::Distinct { input } => {
+            LogicalPlan::Distinct { input: Box::new(empty_scans(input)) }
+        }
+        LogicalPlan::Sort { input, keys } => LogicalPlan::Sort {
+            input: Box::new(empty_scans(input)),
+            keys: keys.clone(),
+        },
+        LogicalPlan::Limit { input, n } => {
+            LogicalPlan::Limit { input: Box::new(empty_scans(input)), n: *n }
         }
     }
 }
@@ -103,6 +153,28 @@ fn prune_scans(plan: &LogicalPlan, needed: &[String], star: bool) -> LogicalPlan
                 })
                 .collect();
             LogicalPlan::Scan {
+                table: table.clone(),
+                projection: if cols.is_empty() { None } else { Some(cols) },
+            }
+        }
+        // Reads nothing, but narrowing keeps its schema identical to
+        // the scan it replaced.
+        LogicalPlan::EmptyScan { table, projection } => {
+            if star {
+                return LogicalPlan::EmptyScan {
+                    table: table.clone(),
+                    projection: projection.clone(),
+                };
+            }
+            let cols: Vec<String> = needed
+                .iter()
+                .filter_map(|n| match n.split_once('.') {
+                    Some((t, c)) if t == table => Some(c.to_string()),
+                    Some(_) => None,
+                    None => Some(n.clone()),
+                })
+                .collect();
+            LogicalPlan::EmptyScan {
                 table: table.clone(),
                 projection: if cols.is_empty() { None } else { Some(cols) },
             }
@@ -158,7 +230,7 @@ mod tests {
 
     fn find_scan(p: &LogicalPlan) -> &LogicalPlan {
         match p {
-            LogicalPlan::Scan { .. } => p,
+            LogicalPlan::Scan { .. } | LogicalPlan::EmptyScan { .. } => p,
             LogicalPlan::Filter { input, .. }
             | LogicalPlan::Aggregate { input, .. }
             | LogicalPlan::Project { input, .. }
@@ -266,6 +338,42 @@ mod tests {
             LogicalPlan::Limit { n, .. } => assert_eq!(n, 5),
             other => panic!("{other:?}"),
         }
+    }
+
+    #[test]
+    fn limit_zero_collapses_scans_to_empty() {
+        let p = plan("SELECT a FROM t WHERE b > 1 LIMIT 0");
+        match find_scan(&p) {
+            LogicalPlan::EmptyScan { table, projection } => {
+                assert_eq!(table, "t");
+                // Projection pruning still ran before the collapse.
+                assert_eq!(projection.clone().unwrap(), vec!["a", "b"]);
+            }
+            other => panic!("expected EmptyScan, got {other:?}"),
+        }
+        // The limit node survives (an aggregate below would still emit
+        // its one global row for the limit to drop).
+        assert!(matches!(p, LogicalPlan::Limit { n: 0, .. }));
+    }
+
+    #[test]
+    fn limit_zero_from_nested_limits_also_collapses() {
+        let inner = LogicalPlan::Limit {
+            input: Box::new(LogicalPlan::Limit {
+                input: Box::new(LogicalPlan::Scan { table: "t".into(), projection: None }),
+                n: 0,
+            }),
+            n: 10,
+        };
+        let p = optimize(&inner);
+        assert!(matches!(p, LogicalPlan::Limit { n: 0, .. }));
+        assert!(matches!(find_scan(&p), LogicalPlan::EmptyScan { .. }));
+    }
+
+    #[test]
+    fn nonzero_limit_keeps_real_scans() {
+        let p = plan("SELECT a FROM t LIMIT 3");
+        assert!(matches!(find_scan(&p), LogicalPlan::Scan { .. }));
     }
 
     #[test]

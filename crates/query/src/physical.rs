@@ -1,0 +1,773 @@
+//! Logical→physical planning.
+//!
+//! The heuristic optimizer ([`crate::optimize`]) rewrites the logical
+//! tree; this pass then prices it. For every node it derives an
+//! [`Estimate`] (output cardinality + cumulative cost in µs) from
+//! zonemap selectivity statistics and the per-operator constants in
+//! [`CostConstants`], and for `Filter`-over-`Scan` pipelines it
+//! additionally:
+//!
+//! - walks the table synopsis zone-by-zone to build an [`AccessPlan`]
+//!   (how many zones will be skipped outright, answered wholesale from
+//!   compressed-domain bounds, or evaluated row-at-a-time), pricing
+//!   exact page scans against the accept/skip paths the pruner exposes;
+//! - reorders AND-connected conjuncts most-selective-first (stable on
+//!   ties), so the executor's short-circuit evaluation drops rows as
+//!   early as possible. SQL `AND` is Kleene: commutative and
+//!   associative over `(truth, known)` masks, so any reordering is
+//!   result-preserving — `tests/optimizer_equivalence.rs` pins this.
+//!
+//! The physical tree lowers back to a [`LogicalPlan`] for execution
+//! (`to_logical`), renders estimate-annotated EXPLAIN lines, and is the
+//! unit cached by [`crate::plan_cache::PlanCache`].
+
+use crate::cost::CostConstants;
+use crate::error::Result;
+use crate::exec::{execute_plan_with, QueryResult};
+use crate::morsel::ExecOptions;
+use crate::plan::{AggSpec, LogicalPlan};
+use crate::pruning::{PruningConjunct, PruningPredicate, ScanStats, ZoneDecision};
+use crate::sexpr::ScalarExpr;
+use crate::sql::OrderBy;
+use lawsdb_storage::zonemap::ZoneSource;
+use lawsdb_storage::Catalog;
+
+/// Selectivity assumed for conjuncts the synopsis cannot estimate
+/// (non-sargable residuals, unknown columns).
+pub const DEFAULT_SELECTIVITY: f64 = 0.25;
+
+/// Cardinality and cumulative cost estimate for one physical node.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Estimate {
+    /// Estimated output rows.
+    pub rows: f64,
+    /// Estimated cumulative cost (this node plus its inputs), µs.
+    pub cost_us: f64,
+}
+
+impl Estimate {
+    fn zero() -> Estimate {
+        Estimate { rows: 0.0, cost_us: 0.0 }
+    }
+}
+
+/// Zone-level access path for a pruned scan, computed at plan time by
+/// replaying [`PruningPredicate::plan_range`] against the synopsis.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct AccessPlan {
+    /// Zone-aligned chunks the executor will evaluate row-at-a-time.
+    pub zones_eval: usize,
+    /// Chunks taken wholesale from compressed-domain bounds.
+    pub zones_accept: usize,
+    /// Chunks skipped by exact write-time zone maps.
+    pub zones_skip_data: usize,
+    /// Chunks skipped by model-derived bounds.
+    pub zones_skip_model: usize,
+    /// Rows inside Eval chunks.
+    pub rows_eval: usize,
+    /// Rows inside AcceptAll chunks.
+    pub rows_accept: usize,
+    /// Rows never touched at all.
+    pub rows_skipped: usize,
+}
+
+impl AccessPlan {
+    /// Total zone-aligned chunks consulted.
+    pub fn zones_total(&self) -> usize {
+        self.zones_eval + self.zones_accept + self.zones_skip_data + self.zones_skip_model
+    }
+
+    /// Compact render folded into the EXPLAIN Pruning line.
+    fn describe(&self) -> String {
+        format!(
+            "zones[eval={} accept={} skip={}]",
+            self.zones_eval,
+            self.zones_accept,
+            self.zones_skip_data + self.zones_skip_model
+        )
+    }
+}
+
+/// One node of the physical plan: the logical operator plus its
+/// estimate, and for filters the chosen conjunct order + access path.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PhysicalNode {
+    /// Base-table page scan.
+    Scan {
+        /// Table name.
+        table: String,
+        /// Columns to materialize, or `None` for all.
+        projection: Option<Vec<String>>,
+        /// Estimate.
+        est: Estimate,
+    },
+    /// Statically-empty scan (`LIMIT 0` elision); zero IO, zero cost.
+    EmptyScan {
+        /// Table name.
+        table: String,
+        /// Columns to materialize, or `None` for all.
+        projection: Option<Vec<String>>,
+        /// Estimate.
+        est: Estimate,
+    },
+    /// Inner hash equi-join.
+    Join {
+        /// Left input.
+        left: Box<PhysicalNode>,
+        /// Right input.
+        right: Box<PhysicalNode>,
+        /// Key column on the left input.
+        left_col: String,
+        /// Key column on the right input.
+        right_col: String,
+        /// Estimate.
+        est: Estimate,
+    },
+    /// Row filter with cost-ordered conjuncts.
+    Filter {
+        /// Input node.
+        input: Box<PhysicalNode>,
+        /// Predicate with conjuncts in chosen evaluation order.
+        predicate: ScalarExpr,
+        /// Combined estimated selectivity of all conjuncts.
+        selectivity: f64,
+        /// Zone access path when the input is a base scan with a
+        /// synopsis.
+        access: Option<AccessPlan>,
+        /// True when costing changed the conjunct order.
+        reordered: bool,
+        /// Estimate.
+        est: Estimate,
+    },
+    /// Hash aggregation.
+    Aggregate {
+        /// Input node.
+        input: Box<PhysicalNode>,
+        /// Grouping columns.
+        group_by: Vec<String>,
+        /// Aggregates to compute.
+        aggs: Vec<AggSpec>,
+        /// Estimate.
+        est: Estimate,
+    },
+    /// Projection.
+    Project {
+        /// Input node.
+        input: Box<PhysicalNode>,
+        /// `(expression, output name)` pairs.
+        exprs: Vec<(ScalarExpr, String)>,
+        /// `SELECT *`?
+        star: bool,
+        /// Estimate.
+        est: Estimate,
+    },
+    /// Duplicate elimination.
+    Distinct {
+        /// Input node.
+        input: Box<PhysicalNode>,
+        /// Estimate.
+        est: Estimate,
+    },
+    /// Sort.
+    Sort {
+        /// Input node.
+        input: Box<PhysicalNode>,
+        /// Sort keys.
+        keys: Vec<OrderBy>,
+        /// Estimate.
+        est: Estimate,
+    },
+    /// Row cap.
+    Limit {
+        /// Input node.
+        input: Box<PhysicalNode>,
+        /// Row cap.
+        n: usize,
+        /// Estimate.
+        est: Estimate,
+    },
+}
+
+impl PhysicalNode {
+    /// This node's estimate.
+    pub fn estimate(&self) -> Estimate {
+        match self {
+            PhysicalNode::Scan { est, .. }
+            | PhysicalNode::EmptyScan { est, .. }
+            | PhysicalNode::Join { est, .. }
+            | PhysicalNode::Filter { est, .. }
+            | PhysicalNode::Aggregate { est, .. }
+            | PhysicalNode::Project { est, .. }
+            | PhysicalNode::Distinct { est, .. }
+            | PhysicalNode::Sort { est, .. }
+            | PhysicalNode::Limit { est, .. } => *est,
+        }
+    }
+
+    /// Lower back to the logical operator tree the executor runs.
+    pub fn to_logical(&self) -> LogicalPlan {
+        match self {
+            PhysicalNode::Scan { table, projection, .. } => {
+                LogicalPlan::Scan { table: table.clone(), projection: projection.clone() }
+            }
+            PhysicalNode::EmptyScan { table, projection, .. } => {
+                LogicalPlan::EmptyScan { table: table.clone(), projection: projection.clone() }
+            }
+            PhysicalNode::Join { left, right, left_col, right_col, .. } => LogicalPlan::Join {
+                left: Box::new(left.to_logical()),
+                right: Box::new(right.to_logical()),
+                left_col: left_col.clone(),
+                right_col: right_col.clone(),
+            },
+            PhysicalNode::Filter { input, predicate, .. } => LogicalPlan::Filter {
+                input: Box::new(input.to_logical()),
+                predicate: predicate.clone(),
+            },
+            PhysicalNode::Aggregate { input, group_by, aggs, .. } => LogicalPlan::Aggregate {
+                input: Box::new(input.to_logical()),
+                group_by: group_by.clone(),
+                aggs: aggs.clone(),
+            },
+            PhysicalNode::Project { input, exprs, star, .. } => LogicalPlan::Project {
+                input: Box::new(input.to_logical()),
+                exprs: exprs.clone(),
+                star: *star,
+            },
+            PhysicalNode::Distinct { input, .. } => {
+                LogicalPlan::Distinct { input: Box::new(input.to_logical()) }
+            }
+            PhysicalNode::Sort { input, keys, .. } => {
+                LogicalPlan::Sort { input: Box::new(input.to_logical()), keys: keys.clone() }
+            }
+            PhysicalNode::Limit { input, n, .. } => {
+                LogicalPlan::Limit { input: Box::new(input.to_logical()), n: *n }
+            }
+        }
+    }
+
+    fn explain_into(&self, out: &mut String, depth: usize) {
+        let pad = "  ".repeat(depth);
+        let est = self.estimate();
+        let ann = format!(" · est_rows={:.0} est_cost={:.1}us", est.rows, est.cost_us);
+        match self {
+            PhysicalNode::Scan { table, projection, .. } => {
+                let cols = match projection {
+                    None => "*".to_string(),
+                    Some(cols) => cols.join(", "),
+                };
+                out.push_str(&format!("{pad}Scan {table} [{cols}]{ann}\n"));
+            }
+            PhysicalNode::EmptyScan { table, projection, .. } => {
+                let cols = match projection {
+                    None => "*".to_string(),
+                    Some(cols) => cols.join(", "),
+                };
+                out.push_str(&format!("{pad}EmptyScan {table} [{cols}]{ann}\n"));
+            }
+            PhysicalNode::Join { left, right, left_col, right_col, .. } => {
+                out.push_str(&format!("{pad}Join on {left_col} = {right_col}{ann}\n"));
+                left.explain_into(out, depth + 1);
+                right.explain_into(out, depth + 1);
+            }
+            PhysicalNode::Filter { input, predicate, selectivity, access, reordered, .. } => {
+                out.push_str(&format!(
+                    "{pad}Filter {predicate}{ann} sel={selectivity:.3}{}\n",
+                    if *reordered { " (reordered)" } else { "" }
+                ));
+                // Mirror the logical EXPLAIN's Pruning line, annotated
+                // with the planned zone access path. Appended, never
+                // restructured: consumers index EXPLAIN output by line.
+                if matches!(&**input, PhysicalNode::Scan { .. }) {
+                    if let Some(p) = PruningPredicate::extract(predicate) {
+                        let zones = match access {
+                            Some(a) => format!(" {}", a.describe()),
+                            None => String::new(),
+                        };
+                        out.push_str(&format!(
+                            "{pad}  Pruning [{}]{}{zones}\n",
+                            p.describe(),
+                            if p.exact { " (exact)" } else { "" }
+                        ));
+                    }
+                }
+                input.explain_into(out, depth + 1);
+            }
+            PhysicalNode::Aggregate { input, group_by, aggs, .. } => {
+                let aggs: Vec<String> = aggs.iter().map(|a| a.name.clone()).collect();
+                out.push_str(&format!(
+                    "{pad}Aggregate group_by=[{}] aggs=[{}]{ann}\n",
+                    group_by.join(", "),
+                    aggs.join(", ")
+                ));
+                input.explain_into(out, depth + 1);
+            }
+            PhysicalNode::Project { input, exprs, star, .. } => {
+                let mut items: Vec<String> = Vec::new();
+                if *star {
+                    items.push("*".to_string());
+                }
+                items.extend(exprs.iter().map(|(e, n)| format!("{e} AS {n}")));
+                out.push_str(&format!("{pad}Project [{}]{ann}\n", items.join(", ")));
+                input.explain_into(out, depth + 1);
+            }
+            PhysicalNode::Distinct { input, .. } => {
+                out.push_str(&format!("{pad}Distinct{ann}\n"));
+                input.explain_into(out, depth + 1);
+            }
+            PhysicalNode::Sort { input, keys, .. } => {
+                let keys: Vec<String> = keys
+                    .iter()
+                    .map(|k| format!("{}{}", k.column, if k.desc { " DESC" } else { "" }))
+                    .collect();
+                out.push_str(&format!("{pad}Sort [{}]{ann}\n", keys.join(", ")));
+                input.explain_into(out, depth + 1);
+            }
+            PhysicalNode::Limit { input, n, .. } => {
+                out.push_str(&format!("{pad}Limit {n}{ann}\n"));
+                input.explain_into(out, depth + 1);
+            }
+        }
+    }
+}
+
+/// A costed physical plan, ready to execute or cache.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhysicalPlan {
+    /// Root physical node.
+    pub root: PhysicalNode,
+    /// Pre-lowered logical tree (what the executor actually runs),
+    /// computed once so cached plans do not re-lower per query.
+    lowered: LogicalPlan,
+}
+
+impl PhysicalPlan {
+    /// The root node's estimate.
+    pub fn root_estimate(&self) -> Estimate {
+        self.root.estimate()
+    }
+
+    /// The logical tree this plan lowers to.
+    pub fn logical(&self) -> &LogicalPlan {
+        &self.lowered
+    }
+
+    /// EXPLAIN text: the logical plan shape with ` · est_rows=… `
+    /// `est_cost=…` annotations appended to every line.
+    pub fn explain(&self) -> String {
+        let mut s = String::new();
+        self.root.explain_into(&mut s, 0);
+        s
+    }
+}
+
+/// Price a (heuristically optimized) logical plan against the catalog's
+/// current statistics. Infallible by design: unknown tables or missing
+/// synopses degrade to default estimates, never to planning errors —
+/// execution reports those.
+pub fn plan_physical(catalog: &Catalog, plan: &LogicalPlan, consts: &CostConstants) -> PhysicalPlan {
+    let root = plan_node(catalog, plan, consts);
+    let lowered = root.to_logical();
+    PhysicalPlan { root, lowered }
+}
+
+/// Execute a physical plan. Estimates ride along into the profile (one
+/// `plan.estimate` point) so `explain_analyze` can show estimated vs
+/// actual cost side by side.
+pub fn execute_physical_with(
+    catalog: &Catalog,
+    plan: &PhysicalPlan,
+    opts: &ExecOptions,
+) -> Result<QueryResult> {
+    if let Some(ctx) = &opts.profile {
+        let est = plan.root_estimate();
+        ctx.point(
+            "plan.estimate",
+            vec![
+                ("est_rows", (est.rows.max(0.0).round() as u64).into()),
+                ("est_cost_us", (est.cost_us.max(0.0).round() as u64).into()),
+            ],
+        );
+    }
+    execute_plan_with(catalog, plan.logical(), opts)
+}
+
+fn plan_node(catalog: &Catalog, plan: &LogicalPlan, consts: &CostConstants) -> PhysicalNode {
+    match plan {
+        LogicalPlan::Scan { table, projection } => {
+            let rows = catalog.get(table).map(|t| t.row_count()).unwrap_or(0) as f64;
+            PhysicalNode::Scan {
+                table: table.clone(),
+                projection: projection.clone(),
+                est: Estimate { rows, cost_us: rows * consts.scan_tuple_us },
+            }
+        }
+        LogicalPlan::EmptyScan { table, projection } => PhysicalNode::EmptyScan {
+            table: table.clone(),
+            projection: projection.clone(),
+            est: Estimate::zero(),
+        },
+        LogicalPlan::Join { left, right, left_col, right_col } => {
+            let l = plan_node(catalog, left, consts);
+            let r = plan_node(catalog, right, consts);
+            let (le, re) = (l.estimate(), r.estimate());
+            // Equi-join proxy: at most one match per probe row.
+            let rows = le.rows.min(re.rows);
+            let cost_us = le.cost_us
+                + re.cost_us
+                + (le.rows + re.rows) * consts.agg_tuple_us
+                + rows * consts.accept_tuple_us;
+            PhysicalNode::Join {
+                left: Box::new(l),
+                right: Box::new(r),
+                left_col: left_col.clone(),
+                right_col: right_col.clone(),
+                est: Estimate { rows, cost_us },
+            }
+        }
+        LogicalPlan::Filter { input, predicate } => plan_filter(catalog, input, predicate, consts),
+        LogicalPlan::Aggregate { input, group_by, aggs } => {
+            let i = plan_node(catalog, input, consts);
+            let ie = i.estimate();
+            let rows =
+                if group_by.is_empty() { 1.0 } else { ie.rows.sqrt().ceil().max(1.0) };
+            let cost_us = ie.cost_us + ie.rows * aggs.len().max(1) as f64 * consts.agg_tuple_us;
+            PhysicalNode::Aggregate {
+                input: Box::new(i),
+                group_by: group_by.clone(),
+                aggs: aggs.clone(),
+                est: Estimate { rows, cost_us },
+            }
+        }
+        LogicalPlan::Project { input, exprs, star } => {
+            let i = plan_node(catalog, input, consts);
+            let ie = i.estimate();
+            let cost_us = ie.cost_us + ie.rows * exprs.len() as f64 * consts.eval_tuple_us;
+            PhysicalNode::Project {
+                input: Box::new(i),
+                exprs: exprs.clone(),
+                star: *star,
+                est: Estimate { rows: ie.rows, cost_us },
+            }
+        }
+        LogicalPlan::Distinct { input } => {
+            let i = plan_node(catalog, input, consts);
+            let ie = i.estimate();
+            PhysicalNode::Distinct {
+                input: Box::new(i),
+                est: Estimate {
+                    rows: ie.rows.sqrt().ceil().max(1.0).min(ie.rows.max(1.0)),
+                    cost_us: ie.cost_us + ie.rows * consts.agg_tuple_us,
+                },
+            }
+        }
+        LogicalPlan::Sort { input, keys } => {
+            let i = plan_node(catalog, input, consts);
+            let ie = i.estimate();
+            let cost_us =
+                ie.cost_us + ie.rows * (ie.rows + 2.0).log2() * consts.sort_tuple_us;
+            PhysicalNode::Sort {
+                input: Box::new(i),
+                keys: keys.clone(),
+                est: Estimate { rows: ie.rows, cost_us },
+            }
+        }
+        LogicalPlan::Limit { input, n } => {
+            let i = plan_node(catalog, input, consts);
+            let ie = i.estimate();
+            let rows = ie.rows.min(*n as f64);
+            PhysicalNode::Limit {
+                input: Box::new(i),
+                n: *n,
+                est: Estimate { rows, cost_us: ie.cost_us + rows * consts.accept_tuple_us },
+            }
+        }
+    }
+}
+
+/// One AND-connected conjunct with its costing metadata.
+struct ConjunctInfo {
+    expr: ScalarExpr,
+    /// Present when the conjunct alone is an exact sargable comparison.
+    sargable: Option<PruningConjunct>,
+    /// Estimated selectivity (DEFAULT_SELECTIVITY when unknowable).
+    selectivity: f64,
+    /// Position in the original predicate (stable tie-break).
+    index: usize,
+}
+
+fn plan_filter(
+    catalog: &Catalog,
+    input: &LogicalPlan,
+    predicate: &ScalarExpr,
+    consts: &CostConstants,
+) -> PhysicalNode {
+    let phys_input = plan_node(catalog, input, consts);
+    let ie = phys_input.estimate();
+
+    // Synopsis of the base table, when the filter sits on a scan.
+    let scanned = match input {
+        LogicalPlan::Scan { table, .. } => catalog.get(table).ok(),
+        _ => None,
+    };
+    let synopsis = scanned.as_ref().and_then(|t| t.synopsis());
+
+    // Decompose, estimate, and order the conjuncts.
+    let mut infos: Vec<ConjunctInfo> = predicate
+        .conjuncts()
+        .into_iter()
+        .enumerate()
+        .map(|(index, expr)| {
+            let sargable = PruningPredicate::extract(expr)
+                .filter(|p| p.exact && p.conjuncts.len() == 1)
+                .map(|p| p.conjuncts.into_iter().next().expect("len checked"));
+            let selectivity = sargable
+                .as_ref()
+                .and_then(|c| {
+                    synopsis.and_then(|s| s.estimate_selectivity(&c.column, c.op, c.rhs))
+                })
+                .unwrap_or(DEFAULT_SELECTIVITY);
+            ConjunctInfo { expr: expr.clone(), sargable, selectivity, index }
+        })
+        .collect();
+    // Most-selective sargable conjuncts first; residuals (which cannot
+    // prune and tend to be arithmetic-heavy) keep their original order
+    // at the back. Kleene AND makes any order result-identical.
+    infos.sort_by(|a, b| {
+        match (a.sargable.is_some(), b.sargable.is_some()) {
+            (true, false) => std::cmp::Ordering::Less,
+            (false, true) => std::cmp::Ordering::Greater,
+            (false, false) => a.index.cmp(&b.index),
+            (true, true) => a
+                .selectivity
+                .partial_cmp(&b.selectivity)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.index.cmp(&b.index)),
+        }
+    });
+    let reordered = infos.windows(2).any(|w| w[0].index > w[1].index);
+    let combined_sel: f64 = infos.iter().map(|c| c.selectivity).product();
+
+    // Rebuild the predicate left-deep in the chosen order: the executor
+    // evaluates conjuncts left to right with short-circuiting.
+    let ordered: Vec<ScalarExpr> = infos.iter().map(|c| c.expr.clone()).collect();
+    let predicate = and_chain(ordered);
+
+    // Per-zone access path + cost, when the synopsis can prune.
+    let mut access = None;
+    let mut cost_us = ie.cost_us + ie.rows * infos.len() as f64 * consts.eval_tuple_us;
+    if let (Some(table), Some(syn)) = (&scanned, synopsis) {
+        if let Some(pruner) = PruningPredicate::extract(&predicate) {
+            let a = access_plan(&pruner, syn, table.row_count());
+            // Eval zones pay materialize + short-circuit conjunct
+            // evaluation (conjunct i only sees rows surviving 0..i);
+            // accept zones pay a gather; skipped zones pay nothing.
+            let mut eval_per_row = 0.0;
+            let mut alive = 1.0;
+            for c in &infos {
+                eval_per_row += alive * consts.eval_tuple_us;
+                alive *= c.selectivity;
+            }
+            cost_us = a.zones_total() as f64 * consts.zone_decide_us
+                + a.rows_accept as f64 * consts.accept_tuple_us
+                + a.rows_eval as f64 * (consts.scan_tuple_us + eval_per_row);
+            access = Some(a);
+        }
+    }
+
+    PhysicalNode::Filter {
+        input: Box::new(phys_input),
+        predicate,
+        selectivity: combined_sel,
+        access,
+        reordered,
+        est: Estimate { rows: (ie.rows * combined_sel).max(0.0), cost_us },
+    }
+}
+
+/// Replay the pruner over the whole table to see which zones each
+/// access path gets (throwaway stats; the executor re-counts at run
+/// time).
+fn access_plan(
+    pruner: &PruningPredicate,
+    synopsis: &lawsdb_storage::TableSynopsis,
+    row_count: usize,
+) -> AccessPlan {
+    let mut stats = ScanStats::default();
+    let zone_rows = pruner.grid(synopsis);
+    let mut a = AccessPlan::default();
+    for (_, len, decision) in pruner.plan_range(synopsis, zone_rows, 0, row_count, &mut stats) {
+        // plan_range coalesces adjacent same-decision chunks; recover
+        // the zone count from the chunk length.
+        let zones = len.div_ceil(zone_rows).max(1);
+        match decision {
+            ZoneDecision::Eval => {
+                a.zones_eval += zones;
+                a.rows_eval += len;
+            }
+            ZoneDecision::AcceptAll => {
+                a.zones_accept += zones;
+                a.rows_accept += len;
+            }
+            ZoneDecision::Skip(ZoneSource::Data) => {
+                a.zones_skip_data += zones;
+                a.rows_skipped += len;
+            }
+            ZoneDecision::Skip(ZoneSource::Model) => {
+                a.zones_skip_model += zones;
+                a.rows_skipped += len;
+            }
+        }
+    }
+    a
+}
+
+/// Left-deep AND chain over `exprs` (len ≥ 1).
+fn and_chain(mut exprs: Vec<ScalarExpr>) -> ScalarExpr {
+    let mut it = exprs.drain(..);
+    let first = it.next().expect("predicate has at least one conjunct");
+    it.fold(first, |acc, e| ScalarExpr::And(Box::new(acc), Box::new(e)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::optimize::optimize;
+    use crate::plan::LogicalPlan;
+    use crate::sql::parse_select;
+    use lawsdb_storage::TableBuilder;
+
+    /// 512-row table: `k` increasing (tight zones), `u` uniform noise
+    /// (useless zones), zone granularity 64.
+    fn zoned_catalog() -> Catalog {
+        let catalog = Catalog::new();
+        let mut b = TableBuilder::new("t");
+        b.add_i64("k", (0..512).collect());
+        b.add_f64("u", (0..512).map(|i| ((i * 37) % 100) as f64).collect());
+        let mut table = b.build().unwrap();
+        table.rebuild_synopsis_with(64);
+        catalog.register(table).unwrap();
+        catalog
+    }
+
+    fn physical_for(catalog: &Catalog, sql: &str) -> PhysicalPlan {
+        let stmt = parse_select(sql).unwrap();
+        let plan = optimize(&LogicalPlan::from_statement(&stmt).unwrap());
+        plan_physical(catalog, &plan, &CostConstants::default())
+    }
+
+    fn find_filter(node: &PhysicalNode) -> Option<&PhysicalNode> {
+        match node {
+            PhysicalNode::Filter { .. } => Some(node),
+            PhysicalNode::Scan { .. } | PhysicalNode::EmptyScan { .. } => None,
+            PhysicalNode::Join { left, right, .. } => {
+                find_filter(left).or_else(|| find_filter(right))
+            }
+            PhysicalNode::Aggregate { input, .. }
+            | PhysicalNode::Project { input, .. }
+            | PhysicalNode::Distinct { input, .. }
+            | PhysicalNode::Sort { input, .. }
+            | PhysicalNode::Limit { input, .. } => find_filter(input),
+        }
+    }
+
+    #[test]
+    fn selective_conjunct_moves_first() {
+        let catalog = zoned_catalog();
+        // `k < 8` keeps ~8/512 rows; `k < 400` keeps ~400/512. The
+        // cost-based order flips them.
+        let plan = physical_for(&catalog, "SELECT k FROM t WHERE k < 400 AND k < 8");
+        let Some(PhysicalNode::Filter { predicate, reordered, .. }) = find_filter(&plan.root)
+        else {
+            panic!("no filter in plan");
+        };
+        assert!(*reordered, "expected conjunct reorder");
+        assert_eq!(format!("{predicate}"), "((k < 8) AND (k < 400))");
+    }
+
+    #[test]
+    fn already_ordered_conjuncts_stay_put() {
+        let catalog = zoned_catalog();
+        let plan = physical_for(&catalog, "SELECT k FROM t WHERE k < 8 AND k < 400");
+        let Some(PhysicalNode::Filter { predicate, reordered, .. }) = find_filter(&plan.root)
+        else {
+            panic!("no filter in plan");
+        };
+        assert!(!*reordered);
+        assert_eq!(format!("{predicate}"), "((k < 8) AND (k < 400))");
+    }
+
+    #[test]
+    fn access_plan_counts_skipped_zones() {
+        let catalog = zoned_catalog();
+        // k < 50 cuts into the first of 8 zones (Eval); the other 7
+        // zones have min >= 64 and are refuted outright.
+        let plan = physical_for(&catalog, "SELECT k FROM t WHERE k < 50");
+        let Some(PhysicalNode::Filter { access, est, .. }) = find_filter(&plan.root) else {
+            panic!("no filter in plan");
+        };
+        let a = access.expect("synopsis present, expected an access plan");
+        assert_eq!(a.zones_total(), 8);
+        assert_eq!(a.zones_eval, 1);
+        assert_eq!(a.zones_skip_data, 7);
+        assert_eq!(a.rows_skipped, 448);
+        // Cardinality estimate should land near the true 64 rows.
+        assert!(est.rows > 32.0 && est.rows < 128.0, "est.rows = {}", est.rows);
+    }
+
+    #[test]
+    fn pruned_scan_costs_less_than_full_eval() {
+        let catalog = zoned_catalog();
+        let pruned = physical_for(&catalog, "SELECT k FROM t WHERE k < 50");
+        // `u` zones are useless (full-range noise): every zone evals.
+        let full = physical_for(&catalog, "SELECT k FROM t WHERE u < 12.0");
+        assert!(
+            pruned.root_estimate().cost_us < full.root_estimate().cost_us,
+            "pruned {} vs full {}",
+            pruned.root_estimate().cost_us,
+            full.root_estimate().cost_us
+        );
+    }
+
+    #[test]
+    fn explain_annotates_every_line_and_keeps_shape() {
+        let catalog = zoned_catalog();
+        let plan = physical_for(
+            &catalog,
+            "SELECT k, COUNT(*) FROM t WHERE k < 50 GROUP BY k ORDER BY k LIMIT 5",
+        );
+        let text = plan.explain();
+        let lines: Vec<&str> = text.lines().map(|l| l.trim_start()).collect();
+        assert!(lines[0].starts_with("Limit"));
+        assert!(lines[1].starts_with("Sort"));
+        assert!(lines[2].starts_with("Aggregate"));
+        assert!(lines[3].starts_with("Filter"));
+        assert!(lines[4].starts_with("Pruning [k < 50] (exact)"));
+        assert!(lines[4].contains("zones[eval=1 accept=0 skip=7]"));
+        assert!(lines[5].starts_with("Scan"));
+        for (i, line) in lines.iter().enumerate().take(4) {
+            assert!(line.contains("est_rows="), "line {i} missing estimate: {line}");
+            assert!(line.contains("est_cost="), "line {i} missing estimate: {line}");
+        }
+    }
+
+    #[test]
+    fn lowering_round_trips_through_the_executor() {
+        let catalog = zoned_catalog();
+        let sql = "SELECT k FROM t WHERE k < 8 AND u < 50.0";
+        let stmt = parse_select(sql).unwrap();
+        let logical = optimize(&LogicalPlan::from_statement(&stmt).unwrap());
+        let plan = plan_physical(&catalog, &logical, &CostConstants::default());
+        let opts = ExecOptions::default();
+        let a = execute_physical_with(&catalog, &plan, &opts).unwrap();
+        let b = crate::exec::execute_plan_with(&catalog, &logical, &opts).unwrap();
+        assert_eq!(a.table.row_count(), b.table.row_count());
+        assert_eq!(a.rows_scanned, b.rows_scanned);
+    }
+
+    #[test]
+    fn unknown_table_degrades_to_zero_estimates() {
+        let catalog = Catalog::new();
+        let plan = physical_for(&catalog, "SELECT x FROM nope WHERE x > 1");
+        assert_eq!(plan.root_estimate().rows, 0.0);
+    }
+}

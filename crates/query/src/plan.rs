@@ -28,6 +28,15 @@ pub enum LogicalPlan {
         /// Columns to materialize, or `None` for all.
         projection: Option<Vec<String>>,
     },
+    /// A scan statically known to produce no rows (`LIMIT 0` elision):
+    /// same schema as the base table, but the executor performs no IO
+    /// and charges no budget for it.
+    EmptyScan {
+        /// Table name (kept for schema resolution).
+        table: String,
+        /// Columns to materialize, or `None` for all.
+        projection: Option<Vec<String>>,
+    },
     /// Inner hash equi-join.
     Join {
         /// Left (FROM) input.
@@ -177,7 +186,7 @@ impl LogicalPlan {
 
     fn collect_columns(&self, out: &mut Vec<String>) {
         match self {
-            LogicalPlan::Scan { .. } => {}
+            LogicalPlan::Scan { .. } | LogicalPlan::EmptyScan { .. } => {}
             LogicalPlan::Join { left, right, left_col, right_col } => {
                 out.push(left_col.clone());
                 out.push(right_col.clone());
@@ -227,6 +236,14 @@ impl LogicalPlan {
                     None => out.push_str(&format!("{pad}Scan {table} [*]\n")),
                     Some(cols) => {
                         out.push_str(&format!("{pad}Scan {table} [{}]\n", cols.join(", ")))
+                    }
+                }
+            }
+            LogicalPlan::EmptyScan { table, projection } => {
+                match projection {
+                    None => out.push_str(&format!("{pad}EmptyScan {table} [*]\n")),
+                    Some(cols) => {
+                        out.push_str(&format!("{pad}EmptyScan {table} [{}]\n", cols.join(", ")))
                     }
                 }
             }

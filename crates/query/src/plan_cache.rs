@@ -1,0 +1,203 @@
+//! Physical plan cache keyed on `(normalized query, stats epoch)`.
+//!
+//! A cached plan embeds cardinality estimates and a zone access path,
+//! both functions of the catalog statistics it was planned against. The
+//! cache therefore stores the *stats epoch* alongside each plan — a
+//! counter the table catalog and model catalog bump on every mutation
+//! (appends, refits, demotions) — and a lookup only hits when the
+//! caller's epoch matches. A mismatch evicts the stale entry and counts
+//! as a miss, so invalidation needs no broadcast: epoch drift IS the
+//! invalidation signal.
+//!
+//! Hit/miss totals are exported as `lawsdb_query_plan_cache_hit` /
+//! `lawsdb_query_plan_cache_miss` in the metrics registry.
+
+use crate::physical::PhysicalPlan;
+use crate::sql::SelectStatement;
+use lawsdb_obs::{Counter, MetricsRegistry};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Entries kept before stale-epoch eviction (and, failing that, a full
+/// clear) makes room.
+const DEFAULT_CAPACITY: usize = 256;
+
+/// Canonical cache key text for a parsed statement: the AST's `Debug`
+/// rendering, which normalizes whitespace, case of keywords, and
+/// literal spelling differences that parse identically.
+pub fn normalize_statement(stmt: &SelectStatement) -> String {
+    format!("{stmt:?}")
+}
+
+struct CachedPlan {
+    epoch: u64,
+    plan: Arc<PhysicalPlan>,
+}
+
+/// Thread-safe plan cache with epoch-checked lookups.
+pub struct PlanCache {
+    inner: Mutex<HashMap<String, CachedPlan>>,
+    capacity: usize,
+    hits: Arc<Counter>,
+    misses: Arc<Counter>,
+}
+
+impl PlanCache {
+    /// Cache whose hit/miss counters live in `registry`.
+    pub fn for_registry(registry: &MetricsRegistry) -> PlanCache {
+        PlanCache {
+            inner: Mutex::new(HashMap::new()),
+            capacity: DEFAULT_CAPACITY,
+            hits: registry.counter("lawsdb_query_plan_cache_hit"),
+            misses: registry.counter("lawsdb_query_plan_cache_miss"),
+        }
+    }
+
+    /// Standalone cache with private counters (tests, tools).
+    pub fn new() -> PlanCache {
+        PlanCache::for_registry(&MetricsRegistry::new())
+    }
+
+    /// Look up a plan for `key` valid at `epoch`. A present entry built
+    /// against a different epoch is evicted and counted as a miss.
+    pub fn get(&self, key: &str, epoch: u64) -> Option<Arc<PhysicalPlan>> {
+        let mut guard = self.inner.lock();
+        match guard.get(key) {
+            Some(c) if c.epoch == epoch => {
+                let plan = Arc::clone(&c.plan);
+                drop(guard);
+                self.hits.inc();
+                Some(plan)
+            }
+            Some(_) => {
+                guard.remove(key);
+                drop(guard);
+                self.misses.inc();
+                None
+            }
+            None => {
+                drop(guard);
+                self.misses.inc();
+                None
+            }
+        }
+    }
+
+    /// Insert a plan built at `epoch`. When full, entries from other
+    /// epochs are dropped first (they can never hit again once the
+    /// catalog has moved on); if every entry is current, the cache is
+    /// cleared — planning is cheap relative to scanning, and a full
+    /// current-epoch cache means the working set outgrew it anyway.
+    pub fn put(&self, key: String, epoch: u64, plan: Arc<PhysicalPlan>) {
+        let mut guard = self.inner.lock();
+        if guard.len() >= self.capacity && !guard.contains_key(&key) {
+            guard.retain(|_, c| c.epoch == epoch);
+            if guard.len() >= self.capacity {
+                guard.clear();
+            }
+        }
+        guard.insert(key, CachedPlan { epoch, plan });
+    }
+
+    /// Cached entries.
+    pub fn len(&self) -> usize {
+        self.inner.lock().len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.inner.lock().is_empty()
+    }
+
+    /// Drop every entry (counters are preserved).
+    pub fn clear(&self) {
+        self.inner.lock().clear();
+    }
+
+    /// Total lookups answered from cache.
+    pub fn hit_count(&self) -> u64 {
+        self.hits.get()
+    }
+
+    /// Total lookups that had to plan.
+    pub fn miss_count(&self) -> u64 {
+        self.misses.get()
+    }
+}
+
+impl Default for PlanCache {
+    fn default() -> PlanCache {
+        PlanCache::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::CostConstants;
+    use crate::physical::plan_physical;
+    use crate::plan::LogicalPlan;
+    use crate::sql::parse_select;
+    use lawsdb_storage::{Catalog, TableBuilder};
+
+    fn plan_for(sql: &str) -> Arc<PhysicalPlan> {
+        let catalog = Catalog::new();
+        let mut b = TableBuilder::new("t");
+        b.add_i64("x", vec![1, 2, 3]);
+        catalog.register(b.build().unwrap()).unwrap();
+        let stmt = parse_select(sql).unwrap();
+        let logical = LogicalPlan::from_statement(&stmt).unwrap();
+        Arc::new(plan_physical(&catalog, &logical, &CostConstants::default()))
+    }
+
+    #[test]
+    fn hit_requires_matching_epoch() {
+        let cache = PlanCache::new();
+        let plan = plan_for("SELECT x FROM t");
+        cache.put("q".into(), 7, Arc::clone(&plan));
+        assert!(cache.get("q", 7).is_some());
+        assert!(cache.get("q", 8).is_none(), "stale epoch must miss");
+        // The stale entry was evicted, not retried.
+        assert!(cache.is_empty());
+        assert_eq!(cache.hit_count(), 1);
+        assert_eq!(cache.miss_count(), 1);
+    }
+
+    #[test]
+    fn normalization_unifies_spelling_variants() {
+        let a = normalize_statement(&parse_select("SELECT x FROM t WHERE x > 1").unwrap());
+        let b =
+            normalize_statement(&parse_select("select  x  from t where x > 1.0").unwrap());
+        assert_eq!(a, b);
+        let c = normalize_statement(&parse_select("SELECT x FROM t WHERE x > 2").unwrap());
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn eviction_prefers_stale_epochs() {
+        let cache = PlanCache::new();
+        let plan = plan_for("SELECT x FROM t");
+        for i in 0..DEFAULT_CAPACITY {
+            cache.put(format!("old{i}"), 1, Arc::clone(&plan));
+        }
+        assert_eq!(cache.len(), DEFAULT_CAPACITY);
+        cache.put("new".into(), 2, Arc::clone(&plan));
+        // All epoch-1 entries were dropped to admit the epoch-2 plan.
+        assert_eq!(cache.len(), 1);
+        assert!(cache.get("new", 2).is_some());
+    }
+
+    #[test]
+    fn counters_export_through_a_registry() {
+        let registry = MetricsRegistry::new();
+        let cache = PlanCache::for_registry(&registry);
+        let plan = plan_for("SELECT x FROM t");
+        cache.put("q".into(), 1, plan);
+        cache.get("q", 1);
+        cache.get("absent", 1);
+        let text = registry.snapshot().render_prometheus();
+        assert!(text.contains("lawsdb_query_plan_cache_hit 1"), "{text}");
+        assert!(text.contains("lawsdb_query_plan_cache_miss 1"), "{text}");
+    }
+}

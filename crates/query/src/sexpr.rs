@@ -178,6 +178,29 @@ impl ScalarExpr {
         out
     }
 
+    /// The top-level AND-connected conjuncts, left to right. A
+    /// non-conjunction is its own single conjunct. SQL `AND` is Kleene
+    /// (commutative and associative over `(truth, known)` masks), so
+    /// evaluating the conjuncts in any order and folding with
+    /// [`PredMask::and`] reproduces `eval_mask` of the whole expression
+    /// bit for bit — the planner exploits this to reorder them, and the
+    /// executor to short-circuit.
+    pub fn conjuncts(&self) -> Vec<&ScalarExpr> {
+        let mut out = Vec::new();
+        self.collect_conjuncts(&mut out);
+        out
+    }
+
+    fn collect_conjuncts<'a>(&'a self, out: &mut Vec<&'a ScalarExpr>) {
+        match self {
+            ScalarExpr::And(a, b) => {
+                a.collect_conjuncts(out);
+                b.collect_conjuncts(out);
+            }
+            other => out.push(other),
+        }
+    }
+
     fn collect_columns(&self, out: &mut Vec<String>) {
         match self {
             ScalarExpr::Column(c) => {
@@ -560,8 +583,14 @@ fn valid_fn(v: &Bitmap) -> impl Fn(usize) -> bool + '_ {
 
 /// Comparison kernel, monomorphized per operand-type pair so each
 /// combination compiles to a tight loop over the raw buffers. NaN
-/// values compare UNKNOWN (`partial_cmp` returns `None`), matching
-/// `eval_numeric`'s missing-value semantics.
+/// values compare UNKNOWN, matching `eval_numeric`'s missing-value
+/// semantics.
+///
+/// Processes 64 rows per iteration, accumulating the truth/known bits
+/// of one mask word in registers. The inner lane loop is branch-free —
+/// validity, NaN-ness, and the comparison outcome are materialized as
+/// `0/1` and shifted into place — so LLVM can unroll and autovectorize
+/// it; nothing here depends on lane order.
 fn cmp_lanes(
     op: CmpOp,
     n: usize,
@@ -570,19 +599,48 @@ fn cmp_lanes(
     get_b: impl Fn(usize) -> f64,
     valid_b: impl Fn(usize) -> bool,
 ) -> PredMask {
-    let mut truth = vec![0u64; n.div_ceil(64)];
-    let mut known = vec![0u64; n.div_ceil(64)];
-    for i in 0..n {
-        if valid_a(i) && valid_b(i) {
-            if let Some(ord) = get_a(i).partial_cmp(&get_b(i)) {
-                known[i / 64] |= 1 << (i % 64);
-                if cmp_matches(op, ord) {
-                    truth[i / 64] |= 1 << (i % 64);
-                }
+    #[inline(always)]
+    fn run(
+        n: usize,
+        get_a: impl Fn(usize) -> f64,
+        valid_a: impl Fn(usize) -> bool,
+        get_b: impl Fn(usize) -> f64,
+        valid_b: impl Fn(usize) -> bool,
+        cmp: impl Fn(f64, f64) -> bool,
+    ) -> PredMask {
+        let words = n.div_ceil(64);
+        let mut truth = vec![0u64; words];
+        let mut known = vec![0u64; words];
+        for w in 0..words {
+            let base = w * 64;
+            let lanes = (n - base).min(64);
+            let mut kword = 0u64;
+            let mut tword = 0u64;
+            for j in 0..lanes {
+                let i = base + j;
+                let a = get_a(i);
+                let b = get_b(i);
+                // NaN comparisons are all-false except `!=`; masking
+                // with `k` (which requires both sides non-NaN) keeps
+                // NaN rows UNKNOWN under every operator.
+                let k = (valid_a(i) && valid_b(i) && !a.is_nan() && !b.is_nan()) as u64;
+                let t = cmp(a, b) as u64 & k;
+                kword |= k << j;
+                tword |= t << j;
             }
+            known[w] = kword;
+            truth[w] = tword;
         }
+        PredMask::from_parts(n, truth, known)
     }
-    PredMask::from_parts(n, truth, known)
+    match op {
+        CmpOp::Lt => run(n, get_a, valid_a, get_b, valid_b, |a, b| a < b),
+        CmpOp::Le => run(n, get_a, valid_a, get_b, valid_b, |a, b| a <= b),
+        CmpOp::Gt => run(n, get_a, valid_a, get_b, valid_b, |a, b| a > b),
+        CmpOp::Ge => run(n, get_a, valid_a, get_b, valid_b, |a, b| a >= b),
+        CmpOp::Eq => run(n, get_a, valid_a, get_b, valid_b, |a, b| a == b),
+        CmpOp::Ne => run(n, get_a, valid_a, get_b, valid_b, |a, b| a != b),
+    }
 }
 
 /// Typed fast path for `column <op> literal` / `column <op> column`

@@ -4,6 +4,7 @@ use crate::error::{Result, StorageError};
 use crate::table::Table;
 use parking_lot::RwLock;
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// A thread-safe registry of named tables.
@@ -13,15 +14,32 @@ use std::sync::Arc;
 /// table (the append/recompress paths) swaps the Arc atomically — the
 /// same copy-on-write discipline analytic engines use for immutable
 /// column chunks.
+///
+/// Every mutation (register, replace, drop) bumps a monotonically
+/// increasing *epoch*. Plan caches key on it: a cached physical plan is
+/// valid only for the epoch it was built against, so any change to row
+/// counts, synopses, or table shapes invalidates it without the cache
+/// having to understand what changed.
 #[derive(Debug, Default)]
 pub struct Catalog {
     tables: RwLock<BTreeMap<String, Arc<Table>>>,
+    epoch: AtomicU64,
 }
 
 impl Catalog {
     /// Empty catalog.
     pub fn new() -> Catalog {
         Catalog::default()
+    }
+
+    /// Current statistics epoch. Bumped on every `register`, `replace`
+    /// and `drop_table`; never decreases.
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Acquire)
+    }
+
+    fn bump_epoch(&self) {
+        self.epoch.fetch_add(1, Ordering::AcqRel);
     }
 
     /// Register a new table; fails if the name is taken.
@@ -32,6 +50,8 @@ impl Catalog {
         }
         let arc = Arc::new(table);
         guard.insert(arc.name().to_string(), Arc::clone(&arc));
+        drop(guard);
+        self.bump_epoch();
         Ok(arc)
     }
 
@@ -39,7 +59,9 @@ impl Catalog {
     /// previous version when there was one.
     pub fn replace(&self, table: Table) -> Option<Arc<Table>> {
         let arc = Arc::new(table);
-        self.tables.write().insert(arc.name().to_string(), arc)
+        let prev = self.tables.write().insert(arc.name().to_string(), arc);
+        self.bump_epoch();
+        prev
     }
 
     /// Snapshot of a table by name.
@@ -53,7 +75,11 @@ impl Catalog {
 
     /// Drop a table; returns it if present.
     pub fn drop_table(&self, name: &str) -> Option<Arc<Table>> {
-        self.tables.write().remove(name)
+        let prev = self.tables.write().remove(name);
+        if prev.is_some() {
+            self.bump_epoch();
+        }
+        prev
     }
 
     /// Names of all registered tables, sorted.
@@ -117,6 +143,29 @@ mod tests {
         // Old snapshot is unaffected; new lookups see the replacement.
         assert_eq!(old.row_count(), 2);
         assert_eq!(c.get("a").unwrap().row_count(), 3);
+    }
+
+    #[test]
+    fn epoch_advances_on_every_mutation() {
+        let c = Catalog::new();
+        let e0 = c.epoch();
+        c.register(t("a")).unwrap();
+        let e1 = c.epoch();
+        assert!(e1 > e0);
+        c.replace(t("a"));
+        let e2 = c.epoch();
+        assert!(e2 > e1);
+        c.drop_table("a");
+        let e3 = c.epoch();
+        assert!(e3 > e2);
+        // Dropping a missing table is not a statistics change.
+        c.drop_table("a");
+        assert_eq!(c.epoch(), e3);
+        // A failed (duplicate) registration changes nothing.
+        c.register(t("b")).unwrap();
+        let e4 = c.epoch();
+        assert!(c.register(t("b")).is_err());
+        assert_eq!(c.epoch(), e4);
     }
 
     #[test]

@@ -100,6 +100,13 @@ impl PredOp {
     }
 }
 
+/// Default selectivity for an equality predicate over a zone whose
+/// value range is narrower than one unit — a continuous (floating)
+/// domain, where the dense-integer `1/(width+1)` estimate degenerates.
+/// The System R convention of 1/20 for equality without distinct-value
+/// statistics.
+const CONTINUOUS_EQ_SELECTIVITY: f64 = 0.05;
+
 /// Synopsis of one zone of one column.
 ///
 /// `min > max` encodes "no bounded values" (all rows NULL/NaN, or an
@@ -173,6 +180,56 @@ impl ZoneEntry {
         } else {
             None
         }
+    }
+
+    /// Estimated fraction of this zone's rows satisfying `value <op> rhs`,
+    /// assuming values are spread uniformly over `[min, max]`. Exact at
+    /// the boundaries the zone map can prove (`0.0` when `may_match` is
+    /// false, `0.0`/`1.0` when `decides_all` fires); an interpolation in
+    /// between. Equality uses `1 / (width + 1)` — exact for dense
+    /// stepped-integer zones — but on fractional-width (continuous)
+    /// domains that formula saturates toward 1.0 as the range narrows,
+    /// the opposite of how selective an equality on a continuous column
+    /// actually is; those fall back to the conventional 1/20 default.
+    /// NULL and NaN rows never satisfy a comparison and scale the
+    /// estimate down.
+    pub fn selectivity(&self, op: PredOp, rhs: f64) -> f64 {
+        if self.rows == 0 || !self.may_match(op, rhs) {
+            return 0.0;
+        }
+        if let Some(all) = self.decides_all(op, rhs) {
+            return if all { 1.0 } else { 0.0 };
+        }
+        let valid = (self.rows - self.null_count) as f64 / self.rows as f64;
+        let width = self.max - self.min;
+        let eq = if !width.is_finite() {
+            0.0
+        } else if width < 1.0 {
+            CONTINUOUS_EQ_SELECTIVITY
+        } else {
+            (width + 1.0).recip().min(1.0)
+        };
+        let frac = if !width.is_finite() {
+            // Unbounded (model said nothing): even odds.
+            0.5
+        } else if width <= 0.0 {
+            // Point interval that may_match admitted: everything matches
+            // for range ops; equality/inequality resolved above unless
+            // nulls/NaNs kept the zone non-constant.
+            match op {
+                PredOp::Eq => 1.0,
+                PredOp::Ne => 0.0,
+                _ => 1.0,
+            }
+        } else {
+            match op {
+                PredOp::Lt | PredOp::Le => ((rhs - self.min) / width).clamp(0.0, 1.0),
+                PredOp::Gt | PredOp::Ge => ((self.max - rhs) / width).clamp(0.0, 1.0),
+                PredOp::Eq => eq,
+                PredOp::Ne => 1.0 - eq,
+            }
+        };
+        (frac * valid).clamp(0.0, 1.0)
     }
 }
 
@@ -324,6 +381,23 @@ impl ColumnZones {
     pub fn range_may_match(&self, offset: usize, len: usize, op: PredOp, rhs: f64) -> bool {
         self.zones_for(offset, len).any(|zi| self.entries[zi].may_match(op, rhs))
     }
+
+    /// Row-weighted selectivity estimate for `column <op> rhs` over the
+    /// whole column: the expected fraction of rows satisfying the
+    /// predicate, combining per-zone uniform interpolation with the
+    /// zone map's hard refutations (skipped zones contribute zero).
+    pub fn estimate_selectivity(&self, op: PredOp, rhs: f64) -> f64 {
+        let total: u64 = self.entries.iter().map(|e| e.rows as u64).sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let expected: f64 = self
+            .entries
+            .iter()
+            .map(|e| e.selectivity(op, rhs) * e.rows as f64)
+            .sum();
+        (expected / total as f64).clamp(0.0, 1.0)
+    }
 }
 
 /// Zone maps for a whole table, keyed by column name.
@@ -365,6 +439,12 @@ impl TableSynopsis {
     /// Iterate `(column, zones)` in name order.
     pub fn iter(&self) -> impl Iterator<Item = (&str, &ColumnZones)> {
         self.columns.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Selectivity estimate for `column <op> rhs`, or `None` when the
+    /// column carries no zones (strings, or synopsis never built).
+    pub fn estimate_selectivity(&self, column: &str, op: PredOp, rhs: f64) -> Option<f64> {
+        self.columns.get(column).map(|z| z.estimate_selectivity(op, rhs))
     }
 
     /// Serialize for persistence alongside the paged table.
@@ -628,6 +708,48 @@ mod tests {
         let mut bad = bytes.clone();
         bad[4] = 9; // version
         assert!(TableSynopsis::from_bytes(&bad).is_err());
+    }
+
+    #[test]
+    fn selectivity_interpolates_and_respects_proofs() {
+        let e = ZoneEntry { rows: 100, null_count: 0, min: 0.0, max: 100.0, constant: false };
+        // Hard refutation → exactly zero.
+        assert_eq!(e.selectivity(PredOp::Gt, 200.0), 0.0);
+        // Linear interpolation on ranges.
+        let lt = e.selectivity(PredOp::Lt, 25.0);
+        assert!((lt - 0.25).abs() < 1e-9, "{lt}");
+        let ge = e.selectivity(PredOp::Ge, 75.0);
+        assert!((ge - 0.25).abs() < 1e-9, "{ge}");
+        // Equality: 1/(width+1) heuristic, small but nonzero.
+        let eq = e.selectivity(PredOp::Eq, 50.0);
+        assert!(eq > 0.0 && eq < 0.05, "{eq}");
+        // On a fractional-width (continuous) domain the integer
+        // heuristic would claim ~0.94; the default kicks in instead.
+        let f = ZoneEntry { rows: 100, null_count: 0, min: 0.12, max: 0.18, constant: false };
+        assert_eq!(f.selectivity(PredOp::Eq, 0.15), 0.05);
+        assert_eq!(f.selectivity(PredOp::Ne, 0.15), 0.95);
+        // Constant zones decide exactly.
+        let k = ZoneEntry { rows: 10, null_count: 0, min: 7.0, max: 7.0, constant: true };
+        assert_eq!(k.selectivity(PredOp::Eq, 7.0), 1.0);
+        assert_eq!(k.selectivity(PredOp::Eq, 8.0), 0.0);
+        // NULLs scale the estimate down.
+        let h = ZoneEntry { rows: 10, null_count: 5, min: 0.0, max: 10.0, constant: false };
+        assert!(h.selectivity(PredOp::Ge, 0.0) <= 0.5 + 1e-9);
+    }
+
+    #[test]
+    fn column_selectivity_is_row_weighted() {
+        let c = Column::from_i64((0..100).collect());
+        let z = zones(&c, 10);
+        // v < 50 ≈ half the rows; zones 5..10 are refuted outright.
+        let s = z.estimate_selectivity(PredOp::Lt, 50.0);
+        assert!((s - 0.5).abs() < 0.06, "{s}");
+        let none = z.estimate_selectivity(PredOp::Gt, 1000.0);
+        assert_eq!(none, 0.0);
+        let mut syn = TableSynopsis::new();
+        syn.insert("a", z);
+        assert!(syn.estimate_selectivity("a", PredOp::Lt, 50.0).is_some());
+        assert!(syn.estimate_selectivity("missing", PredOp::Lt, 50.0).is_none());
     }
 
     #[test]

@@ -157,6 +157,29 @@ fn main() {
                 ));
             }
         }
+        "bench-server" => {
+            let (rows, per_client) = match scale {
+                Scale::Small => (100_000, 24),
+                Scale::Medium => (500_000, 32),
+                Scale::Paper => (1_000_000, 48),
+            };
+            let r = exp::server::run(rows, per_client);
+            exp::server::print(&r);
+            let json = exp::server::to_json(&r);
+            std::fs::write("BENCH_server.json", &json)
+                .unwrap_or_else(|e| die(&format!("writing BENCH_server.json: {e}")));
+            println!("\nwrote BENCH_server.json");
+            // The admission-control latency gate: service p50 at 8
+            // concurrent clients must stay within 2x of the
+            // single-client p50 — queue wait, not service time, is
+            // where contention is allowed to show up.
+            if !r.within_p50_gate {
+                die(&format!(
+                    "8-client service p50 is {:.3}x the single-client p50 (gate: 2.0x)",
+                    r.p50_ratio
+                ));
+            }
+        }
         "bench-durability" => {
             let scales: &[usize] = match scale {
                 Scale::Small => &[20_000, 100_000],
@@ -188,7 +211,8 @@ fn main() {
 fn usage() {
     println!(
         "usage: report [all|table1|figure1|figure2|e4|e5|e6|e7|e8|e9|e10|e11|bench-query|\
-         bench-scan-pruning|bench-resilience|bench-durability|bench-obs|bench-optimizer] \
+         bench-scan-pruning|bench-resilience|bench-durability|bench-obs|bench-optimizer|\
+         bench-server] \
          [--scale small|medium|paper]"
     );
     println!("  bench-query: morsel-executor throughput sweep; writes BENCH_query.json");
@@ -209,6 +233,11 @@ fn usage() {
         "  bench-optimizer: comparison-kernel microbench + adaptive plan-choice sweep vs \
          static policies; writes BENCH_optimizer.json (fails if the optimizer loses >5% \
          geomean to the best static policy)"
+    );
+    println!(
+        "  bench-server: concurrent-session sweep (1/2/4/8 clients) through the wire \
+         protocol and admission control; writes BENCH_server.json (fails if the 8-client \
+         service p50 exceeds 2x the single-client p50)"
     );
 }
 

@@ -19,4 +19,5 @@ pub mod optimizer;
 pub mod figure2;
 pub mod resilience;
 pub mod scan_pruning;
+pub mod server;
 pub mod table1;

@@ -1,0 +1,243 @@
+//! Multi-session server throughput: N concurrent clients over one
+//! shared engine through the full wire path (encode → frame → admit →
+//! execute → decode), swept at 1/2/4/8 clients.
+//!
+//! The headline gate: the **post-admission service p50** under 8
+//! concurrent clients must stay within 2× of the single-client p50.
+//! Admission serializes execution (`max_concurrent_queries = 1`, the
+//! honest setting for the 1-CPU CI container), so contention shows up
+//! as *queue* wait — which is reported separately — while service time
+//! measures what admission control is supposed to protect. The
+//! `report` binary exports this as `BENCH_server.json` and fails when
+//! the gate is missed.
+
+use lawsdb_core::LawsDb;
+use lawsdb_server::{AdmissionConfig, Client, QueryMode, Server, ServerConfig};
+use lawsdb_storage::TableBuilder;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// The per-client query mix: exact filter, global aggregate, group-by.
+pub const QUERIES: &[(&str, QueryMode, &str)] = &[
+    ("filter_scan", QueryMode::Exact, "SELECT v FROM points WHERE v > 1.5 AND w < 0.25"),
+    (
+        "global_agg",
+        QueryMode::Exact,
+        "SELECT COUNT(*) AS n, SUM(v) AS s, AVG(w) AS a FROM points WHERE v > 0.2",
+    ),
+    ("group_agg", QueryMode::Exact, "SELECT g, COUNT(*) AS n, SUM(v) AS s FROM points GROUP BY g"),
+    ("resilient_agg", QueryMode::Resilient, "SELECT AVG(v) FROM points"),
+];
+
+/// One swept client count.
+#[derive(Debug, Clone)]
+pub struct ServerPoint {
+    /// Concurrent clients.
+    pub clients: usize,
+    /// Total queries completed across all clients.
+    pub queries: usize,
+    /// Post-admission service p50 / p95 (µs) — the gated quantity.
+    pub service_p50_us: u64,
+    /// Service p95 (µs).
+    pub service_p95_us: u64,
+    /// Admission queue wait p50 (µs).
+    pub queue_p50_us: u64,
+    /// Client-observed end-to-end p50 (µs), includes queueing.
+    pub e2e_p50_us: u64,
+    /// Wall-clock for the whole client fleet (ms).
+    pub wall_ms: f64,
+    /// Completed queries per second across the fleet.
+    pub qps: f64,
+}
+
+/// Experiment report.
+#[derive(Debug, Clone)]
+pub struct ServerReport {
+    /// Base-table rows.
+    pub rows: usize,
+    /// Queries issued per client.
+    pub per_client: usize,
+    /// Swept points (clients = 1, 2, 4, 8).
+    pub points: Vec<ServerPoint>,
+    /// `service_p50(max clients) / service_p50(1 client)`.
+    pub p50_ratio: f64,
+    /// The CI gate: ratio within 2×.
+    pub within_p50_gate: bool,
+}
+
+fn dataset(rows: usize) -> Arc<LawsDb> {
+    let mut state = 0x9e3779b97f4a7c15u64;
+    let mut next = move || {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        (state >> 11) as f64 / (1u64 << 53) as f64
+    };
+    let mut g = Vec::with_capacity(rows);
+    let mut v = Vec::with_capacity(rows);
+    let mut w = Vec::with_capacity(rows);
+    for i in 0..rows {
+        g.push((i % 64) as i64);
+        v.push(next() * 2.0);
+        w.push(next());
+    }
+    let mut b = TableBuilder::new("points");
+    b.add_i64("g", g);
+    b.add_f64("v", v);
+    b.add_f64("w", w);
+    let db = LawsDb::new();
+    db.register_table(b.build().expect("build")).expect("register");
+    Arc::new(db)
+}
+
+fn percentile(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((q * (sorted.len() - 1) as f64).round() as usize).min(sorted.len() - 1);
+    sorted[idx]
+}
+
+/// Run the sweep: `per_client` queries from each of 1/2/4/8 clients
+/// against a `rows`-row table, one fresh server per point.
+pub fn run(rows: usize, per_client: usize) -> ServerReport {
+    let client_counts = [1usize, 2, 4, 8];
+    let db = dataset(rows);
+    let mut points = Vec::new();
+    for &clients in &client_counts {
+        // A fresh server per point so metrics and admission state are
+        // point-local; the engine (pager cache, plan cache) is shared
+        // across the whole sweep, as it would be in production.
+        let server = Server::new(
+            Arc::clone(&db),
+            ServerConfig {
+                admission: AdmissionConfig {
+                    max_concurrent_queries: 1,
+                    max_queued: 64,
+                    queue_timeout: Duration::from_secs(60),
+                    ..AdmissionConfig::default()
+                },
+                ..ServerConfig::default()
+            },
+        );
+        let started = Instant::now();
+        let handles: Vec<_> = (0..clients)
+            .map(|ci| {
+                let server = Arc::clone(&server);
+                std::thread::spawn(move || {
+                    let mut c = Client::connect(server.connect()).expect("connect");
+                    let mut samples = Vec::with_capacity(per_client);
+                    for qi in 0..per_client {
+                        let (_, mode, sql) = QUERIES[(ci + qi) % QUERIES.len()];
+                        let sent = Instant::now();
+                        let r = c.query(mode, sql).expect("bench query");
+                        samples.push((r.service_us, r.queue_us, sent.elapsed().as_micros() as u64));
+                    }
+                    c.close().expect("close");
+                    samples
+                })
+            })
+            .collect();
+        let mut service = Vec::new();
+        let mut queue = Vec::new();
+        let mut e2e = Vec::new();
+        for h in handles {
+            for (s, q, e) in h.join().expect("client thread") {
+                service.push(s);
+                queue.push(q);
+                e2e.push(e);
+            }
+        }
+        let wall_ms = started.elapsed().as_secs_f64() * 1e3;
+        service.sort_unstable();
+        queue.sort_unstable();
+        e2e.sort_unstable();
+        points.push(ServerPoint {
+            clients,
+            queries: service.len(),
+            service_p50_us: percentile(&service, 0.50),
+            service_p95_us: percentile(&service, 0.95),
+            queue_p50_us: percentile(&queue, 0.50),
+            e2e_p50_us: percentile(&e2e, 0.50),
+            wall_ms,
+            qps: service.len() as f64 / (wall_ms / 1e3),
+        });
+    }
+    let base = points.first().map(|p| p.service_p50_us.max(1)).unwrap_or(1);
+    let loaded = points.last().map(|p| p.service_p50_us).unwrap_or(0);
+    let p50_ratio = loaded as f64 / base as f64;
+    ServerReport { rows, per_client, points, p50_ratio, within_p50_gate: p50_ratio <= 2.0 }
+}
+
+/// Render the paper-style table.
+pub fn print(r: &ServerReport) {
+    println!("server concurrency sweep — {} rows, {} queries/client", r.rows, r.per_client);
+    println!(
+        "{:>8} {:>8} {:>14} {:>14} {:>13} {:>12} {:>10} {:>9}",
+        "clients", "queries", "service_p50", "service_p95", "queue_p50", "e2e_p50", "wall_ms", "qps"
+    );
+    for p in &r.points {
+        println!(
+            "{:>8} {:>8} {:>12}µs {:>12}µs {:>11}µs {:>10}µs {:>10.1} {:>9.0}",
+            p.clients,
+            p.queries,
+            p.service_p50_us,
+            p.service_p95_us,
+            p.queue_p50_us,
+            p.e2e_p50_us,
+            p.wall_ms,
+            p.qps
+        );
+    }
+    println!(
+        "service p50 ratio (8 clients / 1 client): {:.3} — gate (≤ 2.0): {}",
+        r.p50_ratio,
+        if r.within_p50_gate { "PASS" } else { "FAIL" }
+    );
+}
+
+/// Machine-readable export for `BENCH_server.json`.
+pub fn to_json(r: &ServerReport) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"bench\": \"server_concurrent_sessions\",\n");
+    out.push_str(&format!("  \"rows\": {},\n", r.rows));
+    out.push_str(&format!("  \"per_client\": {},\n", r.per_client));
+    out.push_str(&format!("  \"p50_ratio\": {:.3},\n", r.p50_ratio));
+    out.push_str(&format!("  \"within_p50_gate\": {},\n", r.within_p50_gate));
+    out.push_str("  \"results\": [\n");
+    for (i, p) in r.points.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"clients\": {}, \"queries\": {}, \"service_p50_us\": {}, \
+             \"service_p95_us\": {}, \"queue_p50_us\": {}, \"e2e_p50_us\": {}, \
+             \"wall_ms\": {:.1}, \"qps\": {:.0}}}{}\n",
+            p.clients,
+            p.queries,
+            p.service_p50_us,
+            p.service_p95_us,
+            p.queue_p50_us,
+            p.e2e_p50_us,
+            p.wall_ms,
+            p.qps,
+            if i + 1 == r.points.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_sweep_completes_and_exports() {
+        let r = run(5_000, 3);
+        assert_eq!(r.points.len(), 4);
+        assert_eq!(r.points[0].clients, 1);
+        assert_eq!(r.points[3].clients, 8);
+        for p in &r.points {
+            assert_eq!(p.queries, p.clients * 3);
+        }
+        let json = to_json(&r);
+        assert!(json.contains("\"bench\": \"server_concurrent_sessions\""));
+        assert!(json.contains("\"within_p50_gate\""));
+    }
+}

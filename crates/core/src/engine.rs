@@ -243,6 +243,18 @@ impl LawsDb {
         Ok(lawsdb_query::execute_physical_with(&self.tables, &plan, &self.exec)?)
     }
 
+    /// [`LawsDb::query`] under caller-provided [`ExecOptions`] — the
+    /// per-session entry point a server front end uses: each session
+    /// brings its own threads, budget and cancel token while sharing
+    /// this engine's tables, plan cache and metrics. The caller's knobs
+    /// win; the stats sink falls back to the engine's own so registry
+    /// counters keep flowing.
+    pub fn query_with(&self, sql: &str, exec: &ExecOptions) -> Result<QueryResult> {
+        let plan = self.physical_plan(sql)?;
+        let opts = self.resolve_exec(exec, None);
+        Ok(lawsdb_query::execute_physical_with(&self.tables, &plan, &opts)?)
+    }
+
     /// EXPLAIN: the cost-based physical plan for a query, one node per
     /// line with estimated rows and cost appended, without executing
     /// it. The line sequence matches the logical
@@ -270,7 +282,15 @@ impl LawsDb {
     /// current*, demote stale or drifted models, fall back to exact —
     /// and say which rungs of the ladder were taken and why.
     pub fn query_resilient(&self, sql: &str) -> Result<ResilientAnswer> {
-        self.query_resilient_inner(sql, None)
+        self.query_resilient_inner(sql, None, None)
+    }
+
+    /// [`LawsDb::query_resilient`] under caller-provided
+    /// [`ExecOptions`]: the ladder's exact rung runs with the caller's
+    /// threads, budget and cancel token (the model rung is zero-IO and
+    /// needs none of them).
+    pub fn query_resilient_with(&self, sql: &str, exec: &ExecOptions) -> Result<ResilientAnswer> {
+        self.query_resilient_inner(sql, None, Some(exec))
     }
 
     /// [`LawsDb::query_resilient`], plus an attached
@@ -289,7 +309,7 @@ impl LawsDb {
         collector: &Arc<ProfileCollector>,
     ) -> Result<ResilientAnswer> {
         let ctx = collector.context();
-        let mut r = self.query_resilient_inner(sql, Some(&ctx))?;
+        let mut r = self.query_resilient_inner(sql, Some(&ctx), None)?;
         let profile = collector.build("query");
         // Close the adaptive loop: observed span timings recalibrate
         // the per-operator cost constants (no-op unless feedback is
@@ -305,6 +325,16 @@ impl LawsDb {
     /// route (falling back to exact whenever the model path cannot
     /// answer or fails its freshness guard).
     pub fn query_adaptive(&self, sql: &str) -> Result<Answer> {
+        self.query_adaptive_inner(sql, None)
+    }
+
+    /// [`LawsDb::query_adaptive`] under caller-provided [`ExecOptions`]
+    /// (applied to the exact route; the model route is zero-IO).
+    pub fn query_adaptive_with(&self, sql: &str, exec: &ExecOptions) -> Result<Answer> {
+        self.query_adaptive_inner(sql, Some(exec))
+    }
+
+    fn query_adaptive_inner(&self, sql: &str, exec: Option<&ExecOptions>) -> Result<Answer> {
         let plan = self.physical_plan(sql)?;
         let est = plan.root_estimate();
         let model_cost = self.cost.constants().model_answer_cost_us(est.rows);
@@ -315,7 +345,7 @@ impl LawsDb {
                 }
             }
         }
-        Ok(Answer::Exact(self.query(sql)?))
+        Ok(Answer::Exact(self.query_exact_for(sql, None, exec)?))
     }
 
     /// Record one ladder decision as a profile point, when profiling.
@@ -330,10 +360,31 @@ impl LawsDb {
 
     /// The exact rung, carrying the profile context (plan-node spans,
     /// morsel timings, pruning and governor points attach under it).
-    fn query_exact_for(&self, sql: &str, ctx: Option<&ProfileContext>) -> Result<QueryResult> {
-        let opts = match ctx {
-            Some(c) => ExecOptions { profile: Some(c.clone()), ..self.exec.clone() },
-            None => self.exec.clone(),
+    /// Caller options resolved against the engine's defaults: the
+    /// caller's knobs win, the stats sink falls back to the engine's
+    /// own (so shared registry counters keep flowing), and an active
+    /// profile context attaches regardless of where the options came
+    /// from.
+    fn resolve_exec(&self, exec: &ExecOptions, ctx: Option<&ProfileContext>) -> ExecOptions {
+        ExecOptions {
+            stats: exec.stats.clone().or_else(|| self.exec.stats.clone()),
+            profile: ctx.cloned().or_else(|| exec.profile.clone()),
+            ..exec.clone()
+        }
+    }
+
+    fn query_exact_for(
+        &self,
+        sql: &str,
+        ctx: Option<&ProfileContext>,
+        exec: Option<&ExecOptions>,
+    ) -> Result<QueryResult> {
+        let opts = match exec {
+            Some(e) => self.resolve_exec(e, ctx),
+            None => match ctx {
+                Some(c) => ExecOptions { profile: Some(c.clone()), ..self.exec.clone() },
+                None => self.exec.clone(),
+            },
         };
         let plan = self.physical_plan(sql)?;
         Ok(lawsdb_query::execute_physical_with(&self.tables, &plan, &opts)?)
@@ -343,6 +394,7 @@ impl LawsDb {
         &self,
         sql: &str,
         ctx: Option<&ProfileContext>,
+        exec: Option<&ExecOptions>,
     ) -> Result<ResilientAnswer> {
         match self.query_approx(sql) {
             Ok(a) => match self.freshness_guard(&a) {
@@ -371,7 +423,7 @@ impl LawsDb {
                     self.health.record(&reason);
                     Self::profile_degrade(ctx, &reason);
                     Ok(ResilientAnswer {
-                        answer: Answer::Exact(self.query_exact_for(sql, ctx)?),
+                        answer: Answer::Exact(self.query_exact_for(sql, ctx, exec)?),
                         degraded: vec![reason],
                         profile: None,
                     })
@@ -385,7 +437,7 @@ impl LawsDb {
                 self.health.record(&reason);
                 Self::profile_degrade(ctx, &reason);
                 Ok(ResilientAnswer {
-                    answer: Answer::Exact(self.query_exact_for(sql, ctx)?),
+                    answer: Answer::Exact(self.query_exact_for(sql, ctx, exec)?),
                     degraded: vec![reason],
                     profile: None,
                 })

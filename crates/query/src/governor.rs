@@ -63,6 +63,25 @@ impl ResourceBudget {
         self.max_rows = Some(rows);
         self
     }
+
+    /// The tighter of two budgets, per axis: a limit set on either side
+    /// applies, and when both sides set one the smaller wins. This is
+    /// how a server clamps client-requested budgets — a session can
+    /// tighten its limits below the server's caps, never exceed them.
+    pub fn intersect(&self, other: &ResourceBudget) -> ResourceBudget {
+        fn tighter<T: Ord>(a: Option<T>, b: Option<T>) -> Option<T> {
+            match (a, b) {
+                (Some(a), Some(b)) => Some(a.min(b)),
+                (a, None) => a,
+                (None, b) => b,
+            }
+        }
+        ResourceBudget {
+            memory_bytes: tighter(self.memory_bytes, other.memory_bytes),
+            deadline: tighter(self.deadline, other.deadline),
+            max_rows: tighter(self.max_rows, other.max_rows),
+        }
+    }
 }
 
 /// Cooperative cancellation handle. Clone it, hand a copy to the query
@@ -180,6 +199,24 @@ impl Governor {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn intersect_takes_the_tighter_limit_per_axis() {
+        let client = ResourceBudget::unlimited()
+            .with_deadline(Duration::from_secs(120))
+            .with_max_rows(1_000);
+        let server = ResourceBudget::unlimited()
+            .with_deadline(Duration::from_secs(60))
+            .with_memory_bytes(1 << 20);
+        let clamped = client.intersect(&server);
+        assert_eq!(clamped.deadline, Some(Duration::from_secs(60)), "server deadline wins");
+        assert_eq!(clamped.memory_bytes, Some(1 << 20), "server-only limit applies");
+        assert_eq!(clamped.max_rows, Some(1_000), "client-only limit applies");
+        assert_eq!(
+            ResourceBudget::unlimited().intersect(&ResourceBudget::unlimited()),
+            ResourceBudget::unlimited()
+        );
+    }
 
     #[test]
     fn unlimited_budget_arms_nothing() {

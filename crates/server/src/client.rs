@@ -1,0 +1,195 @@
+//! The in-process client library: a thin, synchronous, typed wrapper
+//! over the wire protocol. One [`Client`] owns one session; calls are
+//! strict request→response, mirroring the server's session loop.
+//!
+//! The client works over any `Read + Write` stream — the in-process
+//! [`PipeStream`](crate::pipe::PipeStream) from
+//! [`Server::connect`](crate::Server::connect), or a `TcpStream`
+//! against [`Server::serve_tcp`](crate::Server::serve_tcp).
+
+use crate::error::{TransportError, WireError};
+use crate::protocol::{
+    read_frame, write_frame, Frame, QueryMode, SessionOptions, StatsFormat, WireResult,
+    PROTOCOL_VERSION,
+};
+use std::fmt;
+use std::io::{Read, Write};
+
+/// A client-side failure.
+#[derive(Debug)]
+pub enum ClientError {
+    /// The stream failed or carried a malformed frame.
+    Transport(TransportError),
+    /// The server answered with a structured error.
+    Server(WireError),
+    /// The server answered with a frame this request cannot accept.
+    Unexpected {
+        /// What the client was waiting for.
+        expected: &'static str,
+        /// What arrived, rendered.
+        got: String,
+    },
+    /// The server closed the stream mid-conversation.
+    Disconnected,
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Transport(e) => write!(f, "{e}"),
+            ClientError::Server(e) => write!(f, "{e}"),
+            ClientError::Unexpected { expected, got } => {
+                write!(f, "expected {expected}, got {got}")
+            }
+            ClientError::Disconnected => write!(f, "server disconnected"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<TransportError> for ClientError {
+    fn from(e: TransportError) -> ClientError {
+        ClientError::Transport(e)
+    }
+}
+
+/// One connected session.
+#[derive(Debug)]
+pub struct Client<S> {
+    stream: S,
+    session: u64,
+}
+
+impl<S: Read + Write> Client<S> {
+    /// Handshake over `stream` with default options.
+    pub fn connect(stream: S) -> Result<Client<S>, ClientError> {
+        Client::connect_with(stream, SessionOptions::default())
+    }
+
+    /// Handshake over `stream` with initial session options.
+    pub fn connect_with(mut stream: S, options: SessionOptions) -> Result<Client<S>, ClientError> {
+        write_frame(&mut stream, &Frame::Hello { protocol_version: PROTOCOL_VERSION, options })?;
+        match read_frame(&mut stream)? {
+            Some(Frame::HelloAck { session, .. }) => Ok(Client { stream, session }),
+            Some(Frame::Error(e)) => Err(ClientError::Server(e)),
+            Some(other) => {
+                Err(ClientError::Unexpected { expected: "HelloAck", got: format!("{other:?}") })
+            }
+            None => Err(ClientError::Disconnected),
+        }
+    }
+
+    /// This session's id — the handle another session would pass to
+    /// [`Client::cancel`] to cancel this session's running query.
+    pub fn session_id(&self) -> u64 {
+        self.session
+    }
+
+    fn roundtrip(&mut self, request: &Frame) -> Result<Frame, ClientError> {
+        write_frame(&mut self.stream, request)?;
+        match read_frame(&mut self.stream)? {
+            Some(frame) => Ok(frame),
+            None => Err(ClientError::Disconnected),
+        }
+    }
+
+    /// Run `sql` in `mode`; returns the typed result set.
+    pub fn query(&mut self, mode: QueryMode, sql: &str) -> Result<WireResult, ClientError> {
+        match self.roundtrip(&Frame::Query { mode, sql: sql.to_string() })? {
+            Frame::ResultSet(r) => Ok(*r),
+            Frame::Error(e) => Err(ClientError::Server(e)),
+            other => {
+                Err(ClientError::Unexpected { expected: "ResultSet", got: format!("{other:?}") })
+            }
+        }
+    }
+
+    /// Exact-mode shorthand.
+    pub fn query_exact(&mut self, sql: &str) -> Result<WireResult, ClientError> {
+        self.query(QueryMode::Exact, sql)
+    }
+
+    /// Resilient-mode shorthand.
+    pub fn query_resilient(&mut self, sql: &str) -> Result<WireResult, ClientError> {
+        self.query(QueryMode::Resilient, sql)
+    }
+
+    /// Adaptive-mode shorthand.
+    pub fn query_adaptive(&mut self, sql: &str) -> Result<WireResult, ClientError> {
+        self.query(QueryMode::Adaptive, sql)
+    }
+
+    /// `EXPLAIN sql`: the costed plan text, nothing executed.
+    pub fn explain(&mut self, sql: &str) -> Result<String, ClientError> {
+        match self.roundtrip(&Frame::Query { mode: QueryMode::Explain, sql: sql.to_string() })? {
+            Frame::ExplainReply { text } => Ok(text),
+            Frame::Error(e) => Err(ClientError::Server(e)),
+            other => {
+                Err(ClientError::Unexpected { expected: "ExplainReply", got: format!("{other:?}") })
+            }
+        }
+    }
+
+    /// Replace this session's options.
+    pub fn set_options(&mut self, options: SessionOptions) -> Result<(), ClientError> {
+        match self.roundtrip(&Frame::SetOptions { options })? {
+            Frame::OptionsAck => Ok(()),
+            Frame::Error(e) => Err(ClientError::Server(e)),
+            other => {
+                Err(ClientError::Unexpected { expected: "OptionsAck", got: format!("{other:?}") })
+            }
+        }
+    }
+
+    /// Fetch the server's metrics registry.
+    pub fn stats(&mut self, format: StatsFormat) -> Result<String, ClientError> {
+        match self.roundtrip(&Frame::Stats { format })? {
+            Frame::StatsReply { text } => Ok(text),
+            Frame::Error(e) => Err(ClientError::Server(e)),
+            other => {
+                Err(ClientError::Unexpected { expected: "StatsReply", got: format!("{other:?}") })
+            }
+        }
+    }
+
+    /// Cancel another session's in-flight query. Returns whether a
+    /// cancel token was actually tripped.
+    pub fn cancel(&mut self, session: u64) -> Result<bool, ClientError> {
+        match self.roundtrip(&Frame::Cancel { session })? {
+            Frame::CancelAck { delivered } => Ok(delivered),
+            Frame::Error(e) => Err(ClientError::Server(e)),
+            other => {
+                Err(ClientError::Unexpected { expected: "CancelAck", got: format!("{other:?}") })
+            }
+        }
+    }
+
+    /// Orderly goodbye; consumes the client.
+    pub fn close(mut self) -> Result<(), ClientError> {
+        match self.roundtrip(&Frame::Close)? {
+            Frame::Goodbye => Ok(()),
+            Frame::Error(e) => Err(ClientError::Server(e)),
+            other => {
+                Err(ClientError::Unexpected { expected: "Goodbye", got: format!("{other:?}") })
+            }
+        }
+    }
+
+    /// Send raw payload bytes as one frame — the corruption test
+    /// suite's hook for speaking malformed protocol on purpose.
+    pub fn send_raw(&mut self, payload: &[u8]) -> Result<(), ClientError> {
+        self.stream
+            .write_all(&(payload.len() as u32).to_le_bytes())
+            .and_then(|()| self.stream.write_all(payload))
+            .and_then(|()| self.stream.flush())
+            .map_err(|e| ClientError::Transport(TransportError::Io(e)))
+    }
+
+    /// Read the next frame off the stream (pairs with [`send_raw`]).
+    ///
+    /// [`send_raw`]: Client::send_raw
+    pub fn recv(&mut self) -> Result<Option<Frame>, ClientError> {
+        read_frame(&mut self.stream).map_err(ClientError::from)
+    }
+}

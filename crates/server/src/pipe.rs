@@ -1,0 +1,100 @@
+//! In-process duplex byte stream: the loopback transport behind
+//! [`Server::connect`](crate::Server::connect).
+//!
+//! A [`PipeStream`] pair moves byte chunks over two `mpsc` channels,
+//! implementing [`Read`]/[`Write`] with exactly the semantics the
+//! framed protocol needs: writes never block, reads block until bytes
+//! arrive, and dropping either end surfaces as a clean EOF (`Ok(0)`)
+//! on the peer's next read — which the session loop treats as client
+//! disconnect and tears the session down. Tests and benches use it to
+//! exercise the full wire path (encode → frame → decode) with no
+//! sockets, so the suites are deterministic on any sandbox.
+
+use std::collections::VecDeque;
+use std::io::{Read, Write};
+use std::sync::mpsc::{channel, Receiver, Sender};
+
+/// One end of an in-process duplex byte stream.
+#[derive(Debug)]
+pub struct PipeStream {
+    tx: Sender<Vec<u8>>,
+    rx: Receiver<Vec<u8>>,
+    pending: VecDeque<u8>,
+}
+
+/// A connected pair of stream ends.
+pub fn duplex() -> (PipeStream, PipeStream) {
+    let (a_tx, a_rx) = channel();
+    let (b_tx, b_rx) = channel();
+    (
+        PipeStream { tx: a_tx, rx: b_rx, pending: VecDeque::new() },
+        PipeStream { tx: b_tx, rx: a_rx, pending: VecDeque::new() },
+    )
+}
+
+impl Read for PipeStream {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        if buf.is_empty() {
+            return Ok(0);
+        }
+        if self.pending.is_empty() {
+            match self.rx.recv() {
+                Ok(chunk) => self.pending.extend(chunk),
+                // Peer dropped: clean EOF.
+                Err(_) => return Ok(0),
+            }
+        }
+        let n = buf.len().min(self.pending.len());
+        for slot in buf.iter_mut().take(n) {
+            // The queue holds at least n bytes; pop_front cannot fail.
+            *slot = self.pending.pop_front().unwrap_or_default();
+        }
+        Ok(n)
+    }
+}
+
+impl Write for PipeStream {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.tx.send(buf.to_vec()).map_err(|_| {
+            std::io::Error::new(std::io::ErrorKind::BrokenPipe, "pipe peer disconnected")
+        })?;
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bytes_cross_the_pipe_in_order() {
+        let (mut a, mut b) = duplex();
+        a.write_all(b"hello ").unwrap();
+        a.write_all(b"world").unwrap();
+        let mut buf = [0u8; 11];
+        b.read_exact(&mut buf).unwrap();
+        assert_eq!(&buf, b"hello world");
+    }
+
+    #[test]
+    fn dropping_one_end_is_clean_eof_on_the_other() {
+        let (a, mut b) = duplex();
+        drop(a);
+        let mut buf = [0u8; 8];
+        assert_eq!(b.read(&mut buf).unwrap(), 0);
+    }
+
+    #[test]
+    fn writing_to_a_dropped_peer_is_broken_pipe() {
+        let (mut a, b) = duplex();
+        drop(b);
+        assert_eq!(
+            a.write(b"x").unwrap_err().kind(),
+            std::io::ErrorKind::BrokenPipe
+        );
+    }
+}

@@ -1,0 +1,436 @@
+//! The session layer: one thread per client connection, all sessions
+//! sharing one [`LawsDb`] (one pager cache, one model catalog, one
+//! plan cache, one metrics registry).
+//!
+//! A session owns its [`SessionOptions`] (layered over the server's
+//! defaults), and every query it runs passes through the
+//! [`AdmissionController`](crate::admission::AdmissionController)
+//! before touching the engine. Failure scoping is strict:
+//!
+//! * a *query* error (timeout, budget, panic, parse, …) is answered
+//!   with a structured [`WireError::Query`] and the session lives on;
+//! * a *protocol* error (malformed frame) is answered and then closes
+//!   **this** session only — sibling sessions never notice;
+//! * a client disconnect (EOF) tears the session down cleanly,
+//!   unregistering it from the directory and freeing its gauge.
+//!
+//! In-flight queries are cancellable across sessions: the directory
+//! maps session id → the [`CancelToken`] of its running query, and
+//! [`Frame::Cancel`] trips it from any connection.
+
+use crate::admission::AdmissionPermit;
+use crate::error::{core_error_to_wire, query_error_kind, TransportError, WireError};
+use crate::protocol::{
+    read_frame, write_frame, Frame, QueryMode, SessionOptions, StatsFormat, WireResult,
+    PROTOCOL_VERSION,
+};
+use crate::server::Server;
+use lawsdb_core::Answer;
+use lawsdb_obs::Gauge;
+use lawsdb_query::{morsel::parallel_morsels, CancelToken, ExecOptions, Governor, ResourceBudget};
+use lawsdb_storage::TableBuilder;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::io::{Read, Write};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+impl SessionOptions {
+    /// Layer these options over `base`: any knob the client left unset
+    /// falls back to the server's default.
+    pub fn merged_over(&self, base: &SessionOptions) -> SessionOptions {
+        SessionOptions {
+            threads: self.threads.or(base.threads),
+            morsel_rows: self.morsel_rows.or(base.morsel_rows),
+            pruning: self.pruning.or(base.pruning),
+            deadline_ms: self.deadline_ms.or(base.deadline_ms),
+            memory_bytes: self.memory_bytes.or(base.memory_bytes),
+            max_rows: self.max_rows.or(base.max_rows),
+        }
+    }
+
+    /// The per-query [`ResourceBudget`] these options request.
+    pub fn budget(&self) -> ResourceBudget {
+        ResourceBudget {
+            deadline: self.deadline_ms.map(Duration::from_millis),
+            memory_bytes: self.memory_bytes.map(|b| b as usize),
+            max_rows: self.max_rows.map(|r| r as usize),
+        }
+    }
+}
+
+/// Registry of live sessions: ids, per-session cancel hooks, and the
+/// `lawsdb_server_active_sessions` gauge.
+#[derive(Debug)]
+pub struct SessionDirectory {
+    slots: Mutex<HashMap<u64, Option<CancelToken>>>,
+    next_id: AtomicU64,
+    max_sessions: usize,
+    active_sessions: Arc<Gauge>,
+    sessions_total: Arc<lawsdb_obs::Counter>,
+}
+
+impl SessionDirectory {
+    pub(crate) fn new(
+        max_sessions: usize,
+        registry: &lawsdb_obs::MetricsRegistry,
+    ) -> SessionDirectory {
+        SessionDirectory {
+            slots: Mutex::new(HashMap::new()),
+            next_id: AtomicU64::new(1),
+            max_sessions,
+            active_sessions: registry.gauge("lawsdb_server_active_sessions"),
+            sessions_total: registry.counter("lawsdb_server_sessions_total"),
+        }
+    }
+
+    /// Admit a new session, or refuse with the current/max counts when
+    /// the cap is reached.
+    pub fn register(&self) -> Result<u64, (usize, usize)> {
+        let mut slots = self.slots.lock();
+        if slots.len() >= self.max_sessions {
+            return Err((slots.len(), self.max_sessions));
+        }
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        slots.insert(id, None);
+        self.active_sessions.add(1);
+        self.sessions_total.inc();
+        Ok(id)
+    }
+
+    /// Remove a session (idempotent).
+    pub fn unregister(&self, id: u64) {
+        if self.slots.lock().remove(&id).is_some() {
+            self.active_sessions.add(-1);
+        }
+    }
+
+    /// Publish the cancel token of `id`'s in-flight query.
+    pub fn set_cancel(&self, id: u64, token: CancelToken) {
+        if let Some(slot) = self.slots.lock().get_mut(&id) {
+            *slot = Some(token);
+        }
+    }
+
+    /// Clear the in-flight hook after a query finishes.
+    pub fn clear_cancel(&self, id: u64) {
+        if let Some(slot) = self.slots.lock().get_mut(&id) {
+            *slot = None;
+        }
+    }
+
+    /// Trip the cancel token of `id`'s running query. Returns whether a
+    /// token was actually delivered.
+    pub fn cancel(&self, id: u64) -> bool {
+        match self.slots.lock().get(&id) {
+            Some(Some(token)) => {
+                token.cancel();
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Open sessions right now.
+    pub fn active(&self) -> usize {
+        self.slots.lock().len()
+    }
+}
+
+/// Serve one connection: handshake, then a strict request→response
+/// loop until EOF, `Close`, or a protocol violation.
+pub(crate) fn run_session<S: Read + Write>(server: &Arc<Server>, mut stream: S) {
+    let session_id = match server.sessions().register() {
+        Ok(id) => id,
+        Err((active, max)) => {
+            let _ = write_frame(
+                &mut stream,
+                &Frame::Error(WireError::SessionLimit { active: active as u32, max: max as u32 }),
+            );
+            return;
+        }
+    };
+    serve_registered(server, &mut stream, session_id);
+    server.sessions().unregister(session_id);
+}
+
+fn serve_registered<S: Read + Write>(server: &Arc<Server>, stream: &mut S, session_id: u64) {
+    // Handshake: the first frame must be a version-matched Hello.
+    let mut options = match read_frame(stream) {
+        Ok(Some(Frame::Hello { protocol_version, options })) => {
+            if protocol_version != PROTOCOL_VERSION {
+                let _ = write_frame(
+                    stream,
+                    &Frame::Error(WireError::Protocol {
+                        detail: format!(
+                            "protocol version mismatch: client {protocol_version}, \
+                             server {PROTOCOL_VERSION}"
+                        ),
+                    }),
+                );
+                return;
+            }
+            options.merged_over(server.config().default_options())
+        }
+        Ok(Some(_)) => {
+            let _ = write_frame(
+                stream,
+                &Frame::Error(WireError::Protocol {
+                    detail: "expected Hello as the first frame".to_string(),
+                }),
+            );
+            return;
+        }
+        Ok(None) => return,
+        Err(e) => {
+            reply_transport_error(server, stream, &e);
+            return;
+        }
+    };
+    if write_frame(
+        stream,
+        &Frame::HelloAck { session: session_id, protocol_version: PROTOCOL_VERSION },
+    )
+    .is_err()
+    {
+        return;
+    }
+
+    loop {
+        let reply = match read_frame(stream) {
+            Ok(Some(Frame::Query { mode, sql })) => run_query(server, session_id, &options, mode, &sql),
+            Ok(Some(Frame::SetOptions { options: new })) => {
+                options = new.merged_over(server.config().default_options());
+                Frame::OptionsAck
+            }
+            Ok(Some(Frame::Stats { format })) => Frame::StatsReply {
+                text: match format {
+                    StatsFormat::Prometheus => server.db().stats_prometheus(),
+                    StatsFormat::Json => server.db().stats_json(),
+                },
+            },
+            Ok(Some(Frame::Cancel { session })) => {
+                Frame::CancelAck { delivered: server.sessions().cancel(session) }
+            }
+            Ok(Some(Frame::Close)) => {
+                let _ = write_frame(stream, &Frame::Goodbye);
+                return;
+            }
+            Ok(Some(other)) => {
+                // A server→client frame arriving at the server is a
+                // protocol violation: answer and close this session.
+                let _ = write_frame(
+                    stream,
+                    &Frame::Error(WireError::Protocol {
+                        detail: format!("unexpected frame from client: {other:?}"),
+                    }),
+                );
+                server.metrics_hooks().protocol_errors.inc();
+                return;
+            }
+            Ok(None) => return, // clean disconnect
+            Err(e) => {
+                reply_transport_error(server, stream, &e);
+                return;
+            }
+        };
+        if write_frame(stream, &reply).is_err() {
+            return;
+        }
+    }
+}
+
+fn reply_transport_error<S: Read + Write>(server: &Arc<Server>, stream: &mut S, e: &TransportError) {
+    if let TransportError::Protocol(p) = e {
+        server.metrics_hooks().protocol_errors.inc();
+        let _ = write_frame(
+            stream,
+            &Frame::Error(WireError::Protocol { detail: p.to_string() }),
+        );
+    }
+    // IO errors mean the stream is gone; nothing to say, just close.
+}
+
+/// Admit, execute, and package one query.
+fn run_query(
+    server: &Arc<Server>,
+    session_id: u64,
+    options: &SessionOptions,
+    mode: QueryMode,
+    sql: &str,
+) -> Frame {
+    let hooks = server.metrics_hooks();
+    hooks.queries.inc();
+    // The session's requested budget, clamped by the server's per-query
+    // caps: a client may tighten its limits, never exceed the server's.
+    let budget = options.budget().intersect(&server.config().max_budget);
+    let cancel = CancelToken::new();
+    server.sessions().set_cancel(session_id, cancel.clone());
+    let reserve = budget
+        .memory_bytes
+        .unwrap_or(server.admission().config().default_reserve_bytes);
+    let queue_started = Instant::now();
+    let permit = match server.admission().admit(reserve) {
+        Ok(p) => p,
+        Err(e) => {
+            server.sessions().clear_cancel(session_id);
+            hooks.query_errors.inc();
+            return Frame::Error(e.to_wire());
+        }
+    };
+    let queue_us = queue_started.elapsed().as_micros() as u64;
+    let exec = ExecOptions {
+        threads: options.threads.unwrap_or(1) as usize,
+        morsel_rows: options
+            .morsel_rows
+            .map(|m| (m as usize).max(1))
+            .unwrap_or(lawsdb_query::morsel::DEFAULT_MORSEL_ROWS),
+        pruning: options.pruning.unwrap_or(true),
+        budget,
+        cancel: Some(cancel),
+        ..ExecOptions::default()
+    };
+    let service_started = Instant::now();
+    let outcome = dispatch(server, &permit, mode, sql, &exec);
+    let service_us = service_started.elapsed().as_micros() as u64;
+    drop(permit);
+    server.sessions().clear_cancel(session_id);
+    hooks.query_us.observe(service_us);
+    match outcome {
+        Ok(Frame::ResultSet(mut r)) => {
+            r.service_us = service_us;
+            r.queue_us = queue_us;
+            Frame::ResultSet(r)
+        }
+        Ok(other) => other,
+        Err(e) => {
+            hooks.query_errors.inc();
+            Frame::Error(e)
+        }
+    }
+}
+
+fn dispatch(
+    server: &Arc<Server>,
+    _permit: &AdmissionPermit,
+    mode: QueryMode,
+    sql: &str,
+    exec: &ExecOptions,
+) -> Result<Frame, WireError> {
+    if server.config().fault_injection {
+        if let Some(frame) = injected_fault(sql, exec)? {
+            return Ok(frame);
+        }
+    }
+    let db = server.db();
+    match mode {
+        QueryMode::Exact => {
+            let r = db.query_with(sql, exec).map_err(|e| core_error_to_wire(&e))?;
+            Ok(result_frame(r.table, r.rows_scanned as u64, false, None, Vec::new()))
+        }
+        QueryMode::Resilient => {
+            let r = db.query_resilient_with(sql, exec).map_err(|e| core_error_to_wire(&e))?;
+            let degraded = r.degraded.iter().map(|d| d.name().to_string()).collect();
+            answer_frame(r.answer, degraded)
+        }
+        QueryMode::Adaptive => {
+            let a = db.query_adaptive_with(sql, exec).map_err(|e| core_error_to_wire(&e))?;
+            answer_frame(a, Vec::new())
+        }
+        QueryMode::Explain => {
+            let text = db.explain(sql).map_err(|e| core_error_to_wire(&e))?;
+            Ok(Frame::ExplainReply { text })
+        }
+    }
+}
+
+fn answer_frame(answer: Answer, degraded: Vec<String>) -> Result<Frame, WireError> {
+    Ok(match answer {
+        Answer::Exact(r) => {
+            result_frame(r.table, r.rows_scanned as u64, false, None, degraded)
+        }
+        Answer::Approx(a) => {
+            result_frame(a.table, a.rows_scanned as u64, true, a.error_bound, degraded)
+        }
+    })
+}
+
+fn result_frame(
+    table: lawsdb_storage::Table,
+    rows_scanned: u64,
+    approximate: bool,
+    error_bound: Option<f64>,
+    degraded: Vec<String>,
+) -> Frame {
+    Frame::ResultSet(Box::new(WireResult {
+        table,
+        rows_scanned,
+        approximate,
+        error_bound,
+        degraded,
+        service_us: 0,
+        queue_us: 0,
+    }))
+}
+
+/// Test-only fault hooks, compiled in but dead unless
+/// [`ServerConfig::fault_injection`](crate::ServerConfig) is set:
+///
+/// * `FAULT PANIC` — a kernel that panics inside a morsel worker, so
+///   the catch-unwind isolation path is exercised end-to-end over the
+///   wire (the session answers a structured `worker_panic` error and
+///   stays up).
+/// * `FAULT SLEEP <total_ms> <morsels>` — a deterministic long query:
+///   `morsels` one-row morsels each sleeping `total_ms / morsels`,
+///   governor-checked between morsels, so cancel and deadline tests
+///   have a predictable target.
+fn injected_fault(sql: &str, exec: &ExecOptions) -> Result<Option<Frame>, WireError> {
+    let Some(rest) = sql.strip_prefix("FAULT ") else {
+        return Ok(None);
+    };
+    let opts = ExecOptions {
+        morsel_rows: 1,
+        threads: 1,
+        governor: Governor::arm(exec.budget, exec.cancel.clone()),
+        ..exec.clone()
+    };
+    let wire = |e: lawsdb_query::QueryError| WireError::Query {
+        kind: query_error_kind(&e).to_string(),
+        detail: e.to_string(),
+    };
+    if rest == "PANIC" {
+        let err = parallel_morsels(4, &opts, |_, _| -> lawsdb_query::Result<usize> {
+            panic!("injected fault: deliberate kernel panic")
+        })
+        .expect_err("a panicking kernel must surface as a structured error");
+        return Err(wire(err));
+    }
+    if let Some(args) = rest.strip_prefix("SLEEP ") {
+        let mut it = args.split_whitespace();
+        let (Some(total_ms), Some(morsels)) = (
+            it.next().and_then(|v| v.parse::<u64>().ok()),
+            it.next().and_then(|v| v.parse::<u64>().ok()),
+        ) else {
+            return Err(WireError::Query {
+                kind: "parse".to_string(),
+                detail: "FAULT SLEEP expects <total_ms> <morsels>".to_string(),
+            });
+        };
+        let morsels = morsels.clamp(1, 10_000) as usize;
+        let nap = Duration::from_millis(total_ms / morsels as u64);
+        parallel_morsels(morsels, &opts, |offset, _| {
+            std::thread::sleep(nap);
+            Ok(offset)
+        })
+        .map_err(wire)?;
+        let mut b = TableBuilder::new("fault_sleep");
+        b.add_i64("slept_morsels", vec![morsels as i64]);
+        let table = b.build().map_err(|e| WireError::Server { detail: e.to_string() })?;
+        return Ok(Some(result_frame(table, 0, false, None, Vec::new())));
+    }
+    Err(WireError::Query {
+        kind: "parse".to_string(),
+        detail: format!("unknown fault directive: {rest:?}"),
+    })
+}

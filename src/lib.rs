@@ -66,6 +66,7 @@ pub use lawsdb_linalg as linalg;
 pub use lawsdb_models as models;
 pub use lawsdb_obs as obs;
 pub use lawsdb_query as query;
+pub use lawsdb_server as server;
 pub use lawsdb_storage as storage;
 
 /// One-stop imports for applications.
@@ -79,6 +80,7 @@ pub mod prelude {
     pub use lawsdb_models::CapturedModel;
     pub use lawsdb_obs::QueryProfile;
     pub use lawsdb_query::QueryResult;
+    pub use lawsdb_server::{Client, Server, ServerConfig};
     pub use lawsdb_storage::table::{Table, TableBuilder};
     pub use lawsdb_storage::value::Value;
 }

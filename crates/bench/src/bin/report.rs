@@ -79,6 +79,33 @@ fn main() {
                 die("model tier pruned no pages (pages_pruned_model == 0)");
             }
         }
+        "bench-agg" => {
+            let rows = match scale {
+                Scale::Small => 200_000,
+                Scale::Medium => 1_000_000,
+                Scale::Paper => 4_000_000,
+            };
+            let r = exp::agg::run(rows);
+            exp::agg::print(&r);
+            let json = exp::agg::to_json(&r);
+            std::fs::write("BENCH_agg.json", &json)
+                .unwrap_or_else(|e| die(&format!("writing BENCH_agg.json: {e}")));
+            println!("\nwrote BENCH_agg.json");
+            // Structural gate: the AcceptAll-heavy workload must answer
+            // entirely from zone partials, never touching a base page.
+            if !exp::agg::full_workload_zero_io(&r) {
+                die("full workload read base pages or pushed no zones");
+            }
+            // Speedup gate: answering from partials must beat the
+            // row-scan path by at least the advertised factor.
+            let min = exp::agg::full_workload_min_speedup(&r);
+            if min < exp::agg::FULL_WORKLOAD_GATE {
+                die(&format!(
+                    "full-workload speedup {min:.2}x is under the {:.0}x gate",
+                    exp::agg::FULL_WORKLOAD_GATE
+                ));
+            }
+        }
         "bench-resilience" => {
             let scales: &[usize] = match scale {
                 Scale::Small => &[100_000],
@@ -211,8 +238,8 @@ fn main() {
 fn usage() {
     println!(
         "usage: report [all|table1|figure1|figure2|e4|e5|e6|e7|e8|e9|e10|e11|bench-query|\
-         bench-scan-pruning|bench-resilience|bench-durability|bench-obs|bench-optimizer|\
-         bench-server] \
+         bench-scan-pruning|bench-agg|bench-resilience|bench-durability|bench-obs|\
+         bench-optimizer|bench-server] \
          [--scale small|medium|paper]"
     );
     println!("  bench-query: morsel-executor throughput sweep; writes BENCH_query.json");
@@ -223,6 +250,11 @@ fn usage() {
     println!(
         "  bench-scan-pruning: zone-map/model pruning sweep; writes BENCH_scan_pruning.json \
          (fails if the model tier prunes nothing)"
+    );
+    println!(
+        "  bench-agg: aggregate-pushdown selectivity sweep over an interleaved \
+         (pruning-proof) fixture; writes BENCH_agg.json (fails if the no-WHERE workload \
+         reads base pages or lands under the 5x speedup gate)"
     );
     println!("  bench-durability: WAL overhead per device profile; writes BENCH_durability.json");
     println!(

@@ -1,0 +1,262 @@
+//! Aggregate pushdown over materialized zone synopses: the
+//! selectivity×aggregate sweep for ISSUE 8.
+//!
+//! The fixture is deliberately **pruning-proof on the payload**: `v`
+//! interleaves the same residue cycle into every zone, so zone maps on
+//! `v` can never refute or accept anything and the only shortcut
+//! available to the pushed path is substituting materialized `ZoneAgg`
+//! partials for accepted zones. The sorted key `k` drives selectivity:
+//! interior zones of a `k` range are accepted wholesale by their bounds
+//! (the interval proof), boundary zones run the fused filter+aggregate
+//! kernel, refuted zones vanish.
+//!
+//! Two workload families, each timed best-of-3 after a bit-identity
+//! check against the unpruned scan:
+//!
+//! * **full** — no WHERE: every zone answers from its partial with zero
+//!   pages planned (`pages_total == 0`, the paper's zero-IO claim
+//!   extended to aggregation). This is the AcceptAll-heavy workload the
+//!   CI gate holds to ≥5× over the row-scan path.
+//! * **range** — `k < threshold` at several selectivities × aggregate
+//!   shapes, showing the pushed/fused split as selectivity grows.
+//!
+//! The `report` binary exports this as `BENCH_agg.json`
+//! (`report -- bench-agg`) and fails hard if the full workload read any
+//! base pages, pushed no zones, or fell under the speedup gate.
+
+use lawsdb_query::{execute_with, ExecOptions, QueryResult, ScanStats};
+use lawsdb_storage::{Catalog, TableBuilder};
+
+/// The CI speedup gate for the AcceptAll-heavy (no-WHERE) workload.
+pub const FULL_WORKLOAD_GATE: f64 = 5.0;
+
+/// One measured `(workload, selectivity, aggregate)` cell.
+#[derive(Debug, Clone)]
+pub struct AggPoint {
+    /// Workload label: `full` or `range`.
+    pub workload: String,
+    /// Base-table rows.
+    pub rows: usize,
+    /// Fraction of rows the predicate keeps (1.0 for `full`).
+    pub selectivity: f64,
+    /// Aggregate shape label (`count`, `sum`, `minmax`, `mixed`).
+    pub aggregate: String,
+    /// The benchmarked SQL.
+    pub sql: String,
+    /// Best-of-3 wall time with pushdown (µs).
+    pub pushed_us: f64,
+    /// Best-of-3 wall time on the row-scan path (µs).
+    pub scan_us: f64,
+    /// `scan_us / pushed_us`.
+    pub speedup: f64,
+    /// Scan counters from the pushed run.
+    pub stats: ScanStats,
+}
+
+/// Experiment report.
+#[derive(Debug, Clone)]
+pub struct AggReport {
+    /// Zone granularity in rows (the storage default).
+    pub zone_rows: usize,
+    /// All measured cells.
+    pub points: Vec<AggPoint>,
+}
+
+/// Sorted key `k` = 0..rows; payload `v` cycles the same 1009 residues
+/// through every zone (1009 is prime to the zone size, so each zone
+/// sees the full cycle): min/max are identical across zones and no
+/// predicate on `v` can ever decide a zone from its bounds.
+pub fn interleaved_dataset(rows: usize) -> Catalog {
+    let k: Vec<i64> = (0..rows as i64).collect();
+    let v: Vec<f64> = (0..rows).map(|i| (i % 1009) as f64 - 504.0).collect();
+    let mut b = TableBuilder::new("agg");
+    b.add_i64("k", k);
+    b.add_f64("v", v);
+    let c = Catalog::new();
+    c.register(b.build().expect("build")).expect("register");
+    c
+}
+
+fn best_of_3(catalog: &Catalog, sql: &str, opts: &ExecOptions) -> (f64, QueryResult) {
+    let mut best = f64::INFINITY;
+    let mut result = None;
+    for _ in 0..3 {
+        let (r, us) = crate::time_us(|| execute_with(catalog, sql, opts).expect("query"));
+        if us < best {
+            best = us;
+            result = Some(r);
+        }
+    }
+    (best, result.expect("three runs"))
+}
+
+fn measure(
+    catalog: &Catalog,
+    workload: &str,
+    rows: usize,
+    selectivity: f64,
+    aggregate: &str,
+    sql: &str,
+) -> AggPoint {
+    let pushed_opts = ExecOptions::default();
+    let scan_opts = ExecOptions::unpruned();
+    // Bit-identity check before any timing counts: substituting zone
+    // partials must not change a single bit of the answer.
+    let p = execute_with(catalog, sql, &pushed_opts).expect("pushed");
+    let u = execute_with(catalog, sql, &scan_opts).expect("scan");
+    assert_eq!(p.table.row_count(), u.table.row_count(), "{sql}");
+    for i in 0..p.table.row_count() {
+        assert_eq!(
+            format!("{:?}", p.table.row(i).expect("row")),
+            format!("{:?}", u.table.row(i).expect("row")),
+            "{sql} row {i}"
+        );
+    }
+    let (pushed_us, pushed_result) = best_of_3(catalog, sql, &pushed_opts);
+    let (scan_us, _) = best_of_3(catalog, sql, &scan_opts);
+    AggPoint {
+        workload: workload.to_string(),
+        rows,
+        selectivity,
+        aggregate: aggregate.to_string(),
+        sql: sql.to_string(),
+        pushed_us,
+        scan_us,
+        speedup: scan_us / pushed_us,
+        stats: pushed_result.scan_stats,
+    }
+}
+
+/// Run the sweep over a `rows`-row interleaved fixture.
+pub fn run(rows: usize) -> AggReport {
+    let catalog = interleaved_dataset(rows);
+    let mut points = Vec::new();
+
+    // AcceptAll-heavy workload: no WHERE, every zone pushes.
+    // COUNT(v), not COUNT(*): the star-count's row-scan baseline does
+    // no per-row value work either, so a speedup gate on it would only
+    // measure slice overhead. Null-counting reads the column for real.
+    let aggs: [(&str, &str); 4] = [
+        ("count", "COUNT(v) AS n"),
+        ("sum", "SUM(v) AS s"),
+        ("minmax", "MIN(v) AS lo, MAX(v) AS hi"),
+        ("mixed", "COUNT(*) AS n, SUM(v) AS s, AVG(v) AS m, MIN(v) AS lo, MAX(v) AS hi"),
+    ];
+    for (label, exprs) in aggs {
+        let sql = format!("SELECT {exprs} FROM agg");
+        points.push(measure(&catalog, "full", rows, 1.0, label, &sql));
+    }
+
+    // Selectivity sweep on the sorted key: interior zones push,
+    // boundary zones run the fused kernel.
+    for frac in [0.001, 0.01, 0.1, 0.5] {
+        let threshold = (rows as f64 * frac) as i64;
+        for (label, exprs) in [aggs[1], aggs[3]] {
+            let sql = format!("SELECT {exprs} FROM agg WHERE k < {threshold}");
+            points.push(measure(&catalog, "range", rows, frac, label, &sql));
+        }
+    }
+
+    AggReport { zone_rows: lawsdb_storage::DEFAULT_ZONE_ROWS, points }
+}
+
+/// True when every `full` point answered entirely from the synopsis:
+/// zones pushed, zero pages planned or read. The structural half of the
+/// CI gate (the other half is the speedup threshold).
+pub fn full_workload_zero_io(r: &AggReport) -> bool {
+    let full: Vec<&AggPoint> = r.points.iter().filter(|p| p.workload == "full").collect();
+    !full.is_empty()
+        && full
+            .iter()
+            .all(|p| p.stats.zones_agg_synopsis > 0 && p.stats.pages_total == 0)
+}
+
+/// Worst speedup across the `full` workload — what the ≥5× gate holds.
+pub fn full_workload_min_speedup(r: &AggReport) -> f64 {
+    r.points
+        .iter()
+        .filter(|p| p.workload == "full")
+        .map(|p| p.speedup)
+        .fold(f64::INFINITY, f64::min)
+}
+
+/// Print the report as a paper-style table.
+pub fn print(r: &AggReport) {
+    println!("=== aggregate pushdown over zone synopses ===");
+    println!("zone granularity: {} rows", r.zone_rows);
+    println!(
+        "workload  rows      sel%    agg        pushed     scan   speedup  zones_agg  pages"
+    );
+    for p in &r.points {
+        println!(
+            "{:<7} {:>8} {:>7.2} {:<8} {:>9} {:>9} {:>7.2}x {:>9} {:>6}",
+            p.workload,
+            p.rows,
+            p.selectivity * 100.0,
+            p.aggregate,
+            crate::fmt_us(p.pushed_us),
+            crate::fmt_us(p.scan_us),
+            p.speedup,
+            p.stats.zones_agg_synopsis,
+            p.stats.pages_total,
+        );
+    }
+}
+
+/// Render the report as JSON (hand-rolled: the workspace carries no
+/// serialization dependency).
+pub fn to_json(r: &AggReport) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"bench\": \"agg\",\n");
+    out.push_str(&format!("  \"zone_rows\": {},\n", r.zone_rows));
+    out.push_str(&format!(
+        "  \"full_workload_min_speedup\": {:.3},\n",
+        full_workload_min_speedup(r)
+    ));
+    out.push_str("  \"results\": [\n");
+    for (i, p) in r.points.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"workload\": \"{}\", \"rows\": {}, \"selectivity\": {:.5}, \
+             \"aggregate\": \"{}\", \"pushed_us\": {:.1}, \"scan_us\": {:.1}, \
+             \"speedup\": {:.3}, \"zones_agg_synopsis\": {}, \"pages_total\": {}, \
+             \"pages_pruned_zonemap\": {}}}{}\n",
+            p.workload,
+            p.rows,
+            p.selectivity,
+            p.aggregate,
+            p.pushed_us,
+            p.scan_us,
+            p.speedup,
+            p.stats.zones_agg_synopsis,
+            p.stats.pages_total,
+            p.stats.pages_pruned_zonemap,
+            if i + 1 == r.points.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_runs_and_the_full_workload_is_zero_io() {
+        let r = run(50_000);
+        assert_eq!(r.points.len(), 12);
+        for p in &r.points {
+            assert!(p.pushed_us > 0.0 && p.scan_us > 0.0, "{p:?}");
+        }
+        // Every no-WHERE point answered from partials without planning
+        // a single page — the structural CI gate.
+        assert!(full_workload_zero_io(&r), "{r:?}");
+        // Range points push interior zones and still count their pages.
+        let range = r.points.iter().find(|p| p.workload == "range").expect("range points");
+        assert!(range.stats.pages_total > 0, "{range:?}");
+        let json = to_json(&r);
+        assert!(json.contains("\"agg\""));
+        assert!(json.contains("\"zones_agg_synopsis\""));
+        assert!(json.contains("\"full_workload_min_speedup\""));
+    }
+}

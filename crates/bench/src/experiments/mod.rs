@@ -3,6 +3,7 @@
 //! the paper-style table. The `report` binary and the Criterion benches
 //! both call `run`.
 
+pub mod agg;
 pub mod durability;
 pub mod e10_model_change;
 pub mod e11_model_classes;

@@ -1073,6 +1073,62 @@ mod tests {
     }
 
     #[test]
+    fn stale_epoch_evictions_surface_in_prometheus() {
+        let db = lofar_db();
+        let sql = "SELECT intensity FROM measurements WHERE source = 0 AND nu = 0.15";
+        db.query(sql).unwrap();
+        db.append_rows(
+            "measurements",
+            &[
+                Column::from_i64(vec![0]),
+                Column::from_f64(vec![0.15]),
+                Column::from_f64(vec![2.0 * 0.15_f64.powf(-0.7)]),
+            ],
+        )
+        .unwrap();
+        db.query(sql).unwrap();
+        assert_eq!(db.plan_cache().eviction_count(), 1);
+        let prom = db.stats_prometheus();
+        assert!(prom.contains("lawsdb_query_plan_cache_evictions 1"), "{prom}");
+    }
+
+    #[test]
+    fn aggregate_pushdown_survives_appends_through_the_plan_cache() {
+        let db = lofar_db();
+        let sql = "SELECT COUNT(*) AS n, SUM(intensity) AS s FROM measurements";
+        let r = db.query(sql).unwrap();
+        assert_eq!(r.table.row(0).unwrap()[0], lawsdb_storage::Value::Int(160));
+        assert!(
+            r.scan_stats.zones_agg_synopsis > 0,
+            "unfiltered aggregate must answer from zone partials: {:?}",
+            r.scan_stats
+        );
+        // Appends move the stats epoch: the cached plan (and its zone
+        // partials) must not leak into the post-append answer.
+        db.append_rows(
+            "measurements",
+            &[
+                Column::from_i64(vec![9]),
+                Column::from_f64(vec![0.15]),
+                Column::from_f64(vec![1.0]),
+            ],
+        )
+        .unwrap();
+        let r = db.query(sql).unwrap();
+        assert_eq!(r.table.row(0).unwrap()[0], lawsdb_storage::Value::Int(161));
+        assert_eq!((db.plan_cache().hit_count(), db.plan_cache().miss_count()), (0, 2));
+        // The pushdown counter surfaces through the shared registry.
+        let prom = db.stats_prometheus();
+        assert!(prom.contains("lawsdb_query_zones_agg_synopsis"), "{prom}");
+        let line = prom
+            .lines()
+            .find(|l| l.starts_with("lawsdb_query_zones_agg_synopsis"))
+            .unwrap();
+        let count: u64 = line.split_whitespace().nth(1).unwrap().parse().unwrap();
+        assert!(count >= 2, "both queries pushed at least one zone: {line}");
+    }
+
+    #[test]
     fn model_catalog_changes_invalidate_cached_plans() {
         let db = lofar_db();
         let sql = "SELECT intensity FROM measurements WHERE source = 0 AND nu = 0.15";

@@ -43,6 +43,10 @@ pub struct CostConstants {
     pub model_answer_us: f64,
     /// Folding one row into an aggregate accumulator.
     pub agg_tuple_us: f64,
+    /// Folding one zone's materialized aggregate partial
+    /// ([`ZoneAgg`](lawsdb_storage::zonemap::ZoneAgg)) into the
+    /// accumulator — constant work per zone, independent of zone rows.
+    pub agg_zone_fold_us: f64,
     /// One compare-and-move in a sort.
     pub sort_tuple_us: f64,
 }
@@ -57,6 +61,7 @@ impl Default for CostConstants {
             reconstruct_tuple_us: 1.5,
             model_answer_us: 40.0,
             agg_tuple_us: 0.004,
+            agg_zone_fold_us: 0.02,
             sort_tuple_us: 0.010,
         }
     }

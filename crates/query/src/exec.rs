@@ -16,7 +16,7 @@ use crate::sexpr::{PredMask, ScalarExpr};
 use crate::sql::{parse_select, AggFunc, OrderBy};
 use lawsdb_obs::{fields, ProfileCollector, ProfileContext, QueryProfile};
 use lawsdb_storage::schema::{DataType, Field, Schema};
-use lawsdb_storage::zonemap::ZoneSource;
+use lawsdb_storage::zonemap::{ColumnZones, ZoneSource};
 use lawsdb_storage::{Catalog, Column, Table, Value};
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -96,6 +96,7 @@ pub fn execute_plan_with(
                 pruned_zonemap = scan_stats.pages_pruned_zonemap,
                 pruned_model = scan_stats.pages_pruned_model,
                 compressed_eval = scan_stats.pages_compressed_eval,
+                zones_agg_synopsis = scan_stats.zones_agg_synopsis,
             ],
         );
         if let Some(g) = &opts.governor {
@@ -795,6 +796,212 @@ struct GroupPartial {
     accs: Vec<Vec<Accumulator>>,
 }
 
+// ------------------------------------------------- aggregate pushdown
+
+/// Zone-synopsis aggregate pushdown plan for one eligible query.
+///
+/// Eligible shapes are global (no GROUP BY) aggregates whose every
+/// argument is `*` or a bare Int64/Float64 column carrying exact data
+/// zones. For those, the pipeline switches to the *zone-unit grammar*:
+/// each morsel splits at the `grid` into units, every unit folds into a
+/// fresh accumulator, and unit partials merge in unit order (then
+/// morsel order). Because the grammar is a function of the query and
+/// the table — never of [`ExecOptions`] — the pruned and unpruned runs
+/// produce the same partial structure, and a unit partial taken from
+/// the materialized zone synopsis (built by the identical row-order
+/// fold) substitutes bit-for-bit for the scanned one.
+struct AggPushdown<'t> {
+    /// Unit granularity: the finest `zone_rows` among the argument
+    /// columns and the pruning predicate's columns, so units line up
+    /// with both the synopsis zones and the pruner's chunk grid.
+    grid: usize,
+    /// One entry per aggregate argument.
+    specs: Vec<PushSpec<'t>>,
+}
+
+/// How one aggregate argument participates in pushdown.
+enum PushSpec<'t> {
+    /// `COUNT(*)`: the unit's row count is the partial.
+    Star,
+    /// Bare numeric column with exact data zones.
+    Column { name: String, zones: &'t ColumnZones },
+}
+
+/// Decide pushdown eligibility and the unit grid. Must depend only on
+/// the table and the query (see [`AggPushdown`]); `opts.pruning` in
+/// particular must not influence the result.
+fn plan_agg_pushdown<'t>(
+    t: &'t Table,
+    predicate: Option<&ScalarExpr>,
+    group_by: &[String],
+    args: &[AggArg],
+) -> Option<AggPushdown<'t>> {
+    if !group_by.is_empty() {
+        return None;
+    }
+    let synopsis = t.synopsis()?;
+    let mut specs = Vec::with_capacity(args.len());
+    let mut grid: Option<usize> = None;
+    for a in args {
+        match a {
+            AggArg::Star => specs.push(PushSpec::Star),
+            AggArg::Numeric(ScalarExpr::Column(c)) => {
+                let zones = synopsis.column(c)?;
+                // Bool columns aggregate through the 0/1 coercion path,
+                // which the fused numeric kernel does not speak.
+                let numeric = t
+                    .column(c)
+                    .map(|col| {
+                        matches!(col.data_type(), DataType::Int64 | DataType::Float64)
+                    })
+                    .unwrap_or(false);
+                if zones.source != ZoneSource::Data || !numeric {
+                    return None;
+                }
+                grid = Some(grid.map_or(zones.zone_rows, |g| g.min(zones.zone_rows)));
+                specs.push(PushSpec::Column { name: c.clone(), zones });
+            }
+            _ => return None,
+        }
+    }
+    // Fold in the pruning predicate's grid unconditionally — the
+    // unpruned baseline must chunk exactly like the pruned run plans.
+    let pred_grid = predicate
+        .and_then(PruningPredicate::extract)
+        .map(|p| p.grid(synopsis));
+    let grid = [grid, pred_grid]
+        .into_iter()
+        .flatten()
+        .min()
+        .unwrap_or(lawsdb_storage::DEFAULT_ZONE_ROWS);
+    Some(AggPushdown { grid, specs })
+}
+
+/// Plan-time view of pushdown eligibility: the unit grid the executor
+/// would fold at, or `None` when the query shape is not eligible. The
+/// physical planner uses this to price the zone-aggregate access path
+/// against the row scan with the *same* eligibility rule the executor
+/// applies, so EXPLAIN never advertises a path execution won't take.
+pub(crate) fn agg_pushdown_grid(
+    t: &Table,
+    predicate: Option<&ScalarExpr>,
+    group_by: &[String],
+    aggs: &[AggSpec],
+) -> Option<usize> {
+    let args = prepare_agg_args(t, aggs).ok()?;
+    plan_agg_pushdown(t, predicate, group_by, &args).map(|p| p.grid)
+}
+
+/// Split `[offset, offset + len)` at multiples of `grid`.
+fn grid_units(offset: usize, len: usize, grid: usize) -> impl Iterator<Item = (usize, usize)> {
+    let end = offset + len;
+    let mut pos = offset;
+    std::iter::from_fn(move || {
+        if pos >= end {
+            return None;
+        }
+        let unit_end = ((pos / grid + 1) * grid).min(end);
+        let unit = (pos, unit_end - pos);
+        pos = unit_end;
+        Some(unit)
+    })
+}
+
+impl AggPushdown<'_> {
+    /// The unit's partial folded straight from the materialized zone
+    /// synopses — zero page reads, zero per-row work — or `None` when
+    /// some argument lacks a usable partial for this exact unit (unit
+    /// clipped by a morsel boundary, `zone_rows` coarser than the grid,
+    /// or a legacy entry without `agg`); the caller scans instead.
+    ///
+    /// Only correct for accepted units: every row passes the filter, so
+    /// the scan this substitutes would have created the global group
+    /// (units are non-empty) and folded exactly these values in row
+    /// order. All-NULL/NaN zones carry `count == 0` and no sums; the
+    /// accumulator stays at `sum = 0.0, min = +inf, max = -inf`,
+    /// contributing nothing — exactly like the scan.
+    fn zone_partial(&self, offset: usize, len: usize) -> Option<GroupPartial> {
+        let mut accs = Vec::with_capacity(self.specs.len());
+        for spec in &self.specs {
+            let mut acc = Accumulator::new();
+            match spec {
+                PushSpec::Star => acc.count = len as u64,
+                PushSpec::Column { zones, .. } => {
+                    if !offset.is_multiple_of(zones.zone_rows) {
+                        return None;
+                    }
+                    let e = zones.entries.get(offset / zones.zone_rows)?;
+                    if e.rows as usize != len {
+                        return None;
+                    }
+                    let a = e.agg.as_ref()?;
+                    acc.count = a.count as u64;
+                    acc.sum = a.sum_f64.unwrap_or(0.0);
+                    acc.min = e.min;
+                    acc.max = e.max;
+                }
+            }
+            accs.push(acc);
+        }
+        Some(GroupPartial {
+            keys: vec![Vec::new()],
+            first_rows: vec![offset],
+            accs: vec![accs],
+        })
+    }
+
+    /// Scan one unit with the fused filter+aggregate kernel: evaluate
+    /// the selection mask once, then a single pass per column through
+    /// [`lawsdb_storage::NumericAggState`] — no intermediate
+    /// `Option<f64>` materialization. Folds run in row order with
+    /// keep-first min/max, so the partial is bit-identical to both the
+    /// accumulator scan and the build-time zone fold.
+    fn scan_unit(
+        &self,
+        t: &Table,
+        offset: usize,
+        len: usize,
+        predicate: Option<&ScalarExpr>,
+    ) -> Result<GroupPartial> {
+        let m = t.slice(offset, len)?;
+        let mask = predicate
+            .map(|p| eval_conjuncts_mask(&p.conjuncts(), &m))
+            .transpose()?;
+        let sel = mask.as_ref().map(|pm| pm.truth());
+        let (passing, first) = match sel {
+            Some(b) => (b.count_set(), b.iter_set().next().unwrap_or(0)),
+            None => (len, 0),
+        };
+        if passing == 0 {
+            return Ok(GroupPartial {
+                keys: Vec::new(),
+                first_rows: Vec::new(),
+                accs: Vec::new(),
+            });
+        }
+        let mut accs = Vec::with_capacity(self.specs.len());
+        for spec in &self.specs {
+            let mut acc = Accumulator::new();
+            match spec {
+                PushSpec::Star => acc.count = passing as u64,
+                PushSpec::Column { name, .. } => {
+                    let s = m.column(name)?.numeric_agg(sel)?;
+                    acc.count = s.count;
+                    acc.sum = s.sum;
+                    acc.min = s.min.unwrap_or(f64::INFINITY);
+                    acc.max = s.max.unwrap_or(f64::NEG_INFINITY);
+                }
+            }
+            accs.push(acc);
+        }
+        Ok(GroupPartial {
+            keys: vec![Vec::new()],
+            first_rows: vec![offset + first],
+            accs: vec![accs],
+        })
+    }
+}
+
 /// Running group-and-accumulate state for one morsel. Zone pruning
 /// feeds a morsel to [`Self::accumulate`] in several row-range chunks;
 /// sharing the accumulators across chunks keeps every floating-point
@@ -991,11 +1198,27 @@ fn assemble_aggregate(
 /// Morsel-parallel aggregation over a scanned table, with an optional
 /// fused filter predicate.
 ///
-/// The fused predicate gets the same zone pruning as
-/// [`parallel_filter`]: skipped zones hold no predicate-TRUE rows and
-/// so contribute nothing to any accumulator; accept-all zones
-/// accumulate without evaluating the mask. Partial merge order is
-/// unchanged, so sums stay bit-identical to the unpruned plan.
+/// Two accumulation grammars, chosen by [`plan_agg_pushdown`] from the
+/// query shape and the table alone (never from `opts`):
+///
+/// * **Zone-unit grammar** (pushdown-eligible global aggregates): each
+///   morsel splits at the synopsis grid; every unit folds into a fresh
+///   accumulator and unit partials merge in unit order, then morsel
+///   order. Accepted units substitute their materialized [`ZoneAgg`]
+///   partials (`zones_agg_synopsis` counts them — zero page reads,
+///   zero per-row work); `Eval` units run the fused vectorized
+///   filter+aggregate kernel ([`AggPushdown::scan_unit`]); skipped
+///   zones contribute nothing. The unpruned baseline scans the same
+///   units with the same kernel, so answers stay bit-identical at any
+///   thread count, morsel size, or pruning setting.
+/// * **Shared-accumulator grammar** (grouped or non-bare-column
+///   aggregates): one accumulator per morsel shared across the
+///   surviving chunks, exactly as before — skipped zones hold no
+///   predicate-TRUE rows, accept-all zones accumulate without
+///   evaluating the mask, and merge order keeps sums bit-identical to
+///   the unpruned plan.
+///
+/// [`ZoneAgg`]: lawsdb_storage::zonemap::ZoneAgg
 fn aggregate_pipeline(
     t: &Table,
     predicate: Option<&ScalarExpr>,
@@ -1008,39 +1231,113 @@ fn aggregate_pipeline(
         .map(|g| normalize_name(t.schema(), g))
         .collect::<Result<_>>()?;
     let args = prepare_agg_args(t, aggs)?;
+    let push = plan_agg_pushdown(t, predicate, &group_by, &args);
     let pruner = match (opts.pruning, predicate) {
         (true, Some(p)) => PruningPredicate::extract(p),
         _ => None,
     };
-    let parts = match (&pruner, t.synopsis()) {
-        (Some(pruner), Some(synopsis)) => {
+    let parts = match (&push, t.synopsis()) {
+        (Some(push), Some(synopsis)) => {
             parallel_morsels(t.row_count(), opts, |offset, len| {
                 let mut stats = ScanStats::default();
-                let chunks =
-                    pruner.plan_range(synopsis, pruner.grid(synopsis), offset, len, &mut stats);
-                profile_zones(opts.profile.as_ref(), &chunks);
-                // One shared accumulator for every surviving chunk, so
-                // the add order matches an unchunked pass over this
-                // morsel exactly (see [`MorselAccumulator`]).
-                let mut acc = MorselAccumulator::new(&group_by, &args, aggs.len());
-                for (o, l, d) in chunks {
-                    let pred = match d {
-                        ZoneDecision::Skip(_) => continue,
-                        ZoneDecision::AcceptAll => None,
-                        ZoneDecision::Eval => predicate,
-                    };
-                    acc.accumulate(&t.slice(o, l)?, o, pred)?;
+                let mut units: Vec<GroupPartial> = Vec::new();
+                let accept = |o: usize,
+                                  l: usize,
+                                  stats: &mut ScanStats,
+                                  units: &mut Vec<GroupPartial>|
+                 -> Result<()> {
+                    for (uo, ul) in grid_units(o, l, push.grid) {
+                        match push.zone_partial(uo, ul) {
+                            Some(p) => {
+                                stats.zones_agg_synopsis += 1;
+                                if let Some(ctx) = &opts.profile {
+                                    ctx.leaf(
+                                        "zone",
+                                        uo as u64,
+                                        fields![rows = ul, decision = "agg_synopsis"],
+                                    );
+                                }
+                                units.push(p);
+                            }
+                            None => units.push(push.scan_unit(t, uo, ul, None)?),
+                        }
+                    }
+                    Ok(())
+                };
+                match &pruner {
+                    Some(pruner) => {
+                        let chunks =
+                            pruner.plan_range(synopsis, push.grid, offset, len, &mut stats);
+                        profile_zones(opts.profile.as_ref(), &chunks);
+                        for (o, l, d) in chunks {
+                            match d {
+                                ZoneDecision::Skip(_) => {}
+                                ZoneDecision::AcceptAll => {
+                                    accept(o, l, &mut stats, &mut units)?
+                                }
+                                ZoneDecision::Eval => {
+                                    for (uo, ul) in grid_units(o, l, push.grid) {
+                                        units.push(push.scan_unit(t, uo, ul, predicate)?);
+                                    }
+                                }
+                            }
+                        }
+                    }
+                    // No filter at all: every unit is trivially
+                    // accepted — the aggregate answers from the
+                    // synopsis without planning (or reading) any pages.
+                    None if opts.pruning && predicate.is_none() => {
+                        accept(offset, len, &mut stats, &mut units)?
+                    }
+                    // Unpruned baseline, or a filter with nothing
+                    // sargable: scan every unit, same grammar.
+                    None => {
+                        for (uo, ul) in grid_units(offset, len, push.grid) {
+                            units.push(push.scan_unit(t, uo, ul, predicate)?);
+                        }
+                    }
                 }
                 if let Some(c) = &opts.stats {
                     c.add(&stats);
                 }
-                Ok(acc.finish())
+                Ok(merge_partials(units))
             })?
         }
-        _ => parallel_morsels(t.row_count(), opts, |offset, len| {
-            let m = t.slice(offset, len)?;
-            accumulate_morsel(&m, offset, predicate, &group_by, &args, aggs.len())
-        })?,
+        _ => match (&pruner, t.synopsis()) {
+            (Some(pruner), Some(synopsis)) => {
+                parallel_morsels(t.row_count(), opts, |offset, len| {
+                    let mut stats = ScanStats::default();
+                    let chunks = pruner.plan_range(
+                        synopsis,
+                        pruner.grid(synopsis),
+                        offset,
+                        len,
+                        &mut stats,
+                    );
+                    profile_zones(opts.profile.as_ref(), &chunks);
+                    // One shared accumulator for every surviving chunk,
+                    // so the add order matches an unchunked pass over
+                    // this morsel exactly (see [`MorselAccumulator`]).
+                    let mut acc = MorselAccumulator::new(&group_by, &args, aggs.len());
+                    for (o, l, d) in chunks {
+                        let pred = match d {
+                            ZoneDecision::Skip(_) => continue,
+                            ZoneDecision::AcceptAll => None,
+                            ZoneDecision::Eval => predicate,
+                        };
+                        acc.accumulate(&t.slice(o, l)?, o, pred)?;
+                    }
+                    if let Some(c) = &opts.stats {
+                        c.add(&stats);
+                    }
+                    Ok(acc.finish())
+                })?
+            }
+            _ => parallel_morsels(t.row_count(), opts, |offset, len| {
+                let m = t.slice(offset, len)?;
+                accumulate_morsel(&m, offset, predicate, &group_by, &args, aggs.len())
+            })?,
+        },
     };
     assemble_aggregate(t, &group_by, aggs, merge_partials(parts))
 }
@@ -1701,6 +1998,99 @@ mod pruning_exec_tests {
             summary[0].field("rows_admitted").and_then(FieldValue::as_u64),
             Some(512)
         );
+    }
+
+    #[test]
+    fn unfiltered_aggregates_answer_from_the_synopsis_without_io() {
+        let c = zoned_catalog();
+        let sql = "SELECT COUNT(*) AS n, COUNT(v) AS nv, SUM(v) AS s, AVG(v) AS a, \
+                   MIN(v) AS lo, MAX(v) AS hi, SUM(k) AS sk FROM z";
+        let (pushed, got) = rows(sql, &ExecOptions::default(), &c);
+        let (baseline, want) = rows(sql, &ExecOptions::unpruned(), &c);
+        assert_eq!(got, want, "pushed answers must be bit-identical");
+        // Every one of the 8 zones substitutes its materialized
+        // partial: no pages are planned, let alone read.
+        assert_eq!(pushed.scan_stats.zones_agg_synopsis, 8);
+        assert_eq!(pushed.scan_stats.pages_total, 0);
+        assert_eq!(baseline.scan_stats.zones_agg_synopsis, 0);
+    }
+
+    #[test]
+    fn range_filter_pushes_interior_zones_and_scans_none() {
+        let c = zoned_catalog();
+        // k is strictly increasing: zones 2–3 satisfy the whole
+        // conjunction by their bounds alone (interval proof), the rest
+        // are refuted. No Eval zones remain.
+        let sql = "SELECT COUNT(*) AS n, SUM(v) AS s FROM z WHERE k >= 128 AND k < 256";
+        let (pushed, got) = rows(sql, &ExecOptions::default(), &c);
+        let (_, want) = rows(sql, &ExecOptions::unpruned(), &c);
+        assert_eq!(got, want);
+        assert_eq!(pushed.scan_stats.zones_agg_synopsis, 2);
+        assert_eq!(pushed.scan_stats.pages_pruned_zonemap, 6);
+    }
+
+    #[test]
+    fn pushdown_is_bit_identical_across_threads_and_morsel_sizes() {
+        let c = zoned_catalog();
+        // v's sums are float-inexact (i/3.0), so any merge-order drift
+        // between the pushed and scanned paths would show in the bits.
+        let sql = "SELECT SUM(v) AS s, AVG(v) AS a, MIN(v) AS lo, MAX(v) AS hi, \
+                   SUM(k) AS sk FROM z";
+        // Pushed == scanned at every configuration, including morsel
+        // sizes that clip units at non-grid boundaries (96).
+        for (threads, morsel_rows) in [(1, 64), (4, 128), (4, 96), (2, 512), (3, 100_000)] {
+            let opts = ExecOptions { threads, morsel_rows, ..ExecOptions::default() };
+            let (_, got) = rows(sql, &opts, &c);
+            let opts = ExecOptions { threads, morsel_rows, ..ExecOptions::unpruned() };
+            let (_, want) = rows(sql, &opts, &c);
+            assert_eq!(got, want, "threads={threads} morsel_rows={morsel_rows}");
+        }
+        // Thread count never changes the merge structure: morsel
+        // partials merge in morsel order whatever ran them.
+        let one = ExecOptions { threads: 1, morsel_rows: 128, ..ExecOptions::default() };
+        let four = ExecOptions { threads: 4, morsel_rows: 128, ..ExecOptions::default() };
+        assert_eq!(rows(sql, &one, &c).1, rows(sql, &four, &c).1);
+    }
+
+    #[test]
+    fn all_null_zones_push_their_counts_but_no_values() {
+        let n = 192usize;
+        let mut b = TableBuilder::new("holes");
+        // Zone 1 (rows 64..128) is entirely NULL.
+        b.add_f64_opt(
+            "v",
+            (0..n).map(|i| if (64..128).contains(&i) { None } else { Some(i as f64) }).collect(),
+        );
+        let mut t = b.build().unwrap();
+        t.rebuild_synopsis_with(64);
+        let c = Catalog::new();
+        c.register(t).unwrap();
+        let sql = "SELECT COUNT(*) AS n, COUNT(v) AS nv, SUM(v) AS s, \
+                   MIN(v) AS lo, MAX(v) AS hi FROM holes";
+        let (pushed, got) = rows(sql, &ExecOptions::default(), &c);
+        let (_, want) = rows(sql, &ExecOptions::unpruned(), &c);
+        assert_eq!(got, want);
+        // The all-NULL zone still answers from its partial (count 0,
+        // no sums): 3 of 3 zones pushed, zero pages planned.
+        assert_eq!(pushed.scan_stats.zones_agg_synopsis, 3);
+        assert_eq!(pushed.scan_stats.pages_total, 0);
+        assert_eq!(got[0], "[Int(192), Int(128), Float(12224.0), Float(0.0), Float(191.0)]");
+    }
+
+    #[test]
+    fn grouped_and_expression_aggregates_keep_the_scan_grammar() {
+        let c = zoned_catalog();
+        // GROUP BY and computed arguments are not pushdown-eligible;
+        // they must keep answering correctly through the scan path.
+        for sql in [
+            "SELECT g, SUM(v) AS s FROM z GROUP BY g ORDER BY g",
+            "SELECT SUM(k + 1) AS s FROM z",
+        ] {
+            let (r, got) = rows(sql, &ExecOptions::default(), &c);
+            let (_, want) = rows(sql, &ExecOptions::unpruned(), &c);
+            assert_eq!(got, want, "{sql}");
+            assert_eq!(r.scan_stats.zones_agg_synopsis, 0, "{sql}");
+        }
     }
 
     #[test]

@@ -88,6 +88,28 @@ impl AccessPlan {
     }
 }
 
+/// Plan-time estimate of the zone-aggregate pushdown path: for eligible
+/// global aggregates, zones the pruner accepts wholesale answer from
+/// their materialized [`ZoneAgg`](lawsdb_storage::zonemap::ZoneAgg)
+/// partials (constant work per zone, zero page reads) while residual
+/// `Eval` zones run the fused filter+aggregate kernel.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ZoneAggPath {
+    /// Unit granularity the executor folds at.
+    pub grid: usize,
+    /// Units expected to substitute materialized partials.
+    pub zones_pushed: usize,
+    /// Rows expected to run the fused scan kernel instead.
+    pub rows_fused: usize,
+}
+
+impl ZoneAggPath {
+    /// Compact render appended to the EXPLAIN Aggregate line.
+    fn describe(&self) -> String {
+        format!("zone_agg[push={} fused_rows={}]", self.zones_pushed, self.rows_fused)
+    }
+}
+
 /// One node of the physical plan: the logical operator plus its
 /// estimate, and for filters the chosen conjunct order + access path.
 #[derive(Debug, Clone, PartialEq)]
@@ -147,6 +169,9 @@ pub enum PhysicalNode {
         group_by: Vec<String>,
         /// Aggregates to compute.
         aggs: Vec<AggSpec>,
+        /// Zone-aggregate pushdown path, when the query shape and the
+        /// scanned table's synopsis make one available.
+        zone_agg: Option<ZoneAggPath>,
         /// Estimate.
         est: Estimate,
     },
@@ -292,10 +317,17 @@ impl PhysicalNode {
                 }
                 input.explain_into(out, depth + 1);
             }
-            PhysicalNode::Aggregate { input, group_by, aggs, .. } => {
+            PhysicalNode::Aggregate { input, group_by, aggs, zone_agg, .. } => {
                 let aggs: Vec<String> = aggs.iter().map(|a| a.name.clone()).collect();
+                // The pushdown path is appended to the Aggregate line,
+                // never emitted as its own line: consumers index
+                // EXPLAIN output by line.
+                let push = match zone_agg {
+                    Some(z) => format!(" {}", z.describe()),
+                    None => String::new(),
+                };
                 out.push_str(&format!(
-                    "{pad}Aggregate group_by=[{}] aggs=[{}]{ann}\n",
+                    "{pad}Aggregate group_by=[{}] aggs=[{}]{ann}{push}\n",
                     group_by.join(", "),
                     aggs.join(", ")
                 ));
@@ -430,11 +462,31 @@ fn plan_node(catalog: &Catalog, plan: &LogicalPlan, consts: &CostConstants) -> P
             let ie = i.estimate();
             let rows =
                 if group_by.is_empty() { 1.0 } else { ie.rows.sqrt().ceil().max(1.0) };
-            let cost_us = ie.cost_us + ie.rows * aggs.len().max(1) as f64 * consts.agg_tuple_us;
+            let zone_agg = plan_zone_agg(catalog, &i, group_by, aggs);
+            let n_aggs = aggs.len().max(1) as f64;
+            // Price zone-aggregate vs row-scan per zone: pushed units
+            // cost one constant fold each; only fused-kernel rows pay
+            // per-row aggregation. A bare scan under a fully pushed
+            // aggregate is elided entirely (the paper's zero-IO path),
+            // so its cost drops out; a filtered input keeps its pruned
+            // scan cost since Eval zones still materialize.
+            let cost_us = match (&zone_agg, &i) {
+                (Some(z), PhysicalNode::Scan { .. }) => {
+                    z.zones_pushed as f64 * consts.agg_zone_fold_us
+                        + z.rows_fused as f64 * n_aggs * consts.agg_tuple_us
+                }
+                (Some(z), _) => {
+                    ie.cost_us
+                        + z.zones_pushed as f64 * consts.agg_zone_fold_us
+                        + z.rows_fused as f64 * n_aggs * consts.agg_tuple_us
+                }
+                (None, _) => ie.cost_us + ie.rows * n_aggs * consts.agg_tuple_us,
+            };
             PhysicalNode::Aggregate {
                 input: Box::new(i),
                 group_by: group_by.clone(),
                 aggs: aggs.clone(),
+                zone_agg,
                 est: Estimate { rows, cost_us },
             }
         }
@@ -621,6 +673,48 @@ fn access_plan(
     a
 }
 
+/// Price the zone-aggregate pushdown path for a global aggregate whose
+/// input is a base scan (optionally filtered). Eligibility is decided
+/// by [`crate::exec::agg_pushdown_grid`] — the executor's own rule — so
+/// the planner never advertises a path execution won't take.
+fn plan_zone_agg(
+    catalog: &Catalog,
+    input: &PhysicalNode,
+    group_by: &[String],
+    aggs: &[AggSpec],
+) -> Option<ZoneAggPath> {
+    let (table, predicate, access) = match input {
+        PhysicalNode::Scan { table, .. } => (table, None, None),
+        PhysicalNode::Filter { input, predicate, access, .. } => match &**input {
+            PhysicalNode::Scan { table, .. } => (table, Some(predicate), *access),
+            _ => return None,
+        },
+        _ => return None,
+    };
+    let t = catalog.get(table).ok()?;
+    let grid = crate::exec::agg_pushdown_grid(&t, predicate, group_by, aggs)?;
+    let path = match (predicate, access) {
+        // No filter: every unit answers from its materialized partial.
+        (None, _) => ZoneAggPath {
+            grid,
+            zones_pushed: t.row_count().div_ceil(grid.max(1)),
+            rows_fused: 0,
+        },
+        // Pruned filter: accepted rows push, Eval rows run the fused
+        // kernel, skipped rows vanish.
+        (Some(_), Some(a)) => ZoneAggPath {
+            grid,
+            zones_pushed: a.rows_accept.div_ceil(grid.max(1)),
+            rows_fused: a.rows_eval,
+        },
+        // Unsargable filter: same grammar, but every unit scans.
+        (Some(_), None) => {
+            ZoneAggPath { grid, zones_pushed: 0, rows_fused: t.row_count() }
+        }
+    };
+    Some(path)
+}
+
 /// Left-deep AND chain over `exprs` (len ≥ 1).
 fn and_chain(mut exprs: Vec<ScalarExpr>) -> ScalarExpr {
     let mut it = exprs.drain(..);
@@ -748,6 +842,48 @@ mod tests {
             assert!(line.contains("est_rows="), "line {i} missing estimate: {line}");
             assert!(line.contains("est_cost="), "line {i} missing estimate: {line}");
         }
+    }
+
+    #[test]
+    fn zone_aggregate_path_prices_and_annotates_eligible_aggregates() {
+        let catalog = zoned_catalog();
+        // Unfiltered global aggregate: every zone answers from its
+        // materialized partial, the scan is elided entirely.
+        let plan = physical_for(&catalog, "SELECT COUNT(*), SUM(k) FROM t");
+        let PhysicalNode::Aggregate { zone_agg, est, .. } = &plan.root else {
+            panic!("expected Aggregate root, got {:?}", plan.root);
+        };
+        let z = zone_agg.expect("eligible aggregate gets a zone_agg path");
+        assert_eq!(z.zones_pushed, 8);
+        assert_eq!(z.rows_fused, 0);
+        assert!(plan.explain().contains("zone_agg[push=8 fused_rows=0]"), "{}", plan.explain());
+        // 8 constant-time folds price far below a 512-row scan+agg.
+        let consts = CostConstants::default();
+        assert!(est.cost_us < 512.0 * consts.scan_tuple_us, "cost {}", est.cost_us);
+
+        // Range filter: interior zones push, the boundary zone fuses.
+        let plan = physical_for(&catalog, "SELECT SUM(k) FROM t WHERE k < 100");
+        let PhysicalNode::Aggregate { zone_agg, .. } = &plan.root else {
+            panic!("expected Aggregate root");
+        };
+        let z = zone_agg.expect("filtered aggregate still eligible");
+        assert_eq!(z.zones_pushed, 1, "zone 0 accepted wholesale by k < 100");
+        assert_eq!(z.rows_fused, 64, "zone 1 straddles the bound");
+
+        // GROUP BY keeps the scan grammar: no pushdown advertised.
+        let plan = physical_for(&catalog, "SELECT k, COUNT(*) FROM t GROUP BY k");
+        fn find_agg(n: &PhysicalNode) -> Option<&Option<ZoneAggPath>> {
+            match n {
+                PhysicalNode::Aggregate { zone_agg, .. } => Some(zone_agg),
+                PhysicalNode::Project { input, .. }
+                | PhysicalNode::Sort { input, .. }
+                | PhysicalNode::Limit { input, .. }
+                | PhysicalNode::Distinct { input, .. }
+                | PhysicalNode::Filter { input, .. } => find_agg(input),
+                _ => None,
+            }
+        }
+        assert_eq!(find_agg(&plan.root), Some(&None));
     }
 
     #[test]

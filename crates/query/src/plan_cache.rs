@@ -10,7 +10,9 @@
 //! invalidation signal.
 //!
 //! Hit/miss totals are exported as `lawsdb_query_plan_cache_hit` /
-//! `lawsdb_query_plan_cache_miss` in the metrics registry.
+//! `lawsdb_query_plan_cache_miss`, and every entry dropped before its
+//! natural replacement — stale-epoch eviction on lookup, capacity
+//! pressure on insert — as `lawsdb_query_plan_cache_evictions`.
 
 use crate::physical::PhysicalPlan;
 use crate::sql::SelectStatement;
@@ -41,6 +43,7 @@ pub struct PlanCache {
     capacity: usize,
     hits: Arc<Counter>,
     misses: Arc<Counter>,
+    evictions: Arc<Counter>,
 }
 
 impl PlanCache {
@@ -51,6 +54,7 @@ impl PlanCache {
             capacity: DEFAULT_CAPACITY,
             hits: registry.counter("lawsdb_query_plan_cache_hit"),
             misses: registry.counter("lawsdb_query_plan_cache_miss"),
+            evictions: registry.counter("lawsdb_query_plan_cache_evictions"),
         }
     }
 
@@ -73,6 +77,7 @@ impl PlanCache {
             Some(_) => {
                 guard.remove(key);
                 drop(guard);
+                self.evictions.inc();
                 self.misses.inc();
                 None
             }
@@ -92,9 +97,14 @@ impl PlanCache {
     pub fn put(&self, key: String, epoch: u64, plan: Arc<PhysicalPlan>) {
         let mut guard = self.inner.lock();
         if guard.len() >= self.capacity && !guard.contains_key(&key) {
+            let before = guard.len();
             guard.retain(|_, c| c.epoch == epoch);
             if guard.len() >= self.capacity {
                 guard.clear();
+            }
+            let dropped = (before - guard.len()) as u64;
+            if dropped > 0 {
+                self.evictions.add(dropped);
             }
         }
         guard.insert(key, CachedPlan { epoch, plan });
@@ -123,6 +133,12 @@ impl PlanCache {
     /// Total lookups that had to plan.
     pub fn miss_count(&self) -> u64 {
         self.misses.get()
+    }
+
+    /// Total entries dropped by stale-epoch or capacity eviction
+    /// (explicit `clear()` calls are not counted).
+    pub fn eviction_count(&self) -> u64 {
+        self.evictions.get()
     }
 }
 
@@ -162,6 +178,7 @@ mod tests {
         assert!(cache.is_empty());
         assert_eq!(cache.hit_count(), 1);
         assert_eq!(cache.miss_count(), 1);
+        assert_eq!(cache.eviction_count(), 1, "stale-epoch removal counts as eviction");
     }
 
     #[test]
@@ -186,6 +203,7 @@ mod tests {
         // All epoch-1 entries were dropped to admit the epoch-2 plan.
         assert_eq!(cache.len(), 1);
         assert!(cache.get("new", 2).is_some());
+        assert_eq!(cache.eviction_count(), DEFAULT_CAPACITY as u64);
     }
 
     #[test]
@@ -196,8 +214,10 @@ mod tests {
         cache.put("q".into(), 1, plan);
         cache.get("q", 1);
         cache.get("absent", 1);
+        cache.get("q", 2); // stale epoch: miss + eviction
         let text = registry.snapshot().render_prometheus();
         assert!(text.contains("lawsdb_query_plan_cache_hit 1"), "{text}");
-        assert!(text.contains("lawsdb_query_plan_cache_miss 1"), "{text}");
+        assert!(text.contains("lawsdb_query_plan_cache_miss 2"), "{text}");
+        assert!(text.contains("lawsdb_query_plan_cache_evictions 1"), "{text}");
     }
 }

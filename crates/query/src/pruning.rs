@@ -36,9 +36,15 @@ pub struct ScanStats {
     pub pages_pruned_zonemap: usize,
     /// Zones skipped by model-derived `prediction ± residual` bounds.
     pub pages_pruned_model: usize,
-    /// Zones answered wholesale from the synopsis (constant zones) or a
+    /// Zones answered wholesale from the synopsis (constant zones, or
+    /// non-constant zones whose interval plus NULL/NaN-freedom
+    /// certificate proves every row satisfies the predicate — see
+    /// [`lawsdb_storage::zonemap::ZoneEntry::satisfies_all`]) or a
     /// compressed-domain kernel, without per-row predicate evaluation.
     pub pages_compressed_eval: usize,
+    /// Zones whose aggregate partials were folded straight out of the
+    /// materialized zone synopsis: zero page reads, zero per-row work.
+    pub zones_agg_synopsis: usize,
 }
 
 impl ScanStats {
@@ -50,6 +56,7 @@ impl ScanStats {
             pages_pruned_zonemap: self.pages_pruned_zonemap - earlier.pages_pruned_zonemap,
             pages_pruned_model: self.pages_pruned_model - earlier.pages_pruned_model,
             pages_compressed_eval: self.pages_compressed_eval - earlier.pages_compressed_eval,
+            zones_agg_synopsis: self.zones_agg_synopsis - earlier.zones_agg_synopsis,
         }
     }
 
@@ -76,6 +83,7 @@ pub struct ScanStatsCollector {
     zonemap: Arc<Counter>,
     model: Arc<Counter>,
     compressed: Arc<Counter>,
+    agg_synopsis: Arc<Counter>,
 }
 
 impl Default for ScanStatsCollector {
@@ -93,6 +101,7 @@ impl ScanStatsCollector {
             zonemap: registry.counter("lawsdb_query_pages_pruned_zonemap"),
             model: registry.counter("lawsdb_query_pages_pruned_model"),
             compressed: registry.counter("lawsdb_query_pages_compressed_eval"),
+            agg_synopsis: registry.counter("lawsdb_query_zones_agg_synopsis"),
         }
     }
 
@@ -102,6 +111,7 @@ impl ScanStatsCollector {
         self.zonemap.add(s.pages_pruned_zonemap as u64);
         self.model.add(s.pages_pruned_model as u64);
         self.compressed.add(s.pages_compressed_eval as u64);
+        self.agg_synopsis.add(s.zones_agg_synopsis as u64);
     }
 
     /// Current totals.
@@ -111,6 +121,7 @@ impl ScanStatsCollector {
             pages_pruned_zonemap: self.zonemap.get() as usize,
             pages_pruned_model: self.model.get() as usize,
             pages_compressed_eval: self.compressed.get() as usize,
+            zones_agg_synopsis: self.agg_synopsis.get() as usize,
         }
     }
 }
@@ -165,8 +176,13 @@ fn flip(op: PredOp) -> PredOp {
 pub enum ZoneDecision {
     /// Some conjunct is unsatisfiable over the zone: skip it entirely.
     Skip(ZoneSource),
-    /// Every conjunct holds for every row (constant zones, `exact`
-    /// predicates only): take all rows without evaluating.
+    /// Every conjunct provably holds for every row (`exact` predicates
+    /// only): constant zones decide with one comparison, and
+    /// non-constant data zones qualify when their interval plus the
+    /// aggregate synopsis' NULL/NaN-freedom certificate proves
+    /// whole-zone satisfaction. Take all rows without evaluating —
+    /// and aggregate queries fold such zones straight from their
+    /// materialized partials, reading nothing at all.
     AcceptAll,
     /// Bounds are inconclusive: evaluate the predicate per row.
     Eval,
@@ -216,6 +232,7 @@ impl PruningPredicate {
                     !zones.is_empty()
                         && zones.clone().all(|zi| {
                             z.entries[zi].decides_all(c.op, c.rhs) == Some(true)
+                                || z.entries[zi].satisfies_all(c.op, c.rhs)
                         })
                 })
             });
@@ -425,6 +442,7 @@ mod tests {
                         pages_pruned_zonemap: 3,
                         pages_pruned_model: 2,
                         pages_compressed_eval: 1,
+                        zones_agg_synopsis: 5,
                     })
                 });
             }
@@ -433,5 +451,30 @@ mod tests {
         assert_eq!(snap.pages_total, 40);
         assert_eq!(snap.pages_pruned(), 20);
         assert_eq!(snap.pages_compressed_eval, 4);
+        assert_eq!(snap.zones_agg_synopsis, 20);
+    }
+
+    #[test]
+    fn interval_proofs_accept_non_constant_zones() {
+        // Zone 0 holds 1..=4, zone 1 holds 5..=8 — neither constant.
+        let col = Column::from_i64(vec![1, 2, 3, 4, 5, 6, 7, 8]);
+        let mut syn = TableSynopsis::new();
+        syn.insert("a", ColumnZones::build(&col, 4).unwrap());
+        // a >= 5: zone 1's min proves every row qualifies.
+        let p = PruningPredicate::extract(&cmp(CmpOp::Ge, "a", 5.0)).unwrap();
+        assert_eq!(p.decide(&syn, 4, 4), ZoneDecision::AcceptAll);
+        assert_eq!(p.decide(&syn, 0, 4), ZoneDecision::Skip(ZoneSource::Data));
+        // a >= 3 splits zone 0: bounds can't certify, so per-row eval.
+        let p2 = PruningPredicate::extract(&cmp(CmpOp::Ge, "a", 3.0)).unwrap();
+        assert_eq!(p2.decide(&syn, 0, 4), ZoneDecision::Eval);
+        // A NULL poisons the certificate: the NULL row fails `>=`.
+        let nullable = Column::from_i64_opt(vec![Some(5), Some(6), None, Some(8)]);
+        let mut syn2 = TableSynopsis::new();
+        syn2.insert("a", ColumnZones::build(&nullable, 4).unwrap());
+        assert_eq!(p.decide(&syn2, 0, 4), ZoneDecision::Eval);
+        // Inexact predicates (OR residue) never accept wholesale.
+        let mut inexact = p.clone();
+        inexact.exact = false;
+        assert_eq!(inexact.decide(&syn, 4, 4), ZoneDecision::Eval);
     }
 }

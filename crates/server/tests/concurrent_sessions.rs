@@ -325,3 +325,31 @@ fn tcp_transport_serves_the_same_protocol() {
     client.close().unwrap();
     handle.shutdown();
 }
+
+#[test]
+fn stats_exposition_carries_pushdown_and_plan_cache_counters() {
+    use lawsdb_server::StatsFormat;
+    let server = test_server(AdmissionConfig::default());
+    let mut c = Client::connect(server.connect()).unwrap();
+    // An unfiltered global aggregate over data zones takes the
+    // zone-synopsis path (`intensity` would not: model capture replaced
+    // its zones); running it twice exercises the plan cache too.
+    c.query_exact("SELECT COUNT(v), SUM(v) FROM plain").unwrap();
+    c.query_exact("SELECT COUNT(v), SUM(v) FROM plain").unwrap();
+    let text = c.stats(StatsFormat::Prometheus).unwrap();
+    let value = |name: &str| -> u64 {
+        text.lines()
+            .find(|l| l.starts_with(name))
+            .unwrap_or_else(|| panic!("{name} missing from exposition:\n{text}"))
+            .split_whitespace()
+            .nth(1)
+            .unwrap()
+            .parse()
+            .unwrap()
+    };
+    assert!(value("lawsdb_query_zones_agg_synopsis") > 0);
+    assert!(value("lawsdb_query_plan_cache_hit") >= 1);
+    // Present (and zero) until something actually evicts.
+    assert_eq!(value("lawsdb_query_plan_cache_evictions"), 0);
+    c.close().unwrap();
+}

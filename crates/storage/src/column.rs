@@ -26,24 +26,38 @@ pub struct NumericAggState {
 
 impl NumericAggState {
     /// Fold one value in.
+    ///
+    /// Min/max use keep-first strict comparisons (`v < min` / `v > max`)
+    /// rather than `f64::min`/`f64::max`: on a `-0.0`/`+0.0` tie the
+    /// first value seen wins, which is the exact behavior of the
+    /// executor's accumulator and the zone-map build fold — the three
+    /// must agree bit-for-bit for aggregate pushdown to substitute one
+    /// for another.
     #[inline]
     pub fn update(&mut self, v: f64) {
         self.count += 1;
         self.sum += v;
-        self.min = Some(self.min.map_or(v, |m| m.min(v)));
-        self.max = Some(self.max.map_or(v, |m| m.max(v)));
+        match self.min {
+            Some(m) if !(v < m) => {}
+            _ => self.min = Some(v),
+        }
+        match self.max {
+            Some(m) if !(v > m) => {}
+            _ => self.max = Some(v),
+        }
     }
 
-    /// Combine with the state of a disjoint row range.
+    /// Combine with the state of a *later*, disjoint row range (the
+    /// earlier side's bound wins ties, keeping row-order semantics).
     pub fn merge(&mut self, other: &NumericAggState) {
         self.count += other.count;
         self.sum += other.sum;
         self.min = match (self.min, other.min) {
-            (Some(a), Some(b)) => Some(a.min(b)),
+            (Some(a), Some(b)) => Some(if b < a { b } else { a }),
             (a, b) => a.or(b),
         };
         self.max = match (self.max, other.max) {
-            (Some(a), Some(b)) => Some(a.max(b)),
+            (Some(a), Some(b)) => Some(if b > a { b } else { a }),
             (a, b) => a.or(b),
         };
     }

@@ -25,7 +25,21 @@
 //! *true* for a NaN or NULL operand (three-valued logic evaluates it
 //! unknown, and filters only keep true rows). A zone containing only
 //! NULLs/NaNs has the empty interval `(+inf, -inf)` and prunes against
-//! every comparison.
+//! every comparison. Note the bounds alone therefore cannot prove a
+//! zone satisfies a predicate *for every row*: a NaN row hides outside
+//! `[min, max]` yet fails the comparison. Whole-zone acceptance
+//! ([`ZoneEntry::satisfies_all`]) additionally needs the aggregate
+//! synopsis to certify the zone is NaN-free.
+//!
+//! Data zones also carry a per-zone **aggregate synopsis**
+//! ([`ZoneAgg`]): the count of aggregate-visible values and their
+//! in-row-order f64 (and, for integer sources, exact i64) sums. The
+//! same exclusion rule applies — NULL rows and NaN values are invisible
+//! to SQL aggregates (the expression layer maps NaN to NULL) — so an
+//! accepted zone can contribute COUNT/SUM/AVG/MIN/MAX partials with
+//! zero IO and zero per-row work. An all-NULL/NaN zone keeps its count
+//! (zero) but carries no sums, and still aggregates correctly: it
+//! contributes nothing, exactly like the scan would.
 
 use crate::column::Column;
 use crate::error::{Result, StorageError};
@@ -107,10 +121,56 @@ impl PredOp {
 /// statistics.
 const CONTINUOUS_EQ_SELECTIVITY: f64 = 0.05;
 
+/// Per-zone aggregate synopsis: materialized partials for the
+/// aggregate pushdown path.
+///
+/// `count` is the number of *aggregate-visible* values in the zone —
+/// rows that are neither NULL nor NaN, mirroring the executor's
+/// semantics where the expression layer maps NaN to NULL and SQL
+/// aggregates ignore NULL. Together with [`ZoneEntry::rows`] and
+/// [`ZoneEntry::null_count`] this gives the full count / non-null
+/// count / visible-count triple.
+///
+/// `sum_f64` is the f64 sum folded **in row order** starting from
+/// `0.0` — the exact order (and therefore the exact bits) a scan-time
+/// accumulator produces over the same zone, which is what keeps pushed
+/// answers bit-identical to full scans. `sum_i64` is the wrapping
+/// exact integer sum for integer-valued sources (Int64 and Bool 0/1
+/// columns); it is not subject to f64 rounding and serves consumers
+/// that want exactness over bit-replay. Invariant: when `count == 0`
+/// (an all-NULL/NaN zone) both sums are absent — the count is still
+/// present, and aggregation stays correct because such a zone
+/// contributes nothing, exactly like the scan would.
+#[derive(Debug, Clone, Copy)]
+pub struct ZoneAgg {
+    /// Aggregate-visible values (non-NULL, non-NaN) folded into sums.
+    pub count: u32,
+    /// Row-order f64 sum of visible values; `None` when `count == 0`.
+    /// May be non-finite (overflow to ±inf, or NaN via `inf + -inf`)
+    /// even though the inputs never are.
+    pub sum_f64: Option<f64>,
+    /// Wrapping i64 sum for integer-valued sources; `None` for float
+    /// columns or when `count == 0`.
+    pub sum_i64: Option<i64>,
+}
+
+impl PartialEq for ZoneAgg {
+    fn eq(&self, other: &ZoneAgg) -> bool {
+        // Sums compare by bits: the whole point of the row-order fold
+        // is bit-level reproducibility (and NaN sums must round-trip).
+        self.count == other.count
+            && self.sum_f64.map(f64::to_bits) == other.sum_f64.map(f64::to_bits)
+            && self.sum_i64 == other.sum_i64
+    }
+}
+
 /// Synopsis of one zone of one column.
 ///
 /// `min > max` encodes "no bounded values" (all rows NULL/NaN, or an
-/// empty zone). `min`/`max` are never NaN.
+/// empty zone). `min`/`max` are never NaN. Because NULL and NaN rows
+/// are *excluded* from the bounds, `[min, max]` refutes predicates
+/// soundly but cannot by itself certify that every row satisfies one —
+/// see [`ZoneEntry::satisfies_all`] for the certified accept path.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ZoneEntry {
     /// Rows in this zone (the final zone of a column may be short).
@@ -125,6 +185,10 @@ pub struct ZoneEntry {
     /// Constant zones admit whole-zone predicate evaluation: one
     /// comparison decides all rows.
     pub constant: bool,
+    /// Materialized aggregate partials. `Some` for exact data zones
+    /// built by the current write path; `None` for model zones (no
+    /// exact values to sum) and synopses persisted before format v2.
+    pub agg: Option<ZoneAgg>,
 }
 
 impl ZoneEntry {
@@ -136,13 +200,15 @@ impl ZoneEntry {
             min: f64::INFINITY,
             max: f64::NEG_INFINITY,
             constant: false,
+            agg: None,
         }
     }
 
     /// A zone whose rows are only known to lie in `[lo, hi]` (model
-    /// bounds; unknown null structure, so never constant).
+    /// bounds; unknown null structure, so never constant and never
+    /// carrying aggregate partials).
     pub fn bounded(rows: u32, lo: f64, hi: f64) -> ZoneEntry {
-        ZoneEntry { rows, null_count: 0, min: lo, max: hi, constant: false }
+        ZoneEntry { rows, null_count: 0, min: lo, max: hi, constant: false, agg: None }
     }
 
     /// True when the zone holds at least one bounded value.
@@ -179,6 +245,42 @@ impl ZoneEntry {
             Some(op.eval(self.min, rhs))
         } else {
             None
+        }
+    }
+
+    /// Does *every* row of this zone satisfy `value <op> rhs`?
+    ///
+    /// `true` is a proof that the zone can be accepted wholesale (the
+    /// interval analogue of `decides_all(..) == Some(true)`, also valid
+    /// for non-constant zones); `false` only means "cannot certify".
+    ///
+    /// The certificate needs more than the bounds: NULL rows and NaN
+    /// values are excluded from `[min, max]` yet fail every comparison,
+    /// so the zone must be proven free of both. `null_count == 0` rules
+    /// out NULLs; NaN-freedom comes from the aggregate synopsis
+    /// (`agg.count` counts non-NULL *non-NaN* values, so it equals
+    /// `rows` exactly when no NaN hides outside the bounds) or from the
+    /// `constant` flag, whose construction already excludes NaN. Model
+    /// zones carry neither certificate (`bounded()` claims zero nulls
+    /// without knowing the null structure) and are never accepted.
+    pub fn satisfies_all(&self, op: PredOp, rhs: f64) -> bool {
+        if rhs.is_nan() || self.rows == 0 || self.null_count > 0 || !self.has_values() {
+            return false;
+        }
+        let nan_free = match &self.agg {
+            Some(a) => a.count == self.rows,
+            None => self.constant,
+        };
+        if !nan_free {
+            return false;
+        }
+        match op {
+            PredOp::Lt => self.max < rhs,
+            PredOp::Le => self.max <= rhs,
+            PredOp::Gt => self.min > rhs,
+            PredOp::Ge => self.min >= rhs,
+            PredOp::Eq => self.min == rhs && self.max == rhs,
+            PredOp::Ne => self.max < rhs || self.min > rhs,
         }
     }
 
@@ -269,6 +371,12 @@ impl ColumnZones {
             }
             Column::Str { .. } => return None,
         };
+        // Exact integer view for the wrapping i64 sum; floats have none.
+        let int_at: Option<Box<dyn Fn(usize) -> i64>> = match col {
+            Column::Int64 { data, .. } => Some(Box::new(move |i| data[i])),
+            Column::Bool { data, .. } => Some(Box::new(move |i| data.get(i) as i64)),
+            _ => None,
+        };
         let mut entries = Vec::with_capacity(n.div_ceil(zone_rows).max(1));
         let mut start = 0;
         loop {
@@ -277,6 +385,9 @@ impl ColumnZones {
             let mut max = f64::NEG_INFINITY;
             let mut nulls = 0u32;
             let mut saw_nan = false;
+            let mut count = 0u32;
+            let mut sum_f = 0.0f64;
+            let mut sum_i = 0i64;
             for i in start..end {
                 if !all_valid && !validity.get(i) {
                     nulls += 1;
@@ -284,8 +395,10 @@ impl ColumnZones {
                 }
                 let v = value_at(i);
                 if v.is_nan() {
-                    // NaN never satisfies a comparison; exclude it from
-                    // the bounds but poison the constant flag.
+                    // NaN never satisfies a comparison and is invisible
+                    // to aggregates (the expression layer maps it to
+                    // NULL); exclude it from the bounds and the sums but
+                    // poison the constant flag.
                     saw_nan = true;
                     continue;
                 }
@@ -295,15 +408,28 @@ impl ColumnZones {
                 if v > max {
                     max = v;
                 }
+                // Row-order fold from 0.0: bitwise the same sum a
+                // scan-time accumulator computes over this zone.
+                count += 1;
+                sum_f += v;
+                if let Some(ia) = &int_at {
+                    sum_i = sum_i.wrapping_add(ia(i));
+                }
             }
             // Constant ⇔ every row is valid, non-NaN, and equal.
             let constant = end > start && nulls == 0 && !saw_nan && min == max;
+            let agg = ZoneAgg {
+                count,
+                sum_f64: (count > 0).then_some(sum_f),
+                sum_i64: (count > 0 && int_at.is_some()).then_some(sum_i),
+            };
             entries.push(ZoneEntry {
                 rows: (end - start) as u32,
                 null_count: nulls,
                 min,
                 max,
                 constant,
+                agg: Some(agg),
             });
             start = end;
             if start >= n {
@@ -448,10 +574,15 @@ impl TableSynopsis {
     }
 
     /// Serialize for persistence alongside the paged table.
+    ///
+    /// Format v2: the 25-byte fixed entry of v1 (`rows`, `null_count`,
+    /// `min`, `max`, `constant`) followed by an aggregate-synopsis tag:
+    /// `0` = none, `1` = count only (all-NULL/NaN zone: sums absent),
+    /// `2` = count + f64 sum, `3` = count + f64 + i64 sums.
     pub fn to_bytes(&self) -> Vec<u8> {
         let mut buf = BytesMut::new();
         buf.put_slice(b"ZMAP");
-        buf.put_u8(1); // version
+        buf.put_u8(2); // version
         buf.put_u32_le(self.columns.len() as u32);
         for (name, zones) in &self.columns {
             buf.put_u32_le(name.len() as u32);
@@ -468,12 +599,37 @@ impl TableSynopsis {
                 buf.put_f64_le(e.min);
                 buf.put_f64_le(e.max);
                 buf.put_u8(e.constant as u8);
+                match &e.agg {
+                    None => buf.put_u8(0),
+                    Some(a) => {
+                        match (a.sum_f64, a.sum_i64) {
+                            (None, _) => {
+                                buf.put_u8(1);
+                                buf.put_u32_le(a.count);
+                            }
+                            (Some(f), None) => {
+                                buf.put_u8(2);
+                                buf.put_u32_le(a.count);
+                                buf.put_f64_le(f);
+                            }
+                            (Some(f), Some(i)) => {
+                                buf.put_u8(3);
+                                buf.put_u32_le(a.count);
+                                buf.put_f64_le(f);
+                                buf.put_i64_le(i);
+                            }
+                        };
+                    }
+                }
             }
         }
         buf.to_vec()
     }
 
-    /// Deserialize; corruption is an error, never a panic.
+    /// Deserialize; corruption is an error, never a panic. Accepts the
+    /// current v2 format and legacy v1 synopses (whose entries carry no
+    /// aggregate partials: `agg` comes back `None` and the read path
+    /// simply scans instead of pushing down).
     pub fn from_bytes(bytes: &[u8]) -> Result<TableSynopsis> {
         let corrupt = |detail: &str| StorageError::CorruptData {
             codec: "zonemap",
@@ -487,7 +643,8 @@ impl TableSynopsis {
             return Err(corrupt("bad magic"));
         }
         buf.advance(4);
-        if buf.get_u8() != 1 {
+        let version = buf.get_u8();
+        if version != 1 && version != 2 {
             return Err(corrupt("unknown version"));
         }
         let ncols = buf.get_u32_le() as usize;
@@ -517,11 +674,11 @@ impl TableSynopsis {
                 return Err(corrupt("zero zone_rows"));
             }
             let nentries = buf.get_u32_le() as usize;
-            if buf.remaining() < nentries * 25 {
-                return Err(corrupt("truncated zone entries"));
-            }
-            let mut entries = Vec::with_capacity(nentries);
+            let mut entries = Vec::with_capacity(nentries.min(4096));
             for _ in 0..nentries {
+                if buf.remaining() < 25 {
+                    return Err(corrupt("truncated zone entries"));
+                }
                 let rows = buf.get_u32_le();
                 let null_count = buf.get_u32_le();
                 let min = buf.get_f64_le();
@@ -537,7 +694,42 @@ impl TableSynopsis {
                 if null_count > rows {
                     return Err(corrupt("null_count exceeds rows"));
                 }
-                entries.push(ZoneEntry { rows, null_count, min, max, constant });
+                let agg = if version >= 2 {
+                    if buf.remaining() < 1 {
+                        return Err(corrupt("truncated agg tag"));
+                    }
+                    let tag = buf.get_u8();
+                    match tag {
+                        0 => None,
+                        1..=3 => {
+                            let need = match tag {
+                                1 => 4,
+                                2 => 12,
+                                _ => 20,
+                            };
+                            if buf.remaining() < need {
+                                return Err(corrupt("truncated agg partials"));
+                            }
+                            let count = buf.get_u32_le();
+                            let sum_f64 = (tag >= 2).then(|| buf.get_f64_le());
+                            let sum_i64 = (tag == 3).then(|| buf.get_i64_le());
+                            if tag == 1 && count > 0 {
+                                return Err(corrupt("agg count without sums"));
+                            }
+                            if tag >= 2 && count == 0 {
+                                return Err(corrupt("agg sums without count"));
+                            }
+                            if count > rows - null_count {
+                                return Err(corrupt("agg count exceeds valid rows"));
+                            }
+                            Some(ZoneAgg { count, sum_f64, sum_i64 })
+                        }
+                        _ => return Err(corrupt("bad agg tag")),
+                    }
+                } else {
+                    None
+                };
+                entries.push(ZoneEntry { rows, null_count, min, max, constant, agg });
             }
             columns.insert(name, ColumnZones { source, zone_rows, entries });
         }
@@ -612,7 +804,7 @@ mod tests {
 
     #[test]
     fn may_match_interval_logic() {
-        let e = ZoneEntry { rows: 4, null_count: 0, min: 10.0, max: 20.0, constant: false };
+        let e = ZoneEntry { rows: 4, null_count: 0, min: 10.0, max: 20.0, constant: false, agg: None };
         assert!(!e.may_match(PredOp::Lt, 10.0));
         assert!(e.may_match(PredOp::Le, 10.0));
         assert!(e.may_match(PredOp::Lt, 10.5));
@@ -624,7 +816,7 @@ mod tests {
         // NaN literal: no row can satisfy any comparison against it.
         assert!(!e.may_match(PredOp::Lt, f64::NAN));
         // Constant zone and != its value: provably empty.
-        let k = ZoneEntry { rows: 4, null_count: 0, min: 3.0, max: 3.0, constant: true };
+        let k = ZoneEntry { rows: 4, null_count: 0, min: 3.0, max: 3.0, constant: true, agg: None };
         assert!(!k.may_match(PredOp::Ne, 3.0));
         assert!(k.may_match(PredOp::Ne, 4.0));
     }
@@ -712,7 +904,7 @@ mod tests {
 
     #[test]
     fn selectivity_interpolates_and_respects_proofs() {
-        let e = ZoneEntry { rows: 100, null_count: 0, min: 0.0, max: 100.0, constant: false };
+        let e = ZoneEntry { rows: 100, null_count: 0, min: 0.0, max: 100.0, constant: false, agg: None };
         // Hard refutation → exactly zero.
         assert_eq!(e.selectivity(PredOp::Gt, 200.0), 0.0);
         // Linear interpolation on ranges.
@@ -725,15 +917,15 @@ mod tests {
         assert!(eq > 0.0 && eq < 0.05, "{eq}");
         // On a fractional-width (continuous) domain the integer
         // heuristic would claim ~0.94; the default kicks in instead.
-        let f = ZoneEntry { rows: 100, null_count: 0, min: 0.12, max: 0.18, constant: false };
+        let f = ZoneEntry { rows: 100, null_count: 0, min: 0.12, max: 0.18, constant: false, agg: None };
         assert_eq!(f.selectivity(PredOp::Eq, 0.15), 0.05);
         assert_eq!(f.selectivity(PredOp::Ne, 0.15), 0.95);
         // Constant zones decide exactly.
-        let k = ZoneEntry { rows: 10, null_count: 0, min: 7.0, max: 7.0, constant: true };
+        let k = ZoneEntry { rows: 10, null_count: 0, min: 7.0, max: 7.0, constant: true, agg: None };
         assert_eq!(k.selectivity(PredOp::Eq, 7.0), 1.0);
         assert_eq!(k.selectivity(PredOp::Eq, 8.0), 0.0);
         // NULLs scale the estimate down.
-        let h = ZoneEntry { rows: 10, null_count: 5, min: 0.0, max: 10.0, constant: false };
+        let h = ZoneEntry { rows: 10, null_count: 5, min: 0.0, max: 10.0, constant: false, agg: None };
         assert!(h.selectivity(PredOp::Ge, 0.0) <= 0.5 + 1e-9);
     }
 
@@ -759,5 +951,186 @@ mod tests {
         assert_eq!(z.entries.len(), 1);
         assert!(!z.entries[0].has_values());
         assert_eq!(z.row_count(), 0);
+    }
+
+    #[test]
+    fn build_materializes_row_order_aggregate_partials() {
+        let c = Column::from_i64(vec![1, 2, 3, 4, 10, 20]);
+        let z = zones(&c, 4);
+        let a0 = z.entries[0].agg.unwrap();
+        assert_eq!((a0.count, a0.sum_f64, a0.sum_i64), (4, Some(10.0), Some(10)));
+        let a1 = z.entries[1].agg.unwrap();
+        assert_eq!((a1.count, a1.sum_f64, a1.sum_i64), (2, Some(30.0), Some(30)));
+        // Floats carry no i64 sum.
+        let f = zones(&Column::from_f64(vec![0.5, 1.5]), 4);
+        let af = f.entries[0].agg.unwrap();
+        assert_eq!((af.count, af.sum_f64, af.sum_i64), (2, Some(2.0), None));
+        // Bools sum as 0/1 with an exact integer view.
+        let b = zones(&Column::from_bool(&[true, false, true]), 4);
+        let ab = b.entries[0].agg.unwrap();
+        assert_eq!((ab.count, ab.sum_f64, ab.sum_i64), (3, Some(2.0), Some(2)));
+    }
+
+    #[test]
+    fn agg_excludes_nulls_and_nans_like_the_executor() {
+        // NaN is aggregate-invisible (the expression layer maps it to
+        // NULL), so the visible count differs from rows - null_count.
+        let c = Column::from_f64_opt(vec![Some(1.0), None, Some(f64::NAN), Some(-2.0)]);
+        let z = zones(&c, 4);
+        let e = &z.entries[0];
+        let a = e.agg.unwrap();
+        assert_eq!(a.count, 2);
+        assert_eq!(a.sum_f64, Some(-1.0));
+        assert!(a.count < e.rows - e.null_count, "NaN must not count");
+    }
+
+    #[test]
+    fn all_null_zone_keeps_count_but_no_sums() {
+        let c = Column::from_f64_opt(vec![None, None, None]);
+        let z = zones(&c, 4);
+        let e = &z.entries[0];
+        let a = e.agg.unwrap();
+        assert_eq!((a.count, a.sum_f64, a.sum_i64), (0, None, None));
+        // And an all-NaN zone looks the same to aggregates.
+        let n = zones(&Column::from_f64(vec![f64::NAN, f64::NAN]), 4);
+        let an = n.entries[0].agg.unwrap();
+        assert_eq!((an.count, an.sum_f64), (0, None));
+    }
+
+    #[test]
+    fn negative_zero_sums_match_the_accumulator_fold() {
+        // The fold starts from +0.0 exactly like a scan-time
+        // accumulator, so `0.0 + -0.0 = +0.0` applies to the first
+        // value too: a zone of -0.0s sums to +0.0 in both places —
+        // bitwise agreement is what matters, not sign preservation.
+        let z = zones(&Column::from_f64(vec![-0.0, -0.0]), 4);
+        let a = z.entries[0].agg.unwrap();
+        assert_eq!(a.sum_f64.map(f64::to_bits), Some(0.0f64.to_bits()));
+        // Bitwise equality still distinguishes genuinely different sums
+        // (a -0.0 sum can arrive via hand-built synopses).
+        let neg = ZoneAgg { sum_f64: Some(-0.0), ..a };
+        assert_ne!(neg, a);
+        // min/max keep-first folds preserve -0.0 (-0.0 < 0.0 is false,
+        // so the first-seen zero wins) — again matching the scan.
+        let p = zones(&Column::from_f64(vec![0.0, -0.0]), 4);
+        assert_eq!(p.entries[0].min.to_bits(), 0.0f64.to_bits());
+        let q = zones(&Column::from_f64(vec![-0.0, 0.0]), 4);
+        assert_eq!(q.entries[0].min.to_bits(), (-0.0f64).to_bits());
+    }
+
+    #[test]
+    fn integer_sums_wrap_instead_of_truncating() {
+        let c = Column::from_i64(vec![i64::MAX, 1]);
+        let z = zones(&c, 4);
+        let a = z.entries[0].agg.unwrap();
+        assert_eq!(a.sum_i64, Some(i64::MIN));
+        // The f64 fold rounds; the i64 view is the exact complement.
+        assert_eq!(a.sum_f64, Some(i64::MAX as f64 + 1.0));
+    }
+
+    #[test]
+    fn model_zones_carry_no_aggregate_partials() {
+        let z = ColumnZones::from_model_bounds(&[1.0, 2.0], 0.5, 2);
+        assert!(z.entries.iter().all(|e| e.agg.is_none()));
+    }
+
+    #[test]
+    fn satisfies_all_certifies_interval_accepts() {
+        let c = Column::from_i64(vec![10, 11, 12, 13]);
+        let z = zones(&c, 4);
+        let e = &z.entries[0];
+        assert!(e.satisfies_all(PredOp::Ge, 10.0));
+        assert!(e.satisfies_all(PredOp::Lt, 14.0));
+        assert!(e.satisfies_all(PredOp::Ne, 20.0));
+        assert!(!e.satisfies_all(PredOp::Gt, 10.0), "min row fails");
+        assert!(!e.satisfies_all(PredOp::Eq, 10.0), "non-constant");
+        assert!(!e.satisfies_all(PredOp::Ge, f64::NAN));
+    }
+
+    #[test]
+    fn satisfies_all_requires_null_and_nan_freedom() {
+        // One NULL: the NULL row fails every comparison.
+        let with_null = zones(&Column::from_i64_opt(vec![Some(1), None]), 4);
+        assert!(!with_null.entries[0].satisfies_all(PredOp::Ge, 0.0));
+        // One NaN: hides outside the bounds, fails every comparison.
+        let with_nan = zones(&Column::from_f64(vec![1.0, f64::NAN]), 4);
+        assert!(!with_nan.entries[0].satisfies_all(PredOp::Ge, 0.0));
+        // Model zones have no certificate at all.
+        let model = ColumnZones::from_model_bounds(&[5.0, 6.0], 0.0, 2);
+        assert!(!model.entries[0].satisfies_all(PredOp::Ge, 0.0));
+        // Legacy entries without agg: only the constant flag certifies.
+        let legacy = ZoneEntry {
+            rows: 4,
+            null_count: 0,
+            min: 1.0,
+            max: 2.0,
+            constant: false,
+            agg: None,
+        };
+        assert!(!legacy.satisfies_all(PredOp::Ge, 0.0));
+        let konst = ZoneEntry { constant: true, max: 1.0, ..legacy };
+        assert!(konst.satisfies_all(PredOp::Ge, 0.0));
+    }
+
+    #[test]
+    fn v2_roundtrip_preserves_aggregate_partials() {
+        let mut s = TableSynopsis::new();
+        s.insert("i", zones(&Column::from_i64(vec![1, 2, 3, 4, 5]), 2));
+        s.insert("f", zones(&Column::from_f64_opt(vec![Some(-0.0), None, None, None]), 2));
+        s.insert("m", ColumnZones::from_model_bounds(&[1.0, 2.0], 0.25, 2));
+        let back = TableSynopsis::from_bytes(&s.to_bytes()).unwrap();
+        assert_eq!(back, s);
+        // NaN sums (inf + -inf overflow artifacts) round-trip by bits.
+        let mut z = zones(&Column::from_f64(vec![1.0]), 2);
+        z.entries[0].agg = Some(ZoneAgg {
+            count: 1,
+            sum_f64: Some(f64::NAN),
+            sum_i64: None,
+        });
+        let mut s2 = TableSynopsis::new();
+        s2.insert("n", z);
+        let back2 = TableSynopsis::from_bytes(&s2.to_bytes()).unwrap();
+        assert_eq!(back2, s2);
+    }
+
+    #[test]
+    fn legacy_v1_synopses_decode_without_partials() {
+        // Hand-build a v1 image: same layout, no agg tag per entry.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(b"ZMAP");
+        buf.push(1); // version
+        buf.extend_from_slice(&1u32.to_le_bytes()); // one column
+        buf.extend_from_slice(&1u32.to_le_bytes());
+        buf.push(b'a');
+        buf.push(0); // ZoneSource::Data
+        buf.extend_from_slice(&4u64.to_le_bytes()); // zone_rows
+        buf.extend_from_slice(&1u32.to_le_bytes()); // one entry
+        buf.extend_from_slice(&3u32.to_le_bytes()); // rows
+        buf.extend_from_slice(&0u32.to_le_bytes()); // null_count
+        buf.extend_from_slice(&1.0f64.to_le_bytes());
+        buf.extend_from_slice(&2.0f64.to_le_bytes());
+        buf.push(0); // constant
+        let s = TableSynopsis::from_bytes(&buf).unwrap();
+        let e = &s.column("a").unwrap().entries[0];
+        assert_eq!((e.rows, e.min, e.max), (3, 1.0, 2.0));
+        assert!(e.agg.is_none(), "v1 entries carry no partials");
+    }
+
+    #[test]
+    fn inconsistent_agg_partials_are_rejected() {
+        let mut s = TableSynopsis::new();
+        s.insert("a", zones(&Column::from_i64(vec![1, 2]), 4));
+        let good = s.to_bytes();
+        // The entry sits at the end: ...25 fixed bytes, tag, count, sums.
+        // Corrupt the count (4 bytes after the tag) to exceed the rows.
+        let mut bad = good.clone();
+        let count_at = bad.len() - 20; // tag-3 entry tail: count, f64, i64
+        bad[count_at..count_at + 4].copy_from_slice(&99u32.to_le_bytes());
+        assert!(TableSynopsis::from_bytes(&bad).is_err());
+        // An unknown agg tag is corruption, not silence.
+        let mut badtag = good;
+        let tag_at = badtag.len() - 21;
+        badtag[tag_at] = 7;
+        assert!(TableSynopsis::from_bytes(&badtag).is_err());
     }
 }

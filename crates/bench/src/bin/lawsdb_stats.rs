@@ -20,8 +20,10 @@
 //! `LawsDb::stats_json`, `LawsDb::explain`, and
 //! `Session::explain_analyze`.
 
+use lawsdb_cluster::{Cluster, ClusterConfig, PartitionScheme, ReplicaState};
 use lawsdb_core::LawsDb;
 use lawsdb_fit::FitOptions;
+use lawsdb_obs::MetricsRegistry;
 use lawsdb_query::{ExecOptions, ResourceBudget};
 use lawsdb_storage::TableBuilder;
 
@@ -53,6 +55,95 @@ fn warm(db: &LawsDb) {
         "SELECT COUNT(*) AS n, MAX(y) AS hi FROM t WHERE y > 30000",
     ] {
         db.query_resilient(sql).expect("demo workload runs");
+    }
+}
+
+/// The demo cluster: a law-structured table (`intensity = p * nu^alpha`
+/// per source) hash-sharded on `source` across 3 shards × 2 replicas,
+/// with one captured model per shard so total shard loss can degrade.
+/// Walks the failure ladder — healthy, one replica dead (failover),
+/// whole shard dead (model fallback) — then renders per-shard health
+/// and the `lawsdb_cluster_*` metrics.
+fn demo_cluster() {
+    let laws: [(f64, f64); 4] = [(2.0, -0.7), (0.5, -1.2), (1.0, 0.3), (3.0, -0.5)];
+    let nus = [0.12, 0.15, 0.16, 0.18];
+    let mut source = Vec::new();
+    let mut nu = Vec::new();
+    let mut intensity = Vec::new();
+    for (s, &(p, alpha)) in laws.iter().enumerate() {
+        for i in 0..50 {
+            source.push(s as i64);
+            let x: f64 = nus[i % nus.len()];
+            nu.push(x);
+            intensity.push(p * x.powf(alpha));
+        }
+    }
+    let mut b = TableBuilder::new("measurements");
+    b.add_i64("source", source);
+    b.add_f64("nu", nu);
+    b.add_f64("intensity", intensity);
+    let table = b.build().expect("demo table builds");
+
+    let registry = MetricsRegistry::new();
+    let cluster = Cluster::new(
+        &table,
+        ClusterConfig {
+            shards: 3,
+            replicas: 2,
+            scheme: PartitionScheme::Hash { key: "source".to_string() },
+            ..ClusterConfig::default()
+        },
+        &registry,
+    )
+    .expect("demo cluster builds");
+    cluster
+        .capture_models("intensity ~ p * nu ^ alpha", "source", &FitOptions::default(), 1)
+        .expect("perfect power law passes the quality gate");
+
+    let sql = "SELECT source, AVG(intensity) AS m FROM measurements \
+               GROUP BY source ORDER BY source";
+    let opts = ExecOptions { threads: 1, ..ExecOptions::default() };
+    let show = |label: &str, a: &lawsdb_cluster::ClusterAnswer| {
+        println!("-- {label}: {} rows, approximate={}", a.table.row_count(), a.approximate);
+        for d in &a.degraded {
+            println!("   degraded: {}", d.name());
+        }
+    };
+
+    let healthy = cluster.query(sql, &opts).expect("healthy query");
+    show("healthy", &healthy);
+    cluster.kill_replica(0, 0);
+    let failover = cluster.query(sql, &opts).expect("failover query");
+    show("replica 0.0 dead (failover)", &failover);
+    cluster.kill_shard(1);
+    // Twice: the second crossing of `fail_threshold` marks shard 1's
+    // replicas Down, so the health table below shows the transition.
+    cluster.query(sql, &opts).expect("model fallback query");
+    let degraded = cluster.query(sql, &opts).expect("model fallback query");
+    show("shard 1 fully dead (model fallback)", &degraded);
+
+    println!("\nper-shard health:");
+    for s in 0..cluster.config().shards {
+        let states: Vec<String> = (0..cluster.config().replicas)
+            .map(|r| match cluster.replica_state(s, r) {
+                ReplicaState::Up => format!("r{r}=up"),
+                ReplicaState::Down => format!("r{r}=down"),
+            })
+            .collect();
+        println!(
+            "  shard {s}: {} rows, {}/{} replicas up  [{}]",
+            cluster.shard_rows(s),
+            cluster.replicas_up(s),
+            cluster.config().replicas,
+            states.join(" ")
+        );
+    }
+
+    println!("\ncluster metrics:");
+    for line in registry.snapshot().render_prometheus().lines() {
+        if line.starts_with("lawsdb_cluster_") {
+            println!("  {line}");
+        }
     }
 }
 
@@ -98,13 +189,16 @@ fn main() {
                 None => eprintln!("no profile attached"),
             }
         }
+        Some("cluster") => demo_cluster(),
         _ => {
             eprintln!(
-                "usage: lawsdb-stats <prom|json|plan [SQL]|explain [SQL]>\n\
+                "usage: lawsdb-stats <prom|json|plan [SQL]|explain [SQL]|cluster>\n\
                  \x20 prom     render the demo engine's metrics as Prometheus text\n\
                  \x20 json     render the demo engine's metrics as JSON\n\
                  \x20 plan     print one statement's cost-based EXPLAIN (estimates, no run)\n\
-                 \x20 explain  run one statement and print its EXPLAIN ANALYZE tree"
+                 \x20 explain  run one statement and print its EXPLAIN ANALYZE tree\n\
+                 \x20 cluster  walk the demo cluster's failure ladder; print shard health \
+                 and lawsdb_cluster_* metrics"
             );
             std::process::exit(2)
         }

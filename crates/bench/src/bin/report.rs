@@ -207,6 +207,28 @@ fn main() {
                 ));
             }
         }
+        "bench-cluster" => {
+            let (rows, iters) = match scale {
+                Scale::Small => (50_000, 20),
+                Scale::Medium => (200_000, 30),
+                Scale::Paper => (1_000_000, 40),
+            };
+            let r = exp::cluster::run(rows, iters);
+            exp::cluster::print(&r);
+            let json = exp::cluster::to_json(&r);
+            std::fs::write("BENCH_cluster.json", &json)
+                .unwrap_or_else(|e| die(&format!("writing BENCH_cluster.json: {e}")));
+            println!("\nwrote BENCH_cluster.json");
+            // Steady-state failover must be nearly free: once the
+            // health tracker marks a replica Down, selection skips it,
+            // so the half-dead p50 stays within 10% of healthy.
+            if !r.within_failover_gate {
+                die(&format!(
+                    "steady-state failover p50 is {:.3}x the healthy p50 (gate: 1.10x)",
+                    r.worst_overhead
+                ));
+            }
+        }
         "bench-durability" => {
             let scales: &[usize] = match scale {
                 Scale::Small => &[20_000, 100_000],
@@ -239,7 +261,7 @@ fn usage() {
     println!(
         "usage: report [all|table1|figure1|figure2|e4|e5|e6|e7|e8|e9|e10|e11|bench-query|\
          bench-scan-pruning|bench-agg|bench-resilience|bench-durability|bench-obs|\
-         bench-optimizer|bench-server] \
+         bench-optimizer|bench-server|bench-cluster] \
          [--scale small|medium|paper]"
     );
     println!("  bench-query: morsel-executor throughput sweep; writes BENCH_query.json");
@@ -270,6 +292,11 @@ fn usage() {
         "  bench-server: concurrent-session sweep (1/2/4/8 clients) through the wire \
          protocol and admission control; writes BENCH_server.json (fails if the 8-client \
          service p50 exceeds 2x the single-client p50)"
+    );
+    println!(
+        "  bench-cluster: sharded scatter-gather sweep (shards x replicas x failure rate); \
+         writes BENCH_cluster.json (fails if steady-state failover p50 exceeds 1.10x the \
+         healthy p50)"
     );
 }
 

@@ -1,0 +1,258 @@
+//! Sharded scatter-gather under failure: shards × replicas × failure
+//! rate, measuring the query-latency cost of steady-state replica
+//! failover against the healthy path.
+//!
+//! "Steady state" is the operative word: the health tracker marks a
+//! dead replica Down after `fail_threshold` consecutive failures, and
+//! from then on selection skips it outright — so once the tracker has
+//! settled, a query against a half-dead cluster should cost within
+//! **10%** of the healthy path (the gate the `report` binary
+//! enforces). The expensive part of failover — attempting the dead
+//! replica and eating the device error — is paid only during the
+//! detection window, which the warm-up absorbs exactly as a real
+//! workload would.
+
+use lawsdb_cluster::{Cluster, ClusterConfig, PartitionScheme};
+use lawsdb_obs::MetricsRegistry;
+use lawsdb_query::ExecOptions;
+use lawsdb_storage::{Table, TableBuilder};
+use std::time::Instant;
+
+/// The swept query: grouped aggregation over the shard key — the
+/// scatter-gather fast path, where partial-aggregate merging (not raw
+/// row movement) carries the answer.
+pub const SQL: &str =
+    "SELECT g, COUNT(*) AS n, SUM(v) AS s, AVG(v) AS m FROM points GROUP BY g ORDER BY g";
+
+/// One swept configuration.
+#[derive(Debug, Clone)]
+pub struct ClusterPoint {
+    /// Shard count.
+    pub shards: usize,
+    /// Replicas per shard.
+    pub replicas: usize,
+    /// Percent of shards whose replica 0 was killed before measuring.
+    pub failure_pct: u32,
+    /// Query latency p50 / p95 (µs) after the health tracker settled.
+    pub p50_us: u64,
+    /// Latency p95 (µs).
+    pub p95_us: u64,
+    /// Queries per second at steady state.
+    pub qps: f64,
+    /// Failovers recorded during warm-up + measurement.
+    pub failovers: u64,
+}
+
+/// Experiment report.
+#[derive(Debug, Clone)]
+pub struct ClusterReport {
+    /// Base-table rows.
+    pub rows: usize,
+    /// Timed queries per configuration.
+    pub iters: usize,
+    /// Swept points.
+    pub points: Vec<ClusterPoint>,
+    /// Worst `p50(all replica-0 dead) / p50(healthy)` across
+    /// multi-replica configurations.
+    pub worst_overhead: f64,
+    /// The CI gate: steady-state failover within 1.10× of healthy.
+    pub within_failover_gate: bool,
+}
+
+fn dataset(rows: usize) -> Table {
+    let mut state = 0x51ed_270b_a35e_c1f3u64;
+    let mut next = move || {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        (state >> 11) as f64 / (1u64 << 53) as f64
+    };
+    let mut b = TableBuilder::new("points");
+    b.add_i64("g", (0..rows).map(|i| (i % 16) as i64).collect());
+    b.add_f64("v", (0..rows).map(|_| next() * 100.0 - 50.0).collect());
+    b.build().unwrap()
+}
+
+fn measure(cluster: &Cluster, iters: usize) -> (u64, u64, f64) {
+    let opts = ExecOptions { threads: 1, ..ExecOptions::default() };
+    let mut lat = Vec::with_capacity(iters);
+    let start = Instant::now();
+    for _ in 0..iters {
+        let t0 = Instant::now();
+        cluster.query(SQL, &opts).expect("swept query must succeed");
+        lat.push(t0.elapsed().as_micros() as u64);
+    }
+    let wall = start.elapsed().as_secs_f64();
+    lat.sort_unstable();
+    let p50 = lat[lat.len() / 2];
+    let p95 = lat[(lat.len() * 95 / 100).min(lat.len() - 1)];
+    (p50, p95, iters as f64 / wall)
+}
+
+/// The gated comparison, run as an interleaved pair: one healthy
+/// cluster and one with every shard's replica 0 dead, queried in
+/// alternating rounds so environmental drift (CPU frequency, cache
+/// pressure, a noisy CI neighbor) hits both sides equally. Sweeping
+/// them sequentially instead makes the ratio hostage to whichever run
+/// drew the slower minute.
+fn steady_state_overhead(table: &Table, shards: usize, iters: usize) -> f64 {
+    let build = || {
+        let registry = MetricsRegistry::new();
+        Cluster::new(
+            table,
+            ClusterConfig {
+                shards,
+                replicas: 2,
+                scheme: PartitionScheme::Hash { key: "g".to_string() },
+                ..ClusterConfig::default()
+            },
+            &registry,
+        )
+        .expect("cluster build")
+    };
+    let healthy = build();
+    let dead = build();
+    for s in 0..shards {
+        dead.kill_replica(s, 0);
+    }
+    let opts = ExecOptions { threads: 1, ..ExecOptions::default() };
+    for _ in 0..3 {
+        healthy.query(SQL, &opts).expect("warm-up query");
+        dead.query(SQL, &opts).expect("warm-up query");
+    }
+    let mut lat_h = Vec::with_capacity(iters);
+    let mut lat_d = Vec::with_capacity(iters);
+    for _ in 0..iters {
+        let t0 = Instant::now();
+        healthy.query(SQL, &opts).expect("healthy query");
+        lat_h.push(t0.elapsed().as_micros() as u64);
+        let t0 = Instant::now();
+        dead.query(SQL, &opts).expect("failover query");
+        lat_d.push(t0.elapsed().as_micros() as u64);
+    }
+    lat_h.sort_unstable();
+    lat_d.sort_unstable();
+    lat_d[iters / 2] as f64 / (lat_h[iters / 2] as f64).max(1.0)
+}
+
+/// Run the sweep: shards × replicas × failure rate.
+pub fn run(rows: usize, iters: usize) -> ClusterReport {
+    let table = dataset(rows);
+    let mut points = Vec::new();
+    let mut worst = 1.0f64;
+    for &shards in &[2usize, 4] {
+        for &replicas in &[1usize, 2] {
+            for &failure_pct in &[0u32, 50, 100] {
+                // A single-replica shard has nothing to fail over to.
+                if replicas == 1 && failure_pct > 0 {
+                    continue;
+                }
+                let registry = MetricsRegistry::new();
+                let cluster = Cluster::new(
+                    &table,
+                    ClusterConfig {
+                        shards,
+                        replicas,
+                        scheme: PartitionScheme::Hash { key: "g".to_string() },
+                        ..ClusterConfig::default()
+                    },
+                    &registry,
+                )
+                .expect("cluster build");
+                let dead = (shards * failure_pct as usize).div_ceil(100);
+                for s in 0..dead {
+                    cluster.kill_replica(s, 0);
+                }
+                // Warm-up: let the health tracker eat the detection
+                // window (fail → threshold → Down) and the caches fill.
+                let opts = ExecOptions { threads: 1, ..ExecOptions::default() };
+                for _ in 0..3 {
+                    cluster.query(SQL, &opts).expect("warm-up query");
+                }
+                let (p50, p95, qps) = measure(&cluster, iters);
+                let failovers = registry.snapshot().counter("lawsdb_cluster_failovers");
+                points.push(ClusterPoint {
+                    shards,
+                    replicas,
+                    failure_pct,
+                    p50_us: p50,
+                    p95_us: p95,
+                    qps,
+                    failovers,
+                });
+            }
+        }
+    }
+    // The gate: drift-cancelling interleaved comparison per shard count.
+    for &shards in &[2usize, 4] {
+        worst = worst.max(steady_state_overhead(&table, shards, iters));
+    }
+    ClusterReport {
+        rows,
+        iters,
+        points,
+        worst_overhead: worst,
+        within_failover_gate: worst <= 1.10,
+    }
+}
+
+/// Paper-style table.
+pub fn print(r: &ClusterReport) {
+    println!("cluster failover sweep — {} rows, {} timed queries/config", r.rows, r.iters);
+    println!(
+        "{:>7} {:>9} {:>9} {:>10} {:>10} {:>9} {:>10}",
+        "shards", "replicas", "dead%", "p50", "p95", "qps", "failovers"
+    );
+    for p in &r.points {
+        println!(
+            "{:>7} {:>9} {:>9} {:>8}µs {:>8}µs {:>9.0} {:>10}",
+            p.shards, p.replicas, p.failure_pct, p.p50_us, p.p95_us, p.qps, p.failovers
+        );
+    }
+    println!(
+        "worst steady-state failover overhead: {:.3}x — gate (≤ 1.10): {}",
+        r.worst_overhead,
+        if r.within_failover_gate { "PASS" } else { "FAIL" }
+    );
+}
+
+/// Machine-readable export for `BENCH_cluster.json`.
+pub fn to_json(r: &ClusterReport) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"bench\": \"cluster_failover\",\n");
+    out.push_str(&format!("  \"rows\": {},\n", r.rows));
+    out.push_str(&format!("  \"iters\": {},\n", r.iters));
+    out.push_str(&format!("  \"worst_overhead\": {:.3},\n", r.worst_overhead));
+    out.push_str(&format!("  \"within_failover_gate\": {},\n", r.within_failover_gate));
+    out.push_str("  \"results\": [\n");
+    for (i, p) in r.points.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"shards\": {}, \"replicas\": {}, \"failure_pct\": {}, \"p50_us\": {}, \
+             \"p95_us\": {}, \"qps\": {:.0}, \"failovers\": {}}}{}\n",
+            p.shards,
+            p.replicas,
+            p.failure_pct,
+            p.p50_us,
+            p.p95_us,
+            p.qps,
+            p.failovers,
+            if i + 1 == r.points.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_sweep_completes_and_exports() {
+        let r = run(4_000, 5);
+        // 2 shard counts × (1 replica × 1 failure + 2 replicas × 3 failures).
+        assert_eq!(r.points.len(), 8);
+        assert!(r.points.iter().any(|p| p.failure_pct == 100 && p.failovers >= 1));
+        let json = to_json(&r);
+        assert!(json.contains("\"bench\": \"cluster_failover\""));
+        assert!(json.contains("\"within_failover_gate\""));
+    }
+}

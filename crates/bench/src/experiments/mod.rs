@@ -4,6 +4,7 @@
 //! both call `run`.
 
 pub mod agg;
+pub mod cluster;
 pub mod durability;
 pub mod e10_model_change;
 pub mod e11_model_classes;

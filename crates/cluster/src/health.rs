@@ -1,0 +1,136 @@
+//! Deterministic replica health tracking.
+//!
+//! Counter-based, no wall clock: `fail_threshold` consecutive failures
+//! mark a replica `Down`; a `Down` replica is skipped for `probe_after`
+//! subsequent selections and then offered again as a probe (one
+//! in-flight attempt — success restores `Up`, failure re-arms the
+//! skip window). Every transition is a pure function of the observed
+//! success/failure sequence, so crash-matrix runs reproduce the same
+//! failover decisions from the same fault seed.
+
+/// Health state of one replica.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReplicaState {
+    /// Serving.
+    Up,
+    /// Skipped until its probe window elapses.
+    Down,
+}
+
+#[derive(Debug, Clone)]
+struct Slot {
+    state: ReplicaState,
+    consecutive_failures: u32,
+    skips_since_down: u32,
+}
+
+/// Per-(shard, replica) health matrix.
+#[derive(Debug)]
+pub struct HealthTracker {
+    fail_threshold: u32,
+    probe_after: u32,
+    slots: Vec<Vec<Slot>>,
+}
+
+impl HealthTracker {
+    /// A tracker for `shards × replicas`, all `Up`.
+    pub fn new(shards: usize, replicas: usize, fail_threshold: u32, probe_after: u32) -> Self {
+        HealthTracker {
+            fail_threshold: fail_threshold.max(1),
+            probe_after,
+            slots: vec![
+                vec![
+                    Slot {
+                        state: ReplicaState::Up,
+                        consecutive_failures: 0,
+                        skips_since_down: 0,
+                    };
+                    replicas
+                ];
+                shards
+            ],
+        }
+    }
+
+    /// Current state of one replica.
+    pub fn state(&self, shard: usize, replica: usize) -> ReplicaState {
+        self.slots[shard][replica].state
+    }
+
+    /// Replicas of `shard` currently `Up`.
+    pub fn replicas_up(&self, shard: usize) -> usize {
+        self.slots[shard].iter().filter(|s| s.state == ReplicaState::Up).count()
+    }
+
+    /// Should this replica be tried now? `Up` replicas always; `Down`
+    /// replicas only once their probe window has elapsed (calling this
+    /// on a `Down` replica advances the window — selection *is* the
+    /// clock).
+    pub fn try_now(&mut self, shard: usize, replica: usize) -> bool {
+        let slot = &mut self.slots[shard][replica];
+        match slot.state {
+            ReplicaState::Up => true,
+            ReplicaState::Down => {
+                if slot.skips_since_down >= self.probe_after {
+                    true
+                } else {
+                    slot.skips_since_down += 1;
+                    false
+                }
+            }
+        }
+    }
+
+    /// Record a successful operation: back to `Up`, counters cleared.
+    pub fn record_ok(&mut self, shard: usize, replica: usize) {
+        let slot = &mut self.slots[shard][replica];
+        slot.state = ReplicaState::Up;
+        slot.consecutive_failures = 0;
+        slot.skips_since_down = 0;
+    }
+
+    /// Record a failed operation; crossing the consecutive-failure
+    /// threshold marks the replica `Down` and re-arms its probe window.
+    pub fn record_fail(&mut self, shard: usize, replica: usize) {
+        let slot = &mut self.slots[shard][replica];
+        slot.consecutive_failures += 1;
+        if slot.consecutive_failures >= self.fail_threshold {
+            slot.state = ReplicaState::Down;
+            slot.skips_since_down = 0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn threshold_downs_and_probe_recovers() {
+        let mut h = HealthTracker::new(1, 2, 3, 2);
+        assert_eq!(h.state(0, 0), ReplicaState::Up);
+        h.record_fail(0, 0);
+        h.record_fail(0, 0);
+        assert_eq!(h.state(0, 0), ReplicaState::Up, "below threshold");
+        h.record_fail(0, 0);
+        assert_eq!(h.state(0, 0), ReplicaState::Down);
+        // Skipped twice, then probed.
+        assert!(!h.try_now(0, 0));
+        assert!(!h.try_now(0, 0));
+        assert!(h.try_now(0, 0), "probe window elapsed");
+        h.record_ok(0, 0);
+        assert_eq!(h.state(0, 0), ReplicaState::Up);
+        assert_eq!(h.replicas_up(0), 2);
+    }
+
+    #[test]
+    fn failed_probe_rearms_the_window() {
+        let mut h = HealthTracker::new(1, 1, 1, 1);
+        h.record_fail(0, 0);
+        assert_eq!(h.state(0, 0), ReplicaState::Down);
+        assert!(!h.try_now(0, 0));
+        assert!(h.try_now(0, 0));
+        h.record_fail(0, 0);
+        assert!(!h.try_now(0, 0), "failed probe re-arms the skip window");
+    }
+}

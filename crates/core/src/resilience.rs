@@ -76,6 +76,15 @@ pub enum DegradeReason {
         /// The storage error, stringified.
         detail: String,
     },
+    /// Every replica of a cluster shard was down; the shard's slice of
+    /// the answer was reconstructed from its captured model instead of
+    /// its base rows.
+    ShardModelFallback {
+        /// The shard whose replicas were all unavailable.
+        shard: usize,
+        /// ±bound on the reconstructed values, when the model has one.
+        error_bound: Option<f64>,
+    },
 }
 
 impl DegradeReason {
@@ -87,6 +96,7 @@ impl DegradeReason {
             DegradeReason::ResidualDrift { .. } => "residual_drift",
             DegradeReason::ColumnReconstructed { .. } => "column_reconstructed",
             DegradeReason::ColumnLost { .. } => "column_lost",
+            DegradeReason::ShardModelFallback { .. } => "shard_model_fallback",
         }
     }
 }
@@ -121,6 +131,14 @@ impl std::fmt::Display for DegradeReason {
             DegradeReason::ColumnLost { column, detail } => {
                 write!(f, "column {column:?} failed verification ({detail}) and no model covers it; dropped")
             }
+            DegradeReason::ShardModelFallback { shard, error_bound } => write!(
+                f,
+                "all replicas of shard {shard} down; answered from its captured model{}",
+                match error_bound {
+                    Some(b) => format!(" (±{b:e})"),
+                    None => String::new(),
+                }
+            ),
         }
     }
 }
@@ -204,6 +222,9 @@ impl HealthCounters {
                 self.columns_reconstructed.inc();
             }
             DegradeReason::ColumnLost { .. } => self.columns_lost.inc(),
+            // Counted by the cluster's own lawsdb_cluster_model_fallbacks
+            // metric; here it only contributes to exact_fallbacks.
+            DegradeReason::ShardModelFallback { .. } => {}
         }
     }
 

@@ -367,6 +367,12 @@ impl<D: BlockDevice> DurableDb<D> {
     pub fn into_device(self) -> D {
         self.store.into_device()
     }
+
+    /// Borrow the underlying device (fault-injection harnesses count
+    /// device operations through this).
+    pub fn device(&self) -> &D {
+        self.store.device()
+    }
 }
 
 #[cfg(test)]

@@ -493,7 +493,7 @@ fn parallel_eval_batch(e: &ScalarExpr, t: &Table, opts: &ExecOptions) -> Result<
 /// Resolve possibly-qualified column names against a schema: exact
 /// match first, then `qualifier.name` → `name`, then `name` → any
 /// single `x.name`.
-fn normalize_name(schema: &Schema, name: &str) -> Result<String> {
+pub(crate) fn normalize_name(schema: &Schema, name: &str) -> Result<String> {
     if schema.index_of(name).is_some() {
         return Ok(name.to_string());
     }
@@ -514,7 +514,7 @@ fn normalize_name(schema: &Schema, name: &str) -> Result<String> {
     }
 }
 
-fn normalize_expr(expr: &ScalarExpr, schema: &Schema) -> Result<ScalarExpr> {
+pub(crate) fn normalize_expr(expr: &ScalarExpr, schema: &Schema) -> Result<ScalarExpr> {
     Ok(match expr {
         ScalarExpr::Column(c) => ScalarExpr::Column(normalize_name(schema, c)?),
         ScalarExpr::Number(_) | ScalarExpr::Str(_) => expr.clone(),
@@ -545,7 +545,7 @@ fn normalize_expr(expr: &ScalarExpr, schema: &Schema) -> Result<ScalarExpr> {
 
 /// Hashable, comparable rendering of a group/join key value.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
-enum KeyPart {
+pub(crate) enum KeyPart {
     Null,
     Int(i64),
     /// Floats keyed by bit pattern (NaN groups with NaN; −0.0 ≠ 0.0 is
@@ -556,7 +556,7 @@ enum KeyPart {
 }
 
 impl KeyPart {
-    fn from_value(v: &Value) -> KeyPart {
+    pub(crate) fn from_value(v: &Value) -> KeyPart {
         match v {
             Value::Null => KeyPart::Null,
             Value::Int(i) => KeyPart::Int(*i),
@@ -643,7 +643,7 @@ fn hash_join(
 // ----------------------------------------------------------- aggregate
 
 #[derive(Debug, Clone)]
-struct Accumulator {
+pub(crate) struct Accumulator {
     count: u64,
     sum: f64,
     min: f64,
@@ -653,7 +653,7 @@ struct Accumulator {
 }
 
 impl Accumulator {
-    fn new() -> Accumulator {
+    pub(crate) fn new() -> Accumulator {
         Accumulator {
             count: 0,
             sum: 0.0,
@@ -688,7 +688,7 @@ impl Accumulator {
     /// Combine with the accumulator of a later, disjoint row range.
     /// Merging per-morsel partials in morsel order reproduces the exact
     /// floating-point sum the single-threaded morselized pass computes.
-    fn merge(&mut self, other: &Accumulator) {
+    pub(crate) fn merge(&mut self, other: &Accumulator) {
         self.count += other.count;
         self.sum += other.sum;
         if other.min < self.min {
@@ -709,7 +709,7 @@ impl Accumulator {
         }
     }
 
-    fn finish(&self, func: AggFunc) -> Value {
+    pub(crate) fn finish(&self, func: AggFunc) -> Value {
         match func {
             AggFunc::Count => Value::Int(self.count as i64),
             AggFunc::Sum => {
@@ -742,7 +742,7 @@ impl Accumulator {
 
 /// Aggregate argument plan: what to evaluate per morsel. Strings go
 /// through the Value path (for MIN/MAX on strings).
-enum AggArg {
+pub(crate) enum AggArg {
     Star,
     Numeric(ScalarExpr),
     Strings(String),
@@ -757,7 +757,7 @@ enum ArgData {
 
 /// Resolve aggregate argument expressions against the input schema and
 /// reject invalid shapes (e.g. SUM over strings) before any morsel runs.
-fn prepare_agg_args(t: &Table, aggs: &[AggSpec]) -> Result<Vec<AggArg>> {
+pub(crate) fn prepare_agg_args(t: &Table, aggs: &[AggSpec]) -> Result<Vec<AggArg>> {
     let mut args = Vec::with_capacity(aggs.len());
     for a in aggs {
         match &a.arg {
@@ -790,10 +790,11 @@ fn prepare_agg_args(t: &Table, aggs: &[AggSpec]) -> Result<Vec<AggArg>> {
 /// Partial aggregation state of one morsel: groups in first-encounter
 /// order, each with the global row index of its first row and one
 /// accumulator per aggregate.
-struct GroupPartial {
-    keys: Vec<Vec<KeyPart>>,
-    first_rows: Vec<usize>,
-    accs: Vec<Vec<Accumulator>>,
+#[derive(Debug)]
+pub(crate) struct GroupPartial {
+    pub(crate) keys: Vec<Vec<KeyPart>>,
+    pub(crate) first_rows: Vec<usize>,
+    pub(crate) accs: Vec<Vec<Accumulator>>,
 }
 
 // ------------------------------------------------- aggregate pushdown
@@ -1034,7 +1035,7 @@ impl<'a> MorselAccumulator<'a> {
 /// Group-and-accumulate one morsel (`m` is the zero-copy slice starting
 /// at global row `offset`). The optional predicate mask is fused in:
 /// only known-TRUE rows feed the accumulators.
-fn accumulate_morsel(
+pub(crate) fn accumulate_morsel(
     m: &Table,
     offset: usize,
     predicate: Option<&ScalarExpr>,
@@ -1136,7 +1137,7 @@ impl MorselAccumulator<'_> {
 /// Fold per-morsel partials, in morsel order, into one global state.
 /// First-encounter group order is preserved: morsel 0's groups come
 /// first, exactly as a serial pass over the same rows would see them.
-fn merge_partials(parts: Vec<GroupPartial>) -> GroupPartial {
+pub(crate) fn merge_partials(parts: Vec<GroupPartial>) -> GroupPartial {
     let mut groups: HashMap<Vec<KeyPart>, usize> = HashMap::new();
     let mut out = GroupPartial { keys: Vec::new(), first_rows: Vec::new(), accs: Vec::new() };
     for part in parts {
@@ -1226,6 +1227,23 @@ fn aggregate_pipeline(
     aggs: &[AggSpec],
     opts: &ExecOptions,
 ) -> Result<Table> {
+    let (group_by, parts) = aggregate_partials(t, predicate, group_by, aggs, opts)?;
+    assemble_aggregate(t, &group_by, aggs, merge_partials(parts))
+}
+
+/// The pipeline body of [`aggregate_pipeline`], stopping before the
+/// final merge: normalized GROUP BY names plus one [`GroupPartial`] per
+/// morsel, in morsel order. The sharded scatter-gather coordinator
+/// (`crate::partial`) runs this per shard and merges the partials in
+/// global morsel order, which is what keeps cluster answers bit-identical
+/// to the single-engine fold.
+pub(crate) fn aggregate_partials(
+    t: &Table,
+    predicate: Option<&ScalarExpr>,
+    group_by: &[String],
+    aggs: &[AggSpec],
+    opts: &ExecOptions,
+) -> Result<(Vec<String>, Vec<GroupPartial>)> {
     let group_by: Vec<String> = group_by
         .iter()
         .map(|g| normalize_name(t.schema(), g))
@@ -1339,7 +1357,7 @@ fn aggregate_pipeline(
             })?,
         },
     };
-    assemble_aggregate(t, &group_by, aggs, merge_partials(parts))
+    Ok((group_by, parts))
 }
 
 /// Aggregate an already-materialized input table (non-pipeline shapes:
@@ -1399,7 +1417,7 @@ pub fn column_from_values(values: &[Value]) -> Column {
     }
 }
 
-fn mark_nulls(col: &mut Column, values: &[Value]) {
+pub(crate) fn mark_nulls(col: &mut Column, values: &[Value]) {
     let validity = match col {
         Column::Int64 { validity, .. }
         | Column::Float64 { validity, .. }
@@ -1415,7 +1433,7 @@ fn mark_nulls(col: &mut Column, values: &[Value]) {
 
 // ---------------------------------------------------------------- sort
 
-fn sort(t: &Table, keys: &[OrderBy]) -> Result<Table> {
+pub(crate) fn sort(t: &Table, keys: &[OrderBy]) -> Result<Table> {
     let mut resolved = Vec::with_capacity(keys.len());
     for k in keys {
         resolved.push((normalize_name(t.schema(), &k.column)?, k.desc));

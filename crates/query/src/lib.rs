@@ -40,6 +40,7 @@ pub mod exec;
 pub mod governor;
 pub mod morsel;
 pub mod optimize;
+pub mod partial;
 pub mod physical;
 pub mod plan;
 pub mod plan_cache;
@@ -56,6 +57,10 @@ pub use exec::{
 pub use lawsdb_obs::{ProfileCollector, ProfileContext, QueryProfile};
 pub use governor::{CancelToken, Governor, ResourceBudget};
 pub use morsel::ExecOptions;
+pub use partial::{
+    assemble_partials, group_key_hash, limit_rows, merge_shard_partials,
+    shard_partials_contiguous, shard_partials_sparse, sort_rows, MergedPartials, ShardPartials,
+};
 pub use physical::{execute_physical_with, plan_physical, AccessPlan, Estimate, PhysicalPlan};
 pub use plan::LogicalPlan;
 pub use plan_cache::{normalize_statement, PlanCache};

@@ -39,6 +39,14 @@ pub struct AdmissionConfig {
     pub global_memory_bytes: Option<usize>,
     /// Reservation charged for a query with no memory budget.
     pub default_reserve_bytes: usize,
+    /// Ceiling on the `retry_after_ms` backoff hint sent with
+    /// [`WireError::Rejected`]. The raw hint is the queue's drain
+    /// horizon (`queue_timeout`), which can be many seconds — an
+    /// honest drain estimate but a terrible client backoff. Capping the
+    /// hint keeps rejected clients probing at a bounded cadence, the
+    /// same shape as [`lawsdb_storage::RetryPolicy::max_delay_us`] on
+    /// the device-retry path.
+    pub max_retry_after_ms: u64,
 }
 
 impl Default for AdmissionConfig {
@@ -49,6 +57,7 @@ impl Default for AdmissionConfig {
             queue_timeout: Duration::from_secs(5),
             global_memory_bytes: Some(256 << 20),
             default_reserve_bytes: 16 << 20,
+            max_retry_after_ms: 2_000,
         }
     }
 }
@@ -198,7 +207,8 @@ impl AdmissionController {
             return Err(AdmissionError::QueueFull {
                 active: st.active,
                 queued: st.queued,
-                retry_after_ms: self.cfg.queue_timeout.as_millis() as u64,
+                retry_after_ms: (self.cfg.queue_timeout.as_millis() as u64)
+                    .min(self.cfg.max_retry_after_ms),
             });
         }
         st.queued += 1;
@@ -335,6 +345,34 @@ mod tests {
     }
 
     #[test]
+    fn retry_hint_is_capped_but_short_timeouts_pass_through() {
+        // A long drain horizon must not become a multi-second client
+        // backoff: the hint is min(queue_timeout, max_retry_after_ms).
+        let (c, _reg) = controller(AdmissionConfig {
+            max_concurrent_queries: 1,
+            max_queued: 0,
+            queue_timeout: Duration::from_secs(30),
+            max_retry_after_ms: 2_000,
+            ..AdmissionConfig::default()
+        });
+        let _held = c.admit(0).unwrap();
+        let err = c.admit(0).unwrap_err();
+        assert_eq!(err, AdmissionError::QueueFull { active: 1, queued: 0, retry_after_ms: 2_000 });
+
+        // Timeouts below the cap are honest drain estimates: untouched.
+        let (c, _reg) = controller(AdmissionConfig {
+            max_concurrent_queries: 1,
+            max_queued: 0,
+            queue_timeout: Duration::from_millis(40),
+            max_retry_after_ms: 2_000,
+            ..AdmissionConfig::default()
+        });
+        let _held = c.admit(0).unwrap();
+        let err = c.admit(0).unwrap_err();
+        assert_eq!(err, AdmissionError::QueueFull { active: 1, queued: 0, retry_after_ms: 40 });
+    }
+
+    #[test]
     fn queue_timeout_is_honored() {
         let (c, reg) = controller(AdmissionConfig {
             max_concurrent_queries: 1,
@@ -387,6 +425,7 @@ mod tests {
             queue_timeout: Duration::from_millis(100),
             global_memory_bytes: Some(100),
             default_reserve_bytes: 0,
+            ..AdmissionConfig::default()
         });
         let p60 = c.admit(60).unwrap();
         let _p40 = c.admit(40).unwrap();

@@ -14,6 +14,57 @@ use crate::protocol::{
 };
 use std::fmt;
 use std::io::{Read, Write};
+use std::time::Duration;
+
+/// Deterministic client-side backoff for admission rejections — the
+/// same shape as `lawsdb_storage::RetryPolicy` (attempt budget, base
+/// delay, hard ceiling), in milliseconds because admission hints are.
+///
+/// The wait before each retry honors the server's `retry_after_ms`
+/// hint as a floor — retrying sooner would just get rejected again —
+/// escalates by doubling for repeated rejections, and is capped at
+/// `max_delay_ms` no matter what the server suggests, so a
+/// misconfigured (or hostile) hint can never park a client for
+/// minutes. Every delay is a pure function of the attempt index and
+/// the hint, so a logged schedule replays exactly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AdmissionRetry {
+    /// Total attempts per query, including the first (1 = no retry).
+    pub max_attempts: u32,
+    /// Client-side backoff before the first retry, in milliseconds.
+    pub base_delay_ms: u64,
+    /// Hard ceiling on any single wait, in milliseconds. Also caps the
+    /// server's `retry_after_ms` hint.
+    pub max_delay_ms: u64,
+}
+
+impl AdmissionRetry {
+    /// No retries: every rejection surfaces immediately.
+    pub fn none() -> AdmissionRetry {
+        AdmissionRetry { max_attempts: 1, base_delay_ms: 0, max_delay_ms: 0 }
+    }
+
+    /// The default query policy: 6 attempts, 10 ms doubling, capped at
+    /// 500 ms per wait. Worst case a client burns ~1.8 s before giving
+    /// up on a saturated server.
+    pub fn default_queries() -> AdmissionRetry {
+        AdmissionRetry { max_attempts: 6, base_delay_ms: 10, max_delay_ms: 500 }
+    }
+
+    /// The wait before retry number `retry` (1-based), given the
+    /// server's `retry_after_ms` hint from the rejection it follows.
+    pub fn delay_for(&self, retry: u32, retry_after_ms: u64) -> Duration {
+        let exp = retry.saturating_sub(1).min(32);
+        let own = self.base_delay_ms.saturating_mul(1u64 << exp);
+        Duration::from_millis(own.max(retry_after_ms).min(self.max_delay_ms))
+    }
+}
+
+impl Default for AdmissionRetry {
+    fn default() -> AdmissionRetry {
+        AdmissionRetry::default_queries()
+    }
+}
 
 /// A client-side failure.
 #[derive(Debug)]
@@ -105,9 +156,43 @@ impl<S: Read + Write> Client<S> {
         }
     }
 
+    /// Run `sql` in `mode`, transparently retrying admission
+    /// rejections under `policy`. Each `Rejected` answer is absorbed,
+    /// the client sleeps for [`AdmissionRetry::delay_for`] (which
+    /// honors the server's `retry_after_ms` hint up to the policy
+    /// ceiling), and the query is re-sent. Every other outcome —
+    /// success, engine errors, transport failures — passes through
+    /// unchanged on the first occurrence; only admission pushback is
+    /// worth re-asking about.
+    pub fn query_with_retry(
+        &mut self,
+        mode: QueryMode,
+        sql: &str,
+        policy: AdmissionRetry,
+    ) -> Result<WireResult, ClientError> {
+        let mut attempt = 0u32;
+        loop {
+            attempt += 1;
+            match self.query(mode, sql) {
+                Err(ClientError::Server(WireError::Rejected { retry_after_ms, .. }))
+                    if attempt < policy.max_attempts =>
+                {
+                    std::thread::sleep(policy.delay_for(attempt, retry_after_ms));
+                }
+                other => return other,
+            }
+        }
+    }
+
     /// Exact-mode shorthand.
     pub fn query_exact(&mut self, sql: &str) -> Result<WireResult, ClientError> {
         self.query(QueryMode::Exact, sql)
+    }
+
+    /// Cluster-mode shorthand: dispatch to the server's attached
+    /// sharded cluster.
+    pub fn query_cluster(&mut self, sql: &str) -> Result<WireResult, ClientError> {
+        self.query(QueryMode::Cluster, sql)
     }
 
     /// Resilient-mode shorthand.

@@ -223,3 +223,23 @@ pub fn core_error_to_wire(e: &lawsdb_core::CoreError) -> WireError {
         other => WireError::Query { kind: "engine".to_string(), detail: other.to_string() },
     }
 }
+
+/// Map a cluster error to its wire form. `partial_result` and
+/// `cluster_unsupported` are stable kinds clients branch on; query- and
+/// storage-layer failures keep their engine kinds.
+pub fn cluster_error_to_wire(e: &lawsdb_cluster::ClusterError) -> WireError {
+    match e {
+        lawsdb_cluster::ClusterError::Unsupported { .. } => {
+            WireError::Query { kind: "cluster_unsupported".to_string(), detail: e.to_string() }
+        }
+        lawsdb_cluster::ClusterError::PartialResult { .. } => {
+            WireError::Query { kind: "partial_result".to_string(), detail: e.to_string() }
+        }
+        lawsdb_cluster::ClusterError::Query(q) => {
+            WireError::Query { kind: query_error_kind(q).to_string(), detail: q.to_string() }
+        }
+        lawsdb_cluster::ClusterError::Storage(s) => {
+            WireError::Query { kind: "storage".to_string(), detail: s.to_string() }
+        }
+    }
+}

@@ -32,7 +32,7 @@ pub mod server;
 pub mod session;
 
 pub use admission::{AdmissionConfig, AdmissionController, AdmissionError, AdmissionPermit};
-pub use client::{Client, ClientError};
+pub use client::{AdmissionRetry, Client, ClientError};
 pub use error::{ProtocolError, TransportError, WireError};
 pub use pipe::{duplex, PipeStream};
 pub use protocol::{

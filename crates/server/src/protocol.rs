@@ -47,6 +47,9 @@ pub enum QueryMode {
     Adaptive,
     /// `EXPLAIN`: the costed physical plan, not executed.
     Explain,
+    /// Sharded scatter-gather execution with replica failover, when the
+    /// server fronts a cluster.
+    Cluster,
 }
 
 impl QueryMode {
@@ -56,6 +59,7 @@ impl QueryMode {
             QueryMode::Resilient => 1,
             QueryMode::Adaptive => 2,
             QueryMode::Explain => 3,
+            QueryMode::Cluster => 4,
         }
     }
 
@@ -65,6 +69,7 @@ impl QueryMode {
             1 => Ok(QueryMode::Resilient),
             2 => Ok(QueryMode::Adaptive),
             3 => Ok(QueryMode::Explain),
+            4 => Ok(QueryMode::Cluster),
             _ => Err(ProtocolError::BadTag { context: "query mode", tag }),
         }
     }

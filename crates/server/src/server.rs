@@ -15,8 +15,10 @@ use crate::admission::{AdmissionConfig, AdmissionController};
 use crate::pipe::{duplex, PipeStream};
 use crate::protocol::SessionOptions;
 use crate::session::{run_session, SessionDirectory};
+use lawsdb_cluster::Cluster;
 use lawsdb_core::LawsDb;
 use lawsdb_obs::{Counter, Histogram};
+use parking_lot::RwLock;
 use lawsdb_query::ResourceBudget;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -86,6 +88,10 @@ pub struct Server {
     admission: Arc<AdmissionController>,
     sessions: Arc<SessionDirectory>,
     hooks: ServerMetricHooks,
+    /// The sharded execution layer, when this server fronts one.
+    /// `QueryMode::Cluster` requests dispatch here; without an attached
+    /// cluster they answer a structured `cluster_unavailable` error.
+    cluster: RwLock<Option<Arc<Cluster>>>,
 }
 
 impl Server {
@@ -103,7 +109,18 @@ impl Server {
             protocol_errors: registry.counter("lawsdb_server_protocol_errors"),
             query_us: registry.histogram("lawsdb_server_query_us"),
         };
-        Arc::new(Server { db, cfg, admission, sessions, hooks })
+        Arc::new(Server { db, cfg, admission, sessions, hooks, cluster: RwLock::new(None) })
+    }
+
+    /// Front a sharded cluster: `QueryMode::Cluster` queries dispatch
+    /// to it (behind the same admission gate as every other mode).
+    pub fn attach_cluster(&self, cluster: Arc<Cluster>) {
+        *self.cluster.write() = Some(cluster);
+    }
+
+    /// The attached cluster, if any.
+    pub fn cluster(&self) -> Option<Arc<Cluster>> {
+        self.cluster.read().clone()
     }
 
     /// The shared engine.

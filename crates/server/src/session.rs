@@ -19,7 +19,9 @@
 //! [`Frame::Cancel`] trips it from any connection.
 
 use crate::admission::AdmissionPermit;
-use crate::error::{core_error_to_wire, query_error_kind, TransportError, WireError};
+use crate::error::{
+    cluster_error_to_wire, core_error_to_wire, query_error_kind, TransportError, WireError,
+};
 use crate::protocol::{
     read_frame, write_frame, Frame, QueryMode, SessionOptions, StatsFormat, WireResult,
     PROTOCOL_VERSION,
@@ -341,6 +343,23 @@ fn dispatch(
         QueryMode::Explain => {
             let text = db.explain(sql).map_err(|e| core_error_to_wire(&e))?;
             Ok(Frame::ExplainReply { text })
+        }
+        QueryMode::Cluster => {
+            let Some(cluster) = server.cluster() else {
+                return Err(WireError::Query {
+                    kind: "cluster_unavailable".to_string(),
+                    detail: "this server fronts no sharded cluster".to_string(),
+                });
+            };
+            let a = cluster.query(sql, exec).map_err(|e| cluster_error_to_wire(&e))?;
+            let degraded = a.degraded.iter().map(|d| d.name().to_string()).collect();
+            Ok(result_frame(
+                a.table,
+                a.rows_scanned as u64,
+                a.approximate,
+                a.error_bound,
+                degraded,
+            ))
         }
     }
 }

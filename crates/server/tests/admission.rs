@@ -101,6 +101,59 @@ fn queue_full_rejects_over_the_wire_with_a_retry_hint() {
     rejected.close().unwrap();
 }
 
+/// Satellite path for saturated servers: `query_with_retry` absorbs
+/// the structured rejection, waits out the (capped) `retry_after_ms`
+/// hint, and re-sends — the caller sees one successful result, never
+/// the intermediate pushback.
+#[test]
+fn rejected_then_admitted_query_succeeds_transparently() {
+    let server = server_with(AdmissionConfig {
+        max_concurrent_queries: 1,
+        max_queued: 0,
+        queue_timeout: Duration::from_millis(40),
+        ..AdmissionConfig::default()
+    });
+    // Hold the only slot long enough that the first attempt is
+    // certainly rejected, short enough that a later retry is admitted.
+    let occupier = occupy_slot(&server, 250);
+
+    let mut c = Client::connect(server.connect()).unwrap();
+    let policy = lawsdb_server::AdmissionRetry::default_queries();
+    let r = c
+        .query_with_retry(lawsdb_server::QueryMode::Exact, "SELECT COUNT(*) FROM t", policy)
+        .expect("retry helper must ride out the busy window");
+    assert_eq!(r.table.row_count(), 1);
+    occupier.join().unwrap();
+
+    // The transparency is observable server-side: at least one
+    // rejection was issued, yet the client call returned Ok.
+    let stats = c.stats(StatsFormat::Prometheus).unwrap();
+    let rejected: u64 = stats
+        .lines()
+        .find_map(|l| l.strip_prefix("lawsdb_server_rejected "))
+        .and_then(|v| v.trim().parse().ok())
+        .unwrap();
+    assert!(rejected >= 1, "expected at least one rejection in:\n{stats}");
+    c.close().unwrap();
+}
+
+/// The client-side policy is deterministic and capped: the wait honors
+/// the server hint as a floor, doubles across consecutive rejections,
+/// and never exceeds `max_delay_ms` regardless of hint or attempt
+/// index (the exponent clamps, so huge indices cannot overflow).
+#[test]
+fn admission_retry_backoff_honors_hint_and_caps() {
+    let p = lawsdb_server::AdmissionRetry { max_attempts: 8, base_delay_ms: 10, max_delay_ms: 200 };
+    let ms = |retry, hint| p.delay_for(retry, hint).as_millis() as u64;
+    assert_eq!(ms(1, 0), 10, "pure client schedule when the hint is zero");
+    assert_eq!(ms(2, 0), 20);
+    assert_eq!(ms(1, 150), 150, "server hint floors the early waits");
+    assert_eq!(ms(1, 30_000), 200, "a hostile hint is capped");
+    assert_eq!(ms(6, 0), 200, "doubling is capped");
+    assert_eq!(ms(u32::MAX, 0), 200, "exponent clamps, no overflow");
+    assert_eq!(lawsdb_server::AdmissionRetry::none().delay_for(1, 400), Duration::ZERO);
+}
+
 #[test]
 fn queue_timeout_is_honored_within_tolerance_over_the_wire() {
     let budget_ms = 250u64;
@@ -206,6 +259,7 @@ fn global_memory_cap_gates_admission_by_requested_budget() {
         queue_timeout: Duration::from_millis(200),
         global_memory_bytes: Some(64 << 20),
         default_reserve_bytes: 1 << 20,
+        ..AdmissionConfig::default()
     });
 
     // A reservation that could never fit fails immediately and

@@ -1,0 +1,145 @@
+//! `QueryMode::Cluster` over the wire: the same admission gate and
+//! session loop as every other mode, dispatching into an attached
+//! sharded [`Cluster`]. Asserts the bit-identity contract end to end
+//! (wire answer == embedded engine answer), transparent replica
+//! failover, the structured `cluster_unavailable` error when no
+//! cluster is attached, and the `lawsdb_cluster_*` metrics landing in
+//! the same registry a client scrapes with `Stats`.
+
+use lawsdb_cluster::{Cluster, ClusterConfig, PartitionScheme};
+use lawsdb_core::LawsDb;
+use lawsdb_server::{Client, ClientError, Server, ServerConfig, StatsFormat, WireError};
+use lawsdb_query::{execute_with, ExecOptions};
+use lawsdb_storage::{Catalog, Table, TableBuilder, Value};
+use std::sync::Arc;
+
+fn table() -> Table {
+    let mut b = TableBuilder::new("t");
+    b.add_i64("g", (0..300).map(|i| i % 7).collect());
+    b.add_f64("v", (0..300).map(|i| (i as f64) * 0.731 - 40.0).collect());
+    b.build().unwrap()
+}
+
+/// Floats rendered as raw bits: equal strings ⇔ equal bits.
+fn render(t: &Table) -> String {
+    let mut out = String::new();
+    for row in 0..t.row_count() {
+        for c in t.columns() {
+            match c.value(row).unwrap() {
+                Value::Null => out.push_str("∅ "),
+                Value::Int(i) => out.push_str(&format!("i{i} ")),
+                Value::Float(x) => out.push_str(&format!("f{:016x} ", x.to_bits())),
+                other => out.push_str(&format!("{other:?} ")),
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+fn server_with_cluster() -> (Arc<Server>, Arc<Cluster>) {
+    let db = LawsDb::new();
+    let t = table();
+    db.register_table(t.clone()).unwrap();
+    let cluster = Arc::new(
+        Cluster::new(
+            &t,
+            ClusterConfig {
+                shards: 3,
+                replicas: 2,
+                scheme: PartitionScheme::Hash { key: "g".to_string() },
+                ..ClusterConfig::default()
+            },
+            db.metrics(),
+        )
+        .unwrap(),
+    );
+    let server = Server::new(Arc::new(db), ServerConfig::default());
+    server.attach_cluster(Arc::clone(&cluster));
+    (server, cluster)
+}
+
+const SQL: &str = "SELECT g, COUNT(*) AS n, SUM(v) AS s, AVG(v) AS m FROM t \
+                   GROUP BY g ORDER BY g";
+
+#[test]
+fn cluster_mode_answers_bit_identical_over_the_wire() {
+    let (server, cluster) = server_with_cluster();
+
+    // Embedded single-engine baseline on a fresh catalog.
+    let catalog = Catalog::new();
+    catalog.register(table()).unwrap();
+    let opts = ExecOptions { threads: 1, ..ExecOptions::default() };
+    let baseline = execute_with(&catalog, SQL, &opts).unwrap();
+
+    let mut c = Client::connect(server.connect()).unwrap();
+    let healthy = c.query_cluster(SQL).unwrap();
+    assert_eq!(render(&healthy.table), render(&baseline.table));
+    assert!(!healthy.approximate);
+    assert!(healthy.degraded.is_empty());
+
+    // Kill one replica of every shard: failover is silent and the
+    // answer does not move by a bit.
+    for s in 0..cluster.config().shards {
+        cluster.kill_replica(s, 0);
+    }
+    let failed_over = c.query_cluster(SQL).unwrap();
+    assert_eq!(render(&failed_over.table), render(&baseline.table));
+    assert!(!failed_over.approximate);
+
+    // The cluster's counters live in the engine registry the wire
+    // Stats frame scrapes.
+    let stats = c.stats(StatsFormat::Prometheus).unwrap();
+    for needle in ["lawsdb_cluster_shard_queries", "lawsdb_cluster_failovers"] {
+        assert!(stats.contains(needle), "missing `{needle}` in:\n{stats}");
+    }
+    let failovers: u64 = stats
+        .lines()
+        .find_map(|l| l.strip_prefix("lawsdb_cluster_failovers "))
+        .and_then(|v| v.trim().parse().ok())
+        .unwrap();
+    assert!(failovers >= 1, "killing live replicas must surface as failovers:\n{stats}");
+    c.close().unwrap();
+}
+
+#[test]
+fn cluster_mode_without_a_cluster_is_a_structured_error() {
+    let db = LawsDb::new();
+    db.register_table(table()).unwrap();
+    let server = Server::new(Arc::new(db), ServerConfig::default());
+    let mut c = Client::connect(server.connect()).unwrap();
+    match c.query_cluster(SQL) {
+        Err(ClientError::Server(WireError::Query { kind, .. })) => {
+            assert_eq!(kind, "cluster_unavailable");
+        }
+        other => panic!("expected a structured cluster_unavailable error, got {other:?}"),
+    }
+    // The session survives the error; other modes still work.
+    let r = c.query_exact("SELECT COUNT(*) FROM t").unwrap();
+    assert_eq!(r.table.row_count(), 1);
+    c.close().unwrap();
+}
+
+#[test]
+fn cluster_mode_surfaces_partial_results_as_wire_errors() {
+    let (server, cluster) = server_with_cluster();
+    // No captured models: losing every replica of a shard cannot
+    // degrade to a model, so the query fails structurally — the
+    // session and the connection both survive.
+    cluster.kill_shard(1);
+    let mut c = Client::connect(server.connect()).unwrap();
+    match c.query_cluster(SQL) {
+        Err(ClientError::Server(WireError::Query { kind, detail })) => {
+            assert_eq!(kind, "partial_result", "{detail}");
+            assert!(detail.contains("shard 1"), "{detail}");
+        }
+        other => panic!("expected a partial_result error, got {other:?}"),
+    }
+    for s in 0..cluster.config().shards {
+        cluster.heal_replica(s, 0).unwrap();
+        cluster.heal_replica(s, 1).unwrap();
+    }
+    let healed = c.query_cluster(SQL).unwrap();
+    assert!(!healed.approximate);
+    c.close().unwrap();
+}

@@ -133,11 +133,12 @@ fn frame_corpus(rng: &mut Rng) -> Vec<Frame> {
     vec![
         Frame::Hello { protocol_version: rng.next() as u32, options: random_options(rng) },
         Frame::Query {
-            mode: match rng.below(4) {
+            mode: match rng.below(5) {
                 0 => QueryMode::Exact,
                 1 => QueryMode::Resilient,
                 2 => QueryMode::Adaptive,
-                _ => QueryMode::Explain,
+                3 => QueryMode::Explain,
+                _ => QueryMode::Cluster,
             },
             sql: random_string(rng),
         },

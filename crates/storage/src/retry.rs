@@ -225,6 +225,8 @@ mod tests {
         assert_eq!(us(3), 200);
         assert_eq!(us(4), 400);
         assert_eq!(us(5), 400, "capped");
+        assert_eq!(us(100), 400, "stays capped at any retry index");
+        assert_eq!(us(u32::MAX), 400, "exponent clamps at 32, no overflow");
         assert_eq!(RetryPolicy::none().delay_for(1), Duration::ZERO);
     }
 

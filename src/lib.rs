@@ -58,6 +58,7 @@
 //! for the paper-vs-measured record of every reproduced exhibit.
 
 pub use lawsdb_approx as approx;
+pub use lawsdb_cluster as cluster;
 pub use lawsdb_core as core;
 pub use lawsdb_data as data;
 pub use lawsdb_expr as expr;

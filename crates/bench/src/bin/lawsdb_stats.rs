@@ -23,9 +23,11 @@
 use lawsdb_cluster::{Cluster, ClusterConfig, PartitionScheme, ReplicaState};
 use lawsdb_core::LawsDb;
 use lawsdb_fit::FitOptions;
-use lawsdb_obs::MetricsRegistry;
+use lawsdb_obs::{MetricsRegistry, MockClock, RecorderConfig};
 use lawsdb_query::{ExecOptions, ResourceBudget};
-use lawsdb_storage::TableBuilder;
+use lawsdb_server::{Client, QueryMode, Server, ServerConfig};
+use lawsdb_storage::{Table, TableBuilder};
+use std::sync::Arc;
 
 const ROWS: usize = 20_000;
 
@@ -64,7 +66,7 @@ fn warm(db: &LawsDb) {
 /// Walks the failure ladder — healthy, one replica dead (failover),
 /// whole shard dead (model fallback) — then renders per-shard health
 /// and the `lawsdb_cluster_*` metrics.
-fn demo_cluster() {
+fn demo_measurements() -> Table {
     let laws: [(f64, f64); 4] = [(2.0, -0.7), (0.5, -1.2), (1.0, 0.3), (3.0, -0.5)];
     let nus = [0.12, 0.15, 0.16, 0.18];
     let mut source = Vec::new();
@@ -82,8 +84,13 @@ fn demo_cluster() {
     b.add_i64("source", source);
     b.add_f64("nu", nu);
     b.add_f64("intensity", intensity);
-    let table = b.build().expect("demo table builds");
+    let mut t = b.build().expect("demo table builds");
+    t.rebuild_synopsis_with(16);
+    t
+}
 
+fn demo_cluster() {
+    let table = demo_measurements();
     let registry = MetricsRegistry::new();
     let cluster = Cluster::new(
         &table,
@@ -147,6 +154,91 @@ fn demo_cluster() {
     }
 }
 
+/// The slow-query flight recorder, end to end: a server over the demo
+/// cluster, timed by a `MockClock` so every duration is deterministic,
+/// with one replica dead (in-trace failover) and one shard fully dead
+/// (in-trace model fallback). Runs a traced cluster query and a plain
+/// exact query, then prints the recorder's worst entries with their
+/// per-layer attribution and full trace trees — exactly what
+/// `Client::slowlog` returns over the wire.
+fn demo_slowlog() {
+    let table = demo_measurements();
+    let db = LawsDb::new();
+    db.register_table(table.clone()).expect("registers");
+    let cluster = Arc::new(
+        Cluster::new(
+            &table,
+            ClusterConfig {
+                shards: 3,
+                replicas: 2,
+                scheme: PartitionScheme::Hash { key: "source".to_string() },
+                morsel_rows: 32,
+                fail_threshold: 1,
+                probe_after: 1,
+                max_abs_residual: 1e-6,
+            },
+            db.metrics(),
+        )
+        .expect("demo cluster builds"),
+    );
+    cluster
+        .capture_models("intensity ~ p * nu ^ alpha", "source", &FitOptions::default(), 2)
+        .expect("perfect power law passes the quality gate");
+    let server = Server::new(
+        Arc::new(db),
+        ServerConfig {
+            clock: Arc::new(MockClock::new(3)),
+            recorder: RecorderConfig::default(),
+            ..ServerConfig::default()
+        },
+    );
+    server.attach_cluster(Arc::clone(&cluster));
+
+    // Pick two populated shards deterministically: the first loses one
+    // replica (failover inside the trace), the second loses both
+    // (model fallback inside the trace).
+    let populated: Vec<usize> =
+        (0..cluster.config().shards).filter(|&s| cluster.shard_rows(s) > 0).collect();
+    cluster.kill_replica(populated[0], 0);
+    cluster.kill_shard(populated[1]);
+
+    let sql = "SELECT source, AVG(intensity) AS m FROM measurements \
+               GROUP BY source ORDER BY source";
+    let mut c = Client::connect(server.connect()).expect("connects");
+    c.query_traced(QueryMode::Cluster, sql).expect("traced cluster query");
+    c.query_exact("SELECT COUNT(*) AS n FROM measurements").expect("exact query");
+    let entries = c.slowlog(8).expect("slowlog");
+
+    println!("slow queries (worst first):");
+    for (i, e) in entries.iter().enumerate() {
+        let status = e.error.as_deref().unwrap_or("ok");
+        println!();
+        println!(
+            "#{} query {}  mode={}  total={} us  status={}",
+            i + 1,
+            e.query_id,
+            e.mode,
+            e.total_us,
+            status
+        );
+        println!("  {}", e.sql);
+        let layers: Vec<String> =
+            e.layers.iter().map(|(l, us)| format!("{l}={us}")).collect();
+        println!(
+            "  layers: {}  dominant={} ({} us)",
+            layers.join(" "),
+            e.dominant_layer,
+            e.dominant_us
+        );
+        if let Some(t) = &e.trace {
+            for line in t.render().lines() {
+                println!("  {line}");
+            }
+        }
+    }
+    c.close().expect("close");
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
@@ -190,15 +282,18 @@ fn main() {
             }
         }
         Some("cluster") => demo_cluster(),
+        Some("slowlog") => demo_slowlog(),
         _ => {
             eprintln!(
-                "usage: lawsdb-stats <prom|json|plan [SQL]|explain [SQL]|cluster>\n\
+                "usage: lawsdb-stats <prom|json|plan [SQL]|explain [SQL]|cluster|slowlog>\n\
                  \x20 prom     render the demo engine's metrics as Prometheus text\n\
                  \x20 json     render the demo engine's metrics as JSON\n\
                  \x20 plan     print one statement's cost-based EXPLAIN (estimates, no run)\n\
                  \x20 explain  run one statement and print its EXPLAIN ANALYZE tree\n\
                  \x20 cluster  walk the demo cluster's failure ladder; print shard health \
-                 and lawsdb_cluster_* metrics"
+                 and lawsdb_cluster_* metrics\n\
+                 \x20 slowlog  run traced queries against a faulted demo cluster and print \
+                 the flight recorder's worst entries"
             );
             std::process::exit(2)
         }

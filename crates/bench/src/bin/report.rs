@@ -157,6 +157,16 @@ fn main() {
                     exp::obs::INSTRUMENTED_GATE_PCT
                 );
             }
+            // Hard gate: distributed tracing must stay invisible on the
+            // healthy scatter-gather path. The interleaved p50 pair
+            // cancels drift the same way the cluster failover gate does.
+            if !r.within_cluster_trace_gate() {
+                die(&format!(
+                    "cluster tracing overhead {:.2}% exceeds the {}% gate",
+                    r.max_cluster_trace_pct(),
+                    exp::obs::CLUSTER_TRACE_GATE_PCT
+                ));
+            }
         }
         "bench-optimizer" => {
             let (kernel_rows, sources, rounds) = match scale {
@@ -280,8 +290,9 @@ fn usage() {
     );
     println!("  bench-durability: WAL overhead per device profile; writes BENCH_durability.json");
     println!(
-        "  bench-obs: tracing/profiling overhead sweep; writes BENCH_obs.json \
-         (fails if the no-subscriber bound exceeds the gate)"
+        "  bench-obs: tracing/profiling overhead sweep, single-engine and cluster \
+         scatter-gather paths; writes BENCH_obs.json (fails if the no-subscriber bound \
+         or the cluster tracing p50 overhead exceeds its gate)"
     );
     println!(
         "  bench-optimizer: comparison-kernel microbench + adaptive plan-choice sweep vs \

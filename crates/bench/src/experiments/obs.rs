@@ -18,8 +18,11 @@
 //! plain path skips profile points on a `None` check that is cheaper
 //! than the atomic load being priced.
 
+use lawsdb_cluster::{Cluster, ClusterConfig, PartitionScheme};
 use lawsdb_obs::trace::tracer;
+use lawsdb_obs::{MetricsRegistry, ProfileCollector};
 use lawsdb_query::{execute_profiled, execute_with, ExecOptions};
+use lawsdb_storage::TableBuilder;
 use std::hint::black_box;
 
 use super::morsel;
@@ -28,6 +31,9 @@ use super::morsel;
 pub const NO_SUBSCRIBER_GATE_PCT: f64 = 2.0;
 /// Fully-instrumented overhead gate, percent (advisory).
 pub const INSTRUMENTED_GATE_PCT: f64 = 8.0;
+/// Fully-instrumented distributed-tracing overhead gate on the healthy
+/// scatter-gather p50, percent (hard gate in CI).
+pub const CLUSTER_TRACE_GATE_PCT: f64 = 2.0;
 
 /// One measured `(query, rows)` cell.
 #[derive(Debug, Clone)]
@@ -49,6 +55,24 @@ pub struct ObsPoint {
     pub no_subscriber_pct: f64,
 }
 
+/// One cluster-path cell: healthy scatter-gather over hash shards,
+/// untraced vs carrying a live profile context through every shard
+/// phase (fetch / execute / gather / merge spans plus morsel leaves)
+/// and building the finished trace tree.
+#[derive(Debug, Clone)]
+pub struct ClusterTracePoint {
+    /// Shard count (2 replicas each, all healthy).
+    pub shards: usize,
+    /// Base-table rows.
+    pub rows: usize,
+    /// Untraced query latency p50, µs.
+    pub plain_p50_us: f64,
+    /// Fully-traced query latency p50, µs.
+    pub traced_p50_us: f64,
+    /// `(traced − plain) / plain`, percent.
+    pub trace_pct: f64,
+}
+
 /// Experiment report.
 #[derive(Debug, Clone)]
 pub struct ObsReport {
@@ -62,6 +86,8 @@ pub struct ObsReport {
     pub disabled_emit_ns: f64,
     /// All measured cells.
     pub points: Vec<ObsPoint>,
+    /// Cluster-path distributed-tracing cells.
+    pub cluster_points: Vec<ClusterTracePoint>,
 }
 
 impl ObsReport {
@@ -84,6 +110,16 @@ impl ObsReport {
     pub fn within_instrumented_gate(&self) -> bool {
         self.max_instrumented_pct() <= INSTRUMENTED_GATE_PCT
     }
+
+    /// Largest measured cluster-path tracing overhead across cells.
+    pub fn max_cluster_trace_pct(&self) -> f64 {
+        self.cluster_points.iter().map(|p| p.trace_pct).fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// Whether the cluster-path tracing gate held.
+    pub fn within_cluster_trace_gate(&self) -> bool {
+        self.max_cluster_trace_pct() <= CLUSTER_TRACE_GATE_PCT
+    }
 }
 
 /// Time `n` disabled `event!` emissions and return ns per site. The
@@ -97,6 +133,77 @@ fn measure_disabled_emit_ns(n: usize) -> f64 {
         }
     });
     us * 1000.0 / n as f64
+}
+
+/// The cluster-path swept query: grouped aggregation over the shard
+/// key — the scatter-gather fast path (same shape as
+/// `BENCH_cluster.json`'s sweep).
+const CLUSTER_SQL: &str =
+    "SELECT g, COUNT(*) AS n, SUM(v) AS s, AVG(v) AS m FROM points GROUP BY g ORDER BY g";
+
+/// Measure distributed-tracing overhead on one healthy cluster:
+/// alternate untraced and fully-traced queries against the *same*
+/// cluster so environmental drift hits both sides alike (the
+/// interleaving discipline `BENCH_cluster.json`'s failover gate uses),
+/// and compare p50s. The traced side pays the whole bill: a fresh
+/// collector, a live context threaded through every shard phase, and
+/// the final tree build.
+fn cluster_trace_point(rows: usize, shards: usize, iters: usize) -> ClusterTracePoint {
+    let mut state = 0x51ed_270b_a35e_c1f3u64;
+    let mut next = move || {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        (state >> 11) as f64 / (1u64 << 53) as f64
+    };
+    let mut b = TableBuilder::new("points");
+    b.add_i64("g", (0..rows).map(|i| (i % 16) as i64).collect());
+    b.add_f64("v", (0..rows).map(|_| next() * 100.0 - 50.0).collect());
+    let table = b.build().expect("cluster bench table builds");
+    let registry = MetricsRegistry::new();
+    let cluster = Cluster::new(
+        &table,
+        ClusterConfig {
+            shards,
+            replicas: 2,
+            scheme: PartitionScheme::Hash { key: "g".to_string() },
+            ..ClusterConfig::default()
+        },
+        &registry,
+    )
+    .expect("cluster build");
+    let plain_opts = ExecOptions { threads: 1, ..ExecOptions::default() };
+    let traced_query = || {
+        let collector = ProfileCollector::new();
+        let opts = ExecOptions {
+            threads: 1,
+            profile: Some(collector.context()),
+            ..ExecOptions::default()
+        };
+        cluster.query(CLUSTER_SQL, &opts).expect("traced query");
+        black_box(collector.build("query"));
+    };
+    for _ in 0..3 {
+        cluster.query(CLUSTER_SQL, &plain_opts).expect("warm-up query");
+        traced_query();
+    }
+    let mut lat_plain = Vec::with_capacity(iters);
+    let mut lat_traced = Vec::with_capacity(iters);
+    for _ in 0..iters {
+        let (_, us) = crate::time_us(|| cluster.query(CLUSTER_SQL, &plain_opts));
+        lat_plain.push(us);
+        let (_, us) = crate::time_us(traced_query);
+        lat_traced.push(us);
+    }
+    lat_plain.sort_by(f64::total_cmp);
+    lat_traced.sort_by(f64::total_cmp);
+    let plain_p50_us = lat_plain[iters / 2];
+    let traced_p50_us = lat_traced[iters / 2];
+    ClusterTracePoint {
+        shards,
+        rows,
+        plain_p50_us,
+        traced_p50_us,
+        trace_pct: (traced_p50_us - plain_p50_us) / plain_p50_us * 100.0,
+    }
 }
 
 /// Run the overhead sweep at the given row scales.
@@ -157,7 +264,12 @@ pub fn run(row_scales: &[usize]) -> ObsReport {
             });
         }
     }
-    ObsReport { threads, morsel_rows, trials, disabled_emit_ns, points }
+    // Cluster path: the largest swept scale, both shard counts the
+    // failover sweep uses.
+    let cluster_rows = row_scales.iter().copied().max().unwrap_or(100_000);
+    let cluster_points =
+        [2usize, 4].iter().map(|&s| cluster_trace_point(cluster_rows, s, 31)).collect();
+    ObsReport { threads, morsel_rows, trials, disabled_emit_ns, points, cluster_points }
 }
 
 /// Print the report as a paper-style table.
@@ -189,6 +301,23 @@ pub fn print(r: &ObsReport) {
         r.max_instrumented_pct(),
         r.within_instrumented_gate()
     );
+    println!("\ncluster path (healthy scatter-gather, interleaved plain vs traced):");
+    println!("shards        rows    plain p50   traced p50   overhead");
+    for p in &r.cluster_points {
+        println!(
+            "{:<6} {:>11} {:>12} {:>12} {:>9.2}%",
+            p.shards,
+            p.rows,
+            crate::fmt_us(p.plain_p50_us),
+            crate::fmt_us(p.traced_p50_us),
+            p.trace_pct
+        );
+    }
+    println!(
+        "cluster tracing overhead: {:.2}% (gate ≤{CLUSTER_TRACE_GATE_PCT}%: {})",
+        r.max_cluster_trace_pct(),
+        r.within_cluster_trace_gate()
+    );
 }
 
 /// Render the report as JSON (hand-rolled: the workspace carries no
@@ -212,6 +341,29 @@ pub fn to_json(r: &ObsReport) -> String {
         "  \"within_instrumented_gate\": {},\n",
         r.within_instrumented_gate()
     ));
+    out.push_str(&format!("  \"cluster_trace_gate_pct\": {CLUSTER_TRACE_GATE_PCT},\n"));
+    out.push_str(&format!(
+        "  \"max_cluster_trace_pct\": {:.3},\n",
+        r.max_cluster_trace_pct()
+    ));
+    out.push_str(&format!(
+        "  \"within_cluster_trace_gate\": {},\n",
+        r.within_cluster_trace_gate()
+    ));
+    out.push_str("  \"cluster_results\": [\n");
+    for (i, p) in r.cluster_points.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"shards\": {}, \"rows\": {}, \"plain_p50_us\": {:.1}, \
+             \"traced_p50_us\": {:.1}, \"trace_pct\": {:.3}}}{}\n",
+            p.shards,
+            p.rows,
+            p.plain_p50_us,
+            p.traced_p50_us,
+            p.trace_pct,
+            if i + 1 == r.cluster_points.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ],\n");
     out.push_str("  \"results\": [\n");
     for (i, p) in r.points.iter().enumerate() {
         out.push_str(&format!(

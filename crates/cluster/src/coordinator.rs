@@ -29,13 +29,14 @@
 //! hang.
 
 use std::sync::Arc;
+use std::time::Instant;
 
 use lawsdb_approx::ApproxEngine;
 use lawsdb_core::DegradeReason;
 use lawsdb_fit::FitOptions;
 use lawsdb_models::bridge::fit_table_grouped;
 use lawsdb_models::ModelCatalog;
-use lawsdb_obs::{Counter, Gauge, MetricsRegistry};
+use lawsdb_obs::{fields, Counter, Gauge, Histogram, MetricsRegistry, ProfileContext};
 use lawsdb_query::plan::AggSpec;
 use lawsdb_query::sql::{AggFunc, OrderBy};
 use lawsdb_query::{
@@ -122,6 +123,9 @@ struct Metrics {
     model_fallbacks: Arc<Counter>,
     partial_results: Arc<Counter>,
     shard_up: Vec<Arc<Gauge>>,
+    /// Whole-cluster-query latency; observed with the query id as an
+    /// exemplar so `/stats` spikes link to flight-recorder traces.
+    query_us: Arc<Histogram>,
 }
 
 /// The coordinator: shards, replicas, health, models, metrics.
@@ -189,6 +193,7 @@ impl Cluster {
             shard_up: (0..cfg.shards)
                 .map(|s| registry.gauge(&format!("lawsdb_cluster_shard_{s}_replicas_up")))
                 .collect(),
+            query_us: registry.histogram("lawsdb_cluster_query_us"),
         };
         for g in &metrics.shard_up {
             g.set(cfg.replicas as i64);
@@ -226,7 +231,7 @@ impl Cluster {
                 continue;
             }
             let table = self
-                .fetch_shard(s)
+                .fetch_shard(s, None)
                 .map_err(|detail| ClusterError::PartialResult { shard: s, detail })?;
             let (model, _) = fit_table_grouped(&table, formula, group, options, threads)
                 .map_err(|e| ClusterError::Unsupported {
@@ -260,11 +265,22 @@ impl Cluster {
         }
         let mut opts = opts.clone();
         opts.morsel_rows = self.cfg.morsel_rows;
+        // The coordinator owns the profile context: cluster phase spans
+        // (shard/fetch/execute/gather/merge) are opened here and the
+        // engine's plan tree is re-attached underneath the execute
+        // spans, so one tree covers the whole distributed query.
+        let ctx = opts.profile.take();
         let plan = LogicalPlan::from_statement(&stmt)?;
+        let started = Instant::now();
         let answer = match decompose(&plan) {
-            Some(shape) if self.scatter_eligible(&shape) => self.scatter_gather(sql, &shape, &opts),
-            _ => self.gather_execute(sql, &opts),
+            Some(shape) if self.scatter_eligible(&shape) => {
+                self.scatter_gather(sql, &shape, &opts, ctx.as_ref())
+            }
+            _ => self.gather_execute(sql, &opts, ctx.as_ref()),
         };
+        self.metrics
+            .query_us
+            .observe_with_exemplar(started.elapsed().as_micros() as u64, opts.query_id);
         self.publish_health();
         answer
     }
@@ -284,6 +300,7 @@ impl Cluster {
         sql: &str,
         shape: &AggShape,
         opts: &ExecOptions,
+        ctx: Option<&ProfileContext>,
     ) -> Result<ClusterAnswer> {
         let mut partials: Vec<ShardPartials> = Vec::new();
         let mut tables: Vec<Option<Table>> = (0..self.shards.len()).map(|_| None).collect();
@@ -298,7 +315,13 @@ impl Cluster {
                 continue;
             }
             self.metrics.shard_queries.inc();
-            match self.run_shard(s, shape, opts) {
+            let mut shard_span = ctx.map(|c| {
+                let mut sp = c.span("cluster.shard");
+                sp.field("shard", s as u64);
+                sp
+            });
+            let shard_ctx = shard_span.as_ref().map(|sp| sp.child());
+            match self.run_shard(s, shape, opts, shard_ctx.as_ref()) {
                 Ok((table, sp)) => {
                     tables[s] = Some(table);
                     partials.push(sp);
@@ -311,6 +334,18 @@ impl Cluster {
                             (Some(a), Some(b)) => Some(a.max(b)),
                             (a, b) => a.or(b),
                         };
+                        if let Some(c) = &shard_ctx {
+                            c.point(
+                                "cluster.model_fallback",
+                                fields![
+                                    reason = "shard_model_fallback",
+                                    bound = bound.unwrap_or(f64::NAN),
+                                ],
+                            );
+                        }
+                        if let Some(sp) = shard_span.as_mut() {
+                            sp.field("degraded", "model");
+                        }
                         degraded.push(DegradeReason::ShardModelFallback { shard: s, error_bound: bound });
                         model_tables.push(mt);
                     }
@@ -324,6 +359,7 @@ impl Cluster {
                 },
             }
         }
+        let _merge_span = ctx.map(|c| c.span("cluster.merge"));
         let merged = merge_shard_partials(partials);
         let rows_scanned = merged.rows_scanned;
         let mut out = assemble_partials(
@@ -377,29 +413,50 @@ impl Cluster {
     }
 
     /// Walk the shard's replicas under health direction; first success
-    /// wins. Every failed attempt followed by another is a failover.
+    /// wins. Every failed attempt followed by another is a failover,
+    /// recorded both in metrics and — under a profile context — as a
+    /// `cluster.failover` point in the trace.
     fn run_shard(
         &self,
         s: usize,
         shape: &AggShape,
         opts: &ExecOptions,
+        ctx: Option<&ProfileContext>,
     ) -> std::result::Result<(Table, ShardPartials), AttemptError> {
         let mut last = format!("all {} replicas unavailable", self.cfg.replicas);
         let mut failed_before = false;
         for r in 0..self.cfg.replicas {
+            let probing = self.health.lock().state(s, r) == ReplicaState::Down;
             if !self.health.lock().try_now(s, r) {
                 continue;
             }
             if failed_before {
                 self.metrics.failovers.inc();
+                if let Some(c) = ctx {
+                    c.point("cluster.failover", fields![replica = r as u64]);
+                }
             }
-            match self.attempt(s, r, shape, opts) {
+            match self.attempt(s, r, shape, opts, ctx) {
                 Ok(v) => {
                     self.health.lock().record_ok(s, r);
+                    if probing {
+                        if let Some(c) = ctx {
+                            c.point(
+                                "cluster.health.probe",
+                                fields![replica = r as u64, outcome = "ok"],
+                            );
+                        }
+                    }
                     return Ok(v);
                 }
                 Err(AttemptError::Replica(e)) => {
                     self.health.lock().record_fail(s, r);
+                    if let Some(c) = ctx {
+                        c.point(
+                            if probing { "cluster.health.probe" } else { "cluster.attempt.fail" },
+                            fields![replica = r as u64, error = e.clone()],
+                        );
+                    }
                     last = format!("replica {r}: {e}");
                     failed_before = true;
                 }
@@ -415,68 +472,133 @@ impl Cluster {
         r: usize,
         shape: &AggShape,
         opts: &ExecOptions,
+        ctx: Option<&ProfileContext>,
     ) -> std::result::Result<(Table, ShardPartials), AttemptError> {
         let mut rep = self.shards[s].replicas[r].lock();
-        let mut table = rep.fetch().map_err(|e| AttemptError::Replica(e.to_string()))?;
-        // The durable store rebuilds synopses on its own default grid;
-        // re-map onto the global zone grid so the shard's pruning and
-        // zone-aggregate decisions are exactly the global engine's.
-        table.rebuild_synopsis_with(self.zone_rows);
+        let table = {
+            let mut span = ctx.map(|c| c.span("cluster.fetch"));
+            if let Some(sp) = span.as_mut() {
+                sp.field("replica", r as u64);
+            }
+            let mut table = rep.fetch().map_err(|e| AttemptError::Replica(e.to_string()))?;
+            // The durable store rebuilds synopses on its own default
+            // grid; re-map onto the global zone grid so the shard's
+            // pruning and zone-aggregate decisions are exactly the
+            // global engine's.
+            table.rebuild_synopsis_with(self.zone_rows);
+            if let Some(sp) = span.as_mut() {
+                sp.field("rows", table.row_count() as u64);
+            }
+            table
+        };
         if rep.take_injection(Phase::Execute) {
             return Err(AttemptError::Replica("injected failure at execute".to_string()));
         }
-        let sp = match &self.shards[s].rows {
-            RowAssignment::Contiguous { start } => shard_partials_contiguous(
-                &table,
-                *start,
-                shape.predicate.as_ref(),
-                &shape.group_by,
-                &shape.aggs,
-                opts,
-            ),
-            RowAssignment::Sparse(rows) => shard_partials_sparse(
-                &table,
-                rows,
-                shape.predicate.as_ref(),
-                &shape.group_by,
-                &shape.aggs,
-                opts.morsel_rows,
-            ),
-        }
-        // Execution errors are deterministic functions of the shard's
-        // data — the same error would come back from every replica.
-        .map_err(|e| AttemptError::Fatal(ClusterError::Query(e)))?;
-        if rep.take_injection(Phase::Gather) {
-            return Err(AttemptError::Replica("injected failure at gather".to_string()));
+        let sp = {
+            let span = ctx.map(|c| c.span("cluster.execute"));
+            match &self.shards[s].rows {
+                RowAssignment::Contiguous { start } => shard_partials_contiguous(
+                    &table,
+                    *start,
+                    shape.predicate.as_ref(),
+                    &shape.group_by,
+                    &shape.aggs,
+                    // Re-attach the engine's plan/morsel/zone spans under
+                    // this shard's execute span.
+                    &ExecOptions {
+                        profile: span.as_ref().map(|sp| sp.child()),
+                        ..opts.clone()
+                    },
+                ),
+                RowAssignment::Sparse(rows) => shard_partials_sparse(
+                    &table,
+                    rows,
+                    shape.predicate.as_ref(),
+                    &shape.group_by,
+                    &shape.aggs,
+                    &ExecOptions {
+                        profile: span.as_ref().map(|sp| sp.child()),
+                        ..opts.clone()
+                    },
+                ),
+            }
+            // Execution errors are deterministic functions of the
+            // shard's data — the same error would come back from every
+            // replica.
+            .map_err(|e| AttemptError::Fatal(ClusterError::Query(e)))?
+        };
+        {
+            let _span = ctx.map(|c| c.span("cluster.gather"));
+            if rep.take_injection(Phase::Gather) {
+                return Err(AttemptError::Replica("injected failure at gather".to_string()));
+            }
         }
         Ok((table, sp))
     }
 
     /// Fetch a shard's table with replica failover (gather path).
-    fn fetch_shard(&self, s: usize) -> std::result::Result<Table, String> {
+    fn fetch_shard(
+        &self,
+        s: usize,
+        ctx: Option<&ProfileContext>,
+    ) -> std::result::Result<Table, String> {
         let mut last = format!("all {} replicas unavailable", self.cfg.replicas);
         let mut failed_before = false;
         for r in 0..self.cfg.replicas {
+            let probing = self.health.lock().state(s, r) == ReplicaState::Down;
             if !self.health.lock().try_now(s, r) {
                 continue;
             }
             if failed_before {
                 self.metrics.failovers.inc();
+                if let Some(c) = ctx {
+                    c.point("cluster.failover", fields![replica = r as u64]);
+                }
             }
             let mut rep = self.shards[s].replicas[r].lock();
+            let mut span = ctx.map(|c| c.span("cluster.fetch"));
+            if let Some(sp) = span.as_mut() {
+                sp.field("replica", r as u64);
+            }
             match rep.fetch() {
                 Ok(t) => {
                     if rep.take_injection(Phase::Gather) {
                         self.health.lock().record_fail(s, r);
+                        drop(span);
+                        if let Some(c) = ctx {
+                            c.point(
+                                if probing { "cluster.health.probe" } else { "cluster.attempt.fail" },
+                                fields![replica = r as u64, error = "injected failure at gather"],
+                            );
+                        }
                         last = format!("replica {r}: injected failure at gather");
                         failed_before = true;
                         continue;
                     }
                     self.health.lock().record_ok(s, r);
+                    if let Some(sp) = span.as_mut() {
+                        sp.field("rows", t.row_count() as u64);
+                    }
+                    if probing {
+                        drop(span);
+                        if let Some(c) = ctx {
+                            c.point(
+                                "cluster.health.probe",
+                                fields![replica = r as u64, outcome = "ok"],
+                            );
+                        }
+                    }
                     return Ok(t);
                 }
                 Err(e) => {
                     self.health.lock().record_fail(s, r);
+                    drop(span);
+                    if let Some(c) = ctx {
+                        c.point(
+                            if probing { "cluster.health.probe" } else { "cluster.attempt.fail" },
+                            fields![replica = r as u64, error = e.to_string()],
+                        );
+                    }
                     last = format!("replica {r}: {e}");
                     failed_before = true;
                 }
@@ -487,14 +609,25 @@ impl Cluster {
 
     /// The gather-execute route: reassemble the global table in
     /// original row order and run the engine on it.
-    fn gather_execute(&self, sql: &str, opts: &ExecOptions) -> Result<ClusterAnswer> {
+    fn gather_execute(
+        &self,
+        sql: &str,
+        opts: &ExecOptions,
+        ctx: Option<&ProfileContext>,
+    ) -> Result<ClusterAnswer> {
         let mut fetched: Vec<(usize, Table)> = Vec::new();
         for s in 0..self.shards.len() {
             if self.shards[s].row_count == 0 {
                 continue;
             }
             self.metrics.shard_queries.inc();
-            let t = self.fetch_shard(s).map_err(|detail| {
+            let shard_span = ctx.map(|c| {
+                let mut sp = c.span("cluster.shard");
+                sp.field("shard", s as u64);
+                sp
+            });
+            let shard_ctx = shard_span.as_ref().map(|sp| sp.child());
+            let t = self.fetch_shard(s, shard_ctx.as_ref()).map_err(|detail| {
                 self.metrics.partial_results.inc();
                 ClusterError::PartialResult {
                     shard: s,
@@ -503,6 +636,7 @@ impl Cluster {
             })?;
             fetched.push((s, t));
         }
+        let gather_span = ctx.map(|c| c.span("cluster.gather"));
         let mut global = self.template.slice(0, 0)?;
         match &self.cfg.scheme {
             PartitionScheme::Range => {
@@ -532,7 +666,14 @@ impl Cluster {
         global.rebuild_synopsis_with(self.zone_rows);
         let catalog = Catalog::new();
         catalog.register(global)?;
-        let res = execute_with(&catalog, sql, opts)?;
+        drop(gather_span);
+        let exec_span = ctx.map(|c| c.span("cluster.execute"));
+        let run_opts = ExecOptions {
+            profile: exec_span.as_ref().map(|sp| sp.child()),
+            ..opts.clone()
+        };
+        let res = execute_with(&catalog, sql, &run_opts)?;
+        drop(exec_span);
         Ok(ClusterAnswer {
             table: res.table,
             rows_scanned: res.rows_scanned,

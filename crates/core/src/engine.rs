@@ -290,7 +290,10 @@ impl LawsDb {
     /// threads, budget and cancel token (the model rung is zero-IO and
     /// needs none of them).
     pub fn query_resilient_with(&self, sql: &str, exec: &ExecOptions) -> Result<ResilientAnswer> {
-        self.query_resilient_inner(sql, None, Some(exec))
+        // A profile context riding on the options also collects the
+        // ladder's own decisions (`resilient.*` points), not just the
+        // exact rung's plan tree — the server's tracing path needs both.
+        self.query_resilient_inner(sql, exec.profile.as_ref(), Some(exec))
     }
 
     /// [`LawsDb::query_resilient`], plus an attached

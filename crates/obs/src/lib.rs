@@ -23,6 +23,7 @@
 pub mod clock;
 pub mod metrics;
 pub mod profile;
+pub mod record;
 pub mod trace;
 
 pub use clock::{Clock, MockClock, MonotonicClock};
@@ -31,4 +32,8 @@ pub use metrics::{
     MetricsRegistry, RegistrySnapshot,
 };
 pub use profile::{ProfileCollector, ProfileContext, ProfileSpan, ProfileTreeNode, QueryProfile};
+pub use record::{
+    attribute_layers, dominant_layer, FlightRecord, FlightRecorder, RecorderConfig,
+    TraceNode, LAYERS,
+};
 pub use trace::{tracer, Event, FieldValue, RingBufferSink, SpanGuard, Tracer};

@@ -10,7 +10,7 @@
 
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicI64, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, OnceLock, PoisonError, RwLock};
+use std::sync::{Arc, Mutex, OnceLock, PoisonError, RwLock};
 
 /// Stripes per counter; increments pick one by thread, reads sum all.
 pub const COUNTER_STRIPES: usize = 8;
@@ -108,10 +108,18 @@ impl std::fmt::Debug for Gauge {
 pub const HISTOGRAM_BUCKETS: usize = 32;
 
 /// A log-scale histogram for latency-like u64 samples.
+///
+/// Observations recorded through
+/// [`observe_with_exemplar`](Histogram::observe_with_exemplar) also
+/// keep one *exemplar* per bucket — the query id of the worst sample
+/// that landed there since the last snapshot — so a latency spike in
+/// `/stats` links directly to a flight-recorder trace.
 #[derive(Default)]
 pub struct Histogram {
     buckets: [AtomicU64; HISTOGRAM_BUCKETS],
     sum: AtomicU64,
+    /// bucket → (worst value, query id); drained by `snapshot`.
+    exemplars: Mutex<BTreeMap<usize, (u64, u64)>>,
 }
 
 impl Histogram {
@@ -141,17 +149,43 @@ impl Histogram {
         self.sum.fetch_add(value, Ordering::Relaxed);
     }
 
+    /// Record one sample carrying a query id; the max-valued sample per
+    /// bucket is kept as that bucket's exemplar until the next
+    /// snapshot drains it (per-snapshot-window attribution).
+    pub fn observe_with_exemplar(&self, value: u64, query_id: u64) {
+        self.observe(value);
+        let bucket = Self::bucket_index(value);
+        let mut ex = self.exemplars.lock().unwrap_or_else(PoisonError::into_inner);
+        let slot = ex.entry(bucket).or_insert((value, query_id));
+        if value >= slot.0 {
+            *slot = (value, query_id);
+        }
+    }
+
     /// Total samples (sums the buckets, so it never disagrees with them).
     pub fn get(&self) -> u64 {
         self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).sum()
     }
 
-    /// Point-in-time copy.
+    /// Point-in-time copy. Draining the exemplar map here starts a
+    /// fresh attribution window, so each snapshot reports the worst
+    /// query id per bucket *since the previous snapshot*.
     pub fn snapshot(&self) -> HistogramSnapshot {
         let buckets: Vec<u64> =
             self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect();
         let count = buckets.iter().sum();
-        HistogramSnapshot { buckets, count, sum: self.sum.load(Ordering::Relaxed) }
+        let exemplars = std::mem::take(
+            &mut *self.exemplars.lock().unwrap_or_else(PoisonError::into_inner),
+        )
+        .into_iter()
+        .map(|(bucket, (value, query_id))| (bucket, value, query_id))
+        .collect();
+        HistogramSnapshot {
+            buckets,
+            count,
+            sum: self.sum.load(Ordering::Relaxed),
+            exemplars,
+        }
     }
 }
 
@@ -170,6 +204,10 @@ pub struct HistogramSnapshot {
     pub count: u64,
     /// Sum of all samples.
     pub sum: u64,
+    /// `(bucket, worst value, query id)` exemplars recorded since the
+    /// previous snapshot (empty for histograms never observed with an
+    /// exemplar).
+    pub exemplars: Vec<(usize, u64, u64)>,
 }
 
 impl HistogramSnapshot {
@@ -394,7 +432,24 @@ impl RegistrySnapshot {
                 let le = Histogram::bucket_upper_bound(i);
                 out.push_str(&format!("[{le},{cum}]"));
             }
-            out.push_str("]}");
+            out.push(']');
+            // Exemplars are JSON-only (Prometheus text stays classic):
+            // `[le, worst value, query id]` per bucket with a recorded
+            // exemplar this snapshot window.
+            if !h.exemplars.is_empty() {
+                out.push_str(",\"exemplars\":[");
+                let mut efirst = true;
+                for &(bucket, value, query_id) in &h.exemplars {
+                    if !efirst {
+                        out.push(',');
+                    }
+                    efirst = false;
+                    let le = Histogram::bucket_upper_bound(bucket);
+                    out.push_str(&format!("[{le},{value},{query_id}]"));
+                }
+                out.push(']');
+            }
+            out.push('}');
         }
         out.push_str("}}");
         out
@@ -486,6 +541,36 @@ mod tests {
         assert!(json.contains("\"lawsdb_q_depth\":-2"), "{json}");
         assert!(json.contains("\"count\":1,\"sum\":5"), "{json}");
         assert!(json.starts_with('{') && json.ends_with('}'));
+    }
+
+    #[test]
+    fn exemplars_keep_the_worst_query_per_bucket_per_window() {
+        let h = Histogram::new();
+        h.observe_with_exemplar(5, 11); // bucket le=7
+        h.observe_with_exemplar(6, 22); // same bucket, worse value wins
+        h.observe_with_exemplar(4, 33); // same bucket, smaller → ignored
+        h.observe_with_exemplar(100, 44); // bucket le=127
+        let s = h.snapshot();
+        assert_eq!(s.exemplars, vec![(3, 6, 22), (7, 100, 44)]);
+        // The snapshot drained the window: a fresh snapshot is clean.
+        assert!(h.snapshot().exemplars.is_empty());
+        // Plain observe never records an exemplar.
+        h.observe(9);
+        assert!(h.snapshot().exemplars.is_empty());
+    }
+
+    #[test]
+    fn json_exposition_carries_exemplars_but_prometheus_does_not() {
+        let r = MetricsRegistry::new();
+        r.histogram("lawsdb_q_us").observe_with_exemplar(5, 7);
+        let s = r.snapshot();
+        let json = s.render_json();
+        assert!(json.contains("\"exemplars\":[[7,5,7]]"), "{json}");
+        assert!(!s.render_prometheus().contains("exemplar"));
+        // Histograms without exemplars keep the original shape.
+        let r2 = MetricsRegistry::new();
+        r2.histogram("lawsdb_q_us").observe(5);
+        assert!(!r2.snapshot().render_json().contains("exemplars"));
     }
 
     #[test]

@@ -54,13 +54,18 @@ pub struct ExecOptions {
     /// spans, per-morsel timing leaves, and pruning/governor points
     /// into it; `None` (the default) costs one branch per site.
     pub profile: Option<ProfileContext>,
+    /// Server-minted query id, threaded through for observability
+    /// (histogram exemplars, flight-recorder traces). `0` means
+    /// unattributed. Pure observer identity — excluded from `PartialEq`
+    /// so it can never key the plan cache.
+    pub query_id: u64,
 }
 
 impl PartialEq for ExecOptions {
     fn eq(&self, other: &Self) -> bool {
-        // The stats sink, the cancel token, the armed governor and the
-        // profile sink are observers / runtime state, not behavioral
-        // knobs.
+        // The stats sink, the cancel token, the armed governor, the
+        // profile sink and the query id are observers / runtime state,
+        // not behavioral knobs.
         self.threads == other.threads
             && self.morsel_rows == other.morsel_rows
             && self.pruning == other.pruning
@@ -81,6 +86,7 @@ impl Default for ExecOptions {
             cancel: None,
             governor: None,
             profile: None,
+            query_id: 0,
         }
     }
 }

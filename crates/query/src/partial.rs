@@ -34,6 +34,7 @@ use crate::exec::{
 };
 use crate::morsel::ExecOptions;
 use crate::plan::AggSpec;
+use lawsdb_obs::fields;
 use crate::sexpr::ScalarExpr;
 use crate::sql::OrderBy;
 use lawsdb_storage::{Column, DataType, Field, Schema, Table, Value};
@@ -95,14 +96,20 @@ pub fn shard_partials_contiguous(
 /// Requires a non-empty GROUP BY: the bit-identity argument needs every
 /// group wholly inside one shard, which only the partition key
 /// guarantees. Route global aggregates through the gather path instead.
+///
+/// Morsel geometry comes from `opts.morsel_rows`; an active
+/// `opts.profile` context records one `morsel` leaf per folded run, so
+/// a distributed trace shows the same execution grammar the single
+/// engine's profile does.
 pub fn shard_partials_sparse(
     shard: &Table,
     orig_rows: &[usize],
     predicate: Option<&ScalarExpr>,
     group_by: &[String],
     aggs: &[AggSpec],
-    morsel_rows: usize,
+    opts: &ExecOptions,
 ) -> Result<ShardPartials> {
+    let morsel_rows = opts.morsel_rows;
     if group_by.is_empty() {
         return Err(QueryError::InvalidAggregate {
             reason: "sparse shard partials need a GROUP BY; gather rows for global aggregates"
@@ -138,6 +145,9 @@ pub fn shard_partials_sparse(
             accumulate_morsel(&run, i, predicate.as_ref(), &group_by, &args, aggs.len())?;
         for r in &mut p.first_rows {
             *r = orig_rows[*r];
+        }
+        if let Some(ctx) = &opts.profile {
+            ctx.leaf("morsel", morsel as u64, fields![rows = (j - i) as u64]);
         }
         cells.push((morsel, p));
         i = j;
@@ -428,7 +438,7 @@ mod tests {
             for rows in &rowsets {
                 let s = t.take(rows).unwrap();
                 shards.push(
-                    shard_partials_sparse(&s, rows, pred.as_ref(), &group_by, &aggs, 32)
+                    shard_partials_sparse(&s, rows, pred.as_ref(), &group_by, &aggs, &opts)
                         .unwrap(),
                 );
             }
@@ -446,8 +456,9 @@ mod tests {
         let t = fixture(40);
         let (group_by, aggs, _) = agg_parts("SELECT SUM(v) FROM t");
         let rows: Vec<usize> = (0..40).collect();
+        let opts = ExecOptions { threads: 1, morsel_rows: 32, ..ExecOptions::default() };
         let err =
-            shard_partials_sparse(&t, &rows, None, &group_by, &aggs, 32).unwrap_err();
+            shard_partials_sparse(&t, &rows, None, &group_by, &aggs, &opts).unwrap_err();
         assert!(matches!(err, QueryError::InvalidAggregate { .. }));
     }
 

@@ -12,6 +12,7 @@ use crate::protocol::{
     read_frame, write_frame, Frame, QueryMode, SessionOptions, StatsFormat, WireResult,
     PROTOCOL_VERSION,
 };
+use lawsdb_obs::FlightRecord;
 use std::fmt;
 use std::io::{Read, Write};
 use std::time::Duration;
@@ -110,6 +111,7 @@ impl From<TransportError> for ClientError {
 pub struct Client<S> {
     stream: S,
     session: u64,
+    version: u32,
 }
 
 impl<S: Read + Write> Client<S> {
@@ -122,7 +124,9 @@ impl<S: Read + Write> Client<S> {
     pub fn connect_with(mut stream: S, options: SessionOptions) -> Result<Client<S>, ClientError> {
         write_frame(&mut stream, &Frame::Hello { protocol_version: PROTOCOL_VERSION, options })?;
         match read_frame(&mut stream)? {
-            Some(Frame::HelloAck { session, .. }) => Ok(Client { stream, session }),
+            Some(Frame::HelloAck { session, protocol_version }) => {
+                Ok(Client { stream, session, version: protocol_version })
+            }
             Some(Frame::Error(e)) => Err(ClientError::Server(e)),
             Some(other) => {
                 Err(ClientError::Unexpected { expected: "HelloAck", got: format!("{other:?}") })
@@ -137,6 +141,11 @@ impl<S: Read + Write> Client<S> {
         self.session
     }
 
+    /// The protocol version the server acknowledged for this session.
+    pub fn negotiated_version(&self) -> u32 {
+        self.version
+    }
+
     fn roundtrip(&mut self, request: &Frame) -> Result<Frame, ClientError> {
         write_frame(&mut self.stream, request)?;
         match read_frame(&mut self.stream)? {
@@ -147,11 +156,42 @@ impl<S: Read + Write> Client<S> {
 
     /// Run `sql` in `mode`; returns the typed result set.
     pub fn query(&mut self, mode: QueryMode, sql: &str) -> Result<WireResult, ClientError> {
-        match self.roundtrip(&Frame::Query { mode, sql: sql.to_string() })? {
+        self.query_inner(mode, sql, false)
+    }
+
+    /// Run `sql` in `mode` with tracing: the result carries the full
+    /// distributed trace tree in [`WireResult::trace`] (admission
+    /// queue, decode/encode, per-shard scatter-gather phases, plan and
+    /// morsel spans). Requires a v2 session; a v1 server simply never
+    /// attaches the tree.
+    pub fn query_traced(&mut self, mode: QueryMode, sql: &str) -> Result<WireResult, ClientError> {
+        self.query_inner(mode, sql, true)
+    }
+
+    fn query_inner(
+        &mut self,
+        mode: QueryMode,
+        sql: &str,
+        trace: bool,
+    ) -> Result<WireResult, ClientError> {
+        match self.roundtrip(&Frame::Query { mode, sql: sql.to_string(), trace })? {
             Frame::ResultSet(r) => Ok(*r),
             Frame::Error(e) => Err(ClientError::Server(e)),
             other => {
                 Err(ClientError::Unexpected { expected: "ResultSet", got: format!("{other:?}") })
+            }
+        }
+    }
+
+    /// Fetch the server's slow-query flight recorder: up to `n`
+    /// complete profiles of the slowest (or failed) recent queries,
+    /// worst first.
+    pub fn slowlog(&mut self, n: u32) -> Result<Vec<FlightRecord>, ClientError> {
+        match self.roundtrip(&Frame::SlowLog { n })? {
+            Frame::SlowLogReply { entries } => Ok(entries),
+            Frame::Error(e) => Err(ClientError::Server(e)),
+            other => {
+                Err(ClientError::Unexpected { expected: "SlowLogReply", got: format!("{other:?}") })
             }
         }
     }
@@ -207,7 +247,8 @@ impl<S: Read + Write> Client<S> {
 
     /// `EXPLAIN sql`: the costed plan text, nothing executed.
     pub fn explain(&mut self, sql: &str) -> Result<String, ClientError> {
-        match self.roundtrip(&Frame::Query { mode: QueryMode::Explain, sql: sql.to_string() })? {
+        let request = Frame::Query { mode: QueryMode::Explain, sql: sql.to_string(), trace: false };
+        match self.roundtrip(&request)? {
             Frame::ExplainReply { text } => Ok(text),
             Frame::Error(e) => Err(ClientError::Server(e)),
             other => {

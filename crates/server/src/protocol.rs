@@ -18,14 +18,27 @@
 //! truncated and bit-flipped streams.
 
 use crate::error::{ProtocolError, TransportError, WireError};
+use lawsdb_obs::{FieldValue, FlightRecord, TraceNode};
 use lawsdb_storage::bitmap::Bitmap;
 use lawsdb_storage::{Column, DataType, Field, Schema, Table};
 use std::io::{Read, Write};
 
-/// Protocol version spoken by this build. A [`Frame::Hello`] carrying
-/// a different version is answered with a protocol error and the
+/// Protocol version spoken by this build. Version 2 added query ids,
+/// the `Query` trace flag, the trace tree on `ResultSet`, and the
+/// `SlowLog` request. The server negotiates down to
+/// [`MIN_PROTOCOL_VERSION`]: a v1 [`Frame::Hello`] is accepted and the
+/// session speaks v1 (no trace fields on the wire); anything outside
+/// the supported range is answered with a protocol error and the
 /// session is closed.
-pub const PROTOCOL_VERSION: u32 = 1;
+pub const PROTOCOL_VERSION: u32 = 2;
+
+/// Oldest protocol version the server still speaks.
+pub const MIN_PROTOCOL_VERSION: u32 = 1;
+
+/// Decode-side cap on trace-tree nesting; deeper claims are rejected
+/// (a real profile nests plan depth + a few cluster levels, nowhere
+/// near this).
+pub const MAX_TRACE_DEPTH: usize = 64;
 
 /// Hard cap on a single frame's payload. Larger claims are rejected
 /// before any allocation happens.
@@ -53,6 +66,18 @@ pub enum QueryMode {
 }
 
 impl QueryMode {
+    /// Stable lower-case name — the `mode` label flight-recorder
+    /// entries and stats output carry.
+    pub fn name(self) -> &'static str {
+        match self {
+            QueryMode::Exact => "exact",
+            QueryMode::Resilient => "resilient",
+            QueryMode::Adaptive => "adaptive",
+            QueryMode::Explain => "explain",
+            QueryMode::Cluster => "cluster",
+        }
+    }
+
     fn tag(self) -> u8 {
         match self {
             QueryMode::Exact => 0,
@@ -124,6 +149,12 @@ pub struct WireResult {
     pub service_us: u64,
     /// Time spent waiting in the admission queue, microseconds.
     pub queue_us: u64,
+    /// Server-minted query id (v2; 0 when the peer spoke v1). Links
+    /// this result to histogram exemplars and the slow-query log.
+    pub query_id: u64,
+    /// The full distributed trace, present when the query asked for one
+    /// (v2 only; v1 peers never see it).
+    pub trace: Option<TraceNode>,
 }
 
 /// One protocol frame, client→server or server→client.
@@ -132,7 +163,9 @@ pub enum Frame {
     // ---- client → server ------------------------------------------
     /// Session handshake; must be the first frame on a connection.
     Hello {
-        /// Client's protocol version; must equal [`PROTOCOL_VERSION`].
+        /// Client's protocol version; must fall within
+        /// [`MIN_PROTOCOL_VERSION`]`..=`[`PROTOCOL_VERSION`] — the
+        /// session then speaks the client's version.
         protocol_version: u32,
         /// Initial session options.
         options: SessionOptions,
@@ -143,6 +176,10 @@ pub enum Frame {
         mode: QueryMode,
         /// SQL text.
         sql: String,
+        /// Ask for the full distributed trace on the result (v2; the
+        /// flag is trailing-optional on the wire, so v1 frames decode
+        /// with `false`).
+        trace: bool,
     },
     /// Replace this session's options.
     SetOptions {
@@ -163,6 +200,11 @@ pub enum Frame {
     },
     /// Orderly goodbye; the server answers [`Frame::Goodbye`].
     Close,
+    /// Pull the `n` worst traces from the server's flight recorder (v2).
+    SlowLog {
+        /// Maximum records to return.
+        n: u32,
+    },
 
     // ---- server → client ------------------------------------------
     /// Handshake accepted; carries the session's id.
@@ -197,6 +239,11 @@ pub enum Frame {
     },
     /// Orderly shutdown of this session.
     Goodbye,
+    /// The flight recorder's worst queries, slowest first (v2).
+    SlowLogReply {
+        /// Complete records, each carrying its full trace tree.
+        entries: Vec<FlightRecord>,
+    },
 }
 
 // ---- encoding primitives ------------------------------------------
@@ -489,9 +536,155 @@ fn read_table(r: &mut Reader<'_>) -> Result<Table, ProtocolError> {
         .map_err(|e| ProtocolError::BadTable { detail: e.to_string() })
 }
 
+// ---- trace trees and flight records -------------------------------
+
+fn put_field_value(out: &mut Vec<u8>, v: &FieldValue) {
+    match v {
+        FieldValue::U64(x) => {
+            out.push(0);
+            put_u64(out, *x);
+        }
+        FieldValue::I64(x) => {
+            out.push(1);
+            put_u64(out, *x as u64);
+        }
+        FieldValue::F64(x) => {
+            out.push(2);
+            put_u64(out, x.to_bits());
+        }
+        FieldValue::Bool(x) => {
+            out.push(3);
+            put_bool(out, *x);
+        }
+        FieldValue::Str(x) => {
+            out.push(4);
+            put_str(out, x);
+        }
+    }
+}
+
+fn read_field_value(r: &mut Reader<'_>) -> Result<FieldValue, ProtocolError> {
+    match r.u8()? {
+        0 => Ok(FieldValue::U64(r.u64()?)),
+        1 => Ok(FieldValue::I64(r.u64()? as i64)),
+        2 => Ok(FieldValue::F64(r.f64()?)),
+        3 => Ok(FieldValue::Bool(r.bool_()?)),
+        4 => Ok(FieldValue::Str(r.str_()?)),
+        tag => Err(ProtocolError::BadTag { context: "field value", tag }),
+    }
+}
+
+fn put_trace_node(out: &mut Vec<u8>, n: &TraceNode) {
+    put_str(out, &n.name);
+    put_u64(out, n.start_us);
+    put_opt_u64(out, n.duration_us);
+    put_opt_u64(out, n.index);
+    put_u32(out, n.fields.len() as u32);
+    for (k, v) in &n.fields {
+        put_str(out, k);
+        put_field_value(out, v);
+    }
+    put_u32(out, n.children.len() as u32);
+    for c in &n.children {
+        put_trace_node(out, c);
+    }
+}
+
+fn read_trace_node(r: &mut Reader<'_>, depth: usize) -> Result<TraceNode, ProtocolError> {
+    if depth > MAX_TRACE_DEPTH {
+        return Err(ProtocolError::Oversized { what: "trace depth", claimed: depth as u64 });
+    }
+    let name = r.str_()?;
+    let start_us = r.u64()?;
+    let duration_us = r.opt(Reader::u64)?;
+    let index = r.opt(Reader::u64)?;
+    let nfields = r.u32()? as usize;
+    // A field needs at least a length + tag on the wire; any claim
+    // beyond the remaining bytes is bogus — reject before allocating.
+    if nfields > r.remaining() {
+        return Err(ProtocolError::Oversized { what: "trace fields", claimed: nfields as u64 });
+    }
+    let mut fields = Vec::with_capacity(nfields);
+    for _ in 0..nfields {
+        let k = r.str_()?;
+        fields.push((k, read_field_value(r)?));
+    }
+    let nchildren = r.u32()? as usize;
+    if nchildren > r.remaining() {
+        return Err(ProtocolError::Oversized {
+            what: "trace children",
+            claimed: nchildren as u64,
+        });
+    }
+    let mut children = Vec::with_capacity(nchildren);
+    for _ in 0..nchildren {
+        children.push(read_trace_node(r, depth + 1)?);
+    }
+    Ok(TraceNode { name, start_us, duration_us, index, fields, children })
+}
+
+fn put_flight_record(out: &mut Vec<u8>, rec: &FlightRecord) {
+    put_u64(out, rec.query_id);
+    put_str(out, &rec.sql);
+    put_str(out, &rec.mode);
+    put_u64(out, rec.total_us);
+    match &rec.error {
+        Some(e) => {
+            out.push(1);
+            put_str(out, e);
+        }
+        None => out.push(0),
+    }
+    put_u32(out, rec.layers.len() as u32);
+    for (layer, us) in &rec.layers {
+        put_str(out, layer);
+        put_u64(out, *us);
+    }
+    put_str(out, &rec.dominant_layer);
+    put_u64(out, rec.dominant_us);
+    match &rec.trace {
+        Some(t) => {
+            out.push(1);
+            put_trace_node(out, t);
+        }
+        None => out.push(0),
+    }
+}
+
+fn read_flight_record(r: &mut Reader<'_>) -> Result<FlightRecord, ProtocolError> {
+    let query_id = r.u64()?;
+    let sql = r.str_()?;
+    let mode = r.str_()?;
+    let total_us = r.u64()?;
+    let error = r.opt(Reader::str_)?;
+    let nlayers = r.u32()? as usize;
+    if nlayers > r.remaining() {
+        return Err(ProtocolError::Oversized { what: "layer list", claimed: nlayers as u64 });
+    }
+    let mut layers = Vec::with_capacity(nlayers);
+    for _ in 0..nlayers {
+        let layer = r.str_()?;
+        layers.push((layer, r.u64()?));
+    }
+    let dominant_layer = r.str_()?;
+    let dominant_us = r.u64()?;
+    let trace = r.opt(|r| read_trace_node(r, 0))?;
+    Ok(FlightRecord {
+        query_id,
+        sql,
+        mode,
+        total_us,
+        error,
+        layers,
+        dominant_layer,
+        dominant_us,
+        trace,
+    })
+}
+
 // ---- results and errors -------------------------------------------
 
-fn put_result(out: &mut Vec<u8>, r: &WireResult) {
+fn put_result(out: &mut Vec<u8>, r: &WireResult, version: u32) {
     put_table(out, &r.table);
     put_u64(out, r.rows_scanned);
     put_bool(out, r.approximate);
@@ -502,6 +695,18 @@ fn put_result(out: &mut Vec<u8>, r: &WireResult) {
     }
     put_u64(out, r.service_us);
     put_u64(out, r.queue_us);
+    // v2 extends the body in place (ResultSet is last-in-frame, so old
+    // decoders reading a v1 body simply stop here).
+    if version >= 2 {
+        put_u64(out, r.query_id);
+        match &r.trace {
+            Some(t) => {
+                out.push(1);
+                put_trace_node(out, t);
+            }
+            None => out.push(0),
+        }
+    }
 }
 
 fn read_result(r: &mut Reader<'_>) -> Result<WireResult, ProtocolError> {
@@ -517,14 +722,25 @@ fn read_result(r: &mut Reader<'_>) -> Result<WireResult, ProtocolError> {
     for _ in 0..n {
         degraded.push(r.str_()?);
     }
+    let service_us = r.u64()?;
+    let queue_us = r.u64()?;
+    // Trailing-optional v2 extension: a v1 body ends here, defaulting
+    // the trace fields; a v2 body carries them explicitly.
+    let (query_id, trace) = if r.remaining() > 0 {
+        (r.u64()?, r.opt(|r| read_trace_node(r, 0))?)
+    } else {
+        (0, None)
+    };
     Ok(WireResult {
         table,
         rows_scanned,
         approximate,
         error_bound,
         degraded,
-        service_us: r.u64()?,
-        queue_us: r.u64()?,
+        service_us,
+        queue_us,
+        query_id,
+        trace,
     })
 }
 
@@ -581,8 +797,16 @@ fn read_wire_error(r: &mut Reader<'_>) -> Result<WireError, ProtocolError> {
 // ---- frames -------------------------------------------------------
 
 impl Frame {
-    /// Encode this frame's payload (tag byte + body, no length prefix).
+    /// Encode this frame's payload (tag byte + body, no length prefix)
+    /// at the current [`PROTOCOL_VERSION`].
     pub fn encode(&self) -> Vec<u8> {
+        self.encode_versioned(PROTOCOL_VERSION)
+    }
+
+    /// Encode for a negotiated protocol version. Only `ResultSet`
+    /// bodies differ: a v1 peer gets the v1 body (no query id, no
+    /// trace), everything else is version-invariant.
+    pub fn encode_versioned(&self, version: u32) -> Vec<u8> {
         let mut out = Vec::new();
         match self {
             Frame::Hello { protocol_version, options } => {
@@ -590,10 +814,13 @@ impl Frame {
                 put_u32(&mut out, *protocol_version);
                 put_options(&mut out, options);
             }
-            Frame::Query { mode, sql } => {
+            Frame::Query { mode, sql, trace } => {
                 out.push(0x02);
                 out.push(mode.tag());
                 put_str(&mut out, sql);
+                // Trailing-optional: absent in frames from v1 clients,
+                // decoded as `false`.
+                put_bool(&mut out, *trace);
             }
             Frame::SetOptions { options } => {
                 out.push(0x03);
@@ -611,6 +838,10 @@ impl Frame {
                 put_u64(&mut out, *session);
             }
             Frame::Close => out.push(0x06),
+            Frame::SlowLog { n } => {
+                out.push(0x07);
+                put_u32(&mut out, *n);
+            }
             Frame::HelloAck { session, protocol_version } => {
                 out.push(0x81);
                 put_u64(&mut out, *session);
@@ -618,7 +849,7 @@ impl Frame {
             }
             Frame::ResultSet(r) => {
                 out.push(0x82);
-                put_result(&mut out, r);
+                put_result(&mut out, r, version);
             }
             Frame::Error(e) => {
                 out.push(0x83);
@@ -638,6 +869,13 @@ impl Frame {
                 put_bool(&mut out, *delivered);
             }
             Frame::Goodbye => out.push(0x88),
+            Frame::SlowLogReply { entries } => {
+                out.push(0x89);
+                put_u32(&mut out, entries.len() as u32);
+                for e in entries {
+                    put_flight_record(&mut out, e);
+                }
+            }
         }
         out
     }
@@ -650,7 +888,13 @@ impl Frame {
         let tag = r.u8()?;
         let frame = match tag {
             0x01 => Frame::Hello { protocol_version: r.u32()?, options: read_options(&mut r)? },
-            0x02 => Frame::Query { mode: QueryMode::from_tag(r.u8()?)?, sql: r.str_()? },
+            0x02 => {
+                let mode = QueryMode::from_tag(r.u8()?)?;
+                let sql = r.str_()?;
+                // Trailing-optional trace flag (absent before v2).
+                let trace = if r.remaining() > 0 { r.bool_()? } else { false };
+                Frame::Query { mode, sql, trace }
+            }
             0x03 => Frame::SetOptions { options: read_options(&mut r)? },
             0x04 => Frame::Stats {
                 format: match r.u8()? {
@@ -661,6 +905,7 @@ impl Frame {
             },
             0x05 => Frame::Cancel { session: r.u64()? },
             0x06 => Frame::Close,
+            0x07 => Frame::SlowLog { n: r.u32()? },
             0x81 => Frame::HelloAck { session: r.u64()?, protocol_version: r.u32()? },
             0x82 => Frame::ResultSet(Box::new(read_result(&mut r)?)),
             0x83 => Frame::Error(read_wire_error(&mut r)?),
@@ -669,6 +914,20 @@ impl Frame {
             0x86 => Frame::OptionsAck,
             0x87 => Frame::CancelAck { delivered: r.bool_()? },
             0x88 => Frame::Goodbye,
+            0x89 => {
+                let n = r.u32()? as usize;
+                if n > r.remaining() {
+                    return Err(ProtocolError::Oversized {
+                        what: "slowlog entries",
+                        claimed: n as u64,
+                    });
+                }
+                let mut entries = Vec::with_capacity(n);
+                for _ in 0..n {
+                    entries.push(read_flight_record(&mut r)?);
+                }
+                Frame::SlowLogReply { entries }
+            }
             tag => return Err(ProtocolError::BadTag { context: "frame", tag }),
         };
         if r.remaining() != 0 {
@@ -678,9 +937,19 @@ impl Frame {
     }
 }
 
-/// Write one length-prefixed frame.
+/// Write one length-prefixed frame at the current protocol version.
 pub fn write_frame<W: Write>(w: &mut W, frame: &Frame) -> Result<(), TransportError> {
-    let payload = frame.encode();
+    write_frame_versioned(w, frame, PROTOCOL_VERSION)
+}
+
+/// Write one length-prefixed frame encoded for a negotiated version
+/// (sessions speaking v1 must not emit v2 result bodies).
+pub fn write_frame_versioned<W: Write>(
+    w: &mut W,
+    frame: &Frame,
+    version: u32,
+) -> Result<(), TransportError> {
+    let payload = frame.encode_versioned(version);
     if payload.len() > MAX_FRAME_BYTES {
         return Err(TransportError::Protocol(ProtocolError::Oversized {
             what: "outgoing frame",
@@ -693,10 +962,30 @@ pub fn write_frame<W: Write>(w: &mut W, frame: &Frame) -> Result<(), TransportEr
     Ok(())
 }
 
+/// Encoded size of a result body at `version`, without assembling the
+/// full frame. The session's `server.encode` span charges the payload
+/// it is about to ship, measured *before* the trace tree is attached —
+/// a trace cannot contain the cost of encoding itself.
+pub(crate) fn encoded_result_len(r: &WireResult, version: u32) -> usize {
+    let mut out = Vec::new();
+    put_result(&mut out, r, version);
+    out.len() + 1 // + the frame tag byte
+}
+
 /// Read one length-prefixed frame. `Ok(None)` is a clean end-of-stream
 /// exactly at a frame boundary; EOF anywhere inside a frame is a
 /// [`ProtocolError::Truncated`].
 pub fn read_frame<R: Read>(r: &mut R) -> Result<Option<Frame>, TransportError> {
+    match read_frame_payload(r)? {
+        None => Ok(None),
+        Some(payload) => Frame::decode(&payload).map_err(TransportError::Protocol).map(Some),
+    }
+}
+
+/// Read one frame's raw payload without decoding it — the session loop
+/// uses this so the decode step can be timed on the server clock and
+/// charged to the query's `server.decode` span.
+pub(crate) fn read_frame_payload<R: Read>(r: &mut R) -> Result<Option<Vec<u8>>, TransportError> {
     let mut len_buf = [0u8; 4];
     let mut got = 0;
     while got < 4 {
@@ -731,7 +1020,7 @@ pub fn read_frame<R: Read>(r: &mut R) -> Result<Option<Frame>, TransportError> {
         }
         filled += n;
     }
-    Frame::decode(&payload).map_err(TransportError::Protocol).map(Some)
+    Ok(Some(payload))
 }
 
 #[cfg(test)]
@@ -748,6 +1037,28 @@ mod tests {
         b.build().unwrap()
     }
 
+    fn sample_trace() -> TraceNode {
+        TraceNode {
+            name: "query".to_string(),
+            start_us: 10,
+            duration_us: Some(90),
+            index: None,
+            fields: vec![
+                ("rows".to_string(), FieldValue::U64(3)),
+                ("note".to_string(), FieldValue::Str("δ".to_string())),
+                ("bound".to_string(), FieldValue::F64(0.5)),
+            ],
+            children: vec![TraceNode {
+                name: "cluster.shard".to_string(),
+                start_us: 20,
+                duration_us: Some(40),
+                index: Some(0),
+                fields: vec![("ok".to_string(), FieldValue::Bool(true))],
+                children: Vec::new(),
+            }],
+        }
+    }
+
     #[test]
     fn table_roundtrip_preserves_every_column_type() {
         let t = sample_table();
@@ -759,9 +1070,104 @@ mod tests {
             degraded: vec!["no_model".into()],
             service_us: 11,
             queue_us: 3,
+            query_id: 42,
+            trace: Some(sample_trace()),
         }));
         let decoded = Frame::decode(&frame.encode()).unwrap();
         assert_eq!(decoded, frame);
+    }
+
+    #[test]
+    fn v1_result_body_decodes_with_default_trace_fields() {
+        let result = WireResult {
+            table: sample_table(),
+            rows_scanned: 7,
+            approximate: false,
+            error_bound: None,
+            degraded: Vec::new(),
+            service_us: 11,
+            queue_us: 3,
+            query_id: 42,
+            trace: Some(sample_trace()),
+        };
+        let frame = Frame::ResultSet(Box::new(result));
+        // A v1 encoding drops the trace fields; decode restores the
+        // defaults (id 0, no trace) and everything else survives.
+        let decoded = Frame::decode(&frame.encode_versioned(1)).unwrap();
+        let Frame::ResultSet(d) = decoded else { panic!("not a result set") };
+        assert_eq!(d.query_id, 0);
+        assert_eq!(d.trace, None);
+        assert_eq!(d.service_us, 11);
+        assert_eq!(d.queue_us, 3);
+        assert_eq!(d.table, sample_table());
+    }
+
+    #[test]
+    fn slowlog_frames_roundtrip() {
+        let req = Frame::SlowLog { n: 5 };
+        assert_eq!(Frame::decode(&req.encode()).unwrap(), req);
+        let reply = Frame::SlowLogReply {
+            entries: vec![FlightRecord {
+                query_id: 9,
+                sql: "SELECT g FROM t".to_string(),
+                mode: "cluster".to_string(),
+                total_us: 90,
+                error: Some("shard 1 lost".to_string()),
+                layers: vec![("fetch".to_string(), 40), ("execute".to_string(), 50)],
+                dominant_layer: "execute".to_string(),
+                dominant_us: 50,
+                trace: Some(sample_trace()),
+            }],
+        };
+        assert_eq!(Frame::decode(&reply.encode()).unwrap(), reply);
+        assert_eq!(
+            Frame::decode(&Frame::SlowLogReply { entries: Vec::new() }.encode()).unwrap(),
+            Frame::SlowLogReply { entries: Vec::new() }
+        );
+    }
+
+    #[test]
+    fn query_trace_flag_is_trailing_optional() {
+        // A v1-era Query body (no trailing flag byte) decodes with
+        // trace=false.
+        let mut payload = vec![0x02, 0u8];
+        put_str(&mut payload, "SELECT 1");
+        assert_eq!(
+            Frame::decode(&payload).unwrap(),
+            Frame::Query { mode: QueryMode::Exact, sql: "SELECT 1".into(), trace: false }
+        );
+        let traced = Frame::Query { mode: QueryMode::Exact, sql: "SELECT 1".into(), trace: true };
+        assert_eq!(Frame::decode(&traced.encode()).unwrap(), traced);
+    }
+
+    #[test]
+    fn over_deep_trace_claims_are_rejected() {
+        // A chain of nested single-child nodes deeper than the cap.
+        fn chain(depth: usize) -> TraceNode {
+            TraceNode {
+                name: "n".to_string(),
+                start_us: 0,
+                duration_us: None,
+                index: None,
+                fields: Vec::new(),
+                children: if depth == 0 { Vec::new() } else { vec![chain(depth - 1)] },
+            }
+        }
+        let deep = Frame::ResultSet(Box::new(WireResult {
+            table: sample_table(),
+            rows_scanned: 0,
+            approximate: false,
+            error_bound: None,
+            degraded: Vec::new(),
+            service_us: 0,
+            queue_us: 0,
+            query_id: 1,
+            trace: Some(chain(MAX_TRACE_DEPTH + 1)),
+        }));
+        assert!(matches!(
+            Frame::decode(&deep.encode()),
+            Err(ProtocolError::Oversized { what: "trace depth", .. })
+        ));
     }
 
     #[test]
@@ -769,7 +1175,7 @@ mod tests {
         let mut buf = Vec::new();
         let frames = [
             Frame::Hello { protocol_version: PROTOCOL_VERSION, options: SessionOptions::default() },
-            Frame::Query { mode: QueryMode::Resilient, sql: "SELECT 1".into() },
+            Frame::Query { mode: QueryMode::Resilient, sql: "SELECT 1".into(), trace: false },
             Frame::Goodbye,
         ];
         for f in &frames {

@@ -17,12 +17,12 @@ use crate::protocol::SessionOptions;
 use crate::session::{run_session, SessionDirectory};
 use lawsdb_cluster::Cluster;
 use lawsdb_core::LawsDb;
-use lawsdb_obs::{Counter, Histogram};
+use lawsdb_obs::{Clock, Counter, FlightRecorder, Histogram, MonotonicClock, RecorderConfig};
 use parking_lot::RwLock;
 use lawsdb_query::ResourceBudget;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
@@ -46,6 +46,15 @@ pub struct ServerConfig {
     /// Compile-in deterministic fault hooks (`FAULT PANIC`,
     /// `FAULT SLEEP`) for the concurrency test suites. Off by default.
     pub fault_injection: bool,
+    /// The clock behind queue-wait and service timing and behind every
+    /// per-query profile collector. Tests pin a
+    /// [`MockClock`](lawsdb_obs::MockClock) here so distributed traces
+    /// render byte-identically across runs.
+    pub clock: Arc<dyn Clock>,
+    /// Slow-query flight-recorder admission policy; `capacity: 0`
+    /// disables recording (and the per-query profiling it implies)
+    /// entirely.
+    pub recorder: RecorderConfig,
 }
 
 impl Default for ServerConfig {
@@ -57,6 +66,8 @@ impl Default for ServerConfig {
                 .with_deadline(Duration::from_secs(60)),
             default_options: SessionOptions { threads: Some(1), ..SessionOptions::default() },
             fault_injection: false,
+            clock: Arc::new(MonotonicClock::new()),
+            recorder: RecorderConfig::default(),
         }
     }
 }
@@ -92,6 +103,12 @@ pub struct Server {
     /// `QueryMode::Cluster` requests dispatch here; without an attached
     /// cluster they answer a structured `cluster_unavailable` error.
     cluster: RwLock<Option<Arc<Cluster>>>,
+    /// Bounded ring of complete profiles for the slowest / failed
+    /// queries, served over [`Frame::SlowLog`](crate::protocol::Frame).
+    recorder: Arc<FlightRecorder>,
+    /// Monotonic query-id mint: unique per server process, never zero,
+    /// stamped on results, exemplars, and flight-recorder entries.
+    next_query_id: AtomicU64,
 }
 
 impl Server {
@@ -109,7 +126,17 @@ impl Server {
             protocol_errors: registry.counter("lawsdb_server_protocol_errors"),
             query_us: registry.histogram("lawsdb_server_query_us"),
         };
-        Arc::new(Server { db, cfg, admission, sessions, hooks, cluster: RwLock::new(None) })
+        let recorder = Arc::new(FlightRecorder::new(cfg.recorder.clone()));
+        Arc::new(Server {
+            db,
+            cfg,
+            admission,
+            sessions,
+            hooks,
+            cluster: RwLock::new(None),
+            recorder,
+            next_query_id: AtomicU64::new(1),
+        })
     }
 
     /// Front a sharded cluster: `QueryMode::Cluster` queries dispatch
@@ -145,6 +172,21 @@ impl Server {
 
     pub(crate) fn metrics_hooks(&self) -> &ServerMetricHooks {
         &self.hooks
+    }
+
+    /// The server-wide clock (mockable for deterministic traces).
+    pub fn clock(&self) -> &Arc<dyn Clock> {
+        &self.cfg.clock
+    }
+
+    /// The slow-query flight recorder.
+    pub fn recorder(&self) -> &Arc<FlightRecorder> {
+        &self.recorder
+    }
+
+    /// Mint the next query id.
+    pub(crate) fn mint_query_id(&self) -> u64 {
+        self.next_query_id.fetch_add(1, Ordering::Relaxed)
     }
 
     /// Cancel the in-flight query of `session` (same semantics as a

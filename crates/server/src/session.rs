@@ -23,12 +23,14 @@ use crate::error::{
     cluster_error_to_wire, core_error_to_wire, query_error_kind, TransportError, WireError,
 };
 use crate::protocol::{
-    read_frame, write_frame, Frame, QueryMode, SessionOptions, StatsFormat, WireResult,
-    PROTOCOL_VERSION,
+    encoded_result_len, read_frame, read_frame_payload, write_frame, write_frame_versioned, Frame,
+    QueryMode, SessionOptions, StatsFormat, WireResult, MIN_PROTOCOL_VERSION, PROTOCOL_VERSION,
 };
 use crate::server::Server;
 use lawsdb_core::Answer;
-use lawsdb_obs::Gauge;
+use lawsdb_obs::{
+    fields, FlightRecord, FlightRecorder, Gauge, ProfileCollector, TraceNode,
+};
 use lawsdb_query::{morsel::parallel_morsels, CancelToken, ExecOptions, Governor, ResourceBudget};
 use lawsdb_storage::TableBuilder;
 use parking_lot::Mutex;
@@ -36,7 +38,7 @@ use std::collections::HashMap;
 use std::io::{Read, Write};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 impl SessionOptions {
     /// Layer these options over `base`: any knob the client left unset
@@ -158,10 +160,12 @@ pub(crate) fn run_session<S: Read + Write>(server: &Arc<Server>, mut stream: S) 
 }
 
 fn serve_registered<S: Read + Write>(server: &Arc<Server>, stream: &mut S, session_id: u64) {
-    // Handshake: the first frame must be a version-matched Hello.
-    let mut options = match read_frame(stream) {
+    // Handshake: the first frame must be a Hello inside the supported
+    // version window. The session then speaks the *client's* version —
+    // a v1 client never sees v2 result bodies (trace extension).
+    let (mut options, negotiated) = match read_frame(stream) {
         Ok(Some(Frame::Hello { protocol_version, options })) => {
-            if protocol_version != PROTOCOL_VERSION {
+            if !(MIN_PROTOCOL_VERSION..=PROTOCOL_VERSION).contains(&protocol_version) {
                 let _ = write_frame(
                     stream,
                     &Frame::Error(WireError::Protocol {
@@ -173,7 +177,7 @@ fn serve_registered<S: Read + Write>(server: &Arc<Server>, stream: &mut S, sessi
                 );
                 return;
             }
-            options.merged_over(server.config().default_options())
+            (options.merged_over(server.config().default_options()), protocol_version)
         }
         Ok(Some(_)) => {
             let _ = write_frame(
@@ -190,9 +194,10 @@ fn serve_registered<S: Read + Write>(server: &Arc<Server>, stream: &mut S, sessi
             return;
         }
     };
-    if write_frame(
+    if write_frame_versioned(
         stream,
-        &Frame::HelloAck { session: session_id, protocol_version: PROTOCOL_VERSION },
+        &Frame::HelloAck { session: session_id, protocol_version: negotiated },
+        negotiated,
     )
     .is_err()
     {
@@ -200,44 +205,64 @@ fn serve_registered<S: Read + Write>(server: &Arc<Server>, stream: &mut S, sessi
     }
 
     loop {
-        let reply = match read_frame(stream) {
-            Ok(Some(Frame::Query { mode, sql })) => run_query(server, session_id, &options, mode, &sql),
-            Ok(Some(Frame::SetOptions { options: new })) => {
-                options = new.merged_over(server.config().default_options());
-                Frame::OptionsAck
-            }
-            Ok(Some(Frame::Stats { format })) => Frame::StatsReply {
-                text: match format {
-                    StatsFormat::Prometheus => server.db().stats_prometheus(),
-                    StatsFormat::Json => server.db().stats_json(),
-                },
-            },
-            Ok(Some(Frame::Cancel { session })) => {
-                Frame::CancelAck { delivered: server.sessions().cancel(session) }
-            }
-            Ok(Some(Frame::Close)) => {
-                let _ = write_frame(stream, &Frame::Goodbye);
-                return;
-            }
-            Ok(Some(other)) => {
-                // A server→client frame arriving at the server is a
-                // protocol violation: answer and close this session.
-                let _ = write_frame(
-                    stream,
-                    &Frame::Error(WireError::Protocol {
-                        detail: format!("unexpected frame from client: {other:?}"),
-                    }),
-                );
-                server.metrics_hooks().protocol_errors.inc();
-                return;
-            }
+        // Read the raw payload first so the decode step runs under the
+        // server clock and can be charged to the query's trace.
+        let payload = match read_frame_payload(stream) {
+            Ok(Some(p)) => p,
             Ok(None) => return, // clean disconnect
             Err(e) => {
                 reply_transport_error(server, stream, &e);
                 return;
             }
         };
-        if write_frame(stream, &reply).is_err() {
+        let clock = server.clock();
+        let decode_started = clock.now_micros();
+        let decoded = Frame::decode(&payload);
+        let decode_us = clock.now_micros().saturating_sub(decode_started);
+        let reply = match decoded {
+            Ok(Frame::Query { mode, sql, trace }) => {
+                let wire = WireContext { trace, negotiated, decode_us, frame_bytes: payload.len() };
+                run_query(server, session_id, &options, mode, &sql, wire)
+            }
+            Ok(Frame::SetOptions { options: new }) => {
+                options = new.merged_over(server.config().default_options());
+                Frame::OptionsAck
+            }
+            Ok(Frame::Stats { format }) => Frame::StatsReply {
+                text: match format {
+                    StatsFormat::Prometheus => server.db().stats_prometheus(),
+                    StatsFormat::Json => server.db().stats_json(),
+                },
+            },
+            Ok(Frame::SlowLog { n }) => {
+                Frame::SlowLogReply { entries: server.recorder().worst(n as usize) }
+            }
+            Ok(Frame::Cancel { session }) => {
+                Frame::CancelAck { delivered: server.sessions().cancel(session) }
+            }
+            Ok(Frame::Close) => {
+                let _ = write_frame_versioned(stream, &Frame::Goodbye, negotiated);
+                return;
+            }
+            Ok(other) => {
+                // A server→client frame arriving at the server is a
+                // protocol violation: answer and close this session.
+                let _ = write_frame_versioned(
+                    stream,
+                    &Frame::Error(WireError::Protocol {
+                        detail: format!("unexpected frame from client: {other:?}"),
+                    }),
+                    negotiated,
+                );
+                server.metrics_hooks().protocol_errors.inc();
+                return;
+            }
+            Err(e) => {
+                reply_transport_error(server, stream, &TransportError::Protocol(e));
+                return;
+            }
+        };
+        if write_frame_versioned(stream, &reply, negotiated).is_err() {
             return;
         }
     }
@@ -254,6 +279,20 @@ fn reply_transport_error<S: Read + Write>(server: &Arc<Server>, stream: &mut S, 
     // IO errors mean the stream is gone; nothing to say, just close.
 }
 
+/// Per-request wire context handed from the session loop into
+/// [`run_query`]: what the client asked for and what the framing layer
+/// already measured.
+struct WireContext {
+    /// The client requested the full trace tree on its result.
+    trace: bool,
+    /// Negotiated protocol version for this session.
+    negotiated: u32,
+    /// Microseconds the frame decode took (server clock).
+    decode_us: u64,
+    /// Raw payload size of the query frame.
+    frame_bytes: usize,
+}
+
 /// Admit, execute, and package one query.
 fn run_query(
     server: &Arc<Server>,
@@ -261,9 +300,25 @@ fn run_query(
     options: &SessionOptions,
     mode: QueryMode,
     sql: &str,
+    wire: WireContext,
 ) -> Frame {
     let hooks = server.metrics_hooks();
     hooks.queries.inc();
+    let clock = Arc::clone(server.clock());
+    let recorder = server.recorder();
+    let query_id = server.mint_query_id();
+    // A profile is collected when the client asked for a trace or when
+    // the flight recorder might keep this query; otherwise the
+    // collector — and every span under it — never exists.
+    let collector = (wire.trace || recorder.enabled())
+        .then(|| ProfileCollector::with_clock(Arc::clone(&clock)));
+    let ctx = collector.as_ref().map(|c| c.context());
+    if let Some(c) = &ctx {
+        c.point(
+            "server.decode",
+            fields![us = wire.decode_us, bytes = wire.frame_bytes as u64],
+        );
+    }
     // The session's requested budget, clamped by the server's per-query
     // caps: a client may tighten its limits, never exceed the server's.
     let budget = options.budget().intersect(&server.config().max_budget);
@@ -272,16 +327,24 @@ fn run_query(
     let reserve = budget
         .memory_bytes
         .unwrap_or(server.admission().config().default_reserve_bytes);
-    let queue_started = Instant::now();
-    let permit = match server.admission().admit(reserve) {
+    // Queue wait runs on the mockable server clock (not `Instant`), so
+    // MockClock tests pin it and traces stay deterministic.
+    let queue_started = clock.now_micros();
+    let admitted = {
+        let _queue_span = ctx.as_ref().map(|c| c.span("server.admission"));
+        server.admission().admit(reserve)
+    };
+    let queue_us = clock.now_micros().saturating_sub(queue_started);
+    let permit = match admitted {
         Ok(p) => p,
         Err(e) => {
             server.sessions().clear_cancel(session_id);
             hooks.query_errors.inc();
-            return Frame::Error(e.to_wire());
+            let err = e.to_wire();
+            finish_record(recorder, collector, query_id, sql, mode, Some(err.to_string()));
+            return Frame::Error(err);
         }
     };
-    let queue_us = queue_started.elapsed().as_micros() as u64;
     let exec = ExecOptions {
         threads: options.threads.unwrap_or(1) as usize,
         morsel_rows: options
@@ -291,26 +354,60 @@ fn run_query(
         pruning: options.pruning.unwrap_or(true),
         budget,
         cancel: Some(cancel),
+        profile: ctx.clone(),
+        query_id,
         ..ExecOptions::default()
     };
-    let service_started = Instant::now();
+    let service_started = clock.now_micros();
     let outcome = dispatch(server, &permit, mode, sql, &exec);
-    let service_us = service_started.elapsed().as_micros() as u64;
+    let service_us = clock.now_micros().saturating_sub(service_started);
     drop(permit);
     server.sessions().clear_cancel(session_id);
-    hooks.query_us.observe(service_us);
+    hooks.query_us.observe_with_exemplar(service_us, query_id);
     match outcome {
         Ok(Frame::ResultSet(mut r)) => {
             r.service_us = service_us;
             r.queue_us = queue_us;
+            r.query_id = query_id;
+            if let Some(c) = &ctx {
+                // Charge the encode of the body about to ship. The
+                // trace is attached afterwards: it cannot contain the
+                // cost of encoding itself.
+                let mut span = c.span("server.encode");
+                span.field("bytes", encoded_result_len(&r, wire.negotiated) as u64);
+            }
+            let tree = finish_record(recorder, collector, query_id, sql, mode, None);
+            if wire.trace && wire.negotiated >= 2 {
+                r.trace = tree;
+            }
             Frame::ResultSet(r)
         }
-        Ok(other) => other,
+        Ok(other) => {
+            finish_record(recorder, collector, query_id, sql, mode, None);
+            other
+        }
         Err(e) => {
             hooks.query_errors.inc();
+            finish_record(recorder, collector, query_id, sql, mode, Some(e.to_string()));
             Frame::Error(e)
         }
     }
+}
+
+/// Assemble the collected profile into a [`TraceNode`], feed the
+/// flight recorder, and hand the tree back for clients that asked.
+fn finish_record(
+    recorder: &FlightRecorder,
+    collector: Option<Arc<ProfileCollector>>,
+    query_id: u64,
+    sql: &str,
+    mode: QueryMode,
+    error: Option<String>,
+) -> Option<TraceNode> {
+    let collector = collector?;
+    let tree = TraceNode::from(&collector.build("query"));
+    recorder.observe(FlightRecord::from_trace(query_id, sql, mode.name(), error, tree.clone()));
+    Some(tree)
 }
 
 fn dispatch(
@@ -390,6 +487,8 @@ fn result_frame(
         degraded,
         service_us: 0,
         queue_us: 0,
+        query_id: 0,
+        trace: None,
     }))
 }
 

@@ -15,6 +15,7 @@
 //!    sibling session on the same server keeps answering queries.
 
 use lawsdb_core::LawsDb;
+use lawsdb_obs::{FieldValue, FlightRecord, TraceNode};
 use lawsdb_server::protocol::{read_frame, Frame, QueryMode, SessionOptions, StatsFormat};
 use lawsdb_server::{Client, ProtocolError, Server, ServerConfig, WireError, WireResult};
 use lawsdb_storage::TableBuilder;
@@ -113,6 +114,47 @@ fn random_table(rng: &mut Rng) -> lawsdb_storage::Table {
     b.build().expect("generated table must be valid")
 }
 
+fn random_field_value(rng: &mut Rng) -> FieldValue {
+    match rng.below(5) {
+        0 => FieldValue::U64(rng.next()),
+        1 => FieldValue::I64(rng.next() as i64),
+        2 => FieldValue::F64(random_f64(rng)),
+        3 => FieldValue::Bool(rng.chance(50)),
+        _ => FieldValue::Str(random_string(rng)),
+    }
+}
+
+/// A random trace tree, at most 4 levels deep so the corpus stays
+/// well inside `MAX_TRACE_DEPTH` (a separate unit test pins the
+/// over-deep refusal).
+fn random_trace(rng: &mut Rng, depth: usize) -> TraceNode {
+    let nchildren = if depth >= 3 { 0 } else { rng.below(3) };
+    TraceNode {
+        name: random_string(rng),
+        start_us: rng.next(),
+        duration_us: if rng.chance(70) { Some(rng.next()) } else { None },
+        index: if rng.chance(30) { Some(rng.below(64)) } else { None },
+        fields: (0..rng.below(3))
+            .map(|_| (random_string(rng), random_field_value(rng)))
+            .collect(),
+        children: (0..nchildren).map(|_| random_trace(rng, depth + 1)).collect(),
+    }
+}
+
+fn random_flight_record(rng: &mut Rng) -> FlightRecord {
+    FlightRecord {
+        query_id: rng.next(),
+        sql: random_string(rng),
+        mode: random_string(rng),
+        total_us: rng.next(),
+        error: if rng.chance(30) { Some(random_string(rng)) } else { None },
+        layers: (0..rng.below(4)).map(|_| (random_string(rng), rng.next())).collect(),
+        dominant_layer: random_string(rng),
+        dominant_us: rng.next(),
+        trace: if rng.chance(60) { Some(random_trace(rng, 0)) } else { None },
+    }
+}
+
 fn random_wire_error(rng: &mut Rng) -> WireError {
     match rng.below(6) {
         0 => WireError::Rejected {
@@ -128,7 +170,7 @@ fn random_wire_error(rng: &mut Rng) -> WireError {
     }
 }
 
-/// One random frame of each of the 14 wire types, in tag order.
+/// One random frame of each of the 16 wire types, in tag order.
 fn frame_corpus(rng: &mut Rng) -> Vec<Frame> {
     vec![
         Frame::Hello { protocol_version: rng.next() as u32, options: random_options(rng) },
@@ -141,6 +183,7 @@ fn frame_corpus(rng: &mut Rng) -> Vec<Frame> {
                 _ => QueryMode::Cluster,
             },
             sql: random_string(rng),
+            trace: rng.chance(50),
         },
         Frame::SetOptions { options: random_options(rng) },
         Frame::Stats {
@@ -148,6 +191,7 @@ fn frame_corpus(rng: &mut Rng) -> Vec<Frame> {
         },
         Frame::Cancel { session: rng.next() },
         Frame::Close,
+        Frame::SlowLog { n: rng.next() as u32 },
         Frame::HelloAck { session: rng.next(), protocol_version: rng.next() as u32 },
         Frame::ResultSet(Box::new(WireResult {
             table: random_table(rng),
@@ -157,6 +201,8 @@ fn frame_corpus(rng: &mut Rng) -> Vec<Frame> {
             degraded: (0..rng.below(4)).map(|_| random_string(rng)).collect(),
             service_us: rng.next(),
             queue_us: rng.next(),
+            query_id: rng.next(),
+            trace: if rng.chance(50) { Some(random_trace(rng, 0)) } else { None },
         })),
         Frame::Error(random_wire_error(rng)),
         Frame::StatsReply { text: random_string(rng) },
@@ -164,6 +210,9 @@ fn frame_corpus(rng: &mut Rng) -> Vec<Frame> {
         Frame::OptionsAck,
         Frame::CancelAck { delivered: rng.chance(50) },
         Frame::Goodbye,
+        Frame::SlowLogReply {
+            entries: (0..rng.below(3)).map(|_| random_flight_record(rng)).collect(),
+        },
     ]
 }
 
@@ -180,14 +229,38 @@ fn every_frame_type_roundtrips_over_many_seeds() {
     }
 }
 
+/// The frame with its v2 trailing-optional extensions defaulted — what
+/// a valid v1 body of the same frame decodes to.
+fn strip_v2_extensions(f: &Frame) -> Frame {
+    match f {
+        Frame::Query { mode, sql, .. } => {
+            Frame::Query { mode: *mode, sql: sql.clone(), trace: false }
+        }
+        Frame::ResultSet(r) => {
+            let mut r = r.clone();
+            r.query_id = 0;
+            r.trace = None;
+            Frame::ResultSet(r)
+        }
+        other => other.clone(),
+    }
+}
+
 #[test]
-fn every_strict_prefix_of_a_valid_frame_is_a_structured_error() {
+fn every_strict_prefix_of_a_valid_frame_is_an_error_or_a_v1_body() {
+    // Version compatibility is carried by trailing-optional fields, so
+    // one strict prefix of a v2 Query/ResultSet *is* well-formed: the
+    // one that ends exactly where a v1 body would. Any prefix that
+    // decodes must decode to precisely the extensions-defaulted frame —
+    // anything else is a real ambiguity.
     let mut rng = Rng(seed() ^ 0x5EED_0001);
     for frame in frame_corpus(&mut rng) {
         let payload = frame.encode();
+        let v1 = strip_v2_extensions(&frame);
         for cut in 0..payload.len() {
             match Frame::decode(&payload[..cut]) {
                 Err(_) => {}
+                Ok(f) if f == v1 => {}
                 Ok(f) => panic!(
                     "prefix {cut}/{} of {frame:?} decoded as {f:?} — the format is ambiguous",
                     payload.len()
@@ -318,6 +391,43 @@ fn version_mismatch_is_refused_with_a_structured_error() {
             assert!(detail.contains("version"), "{detail}");
         }
         other => panic!("expected version refusal, got {other:?}"),
+    }
+}
+
+#[test]
+fn v1_client_negotiates_and_queries_without_trace_fields() {
+    // A v1-era client: speaks Hello with version 1, sends Query bodies
+    // without the trailing trace flag, and expects v1 result bodies
+    // (no query_id / trace extension). The server must negotiate down
+    // and keep the whole exchange working.
+    let server = tiny_server();
+    let mut stream = server.connect();
+    lawsdb_server::write_frame(
+        &mut stream,
+        &Frame::Hello { protocol_version: 1, options: SessionOptions::default() },
+    )
+    .unwrap();
+    match read_frame(&mut stream).unwrap() {
+        Some(Frame::HelloAck { protocol_version, .. }) => assert_eq!(protocol_version, 1),
+        other => panic!("expected HelloAck, got {other:?}"),
+    }
+    // Hand-built v1 Query body: tag, mode, sql — and no trace byte.
+    let sql = b"SELECT COUNT(*) FROM t";
+    let mut body = vec![0x02u8, 0u8];
+    body.extend_from_slice(&(sql.len() as u32).to_le_bytes());
+    body.extend_from_slice(sql);
+    use std::io::Write;
+    stream.write_all(&(body.len() as u32).to_le_bytes()).unwrap();
+    stream.write_all(&body).unwrap();
+    match read_frame(&mut stream).unwrap() {
+        Some(Frame::ResultSet(r)) => {
+            assert_eq!(r.table.row_count(), 1);
+            // The v1 body carries no trace extension; the decoder
+            // defaults both fields.
+            assert_eq!(r.query_id, 0);
+            assert!(r.trace.is_none());
+        }
+        other => panic!("expected ResultSet, got {other:?}"),
     }
 }
 
